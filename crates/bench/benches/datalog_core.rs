@@ -1,0 +1,64 @@
+//! Microbenchmarks of the Datalog± substrate: transitive closure,
+//! index joins and Skolem-ID generation — the primitives every
+//! translated query exercises.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparqlog_datalog::{evaluate, parser::parse_program, Database, EvalOptions};
+
+fn tc_program(n: usize) -> String {
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("edge({i}, {}).\n", (i + 1) % n));
+        if i % 7 == 0 {
+            src.push_str(&format!("edge({i}, {}).\n", (i * 3 + 1) % n));
+        }
+    }
+    src.push_str("tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- edge(X, Y), tc(Y, Z).\n@output(\"tc\").\n");
+    src
+}
+
+fn bench_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datalog_core");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    group.bench_function("transitive_closure_300", |b| {
+        let src = tc_program(300);
+        b.iter(|| {
+            let mut db = Database::new();
+            let prog = parse_program(&src, db.symbols()).unwrap();
+            evaluate(&prog, &mut db, &EvalOptions::default()).unwrap()
+        })
+    });
+
+    group.bench_function("skolem_ids_10k", |b| {
+        let mut src = String::new();
+        for i in 0..10_000 {
+            src.push_str(&format!("q({i}).\n"));
+        }
+        src.push_str("p(I, X) :- q(X), I = skolem(\"f\", X).\n@output(\"p\").\n");
+        b.iter(|| {
+            let mut db = Database::new();
+            let prog = parse_program(&src, db.symbols()).unwrap();
+            evaluate(&prog, &mut db, &EvalOptions::default()).unwrap()
+        })
+    });
+
+    group.bench_function("triangle_join_500", |b| {
+        let mut src = String::new();
+        for i in 0..500 {
+            src.push_str(&format!("e({i}, {}).\n", (i + 1) % 500));
+        }
+        src.push_str("tri(X, W) :- e(X, Y), e(Y, Z), e(Z, W).\n@output(\"tri\").\n");
+        b.iter(|| {
+            let mut db = Database::new();
+            let prog = parse_program(&src, db.symbols()).unwrap();
+            evaluate(&prog, &mut db, &EvalOptions::default()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_core);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Regenerates Figure 9 / Tables 8 & 10 (gMark test).
+use sparqlog_bench::harness::{scale_from_env, timeout_from_env};
+use sparqlog_benchdata::gmark::Scenario;
+fn main() {
+    println!(
+        "{}",
+        sparqlog_bench::tables::gmark_report(Scenario::Test, timeout_from_env(), scale_from_env())
+    );
+}

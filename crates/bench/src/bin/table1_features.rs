@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (SPARQL feature matrix).
+fn main() {
+    println!("{}", sparqlog_bench::tables::table1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (benchmark feature coverage).
+fn main() {
+    println!("{}", sparqlog_bench::tables::table2());
+}

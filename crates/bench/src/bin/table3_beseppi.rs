@@ -1,0 +1,5 @@
+//! Regenerates Table 3 (BeSEPPI property-path compliance).
+use sparqlog_bench::harness::timeout_from_env;
+fn main() {
+    println!("{}", sparqlog_bench::tables::table3(timeout_from_env()));
+}

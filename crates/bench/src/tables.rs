@@ -1,0 +1,462 @@
+//! Regeneration of every table and figure in the paper's evaluation
+//! (§6, Appendix D). Each function returns the rendered table; the
+//! `src/bin/` binaries are thin wrappers around these.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use sparqlog_benchdata::beseppi::{self, Category, Verdict};
+use sparqlog_benchdata::gmark::{self, Scenario};
+use sparqlog_benchdata::{analysis, feasible, ontology, sp2bench};
+use sparqlog_rdf::{Dataset, Term};
+
+use crate::harness::{run, results_equal, secs, Engine, Measurement, Status};
+
+/// Table 1: the SPARQL feature matrix.
+pub fn table1() -> String {
+    sparqlog::features::render_table1()
+}
+
+/// Table 2: benchmark feature coverage — measured for the generated
+/// workloads, published values for the rest.
+pub fn table2() -> String {
+    let mut rows = Vec::new();
+    let collect = |qs: Vec<(String, String)>| -> Vec<String> {
+        qs.into_iter().map(|(_, q)| q).collect()
+    };
+    rows.push(analysis::analyze(
+        "SP2Bench*",
+        &sp2bench::queries()
+            .into_iter()
+            .map(|(_, q)| q)
+            .collect::<Vec<_>>(),
+    ));
+    rows.push(analysis::analyze(
+        "FEASIBLE(S)*",
+        &collect(feasible::queries()),
+    ));
+    rows.push(analysis::analyze(
+        "gMark-social*",
+        &collect(gmark::queries(Scenario::Social)),
+    ));
+    rows.push(analysis::analyze(
+        "gMark-test*",
+        &collect(gmark::queries(Scenario::Test)),
+    ));
+    rows.push(analysis::analyze(
+        "BeSEPPI*",
+        &beseppi::queries()
+            .into_iter()
+            .map(|q| q.query)
+            .collect::<Vec<_>>(),
+    ));
+    rows.extend(analysis::published_rows());
+    let mut out = String::from(
+        "Table 2 — Feature Coverage of SPARQL Benchmarks\n(* = measured on \
+         this workspace's generated query sets; others as published)\n\n",
+    );
+    out.push_str(&analysis::render(&rows));
+    out
+}
+
+/// Table 3: BeSEPPI property-path compliance for the three engines.
+pub fn table3(timeout: Duration) -> String {
+    let dataset = Dataset::from_default_graph(beseppi::graph());
+    let queries = beseppi::queries();
+
+    #[derive(Default, Clone, Copy)]
+    struct Row {
+        incomplete_correct: usize,
+        complete_incorrect: usize,
+        incomplete_incorrect: usize,
+        error: usize,
+    }
+    let engines = [Engine::Virtuoso, Engine::Fuseki, Engine::SparqLog];
+    let mut counts = vec![[Row::default(); 7]; engines.len()];
+
+    for (qi, q) in queries.iter().enumerate() {
+        if qi % 40 == 0 {
+            eprintln!("[table3] {qi}/{} queries", queries.len());
+        }
+        let cat_idx = Category::ALL.iter().position(|c| *c == q.category).unwrap();
+        for (ei, engine) in engines.iter().enumerate() {
+            let m = run(*engine, &dataset, None, &q.query, timeout);
+            let row = &mut counts[ei][cat_idx];
+            match m.status.result() {
+                None => row.error += 1,
+                Some(result) => {
+                    let actual = result_rows(result);
+                    match beseppi::classify(&q.expected, &actual) {
+                        Verdict::Correct => {}
+                        Verdict::IncompleteButCorrect => row.incomplete_correct += 1,
+                        Verdict::CompleteButIncorrect => row.complete_incorrect += 1,
+                        Verdict::IncompleteAndIncorrect => {
+                            row.incomplete_incorrect += 1
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = String::from(
+        "Table 3 — Compliance Test Results with BeSEPPI\n\
+         (per engine: Incomp.&Correct / Complete&Incor. / Incomp.&Incor. / Error)\n\n",
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:^28} {:^28} {:^28} {:>8}",
+        "Expressions", "Virtuoso", "Jena Fuseki", "SparqLog", "#Queries"
+    );
+    out.push_str(&"-".repeat(112));
+    out.push('\n');
+    let mut totals = vec![Row::default(); engines.len()];
+    for (ci, cat) in Category::ALL.iter().enumerate() {
+        let _ = write!(out, "{:<14}", cat.name());
+        for (ei, _) in engines.iter().enumerate() {
+            let r = counts[ei][ci];
+            let _ = write!(
+                out,
+                " {:>6} {:>6} {:>6} {:>6} ",
+                r.incomplete_correct,
+                r.complete_incorrect,
+                r.incomplete_incorrect,
+                r.error
+            );
+            totals[ei].incomplete_correct += r.incomplete_correct;
+            totals[ei].complete_incorrect += r.complete_incorrect;
+            totals[ei].incomplete_incorrect += r.incomplete_incorrect;
+            totals[ei].error += r.error;
+        }
+        let n = queries.iter().filter(|q| q.category == *cat).count();
+        let _ = writeln!(out, "{n:>8}");
+    }
+    let _ = write!(out, "{:<14}", "Total");
+    for t in &totals {
+        let _ = write!(
+            out,
+            " {:>6} {:>6} {:>6} {:>6} ",
+            t.incomplete_correct, t.complete_incorrect, t.incomplete_incorrect, t.error
+        );
+    }
+    let _ = writeln!(out, "{:>8}", queries.len());
+    out
+}
+
+fn result_rows(result: &sparqlog::QueryResult) -> Vec<Vec<Term>> {
+    match result {
+        sparqlog::QueryResult::Boolean(_) => Vec::new(),
+        sparqlog::QueryResult::Solutions(s) => s
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|c| c.clone().unwrap_or(Term::bnode("unbound"))).collect())
+            .collect(),
+    }
+}
+
+/// §6.2: FEASIBLE(S) compliance — SparqLog/Fuseki agreement plus
+/// Virtuoso's error and wrong-result counts.
+pub fn compliance_feasible(timeout: Duration) -> String {
+    let dataset = feasible::dataset(Default::default());
+    let queries = feasible::queries();
+    let mut agree = 0usize;
+    let mut disagree = Vec::new();
+    let mut virtuoso_errors = 0usize;
+    let mut virtuoso_wrong = 0usize;
+    let mut sparqlog_unsupported = 0usize;
+
+    for (id, q) in &queries {
+        eprintln!("[feasible] {id}");
+        let sl = run(Engine::SparqLog, &dataset, None, q, timeout);
+        let fu = run(Engine::Fuseki, &dataset, None, q, timeout);
+        let vi = run(Engine::Virtuoso, &dataset, None, q, timeout);
+        match (&sl.status, &fu.status) {
+            (Status::Ok(a), Status::Ok(b)) => {
+                if results_equal(a, b) {
+                    agree += 1;
+                } else {
+                    disagree.push(id.clone());
+                }
+            }
+            (Status::NotSupported(_), _) => sparqlog_unsupported += 1,
+            _ => disagree.push(id.clone()),
+        }
+        match (&vi.status, fu.status.result()) {
+            (Status::Ok(v), Some(f)) => {
+                if !results_equal(v, f) {
+                    virtuoso_wrong += 1;
+                }
+            }
+            (Status::Ok(_), None) => {}
+            _ => virtuoso_errors += 1,
+        }
+    }
+
+    let mut out = String::from("FEASIBLE(S) compliance (§6.2)\n\n");
+    let _ = writeln!(out, "queries:                        {}", queries.len());
+    let _ = writeln!(out, "SparqLog = Fuseki (agree):      {agree}");
+    let _ = writeln!(out, "SparqLog unsupported:           {sparqlog_unsupported}");
+    let _ = writeln!(out, "SparqLog/Fuseki disagreements:  {}", disagree.len());
+    if !disagree.is_empty() {
+        let _ = writeln!(out, "  ids: {}", disagree.join(", "));
+    }
+    let _ = writeln!(out, "Virtuoso errors:                {virtuoso_errors}");
+    let _ = writeln!(out, "Virtuoso wrong result multiset: {virtuoso_wrong}");
+    out
+}
+
+/// §6.2: SP²Bench compliance — all three engines must agree on all 17.
+pub fn compliance_sp2bench(timeout: Duration) -> String {
+    let dataset = Dataset::from_default_graph(sp2bench::generate(Default::default()));
+    let queries = sp2bench::queries();
+    let mut all_agree = 0usize;
+    let mut notes = Vec::new();
+    for (id, q) in &queries {
+        eprintln!("[sp2bench] {id}");
+        let sl = run(Engine::SparqLog, &dataset, None, q, timeout);
+        let fu = run(Engine::Fuseki, &dataset, None, q, timeout);
+        let vi = run(Engine::Virtuoso, &dataset, None, q, timeout);
+        match (sl.status.result(), fu.status.result(), vi.status.result()) {
+            (Some(a), Some(b), Some(c)) => {
+                if results_equal(a, b) && results_equal(b, c) {
+                    all_agree += 1;
+                } else {
+                    notes.push(format!("{id}: results differ"));
+                }
+            }
+            _ => notes.push(format!(
+                "{id}: sl={} fu={} vi={}",
+                sl.status.label(),
+                fu.status.label(),
+                vi.status.label()
+            )),
+        }
+    }
+    let mut out = String::from("SP2Bench compliance (§6.2)\n\n");
+    let _ = writeln!(out, "queries:              {}", queries.len());
+    let _ = writeln!(out, "all 3 engines agree:  {all_agree}");
+    for n in notes {
+        let _ = writeln!(out, "  {n}");
+    }
+    out
+}
+
+/// One gMark scenario: the summary of Table 7/8 plus the per-query rows
+/// of Table 9/10 (which are also the data behind Figures 8/9).
+pub fn gmark_report(scenario: Scenario, timeout: Duration, scale: f64) -> String {
+    let mut config = gmark::GmarkConfig::default_for(scenario);
+    config.nodes = ((config.nodes as f64) * scale) as usize;
+    let dataset = Dataset::from_default_graph(gmark::generate(config));
+    let queries = gmark::queries(scenario);
+
+    #[derive(Default)]
+    struct Summary {
+        not_supported: usize,
+        timeouts: usize,
+        incomplete: usize,
+    }
+    let engines = [Engine::SparqLog, Engine::Fuseki, Engine::Virtuoso];
+    let mut summaries = [Summary::default(), Summary::default(), Summary::default()];
+
+    let mut out = format!(
+        "gMark {:?} — per-query results (Tables 9/10, Figures 8/9)\n\
+         graph: {} triples, timeout {:?}\n\n",
+        scenario,
+        dataset.default_graph().len(),
+        timeout
+    );
+    let _ = writeln!(
+        out,
+        "{:>3}  {:>10} {:>10} {:>9}   {:>10} {:>10} {:>9} {:>6}   {:>10} {:>10} {:>9} {:>6}",
+        "q",
+        "SL load", "SL exec", "SL status",
+        "FU load", "FU exec", "FU status", "=SL?",
+        "VI load", "VI exec", "VI status", "=SL?"
+    );
+
+    for (id, q) in &queries {
+        eprintln!("[gmark {scenario:?}] q{id}");
+        let mut measurements: Vec<Measurement> = Vec::new();
+        for e in engines {
+            measurements.push(run(e, &dataset, None, q, timeout));
+        }
+        let sl_result = measurements[0].status.result().cloned();
+        let _ = write!(
+            out,
+            "{:>3}  {:>10} {:>10} {:>9}",
+            id,
+            secs(measurements[0].load),
+            secs(measurements[0].exec),
+            measurements[0].status.label()
+        );
+        for (ei, m) in measurements.iter().enumerate().skip(1) {
+            let eq = match (&m.status, &sl_result) {
+                (Status::Ok(r), Some(sl)) => {
+                    if results_equal(r, sl) {
+                        "yes"
+                    } else {
+                        summaries[ei].incomplete += 1;
+                        "NO"
+                    }
+                }
+                _ => "-",
+            };
+            let _ = write!(
+                out,
+                "   {:>10} {:>10} {:>9} {:>6}",
+                secs(m.load),
+                secs(m.exec),
+                m.status.label(),
+                eq
+            );
+        }
+        out.push('\n');
+        for (ei, m) in measurements.iter().enumerate() {
+            match &m.status {
+                Status::Timeout => summaries[ei].timeouts += 1,
+                Status::NotSupported(_) => summaries[ei].not_supported += 1,
+                _ => {}
+            }
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "\nSummary (Table {}):",
+        if scenario == Scenario::Social { 7 } else { 8 }
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>9} {:>8} {:>9}",
+        "", "SparqLog", "Fuseki", "Virtuoso"
+    );
+    let rows: [(&str, fn(&Summary) -> usize); 3] = [
+        ("#Not Supported", |s| s.not_supported),
+        ("#Time/Mem-Outs", |s| s.timeouts),
+        ("#Incomplete Results", |s| s.incomplete),
+    ];
+    for (label, f) in rows {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>9} {:>8} {:>9}",
+            label,
+            f(&summaries[0]),
+            f(&summaries[1]),
+            f(&summaries[2])
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<22} {:>9} {:>8} {:>9}",
+        "Total not answered",
+        summaries[0].not_supported + summaries[0].timeouts + summaries[0].incomplete,
+        summaries[1].not_supported + summaries[1].timeouts + summaries[1].incomplete,
+        summaries[2].not_supported + summaries[2].timeouts + summaries[2].incomplete,
+    );
+    out
+}
+
+/// Figure 7 / Table 11: SP²Bench execution times for the three engines.
+pub fn fig7(timeout: Duration, scale: f64) -> String {
+    let triples = (25_000.0 * scale) as usize;
+    let dataset = Dataset::from_default_graph(sp2bench::generate(
+        sp2bench::Sp2bConfig { target_triples: triples, seed: 0x5eed_5b2b },
+    ));
+    let queries = sp2bench::queries();
+    let mut out = format!(
+        "SP2Bench performance (Figure 7 / Table 11) — {} triples, timeout {:?}\n\n",
+        dataset.default_graph().len(),
+        timeout
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} {:>10} {:>10} {:>10}   {:>10} {:>10} {:>6}   {:>10} {:>10} {:>6}",
+        "q",
+        "SL load", "SL exec", "SL total",
+        "FU total", "FU status", "=SL?",
+        "VI total", "VI status", "=SL?"
+    );
+    for (id, q) in &queries {
+        eprintln!("[fig7] {id}");
+        let sl = run(Engine::SparqLog, &dataset, None, q, timeout);
+        let fu = run(Engine::Fuseki, &dataset, None, q, timeout);
+        let vi = run(Engine::Virtuoso, &dataset, None, q, timeout);
+        let eq = |m: &Measurement| match (m.status.result(), sl.status.result()) {
+            (Some(a), Some(b)) => {
+                if results_equal(a, b) {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            }
+            _ => "-",
+        };
+        let _ = writeln!(
+            out,
+            "{:>4} {:>10} {:>10} {:>10}   {:>10} {:>10} {:>6}   {:>10} {:>10} {:>6}",
+            id,
+            secs(sl.load),
+            secs(sl.exec),
+            secs(sl.total()),
+            secs(fu.total()),
+            fu.status.label(),
+            eq(&fu),
+            secs(vi.total()),
+            vi.status.label(),
+            eq(&vi),
+        );
+    }
+    out
+}
+
+/// Figure 10: the ontology benchmark, SparqLog vs. StardogSim.
+pub fn fig10(timeout: Duration, scale: f64) -> String {
+    let triples = (25_000.0 * scale) as usize;
+    let (graph, onto) = ontology::build(sp2bench::Sp2bConfig {
+        target_triples: triples,
+        seed: 0x0170,
+    });
+    let dataset = Dataset::from_default_graph(graph);
+    let queries = ontology::queries();
+    let mut out = format!(
+        "Ontology benchmark (Figure 10) — {} triples + {} axioms, timeout {:?}\n\n",
+        dataset.default_graph().len(),
+        onto.len(),
+        timeout
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} {:>10} {:>10} {:>10}   {:>10} {:>10} {:>10} {:>8} {:>6}",
+        "q", "SL load", "SL exec", "SL total", "SD load", "SD exec", "SD total",
+        "SD stat", "=SL?"
+    );
+    for (id, q) in &queries {
+        eprintln!("[fig10] {id}");
+        let sl = run(Engine::SparqLog, &dataset, Some(&onto), q, timeout);
+        let sd = run(Engine::Stardog, &dataset, Some(&onto), q, timeout);
+        let eq = match (sd.status.result(), sl.status.result()) {
+            (Some(a), Some(b)) => {
+                if results_equal(a, b) {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            }
+            _ => "-",
+        };
+        let _ = writeln!(
+            out,
+            "{:>4} {:>10} {:>10} {:>10}   {:>10} {:>10} {:>10} {:>8} {:>6}",
+            id,
+            secs(sl.load),
+            secs(sl.exec),
+            secs(sl.total()),
+            secs(sd.load),
+            secs(sd.exec),
+            secs(sd.total()),
+            sd.status.label(),
+            eq,
+        );
+    }
+    out
+}

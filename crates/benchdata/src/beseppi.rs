@@ -1,0 +1,663 @@
+//! A BeSEPPI-like compliance suite (Skubella–Janke–Staab, ESWC'19): 236
+//! property-path queries over a small fixed graph, each with its expected
+//! result multiset, organised in the seven categories of the paper's
+//! Table 3.
+//!
+//! Expected results are computed by an *independent brute-force path
+//! evaluator* over the (tiny) benchmark graph — deliberately sharing no
+//! code with either the Datalog translation or the reference engines, so
+//! it can serve as ground truth for both.
+
+use sparqlog_rdf::{Graph, Term, Triple};
+use sparqlog_sparql::PropertyPath;
+
+/// The query categories of Table 3 (in the paper's row order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    Inverse,
+    Sequence,
+    Alternative,
+    ZeroOrOne,
+    OneOrMore,
+    ZeroOrMore,
+    Negated,
+}
+
+impl Category {
+    /// All categories in Table 3 order.
+    pub const ALL: [Category; 7] = [
+        Category::Inverse,
+        Category::Sequence,
+        Category::Alternative,
+        Category::ZeroOrOne,
+        Category::OneOrMore,
+        Category::ZeroOrMore,
+        Category::Negated,
+    ];
+
+    /// The paper's per-category query counts (Table 3, last column).
+    pub fn target_count(self) -> usize {
+        match self {
+            Category::Inverse => 20,
+            Category::Sequence => 24,
+            Category::Alternative => 23,
+            Category::ZeroOrOne => 24,
+            Category::OneOrMore => 34,
+            Category::ZeroOrMore => 38,
+            Category::Negated => 73,
+        }
+    }
+
+    /// Display name used in the regenerated table.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Inverse => "Inverse",
+            Category::Sequence => "Sequence",
+            Category::Alternative => "Alternative",
+            Category::ZeroOrOne => "Zero or One",
+            Category::OneOrMore => "One or More",
+            Category::ZeroOrMore => "Zero or More",
+            Category::Negated => "Negated",
+        }
+    }
+}
+
+/// One compliance query with its ground-truth answer.
+#[derive(Debug, Clone)]
+pub struct PathQuery {
+    pub id: String,
+    pub category: Category,
+    /// The SPARQL query text (a single path pattern under `SELECT *`).
+    pub query: String,
+    /// Projected variable names, in projection order.
+    pub vars: Vec<String>,
+    /// Expected rows (multiset), aligned with `vars`.
+    pub expected: Vec<Vec<Term>>,
+}
+
+/// Result classification per the paper's correctness/completeness
+/// metrics (D.2.3). `Error` is applied by the harness when the engine
+/// refuses or times out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    Correct,
+    IncompleteButCorrect,
+    CompleteButIncorrect,
+    IncompleteAndIncorrect,
+}
+
+/// Classifies an actual result multiset against the expected one.
+/// `actual` rows must be aligned with the query's `vars`.
+pub fn classify(expected: &[Vec<Term>], actual: &[Vec<Term>]) -> Verdict {
+    let canon = |rows: &[Vec<Term>]| -> Vec<Vec<String>> {
+        let mut out: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| r.iter().map(|t| t.to_string()).collect())
+            .collect();
+        out.sort();
+        out
+    };
+    let exp = canon(expected);
+    let act = canon(actual);
+    let subset = |a: &[Vec<String>], b: &[Vec<String>]| {
+        let mut rest = b.to_vec();
+        a.iter().all(|row| {
+            rest.iter()
+                .position(|r| r == row)
+                .map(|i| {
+                    rest.swap_remove(i);
+                })
+                .is_some()
+        })
+    };
+    let correct = subset(&act, &exp); // no spurious answers
+    let complete = subset(&exp, &act); // no missing answers
+    match (correct, complete) {
+        (true, true) => Verdict::Correct,
+        (true, false) => Verdict::IncompleteButCorrect,
+        (false, true) => Verdict::CompleteButIncorrect,
+        (false, false) => Verdict::IncompleteAndIncorrect,
+    }
+}
+
+const NS: &str = "http://beseppi.example.org/";
+
+fn person(name: &str) -> Term {
+    Term::iri(format!("{NS}{name}"))
+}
+
+fn prop(name: &str) -> String {
+    format!("{NS}{name}")
+}
+
+/// The fixed benchmark graph: a handful of people with `knows` cycles, a
+/// self-loop, sinks (only incoming edges) and a literal — the shapes the
+/// BeSEPPI paper identified as error-prone.
+pub fn graph() -> Graph {
+    let mut g = Graph::new();
+    let knows = Term::iri(prop("knows"));
+    let likes = Term::iri(prop("likes"));
+    let dislikes = Term::iri(prop("dislikes"));
+    let mentor = Term::iri(prop("mentor"));
+    for (s, p, o) in [
+        ("alice", &knows, "bob"),
+        ("bob", &knows, "carl"),
+        ("carl", &knows, "alice"), // knows-cycle
+        ("carl", &knows, "dave"),
+        ("eve", &knows, "alice"),
+        ("alice", &likes, "dave"),
+        ("dave", &likes, "frank"),
+        ("bob", &likes, "bob"), // self-loop
+        // Pairs present under *both* knows and likes — alternative paths
+        // must report them twice (bag semantics); engines that
+        // deduplicate alternatives return incomplete results here.
+        ("alice", &likes, "bob"),
+        ("carl", &likes, "dave"),
+        ("eve", &dislikes, "frank"),
+        ("frank", &mentor, "eve"),
+    ] {
+        g.insert(Triple::new(person(s), p.clone(), person(o)));
+    }
+    g.insert(Triple::new(
+        person("alice"),
+        Term::iri(prop("name")),
+        Term::literal("Alice"),
+    ));
+    g
+}
+
+/// Endpoint shapes for generated queries.
+#[derive(Debug, Clone)]
+enum Shape {
+    VarVar,
+    ConstVar(&'static str),
+    VarConst(&'static str),
+    ConstConst(&'static str, &'static str),
+    /// A constant that does not occur in the graph (zero-length edge case).
+    GhostVar,
+    VarGhost,
+    GhostGhost,
+}
+
+impl Shape {
+    fn subject(&self) -> Option<Term> {
+        match self {
+            Shape::ConstVar(s) | Shape::ConstConst(s, _) => Some(person(s)),
+            Shape::GhostVar | Shape::GhostGhost => Some(person("ghost")),
+            _ => None,
+        }
+    }
+
+    fn object(&self) -> Option<Term> {
+        match self {
+            Shape::VarConst(o) | Shape::ConstConst(_, o) => Some(person(o)),
+            Shape::VarGhost => Some(person("ghost")),
+            Shape::GhostGhost => Some(person("ghost")),
+            _ => None,
+        }
+    }
+}
+
+/// Generates the 236 queries with expected answers.
+pub fn queries() -> Vec<PathQuery> {
+    let g = graph();
+    let link = |n: &str| PropertyPath::link(prop(n));
+    let inv = |p: PropertyPath| PropertyPath::Inverse(Box::new(p));
+    let alt = |a: PropertyPath, b: PropertyPath| {
+        PropertyPath::Alternative(Box::new(a), Box::new(b))
+    };
+    let seq = |a: PropertyPath, b: PropertyPath| {
+        PropertyPath::Sequence(Box::new(a), Box::new(b))
+    };
+    let plus = |p: PropertyPath| PropertyPath::OneOrMore(Box::new(p));
+    let star = |p: PropertyPath| PropertyPath::ZeroOrMore(Box::new(p));
+    let opt = |p: PropertyPath| PropertyPath::ZeroOrOne(Box::new(p));
+    let neg = |fwd: &[&str], bwd: &[&str]| PropertyPath::NegatedSet {
+        forward: fwd.iter().map(|n| prop(n).into()).collect(),
+        backward: bwd.iter().map(|n| prop(n).into()).collect(),
+    };
+
+    let basic_shapes = vec![
+        Shape::VarVar,
+        Shape::ConstVar("alice"),
+        Shape::VarConst("alice"),
+        Shape::ConstConst("alice", "dave"),
+        Shape::GhostVar,
+        Shape::VarGhost,
+    ];
+    let zero_shapes = vec![
+        Shape::VarVar,
+        Shape::ConstVar("alice"),
+        Shape::VarConst("frank"),
+        Shape::GhostVar,
+        Shape::VarGhost,
+        Shape::GhostGhost,
+    ];
+    let cycle_shapes = [Shape::ConstConst("carl", "carl"),
+        Shape::ConstConst("bob", "bob"),
+        Shape::ConstConst("alice", "alice"),
+        Shape::ConstConst("dave", "dave")];
+
+    let mut out = Vec::new();
+    let emit = |category: Category,
+                    paths: Vec<PropertyPath>,
+                    shapes: &[Shape],
+                    extra: &[(PropertyPath, Shape)],
+                    out: &mut Vec<PathQuery>| {
+        let target = category.target_count();
+        let mut generated = 0usize;
+        'outer: for path in &paths {
+            for shape in shapes {
+                if generated == target {
+                    break 'outer;
+                }
+                out.push(build_query(&g, category, path, shape, generated));
+                generated += 1;
+            }
+        }
+        for (path, shape) in extra {
+            if generated == target {
+                break;
+            }
+            out.push(build_query(&g, category, path, shape, generated));
+            generated += 1;
+        }
+        assert_eq!(
+            generated,
+            target,
+            "{category:?}: generated {generated}, want {target}"
+        );
+    };
+
+    // Inverse: 4 paths × 5 shapes = 20.
+    emit(
+        Category::Inverse,
+        vec![
+            inv(link("knows")),
+            inv(link("likes")),
+            inv(link("dislikes")),
+            inv(link("mentor")),
+        ],
+        &basic_shapes[..5],
+        &[],
+        &mut out,
+    );
+    // Sequence: 4 paths × 6 shapes = 24.
+    emit(
+        Category::Sequence,
+        vec![
+            seq(link("knows"), link("knows")),
+            seq(link("knows"), link("likes")),
+            seq(link("likes"), link("knows")),
+            seq(inv(link("knows")), link("likes")),
+        ],
+        &basic_shapes,
+        &[],
+        &mut out,
+    );
+    // Alternative: 4 paths × 6 shapes − 1 = 23.
+    emit(
+        Category::Alternative,
+        vec![
+            alt(link("knows"), link("likes")),
+            alt(link("likes"), link("dislikes")),
+            alt(link("knows"), inv(link("likes"))),
+            alt(alt(link("knows"), link("likes")), link("mentor")),
+        ],
+        &basic_shapes[..6],
+        &[],
+        &mut out,
+    );
+
+    // Zero or One: 4 paths × 6 zero shapes = 24.
+    emit(
+        Category::ZeroOrOne,
+        vec![
+            opt(link("knows")),
+            opt(link("likes")),
+            opt(inv(link("knows"))),
+            opt(seq(link("knows"), link("likes"))),
+        ],
+        &zero_shapes,
+        &[],
+        &mut out,
+    );
+    // One or More: 5 paths × 6 shapes + 4 cycle probes = 34.
+    emit(
+        Category::OneOrMore,
+        vec![
+            plus(link("knows")),
+            plus(link("likes")),
+            plus(alt(link("knows"), link("likes"))),
+            plus(inv(link("knows"))),
+            plus(seq(link("knows"), link("likes"))),
+        ],
+        &basic_shapes,
+        &[
+            (plus(link("knows")), cycle_shapes[0].clone()),
+            (plus(link("likes")), cycle_shapes[1].clone()),
+            (plus(link("knows")), cycle_shapes[2].clone()),
+            (plus(link("knows")), cycle_shapes[3].clone()),
+        ],
+        &mut out,
+    );
+    // Zero or More: 6 paths × 6 zero shapes + 2 cycle probes = 38.
+    emit(
+        Category::ZeroOrMore,
+        vec![
+            star(link("knows")),
+            star(link("likes")),
+            star(alt(link("knows"), link("likes"))),
+            star(inv(link("knows"))),
+            star(seq(link("knows"), link("likes"))),
+            star(link("dislikes")),
+        ],
+        &zero_shapes,
+        &[
+            (star(link("knows")), cycle_shapes[0].clone()),
+            (star(link("likes")), cycle_shapes[1].clone()),
+        ],
+        &mut out,
+    );
+    // Negated: 12 sets × 6 shapes = 72 + 1 = 73.
+    emit(
+        Category::Negated,
+        vec![
+            neg(&["knows"], &[]),
+            neg(&["likes"], &[]),
+            neg(&["dislikes"], &[]),
+            neg(&["mentor"], &[]),
+            neg(&["knows", "likes"], &[]),
+            neg(&["knows", "likes", "dislikes", "mentor"], &[]),
+            neg(&[], &["knows"]),
+            neg(&[], &["likes"]),
+            neg(&["knows"], &["likes"]),
+            neg(&["likes"], &["knows"]),
+            neg(&["knows", "likes"], &["dislikes"]),
+            neg(&["name"], &[]),
+        ],
+        &basic_shapes,
+        &[(neg(&["knows"], &["knows"]), Shape::VarVar)],
+        &mut out,
+    );
+
+    assert_eq!(out.len(), 236);
+    out
+}
+
+fn build_query(
+    g: &Graph,
+    category: Category,
+    path: &PropertyPath,
+    shape: &Shape,
+    idx: usize,
+) -> PathQuery {
+    let s = shape.subject();
+    let o = shape.object();
+    let s_str = s.as_ref().map(|t| t.to_string()).unwrap_or_else(|| "?x".into());
+    let o_str = o.as_ref().map(|t| t.to_string()).unwrap_or_else(|| "?y".into());
+    let query = format!("SELECT * WHERE {{ {s_str} {path} {o_str} }}");
+
+    let mut vars = Vec::new();
+    if s.is_none() {
+        vars.push("x".to_string());
+    }
+    if o.is_none() {
+        vars.push("y".to_string());
+    }
+
+    let mut pairs = brute_force(g, path);
+    // Zero-length paths for constant endpoints (Table 5 rows 4–6): only
+    // applicable when the path can match the empty path.
+    if path.matches_zero() {
+        let endpoint = match (&s, &o) {
+            (Some(t), None) | (None, Some(t)) => Some(t.clone()),
+            (Some(a), Some(b)) if a == b => Some(a.clone()),
+            _ => None,
+        };
+        if let Some(t) = endpoint {
+            if !pairs.contains(&(t.clone(), t.clone())) {
+                pairs.push((t.clone(), t.clone()));
+            }
+        }
+    }
+    let expected: Vec<Vec<Term>> = pairs
+        .into_iter()
+        .filter(|(x, y)| {
+            s.as_ref().is_none_or(|t| t == x) && o.as_ref().is_none_or(|t| t == y)
+        })
+        .map(|(x, y)| {
+            let mut row = Vec::new();
+            if s.is_none() {
+                row.push(x);
+            }
+            if o.is_none() {
+                row.push(y);
+            }
+            row
+        })
+        .collect();
+
+    PathQuery {
+        id: format!("{}-{idx}", category.name().replace(' ', "")),
+        category,
+        query,
+        vars,
+        expected,
+    }
+}
+
+/// The independent ground-truth evaluator: naive, quadratic, obviously
+/// correct. Bag semantics for link/inverse/sequence/alternative/negated;
+/// set semantics for `?`, `*`, `+` (the SPARQL standard's rule, §5.2 of
+/// the paper).
+pub fn brute_force(g: &Graph, path: &PropertyPath) -> Vec<(Term, Term)> {
+    match path {
+        PropertyPath::Link(p) => {
+            let pred = Term::iri(p.clone());
+            g.iter()
+                .filter(|(_, tp, _)| **tp == pred)
+                .map(|(s, _, o)| (s.clone(), o.clone()))
+                .collect()
+        }
+        PropertyPath::Inverse(inner) => brute_force(g, inner)
+            .into_iter()
+            .map(|(x, y)| (y, x))
+            .collect(),
+        PropertyPath::Alternative(a, b) => {
+            let mut out = brute_force(g, a);
+            out.extend(brute_force(g, b));
+            out
+        }
+        PropertyPath::Sequence(a, b) => {
+            let left = brute_force(g, a);
+            let right = brute_force(g, b);
+            let mut out = Vec::new();
+            for (x, m) in &left {
+                for (m2, y) in &right {
+                    if m == m2 {
+                        out.push((x.clone(), y.clone()));
+                    }
+                }
+            }
+            out
+        }
+        PropertyPath::ZeroOrOne(inner) => {
+            let mut out = zero_pairs(g);
+            out.extend(brute_force(g, inner));
+            dedup(out)
+        }
+        PropertyPath::OneOrMore(inner) => {
+            let base = dedup(brute_force(g, inner));
+            let mut closure = base.clone();
+            loop {
+                let mut added = false;
+                let current = closure.clone();
+                for (x, m) in &current {
+                    for (m2, y) in &base {
+                        if m == m2 && !closure.contains(&(x.clone(), y.clone())) {
+                            closure.push((x.clone(), y.clone()));
+                            added = true;
+                        }
+                    }
+                }
+                if !added {
+                    return closure;
+                }
+            }
+        }
+        PropertyPath::ZeroOrMore(inner) => {
+            let mut out = zero_pairs(g);
+            out.extend(brute_force(g, &PropertyPath::OneOrMore(inner.clone())));
+            dedup(out)
+        }
+        PropertyPath::NegatedSet { forward, backward } => {
+            let mut out = Vec::new();
+            if !forward.is_empty() || backward.is_empty() {
+                for (s, p, o) in g.iter() {
+                    let pi = p.as_iri().unwrap_or("");
+                    if !forward.iter().any(|f| f.as_ref() == pi) {
+                        out.push((s.clone(), o.clone()));
+                    }
+                }
+            }
+            for (s, p, o) in g.iter() {
+                let pi = p.as_iri().unwrap_or("");
+                if !backward.is_empty() && !backward.iter().any(|f| f.as_ref() == pi) {
+                    out.push((o.clone(), s.clone()));
+                }
+            }
+            out
+        }
+        PropertyPath::Exactly(inner, n) => {
+            if *n == 0 {
+                return dedup(zero_pairs(g));
+            }
+            let base = brute_force(g, inner);
+            let mut acc = base.clone();
+            for _ in 1..*n {
+                let mut next = Vec::new();
+                for (x, m) in &acc {
+                    for (m2, y) in &base {
+                        if m == m2 {
+                            next.push((x.clone(), y.clone()));
+                        }
+                    }
+                }
+                acc = next;
+            }
+            dedup(acc)
+        }
+        PropertyPath::AtLeast(inner, n) => {
+            let p = match n {
+                0 => PropertyPath::ZeroOrMore(inner.clone()),
+                1 => PropertyPath::OneOrMore(inner.clone()),
+                n => PropertyPath::Sequence(
+                    Box::new(PropertyPath::Exactly(inner.clone(), n - 1)),
+                    Box::new(PropertyPath::OneOrMore(inner.clone())),
+                ),
+            };
+            dedup(brute_force(g, &p))
+        }
+        PropertyPath::Between(inner, n, m) => {
+            let mut out = Vec::new();
+            if *n == 0 {
+                out.extend(zero_pairs(g));
+            }
+            for k in (*n).max(1)..=*m {
+                out.extend(brute_force(g, &PropertyPath::Exactly(inner.clone(), k)));
+            }
+            dedup(out)
+        }
+    }
+}
+
+/// Zero-length pairs: every term occurring as subject or object in the
+/// graph. Pairs for constant endpoints that occur only in the query are
+/// added by `build_query`.
+fn zero_pairs(g: &Graph) -> Vec<(Term, Term)> {
+    g.subjects_or_objects()
+        .into_iter()
+        .map(|t| (t.clone(), t.clone()))
+        .collect()
+}
+
+fn dedup(pairs: Vec<(Term, Term)>) -> Vec<(Term, Term)> {
+    let mut seen = std::collections::HashSet::new();
+    pairs.into_iter().filter(|p| seen.insert(p.clone())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_236_queries_with_table3_counts() {
+        let qs = queries();
+        assert_eq!(qs.len(), 236);
+        for c in Category::ALL {
+            let n = qs.iter().filter(|q| q.category == c).count();
+            assert_eq!(n, c.target_count(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn all_queries_parse() {
+        for q in queries() {
+            sparqlog_sparql::parse_query(&q.query)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", q.id, q.query));
+        }
+    }
+
+    #[test]
+    fn brute_force_sanity() {
+        let g = graph();
+        // knows+: the alice–bob–carl cycle reaches itself.
+        let plus = PropertyPath::OneOrMore(Box::new(PropertyPath::link(prop("knows"))));
+        let pairs = brute_force(&g, &plus);
+        assert!(pairs.contains(&(person("alice"), person("alice"))));
+        assert!(pairs.contains(&(person("carl"), person("dave"))));
+        // Self-loop under likes+.
+        let lplus = PropertyPath::OneOrMore(Box::new(PropertyPath::link(prop("likes"))));
+        let pairs = brute_force(&g, &lplus);
+        assert!(pairs.contains(&(person("bob"), person("bob"))));
+    }
+
+    #[test]
+    fn classification() {
+        let a = vec![vec![person("x")], vec![person("y")]];
+        assert_eq!(classify(&a, &a), Verdict::Correct);
+        assert_eq!(
+            classify(&a, &a[..1]),
+            Verdict::IncompleteButCorrect
+        );
+        let mut extra = a.clone();
+        extra.push(vec![person("z")]);
+        assert_eq!(classify(&a, &extra), Verdict::CompleteButIncorrect);
+        assert_eq!(
+            classify(&a, &[vec![person("z")]]),
+            Verdict::IncompleteAndIncorrect
+        );
+        // Multiset-sensitivity: duplicates matter.
+        let dup = vec![vec![person("x")], vec![person("x")]];
+        assert_eq!(
+            classify(&dup, &dup[..1]),
+            Verdict::IncompleteButCorrect
+        );
+    }
+
+    #[test]
+    fn zero_or_one_ghost_expectations() {
+        // <ghost> knows? ?y must expect exactly the zero-length row.
+        let qs = queries();
+        let ghost = qs
+            .iter()
+            .find(|q| {
+                q.category == Category::ZeroOrOne && q.query.contains("ghost")
+                    && q.vars == ["y"]
+            })
+            .expect("ghost zero-or-one query exists");
+        assert_eq!(ghost.expected.len(), 1, "{}", ghost.query);
+        assert_eq!(ghost.expected[0][0], person("ghost"));
+    }
+}

@@ -1,0 +1,208 @@
+//! The SparqLog façade: load RDF data (T_D), translate queries (T_Q),
+//! evaluate on the Datalog± engine, extract solutions (T_S).
+//!
+//! ```
+//! use sparqlog::SparqLog;
+//!
+//! let mut engine = SparqLog::new();
+//! engine
+//!     .load_turtle(
+//!         r#"@prefix ex: <http://ex.org/> .
+//!            ex:spain ex:borders ex:france .
+//!            ex:france ex:borders ex:belgium ."#,
+//!     )
+//!     .unwrap();
+//! let result = engine
+//!     .execute(
+//!         "PREFIX ex: <http://ex.org/>
+//!          SELECT ?B WHERE { ?A ex:borders+ ?B . FILTER (?A = ex:spain) }",
+//!     )
+//!     .unwrap();
+//! assert_eq!(result.len(), 2); // france, belgium
+//! ```
+
+use std::sync::Arc;
+
+use sparqlog_datalog::{
+    evaluate, Database, EvalError, EvalOptions, EvalStats, Program, SymbolTable,
+};
+use sparqlog_rdf::{Dataset, Graph};
+use sparqlog_sparql::{parse_query, ParseError, Query};
+
+use crate::data_translation::{base_program, load_dataset};
+use crate::ontology::Ontology;
+use crate::query_translation::{translate_query, TranslatedQuery, TranslationError};
+use crate::solution::{extract_result, QueryResult};
+
+/// Errors surfaced by [`SparqLog`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparqLogError {
+    /// The query string could not be parsed.
+    Parse(ParseError),
+    /// The query parses but uses features outside the translation.
+    Translation(TranslationError),
+    /// Datalog evaluation failed (timeout, unsafe rule, ...).
+    Eval(EvalError),
+    /// Data loading failed.
+    Data(String),
+}
+
+impl SparqLogError {
+    /// True when the failure is an explicitly unsupported SPARQL feature
+    /// (the paper's compliance tables report these separately from
+    /// errors).
+    pub fn is_unsupported(&self) -> bool {
+        match self {
+            SparqLogError::Parse(e) => e.unsupported,
+            SparqLogError::Translation(e) => e.unsupported,
+            _ => false,
+        }
+    }
+
+    /// True for evaluation time-outs.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, SparqLogError::Eval(EvalError::Timeout))
+    }
+}
+
+impl std::fmt::Display for SparqLogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparqLogError::Parse(e) => write!(f, "parse error: {e}"),
+            SparqLogError::Translation(e) => write!(f, "translation error: {e}"),
+            SparqLogError::Eval(e) => write!(f, "evaluation error: {e}"),
+            SparqLogError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SparqLogError {}
+
+impl From<ParseError> for SparqLogError {
+    fn from(e: ParseError) -> Self {
+        SparqLogError::Parse(e)
+    }
+}
+
+impl From<TranslationError> for SparqLogError {
+    fn from(e: TranslationError) -> Self {
+        SparqLogError::Translation(e)
+    }
+}
+
+impl From<EvalError> for SparqLogError {
+    fn from(e: EvalError) -> Self {
+        SparqLogError::Eval(e)
+    }
+}
+
+/// The SparqLog engine.
+///
+/// Holds the translated database. Loading materialises the T_D auxiliary
+/// predicates (and any ontology rules); each executed query is translated
+/// with a unique predicate prefix, evaluated bottom-up, and read back as
+/// a SPARQL result.
+pub struct SparqLog {
+    db: Database,
+    options: EvalOptions,
+    ontology: Program,
+    query_counter: usize,
+}
+
+impl Default for SparqLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SparqLog {
+    /// Creates an engine with default evaluation options (no timeout).
+    pub fn new() -> Self {
+        Self::with_options(EvalOptions::default())
+    }
+
+    /// Creates an engine with explicit evaluation options (the benchmark
+    /// harness sets a timeout here, mirroring the paper's 900 s budget).
+    pub fn with_options(options: EvalOptions) -> Self {
+        SparqLog {
+            db: Database::new(),
+            options,
+            ontology: Program::new(),
+            query_counter: 0,
+        }
+    }
+
+    /// The engine's symbol table.
+    pub fn symbols(&self) -> &Arc<SymbolTable> {
+        self.db.symbols()
+    }
+
+    /// Read access to the underlying Datalog database (for tests and
+    /// inspection).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Loads an RDF dataset: generates the T_D facts and materialises the
+    /// auxiliary predicates and ontology rules.
+    pub fn load_dataset(&mut self, ds: &Dataset) -> Result<EvalStats, SparqLogError> {
+        load_dataset(ds, &mut self.db);
+        self.materialize()
+    }
+
+    /// Loads a graph as the default graph.
+    pub fn load_graph(&mut self, g: &Graph) -> Result<EvalStats, SparqLogError> {
+        let ds = Dataset::from_default_graph(g.clone());
+        self.load_dataset(&ds)
+    }
+
+    /// Parses and loads a Turtle document into the default graph.
+    pub fn load_turtle(&mut self, src: &str) -> Result<EvalStats, SparqLogError> {
+        let g = sparqlog_rdf::turtle::parse(src)
+            .map_err(|e| SparqLogError::Data(e.to_string()))?;
+        self.load_graph(&g)
+    }
+
+    /// Parses and loads an N-Triples document into the default graph.
+    pub fn load_ntriples(&mut self, src: &str) -> Result<EvalStats, SparqLogError> {
+        let g = sparqlog_rdf::ntriples::parse(src)
+            .map_err(|e| SparqLogError::Data(e.to_string()))?;
+        self.load_graph(&g)
+    }
+
+    /// Adds ontology axioms and re-materialises. Queries executed
+    /// afterwards see the entailed triples.
+    pub fn add_ontology(&mut self, onto: &Ontology) -> Result<EvalStats, SparqLogError> {
+        let prog = onto.to_program(self.db.symbols());
+        self.ontology.rules.extend(prog.rules);
+        self.materialize()
+    }
+
+    /// (Re-)runs the base + ontology rules to fixpoint.
+    fn materialize(&mut self) -> Result<EvalStats, SparqLogError> {
+        let mut prog = base_program(self.db.symbols());
+        prog.rules.extend(self.ontology.rules.iter().cloned());
+        Ok(evaluate(&prog, &mut self.db, &self.options)?)
+    }
+
+    /// Translates a query without executing it (exposed for tests and the
+    /// `table1_features` binary).
+    pub fn translate(&mut self, query: &Query) -> Result<TranslatedQuery, SparqLogError> {
+        self.query_counter += 1;
+        let prefix = format!("q{}_", self.query_counter);
+        Ok(translate_query(query, self.db.symbols(), &prefix)?)
+    }
+
+    /// Parses, translates, evaluates and extracts a query result.
+    pub fn execute(&mut self, query_str: &str) -> Result<QueryResult, SparqLogError> {
+        let query = parse_query(query_str)?;
+        self.execute_query(&query)
+    }
+
+    /// Executes an already-parsed query.
+    pub fn execute_query(&mut self, query: &Query) -> Result<QueryResult, SparqLogError> {
+        let tq = self.translate(query)?;
+        evaluate(&tq.program, &mut self.db, &self.options)?;
+        Ok(extract_result(&tq, query, &self.db))
+    }
+}

@@ -1,0 +1,132 @@
+//! Shared SPARQL-expression → Datalog-expression translation.
+//!
+//! Used by the query translator (filter conditions copied into rule
+//! bodies, §5.1) and by the solution translation (complex `ORDER BY`
+//! arguments evaluated over result rows).
+
+use sparqlog_datalog::{
+    ArithOp as DArith, CmpOp as DCmp, Const, Expr as DExpr, SymbolTable, VarId,
+};
+use sparqlog_sparql::expr::{ArithOp as SArith, CmpOp as SCmp};
+use sparqlog_sparql::Expr as SExpr;
+
+use crate::data_translation::term_to_const;
+use crate::query_translation::TranslationError;
+
+/// Translates a SPARQL expression. `resolve` maps a variable name to a
+/// Datalog [`VarId`]; `None` means the variable is out of scope, in which
+/// case it is replaced by the `null` constant (so comparisons error out
+/// and `BOUND` evaluates to false, per SPARQL's unbound semantics).
+pub fn sexpr_to_dexpr(
+    e: &SExpr,
+    symbols: &SymbolTable,
+    resolve: &mut dyn FnMut(&str) -> Option<VarId>,
+) -> Result<DExpr, TranslationError> {
+    macro_rules! t {
+        ($e:expr) => {
+            Box::new(sexpr_to_dexpr($e, symbols, resolve)?)
+        };
+    }
+    Ok(match e {
+        SExpr::Var(v) => match resolve(v.name()) {
+            Some(id) => DExpr::Var(id),
+            None => DExpr::Const(Const::Null),
+        },
+        SExpr::Const(term) => DExpr::Const(term_to_const(term, symbols)),
+        SExpr::Or(a, b) => DExpr::Or(t!(a), t!(b)),
+        SExpr::And(a, b) => DExpr::And(t!(a), t!(b)),
+        SExpr::Not(a) => DExpr::Not(t!(a)),
+        SExpr::Compare(op, a, b) => {
+            let op = match op {
+                SCmp::Eq => DCmp::Eq,
+                SCmp::Neq => DCmp::Neq,
+                SCmp::Lt => DCmp::Lt,
+                SCmp::Le => DCmp::Le,
+                SCmp::Gt => DCmp::Gt,
+                SCmp::Ge => DCmp::Ge,
+            };
+            DExpr::Cmp(op, t!(a), t!(b))
+        }
+        SExpr::Arith(op, a, b) => {
+            let op = match op {
+                SArith::Add => DArith::Add,
+                SArith::Sub => DArith::Sub,
+                SArith::Mul => DArith::Mul,
+                SArith::Div => DArith::Div,
+            };
+            DExpr::Arith(op, t!(a), t!(b))
+        }
+        SExpr::Neg(a) => DExpr::Arith(
+            DArith::Sub,
+            Box::new(DExpr::Const(Const::Int(0))),
+            t!(a),
+        ),
+        SExpr::Bound(v) => match resolve(v.name()) {
+            Some(id) => DExpr::Cmp(
+                DCmp::Neq,
+                Box::new(DExpr::Var(id)),
+                Box::new(DExpr::Const(Const::Null)),
+            ),
+            None => DExpr::Const(Const::Bool(false)),
+        },
+        SExpr::IsIri(a) => DExpr::IsIri(t!(a)),
+        SExpr::IsBlank(a) => DExpr::IsBlank(t!(a)),
+        SExpr::IsLiteral(a) => DExpr::IsLiteral(t!(a)),
+        SExpr::IsNumeric(a) => DExpr::IsNumeric(t!(a)),
+        SExpr::Str(a) => DExpr::Str(t!(a)),
+        SExpr::Lang(a) => DExpr::Lang(t!(a)),
+        SExpr::Datatype(a) => DExpr::Datatype(t!(a)),
+        SExpr::Ucase(a) => DExpr::Ucase(t!(a)),
+        SExpr::Lcase(a) => DExpr::Lcase(t!(a)),
+        SExpr::Strlen(a) => DExpr::Strlen(t!(a)),
+        SExpr::Contains(a, b) => DExpr::Contains(t!(a), t!(b)),
+        SExpr::StrStarts(a, b) => DExpr::StrStarts(t!(a), t!(b)),
+        SExpr::StrEnds(a, b) => DExpr::StrEnds(t!(a), t!(b)),
+        SExpr::SameTerm(a, b) => DExpr::SameTerm(t!(a), t!(b)),
+        SExpr::LangMatches(a, b) => DExpr::LangMatches(t!(a), t!(b)),
+        SExpr::Regex(text, pat, flags) => {
+            let f = match flags {
+                None => None,
+                Some(fe) => Some(t!(fe)),
+            };
+            DExpr::Regex(t!(text), t!(pat), f)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparqlog_sparql::Var;
+
+    #[test]
+    fn out_of_scope_vars_become_null() {
+        let symbols = SymbolTable::new();
+        let e = SExpr::Compare(
+            SCmp::Gt,
+            Box::new(SExpr::Var(Var::new("x"))),
+            Box::new(SExpr::Const(sparqlog_rdf::Term::integer(3))),
+        );
+        let d = sexpr_to_dexpr(&e, &symbols, &mut |_| None).unwrap();
+        assert!(matches!(
+            d,
+            DExpr::Cmp(DCmp::Gt, a, _) if matches!(*a, DExpr::Const(Const::Null))
+        ));
+    }
+
+    #[test]
+    fn bound_of_out_of_scope_is_false() {
+        let symbols = SymbolTable::new();
+        let e = SExpr::Bound(Var::new("x"));
+        let d = sexpr_to_dexpr(&e, &symbols, &mut |_| None).unwrap();
+        assert_eq!(d, DExpr::Const(Const::Bool(false)));
+    }
+
+    #[test]
+    fn bound_in_scope_is_null_check() {
+        let symbols = SymbolTable::new();
+        let e = SExpr::Bound(Var::new("x"));
+        let d = sexpr_to_dexpr(&e, &symbols, &mut |_| Some(7)).unwrap();
+        assert!(matches!(d, DExpr::Cmp(DCmp::Neq, _, _)));
+    }
+}

@@ -1,0 +1,240 @@
+//! Ontological reasoning: the OWL 2 QL / RDFS subset the paper's
+//! ontology benchmark uses (§6.3 "Ontological reasoning": `subPropertyOf`
+//! and `subClassOf` axioms over SP²Bench), plus existential axioms
+//! (`someValuesFrom`), which exercise the Warded Datalog± machinery —
+//! requirement RQ3.
+//!
+//! Axioms become Datalog± rules over the `triple/4` predicate and are
+//! materialised at load time, together with the T_D base rules. SPARQL
+//! queries then see the entailed triples "for free" (§1: "we also get
+//! ontological reasoning for free").
+
+use sparqlog_datalog::{AtomArg, Program, RuleBuilder, SymbolTable};
+use sparqlog_rdf::vocab::{owl, rdf, rdfs};
+use sparqlog_rdf::Graph;
+
+use crate::data_translation::preds;
+
+/// One ontological axiom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Axiom {
+    /// `c1 rdfs:subClassOf c2`
+    SubClassOf(String, String),
+    /// `p1 rdfs:subPropertyOf p2`
+    SubPropertyOf(String, String),
+    /// `p rdfs:domain c`
+    Domain(String, String),
+    /// `p rdfs:range c`
+    Range(String, String),
+    /// `p1 owl:inverseOf p2`
+    InverseOf(String, String),
+    /// `class ⊑ ∃property.filler` — the existential axiom of OWL 2 QL
+    /// (`owl:someValuesFrom`). Generates labelled nulls.
+    SomeValuesFrom {
+        class: String,
+        property: String,
+        filler: String,
+    },
+}
+
+/// A set of axioms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ontology {
+    pub axioms: Vec<Axiom>,
+}
+
+impl Ontology {
+    /// An empty ontology.
+    pub fn new() -> Self {
+        Ontology::default()
+    }
+
+    /// Extracts the supported axioms from an RDF graph containing RDFS /
+    /// OWL vocabulary triples (`rdfs:subClassOf`, `rdfs:subPropertyOf`,
+    /// `rdfs:domain`, `rdfs:range`, `owl:inverseOf`).
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut axioms = Vec::new();
+        for (s, p, o) in g.iter() {
+            let (Some(s), Some(p)) = (s.as_iri(), p.as_iri()) else { continue };
+            let Some(o) = o.as_iri() else { continue };
+            match p {
+                rdfs::SUB_CLASS_OF => {
+                    axioms.push(Axiom::SubClassOf(s.to_string(), o.to_string()))
+                }
+                rdfs::SUB_PROPERTY_OF => {
+                    axioms.push(Axiom::SubPropertyOf(s.to_string(), o.to_string()))
+                }
+                rdfs::DOMAIN => axioms.push(Axiom::Domain(s.to_string(), o.to_string())),
+                rdfs::RANGE => axioms.push(Axiom::Range(s.to_string(), o.to_string())),
+                owl::INVERSE_OF => {
+                    axioms.push(Axiom::InverseOf(s.to_string(), o.to_string()))
+                }
+                _ => {}
+            }
+        }
+        Ontology { axioms }
+    }
+
+    /// Adds an axiom (builder style).
+    pub fn with(mut self, axiom: Axiom) -> Self {
+        self.axioms.push(axiom);
+        self
+    }
+
+    /// Compiles the axioms to Datalog± rules over `triple/4`.
+    pub fn to_program(&self, symbols: &SymbolTable) -> Program {
+        let mut program = Program::new();
+        let triple = symbols.intern(preds::TRIPLE);
+        let rdf_type = AtomArg::Const(sparqlog_datalog::Const::Iri(
+            symbols.intern(rdf::TYPE),
+        ));
+        let iri =
+            |s: &str| AtomArg::Const(sparqlog_datalog::Const::Iri(symbols.intern(s)));
+
+        for axiom in &self.axioms {
+            match axiom {
+                Axiom::SubClassOf(c1, c2) => {
+                    // triple(X, type, c2, D) :- triple(X, type, c1, D).
+                    let mut b = RuleBuilder::new();
+                    let (hx, hd) = (b.v("X"), b.v("D"));
+                    b.head(triple, vec![hx, rdf_type.clone(), iri(c2), hd]);
+                    let (x, d) = (b.v("X"), b.v("D"));
+                    b.pos(triple, vec![x, rdf_type.clone(), iri(c1), d]);
+                    program.rules.push(b.build());
+                }
+                Axiom::SubPropertyOf(p1, p2) => {
+                    // triple(X, p2, Y, D) :- triple(X, p1, Y, D).
+                    let mut b = RuleBuilder::new();
+                    let (hx, hy, hd) = (b.v("X"), b.v("Y"), b.v("D"));
+                    b.head(triple, vec![hx, iri(p2), hy, hd]);
+                    let (x, y, d) = (b.v("X"), b.v("Y"), b.v("D"));
+                    b.pos(triple, vec![x, iri(p1), y, d]);
+                    program.rules.push(b.build());
+                }
+                Axiom::Domain(p, c) => {
+                    // triple(X, type, c, D) :- triple(X, p, Y, D).
+                    let mut b = RuleBuilder::new();
+                    let (hx, hd) = (b.v("X"), b.v("D"));
+                    b.head(triple, vec![hx, rdf_type.clone(), iri(c), hd]);
+                    let (x, y, d) = (b.v("X"), b.v("Y"), b.v("D"));
+                    b.pos(triple, vec![x, iri(p), y, d]);
+                    program.rules.push(b.build());
+                }
+                Axiom::Range(p, c) => {
+                    // triple(Y, type, c, D) :- triple(X, p, Y, D).
+                    let mut b = RuleBuilder::new();
+                    let (hy, hd) = (b.v("Y"), b.v("D"));
+                    b.head(triple, vec![hy, rdf_type.clone(), iri(c), hd]);
+                    let (x, y, d) = (b.v("X"), b.v("Y"), b.v("D"));
+                    b.pos(triple, vec![x, iri(p), y, d]);
+                    program.rules.push(b.build());
+                }
+                Axiom::InverseOf(p1, p2) => {
+                    // Both directions.
+                    for (from, to) in [(p1, p2), (p2, p1)] {
+                        let mut b = RuleBuilder::new();
+                        let (hy, hx, hd) = (b.v("Y"), b.v("X"), b.v("D"));
+                        b.head(triple, vec![hy, iri(to), hx, hd]);
+                        let (x, y, d) = (b.v("X"), b.v("Y"), b.v("D"));
+                        b.pos(triple, vec![x, iri(from), y, d]);
+                        program.rules.push(b.build());
+                    }
+                }
+                Axiom::SomeValuesFrom { class, property, filler } => {
+                    // The existential axiom class ⊑ ∃property.filler:
+                    //   ∃Z gen(X, Z, D) :- triple(X, type, class, D).
+                    //   triple(X, property, Z, D) :- gen(X, Z, D).
+                    //   triple(Z, type, filler, D) :- gen(X, Z, D).
+                    // The auxiliary predicate shares one labelled null Z
+                    // between the two derived triples.
+                    let gen = symbols.intern(&format!(
+                        "_ex_gen_{}",
+                        symbols.intern(property).0
+                    ));
+                    {
+                        let mut b = RuleBuilder::new();
+                        let (hx, hz, hd) = (b.v("X"), b.v("Z"), b.v("D"));
+                        b.head(gen, vec![hx, hz, hd]);
+                        let (x, d) = (b.v("X"), b.v("D"));
+                        b.pos(triple, vec![x, rdf_type.clone(), iri(class), d]);
+                        program.rules.push(b.build());
+                    }
+                    {
+                        let mut b = RuleBuilder::new();
+                        let (hx, hz, hd) = (b.v("X"), b.v("Z"), b.v("D"));
+                        b.head(triple, vec![hx, iri(property), hz, hd]);
+                        let (x, z, d) = (b.v("X"), b.v("Z"), b.v("D"));
+                        b.pos(gen, vec![x, z, d]);
+                        program.rules.push(b.build());
+                    }
+                    {
+                        let mut b = RuleBuilder::new();
+                        let (hz, hd) = (b.v("Z"), b.v("D"));
+                        b.head(triple, vec![hz, rdf_type.clone(), iri(filler), hd]);
+                        let (x, z, d) = (b.v("X"), b.v("Z"), b.v("D"));
+                        b.pos(gen, vec![x, z, d]);
+                        program.rules.push(b.build());
+                    }
+                }
+            }
+        }
+        program
+    }
+
+    /// Number of axioms.
+    pub fn len(&self) -> usize {
+        self.axioms.len()
+    }
+
+    /// True if there are no axioms.
+    pub fn is_empty(&self) -> bool {
+        self.axioms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparqlog_rdf::{Term, Triple};
+
+    #[test]
+    fn from_graph_reads_rdfs_axioms() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            Term::iri("http://ex/Article"),
+            Term::iri(rdfs::SUB_CLASS_OF),
+            Term::iri("http://ex/Document"),
+        ));
+        g.insert(Triple::new(
+            Term::iri("http://ex/journalEditor"),
+            Term::iri(rdfs::SUB_PROPERTY_OF),
+            Term::iri("http://ex/editor"),
+        ));
+        g.insert(Triple::new(
+            Term::iri("http://ex/editor"),
+            Term::iri(rdfs::DOMAIN),
+            Term::iri("http://ex/Document"),
+        ));
+        let o = Ontology::from_graph(&g);
+        assert_eq!(o.len(), 3);
+        assert!(matches!(o.axioms[0], Axiom::SubClassOf(_, _)));
+    }
+
+    #[test]
+    fn to_program_rule_counts() {
+        let symbols = SymbolTable::new();
+        let o = Ontology::new()
+            .with(Axiom::SubClassOf("a".into(), "b".into()))
+            .with(Axiom::InverseOf("p".into(), "q".into()))
+            .with(Axiom::SomeValuesFrom {
+                class: "C".into(),
+                property: "p".into(),
+                filler: "F".into(),
+            });
+        let prog = o.to_program(&symbols);
+        // 1 (subclass) + 2 (inverse) + 3 (existential) rules.
+        assert_eq!(prog.rules.len(), 6);
+        // The existential rule really is existential.
+        assert!(prog.rules.iter().any(|r| !r.existential_vars().is_empty()));
+    }
+}

@@ -1,0 +1,235 @@
+//! The solution translation method **T_S** (paper §4.1.3).
+//!
+//! Reads the goal predicate's tuples out of the evaluated database,
+//! projects out the tuple ID and the graph component, converts Datalog
+//! constants back to RDF terms (`null` ⇒ unbound), and applies any
+//! solution modifiers the translator did not compile into `@post`
+//! directives (complex `ORDER BY` arguments).
+
+use sparqlog_datalog::{collect_output, order_cmp, Const, Database};
+use sparqlog_rdf::Term;
+use sparqlog_sparql::Query;
+
+use crate::data_translation::const_to_term;
+use crate::expr_translation::sexpr_to_dexpr;
+use crate::query_translation::TranslatedQuery;
+
+/// A sequence of solution mappings: the variable header plus one row per
+/// solution (bag semantics — duplicates appear as repeated rows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolutionSeq {
+    /// Projected variable names (without `?`).
+    pub vars: Vec<String>,
+    /// Rows aligned with `vars`; `None` = unbound.
+    pub rows: Vec<Vec<Option<Term>>>,
+}
+
+impl SolutionSeq {
+    /// Number of solutions.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no solutions.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Canonical multiset view: each row rendered to strings and the rows
+    /// sorted. Blank-node labels are erased when `ignore_bnodes` is set —
+    /// the paper's compliance harness does the same (Appendix D.2.2)
+    /// because engines assign system-specific labels.
+    pub fn canonical(&self, ignore_bnodes: bool) -> Vec<Vec<String>> {
+        let mut rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|cell| match cell {
+                        None => "UNBOUND".to_string(),
+                        Some(t) if t.is_bnode() && ignore_bnodes => "_:".to_string(),
+                        Some(t) => t.to_string(),
+                    })
+                    .collect()
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    /// Multiset equality against another sequence (row order ignored,
+    /// duplicates significant, blank-node labels ignored).
+    pub fn multiset_eq(&self, other: &SolutionSeq) -> bool {
+        self.canonical(true) == other.canonical(true)
+    }
+
+    /// True if every row of `self` also occurs in `other` with at least
+    /// the same multiplicity (the *correctness* direction of BeSEPPI).
+    pub fn multiset_subset_of(&self, other: &SolutionSeq) -> bool {
+        let mut rest = other.canonical(true);
+        for row in self.canonical(true) {
+            match rest.iter().position(|r| *r == row) {
+                Some(i) => {
+                    rest.swap_remove(i);
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+}
+
+/// The result of executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryResult {
+    /// SELECT: a sequence of solution mappings.
+    Solutions(SolutionSeq),
+    /// ASK: a boolean.
+    Boolean(bool),
+}
+
+impl QueryResult {
+    /// The solutions, if this is a SELECT result.
+    pub fn solutions(&self) -> Option<&SolutionSeq> {
+        match self {
+            QueryResult::Solutions(s) => Some(s),
+            QueryResult::Boolean(_) => None,
+        }
+    }
+
+    /// Number of solutions (0/1 for ASK false/true).
+    pub fn len(&self) -> usize {
+        match self {
+            QueryResult::Solutions(s) => s.len(),
+            QueryResult::Boolean(b) => usize::from(*b),
+        }
+    }
+
+    /// True when there are no solutions / ASK is false.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Extracts the query result from an evaluated database.
+pub fn extract_result(
+    tq: &TranslatedQuery,
+    query: &Query,
+    db: &Database,
+) -> QueryResult {
+    let symbols = db.symbols();
+    let tuples = collect_output(&tq.program, db, tq.root_pred);
+
+    if tq.is_ask {
+        let yes = tuples.iter().any(|t| t.first() == Some(&Const::Bool(true)));
+        return QueryResult::Boolean(yes);
+    }
+
+    // Layout: [Id, columns..., D] — strip Id and D.
+    let ncols = tq.columns.len();
+    let mut rows: Vec<Vec<Const>> = tuples
+        .into_iter()
+        .map(|t| t[1..1 + ncols].to_vec())
+        .collect();
+
+    if !tq.modifiers_in_post {
+        // Complex ORDER BY: evaluate each condition over the row.
+        if !query.order_by.is_empty() {
+            let compiled: Vec<(sparqlog_datalog::Expr, bool)> = query
+                .order_by
+                .iter()
+                .filter_map(|c| {
+                    let e = sexpr_to_dexpr(&c.expr, symbols, &mut |name| {
+                        tq.columns
+                            .iter()
+                            .position(|v| v.name() == name)
+                            .map(|i| i as u32)
+                    })
+                    .ok()?;
+                    Some((e, c.descending))
+                })
+                .collect();
+            rows.sort_by(|a, b| {
+                let env_a: Vec<Option<Const>> =
+                    a.iter().map(|c| Some(c.clone())).collect();
+                let env_b: Vec<Option<Const>> =
+                    b.iter().map(|c| Some(c.clone())).collect();
+                for (expr, desc) in &compiled {
+                    let va = expr.eval(&env_a, symbols).unwrap_or(Const::Null);
+                    let vb = expr.eval(&env_b, symbols).unwrap_or(Const::Null);
+                    let ord = order_cmp(&va, &vb, symbols);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        if let Some(off) = query.offset {
+            rows = rows.split_off(off.min(rows.len()));
+        }
+        if let Some(lim) = query.limit {
+            rows.truncate(lim);
+        }
+    }
+
+    let out_rows: Vec<Vec<Option<Term>>> = rows
+        .into_iter()
+        .map(|row| row.iter().map(|c| const_to_term(c, symbols)).collect())
+        .collect();
+
+    QueryResult::Solutions(SolutionSeq {
+        vars: tq.columns.iter().map(|v| v.name().to_string()).collect(),
+        rows: out_rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(rows: Vec<Vec<Option<Term>>>) -> SolutionSeq {
+        SolutionSeq { vars: vec!["x".into()], rows }
+    }
+
+    #[test]
+    fn multiset_equality_ignores_order() {
+        let a = seq(vec![
+            vec![Some(Term::iri("a"))],
+            vec![Some(Term::iri("b"))],
+        ]);
+        let b = seq(vec![
+            vec![Some(Term::iri("b"))],
+            vec![Some(Term::iri("a"))],
+        ]);
+        assert!(a.multiset_eq(&b));
+    }
+
+    #[test]
+    fn multiset_equality_counts_duplicates() {
+        let a = seq(vec![
+            vec![Some(Term::iri("a"))],
+            vec![Some(Term::iri("a"))],
+        ]);
+        let b = seq(vec![vec![Some(Term::iri("a"))]]);
+        assert!(!a.multiset_eq(&b));
+        assert!(b.multiset_subset_of(&a));
+        assert!(!a.multiset_subset_of(&b));
+    }
+
+    #[test]
+    fn bnode_labels_are_ignored() {
+        let a = seq(vec![vec![Some(Term::bnode("x1"))]]);
+        let b = seq(vec![vec![Some(Term::bnode("y9"))]]);
+        assert!(a.multiset_eq(&b));
+    }
+
+    #[test]
+    fn unbound_cells_compare() {
+        let a = seq(vec![vec![None]]);
+        let b = seq(vec![vec![Some(Term::iri("a"))]]);
+        assert!(!a.multiset_eq(&b));
+        assert!(a.multiset_eq(&a.clone()));
+    }
+}

@@ -1,0 +1,176 @@
+//! White-box tests of T_Q: the generated programs have exactly the shape
+//! the paper's definitions prescribe (rule counts, ID regime, system
+//! directives), and every workload query translates to a warded program.
+
+use sparqlog::translate_query;
+use sparqlog_datalog::{BodyItem, Expr, PostOp, SymbolTable};
+use sparqlog_sparql::parse_query;
+
+fn translate(q: &str) -> (sparqlog_datalog::Program, std::sync::Arc<SymbolTable>) {
+    let symbols = SymbolTable::new();
+    let query = parse_query(q).unwrap();
+    let tq = translate_query(&query, &symbols, "t_").unwrap();
+    (tq.program, symbols)
+}
+
+/// Counts rules whose body contains a Skolem-constructor assignment.
+fn skolem_rules(p: &sparqlog_datalog::Program) -> usize {
+    p.rules
+        .iter()
+        .filter(|r| {
+            r.body.iter().any(|i| {
+                matches!(i, BodyItem::Assign(_, Expr::Skolem(_, args)) if !args.is_empty())
+            })
+        })
+        .count()
+}
+
+#[test]
+fn triple_pattern_is_one_rule_plus_projection() {
+    let (p, _) = translate("SELECT ?s WHERE { ?s <http://p> ?o }");
+    // ans1 (triple, Def. A.3) + ans (SELECT, Def. A.21).
+    assert_eq!(p.rules.len(), 2);
+    assert_eq!(p.outputs.len(), 1);
+}
+
+#[test]
+fn optional_generates_three_rules() {
+    let (p, _) = translate(
+        "SELECT * WHERE { ?s <http://p> ?o OPTIONAL { ?o <http://q> ?z } }",
+    );
+    // Def. A.7: ans_opt + 2 ans rules; + 2 leaf rules + SELECT = 6.
+    assert_eq!(p.rules.len(), 6);
+}
+
+#[test]
+fn union_generates_two_rules() {
+    let (p, _) = translate(
+        "SELECT * WHERE { { ?s <http://p> ?o } UNION { ?s <http://q> ?o } }",
+    );
+    // Def. A.6: 2 union rules + 2 leaves + SELECT = 5.
+    assert_eq!(p.rules.len(), 5);
+}
+
+#[test]
+fn minus_generates_join_equal_and_final_rules() {
+    let (p, symbols) = translate(
+        "SELECT * WHERE { ?s <http://p> ?o MINUS { ?s <http://q> ?z } }",
+    );
+    // Def. A.10: ans_join + 1 ans_equal (one shared var) + final + 2
+    // leaves + SELECT = 6.
+    assert_eq!(p.rules.len(), 6);
+    let names: Vec<String> = p
+        .rules
+        .iter()
+        .map(|r| symbols.resolve(r.head.pred).to_string())
+        .collect();
+    assert!(names.iter().any(|n| n.contains("ans_join")));
+    assert!(names.iter().any(|n| n.contains("ans_equal")));
+}
+
+#[test]
+fn one_or_more_path_generates_closure_rules() {
+    let (p, _) = translate("SELECT * WHERE { ?s <http://p>+ ?o }");
+    // Def. A.16: 2 closure rules + link rule + glue (A.11) + SELECT = 5.
+    assert_eq!(p.rules.len(), 5);
+}
+
+#[test]
+fn zero_or_more_adds_zero_rules() {
+    let (p, _) = translate("SELECT * WHERE { <http://a> <http://p>* ?o }");
+    // A.19: subjectOrObject zero rule + endpoint rule (constant subject)
+    // + 2 closure rules + link + glue + SELECT = 7.
+    assert_eq!(p.rules.len(), 7);
+}
+
+#[test]
+fn bag_semantics_uses_skolem_ids() {
+    let (p, _) = translate("SELECT ?s WHERE { ?s <http://p> ?o . ?o <http://q> ?z }");
+    // Every non-path rule generates a fresh Skolem ID.
+    assert!(skolem_rules(&p) >= 3, "join + 2 leaves + projection");
+}
+
+#[test]
+fn distinct_forces_nil_ids_everywhere() {
+    let (p, _) = translate(
+        "SELECT DISTINCT ?s WHERE { ?s <http://p> ?o . ?o <http://q> ?z }",
+    );
+    assert_eq!(skolem_rules(&p), 0, "set semantics: no argument-carrying IDs");
+}
+
+#[test]
+fn ask_uses_set_semantics_and_negation() {
+    let (p, _) = translate("ASK { ?s <http://p> ?o }");
+    assert_eq!(skolem_rules(&p), 0);
+    let has_negation = p
+        .rules
+        .iter()
+        .any(|r| r.body.iter().any(|i| matches!(i, BodyItem::Neg(_))));
+    assert!(has_negation, "Def. A.22's 'not ans_ask(true)' rule");
+}
+
+#[test]
+fn simple_order_by_becomes_post_directive() {
+    let symbols = SymbolTable::new();
+    let query =
+        parse_query("SELECT ?o WHERE { ?s <http://p> ?o } ORDER BY ?o LIMIT 3 OFFSET 1")
+            .unwrap();
+    let tq = translate_query(&query, &symbols, "t_").unwrap();
+    assert!(tq.modifiers_in_post);
+    let ops: Vec<&PostOp> = tq.program.post.iter().map(|(_, op)| op).collect();
+    assert_eq!(ops.len(), 3);
+    assert!(matches!(ops[0], PostOp::OrderBy(cols) if cols == &vec![(1, false)]));
+    assert!(matches!(ops[1], PostOp::Offset(1)));
+    assert!(matches!(ops[2], PostOp::Limit(3)));
+}
+
+#[test]
+fn complex_order_by_defers_to_solution_layer() {
+    let symbols = SymbolTable::new();
+    let query = parse_query(
+        "SELECT ?o WHERE { ?s <http://p> ?o } ORDER BY (!BOUND(?o)) LIMIT 3",
+    )
+    .unwrap();
+    let tq = translate_query(&query, &symbols, "t_").unwrap();
+    assert!(!tq.modifiers_in_post);
+    assert!(tq.program.post.is_empty());
+}
+
+#[test]
+fn join_reordering_avoids_cross_products() {
+    // SP²Bench q4's disconnected prefix: article1-type then article2-type.
+    let (p, symbols) = translate(
+        "SELECT * WHERE {
+           ?a1 <http://type> <http://Article> .
+           ?a2 <http://type> <http://Article> .
+           ?a1 <http://journal> ?j .
+           ?a2 <http://journal> ?j }",
+    );
+    // Every join rule's two answer atoms must share a variable through
+    // the comp chain: check that no rule body contains two `ans` atoms
+    // with disjoint variable sets and no comp atom between them.
+    for rule in &p.rules {
+        let ans_atoms: Vec<&sparqlog_datalog::Atom> = rule
+            .body
+            .iter()
+            .filter_map(|i| match i {
+                BodyItem::Pos(a)
+                    if symbols.resolve(a.pred).contains("ans") =>
+                {
+                    Some(a)
+                }
+                _ => None,
+            })
+            .collect();
+        if ans_atoms.len() == 2 {
+            let has_comp = rule.body.iter().any(|i| {
+                matches!(i, BodyItem::Pos(a) if symbols.resolve(a.pred).as_ref() == "comp")
+            });
+            assert!(
+                has_comp,
+                "join rule without comp atoms would be a cross product: {}",
+                rule.display(&symbols)
+            );
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The fact store: per-predicate relations with on-demand hash indexes.
+
+use std::sync::Arc;
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::symbols::{Sym, SymbolTable};
+use crate::value::Const;
+
+/// A position mask: bit `i` set means argument position `i` is part of the
+/// index key. Relations support up to 64 columns (far beyond any predicate
+/// the translation generates).
+pub type Mask = u64;
+
+/// Extracts the key columns selected by `mask` from a tuple.
+pub fn project(tuple: &[Const], mask: Mask) -> Vec<Const> {
+    let mut key = Vec::with_capacity(mask.count_ones() as usize);
+    for (i, c) in tuple.iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            key.push(c.clone());
+        }
+    }
+    key
+}
+
+/// A relation: a deduplicated, insertion-ordered set of tuples with hash
+/// indexes built on demand per bound-position mask and maintained
+/// incrementally on insert.
+#[derive(Debug, Default)]
+pub struct Relation {
+    tuples: Vec<Arc<[Const]>>,
+    set: FxHashSet<Arc<[Const]>>,
+    indexes: FxHashMap<Mask, FxHashMap<Vec<Const>, Vec<u32>>>,
+}
+
+impl Relation {
+    pub fn new() -> Self {
+        Relation::default()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple; returns `false` if it was already present.
+    pub fn insert(&mut self, tuple: Vec<Const>) -> bool {
+        let arc: Arc<[Const]> = tuple.into();
+        if !self.set.insert(arc.clone()) {
+            return false;
+        }
+        let idx = self.tuples.len() as u32;
+        for (&mask, index) in self.indexes.iter_mut() {
+            index.entry(project(&arc, mask)).or_default().push(idx);
+        }
+        self.tuples.push(arc);
+        true
+    }
+
+    /// Membership check.
+    pub fn contains(&self, tuple: &[Const]) -> bool {
+        self.set.contains(tuple)
+    }
+
+    /// The tuple at internal index `idx`.
+    pub fn tuple(&self, idx: u32) -> &Arc<[Const]> {
+        &self.tuples[idx as usize]
+    }
+
+    /// Iterates over all tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<[Const]>> + '_ {
+        self.tuples.iter()
+    }
+
+    /// Builds the index for `mask` if missing.
+    pub fn ensure_index(&mut self, mask: Mask) {
+        if mask == 0 || self.indexes.contains_key(&mask) {
+            return;
+        }
+        let mut index: FxHashMap<Vec<Const>, Vec<u32>> = FxHashMap::default();
+        for (i, t) in self.tuples.iter().enumerate() {
+            index.entry(project(t, mask)).or_default().push(i as u32);
+        }
+        self.indexes.insert(mask, index);
+    }
+
+    /// Looks up tuple indices matching `key` under `mask`. The index must
+    /// have been built with [`Relation::ensure_index`]; an unbuilt index
+    /// returns an empty slice only for relations that are empty, otherwise
+    /// it panics (a programming error in the evaluator).
+    pub fn lookup(&self, mask: Mask, key: &[Const]) -> &[u32] {
+        static EMPTY: Vec<u32> = Vec::new();
+        match self.indexes.get(&mask) {
+            Some(index) => index.get(key).unwrap_or(&EMPTY),
+            None if self.tuples.is_empty() => &EMPTY,
+            None => panic!("lookup on unbuilt index mask {mask:#b}"),
+        }
+    }
+}
+
+/// A database: the symbol table plus one [`Relation`] per predicate.
+pub struct Database {
+    symbols: Arc<SymbolTable>,
+    relations: FxHashMap<Sym, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database with a fresh symbol table.
+    pub fn new() -> Self {
+        Database {
+            symbols: SymbolTable::new(),
+            relations: FxHashMap::default(),
+        }
+    }
+
+    /// Creates an empty database sharing an existing symbol table.
+    pub fn with_symbols(symbols: Arc<SymbolTable>) -> Self {
+        Database { symbols, relations: FxHashMap::default() }
+    }
+
+    /// The shared symbol table.
+    pub fn symbols(&self) -> &Arc<SymbolTable> {
+        &self.symbols
+    }
+
+    /// Adds a fact. Returns `false` on duplicates.
+    pub fn add_fact(&mut self, pred: Sym, tuple: Vec<Const>) -> bool {
+        self.relations.entry(pred).or_default().insert(tuple)
+    }
+
+    /// Convenience: interns the predicate name and adds the fact.
+    pub fn add_fact_str(&mut self, pred: &str, tuple: Vec<Const>) -> bool {
+        let p = self.symbols.intern(pred);
+        self.add_fact(p, tuple)
+    }
+
+    /// The relation for `pred`, if any facts exist.
+    pub fn relation(&self, pred: Sym) -> Option<&Relation> {
+        self.relations.get(&pred)
+    }
+
+    /// Mutable access, creating the relation if absent.
+    pub fn relation_mut(&mut self, pred: Sym) -> &mut Relation {
+        self.relations.entry(pred).or_default()
+    }
+
+    /// Iterates over `(predicate, relation)` pairs.
+    pub fn relations(&self) -> impl Iterator<Item = (Sym, &Relation)> + '_ {
+        self.relations.iter().map(|(&p, r)| (p, r))
+    }
+
+    /// Total number of facts.
+    pub fn fact_count(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: i64) -> Const {
+        Const::Int(i)
+    }
+
+    #[test]
+    fn insert_dedupes() {
+        let mut r = Relation::new();
+        assert!(r.insert(vec![c(1), c(2)]));
+        assert!(!r.insert(vec![c(1), c(2)]));
+        assert!(r.insert(vec![c(2), c(1)]));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[c(1), c(2)]));
+        assert!(!r.contains(&[c(3), c(3)]));
+    }
+
+    #[test]
+    fn index_lookup() {
+        let mut r = Relation::new();
+        r.insert(vec![c(1), c(10)]);
+        r.insert(vec![c(1), c(20)]);
+        r.insert(vec![c(2), c(30)]);
+        r.ensure_index(0b01);
+        assert_eq!(r.lookup(0b01, &[c(1)]).len(), 2);
+        assert_eq!(r.lookup(0b01, &[c(2)]).len(), 1);
+        assert_eq!(r.lookup(0b01, &[c(9)]).len(), 0);
+    }
+
+    #[test]
+    fn index_updated_on_insert() {
+        let mut r = Relation::new();
+        r.insert(vec![c(1), c(10)]);
+        r.ensure_index(0b10);
+        r.insert(vec![c(2), c(10)]);
+        assert_eq!(r.lookup(0b10, &[c(10)]).len(), 2);
+    }
+
+    #[test]
+    fn composite_index() {
+        let mut r = Relation::new();
+        r.insert(vec![c(1), c(2), c(3)]);
+        r.insert(vec![c(1), c(2), c(4)]);
+        r.insert(vec![c(1), c(9), c(3)]);
+        r.ensure_index(0b011);
+        assert_eq!(r.lookup(0b011, &[c(1), c(2)]).len(), 2);
+        r.ensure_index(0b101);
+        assert_eq!(r.lookup(0b101, &[c(1), c(3)]).len(), 2);
+    }
+
+    #[test]
+    fn lookup_on_empty_relation_without_index() {
+        let r = Relation::new();
+        assert!(r.lookup(0b1, &[c(1)]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unbuilt index")]
+    fn lookup_on_unbuilt_index_panics() {
+        let mut r = Relation::new();
+        r.insert(vec![c(1)]);
+        r.lookup(0b1, &[c(1)]);
+    }
+
+    #[test]
+    fn database_basics() {
+        let mut db = Database::new();
+        assert!(db.add_fact_str("p", vec![c(1)]));
+        assert!(!db.add_fact_str("p", vec![c(1)]));
+        db.add_fact_str("q", vec![c(1), c(2)]);
+        assert_eq!(db.fact_count(), 2);
+        let p = db.symbols().get("p").unwrap();
+        assert_eq!(db.relation(p).unwrap().len(), 1);
+        assert!(db.relation(db.symbols().intern("zzz")).is_none());
+    }
+
+    #[test]
+    fn project_mask() {
+        let t = vec![c(1), c(2), c(3)];
+        assert_eq!(project(&t, 0b101), vec![c(1), c(3)]);
+        assert_eq!(project(&t, 0), Vec::<Const>::new());
+        assert_eq!(project(&t, 0b111), t);
+    }
+}

@@ -1,0 +1,983 @@
+//! The evaluation engine: stratified, semi-naive, bottom-up fixpoint with
+//! index-nested-loop joins.
+//!
+//! This is the workspace's stand-in for the Vadalog system's reasoner. Per
+//! stratum the engine runs
+//!
+//! 1. a *naive* first pass of every rule over the current database, then
+//! 2. *semi-naive* rounds: each rule with a body atom whose predicate
+//!    belongs to the current stratum is re-evaluated once per such
+//!    occurrence, with that occurrence restricted to the last round's
+//!    delta. Deduplication against the full relation guarantees
+//!    termination on the set level; bag semantics lives entirely in the
+//!    Skolem tuple-ID argument, as in the paper (§5.1).
+//!
+//! Existential head variables are Skolemised deterministically over the
+//! rule's frontier, so re-deriving the same frontier binding yields the
+//! same labelled null — the "restricted chase" behaviour that makes
+//! ontological rules converge. A configurable Skolem-depth bound
+//! substitutes for Vadalog's warded-chase termination strategy.
+
+use std::time::{Duration, Instant};
+
+use crate::database::{Database, Mask};
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::rule::{AggFunc, AtomArg, BodyItem, PostOp, Program, Rule, VarId};
+use crate::stratify::{stratify, StratifyError};
+use crate::symbols::{Sym, SymbolTable};
+use crate::value::{Const, OrdF64};
+
+/// Evaluation options.
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Wall-clock budget; `None` = unlimited. The gMark experiments use
+    /// this to reproduce the paper's time-outs.
+    pub timeout: Option<Duration>,
+    /// Maximum semi-naive rounds per stratum (a safety net; the default is
+    /// effectively unlimited).
+    pub max_rounds: usize,
+    /// Skolem-nesting bound: head tuples containing deeper Skolem terms
+    /// are not derived. Substitutes for Vadalog's chase-termination
+    /// strategy on cyclic existential rules.
+    pub max_skolem_depth: usize,
+    /// Reorder rule bodies in semi-naive delta passes (delta atom first,
+    /// then greedily by bound positions). On by default; the ablation
+    /// bench (`cargo bench --bench ablation`) measures its effect.
+    pub semi_naive_reorder: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            timeout: None,
+            max_rounds: usize::MAX,
+            max_skolem_depth: 64,
+            semi_naive_reorder: true,
+        }
+    }
+}
+
+/// Statistics of one evaluation run.
+#[derive(Debug, Clone, Default)]
+pub struct EvalStats {
+    /// Total facts derived (after dedup).
+    pub derived: usize,
+    /// Semi-naive rounds across all strata.
+    pub rounds: usize,
+    /// Number of strata.
+    pub strata: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The wall-clock budget was exceeded (the paper's "time-out" rows).
+    Timeout,
+    /// Cyclic negation/aggregation.
+    Stratification(String),
+    /// A rule is unsafe (unbound variable in a negated atom, condition or
+    /// head at evaluation position).
+    Unsafe(String),
+    /// `max_rounds` exceeded.
+    RoundLimit,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Timeout => write!(f, "evaluation timed out"),
+            EvalError::Stratification(s) => write!(f, "{s}"),
+            EvalError::Unsafe(s) => write!(f, "unsafe rule: {s}"),
+            EvalError::RoundLimit => write!(f, "round limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<StratifyError> for EvalError {
+    fn from(e: StratifyError) -> Self {
+        EvalError::Stratification(e.0)
+    }
+}
+
+/// Evaluates `program` against `db` to fixpoint, mutating `db` in place.
+pub fn evaluate(
+    program: &Program,
+    db: &mut Database,
+    options: &EvalOptions,
+) -> Result<EvalStats, EvalError> {
+    let start = Instant::now();
+    let symbols = db.symbols().clone();
+
+    // Load the program's bundled facts.
+    let mut derived = 0usize;
+    for (pred, tuple) in &program.facts {
+        if db.add_fact(*pred, tuple.clone()) {
+            derived += 1;
+        }
+    }
+
+    let strat = stratify(program, &symbols)?;
+    let plans: Vec<RulePlan> = program
+        .rules
+        .iter()
+        .enumerate()
+        .map(|(i, r)| compile_rule(i, r, &symbols, None))
+        .collect::<Result<_, _>>()?;
+
+    let ctx = Ctx {
+        symbols: &symbols,
+        start,
+        timeout: options.timeout,
+        max_skolem_depth: options.max_skolem_depth,
+    };
+    // `SPARQLOG_TRACE=1` prints per-rule evaluation progress to stderr —
+    // the engine's answer to Vadalog's provenance/debugging output
+    // (Appendix C: "information for debugging/explanation purposes").
+    let trace = std::env::var("SPARQLOG_TRACE").map_or(false, |v| v == "1");
+
+    let mut stats = EvalStats {
+        derived,
+        rounds: 0,
+        strata: strat.strata.len(),
+        elapsed: Duration::ZERO,
+    };
+
+    for stratum_rules in &strat.strata {
+        // Predicates defined in this stratum (for semi-naive deltas).
+        let stratum_preds: FxHashSet<Sym> = stratum_rules
+            .iter()
+            .map(|&i| program.rules[i].head.pred)
+            .collect();
+
+        // Delta-first plan variants for the semi-naive rounds: one per
+        // body occurrence of a this-stratum predicate.
+        let mut delta_plans: FxHashMap<(usize, usize), RulePlan> = FxHashMap::default();
+        for &ri in stratum_rules {
+            for (item_idx, item) in program.rules[ri].body.iter().enumerate() {
+                if let BodyItem::Pos(a) = item {
+                    if stratum_preds.contains(&a.pred) {
+                        let delta_first =
+                            options.semi_naive_reorder.then_some(item_idx);
+                        delta_plans.insert(
+                            (ri, item_idx),
+                            compile_rule(ri, &program.rules[ri], &symbols, delta_first)?,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Make sure every index the plans need exists.
+        for &ri in stratum_rules {
+            for need in &plans[ri].index_needs {
+                db.relation_mut(need.0).ensure_index(need.1);
+            }
+        }
+        for plan in delta_plans.values() {
+            for need in &plan.index_needs {
+                db.relation_mut(need.0).ensure_index(need.1);
+            }
+        }
+
+        // Aggregate rules run once, after the non-aggregate fixpoint.
+        let (agg_rules, plain_rules): (Vec<usize>, Vec<usize>) = stratum_rules
+            .iter()
+            .partition(|&&i| program.rules[i].aggregate.is_some());
+
+        // --- naive first pass ---
+        let mut delta: FxHashMap<Sym, Vec<Vec<Const>>> = FxHashMap::default();
+        for &ri in &plain_rules {
+            let mut out = Vec::new();
+            if trace {
+                eprintln!("[eval] naive rule {ri}: {}", program.rules[ri].display(&symbols));
+            }
+            eval_rule(&plans[ri], &program.rules[ri], db, None, &ctx, &mut out)?;
+            if trace {
+                eprintln!("[eval]   -> {} tuples ({:?})", out.len(), start.elapsed());
+            }
+            for tuple in out {
+                let pred = program.rules[ri].head.pred;
+                if db.relation(pred).is_none_or(|r| !r.contains(&tuple)) {
+                    delta.entry(pred).or_default().push(tuple);
+                }
+            }
+        }
+        commit_delta(db, &mut delta, &mut stats.derived);
+
+        // --- semi-naive rounds ---
+        let mut rounds = 0usize;
+        while delta.values().any(|v| !v.is_empty()) {
+            rounds += 1;
+            stats.rounds += 1;
+            if rounds > options.max_rounds {
+                return Err(EvalError::RoundLimit);
+            }
+            ctx.check_time()?;
+
+            let mut next: FxHashMap<Sym, FxHashSet<Vec<Const>>> = FxHashMap::default();
+            for &ri in &plain_rules {
+                let rule = &program.rules[ri];
+                // One variant per body occurrence of a this-stratum pred.
+                for (item_idx, item) in rule.body.iter().enumerate() {
+                    let atom_pred = match item {
+                        BodyItem::Pos(a) if stratum_preds.contains(&a.pred) => a.pred,
+                        _ => continue,
+                    };
+                    let Some(dt) = delta.get(&atom_pred) else { continue };
+                    if dt.is_empty() {
+                        continue;
+                    }
+                    let plan = &delta_plans[&(ri, item_idx)];
+                    let mut out = Vec::new();
+                    let rule_start = Instant::now();
+                    eval_rule(plan, rule, db, Some((item_idx, dt)), &ctx, &mut out)?;
+                    if trace {
+                        eprintln!(
+                            "[eval] round {rounds} rule {ri} delta-on-{item_idx}                              (|delta|={}) -> {} tuples in {:?}",
+                            dt.len(),
+                            out.len(),
+                            rule_start.elapsed()
+                        );
+                    }
+                    for tuple in out {
+                        let pred = rule.head.pred;
+                        if db.relation(pred).is_none_or(|r| !r.contains(&tuple)) {
+                            next.entry(pred).or_default().insert(tuple);
+                        }
+                    }
+                }
+            }
+            delta = next
+                .into_iter()
+                .map(|(pred, set)| (pred, set.into_iter().collect()))
+                .collect();
+            commit_delta(db, &mut delta, &mut stats.derived);
+        }
+
+        // --- aggregates ---
+        for &ri in &agg_rules {
+            let rule = &program.rules[ri];
+            let plan = &plans[ri];
+            let mut matches = Vec::new();
+            eval_rule_envs(plan, rule, db, &ctx, &mut matches)?;
+            let tuples = aggregate(rule, plan, matches, &symbols)?;
+            for t in tuples {
+                if db.add_fact(rule.head.pred, t) {
+                    stats.derived += 1;
+                }
+            }
+        }
+    }
+
+    stats.elapsed = start.elapsed();
+    Ok(stats)
+}
+
+fn commit_delta(
+    db: &mut Database,
+    delta: &mut FxHashMap<Sym, Vec<Vec<Const>>>,
+    derived: &mut usize,
+) {
+    for (pred, tuples) in delta.iter_mut() {
+        let mut kept = Vec::with_capacity(tuples.len());
+        for t in tuples.drain(..) {
+            if db.add_fact(*pred, t.clone()) {
+                *derived += 1;
+                kept.push(t);
+            }
+        }
+        *tuples = kept;
+    }
+}
+
+/// Applies a predicate's `@post` directives and returns the final tuples.
+pub fn collect_output(
+    program: &Program,
+    db: &Database,
+    pred: Sym,
+) -> Vec<Vec<Const>> {
+    let symbols = db.symbols();
+    let mut tuples: Vec<Vec<Const>> = db
+        .relation(pred)
+        .map(|r| r.iter().map(|t| t.to_vec()).collect())
+        .unwrap_or_default();
+    for (p, op) in &program.post {
+        if *p != pred {
+            continue;
+        }
+        match op {
+            PostOp::OrderBy(cols) => {
+                tuples.sort_by(|a, b| {
+                    for &(col, desc) in cols {
+                        let (x, y) = (&a[col], &b[col]);
+                        let ord = order_cmp(x, y, symbols);
+                        let ord = if desc { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+            }
+            PostOp::Offset(n) => {
+                tuples = tuples.split_off((*n).min(tuples.len()));
+            }
+            PostOp::Limit(n) => {
+                tuples.truncate(*n);
+            }
+        }
+    }
+    tuples
+}
+
+/// Total order used by `orderby`: nulls first, then blank nodes, IRIs,
+/// then literals (numerics by value). Mirrors the SPARQL `ORDER BY` term
+/// ordering closely; the paper itself delegates to "the sorting strategy
+/// employed by the Vadalog system" (§4.3), which is what this is.
+pub fn order_cmp(a: &Const, b: &Const, symbols: &SymbolTable) -> std::cmp::Ordering {
+    fn rank(c: &Const) -> u8 {
+        match c {
+            Const::Null => 0,
+            Const::Skolem(_) => 1,
+            Const::Bnode(_) => 2,
+            Const::Iri(_) => 3,
+            _ => 4, // literals
+        }
+    }
+    let (ra, rb) = (rank(a), rank(b));
+    if ra != rb {
+        return ra.cmp(&rb);
+    }
+    match (a, b) {
+        (Const::Iri(x), Const::Iri(y)) | (Const::Bnode(x), Const::Bnode(y)) => {
+            symbols.resolve(*x).cmp(&symbols.resolve(*y))
+        }
+        _ => match crate::expr::value_cmp(a, b, symbols) {
+            Some(o) => o,
+            None => format!("{a:?}").cmp(&format!("{b:?}")),
+        },
+    }
+}
+
+// ------------------------------------------------------------------ plans
+
+/// One compiled body step.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Scan/lookup a positive atom. `mask` = positions bound at this point
+    /// (constants or already-bound variables).
+    Scan { item_idx: usize, pred: Sym, mask: Mask },
+    /// Check absence of a fully-bound negated atom.
+    NegCheck { item_idx: usize, pred: Sym },
+    /// Evaluate a filter condition.
+    Filter { item_idx: usize },
+    /// Evaluate an assignment.
+    Bind { item_idx: usize, var: VarId },
+}
+
+/// A compiled rule.
+#[derive(Debug, Clone)]
+struct RulePlan {
+    steps: Vec<Step>,
+    nvars: usize,
+    /// Indexes the plan requires: `(pred, mask)` pairs.
+    index_needs: Vec<(Sym, Mask)>,
+    /// Existential head vars with their Skolem functor.
+    existentials: Vec<(VarId, Sym)>,
+}
+
+/// Compiles a rule into an evaluation plan. With `delta_first =
+/// Some(i)`, body item `i` (a positive atom) is moved to the front —
+/// the standard semi-naive ordering, so a delta pass costs
+/// O(|delta| x join) instead of O(|full prefix| x |delta|). Moving a
+/// positive atom earlier never breaks safety: it only binds variables
+/// sooner.
+fn compile_rule(
+    rule_idx: usize,
+    rule: &Rule,
+    symbols: &SymbolTable,
+    delta_first: Option<usize>,
+) -> Result<RulePlan, EvalError> {
+    let nvars = rule.var_names.len();
+    let mut bound = vec![false; nvars];
+    let mut steps = Vec::new();
+    let mut index_needs = Vec::new();
+
+    let order: Vec<usize> = match delta_first {
+        None => (0..rule.body.len()).collect(),
+        Some(di) => delta_order(rule, di),
+    };
+    for item_idx in order {
+        let item = &rule.body[item_idx];
+        match item {
+            BodyItem::Pos(a) => {
+                let mut mask: Mask = 0;
+                for (i, arg) in a.args.iter().enumerate() {
+                    match arg {
+                        AtomArg::Const(_) => mask |= 1 << i,
+                        AtomArg::Var(v) => {
+                            if bound[*v as usize] {
+                                mask |= 1 << i;
+                            }
+                        }
+                    }
+                }
+                for arg in &a.args {
+                    if let AtomArg::Var(v) = arg {
+                        bound[*v as usize] = true;
+                    }
+                }
+                if mask != 0 {
+                    index_needs.push((a.pred, mask));
+                }
+                steps.push(Step::Scan { item_idx, pred: a.pred, mask });
+            }
+            BodyItem::Neg(a) => {
+                for arg in &a.args {
+                    if let AtomArg::Var(v) = arg {
+                        if !bound[*v as usize] {
+                            return Err(EvalError::Unsafe(format!(
+                                "rule {rule_idx}: variable {} unbound in negated atom {}",
+                                rule.var_names[*v as usize],
+                                symbols.resolve(a.pred)
+                            )));
+                        }
+                    }
+                }
+                steps.push(Step::NegCheck { item_idx, pred: a.pred });
+            }
+            BodyItem::Cond(e) => {
+                let mut vars = Vec::new();
+                e.collect_vars(&mut vars);
+                for v in vars {
+                    if !bound[v as usize] {
+                        return Err(EvalError::Unsafe(format!(
+                            "rule {rule_idx}: variable {} unbound in condition",
+                            rule.var_names[v as usize]
+                        )));
+                    }
+                }
+                steps.push(Step::Filter { item_idx });
+            }
+            BodyItem::Assign(v, e) => {
+                let mut vars = Vec::new();
+                e.collect_vars(&mut vars);
+                for w in vars {
+                    if !bound[w as usize] {
+                        return Err(EvalError::Unsafe(format!(
+                            "rule {rule_idx}: variable {} unbound in assignment",
+                            rule.var_names[w as usize]
+                        )));
+                    }
+                }
+                bound[*v as usize] = true;
+                steps.push(Step::Bind { item_idx, var: *v });
+            }
+        }
+    }
+
+    let existentials = rule
+        .existential_vars()
+        .into_iter()
+        .map(|v| {
+            let name = &rule.var_names[v as usize];
+            (v, symbols.intern(&format!("_ex_r{rule_idx}_{name}")))
+        })
+        .collect();
+
+    Ok(RulePlan { steps, nvars, index_needs, existentials })
+}
+
+/// Body order for a delta variant: the delta atom first, then greedily —
+/// conditions/assignments/negations as soon as their variables are bound,
+/// and among the remaining positive atoms the one with the most
+/// bound-or-constant argument positions (most selective index lookup).
+/// Without this, moving the delta atom to the front could place a join
+/// atom before the `comp` atom that binds its key, recreating a cross
+/// product.
+fn delta_order(rule: &Rule, delta_item: usize) -> Vec<usize> {
+    let nvars = rule.var_names.len();
+    let mut bound = vec![false; nvars];
+    let mut order = vec![delta_item];
+    if let BodyItem::Pos(a) = &rule.body[delta_item] {
+        for v in a.vars() {
+            bound[v as usize] = true;
+        }
+    }
+    let mut remaining: Vec<usize> =
+        (0..rule.body.len()).filter(|&i| i != delta_item).collect();
+
+    while !remaining.is_empty() {
+        // Eagerly place ready non-atom items (keeping original order).
+        if let Some(k) = remaining.iter().position(|&i| match &rule.body[i] {
+            BodyItem::Cond(e) => {
+                let mut vs = Vec::new();
+                e.collect_vars(&mut vs);
+                vs.iter().all(|&v| bound[v as usize])
+            }
+            BodyItem::Assign(_, e) => {
+                let mut vs = Vec::new();
+                e.collect_vars(&mut vs);
+                vs.iter().all(|&v| bound[v as usize])
+            }
+            BodyItem::Neg(a) => a.vars().iter().all(|&v| bound[v as usize]),
+            BodyItem::Pos(_) => false,
+        }) {
+            let i = remaining.remove(k);
+            if let BodyItem::Assign(v, _) = &rule.body[i] {
+                bound[*v as usize] = true;
+            }
+            order.push(i);
+            continue;
+        }
+        // Otherwise the most selective positive atom. Bound *variable*
+        // positions dominate (they are join keys); constant positions
+        // count less (a constant like the graph component may match the
+        // whole relation); ties resolve to the original order.
+        let (k, _) = remaining
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &i)| match &rule.body[i] {
+                BodyItem::Pos(a) => {
+                    let bound_vars = a
+                        .args
+                        .iter()
+                        .filter(
+                            |arg| matches!(arg, AtomArg::Var(v) if bound[*v as usize]),
+                        )
+                        .count();
+                    let consts = a
+                        .args
+                        .iter()
+                        .filter(|arg| matches!(arg, AtomArg::Const(_)))
+                        .count();
+                    Some((k, (bound_vars, consts)))
+                }
+                _ => None,
+            })
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .expect("unplaced non-atom item must have unbound vars from a future atom");
+        let i = remaining.remove(k);
+        if let BodyItem::Pos(a) = &rule.body[i] {
+            for v in a.vars() {
+                bound[v as usize] = true;
+            }
+        }
+        order.push(i);
+    }
+    order
+}
+
+// ------------------------------------------------------------ evaluation
+
+struct Ctx<'a> {
+    symbols: &'a SymbolTable,
+    start: Instant,
+    timeout: Option<Duration>,
+    max_skolem_depth: usize,
+}
+
+impl Ctx<'_> {
+    fn check_time(&self) -> Result<(), EvalError> {
+        if let Some(t) = self.timeout {
+            if self.start.elapsed() > t {
+                return Err(EvalError::Timeout);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates a rule, pushing instantiated head tuples into `out`.
+/// `delta` optionally restricts one body occurrence to a tuple list.
+fn eval_rule(
+    plan: &RulePlan,
+    rule: &Rule,
+    db: &Database,
+    delta: Option<(usize, &[Vec<Const>])>,
+    ctx: &Ctx<'_>,
+    out: &mut Vec<Vec<Const>>,
+) -> Result<(), EvalError> {
+    let mut env: Vec<Option<Const>> = vec![None; plan.nvars];
+    let mut ticks = 0u64;
+    let r = join(
+        plan, rule, db, delta, ctx, 0, &mut env, &mut ticks,
+        &mut |env, ctx| {
+            if let Some(tuple) = instantiate_head(plan, rule, env, ctx) {
+                out.push(tuple);
+            }
+            Ok(())
+        },
+    );
+    if std::env::var("SPARQLOG_TRACE").map_or(false, |v| v == "2") {
+        eprintln!("[eval]   join ticks: {ticks}");
+    }
+    r
+}
+
+/// Like [`eval_rule`] but yields complete environments (for aggregates).
+fn eval_rule_envs(
+    plan: &RulePlan,
+    rule: &Rule,
+    db: &Database,
+    ctx: &Ctx<'_>,
+    out: &mut Vec<Vec<Option<Const>>>,
+) -> Result<(), EvalError> {
+    let mut env: Vec<Option<Const>> = vec![None; plan.nvars];
+    let mut ticks = 0u64;
+    join(plan, rule, db, None, ctx, 0, &mut env, &mut ticks, &mut |env, _| {
+        out.push(env.to_vec());
+        Ok(())
+    })
+}
+
+/// The recursive index-nested-loop join over the plan's steps.
+#[allow(clippy::too_many_arguments)]
+fn join(
+    plan: &RulePlan,
+    rule: &Rule,
+    db: &Database,
+    delta: Option<(usize, &[Vec<Const>])>,
+    ctx: &Ctx<'_>,
+    step_idx: usize,
+    env: &mut Vec<Option<Const>>,
+    ticks: &mut u64,
+    emit: &mut dyn FnMut(&[Option<Const>], &Ctx<'_>) -> Result<(), EvalError>,
+) -> Result<(), EvalError> {
+    *ticks += 1;
+    if *ticks & 0xFFF == 0 {
+        ctx.check_time()?;
+    }
+    let Some(step) = plan.steps.get(step_idx) else {
+        return emit(env, ctx);
+    };
+    match step {
+        Step::Scan { item_idx, pred, mask } => {
+            let atom = match &rule.body[*item_idx] {
+                BodyItem::Pos(a) => a,
+                _ => unreachable!("scan step on non-positive item"),
+            };
+            // Delta override for this occurrence?
+            if let Some((di, tuples)) = delta {
+                if di == *item_idx {
+                    for t in tuples {
+                        if let Some(undo_mask) = bind_atom(atom, t, env) {
+                            join(
+                                plan, rule, db, delta, ctx, step_idx + 1, env, ticks,
+                                emit,
+                            )?;
+                            unbind_atom(atom, undo_mask, env);
+                        }
+                    }
+                    return Ok(());
+                }
+            }
+            let Some(rel) = db.relation(*pred) else { return Ok(()) };
+            if *mask == 0 {
+                // Full scan.
+                for i in 0..rel.len() {
+                    let t = rel.tuple(i as u32).clone();
+                    if let Some(undo_mask) = bind_atom(atom, &t, env) {
+                        join(plan, rule, db, delta, ctx, step_idx + 1, env, ticks, emit)?;
+                        unbind_atom(atom, undo_mask, env);
+                    }
+                }
+            } else {
+                // Index lookup on the bound positions.
+                let mut key = Vec::with_capacity(mask.count_ones() as usize);
+                for (i, arg) in atom.args.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        match arg {
+                            AtomArg::Const(c) => key.push(c.clone()),
+                            AtomArg::Var(v) => {
+                                key.push(env[*v as usize].clone().ok_or_else(|| {
+                                    EvalError::Unsafe("unbound key var".into())
+                                })?)
+                            }
+                        }
+                    }
+                }
+                for &i in rel.lookup(*mask, &key) {
+                    let t = rel.tuple(i).clone();
+                    if let Some(undo_mask) = bind_atom(atom, &t, env) {
+                        join(plan, rule, db, delta, ctx, step_idx + 1, env, ticks, emit)?;
+                        unbind_atom(atom, undo_mask, env);
+                    }
+                }
+            }
+            Ok(())
+        }
+        Step::NegCheck { item_idx, pred } => {
+            let atom = match &rule.body[*item_idx] {
+                BodyItem::Neg(a) => a,
+                _ => unreachable!("neg step on non-negated item"),
+            };
+            let mut tuple = Vec::with_capacity(atom.args.len());
+            for arg in &atom.args {
+                match arg {
+                    AtomArg::Const(c) => tuple.push(c.clone()),
+                    AtomArg::Var(v) => tuple.push(
+                        env[*v as usize]
+                            .clone()
+                            .ok_or_else(|| EvalError::Unsafe("unbound neg var".into()))?,
+                    ),
+                }
+            }
+            let present = db.relation(*pred).is_some_and(|r| r.contains(&tuple));
+            if !present {
+                join(plan, rule, db, delta, ctx, step_idx + 1, env, ticks, emit)?;
+            }
+            Ok(())
+        }
+        Step::Filter { item_idx } => {
+            let expr = match &rule.body[*item_idx] {
+                BodyItem::Cond(e) => e,
+                _ => unreachable!("filter step on non-condition item"),
+            };
+            if expr.eval_bool(env, ctx.symbols) {
+                join(plan, rule, db, delta, ctx, step_idx + 1, env, ticks, emit)?;
+            }
+            Ok(())
+        }
+        Step::Bind { item_idx, var } => {
+            let expr = match &rule.body[*item_idx] {
+                BodyItem::Assign(_, e) => e,
+                _ => unreachable!("bind step on non-assignment item"),
+            };
+            if let Some(v) = expr.eval(env, ctx.symbols) {
+                let prev = env[*var as usize].take();
+                // An assignment to an already-bound variable acts as an
+                // equality constraint (used by `D = "default"` style items
+                // where D may be pre-bound).
+                let ok = match &prev {
+                    Some(p) => crate::expr::value_eq(p, &v, ctx.symbols),
+                    None => true,
+                };
+                if ok {
+                    env[*var as usize] = Some(v);
+                    join(plan, rule, db, delta, ctx, step_idx + 1, env, ticks, emit)?;
+                }
+                env[*var as usize] = prev;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Binds an atom's variables against a tuple. Returns the mask of argument
+/// positions whose variables were *newly* bound (to be undone by
+/// [`unbind_atom`] after the recursive call), or `None` on mismatch (in
+/// which case any partial bindings have already been rolled back).
+fn bind_atom(
+    atom: &crate::rule::Atom,
+    tuple: &[Const],
+    env: &mut [Option<Const>],
+) -> Option<u64> {
+    if atom.args.len() != tuple.len() {
+        return None;
+    }
+    let mut bound_here: u64 = 0;
+    for (i, arg) in atom.args.iter().enumerate() {
+        match arg {
+            AtomArg::Const(c) => {
+                if c != &tuple[i] {
+                    unbind_atom(atom, bound_here, env);
+                    return None;
+                }
+            }
+            AtomArg::Var(v) => {
+                let slot = &mut env[*v as usize];
+                match slot {
+                    Some(existing) => {
+                        if existing != &tuple[i] {
+                            unbind_atom(atom, bound_here, env);
+                            return None;
+                        }
+                    }
+                    None => {
+                        *slot = Some(tuple[i].clone());
+                        bound_here |= 1 << i;
+                    }
+                }
+            }
+        }
+    }
+    Some(bound_here)
+}
+
+/// Clears the variables bound by a preceding [`bind_atom`] call.
+fn unbind_atom(atom: &crate::rule::Atom, bound_here: u64, env: &mut [Option<Const>]) {
+    for (i, arg) in atom.args.iter().enumerate() {
+        if bound_here & (1 << i) != 0 {
+            if let AtomArg::Var(v) = arg {
+                env[*v as usize] = None;
+            }
+        }
+    }
+}
+
+/// Instantiates the head atom under `env`, Skolemising existential
+/// variables over the frontier. Returns `None` when the Skolem-depth bound
+/// is exceeded (chase termination).
+fn instantiate_head(
+    plan: &RulePlan,
+    rule: &Rule,
+    env: &[Option<Const>],
+    ctx: &Ctx<'_>,
+) -> Option<Vec<Const>> {
+    // Existential Skolemisation: functor over the frontier values.
+    let mut ex_values: FxHashMap<VarId, Const> = FxHashMap::default();
+    if !plan.existentials.is_empty() {
+        let frontier: Vec<Const> = rule
+            .frontier_vars()
+            .into_iter()
+            .filter_map(|v| env[v as usize].clone())
+            .collect();
+        for (v, functor) in &plan.existentials {
+            ex_values.insert(*v, Const::skolem(*functor, frontier.clone()));
+        }
+    }
+    let mut tuple = Vec::with_capacity(rule.head.args.len());
+    for arg in &rule.head.args {
+        let c = match arg {
+            AtomArg::Const(c) => c.clone(),
+            AtomArg::Var(v) => match env[*v as usize].clone() {
+                Some(c) => c,
+                None => ex_values.get(v)?.clone(),
+            },
+        };
+        if c.skolem_depth() > ctx.max_skolem_depth {
+            return None;
+        }
+        tuple.push(c);
+    }
+    Some(tuple)
+}
+
+// ------------------------------------------------------------ aggregates
+
+fn aggregate(
+    rule: &Rule,
+    _plan: &RulePlan,
+    matches: Vec<Vec<Option<Const>>>,
+    symbols: &SymbolTable,
+) -> Result<Vec<Vec<Const>>, EvalError> {
+    let spec = rule.aggregate.as_ref().expect("aggregate rule");
+    // Group key: the head args except the result variable; values: the raw
+    // aggregate inputs per group (kept individually so AVG and DISTINCT
+    // can be computed exactly).
+    let mut inputs: FxHashMap<Vec<Const>, Vec<Option<Const>>> = FxHashMap::default();
+
+    for env in &matches {
+        let mut key = Vec::new();
+        for arg in &rule.head.args {
+            match arg {
+                AtomArg::Const(c) => key.push(c.clone()),
+                AtomArg::Var(v) if *v == spec.result_var => {}
+                AtomArg::Var(v) => match &env[*v as usize] {
+                    Some(c) => key.push(c.clone()),
+                    None => key.push(Const::Null),
+                },
+            }
+        }
+        let input = match &spec.input {
+            None => Some(Const::Int(1)),
+            Some(e) => e.eval(env, symbols),
+        };
+        inputs.entry(key).or_default().push(input);
+    }
+
+    let mut out = Vec::new();
+    for (key, vals) in inputs {
+        let mut vals: Vec<Const> = vals.into_iter().flatten().collect();
+        if spec.distinct {
+            let mut seen = FxHashSet::default();
+            vals.retain(|v| seen.insert(v.clone()));
+        }
+        let result = match spec.func {
+            AggFunc::Count => Const::Int(vals.len() as i64),
+            AggFunc::Sum => {
+                let mut acc = 0f64;
+                let mut all_int = true;
+                for v in &vals {
+                    match v.as_f64(symbols) {
+                        Some(x) => {
+                            if v.as_i64(symbols).is_none() {
+                                all_int = false;
+                            }
+                            acc += x;
+                        }
+                        None => continue,
+                    }
+                }
+                if all_int {
+                    Const::Int(acc as i64)
+                } else {
+                    Const::Float(OrdF64(acc))
+                }
+            }
+            AggFunc::Min => {
+                let mut best: Option<Const> = None;
+                for v in vals {
+                    best = Some(match best {
+                        None => v,
+                        Some(b) => {
+                            if order_cmp(&v, &b, symbols) == std::cmp::Ordering::Less {
+                                v
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                best.unwrap_or(Const::Null)
+            }
+            AggFunc::Max => {
+                let mut best: Option<Const> = None;
+                for v in vals {
+                    best = Some(match best {
+                        None => v,
+                        Some(b) => {
+                            if order_cmp(&v, &b, symbols)
+                                == std::cmp::Ordering::Greater
+                            {
+                                v
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                best.unwrap_or(Const::Null)
+            }
+            AggFunc::Avg => {
+                let nums: Vec<f64> =
+                    vals.iter().filter_map(|v| v.as_f64(symbols)).collect();
+                if nums.is_empty() {
+                    Const::Int(0)
+                } else {
+                    Const::Float(OrdF64(nums.iter().sum::<f64>() / nums.len() as f64))
+                }
+            }
+        };
+        // Rebuild the head tuple with the result plugged in.
+        let mut tuple = Vec::with_capacity(rule.head.args.len());
+        let mut key_iter = key.into_iter();
+        for arg in &rule.head.args {
+            match arg {
+                AtomArg::Const(c) => {
+                    tuple.push(c.clone());
+                    let _ = key_iter.next();
+                }
+                AtomArg::Var(v) if *v == spec.result_var => tuple.push(result.clone()),
+                AtomArg::Var(_) => tuple.push(key_iter.next().unwrap_or(Const::Null)),
+            }
+        }
+        out.push(tuple);
+    }
+    Ok(out)
+}

@@ -1,0 +1,499 @@
+//! A small self-contained regular-expression engine.
+//!
+//! Vadalog delegates SPARQL's `REGEX` to the Java regex library (paper
+//! §5.1, "Filter constraints"); our substitute is a compact backtracking
+//! matcher supporting the subset that real-world SPARQL logs use (per
+//! Bonifati et al.'s corpus): literals, `.`, character classes with ranges
+//! and negation, the escapes `\d \w \s \D \W \S` and punctuation escapes,
+//! anchors `^ $`, groups, alternation, and the quantifiers `* + ? {n} {n,}
+//! {n,m}` (greedy, with backtracking).
+//!
+//! Matching is *unanchored* (SPARQL `REGEX` searches for a match anywhere)
+//! unless anchors say otherwise. The `i` flag performs ASCII + Unicode
+//! simple case folding via `char::to_lowercase`.
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    root: Node,
+    case_insensitive: bool,
+}
+
+/// A regex syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError(pub String);
+
+impl std::fmt::Display for RegexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "regex error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Empty,
+    Char(char),
+    Dot,
+    Class { ranges: Vec<(char, char)>, negated: bool },
+    Start,
+    End,
+    Seq(Vec<Node>),
+    Alt(Vec<Node>),
+    Repeat { node: Box<Node>, min: u32, max: Option<u32> },
+}
+
+impl Regex {
+    /// Compiles a pattern. `flags` currently understands `i`
+    /// (case-insensitive); other flags are ignored, matching the paper's
+    /// "partial support" stance.
+    pub fn new(pattern: &str, flags: &str) -> Result<Self, RegexError> {
+        let mut p = RegexParser { chars: pattern.chars().collect(), pos: 0 };
+        let root = p.parse_alt()?;
+        if p.pos != p.chars.len() {
+            return Err(RegexError(format!(
+                "unexpected character at position {}",
+                p.pos
+            )));
+        }
+        Ok(Regex { root, case_insensitive: flags.contains('i') })
+    }
+
+    /// True if the pattern matches anywhere in `text`.
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = if self.case_insensitive {
+            text.chars().flat_map(|c| c.to_lowercase()).collect()
+        } else {
+            text.chars().collect()
+        };
+        for start in 0..=chars.len() {
+            if self.match_node(&self.root, &chars, start, &|_| true) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Continuation-passing backtracking matcher: tries to match `node`
+    /// starting at `pos`; on success calls `k` with the end position.
+    fn match_node(
+        &self,
+        node: &Node,
+        chars: &[char],
+        pos: usize,
+        k: &dyn Fn(usize) -> bool,
+    ) -> bool {
+        match node {
+            Node::Empty => k(pos),
+            Node::Char(c) => {
+                let want = if self.case_insensitive {
+                    c.to_lowercase().next().unwrap_or(*c)
+                } else {
+                    *c
+                };
+                pos < chars.len() && chars[pos] == want && k(pos + 1)
+            }
+            Node::Dot => pos < chars.len() && chars[pos] != '\n' && k(pos + 1),
+            Node::Class { ranges, negated } => {
+                if pos >= chars.len() {
+                    return false;
+                }
+                let c = chars[pos];
+                let mut hit = ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi);
+                if self.case_insensitive && !hit {
+                    // Try the lowercase of the input against the ranges'
+                    // lowercase, covering [A-Z] vs 'a' and vice versa.
+                    hit = ranges.iter().any(|&(lo, hi)| {
+                        let lo = lo.to_lowercase().next().unwrap_or(lo);
+                        let hi = hi.to_lowercase().next().unwrap_or(hi);
+                        c >= lo && c <= hi
+                    });
+                }
+                (hit != *negated) && k(pos + 1)
+            }
+            Node::Start => pos == 0 && k(pos),
+            Node::End => pos == chars.len() && k(pos),
+            Node::Seq(nodes) => self.match_seq(nodes, chars, pos, k),
+            Node::Alt(branches) => branches
+                .iter()
+                .any(|b| self.match_node(b, chars, pos, k)),
+            Node::Repeat { node, min, max } => {
+                self.match_repeat(node, *min, *max, chars, pos, 0, k)
+            }
+        }
+    }
+
+    fn match_seq(
+        &self,
+        nodes: &[Node],
+        chars: &[char],
+        pos: usize,
+        k: &dyn Fn(usize) -> bool,
+    ) -> bool {
+        match nodes.split_first() {
+            None => k(pos),
+            Some((first, rest)) => self.match_node(first, chars, pos, &|p| {
+                self.match_seq(rest, chars, p, k)
+            }),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn match_repeat(
+        &self,
+        node: &Node,
+        min: u32,
+        max: Option<u32>,
+        chars: &[char],
+        pos: usize,
+        count: u32,
+        k: &dyn Fn(usize) -> bool,
+    ) -> bool {
+        // Greedy: try one more repetition first (if allowed), then yield.
+        let can_more = max.is_none_or(|m| count < m);
+        if can_more
+            && self.match_node(node, chars, pos, &|p| {
+                // Zero-width progress guard: a repetition that consumed
+                // nothing would loop forever.
+                p > pos && self.match_repeat(node, min, max, chars, p, count + 1, k)
+            })
+        {
+            return true;
+        }
+        count >= min && k(pos)
+    }
+}
+
+struct RegexParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl RegexParser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn parse_alt(&mut self) -> Result<Node, RegexError> {
+        let mut branches = vec![self.parse_seq()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_seq()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().unwrap())
+        } else {
+            Ok(Node::Alt(branches))
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Node, RegexError> {
+        let mut nodes = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            nodes.push(self.parse_repeat()?);
+        }
+        match nodes.len() {
+            0 => Ok(Node::Empty),
+            1 => Ok(nodes.pop().unwrap()),
+            _ => Ok(Node::Seq(nodes)),
+        }
+    }
+
+    fn parse_repeat(&mut self) -> Result<Node, RegexError> {
+        let atom = self.parse_atom()?;
+        match self.peek() {
+            Some('*') => {
+                self.bump();
+                Ok(Node::Repeat { node: Box::new(atom), min: 0, max: None })
+            }
+            Some('+') => {
+                self.bump();
+                Ok(Node::Repeat { node: Box::new(atom), min: 1, max: None })
+            }
+            Some('?') => {
+                self.bump();
+                Ok(Node::Repeat { node: Box::new(atom), min: 0, max: Some(1) })
+            }
+            Some('{') => {
+                self.bump();
+                let min = self.parse_int()?;
+                let max = if self.peek() == Some(',') {
+                    self.bump();
+                    if self.peek() == Some('}') {
+                        None
+                    } else {
+                        Some(self.parse_int()?)
+                    }
+                } else {
+                    Some(min)
+                };
+                if self.bump() != Some('}') {
+                    return Err(RegexError("expected '}'".into()));
+                }
+                if let Some(m) = max {
+                    if m < min {
+                        return Err(RegexError("quantifier max below min".into()));
+                    }
+                }
+                Ok(Node::Repeat { node: Box::new(atom), min, max })
+            }
+            _ => Ok(atom),
+        }
+    }
+
+    fn parse_int(&mut self) -> Result<u32, RegexError> {
+        let mut n: u32 = 0;
+        let mut seen = false;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                self.bump();
+                n = n
+                    .checked_mul(10)
+                    .and_then(|n| n.checked_add(d))
+                    .ok_or_else(|| RegexError("quantifier overflow".into()))?;
+                seen = true;
+            } else {
+                break;
+            }
+        }
+        if seen {
+            Ok(n)
+        } else {
+            Err(RegexError("expected number in quantifier".into()))
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, RegexError> {
+        match self.bump() {
+            None => Err(RegexError("unexpected end of pattern".into())),
+            Some('(') => {
+                // Non-capturing group prefix `?:` is accepted and ignored.
+                if self.peek() == Some('?') {
+                    self.bump();
+                    if self.bump() != Some(':') {
+                        return Err(RegexError("only (?: groups supported".into()));
+                    }
+                }
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(RegexError("expected ')'".into()));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Node::Dot),
+            Some('^') => Ok(Node::Start),
+            Some('$') => Ok(Node::End),
+            Some('\\') => self.parse_escape(),
+            Some(c @ ('*' | '+' | '?' | '{' | '}' | ')')) => {
+                Err(RegexError(format!("misplaced metacharacter {c:?}")))
+            }
+            Some(c) => Ok(Node::Char(c)),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<Node, RegexError> {
+        match self.bump() {
+            None => Err(RegexError("dangling backslash".into())),
+            Some('d') => Ok(Node::Class { ranges: vec![('0', '9')], negated: false }),
+            Some('D') => Ok(Node::Class { ranges: vec![('0', '9')], negated: true }),
+            Some('w') => Ok(Node::Class {
+                ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+                negated: false,
+            }),
+            Some('W') => Ok(Node::Class {
+                ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+                negated: true,
+            }),
+            Some('s') => Ok(Node::Class {
+                ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+                negated: false,
+            }),
+            Some('S') => Ok(Node::Class {
+                ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+                negated: true,
+            }),
+            Some('n') => Ok(Node::Char('\n')),
+            Some('t') => Ok(Node::Char('\t')),
+            Some('r') => Ok(Node::Char('\r')),
+            Some(c) => Ok(Node::Char(c)), // punctuation escapes: \. \\ \[ ...
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Node, RegexError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges = Vec::new();
+        loop {
+            let c = match self.bump() {
+                None => return Err(RegexError("unterminated character class".into())),
+                Some(']') if !ranges.is_empty() || negated => break,
+                Some(']') => break, // empty class matches nothing
+                Some('\\') => match self.bump() {
+                    Some('d') => {
+                        ranges.push(('0', '9'));
+                        continue;
+                    }
+                    Some('w') => {
+                        ranges.extend([('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]);
+                        continue;
+                    }
+                    Some('s') => {
+                        ranges.extend([(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')]);
+                        continue;
+                    }
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some(c) => c,
+                    None => return Err(RegexError("dangling backslash in class".into())),
+                },
+                Some(c) => c,
+            };
+            if self.peek() == Some('-')
+                && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']')
+            {
+                self.bump(); // '-'
+                let hi = self
+                    .bump()
+                    .ok_or_else(|| RegexError("unterminated range".into()))?;
+                if hi < c {
+                    return Err(RegexError("inverted character range".into()));
+                }
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        Ok(Node::Class { ranges, negated })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Regex::new(pat, "").unwrap().is_match(text)
+    }
+
+    fn mi(pat: &str, text: &str) -> bool {
+        Regex::new(pat, "i").unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literal_search_is_unanchored() {
+        assert!(m("bc", "abcd"));
+        assert!(!m("bd", "abcd"));
+        assert!(m("", "anything"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^ab", "abcd"));
+        assert!(!m("^bc", "abcd"));
+        assert!(m("cd$", "abcd"));
+        assert!(!m("bc$", "abcd"));
+        assert!(m("^abcd$", "abcd"));
+        assert!(!m("^abcd$", "abcde"));
+    }
+
+    #[test]
+    fn dot_and_classes() {
+        assert!(m("a.c", "abc"));
+        assert!(!m("a.c", "ac"));
+        assert!(!m("a.c", "a\nc"));
+        assert!(m("[abc]+", "cab"));
+        assert!(m("[a-z0-9]+$", "abc123"));
+        assert!(!m("^[^abc]+$", "xay"));
+        assert!(m("^[^abc]+$", "xyz"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m(r"\d{3}", "abc123"));
+        assert!(!m(r"^\d+$", "12a"));
+        assert!(m(r"\w+", "hello_world"));
+        assert!(m(r"a\.b", "a.b"));
+        assert!(!m(r"a\.b", "axb"));
+        assert!(m(r"\s", "a b"));
+        assert!(m(r"^\S+$", "no-spaces"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(m("ab+c", "abc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+        assert!(!m("ab?c", "abbc"));
+        assert!(m("a{2,3}", "aa"));
+        assert!(m("^a{2,3}$", "aaa"));
+        assert!(!m("^a{2,3}$", "aaaa"));
+        assert!(m("^a{2}$", "aa"));
+        assert!(m("^a{2,}$", "aaaaa"));
+    }
+
+    #[test]
+    fn groups_and_alternation() {
+        assert!(m("^(ab|cd)+$", "abcdab"));
+        assert!(!m("^(ab|cd)+$", "abc"));
+        assert!(m("col(o|ou)r", "colour"));
+        assert!(m("col(?:o|ou)r", "color"));
+    }
+
+    #[test]
+    fn case_insensitive_flag() {
+        assert!(mi("journal", "JOURNAL of things"));
+        assert!(mi("^[a-z]+$", "ABC"));
+        assert!(!m("journal", "JOURNAL"));
+    }
+
+    #[test]
+    fn backtracking_correctness() {
+        // Requires giving back characters from the greedy star.
+        assert!(m("^a*ab$", "aaab"));
+        assert!(m("^(a|ab)c$", "abc"));
+        assert!(m("^.*b$", "aaab"));
+    }
+
+    #[test]
+    fn zero_width_repeat_terminates() {
+        // (a?)* could loop forever without the progress guard.
+        assert!(m("^(a?)*$", "aaa"));
+        assert!(m("(|a)*", "b"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::new("a(", "").is_err());
+        assert!(Regex::new("[abc", "").is_err());
+        assert!(Regex::new("a{3,1}", "").is_err());
+        assert!(Regex::new("*a", "").is_err());
+        assert!(Regex::new("[z-a]", "").is_err());
+        assert!(Regex::new("a{x}", "").is_err());
+    }
+
+    #[test]
+    fn sp2bench_style_patterns() {
+        // The kinds of patterns SP²Bench / FEASIBLE use.
+        assert!(m("^http://", "http://example.org/x"));
+        assert!(mi("article", "Journal Article 42"));
+        assert!(m("[0-9][0-9][0-9][0-9]", "year 1995 ok"));
+    }
+}

@@ -1,0 +1,123 @@
+//! String interning for predicate names and string constants.
+//!
+//! Every string that enters the Datalog engine (predicate names, IRIs,
+//! literals) is interned once into a [`SymbolTable`] and then handled as a
+//! 4-byte [`Sym`]. Tuple hashing, joins and dedup all operate on integers.
+//! The table is shared (`Arc`) between the translator, the database and the
+//! evaluator, and guarded by a `parking_lot::RwLock` (reads vastly dominate).
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::fxhash::FxHashMap;
+
+/// An interned string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    strings: Vec<Arc<str>>,
+    ids: FxHashMap<Arc<str>, u32>,
+}
+
+/// A thread-safe string interner.
+#[derive(Default)]
+pub struct SymbolTable {
+    inner: RwLock<Inner>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Arc<Self> {
+        Arc::new(SymbolTable::default())
+    }
+
+    /// Interns `s`, returning its symbol.
+    pub fn intern(&self, s: &str) -> Sym {
+        if let Some(&id) = self.inner.read().ids.get(s) {
+            return Sym(id);
+        }
+        let mut w = self.inner.write();
+        if let Some(&id) = w.ids.get(s) {
+            return Sym(id);
+        }
+        let id = w.strings.len() as u32;
+        let arc: Arc<str> = Arc::from(s);
+        w.strings.push(arc.clone());
+        w.ids.insert(arc, id);
+        Sym(id)
+    }
+
+    /// The string behind a symbol. Panics on a symbol from another table.
+    pub fn resolve(&self, sym: Sym) -> Arc<str> {
+        self.inner.read().strings[sym.0 as usize].clone()
+    }
+
+    /// Looks up a symbol without interning.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.inner.read().ids.get(s).map(|&id| Sym(id))
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.inner.read().strings.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let t = SymbolTable::new();
+        let a = t.intern("hello");
+        let b = t.intern("hello");
+        assert_eq!(a, b);
+        assert_eq!(t.resolve(a).as_ref(), "hello");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_syms() {
+        let t = SymbolTable::new();
+        assert_ne!(t.intern("a"), t.intern("b"));
+        assert_eq!(t.get("a"), Some(t.intern("a")));
+        assert_eq!(t.get("zzz"), None);
+    }
+
+    #[test]
+    fn concurrent_interning() {
+        let t = SymbolTable::new();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    let mut syms = Vec::new();
+                    for j in 0..100 {
+                        syms.push(t.intern(&format!("s{}", (i * j) % 50)));
+                    }
+                    syms
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 50);
+    }
+}

@@ -1,0 +1,281 @@
+//! Runtime values (constants) of the Datalog± engine.
+//!
+//! The value model is a scaled-down Vadalog: first-class RDF terms (IRIs,
+//! blank nodes, plain/lang/typed literals), machine types for computed
+//! values (integers, floats, booleans), the distinguished `null` constant
+//! used by the SPARQL translation for unbound variables, and **Skolem
+//! terms** — uninterpreted function terms used both as labelled nulls for
+//! existential rules and as the tuple IDs of the paper's
+//! duplicate-preservation model (§5.1).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::symbols::{Sym, SymbolTable};
+
+/// A total-ordered `f64` wrapper (NaN compares greatest, -0.0 == 0.0 is
+/// *not* collapsed: we compare by bits when `partial_cmp` fails).
+#[derive(Debug, Clone, Copy)]
+pub struct OrdF64(pub f64);
+
+impl PartialEq for OrdF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+impl Eq for OrdF64 {}
+
+impl std::hash::Hash for OrdF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or_else(|| self.0.to_bits().cmp(&other.0.to_bits()))
+    }
+}
+
+/// A Skolem term: an uninterpreted functor applied to constants.
+///
+/// In the paper's notation these are the tuple IDs
+/// `ID = ["f1a", X, N, V2_X, V2_L, ID2, ID3]` (Figure 2). The functor is
+/// the `"f1a"` label; the args are the listed values, which may themselves
+/// be Skolem terms (that recursive structure is what makes the ID count
+/// equal the derivation-tree count).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SkolemTerm {
+    pub functor: Sym,
+    pub args: Vec<Const>,
+}
+
+impl SkolemTerm {
+    /// Maximum nesting depth of Skolem terms inside this term (a bare
+    /// functor has depth 1). Used by the chase termination bound.
+    pub fn depth(&self) -> usize {
+        1 + self
+            .args
+            .iter()
+            .map(Const::skolem_depth)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A constant of the Datalog± engine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Const {
+    /// An IRI (interned).
+    Iri(Sym),
+    /// A blank node label (interned).
+    Bnode(Sym),
+    /// A plain string / simple literal (interned).
+    Str(Sym),
+    /// A language-tagged literal: (lexical, lang).
+    LangStr(Sym, Sym),
+    /// A datatyped literal: (lexical, datatype IRI).
+    Typed(Sym, Sym),
+    /// A machine integer (computed values, counts).
+    Int(i64),
+    /// A machine float (computed values, averages).
+    Float(OrdF64),
+    /// A machine boolean (e.g. the `HasResult` of ASK translation).
+    Bool(bool),
+    /// The distinguished `"null"` constant of the SPARQL translation
+    /// (Def. A.2) — represents an unbound variable in a solution mapping.
+    Null,
+    /// A Skolem term / labelled null / tuple ID.
+    Skolem(Arc<SkolemTerm>),
+}
+
+impl Const {
+    /// Creates a Skolem constant.
+    pub fn skolem(functor: Sym, args: Vec<Const>) -> Self {
+        Const::Skolem(Arc::new(SkolemTerm { functor, args }))
+    }
+
+    /// Skolem nesting depth (0 for non-Skolem constants).
+    pub fn skolem_depth(&self) -> usize {
+        match self {
+            Const::Skolem(t) => t.depth(),
+            _ => 0,
+        }
+    }
+
+    /// True if this constant is (or contains) a labelled null, i.e. a
+    /// Skolem term. Used by the wardedness analysis tests.
+    pub fn is_skolem(&self) -> bool {
+        matches!(self, Const::Skolem(_))
+    }
+
+    /// True for the `null` constant.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Const::Null)
+    }
+
+    /// The numeric value of the constant, if any: machine numbers and
+    /// numeric typed literals qualify.
+    pub fn as_f64(&self, symbols: &SymbolTable) -> Option<f64> {
+        match self {
+            Const::Int(i) => Some(*i as f64),
+            Const::Float(f) => Some(f.0),
+            Const::Typed(lex, dt) => {
+                let dt = symbols.resolve(*dt);
+                if sparqlog_xsd_is_numeric(&dt) {
+                    symbols.resolve(*lex).trim().parse().ok()
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// The integer value, if the constant is integral.
+    pub fn as_i64(&self, symbols: &SymbolTable) -> Option<i64> {
+        match self {
+            Const::Int(i) => Some(*i),
+            Const::Typed(lex, dt) => {
+                let dt = symbols.resolve(*dt);
+                if sparqlog_xsd_is_integer(&dt) {
+                    symbols.resolve(*lex).trim().parse().ok()
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Renders the constant for human consumption (test assertions,
+    /// debugging, benchmark output).
+    pub fn display(&self, symbols: &SymbolTable) -> String {
+        match self {
+            Const::Iri(s) => format!("<{}>", symbols.resolve(*s)),
+            Const::Bnode(s) => format!("_:{}", symbols.resolve(*s)),
+            Const::Str(s) => format!("{:?}", symbols.resolve(*s)),
+            Const::LangStr(lex, lang) => {
+                format!("{:?}@{}", symbols.resolve(*lex), symbols.resolve(*lang))
+            }
+            Const::Typed(lex, dt) => {
+                format!("{:?}^^<{}>", symbols.resolve(*lex), symbols.resolve(*dt))
+            }
+            Const::Int(i) => i.to_string(),
+            Const::Float(f) => f.0.to_string(),
+            Const::Bool(b) => b.to_string(),
+            Const::Null => "null".to_string(),
+            Const::Skolem(t) => {
+                let args: Vec<String> =
+                    t.args.iter().map(|a| a.display(symbols)).collect();
+                format!("[{}|{}]", symbols.resolve(t.functor), args.join(","))
+            }
+        }
+    }
+}
+
+// Local numeric-datatype checks. Duplicated from `sparqlog-rdf` on purpose:
+// the datalog crate is a freestanding substrate with no RDF dependency.
+fn sparqlog_xsd_is_integer(dt: &str) -> bool {
+    matches!(
+        dt,
+        "http://www.w3.org/2001/XMLSchema#integer"
+            | "http://www.w3.org/2001/XMLSchema#long"
+            | "http://www.w3.org/2001/XMLSchema#int"
+            | "http://www.w3.org/2001/XMLSchema#short"
+            | "http://www.w3.org/2001/XMLSchema#byte"
+            | "http://www.w3.org/2001/XMLSchema#nonNegativeInteger"
+    )
+}
+
+fn sparqlog_xsd_is_numeric(dt: &str) -> bool {
+    sparqlog_xsd_is_integer(dt)
+        || matches!(
+            dt,
+            "http://www.w3.org/2001/XMLSchema#decimal"
+                | "http://www.w3.org/2001/XMLSchema#double"
+                | "http://www.w3.org/2001/XMLSchema#float"
+        )
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Symbol-free rendering for contexts without a table at hand.
+        match self {
+            Const::Int(i) => write!(f, "{i}"),
+            Const::Float(x) => write!(f, "{}", x.0),
+            Const::Bool(b) => write!(f, "{b}"),
+            Const::Null => write!(f, "null"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordf64_total_order() {
+        assert!(OrdF64(1.0) < OrdF64(2.0));
+        assert_eq!(OrdF64(f64::NAN), OrdF64(f64::NAN));
+        assert!(OrdF64(f64::NAN) > OrdF64(f64::INFINITY));
+    }
+
+    #[test]
+    fn skolem_depth() {
+        let t = SymbolTable::new();
+        let f = t.intern("f");
+        let flat = Const::skolem(f, vec![Const::Int(1)]);
+        assert_eq!(flat.skolem_depth(), 1);
+        let nested = Const::skolem(f, vec![flat.clone(), Const::Int(2)]);
+        assert_eq!(nested.skolem_depth(), 2);
+        let deeper = Const::skolem(f, vec![nested]);
+        assert_eq!(deeper.skolem_depth(), 3);
+        assert_eq!(Const::Int(5).skolem_depth(), 0);
+    }
+
+    #[test]
+    fn skolem_identity_is_structural() {
+        let t = SymbolTable::new();
+        let f = t.intern("f");
+        let a = Const::skolem(f, vec![Const::Int(1), Const::Null]);
+        let b = Const::skolem(f, vec![Const::Int(1), Const::Null]);
+        let c = Const::skolem(f, vec![Const::Int(2), Const::Null]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn numeric_views() {
+        let t = SymbolTable::new();
+        assert_eq!(Const::Int(3).as_f64(&t), Some(3.0));
+        assert_eq!(Const::Float(OrdF64(2.5)).as_f64(&t), Some(2.5));
+        let lex = t.intern("42");
+        let dt = t.intern("http://www.w3.org/2001/XMLSchema#integer");
+        let typed = Const::Typed(lex, dt);
+        assert_eq!(typed.as_i64(&t), Some(42));
+        assert_eq!(typed.as_f64(&t), Some(42.0));
+        let s = Const::Str(t.intern("42"));
+        assert_eq!(s.as_f64(&t), None, "plain strings are not numeric");
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = SymbolTable::new();
+        let iri = Const::Iri(t.intern("http://a"));
+        assert_eq!(iri.display(&t), "<http://a>");
+        let id = Const::skolem(t.intern("f1"), vec![Const::Int(7)]);
+        assert_eq!(id.display(&t), "[f1|7]");
+        assert_eq!(Const::Null.display(&t), "null");
+    }
+}

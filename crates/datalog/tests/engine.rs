@@ -1,0 +1,370 @@
+//! End-to-end tests of the Datalog± engine through the textual syntax.
+
+use std::time::Duration;
+
+use sparqlog_datalog::parser::parse_program;
+use sparqlog_datalog::{
+    check_wardedness, collect_output, evaluate, Database, EvalError, EvalOptions,
+};
+
+fn run(src: &str) -> (Database, sparqlog_datalog::Program) {
+    let mut db = Database::new();
+    let prog = parse_program(src, db.symbols()).unwrap();
+    evaluate(&prog, &mut db, &EvalOptions::default()).unwrap();
+    (db, prog)
+}
+
+fn output_strings(db: &Database, prog: &sparqlog_datalog::Program, pred: &str) -> Vec<Vec<String>> {
+    let sym = db.symbols().get(pred).unwrap();
+    collect_output(prog, db, sym)
+        .into_iter()
+        .map(|t| t.iter().map(|c| c.display(db.symbols())).collect())
+        .collect()
+}
+
+#[test]
+fn transitive_closure() {
+    let (db, prog) = run(r#"
+        edge("a", "b"). edge("b", "c"). edge("c", "d").
+        tc(X, Y) :- edge(X, Y).
+        tc(X, Z) :- edge(X, Y), tc(Y, Z).
+        @output("tc").
+    "#);
+    let mut out = output_strings(&db, &prog, "tc");
+    out.sort();
+    assert_eq!(out.len(), 6);
+    assert!(out.contains(&vec!["\"a\"".to_string(), "\"d\"".to_string()]));
+}
+
+#[test]
+fn transitive_closure_with_cycle_terminates() {
+    let (db, prog) = run(r#"
+        edge("a", "b"). edge("b", "c"). edge("c", "a").
+        tc(X, Y) :- edge(X, Y).
+        tc(X, Z) :- edge(X, Y), tc(Y, Z).
+        @output("tc").
+    "#);
+    // 3 nodes, complete reachability: 9 pairs.
+    assert_eq!(output_strings(&db, &prog, "tc").len(), 9);
+}
+
+#[test]
+fn stratified_negation() {
+    let (db, prog) = run(r#"
+        node("a"). node("b"). node("c").
+        covered("a"). covered("b").
+        uncovered(X) :- node(X), not covered(X).
+        @output("uncovered").
+    "#);
+    let out = output_strings(&db, &prog, "uncovered");
+    assert_eq!(out, vec![vec!["\"c\"".to_string()]]);
+}
+
+#[test]
+fn negation_over_recursive_layer() {
+    // unreachable = nodes with no path from "a".
+    let (db, prog) = run(r#"
+        edge("a", "b"). edge("b", "c"). edge("d", "e").
+        node("a"). node("b"). node("c"). node("d"). node("e").
+        reach("a").
+        reach(Y) :- reach(X), edge(X, Y).
+        unreachable(X) :- node(X), not reach(X).
+        @output("unreachable").
+    "#);
+    let mut out = output_strings(&db, &prog, "unreachable");
+    out.sort();
+    assert_eq!(out, vec![vec!["\"d\"".to_string()], vec!["\"e\"".to_string()]]);
+}
+
+#[test]
+fn skolem_ids_preserve_duplicates() {
+    // Two different derivations of p("x") get distinct IDs — the paper's
+    // duplicate-preservation model.
+    let (db, prog) = run(r#"
+        q("a"). q("b").
+        p(I, "x") :- q(Y), I = skolem("f1", Y).
+        @output("p").
+    "#);
+    let out = output_strings(&db, &prog, "p");
+    assert_eq!(out.len(), 2, "two derivations, two tuple IDs");
+}
+
+#[test]
+fn constant_id_collapses_duplicates() {
+    // Forcing Id = the same skolem constant merges duplicates — how the
+    // translation realises set semantics for recursive property paths.
+    let (db, prog) = run(r#"
+        q("a"). q("b").
+        p(I, "x") :- q(Y), I = skolem("nil").
+        @output("p").
+    "#);
+    let out = output_strings(&db, &prog, "p");
+    assert_eq!(out.len(), 1);
+}
+
+#[test]
+fn existential_head_variables_are_skolemised() {
+    let (db, prog) = run(r#"
+        person("alice").
+        hasParent(X, Z) :- person(X).
+        @output("hasParent").
+    "#);
+    let sym = db.symbols().get("hasParent").unwrap();
+    let tuples = collect_output(&prog, &db, sym);
+    assert_eq!(tuples.len(), 1);
+    assert!(tuples[0][1].is_skolem(), "object is a labelled null");
+}
+
+#[test]
+fn existential_chase_is_restricted() {
+    // Re-deriving the same frontier yields the same labelled null, so the
+    // fixpoint converges even with two rules deriving person facts.
+    let (db, prog) = run(r#"
+        person("alice").
+        person("alice") .
+        hasParent(X, Z) :- person(X).
+        @output("hasParent").
+    "#);
+    let sym = db.symbols().get("hasParent").unwrap();
+    assert_eq!(collect_output(&prog, &db, sym).len(), 1);
+}
+
+#[test]
+fn cyclic_existentials_terminate_via_depth_bound() {
+    let mut db = Database::new();
+    let prog = parse_program(
+        r#"
+        person("alice").
+        hasParent(X, Z) :- person(X).
+        person(Y) :- hasParent(X, Y).
+        @output("person").
+        "#,
+        db.symbols(),
+    )
+    .unwrap();
+    let opts = EvalOptions { max_skolem_depth: 4, ..Default::default() };
+    evaluate(&prog, &mut db, &opts).unwrap();
+    let sym = db.symbols().get("person").unwrap();
+    let n = collect_output(&prog, &db, sym).len();
+    // alice + 4 generations of labelled nulls.
+    assert_eq!(n, 5);
+}
+
+#[test]
+fn comparisons_and_arithmetic() {
+    let (db, prog) = run(r#"
+        n(1). n(5). n(10).
+        big(X) :- n(X), X > 4.
+        sum(Z) :- n(X), n(Y), X < Y, Z = X + Y.
+        @output("big").
+        @output("sum").
+    "#);
+    assert_eq!(output_strings(&db, &prog, "big").len(), 2);
+    // sums: 1+5, 1+10, 5+10 → 6, 11, 15
+    let mut sums = output_strings(&db, &prog, "sum");
+    sums.sort();
+    assert_eq!(sums.len(), 3);
+}
+
+#[test]
+fn count_aggregate() {
+    let (db, prog) = run(r#"
+        author("p1", "alice"). author("p1", "bob"). author("p2", "carol").
+        nauthors(P, C) :- author(P, A), C = count().
+        @output("nauthors").
+    "#);
+    let mut out = output_strings(&db, &prog, "nauthors");
+    out.sort();
+    assert_eq!(
+        out,
+        vec![
+            vec!["\"p1\"".to_string(), "2".to_string()],
+            vec!["\"p2\"".to_string(), "1".to_string()],
+        ]
+    );
+}
+
+#[test]
+fn post_orderby_limit_offset() {
+    let (db, prog) = run(r#"
+        v(3). v(1). v(2). v(5). v(4).
+        @output("v").
+        @post("v", "orderby(0)").
+        @post("v", "offset(1)").
+        @post("v", "limit(2)").
+    "#);
+    let out = output_strings(&db, &prog, "v");
+    assert_eq!(out, vec![vec!["2".to_string()], vec!["3".to_string()]]);
+}
+
+#[test]
+fn post_orderby_desc() {
+    let (db, prog) = run(r#"
+        v(3). v(1). v(2).
+        @output("v").
+        @post("v", "orderby(0 desc)").
+    "#);
+    let out = output_strings(&db, &prog, "v");
+    assert_eq!(
+        out,
+        vec![vec!["3".to_string()], vec!["2".to_string()], vec!["1".to_string()]]
+    );
+}
+
+#[test]
+fn timeout_fires_on_explosive_join() {
+    let mut db = Database::new();
+    // A cross-product chain that generates far too many tuples.
+    let mut src = String::new();
+    for i in 0..2000 {
+        src.push_str(&format!("n({i}).\n"));
+    }
+    src.push_str("pair(X, Y) :- n(X), n(Y).\nbig(X,Y,Z) :- pair(X,Y), n(Z).\n@output(\"big\").\n");
+    let prog = parse_program(&src, db.symbols()).unwrap();
+    let opts = EvalOptions {
+        timeout: Some(Duration::from_millis(50)),
+        ..Default::default()
+    };
+    let err = evaluate(&prog, &mut db, &opts).unwrap_err();
+    assert_eq!(err, EvalError::Timeout);
+}
+
+#[test]
+fn unsafe_negation_is_rejected() {
+    let mut db = Database::new();
+    let prog = parse_program(
+        r#"p(X) :- not q(X), r(X)."#, // X unbound when `not q(X)` is checked
+        db.symbols(),
+    )
+    .unwrap();
+    let err = evaluate(&prog, &mut db, &EvalOptions::default()).unwrap_err();
+    assert!(matches!(err, EvalError::Unsafe(_)));
+}
+
+#[test]
+fn cyclic_negation_is_rejected() {
+    let mut db = Database::new();
+    let prog = parse_program(
+        r#"
+        p(X) :- base(X), not q(X).
+        q(X) :- base(X), not p(X).
+        base("a").
+        "#,
+        db.symbols(),
+    )
+    .unwrap();
+    let err = evaluate(&prog, &mut db, &EvalOptions::default()).unwrap_err();
+    assert!(matches!(err, EvalError::Stratification(_)));
+}
+
+#[test]
+fn join_order_uses_indexes() {
+    // A three-way join on a path: with index joins this is linear-ish.
+    let mut src = String::new();
+    for i in 0..300 {
+        src.push_str(&format!("e({}, {}).\n", i, i + 1));
+    }
+    src.push_str("tri(X, W) :- e(X, Y), e(Y, Z), e(Z, W).\n@output(\"tri\").\n");
+    let (db, prog) = run(&src);
+    assert_eq!(output_strings(&db, &prog, "tri").len(), 298);
+}
+
+#[test]
+fn paper_figure2_shape_runs() {
+    // A hand-rolled version of Figure 2's OPTIONAL translation over the
+    // film-directors graph of §3.1 (simplified arities).
+    let (db, prog) = run(r#"
+        triple("glucas", "name", "George", "g").
+        triple("glucas", "lastname", "Lucas", "g").
+        triple("b1", "name", "Steven", "g").
+
+        term(X) :- triple(X, P, O, G).
+        term(O) :- triple(X, P, O, G).
+        null(null).
+        comp(X, X, X) :- term(X).
+        comp(X, Z, X) :- term(X), null(Z).
+        comp(Z, X, X) :- term(X), null(Z).
+
+        ans2(I, N, X, D) :- triple(X, "name", N, D), I = skolem("f2", X, N, D).
+        ans3(I, L, X, D) :- triple(X, "lastname", L, D), I = skolem("f3", X, L, D).
+        ansopt1(N, X, D) :- ans2(I2, N, X, D), ans3(I3, L, X2, D), comp(X, X2, X).
+        ans1(I, L, N, X, D) :- ans2(I2, N, X, D), ans3(I3, L, X2, D), comp(X, X2, X),
+                               I = skolem("f1a", X, N, L, I2, I3).
+        ans1(I, L, N, X, D) :- ans2(I2, N, X, D), not ansopt1(N, X, D), L = null,
+                               I = skolem("f1b", N, X, I2).
+        ans(I, L, N, D) :- ans1(I1, L, N, X, D), I = skolem("f", L, N, X, I1).
+        @output("ans").
+        @post("ans", "orderby(2)").
+    "#);
+    let out = output_strings(&db, &prog, "ans");
+    assert_eq!(out.len(), 2);
+    // Ordered by name: George before Steven.
+    assert_eq!(out[0][2], "\"George\"");
+    assert_eq!(out[0][1], "\"Lucas\"");
+    assert_eq!(out[1][2], "\"Steven\"");
+    assert_eq!(out[1][1], "null");
+}
+
+#[test]
+fn warded_report_on_translated_shape() {
+    let db = Database::new();
+    let prog = parse_program(
+        r#"
+        ans2(I, X) :- triple(X, "p", Y), I = skolem("f2", X, Y).
+        ans1(I, X) :- ans2(I2, X), I = skolem("f1", X, I2).
+        "#,
+        db.symbols(),
+    )
+    .unwrap();
+    let report = check_wardedness(&prog, db.symbols());
+    assert!(report.warded, "{:?}", report.violations);
+    // The ID positions are affected.
+    let ans1 = db.symbols().get("ans1").unwrap();
+    let ans2 = db.symbols().get("ans2").unwrap();
+    assert!(report.affected.contains(&(ans1, 0)));
+    assert!(report.affected.contains(&(ans2, 0)));
+}
+
+#[test]
+fn idempotent_reevaluation() {
+    let mut db = Database::new();
+    let prog = parse_program(
+        r#"
+        edge("a", "b"). edge("b", "c").
+        tc(X, Y) :- edge(X, Y).
+        tc(X, Z) :- edge(X, Y), tc(Y, Z).
+        @output("tc").
+        "#,
+        db.symbols(),
+    )
+    .unwrap();
+    evaluate(&prog, &mut db, &EvalOptions::default()).unwrap();
+    let first = collect_output(&prog, &db, db.symbols().get("tc").unwrap()).len();
+    let stats = evaluate(&prog, &mut db, &EvalOptions::default()).unwrap();
+    let second = collect_output(&prog, &db, db.symbols().get("tc").unwrap()).len();
+    assert_eq!(first, second);
+    assert_eq!(stats.derived, 0, "second run derives nothing new");
+}
+
+#[test]
+fn self_join_with_repeated_variable() {
+    let (db, prog) = run(r#"
+        e("a", "a"). e("a", "b"). e("b", "b").
+        loop(X) :- e(X, X).
+        @output("loop").
+    "#);
+    let mut out = output_strings(&db, &prog, "loop");
+    out.sort();
+    assert_eq!(out, vec![vec!["\"a\"".to_string()], vec!["\"b\"".to_string()]]);
+}
+
+#[test]
+fn constants_in_head() {
+    let (db, prog) = run(r#"
+        q("x").
+        p("const", X) :- q(X).
+        @output("p").
+    "#);
+    let out = output_strings(&db, &prog, "p");
+    assert_eq!(out, vec![vec!["\"const\"".to_string(), "\"x\"".to_string()]]);
+}

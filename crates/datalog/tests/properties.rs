@@ -1,0 +1,150 @@
+//! Property-based tests of the Datalog± engine: the semi-naive fixpoint
+//! against brute-force oracles on random inputs.
+
+use proptest::prelude::*;
+use sparqlog_datalog::{
+    collect_output, evaluate, parser::parse_program, Const, Database, EvalOptions,
+};
+
+/// Brute-force transitive closure by repeated squaring over a set.
+fn tc_oracle(edges: &[(u8, u8)]) -> std::collections::BTreeSet<(u8, u8)> {
+    let mut closure: std::collections::BTreeSet<(u8, u8)> =
+        edges.iter().copied().collect();
+    loop {
+        let mut added = false;
+        let snapshot: Vec<(u8, u8)> = closure.iter().copied().collect();
+        for &(x, y) in &snapshot {
+            for &(y2, z) in &snapshot {
+                if y == y2 && closure.insert((x, z)) {
+                    added = true;
+                }
+            }
+        }
+        if !added {
+            return closure;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Recursive fixpoint == brute-force closure on random graphs
+    /// (including cycles and self-loops).
+    #[test]
+    fn transitive_closure_matches_oracle(
+        edges in prop::collection::vec((0u8..12, 0u8..12), 1..40)
+    ) {
+        let mut src = String::new();
+        for (x, y) in &edges {
+            src.push_str(&format!("edge({x}, {y}).\n"));
+        }
+        src.push_str("tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- edge(X, Y), tc(Y, Z).\n@output(\"tc\").\n");
+        let mut db = Database::new();
+        let prog = parse_program(&src, db.symbols()).unwrap();
+        evaluate(&prog, &mut db, &EvalOptions::default()).unwrap();
+        let got: std::collections::BTreeSet<(u8, u8)> =
+            collect_output(&prog, &db, db.symbols().get("tc").unwrap())
+                .into_iter()
+                .map(|t| {
+                    let x = match t[0] { Const::Int(i) => i as u8, _ => panic!() };
+                    let y = match t[1] { Const::Int(i) => i as u8, _ => panic!() };
+                    (x, y)
+                })
+                .collect();
+        prop_assert_eq!(got, tc_oracle(&edges));
+    }
+
+    /// Stratified negation == set difference.
+    #[test]
+    fn negation_matches_set_difference(
+        a in prop::collection::btree_set(0u8..30, 0..20),
+        b in prop::collection::btree_set(0u8..30, 0..20),
+    ) {
+        let mut src = String::new();
+        for x in &a {
+            src.push_str(&format!("a({x}).\n"));
+        }
+        for x in &b {
+            src.push_str(&format!("b({x}).\n"));
+        }
+        src.push_str("diff(X) :- a(X), not b(X).\n@output(\"diff\").\n");
+        let mut db = Database::new();
+        let prog = parse_program(&src, db.symbols()).unwrap();
+        evaluate(&prog, &mut db, &EvalOptions::default()).unwrap();
+        let got: std::collections::BTreeSet<u8> =
+            collect_output(&prog, &db, db.symbols().get("diff").unwrap())
+                .into_iter()
+                .map(|t| match t[0] { Const::Int(i) => i as u8, _ => panic!() })
+                .collect();
+        let want: std::collections::BTreeSet<u8> = a.difference(&b).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Join == nested-loop oracle, counting set semantics.
+    #[test]
+    fn binary_join_matches_oracle(
+        r in prop::collection::btree_set((0u8..8, 0u8..8), 0..25),
+        s_rel in prop::collection::btree_set((0u8..8, 0u8..8), 0..25),
+    ) {
+        let mut src = String::new();
+        for (x, y) in &r {
+            src.push_str(&format!("r({x}, {y}).\n"));
+        }
+        for (x, y) in &s_rel {
+            src.push_str(&format!("s({x}, {y}).\n"));
+        }
+        src.push_str("j(X, Y, Z) :- r(X, Y), s(Y, Z).\n@output(\"j\").\n");
+        let mut db = Database::new();
+        let prog = parse_program(&src, db.symbols()).unwrap();
+        evaluate(&prog, &mut db, &EvalOptions::default()).unwrap();
+        let got = collect_output(&prog, &db, db.symbols().get("j").unwrap()).len();
+        let want = r
+            .iter()
+            .flat_map(|&(x, y)| {
+                s_rel.iter().filter(move |&&(y2, _)| y == y2).map(move |&(_, z)| (x, y, z))
+            })
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Evaluation is deterministic and idempotent: re-running the program
+    /// on the already-saturated database derives nothing new.
+    #[test]
+    fn fixpoint_is_idempotent(
+        edges in prop::collection::vec((0u8..10, 0u8..10), 1..30)
+    ) {
+        let mut src = String::new();
+        for (x, y) in &edges {
+            src.push_str(&format!("edge({x}, {y}).\n"));
+        }
+        src.push_str("p(X, Y) :- edge(X, Y).\np(X, Z) :- edge(X, Y), p(Y, Z).\n@output(\"p\").\n");
+        let mut db = Database::new();
+        let prog = parse_program(&src, db.symbols()).unwrap();
+        evaluate(&prog, &mut db, &EvalOptions::default()).unwrap();
+        let first = collect_output(&prog, &db, db.symbols().get("p").unwrap()).len();
+        let stats = evaluate(&prog, &mut db, &EvalOptions::default()).unwrap();
+        let second = collect_output(&prog, &db, db.symbols().get("p").unwrap()).len();
+        prop_assert_eq!(first, second);
+        prop_assert_eq!(stats.derived, 0);
+    }
+
+    /// Skolem tuple IDs count derivations: projecting q(X, Y) onto X under
+    /// bag semantics yields one ID per (X, Y) pair.
+    #[test]
+    fn skolem_ids_count_derivations(
+        pairs in prop::collection::btree_set((0u8..6, 0u8..6), 1..20)
+    ) {
+        let mut src = String::new();
+        for (x, y) in &pairs {
+            src.push_str(&format!("q({x}, {y}).\n"));
+        }
+        src.push_str("p(I, X) :- q(X, Y), I = skolem(\"f\", X, Y).\n@output(\"p\").\n");
+        let mut db = Database::new();
+        let prog = parse_program(&src, db.symbols()).unwrap();
+        evaluate(&prog, &mut db, &EvalOptions::default()).unwrap();
+        let got = collect_output(&prog, &db, db.symbols().get("p").unwrap()).len();
+        prop_assert_eq!(got, pairs.len());
+    }
+}

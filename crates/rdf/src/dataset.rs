@@ -1,0 +1,132 @@
+//! RDF datasets: a default graph plus zero or more named graphs.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::graph::Graph;
+use crate::term::Term;
+use crate::triple::{Quad, Triple};
+
+/// An RDF dataset (RDF 1.1 Concepts §4): one default graph and a map from
+/// graph names (IRIs) to named graphs.
+///
+/// A `BTreeMap` keeps graph-name iteration deterministic, which matters for
+/// reproducible benchmark output.
+#[derive(Debug, Default, Clone)]
+pub struct Dataset {
+    default: Graph,
+    named: BTreeMap<Arc<str>, Graph>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Creates a dataset whose default graph is `g`.
+    pub fn from_default_graph(g: Graph) -> Self {
+        Dataset { default: g, named: BTreeMap::new() }
+    }
+
+    /// The default graph.
+    pub fn default_graph(&self) -> &Graph {
+        &self.default
+    }
+
+    /// Mutable access to the default graph.
+    pub fn default_graph_mut(&mut self) -> &mut Graph {
+        &mut self.default
+    }
+
+    /// The named graph with IRI `name`, if present.
+    pub fn named_graph(&self, name: &str) -> Option<&Graph> {
+        self.named.get(name)
+    }
+
+    /// Mutable access to the named graph `name`, creating it if absent.
+    pub fn named_graph_mut(&mut self, name: &str) -> &mut Graph {
+        self.named.entry(Arc::from(name)).or_default()
+    }
+
+    /// Iterates over `(name, graph)` pairs of the named graphs.
+    pub fn named_graphs(&self) -> impl Iterator<Item = (&str, &Graph)> + '_ {
+        self.named.iter().map(|(k, v)| (k.as_ref(), v))
+    }
+
+    /// The names of all named graphs.
+    pub fn graph_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.named.keys().map(|k| k.as_ref())
+    }
+
+    /// Inserts a quad into the appropriate graph.
+    pub fn insert(&mut self, quad: Quad) -> bool {
+        match quad.graph {
+            None => self.default.insert(quad.triple),
+            Some(Term::Iri(name)) => {
+                self.named.entry(name).or_default().insert(quad.triple)
+            }
+            Some(other) => panic!("graph names must be IRIs, got {other}"),
+        }
+    }
+
+    /// Inserts a triple into the default graph.
+    pub fn insert_default(&mut self, triple: Triple) -> bool {
+        self.default.insert(triple)
+    }
+
+    /// Total number of triples across all graphs.
+    pub fn len(&self) -> usize {
+        self.default.len() + self.named.values().map(Graph::len).sum::<usize>()
+    }
+
+    /// True if every graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri("p"), Term::iri("o"))
+    }
+
+    #[test]
+    fn default_and_named_graphs() {
+        let mut d = Dataset::new();
+        d.insert_default(t("a"));
+        d.insert(Quad::in_graph(t("b"), Term::iri("http://g1")));
+        d.insert(Quad::in_graph(t("c"), Term::iri("http://g2")));
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.default_graph().len(), 1);
+        assert_eq!(d.named_graph("http://g1").unwrap().len(), 1);
+        assert!(d.named_graph("http://missing").is_none());
+        let names: Vec<_> = d.graph_names().collect();
+        assert_eq!(names, vec!["http://g1", "http://g2"]);
+    }
+
+    #[test]
+    fn insert_quad_in_default() {
+        let mut d = Dataset::new();
+        d.insert(Quad::in_default(t("a")));
+        assert_eq!(d.default_graph().len(), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "graph names must be IRIs")]
+    fn non_iri_graph_name_panics() {
+        let mut d = Dataset::new();
+        d.insert(Quad::in_graph(t("a"), Term::literal("nope")));
+    }
+
+    #[test]
+    fn named_graph_mut_creates() {
+        let mut d = Dataset::new();
+        d.named_graph_mut("http://g").insert(t("x"));
+        assert_eq!(d.named_graph("http://g").unwrap().len(), 1);
+    }
+}

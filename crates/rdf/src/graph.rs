@@ -1,0 +1,342 @@
+//! An indexed RDF graph: a *set* of triples with hash indexes on each
+//! component.
+//!
+//! Terms are interned into a per-graph term table (`u32` ids) so that triple
+//! storage and the component indexes work on fixed-size integers; this is
+//! the same trick Jena's TDB and most triple stores use, scaled down.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::term::Term;
+use crate::triple::Triple;
+
+/// An RDF graph (set of triples) with `S`, `P` and `O` hash indexes.
+#[derive(Debug, Default, Clone)]
+pub struct Graph {
+    terms: Vec<Term>,
+    ids: HashMap<Term, u32>,
+    triples: Vec<[u32; 3]>,
+    set: HashSet<[u32; 3]>,
+    by_s: HashMap<u32, Vec<u32>>,
+    by_p: HashMap<u32, Vec<u32>>,
+    by_o: HashMap<u32, Vec<u32>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of triples in the graph.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True if the graph contains no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Interns a term, returning its id within this graph.
+    fn intern(&mut self, t: &Term) -> u32 {
+        if let Some(&id) = self.ids.get(t) {
+            return id;
+        }
+        let id = self.terms.len() as u32;
+        self.terms.push(t.clone());
+        self.ids.insert(t.clone(), id);
+        id
+    }
+
+    /// Looks up the id of a term without interning it.
+    fn id_of(&self, t: &Term) -> Option<u32> {
+        self.ids.get(t).copied()
+    }
+
+    /// The term with the given internal id. Panics on an invalid id.
+    pub fn term(&self, id: u32) -> &Term {
+        &self.terms[id as usize]
+    }
+
+    /// Inserts a triple. Returns `true` if it was not already present.
+    pub fn insert(&mut self, triple: Triple) -> bool {
+        let s = self.intern(&triple.subject);
+        let p = self.intern(&triple.predicate);
+        let o = self.intern(&triple.object);
+        let key = [s, p, o];
+        if !self.set.insert(key) {
+            return false;
+        }
+        let idx = self.triples.len() as u32;
+        self.triples.push(key);
+        self.by_s.entry(s).or_default().push(idx);
+        self.by_p.entry(p).or_default().push(idx);
+        self.by_o.entry(o).or_default().push(idx);
+        true
+    }
+
+    /// True if the graph contains the triple.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        match (
+            self.id_of(&triple.subject),
+            self.id_of(&triple.predicate),
+            self.id_of(&triple.object),
+        ) {
+            (Some(s), Some(p), Some(o)) => self.set.contains(&[s, p, o]),
+            _ => false,
+        }
+    }
+
+    /// Iterates over all triples (decoded, in insertion order).
+    pub fn iter(&self) -> impl Iterator<Item = (&Term, &Term, &Term)> + '_ {
+        self.triples.iter().map(move |&[s, p, o]| {
+            (self.term(s), self.term(p), self.term(o))
+        })
+    }
+
+    /// Iterates over all distinct terms occurring anywhere in the graph.
+    pub fn terms(&self) -> impl Iterator<Item = &Term> + '_ {
+        self.terms.iter()
+    }
+
+    /// All distinct terms occurring as subject or object of some triple
+    /// (the `subjectOrObject/1` predicate of the paper, Def. A.17).
+    pub fn subjects_or_objects(&self) -> Vec<&Term> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for &[s, _, o] in &self.triples {
+            if seen.insert(s) {
+                out.push(self.term(s));
+            }
+            if seen.insert(o) {
+                out.push(self.term(o));
+            }
+        }
+        out
+    }
+
+    /// Pattern matching: yields all triples matching the bound components.
+    /// `None` components match anything. Uses the most selective available
+    /// index.
+    pub fn triples_matching<'a>(
+        &'a self,
+        s: Option<&Term>,
+        p: Option<&Term>,
+        o: Option<&Term>,
+    ) -> Box<dyn Iterator<Item = (&'a Term, &'a Term, &'a Term)> + 'a> {
+        // Resolve bound components; a bound term unknown to the graph can
+        // never match.
+        let sid = match s {
+            Some(t) => match self.id_of(t) {
+                Some(id) => Some(id),
+                None => return Box::new(std::iter::empty()),
+            },
+            None => None,
+        };
+        let pid = match p {
+            Some(t) => match self.id_of(t) {
+                Some(id) => Some(id),
+                None => return Box::new(std::iter::empty()),
+            },
+            None => None,
+        };
+        let oid = match o {
+            Some(t) => match self.id_of(t) {
+                Some(id) => Some(id),
+                None => return Box::new(std::iter::empty()),
+            },
+            None => None,
+        };
+
+        static EMPTY: Vec<u32> = Vec::new();
+        // Pick the smallest candidate list among the bound positions.
+        let candidates: &[u32] = {
+            let mut best: Option<&Vec<u32>> = None;
+            if let Some(id) = sid {
+                best = Some(self.by_s.get(&id).unwrap_or(&EMPTY));
+            }
+            if let Some(id) = pid {
+                let v = self.by_p.get(&id).unwrap_or(&EMPTY);
+                if best.is_none_or(|b| v.len() < b.len()) {
+                    best = Some(v);
+                }
+            }
+            if let Some(id) = oid {
+                let v = self.by_o.get(&id).unwrap_or(&EMPTY);
+                if best.is_none_or(|b| v.len() < b.len()) {
+                    best = Some(v);
+                }
+            }
+            match best {
+                Some(v) => v,
+                None => {
+                    // Fully unbound: scan everything.
+                    return Box::new(self.iter());
+                }
+            }
+        };
+
+        Box::new(candidates.iter().filter_map(move |&idx| {
+            let [ts, tp, to] = self.triples[idx as usize];
+            if sid.is_none_or(|x| x == ts)
+                && pid.is_none_or(|x| x == tp)
+                && oid.is_none_or(|x| x == to)
+            {
+                Some((self.term(ts), self.term(tp), self.term(to)))
+            } else {
+                None
+            }
+        }))
+    }
+
+    /// Extends the graph with all triples of `other` (RDF merge without
+    /// blank-node renaming — adequate for our benchmarks, which use
+    /// disjoint blank-node labels).
+    pub fn extend_from(&mut self, other: &Graph) {
+        for (s, p, o) in other.iter() {
+            self.insert(Triple::new(s.clone(), p.clone(), o.clone()));
+        }
+    }
+}
+
+impl FromIterator<Triple> for Graph {
+    fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
+        let mut g = Graph::new();
+        for t in iter {
+            g.insert(t);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    fn sample() -> Graph {
+        // The bordering-countries graph from the paper, §4.2.
+        [
+            t("ex:spain", "ex:borders", "ex:france"),
+            t("ex:france", "ex:borders", "ex:belgium"),
+            t("ex:france", "ex:borders", "ex:germany"),
+            t("ex:belgium", "ex:borders", "ex:germany"),
+            t("ex:germany", "ex:borders", "ex:austria"),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn insert_dedupes() {
+        let mut g = Graph::new();
+        assert!(g.insert(t("a", "p", "b")));
+        assert!(!g.insert(t("a", "p", "b")));
+        assert_eq!(g.len(), 1);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn contains() {
+        let g = sample();
+        assert!(g.contains(&t("ex:spain", "ex:borders", "ex:france")));
+        assert!(!g.contains(&t("ex:spain", "ex:borders", "ex:austria")));
+        assert!(!g.contains(&t("unknown", "ex:borders", "ex:france")));
+    }
+
+    #[test]
+    fn match_by_subject() {
+        let g = sample();
+        let hits: Vec<_> = g
+            .triples_matching(Some(&Term::iri("ex:france")), None, None)
+            .collect();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn match_by_object() {
+        let g = sample();
+        let hits: Vec<_> = g
+            .triples_matching(None, None, Some(&Term::iri("ex:germany")))
+            .collect();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn match_by_predicate_and_full_scan() {
+        let g = sample();
+        assert_eq!(
+            g.triples_matching(None, Some(&Term::iri("ex:borders")), None)
+                .count(),
+            5
+        );
+        assert_eq!(g.triples_matching(None, None, None).count(), 5);
+    }
+
+    #[test]
+    fn match_fully_bound() {
+        let g = sample();
+        assert_eq!(
+            g.triples_matching(
+                Some(&Term::iri("ex:spain")),
+                Some(&Term::iri("ex:borders")),
+                Some(&Term::iri("ex:france"))
+            )
+            .count(),
+            1
+        );
+        assert_eq!(
+            g.triples_matching(
+                Some(&Term::iri("ex:spain")),
+                Some(&Term::iri("ex:borders")),
+                Some(&Term::iri("ex:austria"))
+            )
+            .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn match_unknown_term_is_empty() {
+        let g = sample();
+        assert_eq!(
+            g.triples_matching(Some(&Term::iri("ex:mars")), None, None).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn subjects_or_objects_dedupes() {
+        let g = sample();
+        let mut names: Vec<_> = g
+            .subjects_or_objects()
+            .iter()
+            .map(|t| t.str_value().to_string())
+            .collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                "ex:austria",
+                "ex:belgium",
+                "ex:france",
+                "ex:germany",
+                "ex:spain"
+            ]
+        );
+    }
+
+    #[test]
+    fn extend_from_merges() {
+        let mut g = sample();
+        let mut other = Graph::new();
+        other.insert(t("ex:austria", "ex:borders", "ex:italy"));
+        other.insert(t("ex:spain", "ex:borders", "ex:france")); // duplicate
+        g.extend_from(&other);
+        assert_eq!(g.len(), 6);
+    }
+}

@@ -1,0 +1,50 @@
+//! RDF 1.1 data model for the SparqLog reproduction.
+//!
+//! This crate provides the substrate that every other crate in the workspace
+//! builds upon: RDF [terms](term::Term) (IRIs, literals with datatypes and
+//! language tags, blank nodes), [triples](triple::Triple),
+//! [graphs](graph::Graph) with hash indexes on every component,
+//! [datasets](dataset::Dataset) (a default graph plus named graphs), and
+//! parsers/serializers for N-Triples and a practical subset of Turtle.
+//!
+//! The design goals mirror what the SparqLog paper (VLDB 2023) needs from
+//! Apache Jena:
+//!
+//! * cheap term sharing (`Arc<str>` backed) so that loading a 50k-triple
+//!   SP²Bench instance does not copy strings per triple,
+//! * indexed pattern matching (`(s?, p?, o?)` with any subset bound) for the
+//!   reference engines,
+//! * a total order on terms so solution sequences can be sorted
+//!   deterministically.
+//!
+//! # Example
+//!
+//! ```
+//! use sparqlog_rdf::{Graph, Term, Triple};
+//!
+//! let mut g = Graph::new();
+//! g.insert(Triple::new(
+//!     Term::iri("http://ex.org/glucas"),
+//!     Term::iri("http://ex.org/name"),
+//!     Term::literal("George"),
+//! ));
+//! assert_eq!(g.len(), 1);
+//! let hits: Vec<_> = g
+//!     .triples_matching(None, Some(&Term::iri("http://ex.org/name")), None)
+//!     .collect();
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+pub mod dataset;
+pub mod graph;
+pub mod nquads;
+pub mod ntriples;
+pub mod term;
+pub mod triple;
+pub mod turtle;
+pub mod vocab;
+
+pub use dataset::Dataset;
+pub use graph::Graph;
+pub use term::{Literal, LiteralKind, Term};
+pub use triple::{Quad, Triple};

@@ -1,0 +1,224 @@
+//! N-Quads parser and serializer: the dataset-level exchange format
+//! (N-Triples plus an optional graph-name IRI per line).
+
+use std::fmt::Write as _;
+
+use crate::dataset::Dataset;
+use crate::ntriples::ParseError;
+use crate::term::Term;
+use crate::triple::{Quad, Triple};
+
+/// Parses an N-Quads document into a [`Dataset`]. Lines with three terms
+/// go to the default graph; a fourth IRI selects a named graph.
+pub fn parse(input: &str) -> Result<Dataset, ParseError> {
+    let mut ds = Dataset::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let quad = parse_line(line).map_err(|message| ParseError {
+            line: lineno + 1,
+            message,
+        })?;
+        ds.insert(quad);
+    }
+    Ok(ds)
+}
+
+fn parse_line(line: &str) -> Result<Quad, String> {
+    // Reuse the N-Triples term scanner by tokenising manually: strip the
+    // trailing '.', then read three or four terms.
+    let body = line
+        .strip_suffix('.')
+        .ok_or_else(|| "expected '.' at end of statement".to_string())?
+        .trim_end();
+    let mut terms = Vec::new();
+    let mut rest = body;
+    while !rest.trim_start().is_empty() {
+        if terms.len() == 4 {
+            return Err("too many terms in statement".into());
+        }
+        let (term, remainder) = scan_term(rest.trim_start())?;
+        terms.push(term);
+        rest = remainder;
+    }
+    match terms.len() {
+        3 => {
+            let mut it = terms.into_iter();
+            Ok(Quad::in_default(Triple::new(
+                it.next().unwrap(),
+                it.next().unwrap(),
+                it.next().unwrap(),
+            )))
+        }
+        4 => {
+            let mut it = terms.into_iter();
+            let t = Triple::new(
+                it.next().unwrap(),
+                it.next().unwrap(),
+                it.next().unwrap(),
+            );
+            let g = it.next().unwrap();
+            if !g.is_iri() {
+                return Err("graph name must be an IRI".into());
+            }
+            Ok(Quad::in_graph(t, g))
+        }
+        n => Err(format!("expected 3 or 4 terms, found {n}")),
+    }
+}
+
+/// Scans one term off the front of `s`; returns the term and the rest.
+fn scan_term(s: &str) -> Result<(Term, &str), String> {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some('<') => {
+            let end = s.find('>').ok_or("unterminated IRI")?;
+            Ok((Term::iri(&s[1..end]), &s[end + 1..]))
+        }
+        Some('_') => {
+            let body = s.strip_prefix("_:").ok_or("expected '_:'")?;
+            let len = body
+                .char_indices()
+                .find(|(_, c)| c.is_whitespace())
+                .map(|(i, _)| i)
+                .unwrap_or(body.len());
+            if len == 0 {
+                return Err("empty blank node label".into());
+            }
+            Ok((Term::bnode(&body[..len]), &body[len..]))
+        }
+        Some('"') => {
+            // Find the closing quote, honouring escapes.
+            let mut end = None;
+            let mut escaped = false;
+            for (i, c) in s[1..].char_indices() {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    end = Some(i + 1);
+                    break;
+                }
+            }
+            let end = end.ok_or("unterminated string literal")?;
+            let lexical = unescape(&s[1..end])?;
+            let rest = &s[end + 1..];
+            if let Some(r) = rest.strip_prefix("^^<") {
+                let close = r.find('>').ok_or("unterminated datatype IRI")?;
+                Ok((Term::typed_literal(lexical, &r[..close]), &r[close + 1..]))
+            } else if let Some(r) = rest.strip_prefix('@') {
+                let len = r
+                    .char_indices()
+                    .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '-'))
+                    .map(|(i, _)| i)
+                    .unwrap_or(r.len());
+                if len == 0 {
+                    return Err("empty language tag".into());
+                }
+                Ok((Term::lang_literal(lexical, &r[..len]), &r[len..]))
+            } else {
+                Ok((Term::literal(lexical), rest))
+            }
+        }
+        Some(c) => Err(format!("unexpected character {c:?}")),
+        None => Err("unexpected end of statement".into()),
+    }
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('u') => {
+                let code: String = (0..4).filter_map(|_| it.next()).collect();
+                if code.len() != 4 {
+                    return Err("truncated \\u escape".into());
+                }
+                let n = u32::from_str_radix(&code, 16)
+                    .map_err(|_| "invalid \\u escape".to_string())?;
+                out.push(char::from_u32(n).ok_or("invalid code point")?);
+            }
+            other => return Err(format!("unknown escape {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Serializes a dataset as N-Quads.
+pub fn serialize(ds: &Dataset) -> String {
+    let mut out = String::new();
+    for (s, p, o) in ds.default_graph().iter() {
+        let _ = writeln!(out, "{s} {p} {o} .");
+    }
+    for (name, g) in ds.named_graphs() {
+        for (s, p, o) in g.iter() {
+            let _ = writeln!(out, "{s} {p} {o} <{name}> .");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_mixed_document() {
+        let doc = r#"
+<http://a> <http://p> <http://b> .
+<http://a> <http://p> "lit"@en <http://g1> .
+_:b <http://p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> <http://g1> .
+# comment
+<http://c> <http://q> "x" <http://g2> .
+"#;
+        let ds = parse(doc).unwrap();
+        assert_eq!(ds.default_graph().len(), 1);
+        assert_eq!(ds.named_graph("http://g1").unwrap().len(), 2);
+        assert_eq!(ds.named_graph("http://g2").unwrap().len(), 1);
+        assert!(ds.named_graph("http://g1").unwrap().contains(&Triple::new(
+            Term::bnode("b"),
+            Term::iri("http://p"),
+            Term::integer(5),
+        )));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let doc = concat!(
+            "<http://a> <http://p> \"x\" .\n",
+            "<http://a> <http://p> \"esc\\\"aped\" <http://g> .\n",
+        );
+        let ds = parse(doc).unwrap();
+        let ds2 = parse(&serialize(&ds)).unwrap();
+        assert_eq!(ds.len(), ds2.len());
+        assert_eq!(ds2.named_graph("http://g").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(parse("<http://a> <http://p>").unwrap_err().line, 1);
+        assert!(parse("<http://a> <http://p> <http://o> \"lit\" .").is_err());
+        assert!(parse("<a> <p> <o> <g> <extra> .").is_err());
+        assert!(parse("<http://a> <http://p> \"unterminated .").is_err());
+    }
+
+    #[test]
+    fn escapes_in_literals() {
+        let ds = parse(r#"<http://a> <http://p> "a\"b\nc" ."#).unwrap();
+        let (_, _, o) = ds.default_graph().iter().next().unwrap();
+        assert_eq!(o.as_literal().unwrap().lexical(), "a\"b\nc");
+    }
+}

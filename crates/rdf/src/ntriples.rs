@@ -1,0 +1,276 @@
+//! N-Triples parser and serializer.
+//!
+//! N-Triples is the line-based RDF syntax: one triple per line, full IRIs in
+//! angle brackets, `.` terminated. It is the exchange format used by the
+//! benchmark generators in this workspace.
+
+use std::fmt::Write as _;
+
+use crate::graph::Graph;
+use crate::term::Term;
+use crate::triple::Triple;
+
+/// An error produced while parsing N-Triples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "N-Triples parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an N-Triples document into a [`Graph`].
+pub fn parse(input: &str) -> Result<Graph, ParseError> {
+    let mut g = Graph::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let triple = parse_line(line).map_err(|message| ParseError {
+            line: lineno + 1,
+            message,
+        })?;
+        g.insert(triple);
+    }
+    Ok(g)
+}
+
+/// Parses a single N-Triples line (without trailing newline).
+fn parse_line(line: &str) -> Result<Triple, String> {
+    let mut chars = Scanner::new(line);
+    let subject = chars.term()?;
+    chars.skip_ws();
+    let predicate = chars.term()?;
+    chars.skip_ws();
+    let object = chars.term()?;
+    chars.skip_ws();
+    if !chars.eat('.') {
+        return Err("expected '.' at end of triple".into());
+    }
+    chars.skip_ws();
+    if !chars.at_end() {
+        return Err("trailing content after '.'".into());
+    }
+    Ok(Triple::new(subject, predicate, object))
+}
+
+struct Scanner<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(s: &'a str) -> Self {
+        Scanner { rest: s }
+    }
+
+    fn at_end(&self) -> bool {
+        self.rest.is_empty()
+    }
+
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if let Some(r) = self.rest.strip_prefix(c) {
+            self.rest = r;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, String> {
+        self.skip_ws();
+        let mut it = self.rest.chars();
+        match it.next() {
+            Some('<') => {
+                let end = self
+                    .rest
+                    .find('>')
+                    .ok_or_else(|| "unterminated IRI".to_string())?;
+                let iri = &self.rest[1..end];
+                self.rest = &self.rest[end + 1..];
+                Ok(Term::iri(iri))
+            }
+            Some('_') => {
+                if !self.rest.starts_with("_:") {
+                    return Err("expected '_:' to start a blank node".into());
+                }
+                let body = &self.rest[2..];
+                let len = body
+                    .char_indices()
+                    .find(|(_, c)| c.is_whitespace() || *c == '.')
+                    .map(|(i, _)| i)
+                    .unwrap_or(body.len());
+                if len == 0 {
+                    return Err("empty blank node label".into());
+                }
+                let label = &body[..len];
+                self.rest = &body[len..];
+                Ok(Term::bnode(label))
+            }
+            Some('"') => {
+                let (lexical, consumed) = unescape_string(&self.rest[1..])?;
+                self.rest = &self.rest[1 + consumed..];
+                if let Some(r) = self.rest.strip_prefix("^^<") {
+                    let end = r.find('>').ok_or_else(|| "unterminated datatype IRI".to_string())?;
+                    let dt = &r[..end];
+                    self.rest = &r[end + 1..];
+                    Ok(Term::typed_literal(lexical, dt))
+                } else if let Some(r) = self.rest.strip_prefix('@') {
+                    let len = r
+                        .char_indices()
+                        .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '-'))
+                        .map(|(i, _)| i)
+                        .unwrap_or(r.len());
+                    if len == 0 {
+                        return Err("empty language tag".into());
+                    }
+                    let tag = &r[..len];
+                    self.rest = &r[len..];
+                    Ok(Term::lang_literal(lexical, tag))
+                } else {
+                    Ok(Term::literal(lexical))
+                }
+            }
+            Some(c) => Err(format!("unexpected character {c:?}")),
+            None => Err("unexpected end of line".into()),
+        }
+    }
+}
+
+/// Unescapes an N-Triples string body starting just after the opening quote.
+/// Returns `(content, bytes consumed including the closing quote)`.
+fn unescape_string(s: &str) -> Result<(String, usize), String> {
+    let mut out = String::new();
+    let mut it = s.char_indices();
+    while let Some((i, c)) = it.next() {
+        match c {
+            '"' => return Ok((out, i + 1)),
+            '\\' => {
+                let (_, esc) = it.next().ok_or("dangling escape")?;
+                match esc {
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'u' => {
+                        let mut code = String::new();
+                        for _ in 0..4 {
+                            code.push(it.next().ok_or("truncated \\u escape")?.1);
+                        }
+                        let n = u32::from_str_radix(&code, 16)
+                            .map_err(|_| "invalid \\u escape".to_string())?;
+                        out.push(
+                            char::from_u32(n).ok_or("invalid unicode code point")?,
+                        );
+                    }
+                    other => return Err(format!("unknown escape \\{other}")),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string literal".into())
+}
+
+/// Serializes a graph as an N-Triples document (one triple per line, in the
+/// graph's insertion order).
+pub fn serialize(g: &Graph) -> String {
+    let mut out = String::new();
+    for (s, p, o) in g.iter() {
+        let _ = writeln!(out, "{s} {p} {o} .");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_document() {
+        let doc = r#"
+# film directors, from the paper §3.1
+<http://ex.org/glucas> <http://ex.org/name> "George" .
+<http://ex.org/glucas> <http://ex.org/lastname> "Lucas" .
+_:b1 <http://ex.org/name> "Steven" .
+"#;
+        let g = parse(doc).unwrap();
+        assert_eq!(g.len(), 3);
+        assert!(g.contains(&Triple::new(
+            Term::bnode("b1"),
+            Term::iri("http://ex.org/name"),
+            Term::literal("Steven"),
+        )));
+    }
+
+    #[test]
+    fn parse_typed_and_lang_literals() {
+        let doc = concat!(
+            "<http://s> <http://p> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n",
+            "<http://s> <http://p> \"chat\"@fr .\n",
+        );
+        let g = parse(doc).unwrap();
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://s"),
+            Term::iri("http://p"),
+            Term::integer(5),
+        )));
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://s"),
+            Term::iri("http://p"),
+            Term::lang_literal("chat", "fr"),
+        )));
+    }
+
+    #[test]
+    fn parse_escapes() {
+        let doc = "<http://s> <http://p> \"a\\\"b\\nc\\\\d\\u0041\" .\n";
+        let g = parse(doc).unwrap();
+        let (_, _, o) = g.iter().next().unwrap();
+        assert_eq!(o.as_literal().unwrap().lexical(), "a\"b\nc\\dA");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let doc = concat!(
+            "<http://s> <http://p> \"x\" .\n",
+            "<http://s> <http://p> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n",
+            "_:b <http://p> \"hi\"@en .\n",
+        );
+        let g = parse(doc).unwrap();
+        let g2 = parse(&serialize(&g)).unwrap();
+        assert_eq!(g.len(), g2.len());
+        for (s, p, o) in g.iter() {
+            assert!(g2.contains(&Triple::new(s.clone(), p.clone(), o.clone())));
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_with_line_numbers() {
+        let err = parse("<http://s> <http://p> .\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse("<http://s> <http://p> \"x\"\n").unwrap_err();
+        assert!(err.message.contains("'.'"), "{}", err.message);
+        let err = parse("<http://s> <http://p> \"x\" . junk\n").unwrap_err();
+        assert!(err.message.contains("trailing"), "{}", err.message);
+    }
+
+    #[test]
+    fn unterminated_iri_and_string() {
+        assert!(parse("<http://s <http://p> <http://o> .").is_err());
+        assert!(parse("<http://s> <http://p> \"x .").is_err());
+    }
+}

@@ -1,0 +1,363 @@
+//! RDF terms: IRIs, blank nodes and literals.
+//!
+//! Terms are the values that populate RDF graphs and SPARQL solution
+//! mappings. They are backed by `Arc<str>` so cloning a term (which happens
+//! constantly during query evaluation) is a reference-count bump, not a
+//! string copy.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::vocab::xsd;
+
+/// The kind of an RDF literal: plain, language-tagged or datatyped.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LiteralKind {
+    /// A simple literal such as `"George"` (per RDF 1.1 this is the same as
+    /// `xsd:string`, but we keep the distinction for round-tripping).
+    Plain,
+    /// A language-tagged string such as `"chat"@fr`. The tag is stored
+    /// lower-cased, as RDF 1.1 demands case-insensitive comparison.
+    Lang(Arc<str>),
+    /// A datatyped literal such as `"5"^^xsd:integer`. The IRI of the
+    /// datatype is stored without angle brackets.
+    Typed(Arc<str>),
+}
+
+/// An RDF literal: a lexical form plus a [`LiteralKind`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    lexical: Arc<str>,
+    kind: LiteralKind,
+}
+
+impl Literal {
+    /// Creates a plain (simple) literal.
+    pub fn plain(lexical: impl Into<Arc<str>>) -> Self {
+        Literal { lexical: lexical.into(), kind: LiteralKind::Plain }
+    }
+
+    /// Creates a language-tagged literal. The tag is lower-cased.
+    pub fn lang(lexical: impl Into<Arc<str>>, tag: &str) -> Self {
+        Literal {
+            lexical: lexical.into(),
+            kind: LiteralKind::Lang(tag.to_ascii_lowercase().into()),
+        }
+    }
+
+    /// Creates a datatyped literal.
+    pub fn typed(lexical: impl Into<Arc<str>>, datatype: impl Into<Arc<str>>) -> Self {
+        Literal { lexical: lexical.into(), kind: LiteralKind::Typed(datatype.into()) }
+    }
+
+    /// The lexical form of the literal.
+    pub fn lexical(&self) -> &str {
+        &self.lexical
+    }
+
+    /// The literal's kind.
+    pub fn kind(&self) -> &LiteralKind {
+        &self.kind
+    }
+
+    /// The language tag, if this is a language-tagged string.
+    pub fn language(&self) -> Option<&str> {
+        match &self.kind {
+            LiteralKind::Lang(tag) => Some(tag),
+            _ => None,
+        }
+    }
+
+    /// The datatype IRI per RDF 1.1 (plain ⇒ `xsd:string`,
+    /// language-tagged ⇒ `rdf:langString`).
+    pub fn datatype(&self) -> &str {
+        match &self.kind {
+            LiteralKind::Plain => xsd::STRING,
+            LiteralKind::Lang(_) => crate::vocab::rdf::LANG_STRING,
+            LiteralKind::Typed(dt) => dt,
+        }
+    }
+
+    /// Attempts to interpret this literal as a number (for SPARQL filter
+    /// arithmetic). Plain literals are *not* numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match &self.kind {
+            LiteralKind::Typed(dt) if xsd::is_numeric(dt) => self.lexical.trim().parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Attempts to interpret this literal as an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match &self.kind {
+            LiteralKind::Typed(dt) if xsd::is_integer(dt) => self.lexical.trim().parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Attempts to interpret this literal as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match &self.kind {
+            LiteralKind::Typed(dt) if dt.as_ref() == xsd::BOOLEAN => {
+                match self.lexical.as_ref() {
+                    "true" | "1" => Some(true),
+                    "false" | "0" => Some(false),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// True if the literal has a numeric XSD datatype and parses as one.
+    pub fn is_numeric(&self) -> bool {
+        self.as_f64().is_some()
+    }
+}
+
+/// An RDF term. Subjects are IRIs or blank nodes, predicates are IRIs,
+/// objects can be any term (RDF 1.1 Concepts §3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// An IRI, stored without surrounding angle brackets.
+    Iri(Arc<str>),
+    /// A blank node, stored without the `_:` prefix.
+    BlankNode(Arc<str>),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl Term {
+    /// Creates an IRI term.
+    pub fn iri(iri: impl Into<Arc<str>>) -> Self {
+        Term::Iri(iri.into())
+    }
+
+    /// Creates a blank node term.
+    pub fn bnode(label: impl Into<Arc<str>>) -> Self {
+        Term::BlankNode(label.into())
+    }
+
+    /// Creates a plain literal term.
+    pub fn literal(lexical: impl Into<Arc<str>>) -> Self {
+        Term::Literal(Literal::plain(lexical))
+    }
+
+    /// Creates a language-tagged literal term.
+    pub fn lang_literal(lexical: impl Into<Arc<str>>, tag: &str) -> Self {
+        Term::Literal(Literal::lang(lexical, tag))
+    }
+
+    /// Creates a datatyped literal term.
+    pub fn typed_literal(lexical: impl Into<Arc<str>>, datatype: impl Into<Arc<str>>) -> Self {
+        Term::Literal(Literal::typed(lexical, datatype))
+    }
+
+    /// Creates an `xsd:integer` literal.
+    pub fn integer(value: i64) -> Self {
+        Term::typed_literal(value.to_string(), xsd::INTEGER)
+    }
+
+    /// Creates an `xsd:double` literal.
+    pub fn double(value: f64) -> Self {
+        Term::typed_literal(value.to_string(), xsd::DOUBLE)
+    }
+
+    /// Creates an `xsd:boolean` literal.
+    pub fn boolean(value: bool) -> Self {
+        Term::typed_literal(if value { "true" } else { "false" }, xsd::BOOLEAN)
+    }
+
+    /// True if the term is an IRI.
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// True if the term is a blank node.
+    pub fn is_bnode(&self) -> bool {
+        matches!(self, Term::BlankNode(_))
+    }
+
+    /// True if the term is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+
+    /// The literal payload, if this term is a literal.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The IRI string, if this term is an IRI.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The SPARQL `STR()` value of the term: the IRI string, the blank-node
+    /// label, or the literal's lexical form.
+    pub fn str_value(&self) -> &str {
+        match self {
+            Term::Iri(i) => i,
+            Term::BlankNode(b) => b,
+            Term::Literal(l) => l.lexical(),
+        }
+    }
+}
+
+/// Terms carry a total order so solution sequences can be sorted
+/// deterministically: blank nodes < IRIs < literals, then lexicographic
+/// (numeric literals compare by value first). This mirrors the SPARQL
+/// `ORDER BY` term ordering closely enough for the paper's purposes — the
+/// paper itself delegates ordering to Vadalog's native order (§4.3).
+impl Ord for Term {
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(t: &Term) -> u8 {
+            match t {
+                Term::BlankNode(_) => 0,
+                Term::Iri(_) => 1,
+                Term::Literal(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Term::BlankNode(a), Term::BlankNode(b)) => a.cmp(b),
+            (Term::Iri(a), Term::Iri(b)) => a.cmp(b),
+            (Term::Literal(a), Term::Literal(b)) => {
+                match (a.as_f64(), b.as_f64()) {
+                    (Some(x), Some(y)) => x
+                        .partial_cmp(&y)
+                        .unwrap_or(Ordering::Equal)
+                        .then_with(|| a.cmp(b)),
+                    _ => a.cmp(b),
+                }
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl PartialOrd for Term {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Term {
+    /// Formats the term in N-Triples syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(i) => write!(f, "<{i}>"),
+            Term::BlankNode(b) => write!(f, "_:{b}"),
+            Term::Literal(l) => {
+                write!(f, "\"{}\"", escape_literal(l.lexical()))?;
+                match l.kind() {
+                    LiteralKind::Plain => Ok(()),
+                    LiteralKind::Lang(tag) => write!(f, "@{tag}"),
+                    LiteralKind::Typed(dt) => write!(f, "^^<{dt}>"),
+                }
+            }
+        }
+    }
+}
+
+/// Escapes a literal's lexical form for N-Triples output.
+pub fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_accessors() {
+        let l = Literal::plain("George");
+        assert_eq!(l.lexical(), "George");
+        assert_eq!(l.datatype(), xsd::STRING);
+        assert_eq!(l.language(), None);
+
+        let l = Literal::lang("chat", "FR");
+        assert_eq!(l.language(), Some("fr"), "language tags are lower-cased");
+        assert_eq!(l.datatype(), crate::vocab::rdf::LANG_STRING);
+
+        let l = Literal::typed("5", xsd::INTEGER);
+        assert_eq!(l.as_i64(), Some(5));
+        assert_eq!(l.as_f64(), Some(5.0));
+        assert!(l.is_numeric());
+    }
+
+    #[test]
+    fn plain_literal_is_not_numeric() {
+        assert!(!Literal::plain("5").is_numeric());
+        assert_eq!(Literal::plain("5").as_i64(), None);
+    }
+
+    #[test]
+    fn boolean_literals() {
+        assert_eq!(Literal::typed("true", xsd::BOOLEAN).as_bool(), Some(true));
+        assert_eq!(Literal::typed("0", xsd::BOOLEAN).as_bool(), Some(false));
+        assert_eq!(Literal::typed("maybe", xsd::BOOLEAN).as_bool(), None);
+    }
+
+    #[test]
+    fn term_constructors_and_predicates() {
+        assert!(Term::iri("http://a").is_iri());
+        assert!(Term::bnode("b1").is_bnode());
+        assert!(Term::literal("x").is_literal());
+        assert_eq!(Term::integer(42).as_literal().unwrap().as_i64(), Some(42));
+        assert_eq!(Term::boolean(true).as_literal().unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn term_ordering_by_kind_then_value() {
+        let b = Term::bnode("z");
+        let i = Term::iri("http://a");
+        let l = Term::literal("a");
+        assert!(b < i && i < l);
+        assert!(Term::iri("http://a") < Term::iri("http://b"));
+    }
+
+    #[test]
+    fn numeric_literals_order_by_value() {
+        let two = Term::integer(2);
+        let ten = Term::integer(10);
+        assert!(two < ten, "2 < 10 numerically even though \"10\" < \"2\" lexically");
+    }
+
+    #[test]
+    fn display_roundtrip_shapes() {
+        assert_eq!(Term::iri("http://a").to_string(), "<http://a>");
+        assert_eq!(Term::bnode("b1").to_string(), "_:b1");
+        assert_eq!(Term::literal("hi").to_string(), "\"hi\"");
+        assert_eq!(Term::lang_literal("hi", "en").to_string(), "\"hi\"@en");
+        assert_eq!(
+            Term::integer(5).to_string(),
+            format!("\"5\"^^<{}>", xsd::INTEGER)
+        );
+        assert_eq!(Term::literal("a\"b\\c\nd").to_string(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn str_value() {
+        assert_eq!(Term::iri("http://a").str_value(), "http://a");
+        assert_eq!(Term::bnode("b").str_value(), "b");
+        assert_eq!(Term::literal("x").str_value(), "x");
+    }
+}

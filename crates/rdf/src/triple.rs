@@ -1,0 +1,83 @@
+//! RDF triples and quads.
+
+use std::fmt;
+
+use crate::term::Term;
+
+/// An RDF triple `(subject, predicate, object)`.
+///
+/// The data model does not enforce the positional restrictions of RDF 1.1
+/// (e.g. literals in subject position) at the type level; parsers enforce
+/// them at the syntax level. This permissiveness is deliberate: the SPARQL
+/// reference engines instantiate triple *patterns* whose positions may carry
+/// any term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    pub subject: Term,
+    pub predicate: Term,
+    pub object: Term,
+}
+
+impl Triple {
+    /// Creates a triple.
+    pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
+        Triple { subject, predicate, object }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// An RDF quad: a triple plus the graph it belongs to (`None` = default
+/// graph).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Quad {
+    pub triple: Triple,
+    pub graph: Option<Term>,
+}
+
+impl Quad {
+    /// Creates a quad in the default graph.
+    pub fn in_default(triple: Triple) -> Self {
+        Quad { triple, graph: None }
+    }
+
+    /// Creates a quad in the named graph `g`.
+    pub fn in_graph(triple: Triple, g: Term) -> Self {
+        Quad { triple, graph: Some(g) }
+    }
+}
+
+impl fmt::Display for Quad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.graph {
+            None => write!(f, "{}", self.triple),
+            Some(g) => write!(
+                f,
+                "{} {} {} {} .",
+                self.triple.subject, self.triple.predicate, self.triple.object, g
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let t = Triple::new(
+            Term::iri("http://a"),
+            Term::iri("http://p"),
+            Term::literal("x"),
+        );
+        assert_eq!(t.to_string(), "<http://a> <http://p> \"x\" .");
+        let q = Quad::in_graph(t.clone(), Term::iri("http://g"));
+        assert_eq!(q.to_string(), "<http://a> <http://p> \"x\" <http://g> .");
+        assert_eq!(Quad::in_default(t).graph, None);
+    }
+}

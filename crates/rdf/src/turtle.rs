@@ -1,0 +1,521 @@
+//! A practical subset of the Turtle syntax.
+//!
+//! Supports everything our benchmarks and examples need:
+//!
+//! * `@prefix` / `@base` directives (and SPARQL-style `PREFIX` / `BASE`),
+//! * prefixed names (`ex:spain`), full IRIs, blank nodes (`_:b` and `[]`),
+//! * `a` as `rdf:type`,
+//! * predicate lists (`;`) and object lists (`,`),
+//! * string literals with escapes, language tags and datatypes,
+//! * numeric (`5`, `-3.2`, `4.2e1`) and boolean (`true`/`false`) shorthand.
+//!
+//! Not supported (not needed by the paper's workloads): collections
+//! `( ... )`, triple-quoted strings, and nested blank-node property lists.
+
+use std::collections::HashMap;
+
+use crate::graph::Graph;
+use crate::term::Term;
+use crate::triple::Triple;
+use crate::vocab::{rdf, xsd};
+
+/// An error produced while parsing Turtle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TurtleError {
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TurtleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Turtle parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for TurtleError {}
+
+/// Parses a Turtle document into a [`Graph`].
+pub fn parse(input: &str) -> Result<Graph, TurtleError> {
+    Parser::new(input).parse_document()
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+    base: String,
+    graph: Graph,
+    bnode_counter: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            pos: 0,
+            prefixes: HashMap::new(),
+            base: String::new(),
+            graph: Graph::new(),
+            bnode_counter: 0,
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, TurtleError> {
+        Err(TurtleError { offset: self.pos, message: message.into() })
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            let r = self.rest();
+            let trimmed = r.trim_start();
+            self.pos += r.len() - trimmed.len();
+            if trimmed.starts_with('#') {
+                match trimmed.find('\n') {
+                    Some(nl) => self.pos += nl + 1,
+                    None => self.pos = self.input.len(),
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword_ci(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let r = self.rest();
+        if r.len() >= kw.len() && r[..kw.len()].eq_ignore_ascii_case(kw) {
+            // Keyword must end at a boundary.
+            let after = &r[kw.len()..];
+            if after.is_empty() || !after.chars().next().unwrap().is_ascii_alphanumeric() {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn parse_document(mut self) -> Result<Graph, TurtleError> {
+        loop {
+            self.skip_ws();
+            if self.rest().is_empty() {
+                return Ok(self.graph);
+            }
+            if self.eat_keyword_ci("@prefix") || self.eat_keyword_ci("prefix") {
+                self.parse_prefix()?;
+            } else if self.eat_keyword_ci("@base") || self.eat_keyword_ci("base") {
+                self.skip_ws();
+                let iri = self.parse_iri_ref()?;
+                self.base = iri;
+                self.eat('.');
+            } else {
+                self.parse_triples_block()?;
+                self.skip_ws();
+                if !self.eat('.') {
+                    return self.err("expected '.' after triples");
+                }
+            }
+        }
+    }
+
+    fn parse_prefix(&mut self) -> Result<(), TurtleError> {
+        self.skip_ws();
+        let name = self.take_while(|c| c != ':' && !c.is_whitespace());
+        if !self.eat(':') {
+            return self.err("expected ':' in prefix declaration");
+        }
+        self.skip_ws();
+        let iri = self.parse_iri_ref()?;
+        self.prefixes.insert(name, iri);
+        self.eat('.');
+        Ok(())
+    }
+
+    fn take_while(&mut self, f: impl Fn(char) -> bool) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if f(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.input[start..self.pos].to_string()
+    }
+
+    fn parse_iri_ref(&mut self) -> Result<String, TurtleError> {
+        self.skip_ws();
+        if !self.eat('<') {
+            return self.err("expected '<' to start IRI");
+        }
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == '>' {
+                let iri = &self.input[start..self.pos];
+                self.bump();
+                return Ok(self.resolve_iri(iri));
+            }
+            self.bump();
+        }
+        self.err("unterminated IRI")
+    }
+
+    fn resolve_iri(&self, iri: &str) -> String {
+        if iri.contains(':') || self.base.is_empty() {
+            iri.to_string()
+        } else {
+            format!("{}{}", self.base, iri)
+        }
+    }
+
+    fn parse_triples_block(&mut self) -> Result<(), TurtleError> {
+        let subject = self.parse_term(true)?;
+        loop {
+            self.skip_ws();
+            let predicate = if self.eat_keyword_ci("a") {
+                Term::iri(rdf::TYPE)
+            } else {
+                self.parse_term(false)?
+            };
+            loop {
+                let object = self.parse_term(false)?;
+                self.graph.insert(Triple::new(
+                    subject.clone(),
+                    predicate.clone(),
+                    object,
+                ));
+                if !self.eat(',') {
+                    break;
+                }
+            }
+            if !self.eat(';') {
+                return Ok(());
+            }
+            // A trailing ';' before '.' is legal Turtle.
+            self.skip_ws();
+            if self.peek() == Some('.') {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_term(&mut self, subject_position: bool) -> Result<Term, TurtleError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('<') => {
+                let iri = self.parse_iri_ref()?;
+                Ok(Term::iri(iri))
+            }
+            Some('_') => {
+                if self.rest().starts_with("_:") {
+                    self.pos += 2;
+                    let label = self.take_while(|c| {
+                        c.is_ascii_alphanumeric() || c == '_' || c == '-'
+                    });
+                    if label.is_empty() {
+                        return self.err("empty blank node label");
+                    }
+                    Ok(Term::bnode(label))
+                } else {
+                    self.err("expected '_:'")
+                }
+            }
+            Some('[') => {
+                self.bump();
+                if !self.eat(']') {
+                    return self.err("blank node property lists are not supported");
+                }
+                self.bnode_counter += 1;
+                Ok(Term::bnode(format!("anon{}", self.bnode_counter)))
+            }
+            Some('"') | Some('\'') => self.parse_literal(),
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => self.parse_number(),
+            Some(_) => {
+                if !subject_position && self.eat_keyword_ci("true") {
+                    return Ok(Term::boolean(true));
+                }
+                if !subject_position && self.eat_keyword_ci("false") {
+                    return Ok(Term::boolean(false));
+                }
+                self.parse_prefixed_name()
+            }
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn parse_prefixed_name(&mut self) -> Result<Term, TurtleError> {
+        let prefix = self.take_while(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+        if !self.eat(':') {
+            return self.err(format!("expected ':' after prefix {prefix:?}"));
+        }
+        let local = self.take_while(|c| {
+            c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | '%')
+        });
+        // Turtle allows '.' inside local names but a trailing '.' terminates
+        // the statement; give it back.
+        let local = if let Some(stripped) = local.strip_suffix('.') {
+            self.pos -= 1;
+            stripped.to_string()
+        } else {
+            local
+        };
+        match self.prefixes.get(&prefix) {
+            Some(ns) => Ok(Term::iri(format!("{ns}{local}"))),
+            None => self.err(format!("undeclared prefix {prefix:?}")),
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<Term, TurtleError> {
+        let quote = self.bump().unwrap();
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return self.err("unterminated string literal"),
+                Some(c) if c == quote => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('"') => out.push('"'),
+                    Some('\'') => out.push('\''),
+                    Some('\\') => out.push('\\'),
+                    Some('u') => {
+                        let mut code = String::new();
+                        for _ in 0..4 {
+                            match self.bump() {
+                                Some(c) => code.push(c),
+                                None => return self.err("truncated \\u escape"),
+                            }
+                        }
+                        match u32::from_str_radix(&code, 16).ok().and_then(char::from_u32) {
+                            Some(c) => out.push(c),
+                            None => return self.err("invalid \\u escape"),
+                        }
+                    }
+                    other => return self.err(format!("unknown escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+        if self.rest().starts_with("^^") {
+            self.pos += 2;
+            self.skip_ws();
+            let dt = match self.peek() {
+                Some('<') => self.parse_iri_ref()?,
+                _ => match self.parse_prefixed_name()? {
+                    Term::Iri(i) => i.to_string(),
+                    _ => return self.err("datatype must be an IRI"),
+                },
+            };
+            return Ok(Term::typed_literal(out, dt));
+        }
+        if self.peek() == Some('@') {
+            self.bump();
+            let tag = self.take_while(|c| c.is_ascii_alphanumeric() || c == '-');
+            if tag.is_empty() {
+                return self.err("empty language tag");
+            }
+            return Ok(Term::lang_literal(out, &tag));
+        }
+        Ok(Term::literal(out))
+    }
+
+    fn parse_number(&mut self) -> Result<Term, TurtleError> {
+        let start = self.pos;
+        if matches!(self.peek(), Some('-') | Some('+')) {
+            self.bump();
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.bump();
+            } else if c == '.' {
+                // Only a decimal point if followed by a digit (else it is
+                // the statement terminator).
+                let mut look = self.rest().chars();
+                look.next();
+                if look.next().is_some_and(|d| d.is_ascii_digit()) {
+                    is_float = true;
+                    self.bump();
+                } else {
+                    break;
+                }
+            } else if c == 'e' || c == 'E' {
+                is_float = true;
+                self.bump();
+                if matches!(self.peek(), Some('-') | Some('+')) {
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if text.is_empty() || text == "-" || text == "+" {
+            return self.err("invalid number");
+        }
+        if is_float {
+            Ok(Term::typed_literal(text, xsd::DOUBLE))
+        } else {
+            Ok(Term::typed_literal(text, xsd::INTEGER))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_countries_graph() {
+        // Verbatim from §4.2 of the paper.
+        let doc = r#"
+@prefix ex: <http://ex.org/> .
+ex:spain ex:borders ex:france .
+ex:france ex:borders ex:belgium .
+ex:france ex:borders ex:germany .
+ex:belgium ex:borders ex:germany .
+ex:germany ex:borders ex:austria .
+"#;
+        let g = parse(doc).unwrap();
+        assert_eq!(g.len(), 5);
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://ex.org/spain"),
+            Term::iri("http://ex.org/borders"),
+            Term::iri("http://ex.org/france"),
+        )));
+    }
+
+    #[test]
+    fn predicate_and_object_lists() {
+        let doc = r#"
+@prefix ex: <http://ex.org/> .
+ex:a ex:p ex:b , ex:c ; ex:q ex:d .
+"#;
+        let g = parse(doc).unwrap();
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn a_keyword_and_literals() {
+        let doc = r#"
+@prefix ex: <http://ex.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:x a ex:Person ;
+     ex:name "George" ;
+     ex:age 42 ;
+     ex:height 1.78 ;
+     ex:alive true ;
+     ex:label "chef"@fr ;
+     ex:code "X1"^^xsd:string .
+"#;
+        let g = parse(doc).unwrap();
+        assert_eq!(g.len(), 7);
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://ex.org/x"),
+            Term::iri(rdf::TYPE),
+            Term::iri("http://ex.org/Person"),
+        )));
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://ex.org/x"),
+            Term::iri("http://ex.org/age"),
+            Term::integer(42),
+        )));
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://ex.org/x"),
+            Term::iri("http://ex.org/alive"),
+            Term::boolean(true),
+        )));
+    }
+
+    #[test]
+    fn anonymous_bnodes_are_distinct() {
+        let doc = r#"
+@prefix ex: <http://ex.org/> .
+ex:a ex:p [] .
+ex:b ex:p [] .
+"#;
+        let g = parse(doc).unwrap();
+        let objects: Vec<_> = g.iter().map(|(_, _, o)| o.clone()).collect();
+        assert_eq!(objects.len(), 2);
+        assert_ne!(objects[0], objects[1]);
+    }
+
+    #[test]
+    fn base_resolution() {
+        let doc = r#"
+@base <http://ex.org/> .
+<a> <p> <b> .
+"#;
+        let g = parse(doc).unwrap();
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://ex.org/a"),
+            Term::iri("http://ex.org/p"),
+            Term::iri("http://ex.org/b"),
+        )));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let doc = "# hello\n@prefix ex: <http://e/> . # trailing\nex:a ex:p ex:b . # done\n";
+        assert_eq!(parse(doc).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn undeclared_prefix_is_an_error() {
+        let err = parse("nope:a nope:p nope:b .").unwrap_err();
+        assert!(err.message.contains("undeclared prefix"), "{}", err.message);
+    }
+
+    #[test]
+    fn negative_and_exponent_numbers() {
+        let doc = "@prefix ex: <http://e/> .\nex:a ex:p -5 . ex:a ex:q 4.2e1 .";
+        let g = parse(doc).unwrap();
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://e/a"),
+            Term::iri("http://e/p"),
+            Term::integer(-5),
+        )));
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://e/a"),
+            Term::iri("http://e/q"),
+            Term::typed_literal("4.2e1", xsd::DOUBLE),
+        )));
+    }
+
+    #[test]
+    fn local_name_with_trailing_dot_terminates_statement() {
+        let doc = "@prefix ex: <http://e/> .\nex:a ex:p ex:b.\n";
+        let g = parse(doc).unwrap();
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://e/a"),
+            Term::iri("http://e/p"),
+            Term::iri("http://e/b"),
+        )));
+    }
+}

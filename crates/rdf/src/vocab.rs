@@ -1,0 +1,77 @@
+//! Well-known RDF vocabularies (XSD, RDF, RDFS) used across the workspace.
+
+/// XML Schema datatypes.
+pub mod xsd {
+    pub const NS: &str = "http://www.w3.org/2001/XMLSchema#";
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    pub const FLOAT: &str = "http://www.w3.org/2001/XMLSchema#float";
+    pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    pub const DATE: &str = "http://www.w3.org/2001/XMLSchema#date";
+    pub const DATE_TIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+    pub const LONG: &str = "http://www.w3.org/2001/XMLSchema#long";
+    pub const INT: &str = "http://www.w3.org/2001/XMLSchema#int";
+    pub const SHORT: &str = "http://www.w3.org/2001/XMLSchema#short";
+    pub const BYTE: &str = "http://www.w3.org/2001/XMLSchema#byte";
+    pub const NON_NEGATIVE_INTEGER: &str =
+        "http://www.w3.org/2001/XMLSchema#nonNegativeInteger";
+
+    /// True for XSD datatypes whose value space is integer.
+    pub fn is_integer(dt: &str) -> bool {
+        matches!(
+            dt,
+            INTEGER | LONG | INT | SHORT | BYTE | NON_NEGATIVE_INTEGER
+        )
+    }
+
+    /// True for XSD datatypes that SPARQL treats as numeric.
+    pub fn is_numeric(dt: &str) -> bool {
+        is_integer(dt) || matches!(dt, DECIMAL | DOUBLE | FLOAT)
+    }
+}
+
+/// The RDF core vocabulary.
+pub mod rdf {
+    pub const NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    pub const LANG_STRING: &str =
+        "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+    pub const FIRST: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#first";
+    pub const REST: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#rest";
+    pub const NIL: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#nil";
+}
+
+/// The RDF Schema vocabulary (used by the ontology benchmark).
+pub mod rdfs {
+    pub const NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+    pub const SUB_CLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    pub const SUB_PROPERTY_OF: &str =
+        "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+    pub const DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+    pub const RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+}
+
+/// OWL vocabulary items needed for the OWL 2 QL subset.
+pub mod owl {
+    pub const NS: &str = "http://www.w3.org/2002/07/owl#";
+    pub const INVERSE_OF: &str = "http://www.w3.org/2002/07/owl#inverseOf";
+    pub const SOME_VALUES_FROM: &str = "http://www.w3.org/2002/07/owl#someValuesFrom";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_classification() {
+        assert!(xsd::is_numeric(xsd::INTEGER));
+        assert!(xsd::is_numeric(xsd::DOUBLE));
+        assert!(xsd::is_integer(xsd::INT));
+        assert!(!xsd::is_integer(xsd::DOUBLE));
+        assert!(!xsd::is_numeric(xsd::STRING));
+        assert!(!xsd::is_numeric(xsd::BOOLEAN));
+    }
+}

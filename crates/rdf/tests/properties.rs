@@ -1,0 +1,116 @@
+//! Property-based tests of the RDF substrate: graph indexing against a
+//! brute-force scan, and parser round-trips.
+
+use proptest::prelude::*;
+use sparqlog_rdf::{ntriples, Graph, Term, Triple};
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0u8..6).prop_map(|i| Term::iri(format!("http://n/{i}"))),
+        (0u8..4).prop_map(|i| Term::bnode(format!("b{i}"))),
+        (0u8..4).prop_map(|i| Term::literal(format!("lit{i}"))),
+        (0i64..5).prop_map(Term::integer),
+        "[a-z]{1,6}".prop_map(Term::literal),
+    ]
+}
+
+fn triple_strategy() -> impl Strategy<Value = Triple> {
+    (
+        prop_oneof![
+            (0u8..6).prop_map(|i| Term::iri(format!("http://n/{i}"))),
+            (0u8..4).prop_map(|i| Term::bnode(format!("b{i}"))),
+        ],
+        (0u8..3).prop_map(|i| Term::iri(format!("http://p/{i}"))),
+        term_strategy(),
+    )
+        .prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Every pattern-match result equals a brute-force scan, for every
+    /// combination of bound positions.
+    #[test]
+    fn indexed_matching_equals_scan(
+        triples in prop::collection::vec(triple_strategy(), 0..40),
+        probe in triple_strategy(),
+        mask in 0u8..8,
+    ) {
+        let g: Graph = triples.iter().cloned().collect();
+        let s = (mask & 1 != 0).then_some(&probe.subject);
+        let p = (mask & 2 != 0).then_some(&probe.predicate);
+        let o = (mask & 4 != 0).then_some(&probe.object);
+        let mut got: Vec<Triple> = g
+            .triples_matching(s, p, o)
+            .map(|(a, b, c)| Triple::new(a.clone(), b.clone(), c.clone()))
+            .collect();
+        let mut want: Vec<Triple> = g
+            .iter()
+            .filter(|(a, b, c)| {
+                s.is_none_or(|t| t == *a)
+                    && p.is_none_or(|t| t == *b)
+                    && o.is_none_or(|t| t == *c)
+            })
+            .map(|(a, b, c)| Triple::new(a.clone(), b.clone(), c.clone()))
+            .collect();
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Graphs are sets: duplicate insertion never grows the graph, and
+    /// `contains` agrees with membership.
+    #[test]
+    fn set_semantics(triples in prop::collection::vec(triple_strategy(), 0..30)) {
+        let mut g = Graph::new();
+        for t in &triples {
+            g.insert(t.clone());
+        }
+        let n = g.len();
+        for t in &triples {
+            prop_assert!(!g.insert(t.clone()), "reinsert must be a no-op");
+            prop_assert!(g.contains(t));
+        }
+        prop_assert_eq!(g.len(), n);
+    }
+
+    /// N-Triples serialisation round-trips every graph.
+    #[test]
+    fn ntriples_roundtrip(triples in prop::collection::vec(triple_strategy(), 0..30)) {
+        let g: Graph = triples.into_iter().collect();
+        let text = ntriples::serialize(&g);
+        let back = ntriples::parse(&text).unwrap();
+        prop_assert_eq!(back.len(), g.len());
+        for (s, p, o) in g.iter() {
+            prop_assert!(back.contains(&Triple::new(s.clone(), p.clone(), o.clone())));
+        }
+    }
+
+    /// subjects_or_objects yields exactly the subject/object terms.
+    #[test]
+    fn subject_or_object_complete(
+        triples in prop::collection::vec(triple_strategy(), 0..30)
+    ) {
+        let g: Graph = triples.iter().cloned().collect();
+        let got: std::collections::BTreeSet<String> =
+            g.subjects_or_objects().iter().map(|t| t.to_string()).collect();
+        let want: std::collections::BTreeSet<String> = g
+            .iter()
+            .flat_map(|(s, _, o)| [s.to_string(), o.to_string()])
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Term ordering is a total order (antisymmetric + transitive on
+    /// random samples).
+    #[test]
+    fn term_order_is_total(a in term_strategy(), b in term_strategy(), c in term_strategy()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+        prop_assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+}

@@ -1,0 +1,195 @@
+//! Solution mappings for the direct evaluators.
+//!
+//! A [`Binding`] is a partial function from variables to RDF terms (the
+//! μ of the paper's §3.1), stored as a compact sorted vector. A
+//! [`Multiset`] is a bag of bindings — the result of graph-pattern
+//! evaluation (Table 4).
+
+use sparqlog_rdf::Term;
+use sparqlog_sparql::Var;
+
+/// A solution mapping: variable → term, sorted by variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Binding {
+    entries: Vec<(Var, Term)>,
+}
+
+/// A multiset of solution mappings.
+pub type Multiset = Vec<Binding>;
+
+impl Binding {
+    /// The empty mapping μ0.
+    pub fn empty() -> Self {
+        Binding::default()
+    }
+
+    /// The value bound to `v`, if any.
+    pub fn get(&self, v: &Var) -> Option<&Term> {
+        self.entries
+            .binary_search_by(|(w, _)| w.cmp(v))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Binds `v` to `t`, returning the extended mapping. Panics if `v` is
+    /// already bound to a different term (callers check compatibility
+    /// first).
+    pub fn bind(&self, v: Var, t: Term) -> Binding {
+        let mut entries = self.entries.clone();
+        match entries.binary_search_by(|(w, _)| w.cmp(&v)) {
+            Ok(i) => {
+                assert_eq!(entries[i].1, t, "rebinding {v} to a different term");
+            }
+            Err(i) => entries.insert(i, (v, t)),
+        }
+        Binding { entries }
+    }
+
+    /// The domain of the mapping.
+    pub fn dom(&self) -> impl Iterator<Item = &Var> + '_ {
+        self.entries.iter().map(|(v, _)| v)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True for the empty mapping.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// μ1 ∼ μ2: agree on all shared variables (§3.1).
+    pub fn compatible(&self, other: &Binding) -> bool {
+        // Merge-walk the two sorted entry lists.
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            match self.entries[i].0.cmp(&other.entries[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if self.entries[i].1 != other.entries[j].1 {
+                        return false;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// True if the domains intersect.
+    pub fn shares_domain_with(&self, other: &Binding) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            match self.entries[i].0.cmp(&other.entries[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// μ1 ∪ μ2 for compatible mappings.
+    pub fn merge(&self, other: &Binding) -> Binding {
+        let mut entries = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() || j < other.entries.len() {
+            if i == self.entries.len() {
+                entries.push(other.entries[j].clone());
+                j += 1;
+            } else if j == other.entries.len() {
+                entries.push(self.entries[i].clone());
+                i += 1;
+            } else {
+                match self.entries[i].0.cmp(&other.entries[j].0) {
+                    std::cmp::Ordering::Less => {
+                        entries.push(self.entries[i].clone());
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        entries.push(other.entries[j].clone());
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        entries.push(self.entries[i].clone());
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        Binding { entries }
+    }
+
+    /// Restricts the mapping to the given variables (projection).
+    pub fn project(&self, vars: &[Var]) -> Binding {
+        Binding {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(v, _)| vars.contains(v))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(pairs: &[(&str, &str)]) -> Binding {
+        let mut out = Binding::empty();
+        for (v, t) in pairs {
+            out = out.bind(Var::new(*v), Term::iri(*t));
+        }
+        out
+    }
+
+    #[test]
+    fn bind_and_get() {
+        let m = b(&[("y", "b"), ("x", "a")]);
+        assert_eq!(m.get(&Var::new("x")), Some(&Term::iri("a")));
+        assert_eq!(m.get(&Var::new("y")), Some(&Term::iri("b")));
+        assert_eq!(m.get(&Var::new("z")), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn compatibility() {
+        let m1 = b(&[("x", "a"), ("y", "b")]);
+        let m2 = b(&[("y", "b"), ("z", "c")]);
+        let m3 = b(&[("y", "DIFFERENT")]);
+        assert!(m1.compatible(&m2));
+        assert!(!m1.compatible(&m3));
+        // Disjoint domains are always compatible.
+        let m4 = b(&[("w", "d")]);
+        assert!(m1.compatible(&m4));
+        assert!(!m1.shares_domain_with(&m4));
+        assert!(m1.shares_domain_with(&m2));
+        // Empty mapping compatible with everything.
+        assert!(Binding::empty().compatible(&m1));
+    }
+
+    #[test]
+    fn merge_unions_domains() {
+        let m1 = b(&[("x", "a")]);
+        let m2 = b(&[("y", "b")]);
+        let m = m1.merge(&m2);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&Var::new("x")), Some(&Term::iri("a")));
+        assert_eq!(m.get(&Var::new("y")), Some(&Term::iri("b")));
+    }
+
+    #[test]
+    fn project_restricts() {
+        let m = b(&[("x", "a"), ("y", "b"), ("z", "c")]);
+        let p = m.project(&[Var::new("x"), Var::new("z")]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.get(&Var::new("y")), None);
+    }
+}

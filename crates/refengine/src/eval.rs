@@ -1,0 +1,590 @@
+//! The direct graph-pattern evaluator (SPARQL 1.1 §18 / Table 4 of the
+//! paper), shared by all three reference engines and parameterised by a
+//! [`Quirks`] profile.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use sparqlog::solution::{QueryResult, SolutionSeq};
+use sparqlog_rdf::{Dataset, Graph, Term};
+use sparqlog_sparql::{
+    AggFunc, Expr, GraphPattern, GraphSpec, Query, QueryForm, SelectItem,
+    TermPattern, TriplePattern, Var,
+};
+
+use crate::binding::{Binding, Multiset};
+use crate::exprs::{eval_expr, eval_filter, order_cmp};
+use crate::paths::{PathError, PathEvaluator};
+use crate::quirks::Quirks;
+
+/// A reference-engine failure, classified the way the paper's compliance
+/// tables report it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Wall-clock budget exceeded (the "Time-Out" rows).
+    Timeout,
+    /// The engine refuses the query (the "Not Supported" rows).
+    NotSupported(String),
+    /// The query string is malformed.
+    Malformed(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Timeout => write!(f, "time-out"),
+            EngineError::NotSupported(m) => write!(f, "not supported: {m}"),
+            EngineError::Malformed(m) => write!(f, "malformed query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<PathError> for EngineError {
+    fn from(e: PathError) -> Self {
+        match e {
+            PathError::Timeout => EngineError::Timeout,
+            PathError::NotSupported(m) => EngineError::NotSupported(m),
+        }
+    }
+}
+
+/// The pattern evaluator.
+pub struct Evaluator<'a> {
+    dataset: &'a Dataset,
+    quirks: Quirks,
+    deadline: Option<Instant>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator; `timeout` is measured from this call.
+    pub fn new(dataset: &'a Dataset, quirks: Quirks, timeout: Option<Duration>) -> Self {
+        Evaluator {
+            dataset,
+            quirks,
+            deadline: timeout.map(|t| Instant::now() + t),
+        }
+    }
+
+    fn check_time(&self) -> Result<(), EngineError> {
+        if let Some(d) = self.deadline {
+            if Instant::now() > d {
+                return Err(EngineError::Timeout);
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates a full query.
+    pub fn run(&self, q: &Query) -> Result<QueryResult, EngineError> {
+        // Quirk-driven refusals.
+        if self.quirks.error_on_order_by_expression
+            && q.order_by.iter().any(|c| !matches!(c.expr, Expr::Var(_)))
+        {
+            return Err(EngineError::NotSupported(
+                "ORDER BY with expression argument".into(),
+            ));
+        }
+        if let Some(limit) = self.quirks.error_on_deep_optional {
+            if optional_depth(&q.pattern) >= limit {
+                return Err(EngineError::NotSupported(
+                    "deeply nested OPTIONAL".into(),
+                ));
+            }
+        }
+
+        let sols = self.eval_pattern(&q.pattern, self.dataset.default_graph())?;
+
+        match &q.form {
+            QueryForm::Ask => Ok(QueryResult::Boolean(!sols.is_empty())),
+            QueryForm::Select { distinct, items } => {
+                let vars = q.projection();
+                let mut rows: Vec<Vec<Option<Term>>> = if q.has_aggregates() {
+                    self.aggregate_rows(q, items, &sols)?
+                } else {
+                    // ORDER BY applies before projection (it may reference
+                    // non-projected variables).
+                    let mut sols = sols;
+                    if !q.order_by.is_empty() {
+                        self.order_bindings(&mut sols, q);
+                    }
+                    sols.iter()
+                        .map(|b| vars.iter().map(|v| b.get(v).cloned()).collect())
+                        .collect()
+                };
+                if q.has_aggregates() && !q.order_by.is_empty() {
+                    self.order_rows(&mut rows, q, &vars);
+                }
+
+                let skip_distinct = self.quirks.distinct_ignored_with_optional
+                    && contains_optional(&q.pattern);
+                if *distinct && !skip_distinct {
+                    let mut seen = HashSet::new();
+                    rows.retain(|r| {
+                        let key: Vec<String> = r
+                            .iter()
+                            .map(|c| c.as_ref().map(|t| t.to_string()).unwrap_or_default())
+                            .collect();
+                        seen.insert(key)
+                    });
+                }
+                if let Some(off) = q.offset {
+                    rows = rows.split_off(off.min(rows.len()));
+                }
+                if let Some(lim) = q.limit {
+                    rows.truncate(lim);
+                }
+                Ok(QueryResult::Solutions(SolutionSeq {
+                    vars: vars.iter().map(|v| v.name().to_string()).collect(),
+                    rows,
+                }))
+            }
+        }
+    }
+
+    fn order_bindings(&self, sols: &mut Multiset, q: &Query) {
+        sols.sort_by(|a, b| {
+            for cond in &q.order_by {
+                let va = eval_expr(&cond.expr, a);
+                let vb = eval_expr(&cond.expr, b);
+                let ord = order_cmp(&va, &vb);
+                let ord = if cond.descending { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    fn order_rows(&self, rows: &mut [Vec<Option<Term>>], q: &Query, vars: &[Var]) {
+        rows.sort_by(|a, b| {
+            for cond in &q.order_by {
+                if let Expr::Var(v) = &cond.expr {
+                    if let Some(i) = vars.iter().position(|w| w == v) {
+                        let ord = order_cmp(&a[i], &b[i]);
+                        let ord = if cond.descending { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    fn aggregate_rows(
+        &self,
+        q: &Query,
+        items: &[SelectItem],
+        sols: &Multiset,
+    ) -> Result<Vec<Vec<Option<Term>>>, EngineError> {
+        use std::collections::BTreeMap;
+        // Group solutions by the GROUP BY key (deterministic order).
+        let mut groups: BTreeMap<Vec<Option<Term>>, Vec<&Binding>> = BTreeMap::new();
+        for b in sols {
+            let key: Vec<Option<Term>> =
+                q.group_by.iter().map(|v| b.get(v).cloned()).collect();
+            groups.entry(key).or_default().push(b);
+        }
+        let mut rows = Vec::with_capacity(groups.len());
+        for (key, members) in groups {
+            let mut row = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    SelectItem::Var(v) => {
+                        let i = q
+                            .group_by
+                            .iter()
+                            .position(|w| w == v)
+                            .ok_or_else(|| {
+                                EngineError::Malformed(format!(
+                                    "projected variable {v} not in GROUP BY"
+                                ))
+                            })?;
+                        row.push(key[i].clone());
+                    }
+                    SelectItem::Aggregate { func, distinct, arg, .. } => {
+                        row.push(aggregate(*func, *distinct, arg.as_ref(), &members));
+                    }
+                }
+            }
+            rows.push(row);
+        }
+        Ok(rows)
+    }
+
+    /// Evaluates a graph pattern over the active graph (Table 4).
+    pub fn eval_pattern(
+        &self,
+        p: &GraphPattern,
+        graph: &Graph,
+    ) -> Result<Multiset, EngineError> {
+        self.check_time()?;
+        match p {
+            GraphPattern::Empty => Ok(vec![Binding::empty()]),
+            GraphPattern::Triple(t) => self.eval_triple(t, graph),
+            GraphPattern::Path { subject, path, object } => {
+                let start = match subject {
+                    TermPattern::Term(t) => Some(t),
+                    TermPattern::Var(_) => None,
+                };
+                let end = match object {
+                    TermPattern::Term(t) => Some(t),
+                    TermPattern::Var(_) => None,
+                };
+                let pe = PathEvaluator {
+                    graph,
+                    quirks: &self.quirks,
+                    deadline: self.deadline,
+                };
+                let pairs = pe.eval(path, start, end)?;
+                let mut out = Multiset::new();
+                for (x, y) in pairs {
+                    if let Some(b) = bind_pair(subject, object, x, y) {
+                        out.push(b);
+                    }
+                }
+                Ok(out)
+            }
+            GraphPattern::Join(a, b) => {
+                let left = self.eval_pattern(a, graph)?;
+                let right = self.eval_pattern(b, graph)?;
+                self.join(&left, &right)
+            }
+            GraphPattern::Union(a, b) => {
+                let mut out = self.eval_pattern(a, graph)?;
+                out.extend(self.eval_pattern(b, graph)?);
+                if self.quirks.union_dedupes_without_distinct {
+                    let mut seen: HashSet<Binding> = HashSet::new();
+                    out.retain(|b| seen.insert(b.clone()));
+                }
+                Ok(out)
+            }
+            GraphPattern::Optional(a, b) => {
+                let left = self.eval_pattern(a, graph)?;
+                let (inner, conds) = peel_filters(b);
+                let right = self.eval_pattern(inner, graph)?;
+                self.left_join(&left, &right, &conds)
+            }
+            GraphPattern::Minus(a, b) => {
+                let left = self.eval_pattern(a, graph)?;
+                let right = self.eval_pattern(b, graph)?;
+                Ok(left
+                    .into_iter()
+                    .filter(|l| {
+                        !right.iter().any(|r| {
+                            l.compatible(r) && l.shares_domain_with(r)
+                        })
+                    })
+                    .collect())
+            }
+            GraphPattern::Filter(inner, cond) => {
+                let sols = self.eval_pattern(inner, graph)?;
+                Ok(sols.into_iter().filter(|b| eval_filter(cond, b)).collect())
+            }
+            GraphPattern::Graph(spec, inner) => match spec {
+                GraphSpec::Iri(name) => match self.dataset.named_graph(name) {
+                    Some(g) => self.eval_pattern(inner, g),
+                    None => Ok(Vec::new()),
+                },
+                GraphSpec::Var(v) => {
+                    let mut out = Multiset::new();
+                    for (name, g) in self.dataset.named_graphs() {
+                        let gterm = Term::iri(name);
+                        for b in self.eval_pattern(inner, g)? {
+                            match b.get(v) {
+                                Some(t) if *t != gterm => continue,
+                                _ => out.push(b.bind(v.clone(), gterm.clone())),
+                            }
+                        }
+                    }
+                    Ok(out)
+                }
+            },
+        }
+    }
+
+    fn eval_triple(
+        &self,
+        t: &TriplePattern,
+        graph: &Graph,
+    ) -> Result<Multiset, EngineError> {
+        let s = match &t.subject {
+            TermPattern::Term(t) => Some(t),
+            TermPattern::Var(_) => None,
+        };
+        let p = match &t.predicate {
+            TermPattern::Term(t) => Some(t),
+            TermPattern::Var(_) => None,
+        };
+        let o = match &t.object {
+            TermPattern::Term(t) => Some(t),
+            TermPattern::Var(_) => None,
+        };
+        let mut out = Multiset::new();
+        for (ts, tp, to) in graph.triples_matching(s, p, o) {
+            let mut b = Binding::empty();
+            let mut ok = true;
+            for (pat, val) in [
+                (&t.subject, ts),
+                (&t.predicate, tp),
+                (&t.object, to),
+            ] {
+                if let TermPattern::Var(v) = pat {
+                    match b.get(v) {
+                        Some(existing) if existing != val => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => b = b.bind(v.clone(), val.clone()),
+                    }
+                }
+            }
+            if ok {
+                out.push(b);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Ω1 ⋈ Ω2 with a hash-join fast path when a shared variable is bound
+    /// in every solution of both sides.
+    fn join(&self, left: &Multiset, right: &Multiset) -> Result<Multiset, EngineError> {
+        if left.is_empty() || right.is_empty() {
+            return Ok(Vec::new());
+        }
+        let key_var = common_complete_var(left, right);
+        let mut out = Multiset::new();
+        match key_var {
+            Some(v) => {
+                let mut index: std::collections::HashMap<&Term, Vec<&Binding>> =
+                    std::collections::HashMap::new();
+                for r in right {
+                    index.entry(r.get(&v).expect("complete var")).or_default().push(r);
+                }
+                for (i, l) in left.iter().enumerate() {
+                    if i % 1024 == 0 {
+                        self.check_time()?;
+                    }
+                    let lv = l.get(&v).expect("complete var");
+                    if let Some(cands) = index.get(lv) {
+                        for r in cands {
+                            if l.compatible(r) {
+                                out.push(l.merge(r));
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                for (i, l) in left.iter().enumerate() {
+                    if i % 64 == 0 {
+                        self.check_time()?;
+                    }
+                    for r in right {
+                        if l.compatible(r) {
+                            out.push(l.merge(r));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// LeftJoin(Ω1, Ω2, conds) per SPARQL §18.5 / Def. A.9.
+    fn left_join(
+        &self,
+        left: &Multiset,
+        right: &Multiset,
+        conds: &[Expr],
+    ) -> Result<Multiset, EngineError> {
+        let mut out = Multiset::new();
+        for (i, l) in left.iter().enumerate() {
+            if i % 256 == 0 {
+                self.check_time()?;
+            }
+            let mut extended = false;
+            for r in right {
+                if l.compatible(r) {
+                    let merged = l.merge(r);
+                    if conds.iter().all(|c| eval_filter(c, &merged)) {
+                        out.push(merged);
+                        extended = true;
+                    }
+                }
+            }
+            if !extended {
+                out.push(l.clone());
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Computes one aggregate over a group.
+fn aggregate(
+    func: AggFunc,
+    distinct: bool,
+    arg: Option<&Expr>,
+    members: &[&Binding],
+) -> Option<Term> {
+    let mut values: Vec<Term> = match arg {
+        None => members.iter().map(|_| Term::integer(1)).collect(),
+        Some(e) => members.iter().filter_map(|b| eval_expr(e, b)).collect(),
+    };
+    if distinct {
+        let mut seen = HashSet::new();
+        values.retain(|t| seen.insert(t.clone()));
+    }
+    match func {
+        AggFunc::Count => Some(Term::integer(values.len() as i64)),
+        AggFunc::Sum => {
+            let nums: Vec<f64> = values
+                .iter()
+                .filter_map(|t| t.as_literal().and_then(|l| l.as_f64()))
+                .collect();
+            let all_int = values
+                .iter()
+                .all(|t| t.as_literal().and_then(|l| l.as_i64()).is_some());
+            let sum: f64 = nums.iter().sum();
+            Some(if all_int {
+                Term::integer(sum as i64)
+            } else {
+                Term::double(sum)
+            })
+        }
+        AggFunc::Min => {
+            let mut best: Option<Term> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        if order_cmp(&Some(v.clone()), &Some(b.clone()))
+                            == std::cmp::Ordering::Less
+                        {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            best
+        }
+        AggFunc::Max => {
+            let mut best: Option<Term> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        if order_cmp(&Some(v.clone()), &Some(b.clone()))
+                            == std::cmp::Ordering::Greater
+                        {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            best
+        }
+        AggFunc::Avg => {
+            let nums: Vec<f64> = values
+                .iter()
+                .filter_map(|t| t.as_literal().and_then(|l| l.as_f64()))
+                .collect();
+            if nums.is_empty() {
+                Some(Term::integer(0))
+            } else {
+                Some(Term::double(nums.iter().sum::<f64>() / nums.len() as f64))
+            }
+        }
+    }
+}
+
+/// Binds a path pair onto the subject/object term patterns.
+fn bind_pair(
+    subject: &TermPattern,
+    object: &TermPattern,
+    x: Term,
+    y: Term,
+) -> Option<Binding> {
+    let mut b = Binding::empty();
+    match subject {
+        TermPattern::Term(t) => {
+            if *t != x {
+                return None;
+            }
+        }
+        TermPattern::Var(v) => b = b.bind(v.clone(), x),
+    }
+    match object {
+        TermPattern::Term(t) => {
+            if *t != y {
+                return None;
+            }
+        }
+        TermPattern::Var(v) => match b.get(v) {
+            Some(existing) if *existing != y => return None,
+            Some(_) => {}
+            None => b = b.bind(v.clone(), y),
+        },
+    }
+    Some(b)
+}
+
+/// A variable bound in *every* solution on both sides (hash-join key).
+fn common_complete_var(left: &Multiset, right: &Multiset) -> Option<Var> {
+    let first = left.first()?;
+    for v in first.dom() {
+        if left.iter().all(|b| b.get(v).is_some())
+            && !right.is_empty()
+            && right.iter().all(|b| b.get(v).is_some())
+        {
+            return Some(v.clone());
+        }
+    }
+    None
+}
+
+/// Strips top-level FILTER wrappers (for the LeftJoin condition).
+fn peel_filters(p: &GraphPattern) -> (&GraphPattern, Vec<Expr>) {
+    let mut conds = Vec::new();
+    let mut cur = p;
+    while let GraphPattern::Filter(inner, c) = cur {
+        conds.push(c.clone());
+        cur = inner;
+    }
+    conds.reverse();
+    (cur, conds)
+}
+
+fn contains_optional(p: &GraphPattern) -> bool {
+    match p {
+        GraphPattern::Optional(_, _) => true,
+        GraphPattern::Join(a, b) | GraphPattern::Union(a, b) | GraphPattern::Minus(a, b) => {
+            contains_optional(a) || contains_optional(b)
+        }
+        GraphPattern::Filter(a, _) | GraphPattern::Graph(_, a) => contains_optional(a),
+        _ => false,
+    }
+}
+
+fn optional_depth(p: &GraphPattern) -> usize {
+    match p {
+        GraphPattern::Optional(a, b) => {
+            1 + optional_depth(a).max(optional_depth(b))
+        }
+        GraphPattern::Join(a, b) | GraphPattern::Union(a, b) | GraphPattern::Minus(a, b) => {
+            optional_depth(a).max(optional_depth(b))
+        }
+        GraphPattern::Filter(a, _) | GraphPattern::Graph(_, a) => optional_depth(a),
+        _ => 0,
+    }
+}

@@ -1,0 +1,345 @@
+//! SPARQL expression evaluation over RDF terms (SPARQL 1.1 §17) — an
+//! independent implementation from the Datalog route, used by the
+//! reference engines and therefore usable as a differential oracle.
+
+use sparqlog_datalog::regex::Regex;
+use sparqlog_rdf::vocab::xsd;
+use sparqlog_rdf::{Literal, Term};
+use sparqlog_sparql::expr::{ArithOp, CmpOp};
+use sparqlog_sparql::Expr;
+
+use crate::binding::Binding;
+
+/// Evaluates an expression; `None` models a SPARQL type error.
+pub fn eval_expr(e: &Expr, b: &Binding) -> Option<Term> {
+    match e {
+        Expr::Var(v) => b.get(v).cloned(),
+        Expr::Const(t) => Some(t.clone()),
+        Expr::Or(x, y) => {
+            let xv = eval_expr(x, b).and_then(|t| ebv(&t));
+            let yv = eval_expr(y, b).and_then(|t| ebv(&t));
+            match (xv, yv) {
+                (Some(true), _) | (_, Some(true)) => Some(Term::boolean(true)),
+                (Some(false), Some(false)) => Some(Term::boolean(false)),
+                _ => None,
+            }
+        }
+        Expr::And(x, y) => {
+            let xv = eval_expr(x, b).and_then(|t| ebv(&t));
+            let yv = eval_expr(y, b).and_then(|t| ebv(&t));
+            match (xv, yv) {
+                (Some(false), _) | (_, Some(false)) => Some(Term::boolean(false)),
+                (Some(true), Some(true)) => Some(Term::boolean(true)),
+                _ => None,
+            }
+        }
+        Expr::Not(x) => {
+            let v = ebv(&eval_expr(x, b)?)?;
+            Some(Term::boolean(!v))
+        }
+        Expr::Compare(op, x, y) => {
+            let xv = eval_expr(x, b)?;
+            let yv = eval_expr(y, b)?;
+            let r = match op {
+                CmpOp::Eq => term_eq(&xv, &yv),
+                CmpOp::Neq => !term_eq(&xv, &yv),
+                CmpOp::Lt => term_cmp(&xv, &yv)? == std::cmp::Ordering::Less,
+                CmpOp::Le => term_cmp(&xv, &yv)? != std::cmp::Ordering::Greater,
+                CmpOp::Gt => term_cmp(&xv, &yv)? == std::cmp::Ordering::Greater,
+                CmpOp::Ge => term_cmp(&xv, &yv)? != std::cmp::Ordering::Less,
+            };
+            Some(Term::boolean(r))
+        }
+        Expr::Arith(op, x, y) => {
+            let xv = eval_expr(x, b)?;
+            let yv = eval_expr(y, b)?;
+            arith(*op, &xv, &yv)
+        }
+        Expr::Neg(x) => {
+            arith(ArithOp::Sub, &Term::integer(0), &eval_expr(x, b)?)
+        }
+        Expr::Bound(v) => Some(Term::boolean(b.get(v).is_some())),
+        Expr::IsIri(x) => Some(Term::boolean(eval_expr(x, b)?.is_iri())),
+        Expr::IsBlank(x) => Some(Term::boolean(eval_expr(x, b)?.is_bnode())),
+        Expr::IsLiteral(x) => Some(Term::boolean(eval_expr(x, b)?.is_literal())),
+        Expr::IsNumeric(x) => Some(Term::boolean(
+            eval_expr(x, b)?.as_literal().is_some_and(Literal::is_numeric),
+        )),
+        Expr::Str(x) => Some(Term::literal(eval_expr(x, b)?.str_value())),
+        Expr::Lang(x) => {
+            let t = eval_expr(x, b)?;
+            let l = t.as_literal()?;
+            Some(Term::literal(l.language().unwrap_or("")))
+        }
+        Expr::Datatype(x) => {
+            let t = eval_expr(x, b)?;
+            let l = t.as_literal()?;
+            Some(Term::iri(l.datatype()))
+        }
+        Expr::Ucase(x) => map_string(&eval_expr(x, b)?, str::to_uppercase),
+        Expr::Lcase(x) => map_string(&eval_expr(x, b)?, str::to_lowercase),
+        Expr::Strlen(x) => {
+            let t = eval_expr(x, b)?;
+            let l = t.as_literal()?;
+            Some(Term::integer(l.lexical().chars().count() as i64))
+        }
+        Expr::Contains(x, y) => binary_string(x, y, b, |a, c| a.contains(c)),
+        Expr::StrStarts(x, y) => binary_string(x, y, b, |a, c| a.starts_with(c)),
+        Expr::StrEnds(x, y) => binary_string(x, y, b, |a, c| a.ends_with(c)),
+        Expr::SameTerm(x, y) => {
+            Some(Term::boolean(eval_expr(x, b)? == eval_expr(y, b)?))
+        }
+        Expr::LangMatches(x, y) => {
+            let l = eval_expr(x, b)?;
+            let r = eval_expr(y, b)?;
+            let l = l.as_literal()?.lexical().to_ascii_lowercase();
+            let r = r.as_literal()?.lexical().to_ascii_lowercase();
+            let ok = if r == "*" {
+                !l.is_empty()
+            } else {
+                l == r || l.starts_with(&format!("{r}-"))
+            };
+            Some(Term::boolean(ok))
+        }
+        Expr::Regex(text, pattern, flags) => {
+            let t = eval_expr(text, b)?;
+            let p = eval_expr(pattern, b)?;
+            let f = match flags {
+                None => String::new(),
+                Some(fe) => eval_expr(fe, b)?.as_literal()?.lexical().to_string(),
+            };
+            let re = Regex::new(p.as_literal()?.lexical(), &f).ok()?;
+            Some(Term::boolean(re.is_match(t.as_literal()?.lexical())))
+        }
+    }
+}
+
+/// Evaluates an expression as a filter condition: errors count as false.
+pub fn eval_filter(e: &Expr, b: &Binding) -> bool {
+    eval_expr(e, b).and_then(|t| ebv(&t)).unwrap_or(false)
+}
+
+/// Effective boolean value (SPARQL §17.2.2).
+pub fn ebv(t: &Term) -> Option<bool> {
+    let l = t.as_literal()?;
+    if let Some(b) = l.as_bool() {
+        return Some(b);
+    }
+    if let Some(n) = l.as_f64() {
+        return Some(n != 0.0 && !n.is_nan());
+    }
+    match l.kind() {
+        sparqlog_rdf::LiteralKind::Plain | sparqlog_rdf::LiteralKind::Lang(_) => {
+            Some(!l.lexical().is_empty())
+        }
+        sparqlog_rdf::LiteralKind::Typed(dt) if dt.as_ref() == xsd::STRING => {
+            Some(!l.lexical().is_empty())
+        }
+        _ => None,
+    }
+}
+
+/// Value equality with numeric coercion (matching the Datalog route's
+/// `value_eq`, so the two engines agree).
+pub fn term_eq(a: &Term, b: &Term) -> bool {
+    if a == b {
+        return true;
+    }
+    match (a.as_literal().and_then(Literal::as_f64), b.as_literal().and_then(Literal::as_f64)) {
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Value ordering: numeric, then string, then boolean, then IRI; `None`
+/// for incomparable terms (type error).
+pub fn term_cmp(a: &Term, b: &Term) -> Option<std::cmp::Ordering> {
+    if let (Some(x), Some(y)) = (
+        a.as_literal().and_then(Literal::as_f64),
+        b.as_literal().and_then(Literal::as_f64),
+    ) {
+        return x.partial_cmp(&y);
+    }
+    match (a, b) {
+        (Term::Iri(x), Term::Iri(y)) => Some(x.cmp(y)),
+        (Term::Literal(x), Term::Literal(y)) => {
+            match (x.as_bool(), y.as_bool()) {
+                (Some(p), Some(q)) => Some(p.cmp(&q)),
+                _ => Some(x.lexical().cmp(y.lexical())),
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Numeric arithmetic on literals; integer-preserving like the Datalog
+/// route's `arith`, so the two engines agree.
+fn arith(op: ArithOp, a: &Term, b: &Term) -> Option<Term> {
+    let (ia, ib) = (
+        a.as_literal().and_then(Literal::as_i64),
+        b.as_literal().and_then(Literal::as_i64),
+    );
+    if let (Some(x), Some(y)) = (ia, ib) {
+        return match op {
+            ArithOp::Add => Some(Term::integer(x.checked_add(y)?)),
+            ArithOp::Sub => Some(Term::integer(x.checked_sub(y)?)),
+            ArithOp::Mul => Some(Term::integer(x.checked_mul(y)?)),
+            ArithOp::Div => {
+                if y == 0 {
+                    None
+                } else if x % y == 0 {
+                    Some(Term::integer(x / y))
+                } else {
+                    Some(Term::double(x as f64 / y as f64))
+                }
+            }
+        };
+    }
+    let x = a.as_literal().and_then(Literal::as_f64)?;
+    let y = b.as_literal().and_then(Literal::as_f64)?;
+    let r = match op {
+        ArithOp::Add => x + y,
+        ArithOp::Sub => x - y,
+        ArithOp::Mul => x * y,
+        ArithOp::Div => {
+            if y == 0.0 {
+                return None;
+            }
+            x / y
+        }
+    };
+    Some(Term::double(r))
+}
+
+fn map_string(t: &Term, f: impl Fn(&str) -> String) -> Option<Term> {
+    let l = t.as_literal()?;
+    let mapped = f(l.lexical());
+    Some(match l.language() {
+        Some(tag) => Term::lang_literal(mapped, tag),
+        None => Term::literal(mapped),
+    })
+}
+
+fn binary_string(
+    x: &Expr,
+    y: &Expr,
+    b: &Binding,
+    f: impl Fn(&str, &str) -> bool,
+) -> Option<Term> {
+    let xv = eval_expr(x, b)?;
+    let yv = eval_expr(y, b)?;
+    Some(Term::boolean(f(
+        xv.as_literal()?.lexical(),
+        yv.as_literal()?.lexical(),
+    )))
+}
+
+/// Total order used for ORDER BY: unbound < blank < IRI < literal, ties by
+/// value (numeric literals by value). Mirrors `sparqlog_datalog::order_cmp`.
+pub fn order_cmp(a: &Option<Term>, b: &Option<Term>) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    fn rank(t: &Term) -> u8 {
+        match t {
+            Term::BlankNode(_) => 1,
+            Term::Iri(_) => 2,
+            Term::Literal(_) => 3,
+        }
+    }
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(x), Some(y)) => {
+            let (rx, ry) = (rank(x), rank(y));
+            if rx != ry {
+                return rx.cmp(&ry);
+            }
+            term_cmp(x, y).unwrap_or_else(|| x.cmp(y))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparqlog_sparql::Var;
+
+    fn bind(v: &str, t: Term) -> Binding {
+        Binding::empty().bind(Var::new(v), t)
+    }
+
+    #[test]
+    fn numeric_equality_coerces() {
+        assert!(term_eq(
+            &Term::integer(5),
+            &Term::typed_literal("5.0", xsd::DOUBLE)
+        ));
+        assert!(!term_eq(&Term::literal("5"), &Term::integer(5)));
+    }
+
+    #[test]
+    fn filter_comparison() {
+        let e = Expr::Compare(
+            CmpOp::Lt,
+            Box::new(Expr::Var(Var::new("x"))),
+            Box::new(Expr::Const(Term::integer(10))),
+        );
+        assert!(eval_filter(&e, &bind("x", Term::integer(5))));
+        assert!(!eval_filter(&e, &bind("x", Term::integer(15))));
+        // Unbound → error → false.
+        assert!(!eval_filter(&e, &Binding::empty()));
+    }
+
+    #[test]
+    fn bound_builtin() {
+        let e = Expr::Bound(Var::new("x"));
+        assert!(eval_filter(&e, &bind("x", Term::integer(1))));
+        assert!(!eval_filter(&e, &Binding::empty()));
+    }
+
+    #[test]
+    fn regex_and_string_functions() {
+        let b = bind("t", Term::literal("Journal of Rust"));
+        let e = Expr::Regex(
+            Box::new(Expr::Var(Var::new("t"))),
+            Box::new(Expr::Const(Term::literal("^journal"))),
+            Some(Box::new(Expr::Const(Term::literal("i")))),
+        );
+        assert!(eval_filter(&e, &b));
+        let e = Expr::Strlen(Box::new(Expr::Const(Term::literal("abc"))));
+        assert_eq!(eval_expr(&e, &b), Some(Term::integer(3)));
+    }
+
+    #[test]
+    fn type_errors_propagate() {
+        // LANG of an IRI is a type error.
+        let e = Expr::Lang(Box::new(Expr::Const(Term::iri("http://a"))));
+        assert_eq!(eval_expr(&e, &Binding::empty()), None);
+        // EBV of an IRI is an error.
+        assert_eq!(ebv(&Term::iri("http://a")), None);
+    }
+
+    #[test]
+    fn datatype_builtin() {
+        use sparqlog_rdf::vocab::rdf;
+        let e = Expr::Datatype(Box::new(Expr::Const(Term::integer(5))));
+        assert_eq!(eval_expr(&e, &Binding::empty()), Some(Term::iri(xsd::INTEGER)));
+        let e = Expr::Datatype(Box::new(Expr::Const(Term::lang_literal("x", "en"))));
+        assert_eq!(
+            eval_expr(&e, &Binding::empty()),
+            Some(Term::iri(rdf::LANG_STRING))
+        );
+    }
+
+    #[test]
+    fn order_cmp_unbound_first() {
+        assert_eq!(
+            order_cmp(&None, &Some(Term::iri("a"))),
+            std::cmp::Ordering::Less
+        );
+        assert_eq!(
+            order_cmp(&Some(Term::integer(2)), &Some(Term::integer(10))),
+            std::cmp::Ordering::Less
+        );
+    }
+}

@@ -1,0 +1,507 @@
+//! Property-path evaluation over a single graph (SPARQL 1.1 §9.3 /
+//! Table 5 of the paper).
+//!
+//! Non-recursive operators (link, inverse, sequence, alternative, negated
+//! sets) are evaluated under **bag semantics**; `?`, `*`, `+` and the
+//! range forms under **set semantics** — matching both the W3C standard
+//! and the SparqLog translation, so the engines can be compared
+//! result-for-result.
+//!
+//! The closure algorithms follow the spec's ALP procedure: breadth-first
+//! search with a visited set per start node. With
+//! [`Quirks::no_closure_memo`] the successor relation is recomputed from
+//! the graph on every probe (Jena-style per-binding search); otherwise an
+//! edge list is materialised once per closure (Virtuoso-style).
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use sparqlog_datalog::fxhash::{FxHashMap, FxHashSet};
+use sparqlog_rdf::{Graph, Term};
+use sparqlog_sparql::PropertyPath;
+
+use crate::quirks::Quirks;
+
+/// A path evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    Timeout,
+    NotSupported(String),
+}
+
+/// Evaluates property paths over one graph.
+pub struct PathEvaluator<'a> {
+    pub graph: &'a Graph,
+    pub quirks: &'a Quirks,
+    pub deadline: Option<Instant>,
+}
+
+type Pairs = Vec<(Term, Term)>;
+
+impl<'a> PathEvaluator<'a> {
+    fn check_time(&self) -> Result<(), PathError> {
+        if let Some(d) = self.deadline {
+            if Instant::now() > d {
+                return Err(PathError::Timeout);
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates `path` between the (possibly bound) endpoints, returning
+    /// the multiset of `(x, y)` pairs.
+    pub fn eval(
+        &self,
+        path: &PropertyPath,
+        start: Option<&Term>,
+        end: Option<&Term>,
+    ) -> Result<Pairs, PathError> {
+        self.check_time()?;
+        match path {
+            PropertyPath::Link(p) => {
+                let pred = Term::iri(p.clone());
+                Ok(self
+                    .graph
+                    .triples_matching(start, Some(&pred), end)
+                    .map(|(s, _, o)| (s.clone(), o.clone()))
+                    .collect())
+            }
+            PropertyPath::Inverse(inner) => {
+                let pairs = self.eval(inner, end, start)?;
+                Ok(pairs.into_iter().map(|(x, y)| (y, x)).collect())
+            }
+            PropertyPath::Alternative(l, r) => {
+                let mut pairs = self.eval(l, start, end)?;
+                pairs.extend(self.eval(r, start, end)?);
+                if self.quirks.alternative_drops_duplicates {
+                    pairs = dedupe(pairs);
+                }
+                Ok(pairs)
+            }
+            PropertyPath::Sequence(l, r) => self.eval_sequence(l, r, start, end),
+            PropertyPath::ZeroOrOne(inner) => {
+                self.guard_two_var(start, end, "zero-or-one")?;
+                let mut out = self.zero_pairs(start, end);
+                out.extend(self.eval(inner, start, end)?);
+                Ok(constrain(dedupe(out), start, end))
+            }
+            PropertyPath::OneOrMore(inner) => {
+                self.guard_two_var(start, end, "one-or-more")?;
+                if self.quirks.one_or_more_via_zero_or_more {
+                    // The documented Virtuoso bug: p+ = p* minus identity.
+                    let zom = self.eval_zero_or_more(inner, start, end)?;
+                    return Ok(zom.into_iter().filter(|(x, y)| x != y).collect());
+                }
+                self.closure(inner, start, end, false)
+            }
+            PropertyPath::ZeroOrMore(inner) => {
+                self.guard_two_var(start, end, "zero-or-more")?;
+                self.eval_zero_or_more(inner, start, end)
+            }
+            PropertyPath::NegatedSet { forward, backward } => {
+                let mut out: Pairs = Vec::new();
+                if !forward.is_empty() || backward.is_empty() {
+                    for (s, p, o) in self.graph.triples_matching(start, None, end) {
+                        let pi = p.as_iri().unwrap_or("");
+                        if !forward.iter().any(|f| f.as_ref() == pi) {
+                            out.push((s.clone(), o.clone()));
+                        }
+                    }
+                }
+                if !backward.is_empty() {
+                    for (s, p, o) in self.graph.triples_matching(end, None, start) {
+                        let pi = p.as_iri().unwrap_or("");
+                        if !backward.iter().any(|f| f.as_ref() == pi) {
+                            out.push((o.clone(), s.clone()));
+                        }
+                    }
+                }
+                Ok(constrain(out, start, end))
+            }
+            // gMark range forms — desugared with set semantics, exactly as
+            // in the SparqLog translation.
+            PropertyPath::Exactly(inner, n) => {
+                if *n == 0 {
+                    return Ok(constrain(
+                        dedupe(self.zero_pairs(start, end)),
+                        start,
+                        end,
+                    ));
+                }
+                let mut path = (**inner).clone();
+                for _ in 1..*n {
+                    path = PropertyPath::Sequence(
+                        Box::new((**inner).clone()),
+                        Box::new(path),
+                    );
+                }
+                Ok(dedupe(self.eval(&path, start, end)?))
+            }
+            PropertyPath::AtLeast(inner, n) => {
+                let path = match n {
+                    0 => PropertyPath::ZeroOrMore(inner.clone()),
+                    1 => PropertyPath::OneOrMore(inner.clone()),
+                    n => PropertyPath::Sequence(
+                        Box::new(PropertyPath::Exactly(inner.clone(), n - 1)),
+                        Box::new(PropertyPath::OneOrMore(inner.clone())),
+                    ),
+                };
+                Ok(dedupe(self.eval(&path, start, end)?))
+            }
+            PropertyPath::Between(inner, n, m) => {
+                let mut out = Pairs::new();
+                if *n == 0 {
+                    out.extend(self.zero_pairs(start, end));
+                }
+                for k in (*n).max(1)..=*m {
+                    out.extend(self.eval(
+                        &PropertyPath::Exactly(inner.clone(), k),
+                        start,
+                        end,
+                    )?);
+                }
+                Ok(constrain(dedupe(out), start, end))
+            }
+        }
+    }
+
+    fn guard_two_var(
+        &self,
+        start: Option<&Term>,
+        end: Option<&Term>,
+        what: &str,
+    ) -> Result<(), PathError> {
+        if self.quirks.error_on_two_var_recursive_path
+            && start.is_none()
+            && end.is_none()
+        {
+            return Err(PathError::NotSupported(format!(
+                "{what} property path with two variables: transitive start not given"
+            )));
+        }
+        Ok(())
+    }
+
+    fn eval_zero_or_more(
+        &self,
+        inner: &PropertyPath,
+        start: Option<&Term>,
+        end: Option<&Term>,
+    ) -> Result<Pairs, PathError> {
+        let mut out = self.zero_pairs(start, end);
+        out.extend(self.closure(inner, start, end, false)?);
+        Ok(constrain(dedupe(out), start, end))
+    }
+
+    /// Zero-length pairs per Table 5: every subject/object term of the
+    /// graph, plus the constant endpoints of the pattern.
+    fn zero_pairs(&self, start: Option<&Term>, end: Option<&Term>) -> Pairs {
+        let mut out: Pairs = self
+            .graph
+            .subjects_or_objects()
+            .into_iter()
+            .map(|t| (t.clone(), t.clone()))
+            .collect();
+        match (start, end) {
+            (Some(s), None) => out.push((s.clone(), s.clone())),
+            (None, Some(o)) => out.push((o.clone(), o.clone())),
+            (Some(s), Some(o)) if s == o => out.push((s.clone(), s.clone())),
+            _ => {}
+        }
+        constrain(out, start, end)
+    }
+
+    /// Transitive closure (the `+` semantics) via per-source BFS.
+    fn closure(
+        &self,
+        inner: &PropertyPath,
+        start: Option<&Term>,
+        end: Option<&Term>,
+        _zero: bool,
+    ) -> Result<Pairs, PathError> {
+        // Reverse direction when only the end is bound.
+        if start.is_none() {
+            if let Some(e) = end {
+                let inv = PropertyPath::Inverse(Box::new(inner.clone()));
+                let pairs = self.closure(&inv, Some(e), None, _zero)?;
+                return Ok(pairs.into_iter().map(|(x, y)| (y, x)).collect());
+            }
+        }
+
+        // Successor function. With memoisation the inner relation is
+        // materialised once into an adjacency map; without it every probe
+        // re-evaluates the inner path from the node (Jena-style).
+        let memo: Option<FxHashMap<Term, Vec<Term>>> = if self.quirks.no_closure_memo {
+            None
+        } else {
+            let mut adj: FxHashMap<Term, Vec<Term>> = FxHashMap::default();
+            for (x, y) in dedupe(self.eval(inner, None, None)?) {
+                adj.entry(x).or_default().push(y);
+            }
+            Some(adj)
+        };
+        let succ = |node: &Term| -> Result<Vec<Term>, PathError> {
+            match &memo {
+                Some(adj) => Ok(adj.get(node).cloned().unwrap_or_default()),
+                None => {
+                    let pairs = self.eval(inner, Some(node), None)?;
+                    let mut targets: Vec<Term> =
+                        pairs.into_iter().map(|(_, y)| y).collect();
+                    let mut seen = HashSet::new();
+                    targets.retain(|t| seen.insert(t.clone()));
+                    Ok(targets)
+                }
+            }
+        };
+
+        // Start nodes.
+        let starts: Vec<Term> = match start {
+            Some(s) => vec![s.clone()],
+            None => match &memo {
+                Some(adj) => adj.keys().cloned().collect(),
+                None => {
+                    let pairs = self.eval(inner, None, None)?;
+                    let mut srcs: Vec<Term> =
+                        pairs.into_iter().map(|(x, _)| x).collect();
+                    let mut seen = HashSet::new();
+                    srcs.retain(|t| seen.insert(t.clone()));
+                    srcs
+                }
+            },
+        };
+
+        let mut out = Pairs::new();
+        for s in starts {
+            self.check_time()?;
+            let mut visited: FxHashSet<Term> = FxHashSet::default();
+            let mut stack: Vec<Term> = succ(&s)?;
+            while let Some(n) = stack.pop() {
+                if visited.insert(n.clone()) {
+                    self.check_time()?;
+                    stack.extend(succ(&n)?);
+                }
+            }
+            for v in visited {
+                out.push((s.clone(), v));
+            }
+        }
+        Ok(constrain(out, start, end))
+    }
+
+    fn eval_sequence(
+        &self,
+        l: &PropertyPath,
+        r: &PropertyPath,
+        start: Option<&Term>,
+        end: Option<&Term>,
+    ) -> Result<Pairs, PathError> {
+        let left = self.eval(l, start, None)?;
+        let mut out = Pairs::new();
+        if self.quirks.no_closure_memo {
+            // Per-binding evaluation, no sharing across equal midpoints.
+            for (x, mid) in left {
+                self.check_time()?;
+                for (_, z) in self.eval(r, Some(&mid), end)? {
+                    out.push((x.clone(), z));
+                }
+            }
+        } else {
+            let mut cache: FxHashMap<Term, Pairs> = FxHashMap::default();
+            for (x, mid) in left {
+                self.check_time()?;
+                if !cache.contains_key(&mid) {
+                    let pairs = self.eval(r, Some(&mid), end)?;
+                    cache.insert(mid.clone(), pairs);
+                }
+                for (_, z) in &cache[&mid] {
+                    out.push((x.clone(), z.clone()));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn dedupe(pairs: Pairs) -> Pairs {
+    let mut seen: HashSet<(Term, Term)> = HashSet::new();
+    pairs.into_iter().filter(|p| seen.insert(p.clone())).collect()
+}
+
+fn constrain(pairs: Pairs, start: Option<&Term>, end: Option<&Term>) -> Pairs {
+    pairs
+        .into_iter()
+        .filter(|(x, y)| {
+            start.is_none_or(|s| s == x) && end.is_none_or(|o| o == y)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparqlog_rdf::Triple;
+
+    fn countries() -> Graph {
+        let mut g = Graph::new();
+        for (s, o) in [
+            ("spain", "france"),
+            ("france", "belgium"),
+            ("france", "germany"),
+            ("belgium", "germany"),
+            ("germany", "austria"),
+        ] {
+            g.insert(Triple::new(
+                Term::iri(format!("http://e/{s}")),
+                Term::iri("http://e/borders"),
+                Term::iri(format!("http://e/{o}")),
+            ));
+        }
+        g
+    }
+
+    fn t(n: &str) -> Term {
+        Term::iri(format!("http://e/{n}"))
+    }
+
+    fn ev<'a>(g: &'a Graph, q: &'a Quirks) -> PathEvaluator<'a> {
+        PathEvaluator { graph: g, quirks: q, deadline: None }
+    }
+
+    fn link() -> PropertyPath {
+        PropertyPath::link("http://e/borders")
+    }
+
+    #[test]
+    fn one_or_more_from_spain() {
+        let g = countries();
+        let q = Quirks::fuseki();
+        let pairs = ev(&g, &q)
+            .eval(&PropertyPath::OneOrMore(Box::new(link())), Some(&t("spain")), None)
+            .unwrap();
+        assert_eq!(pairs.len(), 4);
+    }
+
+    #[test]
+    fn memoized_and_unmemoized_agree() {
+        let g = countries();
+        let path = PropertyPath::ZeroOrMore(Box::new(link()));
+        let fuseki = Quirks::fuseki();
+        let star = Quirks { no_closure_memo: false, ..Default::default() };
+        let mut a = ev(&g, &fuseki).eval(&path, Some(&t("spain")), None).unwrap();
+        let mut b = ev(&g, &star).eval(&path, Some(&t("spain")), None).unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn virtuoso_two_var_recursive_errors() {
+        let g = countries();
+        let q = Quirks::virtuoso();
+        let err = ev(&g, &q)
+            .eval(&PropertyPath::OneOrMore(Box::new(link())), None, None)
+            .unwrap_err();
+        assert!(matches!(err, PathError::NotSupported(_)));
+    }
+
+    #[test]
+    fn virtuoso_one_or_more_misses_cycles() {
+        // a → b → a: (a, a) is a genuine + result; the quirk loses it.
+        let mut g = Graph::new();
+        g.insert(Triple::new(t("a"), Term::iri("http://e/borders"), t("b")));
+        g.insert(Triple::new(t("b"), Term::iri("http://e/borders"), t("a")));
+        let path = PropertyPath::OneOrMore(Box::new(link()));
+
+        let fq = Quirks::fuseki();
+        let mut correct = ev(&g, &fq).eval(&path, Some(&t("a")), None).unwrap();
+        correct.sort();
+        assert!(correct.contains(&(t("a"), t("a"))), "cycle reaches itself");
+
+        let vq = Quirks::virtuoso();
+        let wrong = ev(&g, &vq).eval(&path, Some(&t("a")), None).unwrap();
+        assert!(!wrong.iter().any(|(x, y)| x == y), "quirk drops identity pairs");
+        assert!(wrong.len() < correct.len(), "incomplete result");
+    }
+
+    #[test]
+    fn zero_or_one_includes_constant_endpoints() {
+        let g = countries();
+        let q = Quirks::fuseki();
+        // atlantis is not in the graph: zero-length pair still exists.
+        let pairs = ev(&g, &q)
+            .eval(&PropertyPath::ZeroOrOne(Box::new(link())), Some(&t("atlantis")), None)
+            .unwrap();
+        assert_eq!(pairs, vec![(t("atlantis"), t("atlantis"))]);
+    }
+
+    #[test]
+    fn alternative_duplicates() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(t("a"), Term::iri("http://e/p"), t("b")));
+        g.insert(Triple::new(t("a"), Term::iri("http://e/q"), t("b")));
+        let path = PropertyPath::Alternative(
+            Box::new(PropertyPath::link("http://e/p")),
+            Box::new(PropertyPath::link("http://e/q")),
+        );
+        let fq = Quirks::fuseki();
+        assert_eq!(ev(&g, &fq).eval(&path, Some(&t("a")), None).unwrap().len(), 2);
+        let vq = Quirks::virtuoso();
+        assert_eq!(
+            ev(&g, &vq).eval(&path, Some(&t("a")), None).unwrap().len(),
+            1,
+            "Virtuoso drops alternative duplicates"
+        );
+    }
+
+    #[test]
+    fn sequence_bag_semantics() {
+        // two length-2 routes spain→france→{belgium,germany}
+        let g = countries();
+        let q = Quirks::fuseki();
+        let path = PropertyPath::Sequence(Box::new(link()), Box::new(link()));
+        let pairs = ev(&g, &q).eval(&path, Some(&t("spain")), None).unwrap();
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn range_paths() {
+        let g = countries();
+        let q = Quirks::fuseki();
+        let e = ev(&g, &q);
+        let p2 = e
+            .eval(&PropertyPath::Exactly(Box::new(link()), 2), Some(&t("spain")), None)
+            .unwrap();
+        assert_eq!(p2.len(), 2); // belgium, germany (deduped)
+        let p0 = e
+            .eval(&PropertyPath::Exactly(Box::new(link()), 0), Some(&t("spain")), None)
+            .unwrap();
+        assert_eq!(p0, vec![(t("spain"), t("spain"))]);
+        let between = e
+            .eval(
+                &PropertyPath::Between(Box::new(link()), 0, 2),
+                Some(&t("spain")),
+                None,
+            )
+            .unwrap();
+        // spain (0), france (1), belgium+germany (2) = 4 targets.
+        assert_eq!(between.len(), 4);
+    }
+
+    #[test]
+    fn closure_with_end_bound_only() {
+        let g = countries();
+        let q = Quirks::fuseki();
+        let pairs = ev(&g, &q)
+            .eval(
+                &PropertyPath::OneOrMore(Box::new(link())),
+                None,
+                Some(&t("germany")),
+            )
+            .unwrap();
+        // sources that reach germany: spain, france, belgium.
+        let mut srcs: Vec<_> = pairs.iter().map(|(x, _)| x.clone()).collect();
+        srcs.sort();
+        srcs.dedup();
+        assert_eq!(srcs.len(), 3);
+    }
+}

@@ -1,0 +1,90 @@
+//! Behaviour profiles for the reference engines.
+//!
+//! Each deviation is modelled after a concrete observation in the paper:
+//!
+//! * §6.2/D.2.3 on Virtuoso: "produces errors for zero-or-one,
+//!   zero-or-more and one-or-more property paths that contain two
+//!   variables ... the transitive start is not given";
+//! * D.2.3: "the one-or-more property path might be implemented by
+//!   evaluating the zero-or-more property path first and simply removing
+//!   the start node from the computed result" (misses start nodes on
+//!   cycles);
+//! * D.2.3: "Virtuoso generates for three alternative property path
+//!   queries incomplete results, which differ ... by missing all
+//!   duplicates";
+//! * §6.2 on FEASIBLE: "wrongly outputting duplicates (e.g., ignoring
+//!   DISTINCTs) or omitting duplicates (e.g., by handling UNIONs
+//!   incorrectly)", and 18 queries "unable to evaluate ... produced an
+//!   error";
+//! * §6.3 on Stardog: two-variable recursive paths evaluated without
+//!   sharing work across sources (5× slower on Q4, timeout on Q5).
+
+/// Engine behaviour profile.
+#[derive(Debug, Clone, Default)]
+pub struct Quirks {
+    /// Error on `?`/`*`/`+` paths whose subject *and* object are unbound
+    /// variables ("transitive start not given").
+    pub error_on_two_var_recursive_path: bool,
+    /// Compute `p+` as `p*` minus the identity pairs — loses `(x, x)`
+    /// results on cycles.
+    pub one_or_more_via_zero_or_more: bool,
+    /// Alternative paths drop duplicate pairs.
+    pub alternative_drops_duplicates: bool,
+    /// `UNION` without `DISTINCT` deduplicates (omitting duplicates).
+    pub union_dedupes_without_distinct: bool,
+    /// `DISTINCT` is ignored when the pattern contains an `OPTIONAL`
+    /// (wrongly outputting duplicates).
+    pub distinct_ignored_with_optional: bool,
+    /// Error on `ORDER BY` with a non-variable condition.
+    pub error_on_order_by_expression: bool,
+    /// Error on OPTIONAL nesting at or beyond this depth.
+    pub error_on_deep_optional: Option<usize>,
+    /// Re-derive path edge relations per BFS instead of sharing them
+    /// across sources (slow two-variable recursive paths).
+    pub no_closure_memo: bool,
+}
+
+impl Quirks {
+    /// Apache Jena Fuseki: fully standard-compliant; per-binding path
+    /// search without memoisation (slow on hard path queries, never
+    /// wrong).
+    pub fn fuseki() -> Self {
+        Quirks { no_closure_memo: true, ..Default::default() }
+    }
+
+    /// OpenLink Virtuoso 7.2.5: fast but deviant.
+    pub fn virtuoso() -> Self {
+        Quirks {
+            error_on_two_var_recursive_path: true,
+            one_or_more_via_zero_or_more: true,
+            alternative_drops_duplicates: true,
+            union_dedupes_without_distinct: true,
+            distinct_ignored_with_optional: true,
+            error_on_order_by_expression: true,
+            error_on_deep_optional: Some(3),
+            no_closure_memo: false,
+        }
+    }
+
+    /// Stardog 7.7.1: standard-compliant, materialising reasoner, but no
+    /// work sharing on two-variable recursive paths.
+    pub fn stardog() -> Self {
+        Quirks { no_closure_memo: true, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles() {
+        assert!(!Quirks::fuseki().error_on_two_var_recursive_path);
+        assert!(Quirks::fuseki().no_closure_memo);
+        let v = Quirks::virtuoso();
+        assert!(v.error_on_two_var_recursive_path);
+        assert!(v.one_or_more_via_zero_or_more);
+        assert!(!v.no_closure_memo);
+        assert!(Quirks::stardog().no_closure_memo);
+    }
+}

@@ -1,0 +1,227 @@
+//! Differential testing: the SparqLog Datalog route vs. the direct
+//! FusekiSim evaluator must produce identical result multisets — the
+//! executable analogue of the paper's two-way correctness strategy (§5.3:
+//! empirical evaluation + formal analysis; §6.2: "each time when both
+//! Fuseki and SparqLog returned a result, the results were equal").
+
+use proptest::prelude::*;
+use sparqlog::{QueryResult, SparqLog};
+use sparqlog_refengine::FusekiSim;
+use sparqlog_rdf::{Dataset, Graph, Term, Triple};
+
+const DATA: &str = r#"
+@prefix ex: <http://e/> .
+ex:a ex:p ex:b . ex:b ex:p ex:c . ex:c ex:p ex:a .
+ex:a ex:q ex:c . ex:c ex:q ex:d .
+ex:a ex:name "Anna" . ex:b ex:name "Ben" ; ex:age 30 .
+ex:c ex:name "Cem"@tr ; ex:age 25 .
+ex:d ex:name "Dee" ; ex:age 30 .
+ex:a a ex:Person . ex:b a ex:Person . ex:d a ex:Robot .
+"#;
+
+fn dataset() -> Dataset {
+    Dataset::from_default_graph(sparqlog_rdf::turtle::parse(DATA).unwrap())
+}
+
+fn compare(query: &str) {
+    let mut sl = SparqLog::new();
+    sl.load_dataset(&dataset()).unwrap();
+    let fu = FusekiSim::new(dataset());
+
+    let a = sl.execute(query).unwrap_or_else(|e| panic!("SparqLog {query}: {e}"));
+    let b = fu.execute(query).unwrap_or_else(|e| panic!("FusekiSim {query}: {e}"));
+    match (&a, &b) {
+        (QueryResult::Boolean(x), QueryResult::Boolean(y)) => {
+            assert_eq!(x, y, "{query}")
+        }
+        (QueryResult::Solutions(x), QueryResult::Solutions(y)) => {
+            assert!(
+                x.multiset_eq(y),
+                "{query}\nSparqLog: {:?}\nFusekiSim: {:?}",
+                x.canonical(true),
+                y.canonical(true)
+            );
+        }
+        _ => panic!("{query}: result kinds differ"),
+    }
+}
+
+#[test]
+fn fixed_query_battery() {
+    for q in [
+        // Basic patterns & joins.
+        "SELECT ?s ?o WHERE { ?s <http://e/p> ?o }",
+        "SELECT ?s WHERE { ?s <http://e/p> ?m . ?m <http://e/p> ?o }",
+        "SELECT * WHERE { ?s ?p ?o }",
+        // OPTIONAL / UNION / MINUS / FILTER.
+        "PREFIX ex: <http://e/> SELECT ?s ?a WHERE { ?s ex:name ?n OPTIONAL { ?s ex:age ?a } }",
+        "PREFIX ex: <http://e/> SELECT ?s WHERE { { ?s ex:p ex:b } UNION { ?s ex:q ex:c } }",
+        "PREFIX ex: <http://e/> SELECT ?s WHERE { ?s ex:name ?n MINUS { ?s ex:age 30 } }",
+        "PREFIX ex: <http://e/> SELECT ?s WHERE { ?s ex:age ?a FILTER (?a > 26) }",
+        "PREFIX ex: <http://e/> SELECT ?s WHERE { ?s ex:name ?n FILTER REGEX(STR(?n), \"^[ab]\", \"i\") }",
+        "PREFIX ex: <http://e/> SELECT ?s ?a WHERE { ?s a ex:Person OPTIONAL { ?s ex:age ?a FILTER (?a > 28) } }",
+        // DISTINCT & duplicates.
+        "PREFIX ex: <http://e/> SELECT ?t WHERE { ?x a ?t }",
+        "PREFIX ex: <http://e/> SELECT DISTINCT ?t WHERE { ?x a ?t }",
+        // Property paths, incl. cyclic closure.
+        "PREFIX ex: <http://e/> SELECT ?y WHERE { ex:a ex:p+ ?y }",
+        "PREFIX ex: <http://e/> SELECT ?y WHERE { ex:a ex:p* ?y }",
+        "PREFIX ex: <http://e/> SELECT ?y WHERE { ex:a ex:p? ?y }",
+        "PREFIX ex: <http://e/> SELECT ?y WHERE { ex:a (ex:p|ex:q) ?y }",
+        "PREFIX ex: <http://e/> SELECT ?y WHERE { ex:a ex:p/ex:q ?y }",
+        "PREFIX ex: <http://e/> SELECT ?y WHERE { ex:a ^ex:p ?y }",
+        "PREFIX ex: <http://e/> SELECT ?y WHERE { ex:a !(ex:p|ex:name) ?y }",
+        "PREFIX ex: <http://e/> SELECT ?x ?y WHERE { ?x ex:p+ ?y }",
+        "PREFIX ex: <http://e/> SELECT ?x ?y WHERE { ?x (ex:p/ex:p)+ ?y }",
+        "PREFIX ex: <http://e/> SELECT ?y WHERE { ex:a ex:p{2} ?y }",
+        "PREFIX ex: <http://e/> SELECT ?y WHERE { ex:a ex:p{2,} ?y }",
+        "PREFIX ex: <http://e/> SELECT ?y WHERE { ex:a ex:p{0,2} ?y }",
+        "PREFIX ex: <http://e/> SELECT ?y WHERE { ex:zzz ex:p? ?y }",
+        // ASK.
+        "PREFIX ex: <http://e/> ASK { ex:a ex:p ex:b }",
+        "PREFIX ex: <http://e/> ASK { ex:a ex:p ex:zzz }",
+        // Aggregates.
+        "PREFIX ex: <http://e/> SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s",
+        "PREFIX ex: <http://e/> SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }",
+        // Modifiers (compare as multisets — LIMIT needs ORDER to be fair,
+        // so use total orders without ties).
+        "PREFIX ex: <http://e/> SELECT ?n WHERE { ?s ex:name ?n } ORDER BY ?n",
+        "PREFIX ex: <http://e/> SELECT ?n WHERE { ?s ex:name ?n } ORDER BY DESC(?n) LIMIT 2",
+        // Filters with unbound vars and BOUND.
+        "PREFIX ex: <http://e/> SELECT ?s WHERE { ?s ex:name ?n OPTIONAL { ?s ex:age ?a } FILTER (!BOUND(?a)) }",
+    ] {
+        compare(q);
+    }
+}
+
+#[test]
+fn ordered_results_agree_in_order() {
+    // With a total order (distinct names), the *sequences* must match.
+    let mut sl = SparqLog::new();
+    sl.load_dataset(&dataset()).unwrap();
+    let fu = FusekiSim::new(dataset());
+    let q = "PREFIX ex: <http://e/> SELECT ?n WHERE { ?s ex:name ?n } ORDER BY ?n";
+    let a = sl.execute(q).unwrap();
+    let b = fu.execute(q).unwrap();
+    let (QueryResult::Solutions(x), QueryResult::Solutions(y)) = (&a, &b) else {
+        panic!("expected solutions");
+    };
+    assert_eq!(x.rows, y.rows, "ordered sequences must be identical");
+}
+
+// ---------------------------------------------------------------- proptest
+
+/// A small pool of IRIs for random graphs.
+fn node(i: u8) -> Term {
+    Term::iri(format!("http://n/{}", i % 8))
+}
+
+fn pred(i: u8) -> Term {
+    Term::iri(format!("http://p/{}", i % 3))
+}
+
+prop_compose! {
+    fn random_graph()(edges in prop::collection::vec((0u8..8, 0u8..3, 0u8..8), 1..40))
+        -> Graph
+    {
+        let mut g = Graph::new();
+        for (s, p, o) in edges {
+            g.insert(Triple::new(node(s), pred(p), node(o)));
+        }
+        g
+    }
+}
+
+/// Random queries drawn from templates covering joins, optional, union,
+/// filters and paths over the random graph's vocabulary.
+fn query_template(i: usize) -> String {
+    let templates = [
+        "SELECT ?s ?o WHERE { ?s <http://p/0> ?o }",
+        "SELECT ?s ?o WHERE { ?s <http://p/0> ?m . ?m <http://p/1> ?o }",
+        "SELECT ?s ?o WHERE { ?s <http://p/0> ?o OPTIONAL { ?o <http://p/1> ?z } }",
+        "SELECT ?s WHERE { { ?s <http://p/0> ?o } UNION { ?s <http://p/1> ?o } }",
+        "SELECT ?s WHERE { ?s <http://p/0> ?o MINUS { ?s <http://p/1> ?z } }",
+        "SELECT ?s ?o WHERE { ?s <http://p/0>+ ?o }",
+        "SELECT ?o WHERE { <http://n/0> <http://p/0>* ?o }",
+        "SELECT ?o WHERE { <http://n/1> (<http://p/0>|<http://p/1>) ?o }",
+        "SELECT ?o WHERE { <http://n/2> (<http://p/0>/<http://p/1>?) ?o }",
+        "SELECT ?s WHERE { ?s !(<http://p/2>) ?o }",
+        "SELECT DISTINCT ?s ?o WHERE { ?s (<http://p/1>/<http://p/0>)+ ?o }",
+        "SELECT ?s (COUNT(?o) AS ?c) WHERE { ?s <http://p/0> ?o } GROUP BY ?s",
+        "ASK { ?s <http://p/2> ?o }",
+        "SELECT ?s WHERE { ?s ?p ?o FILTER (ISIRI(?o) && ?p != <http://p/2>) }",
+        "SELECT ?o WHERE { <http://n/3> <http://p/0>{0,2} ?o }",
+        "SELECT ?s ?o WHERE { ?s ^<http://p/1> ?o . ?s <http://p/0> ?z }",
+    ];
+    templates[i % templates.len()].to_string()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The Datalog route and the direct route agree on random graphs and
+    /// queries (the paper's majority-vote correctness check, mechanised).
+    #[test]
+    fn datalog_and_direct_routes_agree(g in random_graph(), qi in 0usize..16) {
+        let query = query_template(qi);
+        let ds = Dataset::from_default_graph(g);
+        let mut sl = SparqLog::new();
+        sl.load_dataset(&ds).unwrap();
+        let fu = FusekiSim::new(ds);
+        let a = sl.execute(&query).unwrap();
+        let b = fu.execute(&query).unwrap();
+        match (&a, &b) {
+            (QueryResult::Boolean(x), QueryResult::Boolean(y)) => prop_assert_eq!(x, y),
+            (QueryResult::Solutions(x), QueryResult::Solutions(y)) => {
+                prop_assert!(
+                    x.multiset_eq(y),
+                    "query {}\nSparqLog: {:?}\nFusekiSim: {:?}",
+                    query, x.canonical(true), y.canonical(true)
+                );
+            }
+            _ => prop_assert!(false, "result kinds differ"),
+        }
+    }
+}
+
+#[test]
+fn virtuoso_quirks_visible() {
+    use sparqlog_refengine::VirtuosoSim;
+    let vi = VirtuosoSim::new(dataset());
+    // Two-variable recursive path → error.
+    let err = vi
+        .execute("PREFIX ex: <http://e/> SELECT ?x ?y WHERE { ?x ex:p+ ?y }")
+        .unwrap_err();
+    assert!(matches!(err, sparqlog_refengine::EngineError::NotSupported(_)));
+    // Cycle a→b→c→a: Virtuoso misses (a, a).
+    let fu = FusekiSim::new(dataset());
+    let q = "PREFIX ex: <http://e/> SELECT ?y WHERE { ex:a ex:p+ ?y }";
+    let correct = fu.execute(q).unwrap();
+    let wrong = vi.execute(q).unwrap();
+    assert_eq!(correct.len(), 3, "a reaches b, c and itself");
+    assert_eq!(wrong.len(), 2, "Virtuoso loses the cycle");
+}
+
+#[test]
+fn stardog_sim_reasons() {
+    use sparqlog::{Axiom, Ontology};
+    use sparqlog_refengine::StardogSim;
+    let onto = Ontology::new().with(Axiom::SubClassOf(
+        "http://e/Person".into(),
+        "http://e/Agent".into(),
+    ));
+    let st = StardogSim::new(dataset(), &onto);
+    let r = st
+        .execute("PREFIX ex: <http://e/> SELECT ?x WHERE { ?x a ex:Agent }")
+        .unwrap();
+    assert_eq!(r.len(), 2, "a and b are inferred Agents");
+
+    // SparqLog with the same ontology agrees.
+    let mut sl = SparqLog::new();
+    sl.load_dataset(&dataset()).unwrap();
+    sl.add_ontology(&onto).unwrap();
+    let r2 = sl
+        .execute("PREFIX ex: <http://e/> SELECT ?x WHERE { ?x a ex:Agent }")
+        .unwrap();
+    assert!(r.solutions().unwrap().multiset_eq(r2.solutions().unwrap()));
+}

@@ -1,0 +1,180 @@
+//! Pretty-printing of queries back to SPARQL concrete syntax.
+//!
+//! The printer emits canonical, fully-parenthesised SPARQL that re-parses
+//! to the same AST — used by the test suite as a round-trip oracle and
+//! handy when debugging translated workloads.
+
+use std::fmt;
+
+use crate::ast::{
+    DatasetClause, GraphPattern, GraphSpec, Query, QueryForm, SelectItem,
+};
+use crate::expr::{ArithOp, CmpOp, Expr};
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.form {
+            QueryForm::Ask => write!(f, "ASK ")?,
+            QueryForm::Select { distinct, items } => {
+                write!(f, "SELECT ")?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                if items.is_empty() {
+                    write!(f, "* ")?;
+                } else {
+                    for item in items {
+                        match item {
+                            SelectItem::Var(v) => write!(f, "{v} ")?,
+                            SelectItem::Aggregate { var, func, distinct, arg } => {
+                                write!(f, "({func}(")?;
+                                if *distinct {
+                                    write!(f, "DISTINCT ")?;
+                                }
+                                match arg {
+                                    None => write!(f, "*")?,
+                                    Some(e) => write!(f, "{e}")?,
+                                }
+                                write!(f, ") AS {var}) ")?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for dc in &self.dataset {
+            match dc {
+                DatasetClause::Default(iri) => write!(f, "FROM <{iri}> ")?,
+                DatasetClause::Named(iri) => write!(f, "FROM NAMED <{iri}> ")?,
+            }
+        }
+        write!(f, "WHERE {{ {} }}", self.pattern)?;
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY")?;
+            for v in &self.group_by {
+                write!(f, " {v}")?;
+            }
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY")?;
+            for c in &self.order_by {
+                if c.descending {
+                    write!(f, " DESC({})", c.expr)?;
+                } else {
+                    write!(f, " ASC({})", c.expr)?;
+                }
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        if let Some(o) = self.offset {
+            write!(f, " OFFSET {o}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for GraphPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphPattern::Empty => Ok(()),
+            GraphPattern::Triple(t) => write!(f, "{t} ."),
+            GraphPattern::Path { subject, path, object } => {
+                write!(f, "{subject} {path} {object} .")
+            }
+            GraphPattern::Join(a, b) => write!(f, "{{ {a} }} {{ {b} }}"),
+            GraphPattern::Union(a, b) => write!(f, "{{ {a} }} UNION {{ {b} }}"),
+            GraphPattern::Optional(a, b) => write!(f, "{a} OPTIONAL {{ {b} }}"),
+            GraphPattern::Minus(a, b) => write!(f, "{a} MINUS {{ {b} }}"),
+            GraphPattern::Filter(a, c) => write!(f, "{a} FILTER ({c})"),
+            GraphPattern::Graph(spec, a) => match spec {
+                GraphSpec::Iri(iri) => write!(f, "GRAPH <{iri}> {{ {a} }}"),
+                GraphSpec::Var(v) => write!(f, "GRAPH {v} {{ {a} }}"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Const(t) => write!(f, "{t}"),
+            Expr::Or(a, b) => write!(f, "({a} || {b})"),
+            Expr::And(a, b) => write!(f, "({a} && {b})"),
+            Expr::Not(a) => write!(f, "(!{a})"),
+            Expr::Compare(op, a, b) => {
+                let s = match op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Neq => "!=",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                };
+                write!(f, "({a} {s} {b})")
+            }
+            Expr::Arith(op, a, b) => {
+                let s = match op {
+                    ArithOp::Add => "+",
+                    ArithOp::Sub => "-",
+                    ArithOp::Mul => "*",
+                    ArithOp::Div => "/",
+                };
+                write!(f, "({a} {s} {b})")
+            }
+            Expr::Neg(a) => write!(f, "(-{a})"),
+            Expr::Bound(v) => write!(f, "BOUND({v})"),
+            Expr::IsIri(a) => write!(f, "ISIRI({a})"),
+            Expr::IsBlank(a) => write!(f, "ISBLANK({a})"),
+            Expr::IsLiteral(a) => write!(f, "ISLITERAL({a})"),
+            Expr::IsNumeric(a) => write!(f, "ISNUMERIC({a})"),
+            Expr::Str(a) => write!(f, "STR({a})"),
+            Expr::Lang(a) => write!(f, "LANG({a})"),
+            Expr::Datatype(a) => write!(f, "DATATYPE({a})"),
+            Expr::Ucase(a) => write!(f, "UCASE({a})"),
+            Expr::Lcase(a) => write!(f, "LCASE({a})"),
+            Expr::Strlen(a) => write!(f, "STRLEN({a})"),
+            Expr::Contains(a, b) => write!(f, "CONTAINS({a}, {b})"),
+            Expr::StrStarts(a, b) => write!(f, "STRSTARTS({a}, {b})"),
+            Expr::StrEnds(a, b) => write!(f, "STRENDS({a}, {b})"),
+            Expr::SameTerm(a, b) => write!(f, "SAMETERM({a}, {b})"),
+            Expr::LangMatches(a, b) => write!(f, "LANGMATCHES({a}, {b})"),
+            Expr::Regex(t, p, fl) => match fl {
+                None => write!(f, "REGEX({t}, {p})"),
+                Some(fl) => write!(f, "REGEX({t}, {p}, {fl})"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_query;
+
+    /// Round-trip a battery of queries through Display + reparse.
+    #[test]
+    fn display_reparses() {
+        for q in [
+            "SELECT ?x WHERE { ?x <http://p> ?y . }",
+            "SELECT DISTINCT ?x ?y WHERE { ?x <http://p> ?y . ?y <http://q> ?z . }",
+            "SELECT * WHERE { { ?x <http://p> ?y . } UNION { ?y <http://p> ?x . } }",
+            "SELECT ?x WHERE { ?x <http://p> ?y . OPTIONAL { ?y <http://q> ?z . } }",
+            "SELECT ?x WHERE { ?x <http://p> ?y . MINUS { ?x <http://q> ?y . } }",
+            "SELECT ?x WHERE { ?x <http://p> ?y . FILTER ((?y > 3)) }",
+            "SELECT ?x WHERE { ?x (<http://p>/<http://q>)+ ?y . }",
+            "SELECT ?g WHERE { GRAPH ?g { ?s ?p ?o . } }",
+            "ASK { ?s ?p ?o . }",
+            "SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x ?p ?y . } GROUP BY ?x",
+            r#"SELECT ?x WHERE { ?x <http://p> ?n . FILTER (REGEX(STR(?n), "^a", "i")) }"#,
+            "SELECT ?x WHERE { ?x <http://p> ?n . } ORDER BY ASC(?n) DESC(?x) LIMIT 5 OFFSET 2",
+        ] {
+            let first = parse_query(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+            let printed = first.to_string();
+            let second = parse_query(&printed)
+                .unwrap_or_else(|e| panic!("reparse failed for {printed}: {e}"));
+            assert_eq!(first, second, "round-trip changed the AST:\n{printed}");
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! SPARQL filter expressions and aggregates.
+
+use std::fmt;
+
+use sparqlog_rdf::Term;
+
+use crate::ast::Var;
+
+/// A SPARQL expression (used in `FILTER`, `ORDER BY` and aggregate
+/// arguments).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A variable reference.
+    Var(Var),
+    /// A constant RDF term.
+    Const(Term),
+    /// `e1 || e2`
+    Or(Box<Expr>, Box<Expr>),
+    /// `e1 && e2`
+    And(Box<Expr>, Box<Expr>),
+    /// `!e`
+    Not(Box<Expr>),
+    /// Comparison `e1 <op> e2`.
+    Compare(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic `e1 <op> e2`.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// `BOUND(?v)`
+    Bound(Var),
+    /// `isIRI(e)` / `isURI(e)`
+    IsIri(Box<Expr>),
+    /// `isBlank(e)`
+    IsBlank(Box<Expr>),
+    /// `isLiteral(e)`
+    IsLiteral(Box<Expr>),
+    /// `isNumeric(e)`
+    IsNumeric(Box<Expr>),
+    /// `STR(e)`
+    Str(Box<Expr>),
+    /// `LANG(e)`
+    Lang(Box<Expr>),
+    /// `DATATYPE(e)`
+    Datatype(Box<Expr>),
+    /// `REGEX(text, pattern [, flags])`
+    Regex(Box<Expr>, Box<Expr>, Option<Box<Expr>>),
+    /// `UCASE(e)`
+    Ucase(Box<Expr>),
+    /// `LCASE(e)`
+    Lcase(Box<Expr>),
+    /// `STRLEN(e)`
+    Strlen(Box<Expr>),
+    /// `CONTAINS(haystack, needle)`
+    Contains(Box<Expr>, Box<Expr>),
+    /// `STRSTARTS(s, prefix)`
+    StrStarts(Box<Expr>, Box<Expr>),
+    /// `STRENDS(s, suffix)`
+    StrEnds(Box<Expr>, Box<Expr>),
+    /// `sameTerm(a, b)`
+    SameTerm(Box<Expr>, Box<Expr>),
+    /// `LANGMATCHES(lang, range)`
+    LangMatches(Box<Expr>, Box<Expr>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Aggregate functions supported in `SELECT` projections (paper Table 1:
+/// GROUP BY ✓ with COUNT and friends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Expr {
+    /// Collects all variables mentioned by the expression into `out`
+    /// (deduplicated, insertion order).
+    pub fn collect_vars(&self, out: &mut Vec<Var>) {
+        let push = |v: &Var, out: &mut Vec<Var>| {
+            if !out.contains(v) {
+                out.push(v.clone());
+            }
+        };
+        match self {
+            Expr::Var(v) => push(v, out),
+            Expr::Bound(v) => push(v, out),
+            Expr::Const(_) => {}
+            Expr::Or(a, b)
+            | Expr::And(a, b)
+            | Expr::Compare(_, a, b)
+            | Expr::Arith(_, a, b)
+            | Expr::Contains(a, b)
+            | Expr::StrStarts(a, b)
+            | Expr::StrEnds(a, b)
+            | Expr::SameTerm(a, b)
+            | Expr::LangMatches(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Not(e)
+            | Expr::Neg(e)
+            | Expr::IsIri(e)
+            | Expr::IsBlank(e)
+            | Expr::IsLiteral(e)
+            | Expr::IsNumeric(e)
+            | Expr::Str(e)
+            | Expr::Lang(e)
+            | Expr::Datatype(e)
+            | Expr::Ucase(e)
+            | Expr::Lcase(e)
+            | Expr::Strlen(e) => e.collect_vars(out),
+            Expr::Regex(a, b, c) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+                if let Some(c) = c {
+                    c.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// All variables of the expression.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_vars_dedupes() {
+        let e = Expr::And(
+            Box::new(Expr::Compare(
+                CmpOp::Eq,
+                Box::new(Expr::Var(Var::new("x"))),
+                Box::new(Expr::Var(Var::new("y"))),
+            )),
+            Box::new(Expr::Bound(Var::new("x"))),
+        );
+        let vars = e.vars();
+        assert_eq!(vars.len(), 2);
+        assert_eq!(vars[0].name(), "x");
+        assert_eq!(vars[1].name(), "y");
+    }
+
+    #[test]
+    fn regex_vars() {
+        let e = Expr::Regex(
+            Box::new(Expr::Var(Var::new("t"))),
+            Box::new(Expr::Const(Term::literal("^a"))),
+            Some(Box::new(Expr::Const(Term::literal("i")))),
+        );
+        assert_eq!(e.vars().len(), 1);
+    }
+}

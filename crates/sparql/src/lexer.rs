@@ -1,0 +1,505 @@
+//! Tokenizer for the SPARQL 1.1 subset.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// An IRI in angle brackets, without the brackets.
+    Iri(Arc<str>),
+    /// A prefixed name `prefix:local` (either part may be empty).
+    PName { prefix: String, local: String },
+    /// A variable `?name` or `$name`, without the sigil.
+    Var(Arc<str>),
+    /// A blank node `_:label`.
+    BlankNode(Arc<str>),
+    /// A string literal (unescaped), with optional language tag or datatype
+    /// left to the parser (`@`/`^^` are separate tokens).
+    String(String),
+    /// An integer literal.
+    Integer(i64),
+    /// A decimal/double literal kept in its lexical form.
+    Decimal(String),
+    /// A bare word: keyword (`SELECT`, `FILTER`, ...) or `a` or `true`.
+    Word(String),
+    /// A language tag following `@`, e.g. `en`.
+    LangTag(String),
+    /// Punctuation / operators.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Punct {
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Dot,
+    Semicolon,
+    Comma,
+    Star,
+    Slash,
+    Pipe,
+    Caret,
+    CaretCaret,
+    Bang,
+    Question,
+    Plus,
+    Minus,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Iri(i) => write!(f, "<{i}>"),
+            Token::PName { prefix, local } => write!(f, "{prefix}:{local}"),
+            Token::Var(v) => write!(f, "?{v}"),
+            Token::BlankNode(b) => write!(f, "_:{b}"),
+            Token::String(s) => write!(f, "{s:?}"),
+            Token::Integer(n) => write!(f, "{n}"),
+            Token::Decimal(d) => write!(f, "{d}"),
+            Token::Word(w) => write!(f, "{w}"),
+            Token::LangTag(t) => write!(f, "@{t}"),
+            Token::Punct(p) => write!(f, "{p:?}"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A lexing error with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub offset: usize,
+    pub message: String,
+}
+
+/// Tokenizes a SPARQL query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+
+    macro_rules! err {
+        ($msg:expr) => {
+            return Err(LexError { offset: pos, message: $msg.to_string() })
+        };
+    }
+
+    while pos < bytes.len() {
+        let c = input[pos..].chars().next().unwrap();
+        match c {
+            c if c.is_whitespace() => {
+                pos += c.len_utf8();
+            }
+            '#' => {
+                // Comment to end of line.
+                match input[pos..].find('\n') {
+                    Some(nl) => pos += nl + 1,
+                    None => pos = bytes.len(),
+                }
+            }
+            '<' => {
+                // IRI or comparison. An IRI ref never contains whitespace
+                // and is closed by '>'; `<=` and `< ` are comparisons.
+                let rest = &input[pos + 1..];
+                if rest.starts_with('=') {
+                    tokens.push(Token::Punct(Punct::Le));
+                    pos += 2;
+                } else if let Some(end) = rest.find(['>', ' ', '\t', '\n', '<']) {
+                    if rest.as_bytes()[end] == b'>' {
+                        tokens.push(Token::Iri(Arc::from(&rest[..end])));
+                        pos += end + 2;
+                    } else {
+                        tokens.push(Token::Punct(Punct::Lt));
+                        pos += 1;
+                    }
+                } else {
+                    tokens.push(Token::Punct(Punct::Lt));
+                    pos += 1;
+                }
+            }
+            '?' | '$' => {
+                let rest = &input[pos + 1..];
+                let len = rest
+                    .char_indices()
+                    .find(|(_, c)| !(c.is_alphanumeric() || *c == '_'))
+                    .map(|(i, _)| i)
+                    .unwrap_or(rest.len());
+                if len == 0 {
+                    // A bare '?' is the zero-or-one path operator.
+                    tokens.push(Token::Punct(Punct::Question));
+                    pos += 1;
+                } else {
+                    tokens.push(Token::Var(Arc::from(&rest[..len])));
+                    pos += 1 + len;
+                }
+            }
+            '_' if input[pos..].starts_with("_:") => {
+                let rest = &input[pos + 2..];
+                let len = rest
+                    .char_indices()
+                    .find(|(_, c)| !(c.is_alphanumeric() || *c == '_' || *c == '-'))
+                    .map(|(i, _)| i)
+                    .unwrap_or(rest.len());
+                if len == 0 {
+                    err!("empty blank node label");
+                }
+                tokens.push(Token::BlankNode(Arc::from(&rest[..len])));
+                pos += 2 + len;
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let mut out = String::new();
+                let mut it = input[pos + 1..].char_indices();
+                let mut consumed = None;
+                while let Some((i, c)) = it.next() {
+                    if c == quote {
+                        consumed = Some(i + 1);
+                        break;
+                    }
+                    if c == '\\' {
+                        match it.next() {
+                            Some((_, 'n')) => out.push('\n'),
+                            Some((_, 't')) => out.push('\t'),
+                            Some((_, 'r')) => out.push('\r'),
+                            Some((_, '"')) => out.push('"'),
+                            Some((_, '\'')) => out.push('\''),
+                            Some((_, '\\')) => out.push('\\'),
+                            Some((_, 'u')) => {
+                                let mut code = String::new();
+                                for _ in 0..4 {
+                                    match it.next() {
+                                        Some((_, h)) => code.push(h),
+                                        None => err!("truncated \\u escape"),
+                                    }
+                                }
+                                match u32::from_str_radix(&code, 16)
+                                    .ok()
+                                    .and_then(char::from_u32)
+                                {
+                                    Some(ch) => out.push(ch),
+                                    None => err!("invalid \\u escape"),
+                                }
+                            }
+                            _ => err!("unknown escape in string"),
+                        }
+                    } else {
+                        out.push(c);
+                    }
+                }
+                match consumed {
+                    Some(n) => {
+                        tokens.push(Token::String(out));
+                        pos += 1 + n;
+                    }
+                    None => err!("unterminated string literal"),
+                }
+            }
+            '@' => {
+                let rest = &input[pos + 1..];
+                let len = rest
+                    .char_indices()
+                    .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '-'))
+                    .map(|(i, _)| i)
+                    .unwrap_or(rest.len());
+                if len == 0 {
+                    err!("empty language tag");
+                }
+                tokens.push(Token::LangTag(rest[..len].to_string()));
+                pos += 1 + len;
+            }
+            '0'..='9' => {
+                let rest = &input[pos..];
+                let mut len = 0;
+                let mut is_decimal = false;
+                let mut chars = rest.char_indices().peekable();
+                while let Some(&(i, c)) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        len = i + 1;
+                        chars.next();
+                    } else if c == '.' {
+                        // Decimal point only if followed by a digit.
+                        let mut look = rest[i + 1..].chars();
+                        if look.next().is_some_and(|d| d.is_ascii_digit()) {
+                            is_decimal = true;
+                            len = i + 1;
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    } else if c == 'e' || c == 'E' {
+                        is_decimal = true;
+                        len = i + 1;
+                        chars.next();
+                        if let Some(&(j, s)) = chars.peek() {
+                            if s == '+' || s == '-' {
+                                len = j + 1;
+                                chars.next();
+                            }
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text = &rest[..len];
+                if is_decimal {
+                    tokens.push(Token::Decimal(text.to_string()));
+                } else {
+                    match text.parse() {
+                        Ok(n) => tokens.push(Token::Integer(n)),
+                        Err(_) => err!("integer literal out of range"),
+                    }
+                }
+                pos += len;
+            }
+            '^' => {
+                if input[pos..].starts_with("^^") {
+                    tokens.push(Token::Punct(Punct::CaretCaret));
+                    pos += 2;
+                } else {
+                    tokens.push(Token::Punct(Punct::Caret));
+                    pos += 1;
+                }
+            }
+            '&' => {
+                if input[pos..].starts_with("&&") {
+                    tokens.push(Token::Punct(Punct::AndAnd));
+                    pos += 2;
+                } else {
+                    err!("expected '&&'");
+                }
+            }
+            '|' => {
+                if input[pos..].starts_with("||") {
+                    tokens.push(Token::Punct(Punct::OrOr));
+                    pos += 2;
+                } else {
+                    tokens.push(Token::Punct(Punct::Pipe));
+                    pos += 1;
+                }
+            }
+            '!' => {
+                if input[pos..].starts_with("!=") {
+                    tokens.push(Token::Punct(Punct::Neq));
+                    pos += 2;
+                } else {
+                    tokens.push(Token::Punct(Punct::Bang));
+                    pos += 1;
+                }
+            }
+            '>' => {
+                if input[pos..].starts_with(">=") {
+                    tokens.push(Token::Punct(Punct::Ge));
+                    pos += 2;
+                } else {
+                    tokens.push(Token::Punct(Punct::Gt));
+                    pos += 1;
+                }
+            }
+            '=' => {
+                tokens.push(Token::Punct(Punct::Eq));
+                pos += 1;
+            }
+            '{' => {
+                tokens.push(Token::Punct(Punct::LBrace));
+                pos += 1;
+            }
+            '}' => {
+                tokens.push(Token::Punct(Punct::RBrace));
+                pos += 1;
+            }
+            '(' => {
+                tokens.push(Token::Punct(Punct::LParen));
+                pos += 1;
+            }
+            ')' => {
+                tokens.push(Token::Punct(Punct::RParen));
+                pos += 1;
+            }
+            '[' => {
+                tokens.push(Token::Punct(Punct::LBracket));
+                pos += 1;
+            }
+            ']' => {
+                tokens.push(Token::Punct(Punct::RBracket));
+                pos += 1;
+            }
+            '.' => {
+                tokens.push(Token::Punct(Punct::Dot));
+                pos += 1;
+            }
+            ';' => {
+                tokens.push(Token::Punct(Punct::Semicolon));
+                pos += 1;
+            }
+            ',' => {
+                tokens.push(Token::Punct(Punct::Comma));
+                pos += 1;
+            }
+            '*' => {
+                tokens.push(Token::Punct(Punct::Star));
+                pos += 1;
+            }
+            '/' => {
+                tokens.push(Token::Punct(Punct::Slash));
+                pos += 1;
+            }
+            '+' => {
+                tokens.push(Token::Punct(Punct::Plus));
+                pos += 1;
+            }
+            '-' => {
+                tokens.push(Token::Punct(Punct::Minus));
+                pos += 1;
+            }
+            c if c.is_alphabetic() => {
+                // A bare word, possibly a prefixed name.
+                let rest = &input[pos..];
+                let len = rest
+                    .char_indices()
+                    .find(|(_, c)| !(c.is_alphanumeric() || *c == '_' || *c == '-'))
+                    .map(|(i, _)| i)
+                    .unwrap_or(rest.len());
+                let word = &rest[..len];
+                // Prefixed name: word followed directly by ':'.
+                if rest[len..].starts_with(':') {
+                    let local_rest = &rest[len + 1..];
+                    let local_len = local_rest
+                        .char_indices()
+                        .find(|(_, c)| {
+                            !(c.is_alphanumeric() || matches!(c, '_' | '-' | '%'))
+                        })
+                        .map(|(i, _)| i)
+                        .unwrap_or(local_rest.len());
+                    tokens.push(Token::PName {
+                        prefix: word.to_string(),
+                        local: local_rest[..local_len].to_string(),
+                    });
+                    pos += len + 1 + local_len;
+                } else {
+                    tokens.push(Token::Word(word.to_string()));
+                    pos += len;
+                }
+            }
+            ':' => {
+                // Prefixed name with the empty prefix.
+                let local_rest = &input[pos + 1..];
+                let local_len = local_rest
+                    .char_indices()
+                    .find(|(_, c)| !(c.is_alphanumeric() || matches!(c, '_' | '-' | '%')))
+                    .map(|(i, _)| i)
+                    .unwrap_or(local_rest.len());
+                tokens.push(Token::PName {
+                    prefix: String::new(),
+                    local: local_rest[..local_len].to_string(),
+                });
+                pos += 1 + local_len;
+            }
+            other => err!(format!("unexpected character {other:?}")),
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap()
+    }
+
+    #[test]
+    fn basic_select_tokens() {
+        let toks = lex("SELECT ?x WHERE { ?x <http://p> \"v\" . }");
+        assert_eq!(toks[0], Token::Word("SELECT".into()));
+        assert_eq!(toks[1], Token::Var("x".into()));
+        assert_eq!(toks[2], Token::Word("WHERE".into()));
+        assert_eq!(toks[3], Token::Punct(Punct::LBrace));
+        assert_eq!(toks[5], Token::Iri("http://p".into()));
+        assert_eq!(toks[6], Token::String("v".into()));
+    }
+
+    #[test]
+    fn prefixed_names() {
+        let toks = lex("ex:spain foaf:name :x");
+        assert_eq!(
+            toks[0],
+            Token::PName { prefix: "ex".into(), local: "spain".into() }
+        );
+        assert_eq!(
+            toks[1],
+            Token::PName { prefix: "foaf".into(), local: "name".into() }
+        );
+        assert_eq!(toks[2], Token::PName { prefix: "".into(), local: "x".into() });
+    }
+
+    #[test]
+    fn comparison_vs_iri() {
+        let toks = lex("?x < 5 && ?y <= ?z");
+        assert_eq!(toks[1], Token::Punct(Punct::Lt));
+        assert_eq!(toks[3], Token::Punct(Punct::AndAnd));
+        assert_eq!(toks[5], Token::Punct(Punct::Le));
+    }
+
+    #[test]
+    fn path_operators() {
+        let toks = lex("ex:a+ / ^ex:b | ex:c* ?");
+        assert!(toks.contains(&Token::Punct(Punct::Plus)));
+        assert!(toks.contains(&Token::Punct(Punct::Slash)));
+        assert!(toks.contains(&Token::Punct(Punct::Caret)));
+        assert!(toks.contains(&Token::Punct(Punct::Pipe)));
+        assert!(toks.contains(&Token::Punct(Punct::Star)));
+        assert!(toks.contains(&Token::Punct(Punct::Question)));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(lex("42")[0], Token::Integer(42));
+        assert_eq!(lex("3.25")[0], Token::Decimal("3.25".into()));
+        assert_eq!(lex("1e3")[0], Token::Decimal("1e3".into()));
+        // "1." is integer then dot (statement terminator).
+        let toks = lex("1.");
+        assert_eq!(toks[0], Token::Integer(1));
+        assert_eq!(toks[1], Token::Punct(Punct::Dot));
+    }
+
+    #[test]
+    fn strings_with_escapes_and_tags() {
+        let toks = lex(r#""a\"b" "x"@en "5"^^xsd:integer"#);
+        assert_eq!(toks[0], Token::String("a\"b".into()));
+        assert_eq!(toks[1], Token::String("x".into()));
+        assert_eq!(toks[2], Token::LangTag("en".into()));
+        assert_eq!(toks[4], Token::Punct(Punct::CaretCaret));
+    }
+
+    #[test]
+    fn comments_and_blank_nodes() {
+        let toks = lex("# hi\n_:b1 ?x # tail\n");
+        assert_eq!(toks[0], Token::BlankNode("b1".into()));
+        assert_eq!(toks[1], Token::Var("x".into()));
+        assert_eq!(toks[2], Token::Eof);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("@").is_err());
+        assert!(tokenize("& x").is_err());
+    }
+}

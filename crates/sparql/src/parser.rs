@@ -1,0 +1,1237 @@
+//! Recursive-descent parser for the SPARQL 1.1 subset.
+//!
+//! The parser mirrors the SPARQL grammar productions closely
+//! (`GroupGraphPattern`, `TriplesBlock`, `PathAlternative`, ...). Features
+//! outside the paper's Table 1 produce a [`ParseError`] with
+//! `unsupported = true`, so that compliance harnesses can distinguish
+//! unsupported features (the paper reports these separately, Appendix
+//! D.2.3) from syntax errors.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sparqlog_rdf::vocab::{rdf, xsd};
+use sparqlog_rdf::Term;
+
+use crate::ast::*;
+use crate::expr::{AggFunc, ArithOp, CmpOp, Expr};
+use crate::lexer::{tokenize, Punct, Token};
+use crate::path::PropertyPath;
+
+/// A parse error. `unsupported` is true when the query uses a SPARQL
+/// feature the engine deliberately does not implement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub unsupported: bool,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseError { message: message.into(), unsupported: false }
+    }
+
+    /// Constructs the "feature not supported" variant.
+    pub fn unsupported(feature: &str) -> Self {
+        ParseError {
+            message: format!("unsupported SPARQL feature: {feature}"),
+            unsupported: true,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a SPARQL query string into a [`Query`].
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(input)
+        .map_err(|e| ParseError::new(format!("lex error at byte {}: {}", e.offset, e.message)))?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        prefixes: HashMap::new(),
+        anon: 0,
+    };
+    let q = p.parse_query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+    anon: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError::new(format!("{} (at {})", msg.into(), self.peek())))
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if *self.peek() == Token::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected {p:?}"))
+        }
+    }
+
+    /// Case-insensitive keyword check without consuming.
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected keyword {kw}"))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if matches!(self.peek(), Token::Eof) {
+            Ok(())
+        } else {
+            self.err("trailing tokens after query")
+        }
+    }
+
+    // ---------------------------------------------------------- prologue
+
+    fn parse_query(&mut self) -> Result<Query, ParseError> {
+        loop {
+            if self.eat_keyword("PREFIX") {
+                let (prefix, _local) = match self.bump() {
+                    Token::PName { prefix, local } => (prefix, local),
+                    other => {
+                        return self.err(format!("expected prefix name, got {other}"))
+                    }
+                };
+                let iri = match self.bump() {
+                    Token::Iri(i) => i,
+                    other => return self.err(format!("expected IRI, got {other}")),
+                };
+                self.prefixes.insert(prefix, iri.to_string());
+            } else if self.eat_keyword("BASE") {
+                match self.bump() {
+                    Token::Iri(_) => {}
+                    other => return self.err(format!("expected IRI, got {other}")),
+                }
+            } else {
+                break;
+            }
+        }
+
+        let form = if self.eat_keyword("SELECT") {
+            let distinct = self.eat_keyword("DISTINCT");
+            if self.at_keyword("REDUCED") {
+                // REDUCED permits (but does not require) dropping
+                // duplicates; treating it as a no-op is standard-compliant.
+                self.bump();
+            }
+            let items = self.parse_select_items()?;
+            QueryForm::Select { distinct, items }
+        } else if self.eat_keyword("ASK") {
+            QueryForm::Ask
+        } else if self.at_keyword("CONSTRUCT") {
+            return Err(ParseError::unsupported("CONSTRUCT"));
+        } else if self.at_keyword("DESCRIBE") {
+            return Err(ParseError::unsupported("DESCRIBE"));
+        } else {
+            return self.err("expected SELECT or ASK");
+        };
+
+        let mut dataset = Vec::new();
+        while self.eat_keyword("FROM") {
+            if self.eat_keyword("NAMED") {
+                dataset.push(DatasetClause::Named(self.parse_iri()?));
+            } else {
+                dataset.push(DatasetClause::Default(self.parse_iri()?));
+            }
+        }
+
+        self.eat_keyword("WHERE");
+        let pattern = self.parse_group_graph_pattern()?;
+
+        // Solution modifiers.
+        let mut group_by = Vec::new();
+        let mut order_by = Vec::new();
+        let mut limit = None;
+        let mut offset = None;
+        loop {
+            if self.eat_keyword("GROUP") {
+                self.expect_keyword("BY")?;
+                loop {
+                    match self.peek() {
+                        Token::Var(_) => {
+                            if let Token::Var(v) = self.bump() {
+                                group_by.push(Var::new(v));
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                if group_by.is_empty() {
+                    return self.err("GROUP BY requires at least one variable");
+                }
+            } else if self.eat_keyword("HAVING") {
+                return Err(ParseError::unsupported("HAVING"));
+            } else if self.eat_keyword("ORDER") {
+                self.expect_keyword("BY")?;
+                loop {
+                    if self.eat_keyword("ASC") {
+                        self.expect_punct(Punct::LParen)?;
+                        let e = self.parse_expr()?;
+                        self.expect_punct(Punct::RParen)?;
+                        order_by.push(OrderCondition { expr: e, descending: false });
+                    } else if self.eat_keyword("DESC") {
+                        self.expect_punct(Punct::LParen)?;
+                        let e = self.parse_expr()?;
+                        self.expect_punct(Punct::RParen)?;
+                        order_by.push(OrderCondition { expr: e, descending: true });
+                    } else if matches!(self.peek(), Token::Var(_)) {
+                        if let Token::Var(v) = self.bump() {
+                            order_by.push(OrderCondition {
+                                expr: Expr::Var(Var::new(v)),
+                                descending: false,
+                            });
+                        }
+                    } else if matches!(self.peek(), Token::Punct(Punct::LParen))
+                        || self.at_builtin_keyword()
+                    {
+                        // Complex ORDER BY argument, e.g. ORDER BY (!BOUND(?n))
+                        // or ORDER BY STR(?x) — FEASIBLE uses these (App. D.4).
+                        let e = self.parse_unary()?;
+                        order_by.push(OrderCondition { expr: e, descending: false });
+                    } else {
+                        break;
+                    }
+                }
+                if order_by.is_empty() {
+                    return self.err("ORDER BY requires at least one condition");
+                }
+            } else if self.eat_keyword("LIMIT") {
+                match self.bump() {
+                    Token::Integer(n) if n >= 0 => limit = Some(n as usize),
+                    other => return self.err(format!("expected LIMIT count, got {other}")),
+                }
+            } else if self.eat_keyword("OFFSET") {
+                match self.bump() {
+                    Token::Integer(n) if n >= 0 => offset = Some(n as usize),
+                    other => return self.err(format!("expected OFFSET count, got {other}")),
+                }
+            } else {
+                break;
+            }
+        }
+
+        Ok(Query { form, dataset, pattern, group_by, order_by, limit, offset })
+    }
+
+    fn parse_select_items(&mut self) -> Result<Vec<SelectItem>, ParseError> {
+        if self.eat_punct(Punct::Star) {
+            return Ok(Vec::new());
+        }
+        let mut items = Vec::new();
+        loop {
+            match self.peek().clone() {
+                Token::Var(v) => {
+                    self.bump();
+                    items.push(SelectItem::Var(Var::new(v)));
+                }
+                Token::Punct(Punct::LParen) => {
+                    self.bump();
+                    let item = self.parse_projection_expression()?;
+                    self.expect_punct(Punct::RParen)?;
+                    items.push(item);
+                }
+                _ => break,
+            }
+        }
+        if items.is_empty() {
+            return self.err("SELECT requires '*' or at least one variable");
+        }
+        Ok(items)
+    }
+
+    /// Parses `AGG([DISTINCT] arg) AS ?v` inside a projection.
+    fn parse_projection_expression(&mut self) -> Result<SelectItem, ParseError> {
+        let func = if self.eat_keyword("COUNT") {
+            AggFunc::Count
+        } else if self.eat_keyword("SUM") {
+            AggFunc::Sum
+        } else if self.eat_keyword("MIN") {
+            AggFunc::Min
+        } else if self.eat_keyword("MAX") {
+            AggFunc::Max
+        } else if self.eat_keyword("AVG") {
+            AggFunc::Avg
+        } else if self.at_keyword("SAMPLE") || self.at_keyword("GROUP_CONCAT") {
+            return Err(ParseError::unsupported("SAMPLE/GROUP_CONCAT aggregate"));
+        } else {
+            return Err(ParseError::unsupported(
+                "non-aggregate SELECT expressions (BIND-style projection)",
+            ));
+        };
+        self.expect_punct(Punct::LParen)?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let arg = if self.eat_punct(Punct::Star) {
+            if func != AggFunc::Count {
+                return self.err("'*' argument is only valid for COUNT");
+            }
+            None
+        } else {
+            Some(self.parse_expr()?)
+        };
+        self.expect_punct(Punct::RParen)?;
+        self.expect_keyword("AS")?;
+        let var = match self.bump() {
+            Token::Var(v) => Var::new(v),
+            other => return self.err(format!("expected variable after AS, got {other}")),
+        };
+        Ok(SelectItem::Aggregate { var, func, distinct, arg })
+    }
+
+    // -------------------------------------------------------- graph pattern
+
+    fn parse_group_graph_pattern(&mut self) -> Result<GraphPattern, ParseError> {
+        self.expect_punct(Punct::LBrace)?;
+        let mut current = GraphPattern::Empty;
+        let mut filters: Vec<Expr> = Vec::new();
+        loop {
+            if self.eat_punct(Punct::RBrace) {
+                break;
+            }
+            match self.peek() {
+                Token::Word(w) if w.eq_ignore_ascii_case("FILTER") => {
+                    self.bump();
+                    if self.at_keyword("EXISTS") {
+                        return Err(ParseError::unsupported("FILTER EXISTS"));
+                    }
+                    if self.at_keyword("NOT") {
+                        return Err(ParseError::unsupported("FILTER NOT EXISTS"));
+                    }
+                    let c = self.parse_constraint()?;
+                    filters.push(c);
+                }
+                Token::Word(w) if w.eq_ignore_ascii_case("OPTIONAL") => {
+                    self.bump();
+                    let right = self.parse_group_graph_pattern()?;
+                    current = GraphPattern::Optional(Box::new(current), Box::new(right));
+                }
+                Token::Word(w) if w.eq_ignore_ascii_case("MINUS") => {
+                    self.bump();
+                    let right = self.parse_group_graph_pattern()?;
+                    current = GraphPattern::Minus(Box::new(current), Box::new(right));
+                }
+                Token::Word(w) if w.eq_ignore_ascii_case("GRAPH") => {
+                    self.bump();
+                    let spec = match self.peek().clone() {
+                        Token::Var(v) => {
+                            self.bump();
+                            GraphSpec::Var(Var::new(v))
+                        }
+                        _ => GraphSpec::Iri(self.parse_iri()?),
+                    };
+                    let inner = self.parse_group_graph_pattern()?;
+                    current = GraphPattern::join(
+                        current,
+                        GraphPattern::Graph(spec, Box::new(inner)),
+                    );
+                }
+                Token::Word(w) if w.eq_ignore_ascii_case("BIND") => {
+                    return Err(ParseError::unsupported("BIND"));
+                }
+                Token::Word(w) if w.eq_ignore_ascii_case("VALUES") => {
+                    return Err(ParseError::unsupported("VALUES"));
+                }
+                Token::Word(w) if w.eq_ignore_ascii_case("SERVICE") => {
+                    return Err(ParseError::unsupported("SERVICE (federation)"));
+                }
+                Token::Punct(Punct::LBrace) => {
+                    // Group or union. A nested `{ SELECT ... }` would be a
+                    // sub-query — unsupported, detect it for a clear error.
+                    if matches!(self.peek2(), Token::Word(w) if w.eq_ignore_ascii_case("SELECT"))
+                    {
+                        return Err(ParseError::unsupported("sub-SELECT"));
+                    }
+                    let mut g = self.parse_group_graph_pattern()?;
+                    while self.eat_keyword("UNION") {
+                        let rhs = self.parse_group_graph_pattern()?;
+                        g = GraphPattern::Union(Box::new(g), Box::new(rhs));
+                    }
+                    current = GraphPattern::join(current, g);
+                }
+                Token::Punct(Punct::Dot) => {
+                    self.bump();
+                }
+                _ => {
+                    let block = self.parse_triples_same_subject()?;
+                    current = GraphPattern::join(current, block);
+                }
+            }
+        }
+        for f in filters {
+            current = GraphPattern::Filter(Box::new(current), f);
+        }
+        Ok(current)
+    }
+
+    /// Parses one `TriplesSameSubject` production (subject with a
+    /// predicate-object list) into a join of triple/path patterns.
+    fn parse_triples_same_subject(&mut self) -> Result<GraphPattern, ParseError> {
+        let subject = self.parse_term_pattern()?;
+        let mut pattern = GraphPattern::Empty;
+        loop {
+            // Verb: variable, 'a', or a property path.
+            let verb: Verb = match self.peek().clone() {
+                Token::Var(v) => {
+                    self.bump();
+                    Verb::Var(Var::new(v))
+                }
+                _ => Verb::Path(self.parse_path()?),
+            };
+            loop {
+                let object = self.parse_term_pattern()?;
+                let elem = match &verb {
+                    Verb::Var(v) => GraphPattern::Triple(TriplePattern::new(
+                        subject.clone(),
+                        TermPattern::Var(v.clone()),
+                        object,
+                    )),
+                    Verb::Path(PropertyPath::Link(iri)) => {
+                        GraphPattern::Triple(TriplePattern::new(
+                            subject.clone(),
+                            TermPattern::Term(Term::iri(iri.clone())),
+                            object,
+                        ))
+                    }
+                    Verb::Path(p) => GraphPattern::Path {
+                        subject: subject.clone(),
+                        path: p.clone(),
+                        object,
+                    },
+                };
+                pattern = GraphPattern::join(pattern, elem);
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            if !self.eat_punct(Punct::Semicolon) {
+                break;
+            }
+            // Trailing ';' before '.' or '}' is allowed.
+            if matches!(
+                self.peek(),
+                Token::Punct(Punct::Dot) | Token::Punct(Punct::RBrace)
+            ) {
+                break;
+            }
+        }
+        Ok(pattern)
+    }
+
+    fn parse_term_pattern(&mut self) -> Result<TermPattern, ParseError> {
+        match self.peek().clone() {
+            Token::Var(v) => {
+                self.bump();
+                Ok(TermPattern::Var(Var::new(v)))
+            }
+            Token::BlankNode(b) => {
+                self.bump();
+                Ok(TermPattern::Term(Term::bnode(b)))
+            }
+            Token::Punct(Punct::LBracket) => {
+                self.bump();
+                self.expect_punct(Punct::RBracket)?;
+                self.anon += 1;
+                Ok(TermPattern::Term(Term::bnode(format!("anon{}", self.anon))))
+            }
+            Token::Iri(_) | Token::PName { .. } => {
+                Ok(TermPattern::Term(Term::iri(self.parse_iri()?)))
+            }
+            Token::String(_) => Ok(TermPattern::Term(self.parse_literal()?)),
+            Token::Integer(n) => {
+                self.bump();
+                Ok(TermPattern::Term(Term::integer(n)))
+            }
+            Token::Decimal(d) => {
+                self.bump();
+                Ok(TermPattern::Term(Term::typed_literal(d, xsd::DOUBLE)))
+            }
+            Token::Punct(Punct::Minus) => {
+                self.bump();
+                match self.bump() {
+                    Token::Integer(n) => Ok(TermPattern::Term(Term::integer(-n))),
+                    Token::Decimal(d) => Ok(TermPattern::Term(Term::typed_literal(
+                        format!("-{d}"),
+                        xsd::DOUBLE,
+                    ))),
+                    other => self.err(format!("expected number after '-', got {other}")),
+                }
+            }
+            Token::Word(w) if w.eq_ignore_ascii_case("true") => {
+                self.bump();
+                Ok(TermPattern::Term(Term::boolean(true)))
+            }
+            Token::Word(w) if w.eq_ignore_ascii_case("false") => {
+                self.bump();
+                Ok(TermPattern::Term(Term::boolean(false)))
+            }
+            other => self.err(format!("expected term or variable, got {other}")),
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<Term, ParseError> {
+        let lex = match self.bump() {
+            Token::String(s) => s,
+            other => return self.err(format!("expected string literal, got {other}")),
+        };
+        match self.peek().clone() {
+            Token::LangTag(tag) => {
+                self.bump();
+                Ok(Term::lang_literal(lex, &tag))
+            }
+            Token::Punct(Punct::CaretCaret) => {
+                self.bump();
+                let dt = self.parse_iri()?;
+                Ok(Term::typed_literal(lex, dt))
+            }
+            _ => Ok(Term::literal(lex)),
+        }
+    }
+
+    fn parse_iri(&mut self) -> Result<Arc<str>, ParseError> {
+        match self.bump() {
+            Token::Iri(i) => Ok(i),
+            Token::PName { prefix, local } => match self.prefixes.get(&prefix) {
+                Some(ns) => Ok(Arc::from(format!("{ns}{local}"))),
+                None => self.err(format!("undeclared prefix {prefix:?}")),
+            },
+            other => self.err(format!("expected IRI, got {other}")),
+        }
+    }
+
+    // -------------------------------------------------------------- paths
+
+    fn parse_path(&mut self) -> Result<PropertyPath, ParseError> {
+        let mut p = self.parse_path_sequence()?;
+        while self.eat_punct(Punct::Pipe) {
+            let rhs = self.parse_path_sequence()?;
+            p = PropertyPath::Alternative(Box::new(p), Box::new(rhs));
+        }
+        Ok(p)
+    }
+
+    fn parse_path_sequence(&mut self) -> Result<PropertyPath, ParseError> {
+        let mut p = self.parse_path_elt_or_inverse()?;
+        while self.eat_punct(Punct::Slash) {
+            let rhs = self.parse_path_elt_or_inverse()?;
+            p = PropertyPath::Sequence(Box::new(p), Box::new(rhs));
+        }
+        Ok(p)
+    }
+
+    fn parse_path_elt_or_inverse(&mut self) -> Result<PropertyPath, ParseError> {
+        if self.eat_punct(Punct::Caret) {
+            let inner = self.parse_path_elt()?;
+            Ok(PropertyPath::Inverse(Box::new(inner)))
+        } else {
+            self.parse_path_elt()
+        }
+    }
+
+    fn parse_path_elt(&mut self) -> Result<PropertyPath, ParseError> {
+        let primary = self.parse_path_primary()?;
+        self.parse_path_mod(primary)
+    }
+
+    fn parse_path_mod(&mut self, primary: PropertyPath) -> Result<PropertyPath, ParseError> {
+        if self.eat_punct(Punct::Question) {
+            Ok(PropertyPath::ZeroOrOne(Box::new(primary)))
+        } else if self.eat_punct(Punct::Star) {
+            Ok(PropertyPath::ZeroOrMore(Box::new(primary)))
+        } else if self.eat_punct(Punct::Plus) {
+            Ok(PropertyPath::OneOrMore(Box::new(primary)))
+        } else if matches!(self.peek(), Token::Punct(Punct::LBrace))
+            && matches!(self.peek2(), Token::Integer(_))
+        {
+            // Range quantifier {n}, {n,}, {n,m} — the gMark extension.
+            self.bump(); // '{'
+            let n = match self.bump() {
+                Token::Integer(n) if n >= 0 => n as u32,
+                other => return self.err(format!("expected path count, got {other}")),
+            };
+            let path = if self.eat_punct(Punct::Comma) {
+                match self.peek().clone() {
+                    Token::Integer(m) => {
+                        self.bump();
+                        if (m as u32) < n {
+                            return self.err("path range upper bound below lower bound");
+                        }
+                        PropertyPath::Between(Box::new(primary), n, m as u32)
+                    }
+                    _ => PropertyPath::AtLeast(Box::new(primary), n),
+                }
+            } else {
+                PropertyPath::Exactly(Box::new(primary), n)
+            };
+            self.expect_punct(Punct::RBrace)?;
+            Ok(path)
+        } else {
+            Ok(primary)
+        }
+    }
+
+    fn parse_path_primary(&mut self) -> Result<PropertyPath, ParseError> {
+        match self.peek().clone() {
+            Token::Punct(Punct::LParen) => {
+                self.bump();
+                let p = self.parse_path()?;
+                self.expect_punct(Punct::RParen)?;
+                Ok(p)
+            }
+            Token::Punct(Punct::Bang) => {
+                self.bump();
+                self.parse_negated_property_set()
+            }
+            Token::Word(w) if w.eq_ignore_ascii_case("a") && w == "a" => {
+                self.bump();
+                Ok(PropertyPath::Link(Arc::from(rdf::TYPE)))
+            }
+            Token::Iri(_) | Token::PName { .. } => {
+                Ok(PropertyPath::Link(self.parse_iri()?))
+            }
+            other => self.err(format!("expected property path, got {other}")),
+        }
+    }
+
+    fn parse_negated_property_set(&mut self) -> Result<PropertyPath, ParseError> {
+        let mut forward = Vec::new();
+        let mut backward = Vec::new();
+        let one = |p: &mut Parser,
+                       forward: &mut Vec<Arc<str>>,
+                       backward: &mut Vec<Arc<str>>|
+         -> Result<(), ParseError> {
+            if p.eat_punct(Punct::Caret) {
+                backward.push(p.parse_iri()?);
+            } else if p.at_keyword("a") {
+                p.bump();
+                forward.push(Arc::from(rdf::TYPE));
+            } else {
+                forward.push(p.parse_iri()?);
+            }
+            Ok(())
+        };
+        if self.eat_punct(Punct::LParen) {
+            loop {
+                one(self, &mut forward, &mut backward)?;
+                if !self.eat_punct(Punct::Pipe) {
+                    break;
+                }
+            }
+            self.expect_punct(Punct::RParen)?;
+        } else {
+            one(self, &mut forward, &mut backward)?;
+        }
+        Ok(PropertyPath::NegatedSet { forward, backward })
+    }
+
+    // -------------------------------------------------------- expressions
+
+    fn parse_constraint(&mut self) -> Result<Expr, ParseError> {
+        // Constraint := BrackettedExpression | BuiltInCall
+        if matches!(self.peek(), Token::Punct(Punct::LParen)) {
+            self.bump();
+            let e = self.parse_expr()?;
+            self.expect_punct(Punct::RParen)?;
+            Ok(e)
+        } else if self.at_builtin_keyword() {
+            self.parse_builtin_call()
+        } else {
+            self.err("expected '(' or built-in call after FILTER")
+        }
+    }
+
+    fn at_builtin_keyword(&self) -> bool {
+        const BUILTINS: &[&str] = &[
+            "BOUND", "REGEX", "ISIRI", "ISURI", "ISBLANK", "ISLITERAL",
+            "ISNUMERIC", "STR", "LANG", "DATATYPE", "UCASE", "LCASE", "STRLEN",
+            "CONTAINS", "STRSTARTS", "STRENDS", "SAMETERM", "LANGMATCHES",
+        ];
+        matches!(self.peek(), Token::Word(w)
+            if BUILTINS.iter().any(|b| w.eq_ignore_ascii_case(b)))
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        // ConditionalOrExpression
+        let mut e = self.parse_and_expr()?;
+        while self.eat_punct(Punct::OrOr) {
+            let rhs = self.parse_and_expr()?;
+            e = Expr::Or(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn parse_and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.parse_relational()?;
+        while self.eat_punct(Punct::AndAnd) {
+            let rhs = self.parse_relational()?;
+            e = Expr::And(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn parse_relational(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_additive()?;
+        let op = match self.peek() {
+            Token::Punct(Punct::Eq) => Some(CmpOp::Eq),
+            Token::Punct(Punct::Neq) => Some(CmpOp::Neq),
+            Token::Punct(Punct::Lt) => Some(CmpOp::Lt),
+            Token::Punct(Punct::Le) => Some(CmpOp::Le),
+            Token::Punct(Punct::Gt) => Some(CmpOp::Gt),
+            Token::Punct(Punct::Ge) => Some(CmpOp::Ge),
+            Token::Word(w) if w.eq_ignore_ascii_case("IN") => {
+                return Err(ParseError::unsupported("IN"))
+            }
+            Token::Word(w) if w.eq_ignore_ascii_case("NOT") => {
+                return Err(ParseError::unsupported("NOT IN"))
+            }
+            _ => None,
+        };
+        match op {
+            None => Ok(lhs),
+            Some(op) => {
+                self.bump();
+                let rhs = self.parse_additive()?;
+                Ok(Expr::Compare(op, Box::new(lhs), Box::new(rhs)))
+            }
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.parse_multiplicative()?;
+        loop {
+            if self.eat_punct(Punct::Plus) {
+                let rhs = self.parse_multiplicative()?;
+                e = Expr::Arith(ArithOp::Add, Box::new(e), Box::new(rhs));
+            } else if self.eat_punct(Punct::Minus) {
+                let rhs = self.parse_multiplicative()?;
+                e = Expr::Arith(ArithOp::Sub, Box::new(e), Box::new(rhs));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.parse_unary()?;
+        loop {
+            if self.eat_punct(Punct::Star) {
+                let rhs = self.parse_unary()?;
+                e = Expr::Arith(ArithOp::Mul, Box::new(e), Box::new(rhs));
+            } else if self.eat_punct(Punct::Slash) {
+                let rhs = self.parse_unary()?;
+                e = Expr::Arith(ArithOp::Div, Box::new(e), Box::new(rhs));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct(Punct::Bang) {
+            Ok(Expr::Not(Box::new(self.parse_unary()?)))
+        } else if self.eat_punct(Punct::Minus) {
+            Ok(Expr::Neg(Box::new(self.parse_unary()?)))
+        } else if self.eat_punct(Punct::Plus) {
+            self.parse_unary()
+        } else {
+            self.parse_primary()
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Token::Punct(Punct::LParen) => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                Ok(e)
+            }
+            Token::Var(v) => {
+                self.bump();
+                Ok(Expr::Var(Var::new(v)))
+            }
+            Token::Integer(n) => {
+                self.bump();
+                Ok(Expr::Const(Term::integer(n)))
+            }
+            Token::Decimal(d) => {
+                self.bump();
+                Ok(Expr::Const(Term::typed_literal(d, xsd::DOUBLE)))
+            }
+            Token::String(_) => Ok(Expr::Const(self.parse_literal()?)),
+            Token::Iri(_) | Token::PName { .. } => {
+                Ok(Expr::Const(Term::iri(self.parse_iri()?)))
+            }
+            Token::Word(w) if w.eq_ignore_ascii_case("true") => {
+                self.bump();
+                Ok(Expr::Const(Term::boolean(true)))
+            }
+            Token::Word(w) if w.eq_ignore_ascii_case("false") => {
+                self.bump();
+                Ok(Expr::Const(Term::boolean(false)))
+            }
+            Token::Word(_) if self.at_builtin_keyword() => self.parse_builtin_call(),
+            Token::Word(w) if w.eq_ignore_ascii_case("COALESCE") => {
+                Err(ParseError::unsupported("COALESCE"))
+            }
+            Token::Word(w) if w.eq_ignore_ascii_case("EXISTS") => {
+                Err(ParseError::unsupported("EXISTS"))
+            }
+            other => self.err(format!("expected expression, got {other}")),
+        }
+    }
+
+    fn parse_builtin_call(&mut self) -> Result<Expr, ParseError> {
+        let name = match self.bump() {
+            Token::Word(w) => w.to_ascii_uppercase(),
+            other => return self.err(format!("expected built-in name, got {other}")),
+        };
+        self.expect_punct(Punct::LParen)?;
+        let e = match name.as_str() {
+            "BOUND" => {
+                let v = match self.bump() {
+                    Token::Var(v) => Var::new(v),
+                    other => {
+                        return self.err(format!("BOUND expects a variable, got {other}"))
+                    }
+                };
+                Expr::Bound(v)
+            }
+            "REGEX" => {
+                let text = self.parse_expr()?;
+                self.expect_punct(Punct::Comma)?;
+                let pattern = self.parse_expr()?;
+                let flags = if self.eat_punct(Punct::Comma) {
+                    Some(Box::new(self.parse_expr()?))
+                } else {
+                    None
+                };
+                Expr::Regex(Box::new(text), Box::new(pattern), flags)
+            }
+            "ISIRI" | "ISURI" => Expr::IsIri(Box::new(self.parse_expr()?)),
+            "ISBLANK" => Expr::IsBlank(Box::new(self.parse_expr()?)),
+            "ISLITERAL" => Expr::IsLiteral(Box::new(self.parse_expr()?)),
+            "ISNUMERIC" => Expr::IsNumeric(Box::new(self.parse_expr()?)),
+            "STR" => Expr::Str(Box::new(self.parse_expr()?)),
+            "LANG" => Expr::Lang(Box::new(self.parse_expr()?)),
+            "DATATYPE" => Expr::Datatype(Box::new(self.parse_expr()?)),
+            "UCASE" => Expr::Ucase(Box::new(self.parse_expr()?)),
+            "LCASE" => Expr::Lcase(Box::new(self.parse_expr()?)),
+            "STRLEN" => Expr::Strlen(Box::new(self.parse_expr()?)),
+            "CONTAINS" => {
+                let a = self.parse_expr()?;
+                self.expect_punct(Punct::Comma)?;
+                let b = self.parse_expr()?;
+                Expr::Contains(Box::new(a), Box::new(b))
+            }
+            "STRSTARTS" => {
+                let a = self.parse_expr()?;
+                self.expect_punct(Punct::Comma)?;
+                let b = self.parse_expr()?;
+                Expr::StrStarts(Box::new(a), Box::new(b))
+            }
+            "STRENDS" => {
+                let a = self.parse_expr()?;
+                self.expect_punct(Punct::Comma)?;
+                let b = self.parse_expr()?;
+                Expr::StrEnds(Box::new(a), Box::new(b))
+            }
+            "SAMETERM" => {
+                let a = self.parse_expr()?;
+                self.expect_punct(Punct::Comma)?;
+                let b = self.parse_expr()?;
+                Expr::SameTerm(Box::new(a), Box::new(b))
+            }
+            "LANGMATCHES" => {
+                let a = self.parse_expr()?;
+                self.expect_punct(Punct::Comma)?;
+                let b = self.parse_expr()?;
+                Expr::LangMatches(Box::new(a), Box::new(b))
+            }
+            other => return self.err(format!("unknown built-in {other}")),
+        };
+        self.expect_punct(Punct::RParen)?;
+        Ok(e)
+    }
+}
+
+enum Verb {
+    Var(Var),
+    Path(PropertyPath),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_figure1_query() {
+        let q = parse_query(
+            r#"
+            SELECT ?N ?L
+            FROM <http://example.org/graph.rdf>
+            WHERE { ?X <http://ex.org/name> ?N
+            . OPTIONAL { ?X <http://ex.org/lastname> ?L }}
+            ORDER BY ?N
+            "#,
+        )
+        .unwrap();
+        assert!(q.is_select());
+        assert_eq!(q.projection(), vec![Var::new("N"), Var::new("L")]);
+        assert_eq!(q.dataset.len(), 1);
+        assert_eq!(q.order_by.len(), 1);
+        assert!(matches!(q.pattern, GraphPattern::Optional(_, _)));
+    }
+
+    #[test]
+    fn parse_paper_figure3_property_path_query() {
+        let q = parse_query(
+            r#"
+            PREFIX ex: <http://ex.org/>
+            SELECT ?B
+            FROM <http://example.org/countries.rdf>
+            WHERE { ?A ex:borders+ ?B . FILTER (?A = ex:spain) }
+            "#,
+        )
+        .unwrap();
+        match &q.pattern {
+            GraphPattern::Filter(inner, cond) => {
+                match inner.as_ref() {
+                    GraphPattern::Path { path, .. } => {
+                        assert!(matches!(path, PropertyPath::OneOrMore(_)));
+                    }
+                    other => panic!("expected path pattern, got {other:?}"),
+                }
+                assert!(matches!(cond, Expr::Compare(CmpOp::Eq, _, _)));
+            }
+            other => panic!("expected filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_link_paths_become_triple_patterns() {
+        let q = parse_query(
+            "PREFIX ex: <http://e/> SELECT * WHERE { ?x ex:p ?y . ?y a ex:C }",
+        )
+        .unwrap();
+        match &q.pattern {
+            GraphPattern::Join(a, b) => {
+                assert!(matches!(a.as_ref(), GraphPattern::Triple(_)));
+                match b.as_ref() {
+                    GraphPattern::Triple(t) => {
+                        assert_eq!(
+                            t.predicate,
+                            TermPattern::Term(Term::iri(rdf::TYPE))
+                        );
+                    }
+                    other => panic!("expected triple, got {other:?}"),
+                }
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn semicolon_and_comma_abbreviations() {
+        let q = parse_query(
+            "PREFIX e: <http://e/> SELECT * WHERE { ?x e:p ?a , ?b ; e:q ?c . }",
+        )
+        .unwrap();
+        // Three triple patterns joined.
+        let mut count = 0;
+        fn count_triples(p: &GraphPattern, n: &mut usize) {
+            match p {
+                GraphPattern::Triple(_) => *n += 1,
+                GraphPattern::Join(a, b) => {
+                    count_triples(a, n);
+                    count_triples(b, n);
+                }
+                _ => {}
+            }
+        }
+        count_triples(&q.pattern, &mut count);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn union_and_minus() {
+        let q = parse_query(
+            "PREFIX e: <http://e/> SELECT ?x WHERE {
+               { ?x e:p e:a } UNION { ?x e:q e:b } MINUS { ?x e:r e:c } }",
+        )
+        .unwrap();
+        assert!(matches!(q.pattern, GraphPattern::Minus(_, _)));
+        if let GraphPattern::Minus(l, _) = &q.pattern {
+            assert!(matches!(l.as_ref(), GraphPattern::Union(_, _)));
+        }
+    }
+
+    #[test]
+    fn graph_patterns() {
+        let q = parse_query(
+            "SELECT * WHERE { GRAPH ?g { ?s ?p ?o } GRAPH <http://g> { ?a ?b ?c } }",
+        )
+        .unwrap();
+        if let GraphPattern::Join(a, b) = &q.pattern {
+            assert!(matches!(
+                a.as_ref(),
+                GraphPattern::Graph(GraphSpec::Var(_), _)
+            ));
+            assert!(matches!(
+                b.as_ref(),
+                GraphPattern::Graph(GraphSpec::Iri(_), _)
+            ));
+        } else {
+            panic!("expected join of two GRAPH patterns");
+        }
+    }
+
+    #[test]
+    fn complex_paths() {
+        let q = parse_query(
+            "PREFIX e: <http://e/> SELECT * WHERE { ?x (e:a/e:b)|^e:c ?y }",
+        )
+        .unwrap();
+        match &q.pattern {
+            GraphPattern::Path { path, .. } => {
+                assert!(matches!(path, PropertyPath::Alternative(_, _)));
+            }
+            other => panic!("expected path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negated_property_sets() {
+        let q = parse_query(
+            "PREFIX e: <http://e/> SELECT * WHERE { ?x !(e:a|^e:b) ?y }",
+        )
+        .unwrap();
+        match &q.pattern {
+            GraphPattern::Path { path, .. } => match path {
+                PropertyPath::NegatedSet { forward, backward } => {
+                    assert_eq!(forward.len(), 1);
+                    assert_eq!(backward.len(), 1);
+                }
+                other => panic!("expected negated set, got {other:?}"),
+            },
+            other => panic!("expected path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn path_range_quantifiers() {
+        for (text, expect_recursive) in [
+            ("?x e:p{2} ?y", false),
+            ("?x e:p{2,} ?y", true),
+            ("?x e:p{0,3} ?y", false),
+        ] {
+            let q = parse_query(&format!(
+                "PREFIX e: <http://e/> SELECT * WHERE {{ {text} }}"
+            ))
+            .unwrap();
+            match &q.pattern {
+                GraphPattern::Path { path, .. } => {
+                    assert_eq!(path.is_recursive(), expect_recursive, "{text}");
+                }
+                other => panic!("expected path, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn filter_builtins() {
+        let q = parse_query(
+            r#"SELECT ?x WHERE { ?x ?p ?o .
+                FILTER (BOUND(?x) && REGEX(STR(?o), "^a", "i") && ISIRI(?x)
+                        || !ISBLANK(?o) && STRLEN(UCASE(STR(?o))) > 3) }"#,
+        )
+        .unwrap();
+        assert!(matches!(q.pattern, GraphPattern::Filter(_, _)));
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let q = parse_query(
+            "SELECT ?x (COUNT(?y) AS ?c) WHERE { ?x ?p ?y } GROUP BY ?x",
+        )
+        .unwrap();
+        assert!(q.has_aggregates());
+        assert_eq!(q.group_by, vec![Var::new("x")]);
+        assert_eq!(q.projection(), vec![Var::new("x"), Var::new("c")]);
+        let q2 = parse_query("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }").unwrap();
+        assert!(q2.has_aggregates());
+    }
+
+    #[test]
+    fn solution_modifiers() {
+        let q = parse_query(
+            "SELECT DISTINCT ?x WHERE { ?x ?p ?o } ORDER BY DESC(?x) LIMIT 10 OFFSET 5",
+        )
+        .unwrap();
+        assert!(q.is_distinct());
+        assert!(q.order_by[0].descending);
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.offset, Some(5));
+    }
+
+    #[test]
+    fn order_by_complex_argument() {
+        // FEASIBLE-style ORDER BY (!BOUND(?n)) — Appendix D.4.
+        let q = parse_query(
+            "SELECT ?x WHERE { ?x ?p ?n } ORDER BY (!BOUND(?n)) ?x",
+        )
+        .unwrap();
+        assert_eq!(q.order_by.len(), 2);
+        assert!(matches!(q.order_by[0].expr, Expr::Not(_)));
+    }
+
+    #[test]
+    fn ask_query() {
+        let q = parse_query("ASK { ?x ?p ?o }").unwrap();
+        assert!(q.is_ask());
+    }
+
+    #[test]
+    fn unsupported_features_are_flagged() {
+        for (text, feature) in [
+            ("CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }", "CONSTRUCT"),
+            ("DESCRIBE <http://x>", "DESCRIBE"),
+            ("SELECT * WHERE { ?s ?p ?o FILTER NOT EXISTS { ?s ?p ?o } }", "NOT EXISTS"),
+            ("SELECT * WHERE { ?s ?p ?o FILTER EXISTS { ?s ?p ?o } }", "EXISTS"),
+            ("SELECT * WHERE { BIND(1 AS ?x) }", "BIND"),
+            ("SELECT * WHERE { VALUES ?x { 1 } }", "VALUES"),
+            ("SELECT * WHERE { { SELECT ?x WHERE { ?x ?p ?o } } }", "sub-SELECT"),
+            ("SELECT * WHERE { ?s ?p ?o } HAVING (?o > 1)", "HAVING"),
+        ] {
+            let err = parse_query(text).unwrap_err();
+            assert!(err.unsupported, "{feature}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn syntax_errors_are_not_unsupported() {
+        let err = parse_query("SELECT ?x WHERE { ?x ?p }").unwrap_err();
+        assert!(!err.unsupported);
+        assert!(parse_query("SELECT").is_err());
+        assert!(parse_query("SELECT ?x WHERE { ?x nope:p ?y }").is_err());
+    }
+
+    #[test]
+    fn from_named_clauses() {
+        let q = parse_query(
+            "SELECT * FROM <http://d> FROM NAMED <http://n> WHERE { ?s ?p ?o }",
+        )
+        .unwrap();
+        assert_eq!(q.dataset.len(), 2);
+        assert!(matches!(&q.dataset[0], DatasetClause::Default(_)));
+        assert!(matches!(&q.dataset[1], DatasetClause::Named(_)));
+    }
+
+    #[test]
+    fn filter_applies_to_whole_group() {
+        // FILTER written before the triple still scopes over the group.
+        let q = parse_query(
+            "SELECT * WHERE { FILTER (?y > 3) ?x <http://p> ?y }",
+        )
+        .unwrap();
+        assert!(matches!(q.pattern, GraphPattern::Filter(_, _)));
+    }
+
+    #[test]
+    fn optional_with_inner_filter_preserved() {
+        // Def. A.9 shape: (P1 OPT (P2 FILTER C)).
+        let q = parse_query(
+            "PREFIX e: <http://e/> SELECT * WHERE {
+               ?x e:p ?y OPTIONAL { ?x e:q ?z FILTER (?z > 1) } }",
+        )
+        .unwrap();
+        match &q.pattern {
+            GraphPattern::Optional(_, right) => {
+                assert!(matches!(right.as_ref(), GraphPattern::Filter(_, _)));
+            }
+            other => panic!("expected optional, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn literals_in_patterns() {
+        let q = parse_query(
+            r#"SELECT * WHERE { ?x <http://p> "v"@en . ?x <http://q> 5 . ?x <http://r> -2 . ?x <http://s> true }"#,
+        )
+        .unwrap();
+        let mut literals = 0;
+        fn walk(p: &GraphPattern, n: &mut usize) {
+            match p {
+                GraphPattern::Triple(t) => {
+                    if matches!(t.object, TermPattern::Term(Term::Literal(_))) {
+                        *n += 1;
+                    }
+                }
+                GraphPattern::Join(a, b) => {
+                    walk(a, n);
+                    walk(b, n);
+                }
+                _ => {}
+            }
+        }
+        walk(&q.pattern, &mut literals);
+        assert_eq!(literals, 4);
+    }
+}

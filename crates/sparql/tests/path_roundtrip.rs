@@ -1,0 +1,72 @@
+//! Property test: the `Display` form of a random property-path AST
+//! re-parses to the same AST (printer/parser round-trip).
+
+use proptest::prelude::*;
+use sparqlog_sparql::{parse_query, GraphPattern, PropertyPath};
+
+fn leaf() -> impl Strategy<Value = PropertyPath> {
+    prop_oneof![
+        (0u8..4).prop_map(|i| PropertyPath::link(format!("http://p/{i}"))),
+        // Negated sets are leaves of the recursion.
+        (
+            prop::collection::vec(0u8..4, 1..3),
+            prop::collection::vec(0u8..4, 0..2)
+        )
+            .prop_map(|(f, b)| PropertyPath::NegatedSet {
+                forward: f
+                    .into_iter()
+                    .map(|i| format!("http://p/{i}").into())
+                    .collect(),
+                backward: b
+                    .into_iter()
+                    .map(|i| format!("http://p/{i}").into())
+                    .collect(),
+            }),
+    ]
+}
+
+fn path_strategy() -> impl Strategy<Value = PropertyPath> {
+    leaf().prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|p| PropertyPath::Inverse(Box::new(p))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                PropertyPath::Alternative(Box::new(a), Box::new(b))
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                PropertyPath::Sequence(Box::new(a), Box::new(b))
+            }),
+            inner.clone().prop_map(|p| PropertyPath::ZeroOrOne(Box::new(p))),
+            inner.clone().prop_map(|p| PropertyPath::OneOrMore(Box::new(p))),
+            inner.clone().prop_map(|p| PropertyPath::ZeroOrMore(Box::new(p))),
+            (inner.clone(), 1u32..4).prop_map(|(p, n)| {
+                PropertyPath::Exactly(Box::new(p), n)
+            }),
+            (inner.clone(), 1u32..3).prop_map(|(p, n)| {
+                PropertyPath::AtLeast(Box::new(p), n)
+            }),
+            (inner, 0u32..2, 2u32..4).prop_map(|(p, n, m)| {
+                PropertyPath::Between(Box::new(p), n, m)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn display_reparses_to_same_path(path in path_strategy()) {
+        let query = format!("SELECT * WHERE {{ ?s {path} ?o }}");
+        let parsed = parse_query(&query)
+            .unwrap_or_else(|e| panic!("{query}: {e}"));
+        match parsed.pattern {
+            GraphPattern::Path { path: got, .. } => prop_assert_eq!(got, path),
+            // A bare link prints as `<iri>` and parses to a plain triple
+            // pattern — also correct.
+            GraphPattern::Triple(t) => {
+                prop_assert!(matches!(path, PropertyPath::Link(_)), "{:?}", t);
+            }
+            other => prop_assert!(false, "unexpected pattern {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: load a Turtle graph, run a SPARQL query through the
+//! SPARQL → Warded Datalog± translation, print the solutions.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use sparqlog::{QueryResult, SparqLog};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut engine = SparqLog::new();
+    engine.load_turtle(
+        r#"
+        @prefix ex: <http://ex.org/> .
+        ex:tolkien ex:wrote ex:lotr ;
+                   ex:name  "J. R. R. Tolkien" .
+        ex:herbert ex:wrote ex:dune ;
+                   ex:name  "Frank Herbert" .
+        ex:lotr ex:title "The Lord of the Rings" ; ex:year 1954 .
+        ex:dune ex:title "Dune" ; ex:year 1965 .
+        "#,
+    )?;
+
+    let result = engine.execute(
+        r#"
+        PREFIX ex: <http://ex.org/>
+        SELECT ?author ?title WHERE {
+            ?a ex:wrote ?book ; ex:name ?author .
+            ?book ex:title ?title ; ex:year ?y
+            FILTER (?y > 1960)
+        }
+        ORDER BY ?author
+        "#,
+    )?;
+
+    match result {
+        QueryResult::Solutions(s) => {
+            println!("{} solution(s) for {:?}:", s.len(), s.vars);
+            for row in &s.rows {
+                let rendered: Vec<String> = row
+                    .iter()
+                    .map(|c| c.as_ref().map(|t| t.to_string()).unwrap_or("UNBOUND".into()))
+                    .collect();
+                println!("  {}", rendered.join("  "));
+            }
+        }
+        QueryResult::Boolean(b) => println!("ASK → {b}"),
+    }
+    Ok(())
+}

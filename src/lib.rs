@@ -1,0 +1,12 @@
+//! Umbrella crate re-exporting the whole SparqLog reproduction workspace.
+//!
+//! This crate exists to host the workspace-level integration tests in
+//! `tests/` and the runnable examples in `examples/`. Library users should
+//! depend on the individual crates (most importantly [`sparqlog`]).
+
+pub use sparqlog;
+pub use sparqlog_benchdata as benchdata;
+pub use sparqlog_datalog as datalog;
+pub use sparqlog_rdf as rdf;
+pub use sparqlog_refengine as refengine;
+pub use sparqlog_sparql as sparql;
