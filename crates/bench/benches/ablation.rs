@@ -7,9 +7,7 @@
 //!    the wide-join workload collapses to a cross product without the
 //!    reorder, which the `off` variants make visible.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
+use sparqlog_bench::microbench::Bench;
 use sparqlog_datalog::{evaluate, parser::parse_program, Database, EvalOptions};
 
 /// A join-chain workload shaped like SP²Bench q4 (the query that exposed
@@ -29,46 +27,39 @@ fn chain_src(n: usize) -> String {
     src
 }
 
-fn bench_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+fn main() {
+    let mut b = Bench::new("ablation");
 
     for (name, reorder) in [("delta_reorder_on", true), ("delta_reorder_off", false)] {
-        group.bench_function(format!("join_chain/{name}"), |b| {
-            let src = chain_src(3_000);
-            let opts = EvalOptions { semi_naive_reorder: reorder, ..Default::default() };
-            b.iter(|| {
-                let mut db = Database::new();
-                let prog = parse_program(&src, db.symbols()).unwrap();
-                evaluate(&prog, &mut db, &opts).unwrap()
-            })
+        let src = chain_src(3_000);
+        let opts = EvalOptions { semi_naive_reorder: reorder, ..Default::default() };
+        b.bench(&format!("join_chain/{name}"), || {
+            let mut db = Database::new();
+            let prog = parse_program(&src, db.symbols()).unwrap();
+            evaluate(&prog, &mut db, &opts).unwrap()
         });
     }
 
     // Recursive closure: the delta pass dominates here, so the ordering
     // matters less but must not regress.
     for (name, reorder) in [("delta_reorder_on", true), ("delta_reorder_off", false)] {
-        group.bench_function(format!("closure/{name}"), |b| {
-            let mut src = String::new();
-            for i in 0..600 {
-                src.push_str(&format!("edge({}, {}).\n", i, (i + 1) % 600));
-                if i % 5 == 0 {
-                    src.push_str(&format!("edge({}, {}).\n", i, (i * 7 + 3) % 600));
-                }
+        let mut src = String::new();
+        for i in 0..600 {
+            src.push_str(&format!("edge({}, {}).\n", i, (i + 1) % 600));
+            if i % 5 == 0 {
+                src.push_str(&format!("edge({}, {}).\n", i, (i * 7 + 3) % 600));
             }
-            src.push_str(
-                "tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- edge(X, Y), tc(Y, Z).\n@output(\"tc\").\n",
-            );
-            let opts = EvalOptions { semi_naive_reorder: reorder, ..Default::default() };
-            b.iter(|| {
-                let mut db = Database::new();
-                let prog = parse_program(&src, db.symbols()).unwrap();
-                evaluate(&prog, &mut db, &opts).unwrap()
-            })
+        }
+        src.push_str(
+            "tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- edge(X, Y), tc(Y, Z).\n@output(\"tc\").\n",
+        );
+        let opts = EvalOptions { semi_naive_reorder: reorder, ..Default::default() };
+        b.bench(&format!("closure/{name}"), || {
+            let mut db = Database::new();
+            let prog = parse_program(&src, db.symbols()).unwrap();
+            evaluate(&prog, &mut db, &opts).unwrap()
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);
+    b.finish();
+}

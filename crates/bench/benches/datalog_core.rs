@@ -2,9 +2,7 @@
 //! index joins and Skolem-ID generation — the primitives every
 //! translated query exercises.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
+use sparqlog_bench::microbench::Bench;
 use sparqlog_datalog::{evaluate, parser::parse_program, Database, EvalOptions};
 
 fn tc_program(n: usize) -> String {
@@ -19,46 +17,37 @@ fn tc_program(n: usize) -> String {
     src
 }
 
-fn bench_core(c: &mut Criterion) {
-    let mut group = c.benchmark_group("datalog_core");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+fn main() {
+    let mut b = Bench::new("datalog_core");
 
-    group.bench_function("transitive_closure_300", |b| {
-        let src = tc_program(300);
-        b.iter(|| {
-            let mut db = Database::new();
-            let prog = parse_program(&src, db.symbols()).unwrap();
-            evaluate(&prog, &mut db, &EvalOptions::default()).unwrap()
-        })
+    let src = tc_program(300);
+    b.bench("transitive_closure_300", || {
+        let mut db = Database::new();
+        let prog = parse_program(&src, db.symbols()).unwrap();
+        evaluate(&prog, &mut db, &EvalOptions::default()).unwrap()
     });
 
-    group.bench_function("skolem_ids_10k", |b| {
-        let mut src = String::new();
-        for i in 0..10_000 {
-            src.push_str(&format!("q({i}).\n"));
-        }
-        src.push_str("p(I, X) :- q(X), I = skolem(\"f\", X).\n@output(\"p\").\n");
-        b.iter(|| {
-            let mut db = Database::new();
-            let prog = parse_program(&src, db.symbols()).unwrap();
-            evaluate(&prog, &mut db, &EvalOptions::default()).unwrap()
-        })
+    let mut src = String::new();
+    for i in 0..10_000 {
+        src.push_str(&format!("q({i}).\n"));
+    }
+    src.push_str("p(I, X) :- q(X), I = skolem(\"f\", X).\n@output(\"p\").\n");
+    b.bench("skolem_ids_10k", || {
+        let mut db = Database::new();
+        let prog = parse_program(&src, db.symbols()).unwrap();
+        evaluate(&prog, &mut db, &EvalOptions::default()).unwrap()
     });
 
-    group.bench_function("triangle_join_500", |b| {
-        let mut src = String::new();
-        for i in 0..500 {
-            src.push_str(&format!("e({i}, {}).\n", (i + 1) % 500));
-        }
-        src.push_str("tri(X, W) :- e(X, Y), e(Y, Z), e(Z, W).\n@output(\"tri\").\n");
-        b.iter(|| {
-            let mut db = Database::new();
-            let prog = parse_program(&src, db.symbols()).unwrap();
-            evaluate(&prog, &mut db, &EvalOptions::default()).unwrap()
-        })
+    let mut src = String::new();
+    for i in 0..500 {
+        src.push_str(&format!("e({i}, {}).\n", (i + 1) % 500));
+    }
+    src.push_str("tri(X, W) :- e(X, Y), e(Y, Z), e(Z, W).\n@output(\"tri\").\n");
+    b.bench("triangle_join_500", || {
+        let mut db = Database::new();
+        let prog = parse_program(&src, db.symbols()).unwrap();
+        evaluate(&prog, &mut db, &EvalOptions::default()).unwrap()
     });
-    group.finish();
+
+    b.finish();
 }
-
-criterion_group!(benches, bench_core);
-criterion_main!(benches);

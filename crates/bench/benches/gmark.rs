@@ -1,22 +1,19 @@
-//! Criterion bench behind Figures 8/9: recursive path queries on gMark
-//! instances — the workload class where the Datalog translation shines.
+//! Bench behind Figures 8/9: recursive path queries on gMark instances —
+//! the workload class where the Datalog translation shines.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
 use sparqlog::SparqLog;
+use sparqlog_bench::microbench::Bench;
 use sparqlog_benchdata::gmark::{generate, GmarkConfig, Scenario};
-use sparqlog_refengine::FusekiSim;
 use sparqlog_rdf::Dataset;
+use sparqlog_refengine::FusekiSim;
 
-fn bench_gmark(c: &mut Criterion) {
+fn main() {
     let dataset = Dataset::from_default_graph(generate(GmarkConfig {
         scenario: Scenario::Social,
         nodes: 400,
         seed: 7,
     }));
-    let mut group = c.benchmark_group("gmark");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let mut b = Bench::new("gmark");
 
     let cases = [
         ("bound_plus", "PREFIX g: <http://example.org/gMark/> SELECT * WHERE { g:person3 g:knows+ ?y }"),
@@ -24,19 +21,15 @@ fn bench_gmark(c: &mut Criterion) {
         ("alt_closure", "PREFIX g: <http://example.org/gMark/> SELECT * WHERE { g:person3 (g:knows|g:follows)+ ?y }"),
     ];
     for (name, q) in cases {
-        group.bench_function(format!("sparqlog/{name}"), |b| {
-            b.iter(|| {
-                let mut engine = SparqLog::new();
-                engine.load_dataset(&dataset).unwrap();
-                engine.execute(q).unwrap()
-            })
+        b.bench(&format!("sparqlog/{name}"), || {
+            let mut engine = SparqLog::new();
+            engine.load_dataset(&dataset).unwrap();
+            engine.execute(q).unwrap()
         });
-        group.bench_function(format!("fuseki/{name}"), |b| {
-            b.iter(|| FusekiSim::new(dataset.clone()).execute(q).unwrap())
+        b.bench(&format!("fuseki/{name}"), || {
+            FusekiSim::new(dataset.clone()).execute(q).unwrap()
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_gmark);
-criterion_main!(benches);
+    b.finish();
+}

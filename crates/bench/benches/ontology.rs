@@ -1,41 +1,32 @@
-//! Criterion bench behind Figure 10: query answering under an ontology,
-//! SparqLog (rules, materialised at load) vs. StardogSim (forward
-//! chaining then direct evaluation).
+//! Bench behind Figure 10: query answering under an ontology, SparqLog
+//! (rules, materialised at load) vs. StardogSim (forward chaining then
+//! direct evaluation).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
 use sparqlog::SparqLog;
+use sparqlog_bench::microbench::Bench;
 use sparqlog_benchdata::ontology::{build, queries};
 use sparqlog_benchdata::sp2bench::Sp2bConfig;
-use sparqlog_refengine::StardogSim;
 use sparqlog_rdf::Dataset;
+use sparqlog_refengine::StardogSim;
 
-fn bench_ontology(c: &mut Criterion) {
+fn main() {
     let (graph, onto) = build(Sp2bConfig { target_triples: 2_000, seed: 3 });
     let dataset = Dataset::from_default_graph(graph);
     let qs = queries();
-    let mut group = c.benchmark_group("ontology");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let mut b = Bench::new("ontology");
 
     for id in ["oq1", "oq3", "oq4"] {
         let (_, q) = qs.iter().find(|(i, _)| *i == id).unwrap();
-        group.bench_function(format!("sparqlog/{id}"), |b| {
-            b.iter(|| {
-                let mut engine = SparqLog::new();
-                engine.load_dataset(&dataset).unwrap();
-                engine.add_ontology(&onto).unwrap();
-                engine.execute(q).unwrap()
-            })
+        b.bench(&format!("sparqlog/{id}"), || {
+            let mut engine = SparqLog::new();
+            engine.load_dataset(&dataset).unwrap();
+            engine.add_ontology(&onto).unwrap();
+            engine.execute(q).unwrap()
         });
-        group.bench_function(format!("stardog/{id}"), |b| {
-            b.iter(|| {
-                StardogSim::new(dataset.clone(), &onto).execute(q).unwrap()
-            })
+        b.bench(&format!("stardog/{id}"), || {
+            StardogSim::new(dataset.clone(), &onto).execute(q).unwrap()
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_ontology);
-criterion_main!(benches);
+    b.finish();
+}

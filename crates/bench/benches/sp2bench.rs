@@ -1,40 +1,33 @@
-//! Criterion bench behind Figure 7: SP²Bench query execution on the
-//! SparqLog engine and the FusekiSim baseline (small instance — the full
-//! sweep lives in the `fig7_sp2bench` binary).
+//! Bench behind Figure 7: SP²Bench query execution on the SparqLog
+//! engine and the FusekiSim baseline (small instance — the full sweep
+//! lives in the `fig7_sp2bench` binary).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
 use sparqlog::SparqLog;
+use sparqlog_bench::microbench::Bench;
 use sparqlog_benchdata::sp2bench::{self, Sp2bConfig};
-use sparqlog_refengine::FusekiSim;
 use sparqlog_rdf::Dataset;
+use sparqlog_refengine::FusekiSim;
 
-fn bench_sp2bench(c: &mut Criterion) {
+fn main() {
     let dataset = Dataset::from_default_graph(sp2bench::generate(Sp2bConfig {
         target_triples: 2_000,
         seed: 1,
     }));
     let queries = sp2bench::queries();
-    let mut group = c.benchmark_group("sp2bench");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let mut b = Bench::new("sp2bench");
 
     // Representative queries (cheap, join-heavy, negation, union, ask).
     for id in ["q1", "q3a", "q6", "q8", "q15"] {
         let (_, q) = queries.iter().find(|(i, _)| *i == id).unwrap();
-        group.bench_function(format!("sparqlog/{id}"), |b| {
-            b.iter(|| {
-                let mut engine = SparqLog::new();
-                engine.load_dataset(&dataset).unwrap();
-                engine.execute(q).unwrap()
-            })
+        b.bench(&format!("sparqlog/{id}"), || {
+            let mut engine = SparqLog::new();
+            engine.load_dataset(&dataset).unwrap();
+            engine.execute(q).unwrap()
         });
-        group.bench_function(format!("fuseki/{id}"), |b| {
-            b.iter(|| FusekiSim::new(dataset.clone()).execute(q).unwrap())
+        b.bench(&format!("fuseki/{id}"), || {
+            FusekiSim::new(dataset.clone()).execute(q).unwrap()
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_sp2bench);
-criterion_main!(benches);
+    b.finish();
+}

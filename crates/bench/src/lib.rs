@@ -19,4 +19,5 @@
 //! Environment: `SPARQLOG_TIMEOUT_MS` (default 5000) scales the paper's
 //! 900 s budget; `SPARQLOG_SCALE` (default 1.0) scales dataset sizes.
 pub mod harness;
+pub mod microbench;
 pub mod tables;

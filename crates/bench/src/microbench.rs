@@ -1,0 +1,145 @@
+//! A minimal in-tree microbenchmark harness (criterion-free, so the
+//! workspace builds offline with zero external dependencies).
+//!
+//! Each `[[bench]]` target is a plain `harness = false` binary that builds
+//! a [`Bench`] group, registers closures with [`Bench::bench`], and calls
+//! [`Bench::finish`]. Results print as a table; set
+//! `SPARQLOG_BENCH_JSON=<path>` to also append one JSON line per group
+//! (used by the committed `BENCH_*.json` records).
+//!
+//! Methodology: one untimed warm-up iteration, then whole-closure timing
+//! until the measurement budget (`SPARQLOG_BENCH_TIME_MS`, default
+//! 2000 ms) or the iteration cap is reached. We report the *minimum* as
+//! the headline number (least scheduler noise) alongside the mean.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// One benchmark's measurements.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    pub iters: u32,
+    pub min_ns: u128,
+    pub mean_ns: u128,
+}
+
+/// A named group of microbenchmarks.
+pub struct Bench {
+    group: String,
+    budget: Duration,
+    max_iters: u32,
+    results: Vec<BenchResult>,
+}
+
+impl Bench {
+    /// Creates a group. The per-benchmark budget comes from
+    /// `SPARQLOG_BENCH_TIME_MS` (default 2000).
+    pub fn new(group: &str) -> Self {
+        let ms = std::env::var("SPARQLOG_BENCH_TIME_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2_000u64);
+        Bench {
+            group: group.to_string(),
+            budget: Duration::from_millis(ms),
+            max_iters: 200,
+            results: Vec::new(),
+        }
+    }
+
+    /// Runs `f` repeatedly and records its timing under `name`.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        std::hint::black_box(f()); // warm-up, untimed
+        let mut times: Vec<u128> = Vec::new();
+        let start = Instant::now();
+        while (start.elapsed() < self.budget && times.len() < self.max_iters as usize)
+            || times.len() < 3
+        {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            times.push(t0.elapsed().as_nanos());
+        }
+        let iters = times.len() as u32;
+        let min_ns = *times.iter().min().expect("at least one iteration");
+        let mean_ns = times.iter().sum::<u128>() / times.len() as u128;
+        eprintln!(
+            "{}/{name}: {iters} iters, min {}, mean {}",
+            self.group,
+            fmt_ns(min_ns),
+            fmt_ns(mean_ns)
+        );
+        self.results.push(BenchResult { name: name.to_string(), iters, min_ns, mean_ns });
+    }
+
+    /// Prints the summary table and (optionally) appends the JSON record.
+    pub fn finish(self) {
+        println!("\n== {} ==", self.group);
+        for r in &self.results {
+            println!(
+                "{:<40} min {:>12}  mean {:>12}  ({} iters)",
+                r.name,
+                fmt_ns(r.min_ns),
+                fmt_ns(r.mean_ns),
+                r.iters
+            );
+        }
+        if let Ok(path) = std::env::var("SPARQLOG_BENCH_JSON") {
+            let mut line = format!("{{\"group\":{:?},\"benches\":[", self.group);
+            for (i, r) in self.results.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&format!(
+                    "{{\"name\":{:?},\"iters\":{},\"min_ns\":{},\"mean_ns\":{}}}",
+                    r.name, r.iters, r.min_ns, r.mean_ns
+                ));
+            }
+            line.push_str("]}\n");
+            let r = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+            if let Err(e) = r {
+                eprintln!("SPARQLOG_BENCH_JSON: cannot write {path}: {e}");
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_results() {
+        std::env::remove_var("SPARQLOG_BENCH_JSON");
+        let mut b = Bench::new("test");
+        b.budget = Duration::from_millis(5);
+        b.bench("noop", || 1 + 1);
+        assert_eq!(b.results.len(), 1);
+        assert!(b.results[0].iters >= 3);
+        b.finish();
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(500), "500 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 us");
+        assert_eq!(fmt_ns(2_500_000), "2.500 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+}

@@ -330,7 +330,8 @@ pub fn gmark_report(scenario: Scenario, timeout: Duration, scale: f64) -> String
         "{:<22} {:>9} {:>8} {:>9}",
         "", "SparqLog", "Fuseki", "Virtuoso"
     );
-    let rows: [(&str, fn(&Summary) -> usize); 3] = [
+    type SummaryCol = fn(&Summary) -> usize;
+    let rows: [(&str, SummaryCol); 3] = [
         ("#Not Supported", |s| s.not_supported),
         ("#Time/Mem-Outs", |s| s.timeouts),
         ("#Incomplete Results", |s| s.incomplete),

@@ -14,8 +14,7 @@
 //! duplicate-producing UNIONs, reproducing §6.2's finding that Virtuoso
 //! errs on 18 queries and returns wrong multisets on 14.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 use sparqlog_rdf::vocab::rdf;
 use sparqlog_rdf::{Dataset, Term, Triple};
 

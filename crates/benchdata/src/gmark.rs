@@ -17,8 +17,7 @@
 //! and joins/sequences of closures (where per-binding evaluators like
 //! Fuseki time out while the Datalog translation finishes).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 use sparqlog_rdf::{Graph, Term, Triple};
 
 /// The two demo scenarios.
@@ -126,7 +125,7 @@ fn generate_social(config: GmarkConfig) -> Graph {
         g.insert(Triple::new(
             post.clone(),
             p("hasTag"),
-            n("tag", rng.gen_range(0..tags)),
+            n("tag", rng.gen_range(0..tags as usize)),
         ));
         if i > 0 && rng.gen_ratio(2, 3) {
             // Reply trees.

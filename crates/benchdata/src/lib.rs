@@ -25,4 +25,5 @@ pub mod beseppi;
 pub mod feasible;
 pub mod gmark;
 pub mod ontology;
+pub mod rng;
 pub mod sp2bench;

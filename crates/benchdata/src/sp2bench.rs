@@ -10,8 +10,7 @@
 //! (q8, q9), `DISTINCT`, `ORDER BY`/`LIMIT`/`OFFSET` (q11) and `ASK`
 //! forms (q12a/b/c as q15–q17).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 use sparqlog_rdf::vocab::rdf;
 use sparqlog_rdf::{Graph, Term, Triple};
 
@@ -122,7 +121,7 @@ pub fn generate(config: Sp2bConfig) -> Graph {
         g.insert(Triple::new(
             art.clone(),
             swrc("pages"),
-            Term::integer(rng.gen_range(1..400)),
+            Term::integer(rng.gen_range(1..400i64)),
         ));
         let journal = &journals[rng.gen_range(0..journals.len())];
         g.insert(Triple::new(art.clone(), swrc("journal"), journal.clone()));
@@ -147,7 +146,7 @@ pub fn generate(config: Sp2bConfig) -> Graph {
             g.insert(Triple::new(
                 art.clone(),
                 swrc("month"),
-                Term::integer(rng.gen_range(1..=12)),
+                Term::integer(rng.gen_range(1..=12i64)),
             ));
         }
         if rng.gen_ratio(1, 4) {

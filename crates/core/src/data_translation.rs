@@ -301,7 +301,7 @@ mod tests {
         let s = db.symbols().clone();
         assert_eq!(db.relation(s.get("named").unwrap()).unwrap().len(), 1);
         let triples = db.relation(s.get("triple").unwrap()).unwrap();
-        let t = triples.iter().next().unwrap();
+        let t = db.decode_tuple(triples.iter().next().unwrap());
         assert_eq!(t[3], Const::Iri(s.intern("http://g1")));
     }
 

@@ -1,10 +1,19 @@
-//! The fact store: per-predicate relations with on-demand hash indexes.
+//! The fact store: per-predicate relations over dictionary-encoded
+//! tuples, with hash indexes built on demand per bound-position mask.
+//!
+//! Tuples are flat runs of fixed-width [`TermId`]s in one contiguous
+//! buffer per relation — no per-tuple allocation, no pointer chasing in
+//! the join loop. Deduplication and index probes hash raw `u64`s.
+//! [`Const`]s cross the boundary only in [`Database::add_fact`] (encode,
+//! at load time) and in the evaluator's output collection (decode).
 
-use std::sync::Arc;
+use std::hash::Hasher;
+use std::ops::Deref;
+use std::sync::{Arc, RwLock};
 
-use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::fxhash::{FxHashMap, FxHasher};
 use crate::symbols::{Sym, SymbolTable};
-use crate::value::Const;
+use crate::value::{Const, TermDict, TermId};
 
 /// A position mask: bit `i` set means argument position `i` is part of the
 /// index key. Relations support up to 64 columns (far beyond any predicate
@@ -12,24 +21,66 @@ use crate::value::Const;
 pub type Mask = u64;
 
 /// Extracts the key columns selected by `mask` from a tuple.
-pub fn project(tuple: &[Const], mask: Mask) -> Vec<Const> {
+pub fn project(tuple: &[TermId], mask: Mask) -> Vec<TermId> {
     let mut key = Vec::with_capacity(mask.count_ones() as usize);
-    for (i, c) in tuple.iter().enumerate() {
+    for (i, &c) in tuple.iter().enumerate() {
         if mask & (1 << i) != 0 {
-            key.push(c.clone());
+            key.push(c);
         }
     }
     key
 }
 
-/// A relation: a deduplicated, insertion-ordered set of tuples with hash
-/// indexes built on demand per bound-position mask and maintained
-/// incrementally on insert.
+fn row_hash(row: &[TermId]) -> u64 {
+    let mut h = FxHasher::default();
+    for &id in row {
+        h.write_u64(id.raw());
+    }
+    h.finish()
+}
+
+type Index = FxHashMap<Box<[TermId]>, Vec<u32>>;
+
+/// The result of an index probe: a borrowed id slice on the planned fast
+/// path, an owned copy when the lazily auto-built index served the miss.
+pub enum Matches<'a> {
+    Borrowed(&'a [u32]),
+    Owned(Vec<u32>),
+}
+
+impl Deref for Matches<'_> {
+    type Target = [u32];
+
+    fn deref(&self) -> &[u32] {
+        match self {
+            Matches::Borrowed(s) => s,
+            Matches::Owned(v) => v,
+        }
+    }
+}
+
+/// A relation: a deduplicated, insertion-ordered set of fixed-arity
+/// encoded tuples with hash indexes built on demand per bound-position
+/// mask and maintained incrementally on insert.
 #[derive(Debug, Default)]
 pub struct Relation {
-    tuples: Vec<Arc<[Const]>>,
-    set: FxHashSet<Arc<[Const]>>,
-    indexes: FxHashMap<Mask, FxHashMap<Vec<Const>, Vec<u32>>>,
+    /// Tuple width; fixed by the first insert.
+    arity: usize,
+    /// Number of tuples.
+    len: usize,
+    /// Flat tuple storage (`len * arity` ids).
+    rows: Vec<TermId>,
+    /// Dedup: tuple hash → first tuple index with that hash. Hash
+    /// collisions between *distinct* rows (vanishingly rare with 64-bit
+    /// hashes) chain into `seen_overflow`; equality is always confirmed
+    /// against the actual rows. No per-tuple allocation.
+    seen: FxHashMap<u64, u32>,
+    seen_overflow: FxHashMap<u64, Vec<u32>>,
+    /// Eager indexes, pre-built by the evaluator's planner.
+    indexes: FxHashMap<Mask, Index>,
+    /// Lazily auto-built indexes serving unplanned lookups (interior
+    /// mutability: [`Relation::lookup`] takes `&self`).
+    lazy: RwLock<FxHashMap<Mask, Index>>,
 }
 
 impl Relation {
@@ -39,87 +90,190 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.len
     }
 
     /// True if the relation holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len == 0
+    }
+
+    /// Tuple width (0 until the first insert).
+    pub fn arity(&self) -> usize {
+        self.arity
     }
 
     /// Inserts a tuple; returns `false` if it was already present.
-    pub fn insert(&mut self, tuple: Vec<Const>) -> bool {
-        let arc: Arc<[Const]> = tuple.into();
-        if !self.set.insert(arc.clone()) {
-            return false;
+    ///
+    /// Panics if the arity differs from previously inserted tuples (a
+    /// predicate's arity is fixed — mixed arities would be a programming
+    /// error in the translator or a malformed program).
+    pub fn insert(&mut self, tuple: &[TermId]) -> bool {
+        if self.len == 0 && self.rows.is_empty() {
+            self.arity = tuple.len();
+        } else {
+            assert_eq!(
+                tuple.len(),
+                self.arity,
+                "arity mismatch: relation holds {}-tuples",
+                self.arity
+            );
         }
-        let idx = self.tuples.len() as u32;
+        let hash = row_hash(tuple);
+        let idx = self.len as u32;
+        match self.seen.entry(hash) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(idx);
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                if row_at(&self.rows, self.arity, *e.get()) == tuple {
+                    return false;
+                }
+                let chain = self.seen_overflow.entry(hash).or_default();
+                if chain
+                    .iter()
+                    .any(|&i| row_at(&self.rows, self.arity, i) == tuple)
+                {
+                    return false;
+                }
+                chain.push(idx);
+            }
+        }
+        self.rows.extend_from_slice(tuple);
+        self.len += 1;
         for (&mask, index) in self.indexes.iter_mut() {
-            index.entry(project(&arc, mask)).or_default().push(idx);
+            index_add(index, tuple, mask, idx);
         }
-        self.tuples.push(arc);
+        // `&mut self` means no other thread holds the lock — get_mut is
+        // lock-free. Lazily built indexes stay consistent across inserts.
+        let lazy = self.lazy.get_mut().unwrap();
+        for (&mask, index) in lazy.iter_mut() {
+            index_add(index, tuple, mask, idx);
+        }
         true
     }
 
     /// Membership check.
-    pub fn contains(&self, tuple: &[Const]) -> bool {
-        self.set.contains(tuple)
+    pub fn contains(&self, tuple: &[TermId]) -> bool {
+        if tuple.len() != self.arity {
+            return false;
+        }
+        let hash = row_hash(tuple);
+        let Some(&first) = self.seen.get(&hash) else { return false };
+        if row_at(&self.rows, self.arity, first) == tuple {
+            return true;
+        }
+        self.seen_overflow.get(&hash).is_some_and(|chain| {
+            chain
+                .iter()
+                .any(|&i| row_at(&self.rows, self.arity, i) == tuple)
+        })
     }
 
     /// The tuple at internal index `idx`.
-    pub fn tuple(&self, idx: u32) -> &Arc<[Const]> {
-        &self.tuples[idx as usize]
+    pub fn row(&self, idx: u32) -> &[TermId] {
+        row_at(&self.rows, self.arity, idx)
     }
 
     /// Iterates over all tuples in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Arc<[Const]>> + '_ {
-        self.tuples.iter()
+    pub fn iter(&self) -> impl Iterator<Item = &[TermId]> + '_ {
+        (0..self.len as u32).map(move |i| self.row(i))
     }
 
-    /// Builds the index for `mask` if missing.
+    /// Builds the eager index for `mask` if missing (promoting a lazily
+    /// built one when available instead of rebuilding).
     pub fn ensure_index(&mut self, mask: Mask) {
         if mask == 0 || self.indexes.contains_key(&mask) {
             return;
         }
-        let mut index: FxHashMap<Vec<Const>, Vec<u32>> = FxHashMap::default();
-        for (i, t) in self.tuples.iter().enumerate() {
-            index.entry(project(t, mask)).or_default().push(i as u32);
+        if let Some(ready) = self.lazy.get_mut().unwrap().remove(&mask) {
+            self.indexes.insert(mask, ready);
+            return;
         }
-        self.indexes.insert(mask, index);
+        self.indexes.insert(mask, self.build_index(mask));
     }
 
-    /// Looks up tuple indices matching `key` under `mask`. The index must
-    /// have been built with [`Relation::ensure_index`]; an unbuilt index
-    /// returns an empty slice only for relations that are empty, otherwise
-    /// it panics (a programming error in the evaluator).
-    pub fn lookup(&self, mask: Mask, key: &[Const]) -> &[u32] {
-        static EMPTY: Vec<u32> = Vec::new();
-        match self.indexes.get(&mask) {
-            Some(index) => index.get(key).unwrap_or(&EMPTY),
-            None if self.tuples.is_empty() => &EMPTY,
-            None => panic!("lookup on unbuilt index mask {mask:#b}"),
+    fn build_index(&self, mask: Mask) -> Index {
+        let mut index = Index::default();
+        for (i, t) in self.iter().enumerate() {
+            index_add(&mut index, t, mask, i as u32);
         }
+        index
+    }
+
+    /// Looks up tuple indices matching `key` under `mask`.
+    ///
+    /// The evaluator's planner pre-builds its indexes with
+    /// [`Relation::ensure_index`], so its probes hit the borrowed fast
+    /// path. A lookup on a mask that was never planned auto-builds the
+    /// index on first miss (memoised, maintained on insert) instead of
+    /// panicking; those probes return an owned copy of the matching ids.
+    pub fn lookup(&self, mask: Mask, key: &[TermId]) -> Matches<'_> {
+        static EMPTY: Vec<u32> = Vec::new();
+        if let Some(index) = self.indexes.get(&mask) {
+            return Matches::Borrowed(index.get(key).unwrap_or(&EMPTY));
+        }
+        if self.len == 0 {
+            return Matches::Borrowed(&EMPTY);
+        }
+        {
+            let lazy = self.lazy.read().unwrap();
+            if let Some(index) = lazy.get(&mask) {
+                return Matches::Owned(index.get(key).cloned().unwrap_or_default());
+            }
+        }
+        let mut w = self.lazy.write().unwrap();
+        let index = w.entry(mask).or_insert_with(|| self.build_index(mask));
+        Matches::Owned(index.get(key).cloned().unwrap_or_default())
     }
 }
 
-/// A database: the symbol table plus one [`Relation`] per predicate.
+#[inline]
+fn row_at(rows: &[TermId], arity: usize, idx: u32) -> &[TermId] {
+    let start = idx as usize * arity;
+    &rows[start..start + arity]
+}
+
+/// Adds a tuple to an index without allocating on the hot path: the
+/// projected key lives in a stack buffer and is boxed only when it is a
+/// new distinct key.
+fn index_add(index: &mut Index, tuple: &[TermId], mask: Mask, idx: u32) {
+    let mut key = [TermId::NULL; 64];
+    let mut klen = 0usize;
+    for (i, &c) in tuple.iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            key[klen] = c;
+            klen += 1;
+        }
+    }
+    if let Some(ids) = index.get_mut(&key[..klen]) {
+        ids.push(idx);
+    } else {
+        index.insert(key[..klen].into(), vec![idx]);
+    }
+}
+
+/// A database: the symbol table, the term dictionary and one
+/// [`Relation`] per predicate.
 pub struct Database {
     symbols: Arc<SymbolTable>,
+    dict: Arc<TermDict>,
     relations: FxHashMap<Sym, Relation>,
 }
 
 impl Database {
     /// Creates an empty database with a fresh symbol table.
     pub fn new() -> Self {
-        Database {
-            symbols: SymbolTable::new(),
-            relations: FxHashMap::default(),
-        }
+        Database::with_symbols(SymbolTable::new())
     }
 
     /// Creates an empty database sharing an existing symbol table.
     pub fn with_symbols(symbols: Arc<SymbolTable>) -> Self {
-        Database { symbols, relations: FxHashMap::default() }
+        Database {
+            symbols,
+            dict: TermDict::new(),
+            relations: FxHashMap::default(),
+        }
     }
 
     /// The shared symbol table.
@@ -127,8 +281,20 @@ impl Database {
         &self.symbols
     }
 
-    /// Adds a fact. Returns `false` on duplicates.
+    /// The shared term dictionary.
+    pub fn dict(&self) -> &Arc<TermDict> {
+        &self.dict
+    }
+
+    /// Adds a fact given as boundary constants: encodes once, then
+    /// inserts. Returns `false` on duplicates.
     pub fn add_fact(&mut self, pred: Sym, tuple: Vec<Const>) -> bool {
+        let encoded: Vec<TermId> = tuple.iter().map(|c| self.dict.encode(c)).collect();
+        self.add_fact_ids(pred, &encoded)
+    }
+
+    /// Adds an already-encoded fact (the evaluator's internal path).
+    pub fn add_fact_ids(&mut self, pred: Sym, tuple: &[TermId]) -> bool {
         self.relations.entry(pred).or_default().insert(tuple)
     }
 
@@ -153,6 +319,11 @@ impl Database {
         self.relations.iter().map(|(&p, r)| (p, r))
     }
 
+    /// Decodes an encoded tuple back to boundary constants.
+    pub fn decode_tuple(&self, tuple: &[TermId]) -> Vec<Const> {
+        tuple.iter().map(|&id| self.dict.decode(id)).collect()
+    }
+
     /// Total number of facts.
     pub fn fact_count(&self) -> usize {
         self.relations.values().map(Relation::len).sum()
@@ -169,74 +340,99 @@ impl Default for Database {
 mod tests {
     use super::*;
 
-    fn c(i: i64) -> Const {
-        Const::Int(i)
+    fn ids(dict: &TermDict, vals: &[i64]) -> Vec<TermId> {
+        vals.iter().map(|&i| dict.encode(&Const::Int(i))).collect()
     }
 
     #[test]
     fn insert_dedupes() {
+        let dict = TermDict::new();
         let mut r = Relation::new();
-        assert!(r.insert(vec![c(1), c(2)]));
-        assert!(!r.insert(vec![c(1), c(2)]));
-        assert!(r.insert(vec![c(2), c(1)]));
+        assert!(r.insert(&ids(&dict, &[1, 2])));
+        assert!(!r.insert(&ids(&dict, &[1, 2])));
+        assert!(r.insert(&ids(&dict, &[2, 1])));
         assert_eq!(r.len(), 2);
-        assert!(r.contains(&[c(1), c(2)]));
-        assert!(!r.contains(&[c(3), c(3)]));
+        assert!(r.contains(&ids(&dict, &[1, 2])));
+        assert!(!r.contains(&ids(&dict, &[3, 3])));
     }
 
     #[test]
     fn index_lookup() {
+        let dict = TermDict::new();
         let mut r = Relation::new();
-        r.insert(vec![c(1), c(10)]);
-        r.insert(vec![c(1), c(20)]);
-        r.insert(vec![c(2), c(30)]);
+        r.insert(&ids(&dict, &[1, 10]));
+        r.insert(&ids(&dict, &[1, 20]));
+        r.insert(&ids(&dict, &[2, 30]));
         r.ensure_index(0b01);
-        assert_eq!(r.lookup(0b01, &[c(1)]).len(), 2);
-        assert_eq!(r.lookup(0b01, &[c(2)]).len(), 1);
-        assert_eq!(r.lookup(0b01, &[c(9)]).len(), 0);
+        assert_eq!(r.lookup(0b01, &ids(&dict, &[1])).len(), 2);
+        assert_eq!(r.lookup(0b01, &ids(&dict, &[2])).len(), 1);
+        assert_eq!(r.lookup(0b01, &ids(&dict, &[9])).len(), 0);
     }
 
     #[test]
     fn index_updated_on_insert() {
+        let dict = TermDict::new();
         let mut r = Relation::new();
-        r.insert(vec![c(1), c(10)]);
+        r.insert(&ids(&dict, &[1, 10]));
         r.ensure_index(0b10);
-        r.insert(vec![c(2), c(10)]);
-        assert_eq!(r.lookup(0b10, &[c(10)]).len(), 2);
+        r.insert(&ids(&dict, &[2, 10]));
+        assert_eq!(r.lookup(0b10, &ids(&dict, &[10])).len(), 2);
     }
 
     #[test]
     fn composite_index() {
+        let dict = TermDict::new();
         let mut r = Relation::new();
-        r.insert(vec![c(1), c(2), c(3)]);
-        r.insert(vec![c(1), c(2), c(4)]);
-        r.insert(vec![c(1), c(9), c(3)]);
+        r.insert(&ids(&dict, &[1, 2, 3]));
+        r.insert(&ids(&dict, &[1, 2, 4]));
+        r.insert(&ids(&dict, &[1, 9, 3]));
         r.ensure_index(0b011);
-        assert_eq!(r.lookup(0b011, &[c(1), c(2)]).len(), 2);
+        assert_eq!(r.lookup(0b011, &ids(&dict, &[1, 2])).len(), 2);
         r.ensure_index(0b101);
-        assert_eq!(r.lookup(0b101, &[c(1), c(3)]).len(), 2);
+        assert_eq!(r.lookup(0b101, &ids(&dict, &[1, 3])).len(), 2);
     }
 
     #[test]
     fn lookup_on_empty_relation_without_index() {
+        let dict = TermDict::new();
         let r = Relation::new();
-        assert!(r.lookup(0b1, &[c(1)]).is_empty());
+        assert!(r.lookup(0b1, &ids(&dict, &[1])).is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "unbuilt index")]
-    fn lookup_on_unbuilt_index_panics() {
+    fn lookup_on_unbuilt_index_autobuilds() {
+        let dict = TermDict::new();
         let mut r = Relation::new();
-        r.insert(vec![c(1)]);
-        r.lookup(0b1, &[c(1)]);
+        r.insert(&ids(&dict, &[1, 10]));
+        r.insert(&ids(&dict, &[1, 20]));
+        // No ensure_index: the first probe builds the index lazily.
+        assert_eq!(r.lookup(0b1, &ids(&dict, &[1])).len(), 2);
+        // The auto-built index is maintained on subsequent inserts.
+        r.insert(&ids(&dict, &[1, 30]));
+        assert_eq!(r.lookup(0b1, &ids(&dict, &[1])).len(), 3);
+        // ensure_index promotes it to the eager fast path.
+        r.ensure_index(0b1);
+        assert!(matches!(
+            r.lookup(0b1, &ids(&dict, &[1])),
+            Matches::Borrowed(s) if s.len() == 3
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn mixed_arity_insert_panics() {
+        let dict = TermDict::new();
+        let mut r = Relation::new();
+        r.insert(&ids(&dict, &[1, 2]));
+        r.insert(&ids(&dict, &[1]));
     }
 
     #[test]
     fn database_basics() {
         let mut db = Database::new();
-        assert!(db.add_fact_str("p", vec![c(1)]));
-        assert!(!db.add_fact_str("p", vec![c(1)]));
-        db.add_fact_str("q", vec![c(1), c(2)]);
+        assert!(db.add_fact_str("p", vec![Const::Int(1)]));
+        assert!(!db.add_fact_str("p", vec![Const::Int(1)]));
+        db.add_fact_str("q", vec![Const::Int(1), Const::Int(2)]);
         assert_eq!(db.fact_count(), 2);
         let p = db.symbols().get("p").unwrap();
         assert_eq!(db.relation(p).unwrap().len(), 1);
@@ -244,10 +440,26 @@ mod tests {
     }
 
     #[test]
+    fn encode_decode_roundtrip_through_db() {
+        let mut db = Database::new();
+        let tuple = vec![
+            Const::Int(1),
+            Const::Str(db.symbols().intern("x")),
+            Const::Null,
+        ];
+        db.add_fact_str("p", tuple.clone());
+        let p = db.symbols().get("p").unwrap();
+        let rel = db.relation(p).unwrap();
+        let row: Vec<TermId> = rel.iter().next().unwrap().to_vec();
+        assert_eq!(db.decode_tuple(&row), tuple);
+    }
+
+    #[test]
     fn project_mask() {
-        let t = vec![c(1), c(2), c(3)];
-        assert_eq!(project(&t, 0b101), vec![c(1), c(3)]);
-        assert_eq!(project(&t, 0), Vec::<Const>::new());
+        let dict = TermDict::new();
+        let t = ids(&dict, &[1, 2, 3]);
+        assert_eq!(project(&t, 0b101), vec![t[0], t[2]]);
+        assert_eq!(project(&t, 0), Vec::<TermId>::new());
         assert_eq!(project(&t, 0b111), t);
     }
 }

@@ -12,11 +12,21 @@
 //!    termination on the set level; bag semantics lives entirely in the
 //!    Skolem tuple-ID argument, as in the paper (§5.1).
 //!
+//! The entire fixpoint runs on dictionary-encoded tuples: atom constants
+//! are encoded once at plan-compile time, join keys and environments are
+//! fixed-width [`TermId`]s, and dedup probes hash raw `u64` rows. The
+//! inner join loop performs **no heap allocation** — index keys live in
+//! stack buffers and tuples are borrowed slices of the relations' flat
+//! storage. Constants are decoded only at the filter/arithmetic boundary
+//! ([`crate::expr`]) and in [`collect_output`].
+//!
 //! Existential head variables are Skolemised deterministically over the
 //! rule's frontier, so re-deriving the same frontier binding yields the
 //! same labelled null — the "restricted chase" behaviour that makes
-//! ontological rules converge. A configurable Skolem-depth bound
-//! substitutes for Vadalog's warded-chase termination strategy.
+//! ontological rules converge. Skolem terms intern once in the term
+//! dictionary and compare by id; their nesting depth is precomputed, so
+//! the configurable Skolem-depth bound (the substitute for Vadalog's
+//! warded-chase termination strategy) is an O(1) check.
 
 use std::time::{Duration, Instant};
 
@@ -25,7 +35,7 @@ use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::rule::{AggFunc, AtomArg, BodyItem, PostOp, Program, Rule, VarId};
 use crate::stratify::{stratify, StratifyError};
 use crate::symbols::{Sym, SymbolTable};
-use crate::value::{Const, OrdF64};
+use crate::value::{Const, OrdF64, TermDict, TermId};
 
 /// Evaluation options.
 #[derive(Debug, Clone)]
@@ -111,11 +121,16 @@ pub fn evaluate(
 ) -> Result<EvalStats, EvalError> {
     let start = Instant::now();
     let symbols = db.symbols().clone();
+    let dict = db.dict().clone();
 
-    // Load the program's bundled facts.
+    // Load the program's bundled facts (the T_D encode boundary for
+    // facts carried by the program itself).
     let mut derived = 0usize;
+    let mut scratch: Vec<TermId> = Vec::new();
     for (pred, tuple) in &program.facts {
-        if db.add_fact(*pred, tuple.clone()) {
+        scratch.clear();
+        scratch.extend(tuple.iter().map(|c| dict.encode(c)));
+        if db.add_fact_ids(*pred, &scratch) {
             derived += 1;
         }
     }
@@ -125,11 +140,12 @@ pub fn evaluate(
         .rules
         .iter()
         .enumerate()
-        .map(|(i, r)| compile_rule(i, r, &symbols, None))
+        .map(|(i, r)| compile_rule(i, r, &symbols, &dict, None))
         .collect::<Result<_, _>>()?;
 
     let ctx = Ctx {
         symbols: &symbols,
+        dict: &dict,
         start,
         timeout: options.timeout,
         max_skolem_depth: options.max_skolem_depth,
@@ -137,7 +153,7 @@ pub fn evaluate(
     // `SPARQLOG_TRACE=1` prints per-rule evaluation progress to stderr —
     // the engine's answer to Vadalog's provenance/debugging output
     // (Appendix C: "information for debugging/explanation purposes").
-    let trace = std::env::var("SPARQLOG_TRACE").map_or(false, |v| v == "1");
+    let trace = std::env::var("SPARQLOG_TRACE").is_ok_and(|v| v == "1");
 
     let mut stats = EvalStats {
         derived,
@@ -164,7 +180,13 @@ pub fn evaluate(
                             options.semi_naive_reorder.then_some(item_idx);
                         delta_plans.insert(
                             (ri, item_idx),
-                            compile_rule(ri, &program.rules[ri], &symbols, delta_first)?,
+                            compile_rule(
+                                ri,
+                                &program.rules[ri],
+                                &symbols,
+                                &dict,
+                                delta_first,
+                            )?,
                         );
                     }
                 }
@@ -189,24 +211,26 @@ pub fn evaluate(
             .partition(|&&i| program.rules[i].aggregate.is_some());
 
         // --- naive first pass ---
-        let mut delta: FxHashMap<Sym, Vec<Vec<Const>>> = FxHashMap::default();
+        // Derived tuples are inserted into the database as soon as a
+        // rule's pass completes: the relation's own dedup doubles as the
+        // delta filter (one hash probe per derivation instead of a
+        // contains-check plus a side set plus a re-inserting commit).
+        // Inserting mid-round only lets later passes of the same round
+        // see *more* tuples, which a monotone fixpoint is insensitive to.
+        let mut out = FlatTuples::default();
+        let mut delta: FxHashMap<Sym, Vec<Vec<TermId>>> = FxHashMap::default();
         for &ri in &plain_rules {
-            let mut out = Vec::new();
             if trace {
                 eprintln!("[eval] naive rule {ri}: {}", program.rules[ri].display(&symbols));
             }
+            out.clear();
             eval_rule(&plans[ri], &program.rules[ri], db, None, &ctx, &mut out)?;
             if trace {
-                eprintln!("[eval]   -> {} tuples ({:?})", out.len(), start.elapsed());
+                eprintln!("[eval]   -> {} tuples ({:?})", out.count, start.elapsed());
             }
-            for tuple in out {
-                let pred = program.rules[ri].head.pred;
-                if db.relation(pred).is_none_or(|r| !r.contains(&tuple)) {
-                    delta.entry(pred).or_default().push(tuple);
-                }
-            }
+            let pred = program.rules[ri].head.pred;
+            insert_emitted(db, pred, &out, &mut delta, &mut stats.derived);
         }
-        commit_delta(db, &mut delta, &mut stats.derived);
 
         // --- semi-naive rounds ---
         let mut rounds = 0usize;
@@ -218,7 +242,7 @@ pub fn evaluate(
             }
             ctx.check_time()?;
 
-            let mut next: FxHashMap<Sym, FxHashSet<Vec<Const>>> = FxHashMap::default();
+            let mut next: FxHashMap<Sym, Vec<Vec<TermId>>> = FxHashMap::default();
             for &ri in &plain_rules {
                 let rule = &program.rules[ri];
                 // One variant per body occurrence of a this-stratum pred.
@@ -232,30 +256,21 @@ pub fn evaluate(
                         continue;
                     }
                     let plan = &delta_plans[&(ri, item_idx)];
-                    let mut out = Vec::new();
                     let rule_start = Instant::now();
+                    out.clear();
                     eval_rule(plan, rule, db, Some((item_idx, dt)), &ctx, &mut out)?;
                     if trace {
                         eprintln!(
                             "[eval] round {rounds} rule {ri} delta-on-{item_idx}                              (|delta|={}) -> {} tuples in {:?}",
                             dt.len(),
-                            out.len(),
+                            out.count,
                             rule_start.elapsed()
                         );
                     }
-                    for tuple in out {
-                        let pred = rule.head.pred;
-                        if db.relation(pred).is_none_or(|r| !r.contains(&tuple)) {
-                            next.entry(pred).or_default().insert(tuple);
-                        }
-                    }
+                    insert_emitted(db, rule.head.pred, &out, &mut next, &mut stats.derived);
                 }
             }
-            delta = next
-                .into_iter()
-                .map(|(pred, set)| (pred, set.into_iter().collect()))
-                .collect();
-            commit_delta(db, &mut delta, &mut stats.derived);
+            delta = next;
         }
 
         // --- aggregates ---
@@ -264,9 +279,9 @@ pub fn evaluate(
             let plan = &plans[ri];
             let mut matches = Vec::new();
             eval_rule_envs(plan, rule, db, &ctx, &mut matches)?;
-            let tuples = aggregate(rule, plan, matches, &symbols)?;
+            let tuples = aggregate(rule, matches, &ctx)?;
             for t in tuples {
-                if db.add_fact(rule.head.pred, t) {
+                if db.add_fact_ids(rule.head.pred, &t) {
                     stats.derived += 1;
                 }
             }
@@ -277,24 +292,52 @@ pub fn evaluate(
     Ok(stats)
 }
 
-fn commit_delta(
-    db: &mut Database,
-    delta: &mut FxHashMap<Sym, Vec<Vec<Const>>>,
-    derived: &mut usize,
-) {
-    for (pred, tuples) in delta.iter_mut() {
-        let mut kept = Vec::with_capacity(tuples.len());
-        for t in tuples.drain(..) {
-            if db.add_fact(*pred, t.clone()) {
-                *derived += 1;
-                kept.push(t);
-            }
-        }
-        *tuples = kept;
+/// Emitted head tuples of one rule pass: a flat id buffer (one
+/// allocation amortised across all emissions, not one `Vec` each) plus
+/// the emission count — which also covers nullary heads.
+#[derive(Default)]
+struct FlatTuples {
+    ids: Vec<TermId>,
+    arity: usize,
+    count: usize,
+}
+
+impl FlatTuples {
+    fn clear(&mut self) {
+        self.ids.clear();
+        self.count = 0;
     }
 }
 
-/// Applies a predicate's `@post` directives and returns the final tuples.
+/// Inserts a pass's emitted tuples; fresh ones are recorded in `delta`.
+fn insert_emitted(
+    db: &mut Database,
+    pred: Sym,
+    out: &FlatTuples,
+    delta: &mut FxHashMap<Sym, Vec<Vec<TermId>>>,
+    derived: &mut usize,
+) {
+    if out.count == 0 {
+        return;
+    }
+    if out.arity == 0 {
+        if db.add_fact_ids(pred, &[]) {
+            *derived += 1;
+            delta.entry(pred).or_default().push(Vec::new());
+        }
+        return;
+    }
+    for tuple in out.ids.chunks_exact(out.arity) {
+        if db.add_fact_ids(pred, tuple) {
+            *derived += 1;
+            delta.entry(pred).or_default().push(tuple.to_vec());
+        }
+    }
+}
+
+/// Applies a predicate's `@post` directives and returns the final tuples,
+/// decoded back to boundary constants (the T_S decode boundary: encoded
+/// ids never escape the engine).
 pub fn collect_output(
     program: &Program,
     db: &Database,
@@ -303,7 +346,7 @@ pub fn collect_output(
     let symbols = db.symbols();
     let mut tuples: Vec<Vec<Const>> = db
         .relation(pred)
-        .map(|r| r.iter().map(|t| t.to_vec()).collect())
+        .map(|r| r.iter().map(|t| db.decode_tuple(t)).collect())
         .unwrap_or_default();
     for (p, op) in &program.post {
         if *p != pred {
@@ -379,6 +422,21 @@ enum Step {
     Bind { item_idx: usize, var: VarId },
 }
 
+/// A pre-encoded atom argument: constants encode to ids at plan-compile
+/// time so the join loop compares raw `u64`s.
+#[derive(Debug, Clone, Copy)]
+enum EArg {
+    Id(TermId),
+    Var(VarId),
+}
+
+/// An atom with pre-encoded arguments, parallel to a body item (or the
+/// head) of the source rule.
+#[derive(Debug, Clone)]
+struct EncAtom {
+    args: Box<[EArg]>,
+}
+
 /// A compiled rule.
 #[derive(Debug, Clone)]
 struct RulePlan {
@@ -388,6 +446,23 @@ struct RulePlan {
     index_needs: Vec<(Sym, Mask)>,
     /// Existential head vars with their Skolem functor.
     existentials: Vec<(VarId, Sym)>,
+    /// Encoded positive/negated atoms, indexed by body item.
+    enc_atoms: Vec<Option<EncAtom>>,
+    /// The encoded head.
+    enc_head: EncAtom,
+}
+
+fn encode_atom(atom: &crate::rule::Atom, dict: &TermDict) -> EncAtom {
+    EncAtom {
+        args: atom
+            .args
+            .iter()
+            .map(|arg| match arg {
+                AtomArg::Const(c) => EArg::Id(dict.encode(c)),
+                AtomArg::Var(v) => EArg::Var(*v),
+            })
+            .collect(),
+    }
 }
 
 /// Compiles a rule into an evaluation plan. With `delta_first =
@@ -400,12 +475,14 @@ fn compile_rule(
     rule_idx: usize,
     rule: &Rule,
     symbols: &SymbolTable,
+    dict: &TermDict,
     delta_first: Option<usize>,
 ) -> Result<RulePlan, EvalError> {
     let nvars = rule.var_names.len();
     let mut bound = vec![false; nvars];
     let mut steps = Vec::new();
     let mut index_needs = Vec::new();
+    let mut enc_atoms: Vec<Option<EncAtom>> = vec![None; rule.body.len()];
 
     let order: Vec<usize> = match delta_first {
         None => (0..rule.body.len()).collect(),
@@ -434,6 +511,7 @@ fn compile_rule(
                 if mask != 0 {
                     index_needs.push((a.pred, mask));
                 }
+                enc_atoms[item_idx] = Some(encode_atom(a, dict));
                 steps.push(Step::Scan { item_idx, pred: a.pred, mask });
             }
             BodyItem::Neg(a) => {
@@ -448,6 +526,7 @@ fn compile_rule(
                         }
                     }
                 }
+                enc_atoms[item_idx] = Some(encode_atom(a, dict));
                 steps.push(Step::NegCheck { item_idx, pred: a.pred });
             }
             BodyItem::Cond(e) => {
@@ -489,7 +568,14 @@ fn compile_rule(
         })
         .collect();
 
-    Ok(RulePlan { steps, nvars, index_needs, existentials })
+    Ok(RulePlan {
+        steps,
+        nvars,
+        index_needs,
+        existentials,
+        enc_atoms,
+        enc_head: encode_atom(&rule.head, dict),
+    })
 }
 
 /// Body order for a delta variant: the delta atom first, then greedily —
@@ -574,8 +660,13 @@ fn delta_order(rule: &Rule, delta_item: usize) -> Vec<usize> {
 
 // ------------------------------------------------------------ evaluation
 
+/// Stack buffer for index keys and negation probes: relations support at
+/// most 64 columns (the [`Mask`] width), so no heap fallback is needed.
+const MAX_COLS: usize = 64;
+
 struct Ctx<'a> {
     symbols: &'a SymbolTable,
+    dict: &'a TermDict,
     start: Instant,
     timeout: Option<Duration>,
     max_skolem_depth: usize,
@@ -592,28 +683,27 @@ impl Ctx<'_> {
     }
 }
 
-/// Evaluates a rule, pushing instantiated head tuples into `out`.
+/// Evaluates a rule, appending instantiated head tuples to `out`.
 /// `delta` optionally restricts one body occurrence to a tuple list.
 fn eval_rule(
     plan: &RulePlan,
     rule: &Rule,
     db: &Database,
-    delta: Option<(usize, &[Vec<Const>])>,
+    delta: Option<(usize, &[Vec<TermId>])>,
     ctx: &Ctx<'_>,
-    out: &mut Vec<Vec<Const>>,
+    out: &mut FlatTuples,
 ) -> Result<(), EvalError> {
-    let mut env: Vec<Option<Const>> = vec![None; plan.nvars];
+    out.arity = plan.enc_head.args.len();
+    let mut env: Vec<Option<TermId>> = vec![None; plan.nvars];
     let mut ticks = 0u64;
     let r = join(
         plan, rule, db, delta, ctx, 0, &mut env, &mut ticks,
         &mut |env, ctx| {
-            if let Some(tuple) = instantiate_head(plan, rule, env, ctx) {
-                out.push(tuple);
-            }
+            instantiate_head(plan, rule, env, ctx, out);
             Ok(())
         },
     );
-    if std::env::var("SPARQLOG_TRACE").map_or(false, |v| v == "2") {
+    if std::env::var("SPARQLOG_TRACE").is_ok_and(|v| v == "2") {
         eprintln!("[eval]   join ticks: {ticks}");
     }
     r
@@ -625,9 +715,9 @@ fn eval_rule_envs(
     rule: &Rule,
     db: &Database,
     ctx: &Ctx<'_>,
-    out: &mut Vec<Vec<Option<Const>>>,
+    out: &mut Vec<Vec<Option<TermId>>>,
 ) -> Result<(), EvalError> {
-    let mut env: Vec<Option<Const>> = vec![None; plan.nvars];
+    let mut env: Vec<Option<TermId>> = vec![None; plan.nvars];
     let mut ticks = 0u64;
     join(plan, rule, db, None, ctx, 0, &mut env, &mut ticks, &mut |env, _| {
         out.push(env.to_vec());
@@ -635,18 +725,22 @@ fn eval_rule_envs(
     })
 }
 
+/// The emit callback of [`join`]: one call per complete binding.
+type Emit<'a, 'b> =
+    dyn FnMut(&[Option<TermId>], &Ctx<'_>) -> Result<(), EvalError> + 'a;
+
 /// The recursive index-nested-loop join over the plan's steps.
 #[allow(clippy::too_many_arguments)]
 fn join(
     plan: &RulePlan,
     rule: &Rule,
     db: &Database,
-    delta: Option<(usize, &[Vec<Const>])>,
+    delta: Option<(usize, &[Vec<TermId>])>,
     ctx: &Ctx<'_>,
     step_idx: usize,
-    env: &mut Vec<Option<Const>>,
+    env: &mut Vec<Option<TermId>>,
     ticks: &mut u64,
-    emit: &mut dyn FnMut(&[Option<Const>], &Ctx<'_>) -> Result<(), EvalError>,
+    emit: &mut Emit<'_, '_>,
 ) -> Result<(), EvalError> {
     *ticks += 1;
     if *ticks & 0xFFF == 0 {
@@ -657,10 +751,9 @@ fn join(
     };
     match step {
         Step::Scan { item_idx, pred, mask } => {
-            let atom = match &rule.body[*item_idx] {
-                BodyItem::Pos(a) => a,
-                _ => unreachable!("scan step on non-positive item"),
-            };
+            let atom = plan.enc_atoms[*item_idx]
+                .as_ref()
+                .expect("scan step on non-positive item");
             // Delta override for this occurrence?
             if let Some((di, tuples)) = delta {
                 if di == *item_idx {
@@ -678,32 +771,34 @@ fn join(
             }
             let Some(rel) = db.relation(*pred) else { return Ok(()) };
             if *mask == 0 {
-                // Full scan.
-                for i in 0..rel.len() {
-                    let t = rel.tuple(i as u32).clone();
-                    if let Some(undo_mask) = bind_atom(atom, &t, env) {
+                // Full scan over the flat storage (borrowed rows — no
+                // clones, the ids are plain u64s).
+                for i in 0..rel.len() as u32 {
+                    let t = rel.row(i);
+                    if let Some(undo_mask) = bind_atom(atom, t, env) {
                         join(plan, rule, db, delta, ctx, step_idx + 1, env, ticks, emit)?;
                         unbind_atom(atom, undo_mask, env);
                     }
                 }
             } else {
-                // Index lookup on the bound positions.
-                let mut key = Vec::with_capacity(mask.count_ones() as usize);
+                // Index lookup on the bound positions; the key lives in a
+                // stack buffer — the hot loop does not allocate.
+                let mut key = [TermId::NULL; MAX_COLS];
+                let mut klen = 0usize;
                 for (i, arg) in atom.args.iter().enumerate() {
                     if mask & (1 << i) != 0 {
-                        match arg {
-                            AtomArg::Const(c) => key.push(c.clone()),
-                            AtomArg::Var(v) => {
-                                key.push(env[*v as usize].clone().ok_or_else(|| {
-                                    EvalError::Unsafe("unbound key var".into())
-                                })?)
-                            }
-                        }
+                        key[klen] = match arg {
+                            EArg::Id(id) => *id,
+                            EArg::Var(v) => env[*v as usize].ok_or_else(|| {
+                                EvalError::Unsafe("unbound key var".into())
+                            })?,
+                        };
+                        klen += 1;
                     }
                 }
-                for &i in rel.lookup(*mask, &key) {
-                    let t = rel.tuple(i).clone();
-                    if let Some(undo_mask) = bind_atom(atom, &t, env) {
+                for &i in &*rel.lookup(*mask, &key[..klen]) {
+                    let t = rel.row(i);
+                    if let Some(undo_mask) = bind_atom(atom, t, env) {
                         join(plan, rule, db, delta, ctx, step_idx + 1, env, ticks, emit)?;
                         unbind_atom(atom, undo_mask, env);
                     }
@@ -712,22 +807,20 @@ fn join(
             Ok(())
         }
         Step::NegCheck { item_idx, pred } => {
-            let atom = match &rule.body[*item_idx] {
-                BodyItem::Neg(a) => a,
-                _ => unreachable!("neg step on non-negated item"),
-            };
-            let mut tuple = Vec::with_capacity(atom.args.len());
-            for arg in &atom.args {
-                match arg {
-                    AtomArg::Const(c) => tuple.push(c.clone()),
-                    AtomArg::Var(v) => tuple.push(
-                        env[*v as usize]
-                            .clone()
-                            .ok_or_else(|| EvalError::Unsafe("unbound neg var".into()))?,
-                    ),
-                }
+            let atom = plan.enc_atoms[*item_idx]
+                .as_ref()
+                .expect("neg step on non-negated item");
+            let mut tuple = [TermId::NULL; MAX_COLS];
+            for (i, arg) in atom.args.iter().enumerate() {
+                tuple[i] = match arg {
+                    EArg::Id(id) => *id,
+                    EArg::Var(v) => env[*v as usize]
+                        .ok_or_else(|| EvalError::Unsafe("unbound neg var".into()))?,
+                };
             }
-            let present = db.relation(*pred).is_some_and(|r| r.contains(&tuple));
+            let present = db
+                .relation(*pred)
+                .is_some_and(|r| r.contains(&tuple[..atom.args.len()]));
             if !present {
                 join(plan, rule, db, delta, ctx, step_idx + 1, env, ticks, emit)?;
             }
@@ -738,7 +831,7 @@ fn join(
                 BodyItem::Cond(e) => e,
                 _ => unreachable!("filter step on non-condition item"),
             };
-            if expr.eval_bool(env, ctx.symbols) {
+            if expr.eval_bool_ids(env, ctx.dict, ctx.symbols) {
                 join(plan, rule, db, delta, ctx, step_idx + 1, env, ticks, emit)?;
             }
             Ok(())
@@ -748,13 +841,23 @@ fn join(
                 BodyItem::Assign(_, e) => e,
                 _ => unreachable!("bind step on non-assignment item"),
             };
-            if let Some(v) = expr.eval(env, ctx.symbols) {
+            if let Some(v) = expr.eval_id(env, ctx.dict, ctx.symbols) {
                 let prev = env[*var as usize].take();
                 // An assignment to an already-bound variable acts as an
                 // equality constraint (used by `D = "default"` style items
-                // where D may be pre-bound).
-                let ok = match &prev {
-                    Some(p) => crate::expr::value_eq(p, &v, ctx.symbols),
+                // where D may be pre-bound). Encoding is canonical, so id
+                // equality is term equality; differing ids may still be
+                // value-equal under numeric coercion, so fall back to the
+                // decoded comparison.
+                let ok = match prev {
+                    Some(p) => {
+                        p == v
+                            || crate::expr::value_eq(
+                                &ctx.dict.decode(p),
+                                &ctx.dict.decode(v),
+                                ctx.symbols,
+                            )
+                    }
                     None => true,
                 };
                 if ok {
@@ -772,34 +875,30 @@ fn join(
 /// positions whose variables were *newly* bound (to be undone by
 /// [`unbind_atom`] after the recursive call), or `None` on mismatch (in
 /// which case any partial bindings have already been rolled back).
-fn bind_atom(
-    atom: &crate::rule::Atom,
-    tuple: &[Const],
-    env: &mut [Option<Const>],
-) -> Option<u64> {
+fn bind_atom(atom: &EncAtom, tuple: &[TermId], env: &mut [Option<TermId>]) -> Option<u64> {
     if atom.args.len() != tuple.len() {
         return None;
     }
     let mut bound_here: u64 = 0;
     for (i, arg) in atom.args.iter().enumerate() {
         match arg {
-            AtomArg::Const(c) => {
-                if c != &tuple[i] {
+            EArg::Id(id) => {
+                if *id != tuple[i] {
                     unbind_atom(atom, bound_here, env);
                     return None;
                 }
             }
-            AtomArg::Var(v) => {
+            EArg::Var(v) => {
                 let slot = &mut env[*v as usize];
                 match slot {
                     Some(existing) => {
-                        if existing != &tuple[i] {
+                        if *existing != tuple[i] {
                             unbind_atom(atom, bound_here, env);
                             return None;
                         }
                     }
                     None => {
-                        *slot = Some(tuple[i].clone());
+                        *slot = Some(tuple[i]);
                         bound_here |= 1 << i;
                     }
                 }
@@ -810,83 +909,95 @@ fn bind_atom(
 }
 
 /// Clears the variables bound by a preceding [`bind_atom`] call.
-fn unbind_atom(atom: &crate::rule::Atom, bound_here: u64, env: &mut [Option<Const>]) {
+fn unbind_atom(atom: &EncAtom, bound_here: u64, env: &mut [Option<TermId>]) {
     for (i, arg) in atom.args.iter().enumerate() {
         if bound_here & (1 << i) != 0 {
-            if let AtomArg::Var(v) = arg {
+            if let EArg::Var(v) = arg {
                 env[*v as usize] = None;
             }
         }
     }
 }
 
-/// Instantiates the head atom under `env`, Skolemising existential
-/// variables over the frontier. Returns `None` when the Skolem-depth bound
-/// is exceeded (chase termination).
+/// Instantiates the head atom under `env` directly into the flat output
+/// buffer, Skolemising existential variables over the frontier. Rolls the
+/// emission back when the Skolem-depth bound is exceeded (chase
+/// termination — an O(1) check: depths are precomputed at interning
+/// time).
 fn instantiate_head(
     plan: &RulePlan,
     rule: &Rule,
-    env: &[Option<Const>],
+    env: &[Option<TermId>],
     ctx: &Ctx<'_>,
-) -> Option<Vec<Const>> {
-    // Existential Skolemisation: functor over the frontier values.
-    let mut ex_values: FxHashMap<VarId, Const> = FxHashMap::default();
+    out: &mut FlatTuples,
+) {
+    // Existential Skolemisation: functor over the frontier values,
+    // interned by identity (no structural Skolem terms are built).
+    let mut ex_values: FxHashMap<VarId, TermId> = FxHashMap::default();
     if !plan.existentials.is_empty() {
-        let frontier: Vec<Const> = rule
+        let frontier: Vec<TermId> = rule
             .frontier_vars()
             .into_iter()
-            .filter_map(|v| env[v as usize].clone())
+            .filter_map(|v| env[v as usize])
             .collect();
         for (v, functor) in &plan.existentials {
-            ex_values.insert(*v, Const::skolem(*functor, frontier.clone()));
+            ex_values.insert(*v, ctx.dict.skolem(*functor, &frontier));
         }
     }
-    let mut tuple = Vec::with_capacity(rule.head.args.len());
-    for arg in &rule.head.args {
-        let c = match arg {
-            AtomArg::Const(c) => c.clone(),
-            AtomArg::Var(v) => match env[*v as usize].clone() {
-                Some(c) => c,
-                None => ex_values.get(v)?.clone(),
+    let start = out.ids.len();
+    for arg in &plan.enc_head.args {
+        let id = match arg {
+            EArg::Id(id) => *id,
+            EArg::Var(v) => match env[*v as usize] {
+                Some(id) => id,
+                None => match ex_values.get(v) {
+                    Some(&id) => id,
+                    None => {
+                        out.ids.truncate(start);
+                        return;
+                    }
+                },
             },
         };
-        if c.skolem_depth() > ctx.max_skolem_depth {
-            return None;
+        if id.is_skolem() && ctx.dict.skolem_depth(id) > ctx.max_skolem_depth {
+            out.ids.truncate(start);
+            return;
         }
-        tuple.push(c);
+        out.ids.push(id);
     }
-    Some(tuple)
+    out.count += 1;
 }
 
 // ------------------------------------------------------------ aggregates
 
 fn aggregate(
     rule: &Rule,
-    _plan: &RulePlan,
-    matches: Vec<Vec<Option<Const>>>,
-    symbols: &SymbolTable,
-) -> Result<Vec<Vec<Const>>, EvalError> {
+    matches: Vec<Vec<Option<TermId>>>,
+    ctx: &Ctx<'_>,
+) -> Result<Vec<Vec<TermId>>, EvalError> {
+    let symbols = ctx.symbols;
+    let dict = ctx.dict;
     let spec = rule.aggregate.as_ref().expect("aggregate rule");
-    // Group key: the head args except the result variable; values: the raw
-    // aggregate inputs per group (kept individually so AVG and DISTINCT
-    // can be computed exactly).
-    let mut inputs: FxHashMap<Vec<Const>, Vec<Option<Const>>> = FxHashMap::default();
+    // Group key: the head args except the result variable (as encoded
+    // ids); values: the raw aggregate inputs per group, decoded — the
+    // aggregate functions are an arithmetic boundary (kept individually
+    // so AVG and DISTINCT can be computed exactly).
+    let mut inputs: FxHashMap<Vec<TermId>, Vec<Option<Const>>> = FxHashMap::default();
 
     for env in &matches {
         let mut key = Vec::new();
         for arg in &rule.head.args {
             match arg {
-                AtomArg::Const(c) => key.push(c.clone()),
+                AtomArg::Const(c) => key.push(dict.encode(c)),
                 AtomArg::Var(v) if *v == spec.result_var => {}
-                AtomArg::Var(v) => match &env[*v as usize] {
-                    Some(c) => key.push(c.clone()),
-                    None => key.push(Const::Null),
-                },
+                AtomArg::Var(v) => {
+                    key.push(env[*v as usize].unwrap_or(TermId::NULL))
+                }
             }
         }
         let input = match &spec.input {
             None => Some(Const::Int(1)),
-            Some(e) => e.eval(env, symbols),
+            Some(e) => e.eval_decoded(env, dict, symbols),
         };
         inputs.entry(key).or_default().push(input);
     }
@@ -964,17 +1075,20 @@ fn aggregate(
                 }
             }
         };
+        let result_id = dict.encode(&result);
         // Rebuild the head tuple with the result plugged in.
         let mut tuple = Vec::with_capacity(rule.head.args.len());
         let mut key_iter = key.into_iter();
         for arg in &rule.head.args {
             match arg {
                 AtomArg::Const(c) => {
-                    tuple.push(c.clone());
+                    tuple.push(dict.encode(c));
                     let _ = key_iter.next();
                 }
-                AtomArg::Var(v) if *v == spec.result_var => tuple.push(result.clone()),
-                AtomArg::Var(_) => tuple.push(key_iter.next().unwrap_or(Const::Null)),
+                AtomArg::Var(v) if *v == spec.result_var => tuple.push(result_id),
+                AtomArg::Var(_) => {
+                    tuple.push(key_iter.next().unwrap_or(TermId::NULL))
+                }
             }
         }
         out.push(tuple);

@@ -17,7 +17,7 @@ use std::cmp::Ordering;
 use crate::regex::Regex;
 use crate::rule::VarId;
 use crate::symbols::{Sym, SymbolTable};
-use crate::value::{Const, OrdF64};
+use crate::value::{Const, OrdF64, TermDict, TermId};
 
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,19 +120,83 @@ impl Expr {
     /// Evaluates the expression under `env` (indexed by [`VarId`]).
     /// `None` models a SPARQL expression error.
     pub fn eval(&self, env: &[Option<Const>], symbols: &SymbolTable) -> Option<Const> {
+        self.eval_with(&|v| env.get(v as usize).cloned().flatten(), symbols)
+    }
+
+    /// Evaluates over an *encoded* environment, decoding lazily at the
+    /// variable leaves — the filter/arithmetic boundary of the encoded
+    /// pipeline. `TermId`s never flow through expression semantics.
+    pub fn eval_decoded(
+        &self,
+        env: &[Option<TermId>],
+        dict: &TermDict,
+        symbols: &SymbolTable,
+    ) -> Option<Const> {
+        self.eval_with(
+            &|v| env.get(v as usize).copied().flatten().map(|id| dict.decode(id)),
+            symbols,
+        )
+    }
+
+    /// Evaluates over an encoded environment and re-encodes the result —
+    /// the assignment (`Bind`) path. Skolem constructors (the tuple-ID
+    /// generator of §5.1) stay entirely in id space: variable arguments
+    /// pass through without a decode/encode round trip and the term is
+    /// interned by identity.
+    pub fn eval_id(
+        &self,
+        env: &[Option<TermId>],
+        dict: &TermDict,
+        symbols: &SymbolTable,
+    ) -> Option<TermId> {
         match self {
-            Expr::Var(v) => env.get(*v as usize).cloned().flatten(),
+            Expr::Var(v) => env.get(*v as usize).copied().flatten(),
+            Expr::Const(c) => Some(dict.encode(c)),
+            Expr::Skolem(f, args) => {
+                let mut ids = Vec::with_capacity(args.len());
+                for a in args {
+                    ids.push(a.eval_id(env, dict, symbols)?);
+                }
+                Some(dict.skolem(*f, &ids))
+            }
+            other => other.eval_decoded(env, dict, symbols).map(|c| dict.encode(&c)),
+        }
+    }
+
+    /// Filter semantics over an encoded environment: `true` iff the
+    /// expression evaluates without error to a value with effective
+    /// boolean value `true`. Never encodes anything.
+    pub fn eval_bool_ids(
+        &self,
+        env: &[Option<TermId>],
+        dict: &TermDict,
+        symbols: &SymbolTable,
+    ) -> bool {
+        self.eval_decoded(env, dict, symbols)
+            .and_then(|v| ebv(&v, symbols))
+            .unwrap_or(false)
+    }
+
+    /// Evaluates with an arbitrary variable resolver (the shared core of
+    /// [`Expr::eval`] and [`Expr::eval_decoded`]).
+    pub fn eval_with<F: Fn(VarId) -> Option<Const>>(
+        &self,
+        lookup: &F,
+        symbols: &SymbolTable,
+    ) -> Option<Const> {
+        match self {
+            Expr::Var(v) => lookup(*v),
             Expr::Const(c) => Some(c.clone()),
             Expr::Skolem(f, args) => {
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
-                    vals.push(a.eval(env, symbols)?);
+                    vals.push(a.eval_with(lookup, symbols)?);
                 }
                 Some(Const::skolem(*f, vals))
             }
             Expr::Cmp(op, a, b) => {
-                let a = a.eval(env, symbols)?;
-                let b = b.eval(env, symbols)?;
+                let a = a.eval_with(lookup, symbols)?;
+                let b = b.eval_with(lookup, symbols)?;
                 let r = match op {
                     CmpOp::Eq => value_eq(&a, &b, symbols),
                     CmpOp::Neq => !value_eq(&a, &b, symbols),
@@ -144,14 +208,14 @@ impl Expr {
                 Some(Const::Bool(r))
             }
             Expr::Arith(op, a, b) => {
-                let a = a.eval(env, symbols)?;
-                let b = b.eval(env, symbols)?;
+                let a = a.eval_with(lookup, symbols)?;
+                let b = b.eval_with(lookup, symbols)?;
                 arith(*op, &a, &b, symbols)
             }
             Expr::And(a, b) => {
                 // SPARQL three-valued logic: false && error = false.
-                let av = a.eval(env, symbols).and_then(|v| ebv(&v, symbols));
-                let bv = b.eval(env, symbols).and_then(|v| ebv(&v, symbols));
+                let av = a.eval_with(lookup, symbols).and_then(|v| ebv(&v, symbols));
+                let bv = b.eval_with(lookup, symbols).and_then(|v| ebv(&v, symbols));
                 match (av, bv) {
                     (Some(false), _) | (_, Some(false)) => Some(Const::Bool(false)),
                     (Some(true), Some(true)) => Some(Const::Bool(true)),
@@ -159,8 +223,8 @@ impl Expr {
                 }
             }
             Expr::Or(a, b) => {
-                let av = a.eval(env, symbols).and_then(|v| ebv(&v, symbols));
-                let bv = b.eval(env, symbols).and_then(|v| ebv(&v, symbols));
+                let av = a.eval_with(lookup, symbols).and_then(|v| ebv(&v, symbols));
+                let bv = b.eval_with(lookup, symbols).and_then(|v| ebv(&v, symbols));
                 match (av, bv) {
                     (Some(true), _) | (_, Some(true)) => Some(Const::Bool(true)),
                     (Some(false), Some(false)) => Some(Const::Bool(false)),
@@ -168,19 +232,19 @@ impl Expr {
                 }
             }
             Expr::Not(e) => {
-                let v = e.eval(env, symbols)?;
+                let v = e.eval_with(lookup, symbols)?;
                 Some(Const::Bool(!ebv(&v, symbols)?))
             }
             Expr::IsIri(e) => {
-                let v = e.eval(env, symbols)?;
+                let v = e.eval_with(lookup, symbols)?;
                 Some(Const::Bool(matches!(v, Const::Iri(_))))
             }
             Expr::IsBlank(e) => {
-                let v = e.eval(env, symbols)?;
+                let v = e.eval_with(lookup, symbols)?;
                 Some(Const::Bool(matches!(v, Const::Bnode(_))))
             }
             Expr::IsLiteral(e) => {
-                let v = e.eval(env, symbols)?;
+                let v = e.eval_with(lookup, symbols)?;
                 Some(Const::Bool(matches!(
                     v,
                     Const::Str(_)
@@ -192,11 +256,11 @@ impl Expr {
                 )))
             }
             Expr::IsNumeric(e) => {
-                let v = e.eval(env, symbols)?;
+                let v = e.eval_with(lookup, symbols)?;
                 Some(Const::Bool(v.as_f64(symbols).is_some()))
             }
             Expr::Str(e) => {
-                let v = e.eval(env, symbols)?;
+                let v = e.eval_with(lookup, symbols)?;
                 let s = match &v {
                     Const::Iri(s) | Const::Bnode(s) | Const::Str(s) => {
                         symbols.resolve(*s).to_string()
@@ -212,7 +276,7 @@ impl Expr {
                 Some(Const::Str(symbols.intern(&s)))
             }
             Expr::Lang(e) => {
-                let v = e.eval(env, symbols)?;
+                let v = e.eval_with(lookup, symbols)?;
                 match v {
                     Const::LangStr(_, lang) => Some(Const::Str(lang)),
                     Const::Str(_) | Const::Typed(_, _) | Const::Int(_) | Const::Float(_)
@@ -221,7 +285,7 @@ impl Expr {
                 }
             }
             Expr::Datatype(e) => {
-                let v = e.eval(env, symbols)?;
+                let v = e.eval_with(lookup, symbols)?;
                 let dt = match v {
                     Const::Typed(_, dt) => return Some(Const::Iri(dt)),
                     Const::Str(_) => "http://www.w3.org/2001/XMLSchema#string",
@@ -235,27 +299,27 @@ impl Expr {
                 };
                 Some(Const::Iri(symbols.intern(dt)))
             }
-            Expr::Ucase(e) => map_string(e, env, symbols, |s| s.to_uppercase()),
-            Expr::Lcase(e) => map_string(e, env, symbols, |s| s.to_lowercase()),
+            Expr::Ucase(e) => map_string(e, lookup, symbols, |s| s.to_uppercase()),
+            Expr::Lcase(e) => map_string(e, lookup, symbols, |s| s.to_lowercase()),
             Expr::Strlen(e) => {
-                let v = e.eval(env, symbols)?;
+                let v = e.eval_with(lookup, symbols)?;
                 let (s, _) = string_value(&v, symbols)?;
                 Some(Const::Int(s.chars().count() as i64))
             }
-            Expr::Contains(a, b) => binary_string(a, b, env, symbols, |x, y| x.contains(y)),
+            Expr::Contains(a, b) => binary_string(a, b, lookup, symbols, |x, y| x.contains(y)),
             Expr::StrStarts(a, b) => {
-                binary_string(a, b, env, symbols, |x, y| x.starts_with(y))
+                binary_string(a, b, lookup, symbols, |x, y| x.starts_with(y))
             }
-            Expr::StrEnds(a, b) => binary_string(a, b, env, symbols, |x, y| x.ends_with(y)),
+            Expr::StrEnds(a, b) => binary_string(a, b, lookup, symbols, |x, y| x.ends_with(y)),
             Expr::Regex(text, pattern, flags) => {
-                let t = text.eval(env, symbols)?;
+                let t = text.eval_with(lookup, symbols)?;
                 let (t, _) = string_value(&t, symbols)?;
-                let p = pattern.eval(env, symbols)?;
+                let p = pattern.eval_with(lookup, symbols)?;
                 let (p, _) = string_value(&p, symbols)?;
                 let f = match flags {
                     None => String::new(),
                     Some(fe) => {
-                        let fv = fe.eval(env, symbols)?;
+                        let fv = fe.eval_with(lookup, symbols)?;
                         string_value(&fv, symbols)?.0
                     }
                 };
@@ -263,14 +327,14 @@ impl Expr {
                 Some(Const::Bool(re.is_match(&t)))
             }
             Expr::SameTerm(a, b) => {
-                let a = a.eval(env, symbols)?;
-                let b = b.eval(env, symbols)?;
+                let a = a.eval_with(lookup, symbols)?;
+                let b = b.eval_with(lookup, symbols)?;
                 Some(Const::Bool(a == b))
             }
             Expr::LangMatches(lang, range) => {
-                let l = lang.eval(env, symbols)?;
+                let l = lang.eval_with(lookup, symbols)?;
                 let (l, _) = string_value(&l, symbols)?;
-                let r = range.eval(env, symbols)?;
+                let r = range.eval_with(lookup, symbols)?;
                 let (r, _) = string_value(&r, symbols)?;
                 let ok = if r == "*" {
                     !l.is_empty()
@@ -427,13 +491,13 @@ fn string_value(c: &Const, symbols: &SymbolTable) -> Option<(String, Option<Stri
     }
 }
 
-fn map_string(
+fn map_string<F: Fn(VarId) -> Option<Const>>(
     e: &Expr,
-    env: &[Option<Const>],
+    lookup: &F,
     symbols: &SymbolTable,
     f: impl Fn(&str) -> String,
 ) -> Option<Const> {
-    let v = e.eval(env, symbols)?;
+    let v = e.eval_with(lookup, symbols)?;
     match v {
         Const::LangStr(lex, lang) => {
             let mapped = f(&symbols.resolve(lex));
@@ -446,15 +510,15 @@ fn map_string(
     }
 }
 
-fn binary_string(
+fn binary_string<F: Fn(VarId) -> Option<Const>>(
     a: &Expr,
     b: &Expr,
-    env: &[Option<Const>],
+    lookup: &F,
     symbols: &SymbolTable,
     f: impl Fn(&str, &str) -> bool,
 ) -> Option<Const> {
-    let av = a.eval(env, symbols)?;
-    let bv = b.eval(env, symbols)?;
+    let av = a.eval_with(lookup, symbols)?;
+    let bv = b.eval_with(lookup, symbols)?;
     let (x, _) = string_value(&av, symbols)?;
     let (y, _) = string_value(&bv, symbols)?;
     Some(Const::Bool(f(&x, &y)))

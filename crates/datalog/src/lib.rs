@@ -59,7 +59,7 @@ pub mod symbols;
 pub mod value;
 pub mod wardedness;
 
-pub use database::{Database, Relation};
+pub use database::{Database, Matches, Relation};
 pub use eval::{collect_output, evaluate, order_cmp, EvalError, EvalOptions, EvalStats};
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use rule::{
@@ -67,5 +67,5 @@ pub use rule::{
 };
 pub use stratify::{stratify, Stratification, StratifyError};
 pub use symbols::{Sym, SymbolTable};
-pub use value::{Const, OrdF64, SkolemTerm};
+pub use value::{Const, OrdF64, SkolemTerm, TermDict, TermId};
 pub use wardedness::{check_wardedness, WardednessReport};

@@ -4,12 +4,10 @@
 //! literals) is interned once into a [`SymbolTable`] and then handled as a
 //! 4-byte [`Sym`]. Tuple hashing, joins and dedup all operate on integers.
 //! The table is shared (`Arc`) between the translator, the database and the
-//! evaluator, and guarded by a `parking_lot::RwLock` (reads vastly dominate).
+//! evaluator, and guarded by an `RwLock` (reads vastly dominate).
 
 use std::fmt;
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, RwLock};
 
 use crate::fxhash::FxHashMap;
 
@@ -43,10 +41,10 @@ impl SymbolTable {
 
     /// Interns `s`, returning its symbol.
     pub fn intern(&self, s: &str) -> Sym {
-        if let Some(&id) = self.inner.read().ids.get(s) {
+        if let Some(&id) = self.inner.read().unwrap().ids.get(s) {
             return Sym(id);
         }
-        let mut w = self.inner.write();
+        let mut w = self.inner.write().unwrap();
         if let Some(&id) = w.ids.get(s) {
             return Sym(id);
         }
@@ -59,17 +57,17 @@ impl SymbolTable {
 
     /// The string behind a symbol. Panics on a symbol from another table.
     pub fn resolve(&self, sym: Sym) -> Arc<str> {
-        self.inner.read().strings[sym.0 as usize].clone()
+        self.inner.read().unwrap().strings[sym.0 as usize].clone()
     }
 
     /// Looks up a symbol without interning.
     pub fn get(&self, s: &str) -> Option<Sym> {
-        self.inner.read().ids.get(s).map(|&id| Sym(id))
+        self.inner.read().unwrap().ids.get(s).map(|&id| Sym(id))
     }
 
     /// Number of interned strings.
     pub fn len(&self) -> usize {
-        self.inner.read().strings.len()
+        self.inner.read().unwrap().strings.len()
     }
 
     /// True if nothing has been interned.

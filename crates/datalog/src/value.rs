@@ -1,4 +1,5 @@
-//! Runtime values (constants) of the Datalog± engine.
+//! Runtime values (constants) of the Datalog± engine, and the **term
+//! dictionary** that encodes them into fixed-width [`TermId`]s.
 //!
 //! The value model is a scaled-down Vadalog: first-class RDF terms (IRIs,
 //! blank nodes, plain/lang/typed literals), machine types for computed
@@ -7,11 +8,21 @@
 //! terms** — uninterpreted function terms used both as labelled nulls for
 //! existential rules and as the tuple IDs of the paper's
 //! duplicate-preservation model (§5.1).
+//!
+//! [`Const`] is the *boundary* representation: it enters the engine once
+//! at load time (T_D) and leaves once at solution extraction (T_S).
+//! Internally — fact storage, join keys, dedup, Skolemisation — the
+//! engine runs entirely on [`TermId`]s: `u64`s that either encode the
+//! constant inline (nulls, booleans, small integers, interned symbols)
+//! or index into the shared [`TermDict`]. Encoding is canonical and
+//! injective, so `TermId` equality coincides with structural [`Const`]
+//! equality and tuples become flat, `Copy`-able fixed-width records.
 
 use std::cmp::Ordering;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
+use crate::fxhash::FxHashMap;
 use crate::symbols::{Sym, SymbolTable};
 
 /// A total-ordered `f64` wrapper (NaN compares greatest, -0.0 == 0.0 is
@@ -220,6 +231,270 @@ impl fmt::Display for Const {
     }
 }
 
+// ------------------------------------------------------- term dictionary
+
+/// A dictionary-encoded term: a fixed-width stand-in for a [`Const`].
+///
+/// The top 4 bits are a variant tag; the low 60 bits are the payload —
+/// either the value itself (null, boolean, small integer, interned
+/// symbol(s), float with a short bit pattern) or an index into the
+/// [`TermDict`]'s spill/Skolem tables. Equality and hashing are single
+/// `u64` operations, which is what makes the join/dedup hot path cheap.
+///
+/// `Ord` is derived for use in ordered containers but has **no semantic
+/// meaning**; value ordering (`ORDER BY`, comparisons) always goes
+/// through decoded [`Const`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(u64);
+
+const TAG_SHIFT: u32 = 60;
+const PAYLOAD_MASK: u64 = (1 << TAG_SHIFT) - 1;
+
+const TAG_NULL: u64 = 0;
+const TAG_BOOL: u64 = 1;
+const TAG_INT: u64 = 2;
+const TAG_IRI: u64 = 3;
+const TAG_BNODE: u64 = 4;
+const TAG_STR: u64 = 5;
+const TAG_LANG: u64 = 6;
+const TAG_TYPED: u64 = 7;
+const TAG_FLOAT: u64 = 8;
+const TAG_SKOLEM: u64 = 14;
+const TAG_SPILL: u64 = 15;
+
+/// Inline packing of two symbols: the first gets 32 bits, the second the
+/// remaining 28. Datatype/language symbols are interned early and small,
+/// so the 28-bit limit virtually never spills in practice.
+const PAIR_SHIFT: u32 = 28;
+const PAIR_MAX: u32 = (1 << PAIR_SHIFT) - 1;
+
+/// Small integers encode inline as 60-bit two's complement.
+const INT_MIN_INLINE: i64 = -(1 << 59);
+const INT_MAX_INLINE: i64 = (1 << 59) - 1;
+
+impl TermId {
+    /// The encoding of [`Const::Null`].
+    pub const NULL: TermId = TermId(0);
+
+    #[inline]
+    fn new(tag: u64, payload: u64) -> TermId {
+        debug_assert!(payload <= PAYLOAD_MASK);
+        TermId((tag << TAG_SHIFT) | payload)
+    }
+
+    #[inline]
+    fn tag(self) -> u64 {
+        self.0 >> TAG_SHIFT
+    }
+
+    #[inline]
+    fn payload(self) -> u64 {
+        self.0 & PAYLOAD_MASK
+    }
+
+    /// The raw bit pattern (stable only within one dictionary).
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// True for the encoding of [`Const::Null`].
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == TermId::NULL
+    }
+
+    /// True for Skolem-term encodings (labelled nulls / tuple IDs).
+    #[inline]
+    pub fn is_skolem(self) -> bool {
+        self.tag() == TAG_SKOLEM
+    }
+}
+
+/// An interned Skolem node: the functor, the already-encoded arguments,
+/// and the precomputed nesting depth (so the chase-termination check is
+/// O(1) instead of a recursive walk).
+#[derive(Debug)]
+struct SkolemNode {
+    functor: Sym,
+    args: Box<[TermId]>,
+    depth: u32,
+}
+
+#[derive(Debug, Default)]
+struct DictInner {
+    /// Constants that don't fit inline, indexed by spill id.
+    spill: Vec<Const>,
+    spill_ids: FxHashMap<Const, u32>,
+    /// Interned Skolem terms, indexed by node id.
+    skolems: Vec<SkolemNode>,
+    /// functor → args → node id (nested so hits need no allocation).
+    skolem_ids: FxHashMap<Sym, FxHashMap<Box<[TermId]>, u32>>,
+}
+
+/// The global term dictionary: [`Const`] ⇄ [`TermId`].
+///
+/// Shared (`Arc`) between the database, the evaluator and the translation
+/// boundary, like the [`SymbolTable`]. Most terms encode inline and never
+/// touch the lock; the lock only guards the spill and Skolem tables.
+///
+/// The invariant the engine relies on: encoding is **canonical** — equal
+/// constants always produce equal `TermId`s and distinct constants
+/// distinct ones — so the evaluator may compare, hash and deduplicate
+/// encoded tuples without ever decoding.
+#[derive(Debug, Default)]
+pub struct TermDict {
+    inner: RwLock<DictInner>,
+}
+
+impl TermDict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Arc<Self> {
+        Arc::new(TermDict::default())
+    }
+
+    /// Encodes a constant (interning into the spill/Skolem tables when it
+    /// doesn't fit inline).
+    pub fn encode(&self, c: &Const) -> TermId {
+        match c {
+            Const::Null => TermId::NULL,
+            Const::Bool(b) => TermId::new(TAG_BOOL, *b as u64),
+            Const::Int(i) if (INT_MIN_INLINE..=INT_MAX_INLINE).contains(i) => {
+                TermId::new(TAG_INT, (*i as u64) & PAYLOAD_MASK)
+            }
+            Const::Iri(s) => TermId::new(TAG_IRI, s.0 as u64),
+            Const::Bnode(s) => TermId::new(TAG_BNODE, s.0 as u64),
+            Const::Str(s) => TermId::new(TAG_STR, s.0 as u64),
+            Const::LangStr(lex, lang) if lang.0 <= PAIR_MAX => {
+                TermId::new(TAG_LANG, ((lex.0 as u64) << PAIR_SHIFT) | lang.0 as u64)
+            }
+            Const::Typed(lex, dt) if dt.0 <= PAIR_MAX => {
+                TermId::new(TAG_TYPED, ((lex.0 as u64) << PAIR_SHIFT) | dt.0 as u64)
+            }
+            Const::Float(f) if f.0.to_bits() & 0xF == 0 => {
+                TermId::new(TAG_FLOAT, f.0.to_bits() >> 4)
+            }
+            Const::Skolem(t) => {
+                let args: Vec<TermId> = t.args.iter().map(|a| self.encode(a)).collect();
+                self.skolem(t.functor, &args)
+            }
+            other => self.spill(other),
+        }
+    }
+
+    /// Interns (or looks up) the Skolem term `functor(args)` directly in
+    /// id space — the fast path for tuple-ID generation, which never
+    /// materialises a [`SkolemTerm`].
+    pub fn skolem(&self, functor: Sym, args: &[TermId]) -> TermId {
+        if let Some(per_functor) = self.inner.read().unwrap().skolem_ids.get(&functor) {
+            if let Some(&id) = per_functor.get(args) {
+                return TermId::new(TAG_SKOLEM, id as u64);
+            }
+        }
+        let mut w = self.inner.write().unwrap();
+        if let Some(&id) = w.skolem_ids.get(&functor).and_then(|m| m.get(args)) {
+            return TermId::new(TAG_SKOLEM, id as u64);
+        }
+        let depth = 1 + args
+            .iter()
+            .map(|&a| Self::depth_in(&w, a))
+            .max()
+            .unwrap_or(0);
+        let id = w.skolems.len() as u32;
+        let boxed: Box<[TermId]> = args.into();
+        w.skolems.push(SkolemNode { functor, args: boxed.clone(), depth });
+        w.skolem_ids.entry(functor).or_default().insert(boxed, id);
+        TermId::new(TAG_SKOLEM, id as u64)
+    }
+
+    /// Skolem nesting depth of an encoded term (0 for non-Skolem terms).
+    /// O(1): depths are computed once at interning time.
+    pub fn skolem_depth(&self, id: TermId) -> usize {
+        if !id.is_skolem() {
+            return 0;
+        }
+        Self::depth_in(&self.inner.read().unwrap(), id) as usize
+    }
+
+    fn depth_in(inner: &DictInner, id: TermId) -> u32 {
+        if id.tag() == TAG_SKOLEM {
+            inner.skolems[id.payload() as usize].depth
+        } else {
+            0
+        }
+    }
+
+    /// Decodes an id back into a constant. Panics on an id from another
+    /// dictionary (like [`SymbolTable::resolve`] on a foreign symbol).
+    pub fn decode(&self, id: TermId) -> Const {
+        if id.tag() < TAG_SKOLEM {
+            return TermDict::decode_inline(id);
+        }
+        let inner = self.inner.read().unwrap();
+        Self::decode_in(&inner, id)
+    }
+
+    fn decode_in(inner: &DictInner, id: TermId) -> Const {
+        match id.tag() {
+            TAG_SPILL => inner.spill[id.payload() as usize].clone(),
+            TAG_SKOLEM => {
+                let node = &inner.skolems[id.payload() as usize];
+                let args: Vec<Const> = node
+                    .args
+                    .iter()
+                    .map(|&a| {
+                        if a.tag() >= TAG_SKOLEM {
+                            Self::decode_in(inner, a)
+                        } else {
+                            // Inline tags never need the tables; avoid
+                            // re-entering the lock for them.
+                            TermDict::decode_inline(a)
+                        }
+                    })
+                    .collect();
+                Const::skolem(node.functor, args)
+            }
+            _ => TermDict::decode_inline(id),
+        }
+    }
+
+    fn decode_inline(id: TermId) -> Const {
+        debug_assert!(id.tag() < TAG_SKOLEM);
+        match id.tag() {
+            TAG_NULL => Const::Null,
+            TAG_BOOL => Const::Bool(id.payload() != 0),
+            TAG_INT => Const::Int(((id.payload() << 4) as i64) >> 4),
+            TAG_IRI => Const::Iri(Sym(id.payload() as u32)),
+            TAG_BNODE => Const::Bnode(Sym(id.payload() as u32)),
+            TAG_STR => Const::Str(Sym(id.payload() as u32)),
+            TAG_LANG => Const::LangStr(
+                Sym((id.payload() >> PAIR_SHIFT) as u32),
+                Sym((id.payload() & PAIR_MAX as u64) as u32),
+            ),
+            TAG_TYPED => Const::Typed(
+                Sym((id.payload() >> PAIR_SHIFT) as u32),
+                Sym((id.payload() & PAIR_MAX as u64) as u32),
+            ),
+            TAG_FLOAT => Const::Float(OrdF64(f64::from_bits(id.payload() << 4))),
+            _ => unreachable!("decode_inline on table-backed tag"),
+        }
+    }
+
+    fn spill(&self, c: &Const) -> TermId {
+        if let Some(&id) = self.inner.read().unwrap().spill_ids.get(c) {
+            return TermId::new(TAG_SPILL, id as u64);
+        }
+        let mut w = self.inner.write().unwrap();
+        if let Some(&id) = w.spill_ids.get(c) {
+            return TermId::new(TAG_SPILL, id as u64);
+        }
+        let id = w.spill.len() as u32;
+        w.spill.push(c.clone());
+        w.spill_ids.insert(c.clone(), id);
+        TermId::new(TAG_SPILL, id as u64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,5 +552,108 @@ mod tests {
         let id = Const::skolem(t.intern("f1"), vec![Const::Int(7)]);
         assert_eq!(id.display(&t), "[f1|7]");
         assert_eq!(Const::Null.display(&t), "null");
+    }
+
+    fn sample_consts(t: &SymbolTable) -> Vec<Const> {
+        let f = t.intern("f");
+        let g = t.intern("g");
+        let nested = Const::skolem(
+            g,
+            vec![
+                Const::skolem(f, vec![Const::Int(1), Const::Null]),
+                Const::Float(OrdF64(2.5)),
+            ],
+        );
+        vec![
+            Const::Null,
+            Const::Bool(true),
+            Const::Bool(false),
+            Const::Int(0),
+            Const::Int(-1),
+            Const::Int(i64::MAX),
+            Const::Int(i64::MIN),
+            Const::Int(INT_MAX_INLINE),
+            Const::Int(INT_MAX_INLINE + 1),
+            Const::Int(INT_MIN_INLINE),
+            Const::Int(INT_MIN_INLINE - 1),
+            Const::Float(OrdF64(0.0)),
+            Const::Float(OrdF64(-0.0)),
+            Const::Float(OrdF64(2.5)),
+            Const::Float(OrdF64(f64::NAN)),
+            Const::Float(OrdF64(1.0 / 3.0)),
+            Const::Iri(t.intern("http://a")),
+            Const::Bnode(t.intern("b0")),
+            Const::Str(t.intern("hello")),
+            Const::LangStr(t.intern("chat"), t.intern("fr")),
+            Const::Typed(t.intern("5"), t.intern("http://www.w3.org/2001/XMLSchema#integer")),
+            Const::skolem(f, vec![]),
+            Const::skolem(f, vec![Const::Int(1), Const::Null]),
+            nested,
+        ]
+    }
+
+    #[test]
+    fn dict_roundtrips_every_variant() {
+        let t = SymbolTable::new();
+        let dict = TermDict::new();
+        for c in sample_consts(&t) {
+            let id = dict.encode(&c);
+            assert_eq!(dict.decode(id), c, "{c:?} (id {:#x})", id.raw());
+        }
+    }
+
+    #[test]
+    fn dict_encoding_is_canonical() {
+        let t = SymbolTable::new();
+        let dict = TermDict::new();
+        let consts = sample_consts(&t);
+        let ids: Vec<TermId> = consts.iter().map(|c| dict.encode(c)).collect();
+        for (i, a) in consts.iter().enumerate() {
+            // Deterministic: re-encoding yields the same id.
+            assert_eq!(dict.encode(a), ids[i], "{a:?}");
+            for (j, b) in consts.iter().enumerate() {
+                assert_eq!(ids[i] == ids[j], a == b, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dict_skolem_interning_is_by_identity() {
+        let t = SymbolTable::new();
+        let dict = TermDict::new();
+        let f = t.intern("f");
+        let one = dict.encode(&Const::Int(1));
+        let a = dict.skolem(f, &[one, TermId::NULL]);
+        let b = dict.skolem(f, &[one, TermId::NULL]);
+        let c = dict.skolem(f, &[one]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.is_skolem());
+        // Matches the structural encoding route.
+        let structural = dict.encode(&Const::skolem(f, vec![Const::Int(1), Const::Null]));
+        assert_eq!(a, structural);
+    }
+
+    #[test]
+    fn dict_skolem_depth_is_precomputed() {
+        let t = SymbolTable::new();
+        let dict = TermDict::new();
+        let f = t.intern("f");
+        let flat = dict.skolem(f, &[dict.encode(&Const::Int(1))]);
+        assert_eq!(dict.skolem_depth(flat), 1);
+        let nested = dict.skolem(f, &[flat, dict.encode(&Const::Int(2))]);
+        assert_eq!(dict.skolem_depth(nested), 2);
+        let deeper = dict.skolem(f, &[nested]);
+        assert_eq!(dict.skolem_depth(deeper), 3);
+        assert_eq!(dict.skolem_depth(dict.encode(&Const::Int(5))), 0);
+        assert_eq!(dict.skolem_depth(TermId::NULL), 0);
+    }
+
+    #[test]
+    fn null_id_is_fixed() {
+        let dict = TermDict::new();
+        assert_eq!(dict.encode(&Const::Null), TermId::NULL);
+        assert!(TermId::NULL.is_null());
+        assert!(!dict.encode(&Const::Bool(false)).is_null());
     }
 }

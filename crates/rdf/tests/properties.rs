@@ -1,42 +1,69 @@
 //! Property-based tests of the RDF substrate: graph indexing against a
-//! brute-force scan, and parser round-trips.
+//! brute-force scan, and parser round-trips (in-tree deterministic case
+//! generation — the workspace builds offline, without proptest).
 
-use proptest::prelude::*;
 use sparqlog_rdf::{ntriples, Graph, Term, Triple};
 
-fn term_strategy() -> impl Strategy<Value = Term> {
-    prop_oneof![
-        (0u8..6).prop_map(|i| Term::iri(format!("http://n/{i}"))),
-        (0u8..4).prop_map(|i| Term::bnode(format!("b{i}"))),
-        (0u8..4).prop_map(|i| Term::literal(format!("lit{i}"))),
-        (0i64..5).prop_map(Term::integer),
-        "[a-z]{1,6}".prop_map(Term::literal),
-    ]
+/// Deterministic SplitMix64 case generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
 }
 
-fn triple_strategy() -> impl Strategy<Value = Triple> {
-    (
-        prop_oneof![
-            (0u8..6).prop_map(|i| Term::iri(format!("http://n/{i}"))),
-            (0u8..4).prop_map(|i| Term::bnode(format!("b{i}"))),
-        ],
-        (0u8..3).prop_map(|i| Term::iri(format!("http://p/{i}"))),
-        term_strategy(),
-    )
-        .prop_map(|(s, p, o)| Triple::new(s, p, o))
+const CASES: u64 = 96;
+
+fn random_term(rng: &mut Rng) -> Term {
+    match rng.range(0, 5) {
+        0 => Term::iri(format!("http://n/{}", rng.range(0, 6))),
+        1 => Term::bnode(format!("b{}", rng.range(0, 4))),
+        2 => Term::literal(format!("lit{}", rng.range(0, 4))),
+        3 => Term::integer(rng.range(0, 5) as i64),
+        _ => {
+            let len = rng.range(1, 7);
+            let s: String = (0..len)
+                .map(|_| (b'a' + rng.range(0, 26) as u8) as char)
+                .collect();
+            Term::literal(s)
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+fn random_triple(rng: &mut Rng) -> Triple {
+    let s = if rng.range(0, 2) == 0 {
+        Term::iri(format!("http://n/{}", rng.range(0, 6)))
+    } else {
+        Term::bnode(format!("b{}", rng.range(0, 4)))
+    };
+    let p = Term::iri(format!("http://p/{}", rng.range(0, 3)));
+    let o = random_term(rng);
+    Triple::new(s, p, o)
+}
 
-    /// Every pattern-match result equals a brute-force scan, for every
-    /// combination of bound positions.
-    #[test]
-    fn indexed_matching_equals_scan(
-        triples in prop::collection::vec(triple_strategy(), 0..40),
-        probe in triple_strategy(),
-        mask in 0u8..8,
-    ) {
+fn random_triples(rng: &mut Rng, max_len: u64) -> Vec<Triple> {
+    let len = rng.range(0, max_len);
+    (0..len).map(|_| random_triple(rng)).collect()
+}
+
+/// Every pattern-match result equals a brute-force scan, for every
+/// combination of bound positions.
+#[test]
+fn indexed_matching_equals_scan() {
+    let mut rng = Rng(0x5ca9);
+    for case in 0..CASES {
+        let triples = random_triples(&mut rng, 40);
+        let probe = random_triple(&mut rng);
+        let mask = rng.range(0, 8) as u8;
         let g: Graph = triples.iter().cloned().collect();
         let s = (mask & 1 != 0).then_some(&probe.subject);
         let p = (mask & 2 != 0).then_some(&probe.predicate);
@@ -56,61 +83,78 @@ proptest! {
             .collect();
         got.sort();
         want.sort();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}, mask {mask:#b}");
     }
+}
 
-    /// Graphs are sets: duplicate insertion never grows the graph, and
-    /// `contains` agrees with membership.
-    #[test]
-    fn set_semantics(triples in prop::collection::vec(triple_strategy(), 0..30)) {
+/// Graphs are sets: duplicate insertion never grows the graph, and
+/// `contains` agrees with membership.
+#[test]
+fn set_semantics() {
+    let mut rng = Rng(0x5e75);
+    for case in 0..CASES {
+        let triples = random_triples(&mut rng, 30);
         let mut g = Graph::new();
         for t in &triples {
             g.insert(t.clone());
         }
         let n = g.len();
         for t in &triples {
-            prop_assert!(!g.insert(t.clone()), "reinsert must be a no-op");
-            prop_assert!(g.contains(t));
+            assert!(!g.insert(t.clone()), "case {case}: reinsert must be a no-op");
+            assert!(g.contains(t), "case {case}");
         }
-        prop_assert_eq!(g.len(), n);
+        assert_eq!(g.len(), n, "case {case}");
     }
+}
 
-    /// N-Triples serialisation round-trips every graph.
-    #[test]
-    fn ntriples_roundtrip(triples in prop::collection::vec(triple_strategy(), 0..30)) {
-        let g: Graph = triples.into_iter().collect();
+/// N-Triples serialisation round-trips every graph.
+#[test]
+fn ntriples_roundtrip() {
+    let mut rng = Rng(0x0093);
+    for case in 0..CASES {
+        let g: Graph = random_triples(&mut rng, 30).into_iter().collect();
         let text = ntriples::serialize(&g);
         let back = ntriples::parse(&text).unwrap();
-        prop_assert_eq!(back.len(), g.len());
+        assert_eq!(back.len(), g.len(), "case {case}");
         for (s, p, o) in g.iter() {
-            prop_assert!(back.contains(&Triple::new(s.clone(), p.clone(), o.clone())));
+            assert!(
+                back.contains(&Triple::new(s.clone(), p.clone(), o.clone())),
+                "case {case}: {s} {p} {o}"
+            );
         }
     }
+}
 
-    /// subjects_or_objects yields exactly the subject/object terms.
-    #[test]
-    fn subject_or_object_complete(
-        triples in prop::collection::vec(triple_strategy(), 0..30)
-    ) {
-        let g: Graph = triples.iter().cloned().collect();
+/// subjects_or_objects yields exactly the subject/object terms.
+#[test]
+fn subject_or_object_complete() {
+    let mut rng = Rng(0x500b);
+    for case in 0..CASES {
+        let g: Graph = random_triples(&mut rng, 30).into_iter().collect();
         let got: std::collections::BTreeSet<String> =
             g.subjects_or_objects().iter().map(|t| t.to_string()).collect();
         let want: std::collections::BTreeSet<String> = g
             .iter()
             .flat_map(|(s, _, o)| [s.to_string(), o.to_string()])
             .collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    /// Term ordering is a total order (antisymmetric + transitive on
-    /// random samples).
-    #[test]
-    fn term_order_is_total(a in term_strategy(), b in term_strategy(), c in term_strategy()) {
-        use std::cmp::Ordering;
-        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+/// Term ordering is a total order (antisymmetric + transitive on
+/// random samples).
+#[test]
+fn term_order_is_total() {
+    use std::cmp::Ordering;
+    let mut rng = Rng(0x07de);
+    for case in 0..CASES {
+        let a = random_term(&mut rng);
+        let b = random_term(&mut rng);
+        let c = random_term(&mut rng);
+        assert_eq!(a.cmp(&b), b.cmp(&a).reverse(), "case {case}");
         if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
-            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+            assert_ne!(a.cmp(&c), Ordering::Greater, "case {case}: {a} {b} {c}");
         }
-        prop_assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert_eq!(a.cmp(&a), Ordering::Equal, "case {case}");
     }
 }

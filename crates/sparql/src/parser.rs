@@ -203,14 +203,9 @@ impl Parser {
         loop {
             if self.eat_keyword("GROUP") {
                 self.expect_keyword("BY")?;
-                loop {
-                    match self.peek() {
-                        Token::Var(_) => {
-                            if let Token::Var(v) = self.bump() {
-                                group_by.push(Var::new(v));
-                            }
-                        }
-                        _ => break,
+                while let Token::Var(_) = self.peek() {
+                    if let Token::Var(v) = self.bump() {
+                        group_by.push(Var::new(v));
                     }
                 }
                 if group_by.is_empty() {

@@ -1,72 +1,94 @@
 //! Property test: the `Display` form of a random property-path AST
-//! re-parses to the same AST (printer/parser round-trip).
+//! re-parses to the same AST (printer/parser round-trip). In-tree
+//! deterministic case generation — the workspace builds offline,
+//! without proptest.
 
-use proptest::prelude::*;
 use sparqlog_sparql::{parse_query, GraphPattern, PropertyPath};
 
-fn leaf() -> impl Strategy<Value = PropertyPath> {
-    prop_oneof![
-        (0u8..4).prop_map(|i| PropertyPath::link(format!("http://p/{i}"))),
+/// Deterministic SplitMix64 case generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+fn leaf(rng: &mut Rng) -> PropertyPath {
+    if rng.range(0, 4) < 3 {
+        PropertyPath::link(format!("http://p/{}", rng.range(0, 4)))
+    } else {
         // Negated sets are leaves of the recursion.
-        (
-            prop::collection::vec(0u8..4, 1..3),
-            prop::collection::vec(0u8..4, 0..2)
-        )
-            .prop_map(|(f, b)| PropertyPath::NegatedSet {
-                forward: f
-                    .into_iter()
-                    .map(|i| format!("http://p/{i}").into())
-                    .collect(),
-                backward: b
-                    .into_iter()
-                    .map(|i| format!("http://p/{i}").into())
-                    .collect(),
-            }),
-    ]
+        let nf = rng.range(1, 3);
+        let nb = rng.range(0, 2);
+        PropertyPath::NegatedSet {
+            forward: (0..nf)
+                .map(|_| format!("http://p/{}", rng.range(0, 4)).into())
+                .collect(),
+            backward: (0..nb)
+                .map(|_| format!("http://p/{}", rng.range(0, 4)).into())
+                .collect(),
+        }
+    }
 }
 
-fn path_strategy() -> impl Strategy<Value = PropertyPath> {
-    leaf().prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|p| PropertyPath::Inverse(Box::new(p))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
-                PropertyPath::Alternative(Box::new(a), Box::new(b))
-            }),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
-                PropertyPath::Sequence(Box::new(a), Box::new(b))
-            }),
-            inner.clone().prop_map(|p| PropertyPath::ZeroOrOne(Box::new(p))),
-            inner.clone().prop_map(|p| PropertyPath::OneOrMore(Box::new(p))),
-            inner.clone().prop_map(|p| PropertyPath::ZeroOrMore(Box::new(p))),
-            (inner.clone(), 1u32..4).prop_map(|(p, n)| {
-                PropertyPath::Exactly(Box::new(p), n)
-            }),
-            (inner.clone(), 1u32..3).prop_map(|(p, n)| {
-                PropertyPath::AtLeast(Box::new(p), n)
-            }),
-            (inner, 0u32..2, 2u32..4).prop_map(|(p, n, m)| {
-                PropertyPath::Between(Box::new(p), n, m)
-            }),
-        ]
-    })
+fn random_path(rng: &mut Rng, depth: u64) -> PropertyPath {
+    if depth == 0 || rng.range(0, 4) == 0 {
+        return leaf(rng);
+    }
+    let inner = |rng: &mut Rng| Box::new(random_path(rng, depth - 1));
+    match rng.range(0, 9) {
+        0 => PropertyPath::Inverse(inner(rng)),
+        1 => PropertyPath::Alternative(inner(rng), inner(rng)),
+        2 => PropertyPath::Sequence(inner(rng), inner(rng)),
+        3 => PropertyPath::ZeroOrOne(inner(rng)),
+        4 => PropertyPath::OneOrMore(inner(rng)),
+        5 => PropertyPath::ZeroOrMore(inner(rng)),
+        6 => {
+            let n = rng.range(1, 4) as u32;
+            PropertyPath::Exactly(inner(rng), n)
+        }
+        7 => {
+            let n = rng.range(1, 3) as u32;
+            PropertyPath::AtLeast(inner(rng), n)
+        }
+        _ => {
+            let n = rng.range(0, 2) as u32;
+            let m = rng.range(2, 4) as u32;
+            PropertyPath::Between(inner(rng), n, m)
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    #[test]
-    fn display_reparses_to_same_path(path in path_strategy()) {
+#[test]
+fn display_reparses_to_same_path() {
+    let mut rng = Rng(0x9a7b);
+    for case in 0..128u64 {
+        let path = random_path(&mut rng, 4);
         let query = format!("SELECT * WHERE {{ ?s {path} ?o }}");
         let parsed = parse_query(&query)
-            .unwrap_or_else(|e| panic!("{query}: {e}"));
+            .unwrap_or_else(|e| panic!("case {case}: {query}: {e}"));
         match parsed.pattern {
-            GraphPattern::Path { path: got, .. } => prop_assert_eq!(got, path),
+            GraphPattern::Path { path: got, .. } => {
+                assert_eq!(got, path, "case {case}: {query}")
+            }
             // A bare link prints as `<iri>` and parses to a plain triple
             // pattern — also correct.
             GraphPattern::Triple(t) => {
-                prop_assert!(matches!(path, PropertyPath::Link(_)), "{:?}", t);
+                assert!(
+                    matches!(path, PropertyPath::Link(_)),
+                    "case {case}: {t:?}"
+                );
             }
-            other => prop_assert!(false, "unexpected pattern {:?}", other),
+            other => panic!("case {case}: unexpected pattern {other:?}"),
         }
     }
 }
