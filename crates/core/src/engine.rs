@@ -137,6 +137,21 @@ impl SparqLog {
         self.db.symbols()
     }
 
+    /// Sets the Datalog engine's worker-thread count for subsequent
+    /// loads/materialisations and query evaluations. `None` restores the
+    /// default resolution (the `SPARQLOG_THREADS` env var, then the
+    /// machine's available parallelism); `Some(1)` forces the
+    /// deterministic single-threaded path. Whatever the setting, results
+    /// are multiset-identical — only evaluation concurrency changes.
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.options.threads = threads;
+    }
+
+    /// The current evaluation options.
+    pub fn options(&self) -> &EvalOptions {
+        &self.options
+    }
+
     /// Read access to the underlying Datalog database (for tests and
     /// inspection).
     pub fn database(&self) -> &Database {

@@ -682,3 +682,32 @@ fn lang_tags_and_langmatches() {
         .unwrap();
     assert_eq!(r.len(), 0);
 }
+
+#[test]
+fn facade_thread_plumbing_reaches_the_engine() {
+    // The same query through the façade with 1 and 4 worker threads:
+    // multiset-identical solutions, and the option survives on the engine.
+    let data = r#"@prefix ex: <http://e/> .
+        ex:a ex:p ex:b . ex:b ex:p ex:c . ex:c ex:p ex:a ."#;
+    let run = |threads: Option<usize>| {
+        let mut e = SparqLog::new();
+        e.set_threads(threads);
+        e.load_turtle(data).unwrap();
+        e.execute("PREFIX ex: <http://e/> SELECT ?x ?y WHERE { ?x ex:p+ ?y }")
+            .unwrap()
+    };
+    let seq = run(Some(1));
+    let par = run(Some(4));
+    let (QueryResult::Solutions(a), QueryResult::Solutions(b)) = (&seq, &par) else {
+        panic!("expected solutions");
+    };
+    assert_eq!(a.len(), 9, "3-cycle closure is all 9 pairs");
+    assert!(a.multiset_eq(b));
+
+    let mut e = SparqLog::new();
+    e.set_threads(Some(3));
+    assert_eq!(e.options().resolved_threads(), 3);
+    e.set_threads(None);
+    // Default resolution consults the env/machine — just ensure it is sane.
+    assert!(e.options().resolved_threads() >= 1);
+}

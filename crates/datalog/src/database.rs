@@ -4,14 +4,20 @@
 //! Tuples are flat runs of fixed-width [`TermId`]s in one contiguous
 //! buffer per relation — no per-tuple allocation, no pointer chasing in
 //! the join loop. Deduplication and index probes hash raw `u64`s.
-//! [`Const`]s cross the boundary only in [`Database::add_fact`] (encode,
-//! at load time) and in the evaluator's output collection (decode).
+//! [`Const`]s cross the boundary only in [`Database::add_fact`] /
+//! [`Database::load_rows`] (encode, at load time) and in the evaluator's
+//! output collection (decode).
+//!
+//! This module also hosts the batch types of the batched executor:
+//! [`ColumnBatch`] (columnar semi-naive deltas) and [`Staging`]
+//! (per-worker output buffers carrying precomputed row hashes, merged
+//! through [`Relation::insert_hashed`]).
 
 use std::hash::Hasher;
 use std::ops::Deref;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
-use crate::fxhash::{FxHashMap, FxHasher};
+use crate::fxhash::{FxHashMap, FxHasher, PrehashedMap};
 use crate::symbols::{Sym, SymbolTable};
 use crate::value::{Const, TermDict, TermId};
 
@@ -31,15 +37,50 @@ pub fn project(tuple: &[TermId], mask: Mask) -> Vec<TermId> {
     key
 }
 
-fn row_hash(row: &[TermId]) -> u64 {
+/// Finalizes an FxHash accumulator for use as a [`PrehashedMap`] key.
+/// FxHash's last step is a multiply, which leaves the low bits weakly
+/// mixed — and an identity-keyed table indexes buckets by exactly those
+/// bits. One xor-shift-multiply round (the SplitMix64 tail) fixes that
+/// for ~2 instructions.
+#[inline]
+fn mix(h: u64) -> u64 {
+    let h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// Hashes a full row of ids (the dedup key).
+#[inline]
+pub fn row_hash(row: &[TermId]) -> u64 {
     let mut h = FxHasher::default();
     for &id in row {
         h.write_u64(id.raw());
     }
-    h.finish()
+    mix(h.finish())
 }
 
-type Index = FxHashMap<Box<[TermId]>, Vec<u32>>;
+/// Hashes the key columns of `tuple` selected by `mask`, without
+/// materialising the projected key.
+#[inline]
+pub(crate) fn masked_hash(tuple: &[TermId], mask: Mask) -> u64 {
+    let mut h = FxHasher::default();
+    let mut m = mask;
+    while m != 0 {
+        let i = m.trailing_zeros() as usize;
+        h.write_u64(tuple[i].raw());
+        m &= m - 1;
+    }
+    mix(h.finish())
+}
+
+/// A hash index: 64-bit key hash → row indices whose key columns hash to
+/// it. Distinct keys colliding on the hash simply share a bucket; probes
+/// verify candidate rows against the actual key columns (the evaluator's
+/// `bind_atom` re-checks every bound position anyway), so collisions cost
+/// a wasted comparison, never a wrong result. Compared to boxed
+/// `[TermId]` keys this removes the per-distinct-key allocation and makes
+/// both build and probe a single integer hash — which the identity-keyed
+/// table then uses verbatim.
+pub(crate) type Index = PrehashedMap<Vec<u32>>;
 
 /// The result of an index probe: a borrowed id slice on the planned fast
 /// path, an owned copy when the lazily auto-built index served the miss.
@@ -62,6 +103,11 @@ impl Deref for Matches<'_> {
 /// A relation: a deduplicated, insertion-ordered set of fixed-arity
 /// encoded tuples with hash indexes built on demand per bound-position
 /// mask and maintained incrementally on insert.
+///
+/// These incrementally maintained per-mask indexes are the *build side*
+/// of the executor's hash joins: built once (when the planner first needs
+/// the mask) and then kept current on every insert, rather than rebuilt
+/// per semi-naive round. Probes drive from the delta batch.
 #[derive(Debug, Default)]
 pub struct Relation {
     /// Tuple width; fixed by the first insert.
@@ -73,14 +119,18 @@ pub struct Relation {
     /// Dedup: tuple hash → first tuple index with that hash. Hash
     /// collisions between *distinct* rows (vanishingly rare with 64-bit
     /// hashes) chain into `seen_overflow`; equality is always confirmed
-    /// against the actual rows. No per-tuple allocation.
-    seen: FxHashMap<u64, u32>,
-    seen_overflow: FxHashMap<u64, Vec<u32>>,
+    /// against the actual rows. No per-tuple allocation, and no
+    /// re-hashing: the precomputed row hash is the key.
+    seen: PrehashedMap<u32>,
+    seen_overflow: PrehashedMap<Vec<u32>>,
     /// Eager indexes, pre-built by the evaluator's planner.
     indexes: FxHashMap<Mask, Index>,
     /// Lazily auto-built indexes serving unplanned lookups (interior
-    /// mutability: [`Relation::lookup`] takes `&self`).
-    lazy: RwLock<FxHashMap<Mask, Index>>,
+    /// mutability: [`Relation::lookup`] takes `&self`). Each mask's index
+    /// sits behind its own `OnceLock` latch, so under concurrent readers
+    /// it is built exactly once — and *outside* the map lock, so a slow
+    /// build never blocks lookups on other masks.
+    lazy: RwLock<FxHashMap<Mask, Arc<OnceLock<Index>>>>,
 }
 
 impl Relation {
@@ -103,12 +153,43 @@ impl Relation {
         self.arity
     }
 
+    /// Pre-sizes the flat storage and dedup map for `additional` more
+    /// tuples of width `arity` (the bulk-load and merge fast path).
+    pub fn reserve(&mut self, additional: usize, arity: usize) {
+        if self.len == 0 && self.rows.is_empty() {
+            self.arity = arity;
+        }
+        self.rows.reserve(additional * arity);
+        // When the dedup table must grow at all, grow it ~8x rather than
+        // hashbrown's 2x while it is small: a fixpoint relation only ever
+        // grows, and the wider step cuts the entry-relocation traffic of
+        // repeated resizes to a fraction. Past ~1M entries the table's
+        // peak memory matters more than relocation constants, so fall
+        // back to ordinary doubling there.
+        if self.seen.capacity() - self.seen.len() < additional {
+            let aggressive = if self.seen.len() < (1 << 20) {
+                7 * self.seen.len()
+            } else {
+                0
+            };
+            self.seen.reserve(additional.max(aggressive));
+        }
+    }
+
     /// Inserts a tuple; returns `false` if it was already present.
     ///
     /// Panics if the arity differs from previously inserted tuples (a
     /// predicate's arity is fixed — mixed arities would be a programming
     /// error in the translator or a malformed program).
     pub fn insert(&mut self, tuple: &[TermId]) -> bool {
+        self.insert_hashed(tuple, row_hash(tuple))
+    }
+
+    /// [`Relation::insert`] with the row hash precomputed — the merge
+    /// path of the batched executor, whose staging buffers carry the hash
+    /// computed at emission time so it is never taken twice.
+    pub fn insert_hashed(&mut self, tuple: &[TermId], hash: u64) -> bool {
+        debug_assert_eq!(hash, row_hash(tuple));
         if self.len == 0 && self.rows.is_empty() {
             self.arity = tuple.len();
         } else {
@@ -119,7 +200,6 @@ impl Relation {
                 self.arity
             );
         }
-        let hash = row_hash(tuple);
         let idx = self.len as u32;
         match self.seen.entry(hash) {
             std::collections::hash_map::Entry::Vacant(e) => {
@@ -141,24 +221,100 @@ impl Relation {
         }
         self.rows.extend_from_slice(tuple);
         self.len += 1;
-        for (&mask, index) in self.indexes.iter_mut() {
-            index_add(index, tuple, mask, idx);
+        if !self.indexes.is_empty() {
+            for (&mask, index) in self.indexes.iter_mut() {
+                index_add(index, tuple, mask, idx);
+            }
         }
-        // `&mut self` means no other thread holds the lock — get_mut is
-        // lock-free. Lazily built indexes stay consistent across inserts.
+        // `&mut self` means no other thread is inside `lookup` — the map
+        // lock is uncontended and every latch is fully initialised or
+        // unobserved. Lazily built indexes stay consistent across inserts.
         let lazy = self.lazy.get_mut().unwrap();
-        for (&mask, index) in lazy.iter_mut() {
-            index_add(index, tuple, mask, idx);
+        if !lazy.is_empty() {
+            lazy.retain(|&mask, cell| match Arc::get_mut(cell) {
+                Some(once) => {
+                    if let Some(index) = once.get_mut() {
+                        index_add(index, tuple, mask, idx);
+                    }
+                    true
+                }
+                // An escaped latch handle (impossible today: `lookup`
+                // drops its clone before returning) — drop the entry; the
+                // index is rebuilt from scratch on the next probe rather
+                // than served stale.
+                None => false,
+            });
         }
         true
     }
 
+    /// Merges one staging buffer of emitted rows (with precomputed
+    /// hashes): every fresh row is inserted and appended to
+    /// `delta_batch`; duplicates are dropped. Returns the number of
+    /// fresh rows.
+    ///
+    /// This is [`Relation::insert_hashed`] with the loop-invariant work
+    /// hoisted: storage pre-sized once, and the index-maintenance checks
+    /// taken once per batch instead of once per row (the common merge
+    /// target — a freshly derived predicate — has no indexes to
+    /// maintain, so its loop is just the dedup probe plus appends).
+    pub fn merge_staged(&mut self, out: &Staging, delta_batch: &mut ColumnBatch) -> usize {
+        debug_assert!(out.arity > 0, "nullary merges are special-cased by the caller");
+        if self.len == 0 && self.rows.is_empty() {
+            self.arity = out.arity;
+        } else {
+            assert_eq!(
+                out.arity, self.arity,
+                "arity mismatch: relation holds {}-tuples",
+                self.arity
+            );
+        }
+        self.reserve(out.count, out.arity);
+        let plain =
+            self.indexes.is_empty() && self.lazy.get_mut().unwrap().is_empty();
+        let mut fresh = 0usize;
+        for (tuple, &hash) in out.ids.chunks_exact(out.arity).zip(&out.hashes) {
+            if plain {
+                let idx = self.len as u32;
+                match self.seen.entry(hash) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(idx);
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        if row_at(&self.rows, self.arity, *e.get()) == tuple {
+                            continue;
+                        }
+                        let chain = self.seen_overflow.entry(hash).or_default();
+                        if chain
+                            .iter()
+                            .any(|&i| row_at(&self.rows, self.arity, i) == tuple)
+                        {
+                            continue;
+                        }
+                        chain.push(idx);
+                    }
+                }
+                self.rows.extend_from_slice(tuple);
+                self.len += 1;
+            } else if !self.insert_hashed(tuple, hash) {
+                continue;
+            }
+            fresh += 1;
+            delta_batch.push_row(tuple);
+        }
+        fresh
+    }
+
     /// Membership check.
     pub fn contains(&self, tuple: &[TermId]) -> bool {
+        self.contains_hashed(tuple, row_hash(tuple))
+    }
+
+    /// [`Relation::contains`] with the row hash precomputed.
+    pub fn contains_hashed(&self, tuple: &[TermId], hash: u64) -> bool {
         if tuple.len() != self.arity {
             return false;
         }
-        let hash = row_hash(tuple);
         let Some(&first) = self.seen.get(&hash) else { return false };
         if row_at(&self.rows, self.arity, first) == tuple {
             return true;
@@ -186,11 +342,30 @@ impl Relation {
         if mask == 0 || self.indexes.contains_key(&mask) {
             return;
         }
-        if let Some(ready) = self.lazy.get_mut().unwrap().remove(&mask) {
-            self.indexes.insert(mask, ready);
-            return;
+        if let Some(cell) = self.lazy.get_mut().unwrap().remove(&mask) {
+            if let Some(ready) =
+                Arc::try_unwrap(cell).ok().and_then(OnceLock::into_inner)
+            {
+                self.indexes.insert(mask, ready);
+                return;
+            }
         }
         self.indexes.insert(mask, self.build_index(mask));
+    }
+
+    /// The eager index for `mask`, if built — the evaluator resolves this
+    /// once per rule pass and probes the raw buckets in its tight loops.
+    #[inline]
+    pub(crate) fn hash_index(&self, mask: Mask) -> Option<&Index> {
+        self.indexes.get(&mask)
+    }
+
+    /// Drops the eager index for `mask`. The evaluator sheds indexes that
+    /// only a stratum's one-shot naive pass probed, so the semi-naive
+    /// merge loop does not keep them current for nothing; a later
+    /// [`Relation::ensure_index`] (or lazy lookup) simply rebuilds.
+    pub fn drop_index(&mut self, mask: Mask) -> bool {
+        self.indexes.remove(&mask).is_some()
     }
 
     fn build_index(&self, mask: Mask) -> Index {
@@ -201,30 +376,93 @@ impl Relation {
         index
     }
 
-    /// Looks up tuple indices matching `key` under `mask`.
+    /// Looks up tuple indices whose `mask` columns equal `key`.
     ///
     /// The evaluator's planner pre-builds its indexes with
     /// [`Relation::ensure_index`], so its probes hit the borrowed fast
     /// path. A lookup on a mask that was never planned auto-builds the
-    /// index on first miss (memoised, maintained on insert) instead of
-    /// panicking; those probes return an owned copy of the matching ids.
+    /// index on first miss instead of panicking: concurrent readers race
+    /// to a per-mask `OnceLock`, exactly one builds, the rest block on
+    /// the latch and then probe; the built index is memoised and
+    /// maintained on subsequent inserts. Those probes return an owned
+    /// copy of the matching ids.
+    ///
+    /// Buckets are keyed by the 64-bit key hash; candidate rows are
+    /// verified against `key`, so the result is exact either way.
     pub fn lookup(&self, mask: Mask, key: &[TermId]) -> Matches<'_> {
         static EMPTY: Vec<u32> = Vec::new();
+        let hash = row_hash(key);
         if let Some(index) = self.indexes.get(&mask) {
-            return Matches::Borrowed(index.get(key).unwrap_or(&EMPTY));
+            let Some(bucket) = index.get(&hash) else {
+                return Matches::Borrowed(&EMPTY);
+            };
+            return self.verify_bucket(bucket, mask, key);
         }
         if self.len == 0 {
             return Matches::Borrowed(&EMPTY);
         }
-        {
+        let cell = {
             let lazy = self.lazy.read().unwrap();
-            if let Some(index) = lazy.get(&mask) {
-                return Matches::Owned(index.get(key).cloned().unwrap_or_default());
-            }
+            lazy.get(&mask).cloned()
+        };
+        let cell = cell.unwrap_or_else(|| {
+            self.lazy
+                .write()
+                .unwrap()
+                .entry(mask)
+                .or_default()
+                .clone()
+        });
+        // Build outside the map lock: one winner per mask, losers wait on
+        // the latch. Subsequent probes reuse the memoised index.
+        let index = cell.get_or_init(|| self.build_index(mask));
+        match index.get(&hash) {
+            Some(bucket) => Matches::Owned(
+                bucket
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.row_matches(i, mask, key))
+                    .collect(),
+            ),
+            None => Matches::Borrowed(&EMPTY),
         }
-        let mut w = self.lazy.write().unwrap();
-        let index = w.entry(mask).or_insert_with(|| self.build_index(mask));
-        Matches::Owned(index.get(key).cloned().unwrap_or_default())
+    }
+
+    /// Fast path: buckets almost always verify in full (a non-trivial
+    /// filter implies a 64-bit hash collision), so return the bucket
+    /// borrowed when every row matches.
+    fn verify_bucket<'a>(
+        &'a self,
+        bucket: &'a [u32],
+        mask: Mask,
+        key: &[TermId],
+    ) -> Matches<'a> {
+        if bucket.iter().all(|&i| self.row_matches(i, mask, key)) {
+            return Matches::Borrowed(bucket);
+        }
+        Matches::Owned(
+            bucket
+                .iter()
+                .copied()
+                .filter(|&i| self.row_matches(i, mask, key))
+                .collect(),
+        )
+    }
+
+    /// True if row `idx`'s `mask` columns equal `key` (in mask-bit order).
+    fn row_matches(&self, idx: u32, mask: Mask, key: &[TermId]) -> bool {
+        let row = self.row(idx);
+        let mut k = 0usize;
+        let mut m = mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            if row.get(i) != key.get(k) {
+                return false;
+            }
+            k += 1;
+            m &= m - 1;
+        }
+        k == key.len()
     }
 }
 
@@ -234,22 +472,82 @@ fn row_at(rows: &[TermId], arity: usize, idx: u32) -> &[TermId] {
     &rows[start..start + arity]
 }
 
-/// Adds a tuple to an index without allocating on the hot path: the
-/// projected key lives in a stack buffer and is boxed only when it is a
-/// new distinct key.
+/// Adds a tuple to an index: hash the key columns in place, push the row
+/// id into the bucket. No allocation beyond bucket growth.
 fn index_add(index: &mut Index, tuple: &[TermId], mask: Mask, idx: u32) {
-    let mut key = [TermId::NULL; 64];
-    let mut klen = 0usize;
-    for (i, &c) in tuple.iter().enumerate() {
-        if mask & (1 << i) != 0 {
-            key[klen] = c;
-            klen += 1;
-        }
+    index.entry(masked_hash(tuple, mask)).or_default().push(idx);
+}
+
+/// A columnar batch of fixed-arity encoded rows: one contiguous
+/// `Vec<TermId>` per column. The batched executor materialises each
+/// semi-naive delta as one of these — appending is column pushes, range
+/// partitioning across workers is index arithmetic, and per-column access
+/// in the probe loop is sequential.
+#[derive(Debug, Default, Clone)]
+pub struct ColumnBatch {
+    len: usize,
+    cols: Box<[Vec<TermId>]>,
+}
+
+impl ColumnBatch {
+    /// Creates an empty batch of the given width.
+    pub fn new(arity: usize) -> Self {
+        ColumnBatch { len: 0, cols: vec![Vec::new(); arity].into_boxed_slice() }
     }
-    if let Some(ids) = index.get_mut(&key[..klen]) {
-        ids.push(idx);
-    } else {
-        index.insert(key[..klen].into(), vec![idx]);
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The columns, each of length [`ColumnBatch::len`].
+    #[inline]
+    pub fn cols(&self) -> &[Vec<TermId>] {
+        &self.cols
+    }
+
+    /// Appends a row (given row-major).
+    pub fn push_row(&mut self, row: &[TermId]) {
+        debug_assert_eq!(row.len(), self.cols.len());
+        for (col, &id) in self.cols.iter_mut().zip(row) {
+            col.push(id);
+        }
+        self.len += 1;
+    }
+}
+
+/// A per-worker staging buffer: head rows emitted by one rule-evaluation
+/// job, as a flat id buffer plus the row hashes computed at emission time
+/// (reused by the sequential merge via [`Relation::insert_hashed`], so no
+/// row is ever hashed twice). `count` also covers nullary heads.
+#[derive(Debug, Default)]
+pub struct Staging {
+    /// Tuple width of the emitted rows.
+    pub arity: usize,
+    /// Number of emitted rows.
+    pub count: usize,
+    /// Flat row storage (`count * arity` ids).
+    pub ids: Vec<TermId>,
+    /// One precomputed [`row_hash`] per emitted row.
+    pub hashes: Vec<u64>,
+}
+
+impl Staging {
+    /// Drops all rows, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.hashes.clear();
+        self.count = 0;
     }
 }
 
@@ -302,6 +600,54 @@ impl Database {
     pub fn add_fact_str(&mut self, pred: &str, tuple: Vec<Const>) -> bool {
         let p = self.symbols.intern(pred);
         self.add_fact(p, tuple)
+    }
+
+    /// Bulk fact loading: encodes and inserts every row of `rows` into
+    /// `pred`'s relation, pre-sizing storage from the iterator's size
+    /// hint. Returns the number of *fresh* tuples. This is the fast path
+    /// the benches use so fixture loading measures the engine, not the
+    /// textual Datalog parser.
+    pub fn load_rows<I>(&mut self, pred: Sym, rows: I) -> usize
+    where
+        I: IntoIterator,
+        I::Item: AsRef<[Const]>,
+    {
+        let iter = rows.into_iter();
+        let remaining = iter.size_hint().0;
+        let rel = self.relations.entry(pred).or_default();
+        let mut scratch: Vec<TermId> = Vec::new();
+        let mut fresh = 0usize;
+        let mut reserved = false;
+        for row in iter {
+            let row = row.as_ref();
+            if !reserved {
+                rel.reserve(remaining.max(1), row.len());
+                reserved = true;
+            }
+            scratch.clear();
+            scratch.extend(row.iter().map(|c| self.dict.encode(c)));
+            if rel.insert(&scratch) {
+                fresh += 1;
+            }
+        }
+        fresh
+    }
+
+    /// Bulk loading of already-encoded rows (`nrows * arity` ids,
+    /// row-major). Returns the number of fresh tuples.
+    pub fn load_encoded_rows(
+        &mut self,
+        pred: Sym,
+        arity: usize,
+        ids: &[TermId],
+    ) -> usize {
+        assert!(
+            arity > 0 && ids.len().is_multiple_of(arity),
+            "load_encoded_rows: id buffer is not a whole number of {arity}-tuples"
+        );
+        let rel = self.relations.entry(pred).or_default();
+        rel.reserve(ids.len() / arity, arity);
+        ids.chunks_exact(arity).filter(|row| rel.insert(row)).count()
     }
 
     /// The relation for `pred`, if any facts exist.
@@ -452,6 +798,103 @@ mod tests {
         let rel = db.relation(p).unwrap();
         let row: Vec<TermId> = rel.iter().next().unwrap().to_vec();
         assert_eq!(db.decode_tuple(&row), tuple);
+    }
+
+    #[test]
+    fn concurrent_lazy_lookup_builds_once_and_agrees() {
+        // Regression test for the lazily auto-built index path: hammer an
+        // unindexed mask from many threads at once. The OnceLock latch
+        // must serve every thread the same (correct) answer, whichever
+        // thread wins the build race.
+        let dict = TermDict::new();
+        let mut r = Relation::new();
+        for i in 0..2_000i64 {
+            r.insert(&ids(&dict, &[i % 50, i]));
+        }
+        let r = std::sync::Arc::new(r);
+        let results: Vec<Vec<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|k| {
+                    let r = r.clone();
+                    let dict = dict.clone();
+                    s.spawn(move || {
+                        let mut counts = Vec::new();
+                        for probe in 0..50i64 {
+                            let key = ids(&dict, &[(probe + k) % 50]);
+                            counts.push(r.lookup(0b01, &key).len());
+                        }
+                        counts
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (k, counts) in results.iter().enumerate() {
+            for (probe, &n) in counts.iter().enumerate() {
+                assert_eq!(n, 40, "thread {k} probe {probe}: 2000/50 rows per key");
+            }
+        }
+    }
+
+    #[test]
+    fn load_rows_bulk_path_matches_add_fact() {
+        let mut a = Database::new();
+        let mut b = Database::with_symbols(a.symbols().clone());
+        let rows: Vec<Vec<Const>> = (0..100)
+            .map(|i| vec![Const::Int(i % 30), Const::Int(i)])
+            .collect();
+        for row in &rows {
+            a.add_fact_str("p", row.clone());
+        }
+        let p = b.symbols().intern("p");
+        let fresh = b.load_rows(p, &rows);
+        assert_eq!(fresh, 100);
+        assert_eq!(b.load_rows(p, &rows), 0, "reload is a no-op");
+        let (ra, rb) = (a.relation(p).unwrap(), b.relation(p).unwrap());
+        assert_eq!(ra.len(), rb.len());
+        let decode = |db: &Database, r: &Relation| -> Vec<Vec<Const>> {
+            r.iter().map(|t| db.decode_tuple(t)).collect()
+        };
+        assert_eq!(decode(&a, ra), decode(&b, rb));
+    }
+
+    #[test]
+    fn load_encoded_rows_bulk_path() {
+        let mut db = Database::new();
+        let p = db.symbols().intern("p");
+        let flat: Vec<TermId> = (0..20)
+            .map(|i| db.dict().encode(&Const::Int(i % 7)))
+            .collect();
+        assert_eq!(db.load_encoded_rows(p, 2, &flat), 7, "pairs repeat mod 7");
+        assert_eq!(db.relation(p).unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn column_batch_roundtrip() {
+        let dict = TermDict::new();
+        let mut b = ColumnBatch::new(3);
+        assert!(b.is_empty());
+        let rows = [ids(&dict, &[1, 2, 3]), ids(&dict, &[4, 5, 6])];
+        for r in &rows {
+            b.push_row(r);
+        }
+        assert_eq!((b.len(), b.arity()), (2, 3));
+        let row1: Vec<TermId> = b.cols().iter().map(|c| c[1]).collect();
+        assert_eq!(row1, rows[1]);
+        assert_eq!(b.cols()[2], vec![rows[0][2], rows[1][2]]);
+    }
+
+    #[test]
+    fn insert_hashed_and_contains_hashed_agree_with_plain() {
+        let dict = TermDict::new();
+        let mut r = Relation::new();
+        let t1 = ids(&dict, &[7, 8]);
+        let h1 = row_hash(&t1);
+        assert!(r.insert_hashed(&t1, h1));
+        assert!(!r.insert_hashed(&t1, h1));
+        assert!(r.contains_hashed(&t1, h1));
+        assert!(r.contains(&t1));
+        assert!(!r.contains_hashed(&ids(&dict, &[8, 7]), row_hash(&ids(&dict, &[8, 7]))));
     }
 
     #[test]

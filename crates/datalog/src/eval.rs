@@ -1,5 +1,5 @@
 //! The evaluation engine: stratified, semi-naive, bottom-up fixpoint with
-//! index-nested-loop joins.
+//! batched hash joins and optional multi-threaded rule/delta evaluation.
 //!
 //! This is the workspace's stand-in for the Vadalog system's reasoner. Per
 //! stratum the engine runs
@@ -11,6 +11,33 @@
 //!    delta. Deduplication against the full relation guarantees
 //!    termination on the set level; bag semantics lives entirely in the
 //!    Skolem tuple-ID argument, as in the paper (§5.1).
+//!
+//! **Batched execution.** Each round's delta is a columnar
+//! [`ColumnBatch`] over the flat `TermId` rows, and each (rule, delta
+//! occurrence) pass is a *job* that scans its batch partition in a tight
+//! loop, probing the relations' u64-keyed hash indexes (the hash-join
+//! build side, built once by the planner and maintained incrementally on
+//! insert — never rebuilt per round). Jobs emit head rows into
+//! per-worker [`Staging`] buffers carrying precomputed row hashes;
+//! afterwards a sequential merge pushes them through the relation's dedup
+//! map in deterministic job order, which doubles as the semi-naive delta
+//! filter.
+//!
+//! **Parallelism.** All rules of a pass — and range partitions of large
+//! deltas — evaluate concurrently on a pool of scoped threads
+//! (`std::thread::scope`, zero dependencies) against the *frozen*
+//! snapshot of the database; the stratification's read/write sets prove
+//! the jobs independent ([`crate::stratify::Stratification::pass_is_independent`]).
+//! The thread count comes from [`EvalOptions::threads`], the
+//! `SPARQLOG_THREADS` env var, or `available_parallelism`, in that
+//! order; `1` selects the deterministic in-line path (no pool, no
+//! locks). Because merges are sequential and ordered, a fixed
+//! configuration always derives the same facts in the same insertion
+//! order, and different thread counts produce the same fact *sets*
+//! (insertion order may differ). Raw Skolem `TermId`s are the one
+//! non-deterministic detail under parallelism — concurrent workers
+//! intern them in scheduling order — so encoded state is not
+//! byte-identical across runs; decoded results are.
 //!
 //! The entire fixpoint runs on dictionary-encoded tuples: atom constants
 //! are encoded once at plan-compile time, join keys and environments are
@@ -28,9 +55,12 @@
 //! the configurable Skolem-depth bound (the substitute for Vadalog's
 //! warded-chase termination strategy) is an O(1) check.
 
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::database::{Database, Mask};
+use crate::database::{
+    row_hash, ColumnBatch, Database, Index, Mask, Relation, Staging,
+};
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::rule::{AggFunc, AtomArg, BodyItem, PostOp, Program, Rule, VarId};
 use crate::stratify::{stratify, StratifyError};
@@ -54,6 +84,11 @@ pub struct EvalOptions {
     /// then greedily by bound positions). On by default; the ablation
     /// bench (`cargo bench --bench ablation`) measures its effect.
     pub semi_naive_reorder: bool,
+    /// Worker threads for rule/delta evaluation. `None` (the default)
+    /// defers to the `SPARQLOG_THREADS` env var, then to
+    /// `std::thread::available_parallelism()`. `Some(1)` forces the
+    /// deterministic single-threaded path.
+    pub threads: Option<usize>,
 }
 
 impl Default for EvalOptions {
@@ -63,7 +98,24 @@ impl Default for EvalOptions {
             max_rounds: usize::MAX,
             max_skolem_depth: 64,
             semi_naive_reorder: true,
+            threads: None,
         }
+    }
+}
+
+impl EvalOptions {
+    /// The effective worker count: explicit option, else the
+    /// `SPARQLOG_THREADS` env var, else the machine's available
+    /// parallelism (min 1).
+    pub fn resolved_threads(&self) -> usize {
+        self.threads
+            .or_else(|| {
+                std::env::var("SPARQLOG_THREADS").ok().and_then(|v| v.parse().ok())
+            })
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            })
+            .max(1)
     }
 }
 
@@ -113,11 +165,222 @@ impl From<StratifyError> for EvalError {
     }
 }
 
+// ------------------------------------------------------------ worker pool
+
+/// A raw pointer to the current pass's job closure. Only ever dereferenced
+/// between `Pool::run` publishing it and `Pool::run` observing all jobs
+/// complete, during which the closure is alive on the caller's stack.
+struct TaskRef(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the referent is `Sync` (shared-access safe) and `Pool::run`
+// bounds its lifetime as described above.
+unsafe impl Send for TaskRef {}
+
+#[derive(Default)]
+struct PoolState {
+    /// The published job closure of the active pass, if any.
+    task: Option<TaskRef>,
+    /// Number of jobs in the active pass.
+    njobs: usize,
+    /// Next unclaimed job index.
+    next: usize,
+    /// Jobs not yet completed.
+    pending: usize,
+    shutdown: bool,
+}
+
+/// A pool of persistent scoped worker threads. Workers park on a condvar
+/// between passes; each pass publishes a job-count and a closure, every
+/// thread (the caller included) claims job indices from a shared counter,
+/// and `run` returns once all jobs completed. One pool lives for the
+/// duration of one `evaluate` call — rounds reuse the threads instead of
+/// respawning them.
+struct Pool {
+    threads: usize,
+    state: Mutex<PoolState>,
+    work: Condvar,
+    done: Condvar,
+}
+
+/// Decrements `pending` when dropped, so a panicking job cannot leave
+/// `Pool::run` waiting forever (the panic itself propagates through
+/// `std::thread::scope`).
+struct PendingGuard<'a>(&'a Pool);
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        let mut g = self.0.state.lock().unwrap();
+        g.pending -= 1;
+        if g.pending == 0 {
+            self.0.done.notify_all();
+        }
+    }
+}
+
+impl Pool {
+    fn new(threads: usize) -> Pool {
+        Pool {
+            threads,
+            state: Mutex::new(PoolState::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Runs `f(0..njobs)` across the pool (and the calling thread),
+    /// returning when every job has completed.
+    fn run(&self, njobs: usize, f: &(dyn Fn(usize) + Sync)) {
+        if njobs == 0 {
+            return;
+        }
+        // SAFETY: erase the closure's stack lifetime to store it in the
+        // shared cell. `run` does not return until `pending == 0`, i.e.
+        // until no worker can still hold (or claim a job against) the
+        // pointer, and clears the cell before returning.
+        let erased: *const (dyn Fn(usize) + Sync + 'static) = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f as *const _)
+        };
+        {
+            let mut g = self.state.lock().unwrap();
+            g.task = Some(TaskRef(erased));
+            g.njobs = njobs;
+            g.next = 0;
+            g.pending = njobs;
+            self.work.notify_all();
+        }
+        // The caller claims jobs like any worker.
+        loop {
+            let j = {
+                let mut g = self.state.lock().unwrap();
+                if g.next < g.njobs {
+                    g.next += 1;
+                    Some(g.next - 1)
+                } else {
+                    None
+                }
+            };
+            match j {
+                Some(j) => {
+                    let _guard = PendingGuard(self);
+                    f(j);
+                }
+                None => break,
+            }
+        }
+        let mut g = self.state.lock().unwrap();
+        while g.pending > 0 {
+            g = self.done.wait(g).unwrap();
+        }
+        g.task = None;
+        g.njobs = 0;
+        g.next = 0;
+    }
+
+    /// The worker thread body.
+    fn worker(&self) {
+        loop {
+            let (task, j) = {
+                let mut g = self.state.lock().unwrap();
+                loop {
+                    if g.shutdown {
+                        return;
+                    }
+                    if g.next < g.njobs {
+                        break;
+                    }
+                    g = self.work.wait(g).unwrap();
+                }
+                let j = g.next;
+                g.next += 1;
+                (g.task.as_ref().expect("jobs imply a task").0, j)
+            };
+            let _guard = PendingGuard(self);
+            // SAFETY: `j` was claimed while the task was published, so
+            // `Pool::run` cannot return (and the closure cannot die)
+            // until our guard decrements `pending`.
+            unsafe { (*task)(j) };
+        }
+    }
+
+    fn shutdown(&self) {
+        let mut g = self.state.lock().unwrap();
+        g.shutdown = true;
+        self.work.notify_all();
+    }
+}
+
 /// Evaluates `program` against `db` to fixpoint, mutating `db` in place.
+///
+/// With an effective thread count above one ([`EvalOptions::threads`] /
+/// `SPARQLOG_THREADS` / available parallelism) the semi-naive passes run
+/// on a scoped worker pool; otherwise everything stays on the calling
+/// thread. Both paths produce the same set of facts.
 pub fn evaluate(
     program: &Program,
     db: &mut Database,
     options: &EvalOptions,
+) -> Result<EvalStats, EvalError> {
+    let threads = options.resolved_threads();
+    if threads <= 1 {
+        return evaluate_inner(program, db, options, None);
+    }
+    let pool = Pool::new(threads);
+    std::thread::scope(|s| {
+        let handle = PoolHandle {
+            pool: &pool,
+            scope: s,
+            spawned: std::cell::Cell::new(false),
+        };
+        let result = evaluate_inner(program, db, options, Some(&handle));
+        pool.shutdown();
+        result
+    })
+}
+
+/// Lazily spawns the worker threads on the first genuinely parallel pass,
+/// so evaluations whose passes are all single-job (point queries, tiny
+/// programs) never pay thread spawn/teardown even at a high configured
+/// thread count.
+struct PoolHandle<'scope, 'env> {
+    pool: &'env Pool,
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    spawned: std::cell::Cell<bool>,
+}
+
+impl PoolHandle<'_, '_> {
+    fn threads(&self) -> usize {
+        self.pool.threads
+    }
+
+    fn run(&self, njobs: usize, f: &(dyn Fn(usize) + Sync)) {
+        if !self.spawned.get() {
+            self.spawned.set(true);
+            let p = self.pool;
+            for _ in 1..p.threads {
+                self.scope.spawn(move || p.worker());
+            }
+        }
+        self.pool.run(njobs, f);
+    }
+}
+
+/// One evaluation job of a pass: a rule plan applied to (a partition of)
+/// a delta batch, or a full naive pass of the rule.
+struct Job<'a> {
+    plan: &'a RulePlan,
+    rule: &'a Rule,
+    /// `(body item, batch, row range)` — the delta restriction, if any.
+    delta: Option<(usize, &'a ColumnBatch, usize, usize)>,
+}
+
+fn evaluate_inner(
+    program: &Program,
+    db: &mut Database,
+    options: &EvalOptions,
+    pool: Option<&PoolHandle<'_, '_>>,
 ) -> Result<EvalStats, EvalError> {
     let start = Instant::now();
     let symbols = db.symbols().clone();
@@ -143,17 +406,23 @@ pub fn evaluate(
         .map(|(i, r)| compile_rule(i, r, &symbols, &dict, None))
         .collect::<Result<_, _>>()?;
 
+    // `SPARQLOG_TRACE=1` prints per-rule evaluation progress to stderr —
+    // the engine's answer to Vadalog's provenance/debugging output
+    // (Appendix C: "information for debugging/explanation purposes").
+    // `=2` additionally reports join ticks. Read once, not per rule pass.
+    let trace: u8 = std::env::var("SPARQLOG_TRACE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+
     let ctx = Ctx {
         symbols: &symbols,
         dict: &dict,
         start,
         timeout: options.timeout,
         max_skolem_depth: options.max_skolem_depth,
+        trace,
     };
-    // `SPARQLOG_TRACE=1` prints per-rule evaluation progress to stderr —
-    // the engine's answer to Vadalog's provenance/debugging output
-    // (Appendix C: "information for debugging/explanation purposes").
-    let trace = std::env::var("SPARQLOG_TRACE").is_ok_and(|v| v == "1");
 
     let mut stats = EvalStats {
         derived,
@@ -161,39 +430,43 @@ pub fn evaluate(
         strata: strat.strata.len(),
         elapsed: Duration::ZERO,
     };
+    // Recycled per-job staging buffers (see `run_pass`).
+    let mut spare: Vec<Staging> = Vec::new();
 
     for stratum_rules in &strat.strata {
-        // Predicates defined in this stratum (for semi-naive deltas).
-        let stratum_preds: FxHashSet<Sym> = stratum_rules
-            .iter()
-            .map(|&i| program.rules[i].head.pred)
-            .collect();
+        // Predicates defined in this stratum (their deltas drive the
+        // semi-naive rounds) — the stratum's write set.
+        let stratum_preds: FxHashSet<Sym> =
+            strat.stratum_writes(stratum_rules).into_iter().collect();
+        debug_assert!(
+            strat.pass_is_independent(stratum_rules, program),
+            "stratifier emitted a stratum whose rules are not snapshot-independent"
+        );
 
         // Delta-first plan variants for the semi-naive rounds: one per
         // body occurrence of a this-stratum predicate.
         let mut delta_plans: FxHashMap<(usize, usize), RulePlan> = FxHashMap::default();
         for &ri in stratum_rules {
-            for (item_idx, item) in program.rules[ri].body.iter().enumerate() {
-                if let BodyItem::Pos(a) = item {
-                    if stratum_preds.contains(&a.pred) {
-                        let delta_first =
-                            options.semi_naive_reorder.then_some(item_idx);
-                        delta_plans.insert(
-                            (ri, item_idx),
-                            compile_rule(
-                                ri,
-                                &program.rules[ri],
-                                &symbols,
-                                &dict,
-                                delta_first,
-                            )?,
-                        );
-                    }
-                }
+            for item_idx in program.rules[ri]
+                .positive_occurrences_of(&stratum_preds)
+            {
+                let delta_first = options.semi_naive_reorder.then_some(item_idx);
+                delta_plans.insert(
+                    (ri, item_idx),
+                    compile_rule(
+                        ri,
+                        &program.rules[ri],
+                        &symbols,
+                        &dict,
+                        delta_first,
+                    )?,
+                );
             }
         }
 
-        // Make sure every index the plans need exists.
+        // Make sure every index the plans need exists — the hash-join
+        // build sides. Built once here; maintained incrementally by every
+        // merge, so rounds never rebuild them.
         for &ri in stratum_rules {
             for need in &plans[ri].index_needs {
                 db.relation_mut(need.0).ensure_index(need.1);
@@ -211,30 +484,63 @@ pub fn evaluate(
             .partition(|&&i| program.rules[i].aggregate.is_some());
 
         // --- naive first pass ---
-        // Derived tuples are inserted into the database as soon as a
-        // rule's pass completes: the relation's own dedup doubles as the
-        // delta filter (one hash probe per derivation instead of a
-        // contains-check plus a side set plus a re-inserting commit).
-        // Inserting mid-round only lets later passes of the same round
-        // see *more* tuples, which a monotone fixpoint is insensitive to.
-        let mut out = FlatTuples::default();
-        let mut delta: FxHashMap<Sym, Vec<Vec<TermId>>> = FxHashMap::default();
-        for &ri in &plain_rules {
-            if trace {
-                eprintln!("[eval] naive rule {ri}: {}", program.rules[ri].display(&symbols));
+        // All rules evaluate against the same snapshot (concurrently when
+        // a pool is available); the sequential merge afterwards both
+        // dedups and records the fresh tuples as the first delta. A rule
+        // whose derivations another rule of this pass would consume still
+        // converges: those tuples are in the delta, so round 1's
+        // delta-restricted variants see them.
+        let mut delta: FxHashMap<Sym, ColumnBatch> = FxHashMap::default();
+        {
+            let jobs: Vec<Job<'_>> = plain_rules
+                .iter()
+                .map(|&ri| Job {
+                    plan: &plans[ri],
+                    rule: &program.rules[ri],
+                    delta: None,
+                })
+                .collect();
+            if trace >= 1 {
+                for &ri in &plain_rules {
+                    eprintln!(
+                        "[eval] naive rule {ri}: {}",
+                        program.rules[ri].display(&symbols)
+                    );
+                }
             }
-            out.clear();
-            eval_rule(&plans[ri], &program.rules[ri], db, None, &ctx, &mut out)?;
-            if trace {
-                eprintln!("[eval]   -> {} tuples ({:?})", out.count, start.elapsed());
+            let outs = run_pass(&jobs, db, &ctx, pool, &mut spare);
+            merge_pass(db, &jobs, outs, &mut delta, &mut stats.derived, &ctx, &mut spare)?;
+        }
+
+        // Shed indexes on this stratum's *written* relations that only
+        // the one-shot naive pass probed (the classic case: the naive
+        // plan of `tc(X,Z) :- edge(X,Y), tc(Y,Z)` probes tc by Y, but
+        // every delta round drives from the tc batch and probes only
+        // edge). Without this, every merge insert would keep them
+        // current for nothing. Relations not written here pay no
+        // maintenance, so their indexes stay for later queries.
+        {
+            let keep: FxHashSet<(Sym, Mask)> = delta_plans
+                .values()
+                .flat_map(|p| p.index_needs.iter().copied())
+                .chain(
+                    agg_rules
+                        .iter()
+                        .flat_map(|&ri| plans[ri].index_needs.iter().copied()),
+                )
+                .collect();
+            for &ri in &plain_rules {
+                for &(pred, mask) in &plans[ri].index_needs {
+                    if stratum_preds.contains(&pred) && !keep.contains(&(pred, mask)) {
+                        db.relation_mut(pred).drop_index(mask);
+                    }
+                }
             }
-            let pred = program.rules[ri].head.pred;
-            insert_emitted(db, pred, &out, &mut delta, &mut stats.derived);
         }
 
         // --- semi-naive rounds ---
         let mut rounds = 0usize;
-        while delta.values().any(|v| !v.is_empty()) {
+        while delta.values().any(|b| !b.is_empty()) {
             rounds += 1;
             stats.rounds += 1;
             if rounds > options.max_rounds {
@@ -242,34 +548,57 @@ pub fn evaluate(
             }
             ctx.check_time()?;
 
-            let mut next: FxHashMap<Sym, Vec<Vec<TermId>>> = FxHashMap::default();
+            let mut jobs: Vec<Job<'_>> = Vec::new();
             for &ri in &plain_rules {
                 let rule = &program.rules[ri];
-                // One variant per body occurrence of a this-stratum pred.
+                // One variant per body occurrence of a this-stratum pred,
+                // range-partitioned across the pool's workers when the
+                // batch is large enough to split.
                 for (item_idx, item) in rule.body.iter().enumerate() {
                     let atom_pred = match item {
                         BodyItem::Pos(a) if stratum_preds.contains(&a.pred) => a.pred,
                         _ => continue,
                     };
-                    let Some(dt) = delta.get(&atom_pred) else { continue };
-                    if dt.is_empty() {
+                    let Some(batch) = delta.get(&atom_pred) else { continue };
+                    if batch.is_empty() {
                         continue;
                     }
                     let plan = &delta_plans[&(ri, item_idx)];
-                    let rule_start = Instant::now();
-                    out.clear();
-                    eval_rule(plan, rule, db, Some((item_idx, dt)), &ctx, &mut out)?;
-                    if trace {
-                        eprintln!(
-                            "[eval] round {rounds} rule {ri} delta-on-{item_idx}                              (|delta|={}) -> {} tuples in {:?}",
-                            dt.len(),
-                            out.count,
-                            rule_start.elapsed()
-                        );
+                    // Partition only batches with enough rows to amortise
+                    // a job's fixed cost (staging buffer, plan
+                    // resolution, pool dispatch); long-tail rounds with
+                    // shrinking deltas stay one job each.
+                    let parts = match pool {
+                        Some(p) => p
+                            .threads()
+                            .min((batch.len() / MIN_PARTITION_ROWS).max(1)),
+                        None => 1,
+                    };
+                    let len = batch.len();
+                    for c in 0..parts {
+                        let (lo, hi) = (c * len / parts, (c + 1) * len / parts);
+                        if lo < hi {
+                            jobs.push(Job {
+                                plan,
+                                rule,
+                                delta: Some((item_idx, batch, lo, hi)),
+                            });
+                        }
                     }
-                    insert_emitted(db, rule.head.pred, &out, &mut next, &mut stats.derived);
                 }
             }
+            if jobs.is_empty() {
+                // A delta no rule consumes (e.g. a predicate only read by
+                // later strata) ends the fixpoint.
+                break;
+            }
+            let outs = run_pass(&jobs, db, &ctx, pool, &mut spare);
+            let mut next: FxHashMap<Sym, ColumnBatch> = FxHashMap::default();
+            if trace >= 1 {
+                eprintln!("[eval] round {rounds}: {} jobs", jobs.len());
+            }
+            merge_pass(db, &jobs, outs, &mut next, &mut stats.derived, &ctx, &mut spare)?;
+            drop(jobs);
             delta = next;
         }
 
@@ -292,47 +621,101 @@ pub fn evaluate(
     Ok(stats)
 }
 
-/// Emitted head tuples of one rule pass: a flat id buffer (one
-/// allocation amortised across all emissions, not one `Vec` each) plus
-/// the emission count — which also covers nullary heads.
-#[derive(Default)]
-struct FlatTuples {
-    ids: Vec<TermId>,
-    arity: usize,
-    count: usize,
-}
-
-impl FlatTuples {
-    fn clear(&mut self) {
-        self.ids.clear();
-        self.count = 0;
+/// Runs one pass's jobs — on the pool when available (each worker filling
+/// its own staging buffer against the frozen database snapshot), inline
+/// otherwise — and returns the per-job outcomes in job order.
+fn run_pass(
+    jobs: &[Job<'_>],
+    db: &Database,
+    ctx: &Ctx<'_>,
+    pool: Option<&PoolHandle<'_, '_>>,
+    spare: &mut Vec<Staging>,
+) -> Vec<Result<Staging, EvalError>> {
+    // Pre-filtering against the snapshot only pays when several workers
+    // would otherwise funnel duplicate candidates into the sequential
+    // merge; the single-threaded path lets the merge's own dedup probe do
+    // that work (same probe count).
+    let prefilter = pool.is_some();
+    // Staging buffers are recycled across passes (via `spare`), so a
+    // long fixpoint reuses a handful of allocations instead of growing a
+    // fresh buffer every round.
+    let slots: Vec<Mutex<Result<Staging, EvalError>>> = jobs
+        .iter()
+        .map(|_| {
+            let mut s = spare.pop().unwrap_or_default();
+            s.clear();
+            Mutex::new(Ok(s))
+        })
+        .collect();
+    let run_job = |j: usize| {
+        let job = &jobs[j];
+        let dedup_against = if prefilter {
+            db.relation(job.rule.head.pred)
+        } else {
+            None
+        };
+        let mut guard = slots[j].lock().unwrap();
+        if let Ok(out) = guard.as_mut() {
+            if let Err(e) =
+                eval_rule(job.plan, job.rule, db, job.delta, ctx, dedup_against, out)
+            {
+                *guard = Err(e);
+            }
+        }
+    };
+    match pool {
+        Some(p) if jobs.len() > 1 => p.run(jobs.len(), &run_job),
+        _ => {
+            for j in 0..jobs.len() {
+                run_job(j);
+            }
+        }
     }
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap())
+        .collect()
 }
 
-/// Inserts a pass's emitted tuples; fresh ones are recorded in `delta`.
-fn insert_emitted(
+/// Merges a pass's staged outputs into the database in deterministic job
+/// order; fresh tuples are appended to `delta`'s columnar batches. The
+/// relation's dedup map is the only per-tuple hash probe (the staging
+/// buffers carry each row's hash precomputed).
+fn merge_pass(
     db: &mut Database,
-    pred: Sym,
-    out: &FlatTuples,
-    delta: &mut FxHashMap<Sym, Vec<Vec<TermId>>>,
+    jobs: &[Job<'_>],
+    outs: Vec<Result<Staging, EvalError>>,
+    delta: &mut FxHashMap<Sym, ColumnBatch>,
     derived: &mut usize,
-) {
-    if out.count == 0 {
-        return;
-    }
-    if out.arity == 0 {
-        if db.add_fact_ids(pred, &[]) {
-            *derived += 1;
-            delta.entry(pred).or_default().push(Vec::new());
+    ctx: &Ctx<'_>,
+    spare: &mut Vec<Staging>,
+) -> Result<(), EvalError> {
+    for (job, out) in jobs.iter().zip(outs) {
+        let mut out = out?;
+        if ctx.trace >= 1 {
+            eprintln!("[eval]   merge {}: {} tuples", job.rule.display(ctx.symbols), out.count);
         }
-        return;
-    }
-    for tuple in out.ids.chunks_exact(out.arity) {
-        if db.add_fact_ids(pred, tuple) {
-            *derived += 1;
-            delta.entry(pred).or_default().push(tuple.to_vec());
+        let pred = job.rule.head.pred;
+        if out.count == 0 {
+            // fall through to recycling
+        } else if out.arity == 0 {
+            if db.add_fact_ids(pred, &[]) {
+                *derived += 1;
+                delta.entry(pred).or_insert_with(|| ColumnBatch::new(0)).push_row(&[]);
+            }
+        } else {
+            // Resolve the relation and the delta batch once per job —
+            // the head predicate is fixed — then run the relation's
+            // batch merge.
+            let batch = delta
+                .entry(pred)
+                .or_insert_with(|| ColumnBatch::new(out.arity));
+            *derived += db.relation_mut(pred).merge_staged(&out, batch);
         }
+        out.clear();
+        spare.push(out);
     }
+    Ok(())
 }
 
 /// Applies a predicate's `@post` directives and returns the final tuples,
@@ -664,12 +1047,19 @@ fn delta_order(rule: &Rule, delta_item: usize) -> Vec<usize> {
 /// most 64 columns (the [`Mask`] width), so no heap fallback is needed.
 const MAX_COLS: usize = 64;
 
+/// Minimum delta rows per partition job: batches smaller than this are
+/// not worth a second worker's fixed cost (staging buffer, plan
+/// resolution, pool dispatch).
+const MIN_PARTITION_ROWS: usize = 512;
+
 struct Ctx<'a> {
     symbols: &'a SymbolTable,
     dict: &'a TermDict,
     start: Instant,
     timeout: Option<Duration>,
     max_skolem_depth: usize,
+    /// `SPARQLOG_TRACE` level (0 = off), read once per evaluation.
+    trace: u8,
 }
 
 impl Ctx<'_> {
@@ -683,30 +1073,152 @@ impl Ctx<'_> {
     }
 }
 
-/// Evaluates a rule, appending instantiated head tuples to `out`.
-/// `delta` optionally restricts one body occurrence to a tuple list.
+/// A scan step's relation and hash index, resolved once per rule pass so
+/// the probe loop never re-hashes the `(pred, mask)` pair per tuple.
+#[derive(Clone, Copy, Default)]
+struct ResolvedScan<'d> {
+    rel: Option<&'d Relation>,
+    index: Option<&'d Index>,
+}
+
+/// Resolves every scan step of `plan` against the current snapshot.
+fn resolve_scans<'d>(plan: &RulePlan, db: &'d Database) -> Vec<ResolvedScan<'d>> {
+    plan.steps
+        .iter()
+        .map(|step| match step {
+            Step::Scan { pred, mask, .. } => {
+                let rel = db.relation(*pred);
+                ResolvedScan {
+                    rel,
+                    index: rel.and_then(|r| {
+                        (*mask != 0).then(|| r.hash_index(*mask)).flatten()
+                    }),
+                }
+            }
+            _ => ResolvedScan::default(),
+        })
+        .collect()
+}
+
+/// Evaluates a rule, appending instantiated head rows (and their hashes)
+/// to the staging buffer. `delta` optionally restricts one body
+/// occurrence to a row range of a columnar batch; `dedup_against` drops
+/// rows already present in the head's snapshot at emission time (the
+/// parallel pre-filter).
 fn eval_rule(
     plan: &RulePlan,
     rule: &Rule,
     db: &Database,
-    delta: Option<(usize, &[Vec<TermId>])>,
+    delta: Option<(usize, &ColumnBatch, usize, usize)>,
     ctx: &Ctx<'_>,
-    out: &mut FlatTuples,
+    dedup_against: Option<&Relation>,
+    out: &mut Staging,
 ) -> Result<(), EvalError> {
     out.arity = plan.enc_head.args.len();
+    let resolved = resolve_scans(plan, db);
+    if let Some(d) = delta {
+        // The workhorse shape of recursive rules — delta scan followed by
+        // exactly one indexed probe (`tc(X,Z) :- Δtc(Y,Z), edge(X,Y)`) —
+        // runs as a fused, non-recursive loop.
+        if let Some(r) = eval_delta_probe(plan, rule, &resolved, d, ctx, dedup_against, out)
+        {
+            return r;
+        }
+    }
     let mut env: Vec<Option<TermId>> = vec![None; plan.nvars];
     let mut ticks = 0u64;
     let r = join(
-        plan, rule, db, delta, ctx, 0, &mut env, &mut ticks,
-        &mut |env, ctx| {
-            instantiate_head(plan, rule, env, ctx, out);
+        plan, &resolved, rule, db, delta, ctx, 0, &mut env, &mut ticks,
+        &mut |env: &[Option<TermId>], ctx: &Ctx<'_>| {
+            instantiate_head(plan, rule, env, ctx, dedup_against, out);
             Ok(())
         },
     );
-    if std::env::var("SPARQLOG_TRACE").is_ok_and(|v| v == "2") {
+    if ctx.trace >= 2 {
         eprintln!("[eval]   join ticks: {ticks}");
     }
     r
+}
+
+/// The fused fast path for two-step delta plans: a tight loop over the
+/// batch partition, one hash probe per row, head emission inline — no
+/// recursion, no per-level dispatch. Returns `None` (fall back to the
+/// general join) unless the plan is exactly `[Scan(delta),
+/// Scan(indexed)]`: any filter, negation, assignment, further atom or a
+/// missing index takes the general path.
+fn eval_delta_probe(
+    plan: &RulePlan,
+    rule: &Rule,
+    resolved: &[ResolvedScan<'_>],
+    (di, batch, lo, hi): (usize, &ColumnBatch, usize, usize),
+    ctx: &Ctx<'_>,
+    dedup_against: Option<&Relation>,
+    out: &mut Staging,
+) -> Option<Result<(), EvalError>> {
+    let [Step::Scan { item_idx: i0, .. }, Step::Scan { item_idx: i1, mask, .. }] =
+        &plan.steps[..]
+    else {
+        return None;
+    };
+    let (i0, i1, mask) = (*i0, *i1, *mask);
+    if i0 != di || i1 == di || mask == 0 {
+        return None;
+    }
+    let atom0 = plan.enc_atoms[i0].as_ref().expect("scan step on positive item");
+    let atom1 = plan.enc_atoms[i1].as_ref().expect("scan step on positive item");
+    let (rel, index) = (resolved[1].rel?, resolved[1].index?);
+    let mut env: Vec<Option<TermId>> = vec![None; plan.nvars];
+    let mut ticks = 0u64;
+    for r in lo..hi {
+        ticks += 1;
+        if ticks & 0xFFF == 0 {
+            if let Err(e) = ctx.check_time() {
+                return Some(Err(e));
+            }
+        }
+        let Some(undo0) = bind_atom_cols(atom0, batch, r, &mut env) else { continue };
+        let mut key = [TermId::NULL; MAX_COLS];
+        let mut klen = 0usize;
+        let mut ok = true;
+        for (i, arg) in atom1.args.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                key[klen] = match arg {
+                    EArg::Id(id) => *id,
+                    EArg::Var(v) => match env[*v as usize] {
+                        Some(id) => id,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    },
+                };
+                klen += 1;
+            }
+        }
+        if !ok {
+            unbind_atom(atom0, undo0, &mut env);
+            return Some(Err(EvalError::Unsafe("unbound key var".into())));
+        }
+        if let Some(bucket) = index.get(&row_hash(&key[..klen])) {
+            for &i in bucket {
+                // Tick per bucket element, matching the general join's
+                // per-call granularity: a huge bucket must still hit the
+                // timeout check every 4096 emissions.
+                ticks += 1;
+                if ticks & 0xFFF == 0 {
+                    if let Err(e) = ctx.check_time() {
+                        return Some(Err(e));
+                    }
+                }
+                if let Some(undo1) = bind_atom(atom1, rel.row(i), &mut env) {
+                    instantiate_head(plan, rule, &env, ctx, dedup_against, out);
+                    unbind_atom(atom1, undo1, &mut env);
+                }
+            }
+        }
+        unbind_atom(atom0, undo0, &mut env);
+    }
+    Some(Ok(()))
 }
 
 /// Like [`eval_rule`] but yields complete environments (for aggregates).
@@ -717,31 +1229,38 @@ fn eval_rule_envs(
     ctx: &Ctx<'_>,
     out: &mut Vec<Vec<Option<TermId>>>,
 ) -> Result<(), EvalError> {
+    let resolved = resolve_scans(plan, db);
     let mut env: Vec<Option<TermId>> = vec![None; plan.nvars];
     let mut ticks = 0u64;
-    join(plan, rule, db, None, ctx, 0, &mut env, &mut ticks, &mut |env, _| {
-        out.push(env.to_vec());
-        Ok(())
-    })
+    join(
+        plan, &resolved, rule, db, None, ctx, 0, &mut env, &mut ticks,
+        &mut |env: &[Option<TermId>], _: &Ctx<'_>| {
+            out.push(env.to_vec());
+            Ok(())
+        },
+    )
 }
 
-/// The emit callback of [`join`]: one call per complete binding.
-type Emit<'a, 'b> =
-    dyn FnMut(&[Option<TermId>], &Ctx<'_>) -> Result<(), EvalError> + 'a;
-
-/// The recursive index-nested-loop join over the plan's steps.
+/// The recursive join over the plan's steps: batch-driven at the delta
+/// occurrence, hash-index probes (against the incrementally maintained
+/// build side) elsewhere. Generic over the emit callback so the head
+/// instantiation inlines into the innermost loop.
 #[allow(clippy::too_many_arguments)]
-fn join(
+fn join<F>(
     plan: &RulePlan,
+    resolved: &[ResolvedScan<'_>],
     rule: &Rule,
     db: &Database,
-    delta: Option<(usize, &[Vec<TermId>])>,
+    delta: Option<(usize, &ColumnBatch, usize, usize)>,
     ctx: &Ctx<'_>,
     step_idx: usize,
     env: &mut Vec<Option<TermId>>,
     ticks: &mut u64,
-    emit: &mut Emit<'_, '_>,
-) -> Result<(), EvalError> {
+    emit: &mut F,
+) -> Result<(), EvalError>
+where
+    F: FnMut(&[Option<TermId>], &Ctx<'_>) -> Result<(), EvalError>,
+{
     *ticks += 1;
     if *ticks & 0xFFF == 0 {
         ctx.check_time()?;
@@ -750,18 +1269,19 @@ fn join(
         return emit(env, ctx);
     };
     match step {
-        Step::Scan { item_idx, pred, mask } => {
+        Step::Scan { item_idx, mask, .. } => {
             let atom = plan.enc_atoms[*item_idx]
                 .as_ref()
                 .expect("scan step on non-positive item");
-            // Delta override for this occurrence?
-            if let Some((di, tuples)) = delta {
+            // Delta override for this occurrence: a tight loop over the
+            // batch partition's columns.
+            if let Some((di, batch, lo, hi)) = delta {
                 if di == *item_idx {
-                    for t in tuples {
-                        if let Some(undo_mask) = bind_atom(atom, t, env) {
+                    for r in lo..hi {
+                        if let Some(undo_mask) = bind_atom_cols(atom, batch, r, env) {
                             join(
-                                plan, rule, db, delta, ctx, step_idx + 1, env, ticks,
-                                emit,
+                                plan, resolved, rule, db, delta, ctx, step_idx + 1,
+                                env, ticks, emit,
                             )?;
                             unbind_atom(atom, undo_mask, env);
                         }
@@ -769,38 +1289,55 @@ fn join(
                     return Ok(());
                 }
             }
-            let Some(rel) = db.relation(*pred) else { return Ok(()) };
-            if *mask == 0 {
-                // Full scan over the flat storage (borrowed rows — no
-                // clones, the ids are plain u64s).
-                for i in 0..rel.len() as u32 {
-                    let t = rel.row(i);
-                    if let Some(undo_mask) = bind_atom(atom, t, env) {
-                        join(plan, rule, db, delta, ctx, step_idx + 1, env, ticks, emit)?;
-                        unbind_atom(atom, undo_mask, env);
+            let rs = resolved[step_idx];
+            let Some(rel) = rs.rel else { return Ok(()) };
+            match rs.index {
+                Some(index) if *mask != 0 => {
+                    // Hash probe on the bound positions; the key lives in
+                    // a stack buffer — the hot loop does not allocate.
+                    // Bucket rows that merely collide on the 64-bit key
+                    // hash fail `bind_atom` below, so results stay exact.
+                    let mut key = [TermId::NULL; MAX_COLS];
+                    let mut klen = 0usize;
+                    for (i, arg) in atom.args.iter().enumerate() {
+                        if mask & (1 << i) != 0 {
+                            key[klen] = match arg {
+                                EArg::Id(id) => *id,
+                                EArg::Var(v) => env[*v as usize].ok_or_else(|| {
+                                    EvalError::Unsafe("unbound key var".into())
+                                })?,
+                            };
+                            klen += 1;
+                        }
+                    }
+                    if let Some(bucket) = index.get(&row_hash(&key[..klen])) {
+                        for &i in bucket {
+                            let t = rel.row(i);
+                            if let Some(undo_mask) = bind_atom(atom, t, env) {
+                                join(
+                                    plan, resolved, rule, db, delta, ctx,
+                                    step_idx + 1, env, ticks, emit,
+                                )?;
+                                unbind_atom(atom, undo_mask, env);
+                            }
+                        }
                     }
                 }
-            } else {
-                // Index lookup on the bound positions; the key lives in a
-                // stack buffer — the hot loop does not allocate.
-                let mut key = [TermId::NULL; MAX_COLS];
-                let mut klen = 0usize;
-                for (i, arg) in atom.args.iter().enumerate() {
-                    if mask & (1 << i) != 0 {
-                        key[klen] = match arg {
-                            EArg::Id(id) => *id,
-                            EArg::Var(v) => env[*v as usize].ok_or_else(|| {
-                                EvalError::Unsafe("unbound key var".into())
-                            })?,
-                        };
-                        klen += 1;
-                    }
-                }
-                for &i in &*rel.lookup(*mask, &key[..klen]) {
-                    let t = rel.row(i);
-                    if let Some(undo_mask) = bind_atom(atom, t, env) {
-                        join(plan, rule, db, delta, ctx, step_idx + 1, env, ticks, emit)?;
-                        unbind_atom(atom, undo_mask, env);
+                _ => {
+                    // Full scan over the flat storage (borrowed rows — no
+                    // clones, the ids are plain u64s). Also the fallback
+                    // for an unresolved index: `bind_atom` verifies every
+                    // bound position, so correctness never depends on the
+                    // index existing.
+                    for i in 0..rel.len() as u32 {
+                        let t = rel.row(i);
+                        if let Some(undo_mask) = bind_atom(atom, t, env) {
+                            join(
+                                plan, resolved, rule, db, delta, ctx, step_idx + 1,
+                                env, ticks, emit,
+                            )?;
+                            unbind_atom(atom, undo_mask, env);
+                        }
                     }
                 }
             }
@@ -822,7 +1359,10 @@ fn join(
                 .relation(*pred)
                 .is_some_and(|r| r.contains(&tuple[..atom.args.len()]));
             if !present {
-                join(plan, rule, db, delta, ctx, step_idx + 1, env, ticks, emit)?;
+                join(
+                    plan, resolved, rule, db, delta, ctx, step_idx + 1, env, ticks,
+                    emit,
+                )?;
             }
             Ok(())
         }
@@ -832,7 +1372,10 @@ fn join(
                 _ => unreachable!("filter step on non-condition item"),
             };
             if expr.eval_bool_ids(env, ctx.dict, ctx.symbols) {
-                join(plan, rule, db, delta, ctx, step_idx + 1, env, ticks, emit)?;
+                join(
+                    plan, resolved, rule, db, delta, ctx, step_idx + 1, env, ticks,
+                    emit,
+                )?;
             }
             Ok(())
         }
@@ -862,7 +1405,10 @@ fn join(
                 };
                 if ok {
                     env[*var as usize] = Some(v);
-                    join(plan, rule, db, delta, ctx, step_idx + 1, env, ticks, emit)?;
+                    join(
+                        plan, resolved, rule, db, delta, ctx, step_idx + 1, env,
+                        ticks, emit,
+                    )?;
                 }
                 env[*var as usize] = prev;
             }
@@ -908,6 +1454,48 @@ fn bind_atom(atom: &EncAtom, tuple: &[TermId], env: &mut [Option<TermId>]) -> Op
     Some(bound_here)
 }
 
+/// [`bind_atom`] against row `r` of a columnar batch: binds the atom's
+/// variables from the batch's columns without materialising the row.
+fn bind_atom_cols(
+    atom: &EncAtom,
+    batch: &ColumnBatch,
+    r: usize,
+    env: &mut [Option<TermId>],
+) -> Option<u64> {
+    let cols = batch.cols();
+    if atom.args.len() != cols.len() {
+        return None;
+    }
+    let mut bound_here: u64 = 0;
+    for (i, arg) in atom.args.iter().enumerate() {
+        let id = cols[i][r];
+        match arg {
+            EArg::Id(c) => {
+                if *c != id {
+                    unbind_atom(atom, bound_here, env);
+                    return None;
+                }
+            }
+            EArg::Var(v) => {
+                let slot = &mut env[*v as usize];
+                match slot {
+                    Some(existing) => {
+                        if *existing != id {
+                            unbind_atom(atom, bound_here, env);
+                            return None;
+                        }
+                    }
+                    None => {
+                        *slot = Some(id);
+                        bound_here |= 1 << i;
+                    }
+                }
+            }
+        }
+    }
+    Some(bound_here)
+}
+
 /// Clears the variables bound by a preceding [`bind_atom`] call.
 fn unbind_atom(atom: &EncAtom, bound_here: u64, env: &mut [Option<TermId>]) {
     for (i, arg) in atom.args.iter().enumerate() {
@@ -919,17 +1507,21 @@ fn unbind_atom(atom: &EncAtom, bound_here: u64, env: &mut [Option<TermId>]) {
     }
 }
 
-/// Instantiates the head atom under `env` directly into the flat output
+/// Instantiates the head atom under `env` directly into the staging
 /// buffer, Skolemising existential variables over the frontier. Rolls the
 /// emission back when the Skolem-depth bound is exceeded (chase
 /// termination — an O(1) check: depths are precomputed at interning
-/// time).
+/// time). The row's dedup hash is computed here, once, and carried to the
+/// merge; with `dedup_against` (the parallel pre-filter) rows already in
+/// the head's snapshot are dropped before they reach the sequential
+/// merge.
 fn instantiate_head(
     plan: &RulePlan,
     rule: &Rule,
     env: &[Option<TermId>],
     ctx: &Ctx<'_>,
-    out: &mut FlatTuples,
+    dedup_against: Option<&Relation>,
+    out: &mut Staging,
 ) {
     // Existential Skolemisation: functor over the frontier values,
     // interned by identity (no structural Skolem terms are built).
@@ -965,6 +1557,14 @@ fn instantiate_head(
         }
         out.ids.push(id);
     }
+    let hash = row_hash(&out.ids[start..]);
+    if let Some(rel) = dedup_against {
+        if rel.contains_hashed(&out.ids[start..], hash) {
+            out.ids.truncate(start);
+            return;
+        }
+    }
+    out.hashes.push(hash);
     out.count += 1;
 }
 

@@ -12,6 +12,37 @@ pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<Fx
 /// `HashSet` keyed with [`FxHasher`].
 pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
 
+/// `HashMap` for keys that are themselves high-quality 64-bit hashes
+/// (e.g. the engine's precomputed row hashes): the "hasher" passes the
+/// key through verbatim, so probes skip a hash round entirely and table
+/// resizes become re-hash-free relocations. Keys **must** already be
+/// well-mixed in their low bits (see `database::row_hash`'s finalizer) —
+/// this is not a general-purpose integer map.
+pub type PrehashedMap<V> =
+    std::collections::HashMap<u64, V, BuildHasherDefault<PrehashedHasher>>;
+
+/// The pass-through hasher behind [`PrehashedMap`].
+#[derive(Default, Clone)]
+pub struct PrehashedHasher {
+    hash: u64,
+}
+
+impl Hasher for PrehashedHasher {
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("PrehashedMap keys are u64 hashes");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.hash = n;
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
 /// The FxHash hasher: a multiply-and-rotate word hash.

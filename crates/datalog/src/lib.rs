@@ -59,7 +59,7 @@ pub mod symbols;
 pub mod value;
 pub mod wardedness;
 
-pub use database::{Database, Matches, Relation};
+pub use database::{row_hash, ColumnBatch, Database, Matches, Relation, Staging};
 pub use eval::{collect_output, evaluate, order_cmp, EvalError, EvalOptions, EvalStats};
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use rule::{

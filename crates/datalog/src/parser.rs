@@ -42,6 +42,47 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Parses a stream of ground facts — `pred(const, ...).` clauses only —
+/// skipping the full program parser's rule/variable machinery (no
+/// `RuleBuilder`, no body items, no directives). This is the line-oriented
+/// fast path for bulk fact fixtures; feed the result to
+/// [`crate::Database::load_rows`]. Constants use the same grammar as
+/// [`parse_program`] (strings, `<iris>`, numbers, booleans, `null`), and
+/// `%`/`//` comments and blank lines are allowed.
+pub fn parse_facts(
+    input: &str,
+    symbols: &Arc<SymbolTable>,
+) -> Result<Vec<(crate::symbols::Sym, Vec<Const>)>, ParseError> {
+    let mut p = P { input, pos: 0, symbols: symbols.clone() };
+    let mut out = Vec::new();
+    loop {
+        p.ws();
+        if p.at_end() {
+            return Ok(out);
+        }
+        let name = p.ident()?;
+        let pred = p.symbols.intern(&name);
+        p.expect('(')?;
+        let mut args = Vec::new();
+        if !p.eat(')') {
+            loop {
+                p.ws();
+                if p.peek().is_some_and(|c| c.is_uppercase() || c == '_') {
+                    return p.err("parse_facts: variables are not allowed in facts");
+                }
+                args.push(p.constant()?);
+                if p.eat(',') {
+                    continue;
+                }
+                p.expect(')')?;
+                break;
+            }
+        }
+        p.expect('.')?;
+        out.push((pred, args));
+    }
+}
+
 /// Parses a textual Datalog± program.
 pub fn parse_program(input: &str, symbols: &Arc<SymbolTable>) -> Result<Program, ParseError> {
     let mut p = P { input, pos: 0, symbols: symbols.clone() };
@@ -485,6 +526,54 @@ fn parse_post_op(spec: &str) -> Option<PostOp> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fact_reader_matches_full_parser() {
+        let src = r#"
+            % a comment
+            edge(1, 2). edge(-3, 4).
+            label("a", "b\"c").
+            node(<http://x>).   // trailing comment
+            weight(2.5, true, null).
+            unit().
+        "#;
+        let t1 = SymbolTable::new();
+        let full = parse_program(src, &t1).unwrap();
+        let t2 = SymbolTable::new();
+        let fast = parse_facts(src, &t2).unwrap();
+        assert_eq!(fast.len(), full.facts.len());
+        for ((pf, af), (pp, ap)) in fast.iter().zip(&full.facts) {
+            assert_eq!(t2.resolve(*pf), t1.resolve(*pp));
+            // Interned symbols differ across tables; compare displays.
+            let da: Vec<String> = af.iter().map(|c| c.display(&t2)).collect();
+            let db: Vec<String> = ap.iter().map(|c| c.display(&t1)).collect();
+            assert_eq!(da, db);
+        }
+    }
+
+    #[test]
+    fn fact_reader_rejects_rules_and_vars() {
+        let t = SymbolTable::new();
+        assert!(parse_facts("tc(X, Y) :- edge(X, Y).", &t).is_err());
+        assert!(parse_facts("p(X).", &t).is_err());
+        assert!(parse_facts("p(1)", &t).is_err(), "missing final dot");
+    }
+
+    #[test]
+    fn fact_reader_loads_into_database() {
+        let mut db = crate::Database::new();
+        let facts = parse_facts("q(1). q(2). q(1).", db.symbols()).unwrap();
+        let mut by_pred: crate::fxhash::FxHashMap<_, Vec<Vec<Const>>> =
+            Default::default();
+        for (p, row) in facts {
+            by_pred.entry(p).or_default().push(row);
+        }
+        let mut fresh = 0;
+        for (p, rows) in by_pred {
+            fresh += db.load_rows(p, &rows);
+        }
+        assert_eq!(fresh, 2, "duplicate fact deduped at load");
+    }
 
     #[test]
     fn parse_facts_and_rules() {

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use crate::expr::Expr;
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::symbols::{Sym, SymbolTable};
 use crate::value::Const;
 
@@ -120,6 +120,44 @@ impl Rule {
             .vars()
             .into_iter()
             .filter(|v| !ex.contains(v))
+            .collect()
+    }
+
+    /// The rule's *read set*: every predicate its body consults (positive
+    /// and negated atoms). Together with [`Rule::write_pred`] this is the
+    /// dependency metadata the parallel executor uses: rules evaluated in
+    /// the same pass only read the shared snapshot, and their writes are
+    /// applied by the sequential merge — so two rules of a pass are
+    /// independent exactly because no read set can observe another rule's
+    /// in-flight writes.
+    pub fn read_preds(&self) -> Vec<Sym> {
+        let mut out = Vec::new();
+        for item in &self.body {
+            if let BodyItem::Pos(a) | BodyItem::Neg(a) = item {
+                if !out.contains(&a.pred) {
+                    out.push(a.pred);
+                }
+            }
+        }
+        out
+    }
+
+    /// The rule's *write set*: the single predicate it derives into.
+    pub fn write_pred(&self) -> Sym {
+        self.head.pred
+    }
+
+    /// The body positions at which this rule positively reads any
+    /// predicate in `preds` — the occurrences a semi-naive round
+    /// restricts to a delta.
+    pub fn positive_occurrences_of(&self, preds: &FxHashSet<Sym>) -> Vec<usize> {
+        self.body
+            .iter()
+            .enumerate()
+            .filter_map(|(i, item)| match item {
+                BodyItem::Pos(a) if preds.contains(&a.pred) => Some(i),
+                _ => None,
+            })
             .collect()
     }
 

@@ -27,7 +27,9 @@ impl std::fmt::Display for StratifyError {
 
 impl std::error::Error for StratifyError {}
 
-/// The result: rule indices grouped by stratum, in evaluation order.
+/// The result: rule indices grouped by stratum, in evaluation order,
+/// plus the per-rule read/write sets the parallel executor uses to
+/// justify running a stratum round's rules concurrently.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Stratification {
     /// `strata[s]` = the indices (into `program.rules`) evaluated in
@@ -35,6 +37,47 @@ pub struct Stratification {
     pub strata: Vec<Vec<usize>>,
     /// Stratum of each IDB predicate.
     pub pred_stratum: FxHashMap<Sym, usize>,
+    /// `rule_reads[r]` = predicates rule `r`'s body consults.
+    pub rule_reads: Vec<Vec<Sym>>,
+    /// `rule_writes[r]` = the predicate rule `r` derives into.
+    pub rule_writes: Vec<Sym>,
+}
+
+impl Stratification {
+    /// The write set of a stratum: the predicates derived by its rules —
+    /// the predicates whose deltas drive that stratum's semi-naive
+    /// rounds.
+    pub fn stratum_writes(&self, stratum: &[usize]) -> Vec<Sym> {
+        let mut out = Vec::new();
+        for &ri in stratum {
+            let w = self.rule_writes[ri];
+            if !out.contains(&w) {
+                out.push(w);
+            }
+        }
+        out
+    }
+
+    /// Proof obligation of the parallel executor: rules evaluated in one
+    /// snapshot pass are pairwise independent — no rule's *negated* or
+    /// aggregated reads overlap the pass's write set (guaranteed by
+    /// stratification), so concurrent evaluation against the frozen
+    /// snapshot plus a sequential merge is equivalent to any serial
+    /// order. Returns `false` if the invariant is violated (which would
+    /// be a stratifier bug).
+    pub fn pass_is_independent(
+        &self,
+        stratum: &[usize],
+        program: &crate::rule::Program,
+    ) -> bool {
+        let writes = self.stratum_writes(stratum);
+        stratum.iter().all(|&ri| {
+            program.rules[ri].body.iter().all(|item| {
+                !matches!(item, crate::rule::BodyItem::Neg(a) if writes.contains(&a.pred))
+            }) && (program.rules[ri].aggregate.is_none()
+                || self.rule_reads[ri].iter().all(|p| !writes.contains(p)))
+        })
+    }
 }
 
 /// Computes a stratification, or reports cyclic negation/aggregation.
@@ -91,7 +134,9 @@ pub fn stratify(
     for (i, rule) in program.rules.iter().enumerate() {
         strata[stratum[&rule.head.pred]].push(i);
     }
-    Ok(Stratification { strata, pred_stratum: stratum })
+    let rule_reads = program.rules.iter().map(|r| r.read_preds()).collect();
+    let rule_writes = program.rules.iter().map(|r| r.write_pred()).collect();
+    Ok(Stratification { strata, pred_stratum: stratum, rule_reads, rule_writes })
 }
 
 #[cfg(test)]
@@ -202,6 +247,28 @@ mod tests {
         let s = stratify(&prog, &t).unwrap();
         assert_eq!(s.pred_stratum[&t.intern("p")], 0);
         assert_eq!(s.pred_stratum[&t.intern("cnt")], 1);
+    }
+
+    #[test]
+    fn read_write_sets_and_pass_independence() {
+        let t = SymbolTable::new();
+        let mut prog = Program::new();
+        prog.rules.push(rule(&t, "tc", &["edge"], &[]));
+        prog.rules.push(rule(&t, "tc", &["edge", "tc"], &[]));
+        prog.rules.push(rule(&t, "q", &["tc"], &["tc"]));
+        let s = stratify(&prog, &t).unwrap();
+        assert_eq!(s.rule_writes, vec![t.intern("tc"), t.intern("tc"), t.intern("q")]);
+        assert_eq!(s.rule_reads[1], vec![t.intern("edge"), t.intern("tc")]);
+        assert_eq!(s.stratum_writes(&s.strata[0]), vec![t.intern("tc")]);
+        // Every stratum the stratifier produces must satisfy the parallel
+        // executor's independence invariant: negated reads never overlap
+        // the stratum's writes.
+        for st in &s.strata {
+            assert!(s.pass_is_independent(st, &prog));
+        }
+        // A hand-built (invalid) stratum mixing rule 2 with the tc rules
+        // violates it: rule 2 negates tc, which the stratum writes.
+        assert!(!s.pass_is_independent(&[0, 1, 2], &prog));
     }
 
     #[test]

@@ -20,9 +20,10 @@
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::{Arc, RwLock};
 
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{FxHashMap, FxHasher};
 use crate::symbols::{Sym, SymbolTable};
 
 /// A total-ordered `f64` wrapper (NaN compares greatest, -0.0 == 0.0 is
@@ -321,12 +322,24 @@ struct SkolemNode {
     depth: u32,
 }
 
+/// Sharding of the spill/Skolem tables: the shard index lives in the low
+/// bits of the payload, the per-shard table index in the high bits. A term
+/// routes to its shard by content hash, so encoding stays canonical.
+const SHARD_BITS: u32 = 4;
+const NSHARDS: usize = 1 << SHARD_BITS;
+const SHARD_MASK: u64 = NSHARDS as u64 - 1;
+
+#[inline]
+fn shard_payload(shard: usize, local: u32) -> u64 {
+    ((local as u64) << SHARD_BITS) | shard as u64
+}
+
 #[derive(Debug, Default)]
-struct DictInner {
-    /// Constants that don't fit inline, indexed by spill id.
+struct DictShard {
+    /// Constants that don't fit inline, indexed by the local spill id.
     spill: Vec<Const>,
     spill_ids: FxHashMap<Const, u32>,
-    /// Interned Skolem terms, indexed by node id.
+    /// Interned Skolem terms, indexed by the local node id.
     skolems: Vec<SkolemNode>,
     /// functor → args → node id (nested so hits need no allocation).
     skolem_ids: FxHashMap<Sym, FxHashMap<Box<[TermId]>, u32>>,
@@ -336,7 +349,12 @@ struct DictInner {
 ///
 /// Shared (`Arc`) between the database, the evaluator and the translation
 /// boundary, like the [`SymbolTable`]. Most terms encode inline and never
-/// touch the lock; the lock only guards the spill and Skolem tables.
+/// touch a lock; only the spill and Skolem tables are guarded — and those
+/// are **sharded** 16 ways by content hash, so concurrent rule workers
+/// interning Skolem tuple IDs contend only when they hash to the same
+/// shard. No lock is ever held while another shard is consulted (arg
+/// depths and nested decodes release before crossing shards), so the
+/// sharding cannot deadlock.
 ///
 /// The invariant the engine relies on: encoding is **canonical** — equal
 /// constants always produce equal `TermId`s and distinct constants
@@ -344,13 +362,30 @@ struct DictInner {
 /// encoded tuples without ever decoding.
 #[derive(Debug, Default)]
 pub struct TermDict {
-    inner: RwLock<DictInner>,
+    shards: [RwLock<DictShard>; NSHARDS],
 }
 
 impl TermDict {
     /// Creates an empty dictionary.
     pub fn new() -> Arc<Self> {
         Arc::new(TermDict::default())
+    }
+
+    #[inline]
+    fn spill_shard(c: &Const) -> usize {
+        let mut h = FxHasher::default();
+        c.hash(&mut h);
+        (h.finish() & SHARD_MASK) as usize
+    }
+
+    #[inline]
+    fn skolem_shard(functor: Sym, args: &[TermId]) -> usize {
+        let mut h = FxHasher::default();
+        h.write_u32(functor.0);
+        for a in args {
+            h.write_u64(a.raw());
+        }
+        (h.finish() & SHARD_MASK) as usize
     }
 
     /// Encodes a constant (interning into the spill/Skolem tables when it
@@ -386,25 +421,31 @@ impl TermDict {
     /// id space — the fast path for tuple-ID generation, which never
     /// materialises a [`SkolemTerm`].
     pub fn skolem(&self, functor: Sym, args: &[TermId]) -> TermId {
-        if let Some(per_functor) = self.inner.read().unwrap().skolem_ids.get(&functor) {
+        let shard = Self::skolem_shard(functor, args);
+        if let Some(per_functor) =
+            self.shards[shard].read().unwrap().skolem_ids.get(&functor)
+        {
             if let Some(&id) = per_functor.get(args) {
-                return TermId::new(TAG_SKOLEM, id as u64);
+                return TermId::new(TAG_SKOLEM, shard_payload(shard, id));
             }
         }
-        let mut w = self.inner.write().unwrap();
-        if let Some(&id) = w.skolem_ids.get(&functor).and_then(|m| m.get(args)) {
-            return TermId::new(TAG_SKOLEM, id as u64);
-        }
+        // Nested Skolem args may live in *other* shards: compute the depth
+        // before taking this shard's write lock so no two locks are ever
+        // held at once (lock-order freedom ⇒ no deadlock).
         let depth = 1 + args
             .iter()
-            .map(|&a| Self::depth_in(&w, a))
+            .map(|&a| self.skolem_depth(a) as u32)
             .max()
             .unwrap_or(0);
+        let mut w = self.shards[shard].write().unwrap();
+        if let Some(&id) = w.skolem_ids.get(&functor).and_then(|m| m.get(args)) {
+            return TermId::new(TAG_SKOLEM, shard_payload(shard, id));
+        }
         let id = w.skolems.len() as u32;
         let boxed: Box<[TermId]> = args.into();
         w.skolems.push(SkolemNode { functor, args: boxed.clone(), depth });
         w.skolem_ids.entry(functor).or_default().insert(boxed, id);
-        TermId::new(TAG_SKOLEM, id as u64)
+        TermId::new(TAG_SKOLEM, shard_payload(shard, id))
     }
 
     /// Skolem nesting depth of an encoded term (0 for non-Skolem terms).
@@ -413,46 +454,33 @@ impl TermDict {
         if !id.is_skolem() {
             return 0;
         }
-        Self::depth_in(&self.inner.read().unwrap(), id) as usize
-    }
-
-    fn depth_in(inner: &DictInner, id: TermId) -> u32 {
-        if id.tag() == TAG_SKOLEM {
-            inner.skolems[id.payload() as usize].depth
-        } else {
-            0
-        }
+        let payload = id.payload();
+        let shard = (payload & SHARD_MASK) as usize;
+        let local = (payload >> SHARD_BITS) as usize;
+        self.shards[shard].read().unwrap().skolems[local].depth as usize
     }
 
     /// Decodes an id back into a constant. Panics on an id from another
     /// dictionary (like [`SymbolTable::resolve`] on a foreign symbol).
     pub fn decode(&self, id: TermId) -> Const {
-        if id.tag() < TAG_SKOLEM {
-            return TermDict::decode_inline(id);
-        }
-        let inner = self.inner.read().unwrap();
-        Self::decode_in(&inner, id)
-    }
-
-    fn decode_in(inner: &DictInner, id: TermId) -> Const {
+        let payload = id.payload();
+        let shard = (payload & SHARD_MASK) as usize;
+        let local = (payload >> SHARD_BITS) as usize;
         match id.tag() {
-            TAG_SPILL => inner.spill[id.payload() as usize].clone(),
+            TAG_SPILL => self.shards[shard].read().unwrap().spill[local].clone(),
             TAG_SKOLEM => {
-                let node = &inner.skolems[id.payload() as usize];
-                let args: Vec<Const> = node
-                    .args
-                    .iter()
-                    .map(|&a| {
-                        if a.tag() >= TAG_SKOLEM {
-                            Self::decode_in(inner, a)
-                        } else {
-                            // Inline tags never need the tables; avoid
-                            // re-entering the lock for them.
-                            TermDict::decode_inline(a)
-                        }
-                    })
-                    .collect();
-                Const::skolem(node.functor, args)
+                // Clone the node out and release the lock before decoding
+                // the args: they may live in other shards, and holding a
+                // read lock across that recursion could deadlock against a
+                // writer queued on this shard.
+                let (functor, args) = {
+                    let inner = self.shards[shard].read().unwrap();
+                    let node = &inner.skolems[local];
+                    (node.functor, node.args.clone())
+                };
+                let args: Vec<Const> =
+                    args.iter().map(|&a| self.decode(a)).collect();
+                Const::skolem(functor, args)
             }
             _ => TermDict::decode_inline(id),
         }
@@ -481,17 +509,18 @@ impl TermDict {
     }
 
     fn spill(&self, c: &Const) -> TermId {
-        if let Some(&id) = self.inner.read().unwrap().spill_ids.get(c) {
-            return TermId::new(TAG_SPILL, id as u64);
+        let shard = Self::spill_shard(c);
+        if let Some(&id) = self.shards[shard].read().unwrap().spill_ids.get(c) {
+            return TermId::new(TAG_SPILL, shard_payload(shard, id));
         }
-        let mut w = self.inner.write().unwrap();
+        let mut w = self.shards[shard].write().unwrap();
         if let Some(&id) = w.spill_ids.get(c) {
-            return TermId::new(TAG_SPILL, id as u64);
+            return TermId::new(TAG_SPILL, shard_payload(shard, id));
         }
         let id = w.spill.len() as u32;
         w.spill.push(c.clone());
         w.spill_ids.insert(c.clone(), id);
-        TermId::new(TAG_SPILL, id as u64)
+        TermId::new(TAG_SPILL, shard_payload(shard, id))
     }
 }
 
@@ -647,6 +676,49 @@ mod tests {
         assert_eq!(dict.skolem_depth(deeper), 3);
         assert_eq!(dict.skolem_depth(dict.encode(&Const::Int(5))), 0);
         assert_eq!(dict.skolem_depth(TermId::NULL), 0);
+    }
+
+    #[test]
+    fn concurrent_interning_is_canonical() {
+        // Hammer the sharded spill/Skolem tables from many threads: every
+        // thread must agree on the id of every term (canonical encoding),
+        // including nested Skolems whose args land in different shards.
+        let t = SymbolTable::new();
+        let dict = TermDict::new();
+        let consts: Vec<Const> = sample_consts(&t);
+        let per_thread: Vec<Vec<TermId>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|k| {
+                    let dict = dict.clone();
+                    let t = t.clone();
+                    let consts = &consts;
+                    s.spawn(move || {
+                        let mut ids = Vec::new();
+                        for round in 0..50 {
+                            for (i, c) in consts.iter().enumerate() {
+                                let id = dict.encode(c);
+                                if (i + round + k) % 3 == 0 {
+                                    // Interleave some fresh nested Skolems.
+                                    let f = t.intern("conc");
+                                    dict.skolem(f, &[id, TermId::NULL]);
+                                }
+                                if round == 0 {
+                                    ids.push(id);
+                                }
+                            }
+                        }
+                        ids
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for ids in &per_thread {
+            assert_eq!(ids, &per_thread[0], "all threads agree on every id");
+        }
+        for (c, &id) in consts.iter().zip(&per_thread[0]) {
+            assert_eq!(dict.decode(id), *c);
+        }
     }
 
     #[test]

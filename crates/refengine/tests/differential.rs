@@ -207,6 +207,53 @@ fn datalog_and_direct_routes_agree() {
     }
 }
 
+/// Parallel evaluation must be observably identical to sequential
+/// evaluation: for every random graph/query pair, a SparqLog engine
+/// pinned to `SPARQLOG_THREADS`-style worker counts of 2, 4 and 8 must
+/// produce multiset-identical solutions to the single-threaded engine
+/// (thread counts are pinned via `EvalOptions::threads`, not the env
+/// var, so this test is immune to the ambient configuration).
+#[test]
+fn parallel_evaluation_matches_sequential_on_random_battery() {
+    use sparqlog_datalog::EvalOptions;
+
+    let engine_with_threads = |ds: &Dataset, threads: usize| {
+        let opts = EvalOptions { threads: Some(threads), ..Default::default() };
+        let mut sl = SparqLog::with_options(opts);
+        sl.load_dataset(ds).unwrap();
+        sl
+    };
+
+    let mut rng = Rng(0x9a11e1);
+    for case in 0..24u64 {
+        let g = random_graph(&mut rng);
+        let qi = rng.range(0, 16) as usize;
+        let query = query_template(qi);
+        let ds = Dataset::from_default_graph(g);
+        let mut sequential = engine_with_threads(&ds, 1);
+        let reference = sequential.execute(&query).unwrap();
+        for threads in [2usize, 4, 8] {
+            let mut parallel = engine_with_threads(&ds, threads);
+            let got = parallel.execute(&query).unwrap();
+            match (&reference, &got) {
+                (QueryResult::Boolean(x), QueryResult::Boolean(y)) => {
+                    assert_eq!(x, y, "case {case} threads {threads}: {query}")
+                }
+                (QueryResult::Solutions(x), QueryResult::Solutions(y)) => {
+                    assert!(
+                        x.multiset_eq(y),
+                        "case {case} threads {threads}: query {}\nseq: {:?}\npar: {:?}",
+                        query,
+                        x.canonical(true),
+                        y.canonical(true)
+                    );
+                }
+                _ => panic!("case {case} threads {threads}: result kinds differ"),
+            }
+        }
+    }
+}
+
 #[test]
 fn virtuoso_quirks_visible() {
     use sparqlog_refengine::VirtuosoSim;
