@@ -21,14 +21,23 @@ use sparqlog_rdf::{Dataset, Graph, LiteralKind, Term};
 
 /// Predicate names used by the translation.
 pub mod preds {
+    /// `iri/1` — every IRI term of the dataset.
     pub const IRI: &str = "iri";
+    /// `literal/1` — every literal term.
     pub const LITERAL: &str = "literal";
+    /// `bnode/1` — every blank-node term.
     pub const BNODE: &str = "bnode";
+    /// `term/1` — the union of the three term classes (Def. A.1).
     pub const TERM: &str = "term";
+    /// `triple/4` — `(S, P, O, graph)` facts.
     pub const TRIPLE: &str = "triple";
+    /// `named/1` — the named graphs of the dataset.
     pub const NAMED: &str = "named";
+    /// `null/1` — the distinguished unbound marker (Def. A.2).
     pub const NULL: &str = "null";
+    /// `comp/3` — the compatibility predicate of Def. A.2.
     pub const COMP: &str = "comp";
+    /// `subjectOrObject/2` — path endpoints per graph (Def. A.17).
     pub const SUBJECT_OR_OBJECT: &str = "subjectOrObject";
     /// The name of the default graph in the `triple/4` representation.
     pub const DEFAULT_GRAPH: &str = "default";

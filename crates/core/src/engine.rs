@@ -32,6 +32,7 @@ use sparqlog_sparql::{parse_query, ParseError, Query};
 use crate::data_translation::{base_program, load_dataset};
 use crate::ontology::Ontology;
 use crate::query_translation::{translate_query, TranslatedQuery, TranslationError};
+use crate::serving::FrozenDatabase;
 use crate::solution::{extract_result, QueryResult};
 
 /// Errors surfaced by [`SparqLog`].
@@ -117,6 +118,13 @@ impl Default for SparqLog {
 
 impl SparqLog {
     /// Creates an engine with default evaluation options (no timeout).
+    ///
+    /// ```
+    /// use sparqlog::SparqLog;
+    ///
+    /// let engine = SparqLog::new();
+    /// assert_eq!(engine.database().fact_count(), 0);
+    /// ```
     pub fn new() -> Self {
         Self::with_options(EvalOptions::default())
     }
@@ -172,6 +180,19 @@ impl SparqLog {
     }
 
     /// Parses and loads a Turtle document into the default graph.
+    ///
+    /// Loading immediately materialises the T_D auxiliary predicates, so
+    /// the returned statistics count derived facts, not just triples:
+    ///
+    /// ```
+    /// use sparqlog::SparqLog;
+    ///
+    /// let mut engine = SparqLog::new();
+    /// let stats = engine
+    ///     .load_turtle("@prefix ex: <http://ex.org/> . ex:a ex:p ex:b .")
+    ///     .unwrap();
+    /// assert!(stats.derived > 0); // term/1, comp/3, ... materialised
+    /// ```
     pub fn load_turtle(&mut self, src: &str) -> Result<EvalStats, SparqLogError> {
         let g = sparqlog_rdf::turtle::parse(src)
             .map_err(|e| SparqLogError::Data(e.to_string()))?;
@@ -209,6 +230,22 @@ impl SparqLog {
     }
 
     /// Parses, translates, evaluates and extracts a query result.
+    ///
+    /// ```
+    /// use sparqlog::SparqLog;
+    ///
+    /// let mut engine = SparqLog::new();
+    /// engine
+    ///     .load_turtle(
+    ///         "@prefix ex: <http://ex.org/> .
+    ///          ex:a ex:p ex:b . ex:a ex:p ex:c .",
+    ///     )
+    ///     .unwrap();
+    /// let result = engine
+    ///     .execute("PREFIX ex: <http://ex.org/> SELECT ?o WHERE { ex:a ex:p ?o }")
+    ///     .unwrap();
+    /// assert_eq!(result.len(), 2); // ex:b, ex:c
+    /// ```
     pub fn execute(&mut self, query_str: &str) -> Result<QueryResult, SparqLogError> {
         let query = parse_query(query_str)?;
         self.execute_query(&query)
@@ -219,5 +256,39 @@ impl SparqLog {
         let tq = self.translate(query)?;
         evaluate(&tq.program, &mut self.db, &self.options)?;
         Ok(extract_result(&tq, query, &self.db))
+    }
+
+    /// Ends the mutate phase: consumes the engine into a read-only
+    /// [`FrozenDatabase`] snapshot that serves queries from any number of
+    /// threads concurrently (every query entry point takes `&self`).
+    ///
+    /// Freezing pre-builds all per-mask hash indexes on the materialised
+    /// relations, so no query ever mutates — or locks — shared state. Use
+    /// [`FrozenDatabase::execute`] for single queries (translations are
+    /// cached by query text) and [`FrozenDatabase::execute_batch`] to fan
+    /// a batch across the worker pool.
+    ///
+    /// ```
+    /// use sparqlog::SparqLog;
+    ///
+    /// let mut engine = SparqLog::new();
+    /// engine
+    ///     .load_turtle(
+    ///         "@prefix ex: <http://ex.org/> .
+    ///          ex:a ex:p ex:b . ex:b ex:p ex:c .",
+    ///     )
+    ///     .unwrap();
+    /// let frozen = engine.freeze();
+    /// let q = "PREFIX ex: <http://ex.org/> SELECT ?z WHERE { ex:a ex:p+ ?z }";
+    /// // `&frozen` is all a thread needs:
+    /// std::thread::scope(|s| {
+    ///     let a = s.spawn(|| frozen.execute(q).unwrap().len());
+    ///     let b = s.spawn(|| frozen.execute(q).unwrap().len());
+    ///     assert_eq!(a.join().unwrap(), 2);
+    ///     assert_eq!(b.join().unwrap(), 2);
+    /// });
+    /// ```
+    pub fn freeze(self) -> FrozenDatabase {
+        FrozenDatabase::new(self.db.freeze(), self.options)
     }
 }

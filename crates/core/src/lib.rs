@@ -48,16 +48,20 @@
 //! assert_eq!(result.len(), 4); // france, belgium, germany, austria
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod data_translation;
 pub mod engine;
 pub mod expr_translation;
 pub mod features;
 pub mod ontology;
 pub mod query_translation;
+pub mod serving;
 pub mod solution;
 
 pub use data_translation::{const_to_term, term_to_const};
 pub use engine::{SparqLog, SparqLogError};
 pub use ontology::{Axiom, Ontology};
 pub use query_translation::{translate_query, TranslatedQuery, TranslationError};
+pub use serving::FrozenDatabase;
 pub use solution::{QueryResult, SolutionSeq};

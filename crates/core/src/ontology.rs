@@ -31,8 +31,11 @@ pub enum Axiom {
     /// `class ⊑ ∃property.filler` — the existential axiom of OWL 2 QL
     /// (`owl:someValuesFrom`). Generates labelled nulls.
     SomeValuesFrom {
+        /// The subclass being axiomatised.
         class: String,
+        /// The property of the existential restriction.
         property: String,
+        /// The filler class of the restriction.
         filler: String,
     },
 }
@@ -40,6 +43,7 @@ pub enum Axiom {
 /// A set of axioms.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Ontology {
+    /// The axioms, in insertion order.
     pub axioms: Vec<Axiom>,
 }
 

@@ -85,7 +85,9 @@ pub(crate) type Index = PrehashedMap<Vec<u32>>;
 /// The result of an index probe: a borrowed id slice on the planned fast
 /// path, an owned copy when the lazily auto-built index served the miss.
 pub enum Matches<'a> {
+    /// The planned fast path: the index bucket, borrowed in full.
     Borrowed(&'a [u32]),
+    /// A filtered copy (lazy auto-built index, or a rare hash collision).
     Owned(Vec<u32>),
 }
 
@@ -134,6 +136,7 @@ pub struct Relation {
 }
 
 impl Relation {
+    /// Creates an empty relation (arity fixed by the first insert).
     pub fn new() -> Self {
         Relation::default()
     }
@@ -449,6 +452,47 @@ impl Relation {
         )
     }
 
+    /// Builds every non-trivial per-mask index eagerly — the freeze-time
+    /// "index-complete" step ([`crate::frozen::FrozenDb`]). Relations up
+    /// to `max_full_arity` columns get all `2^arity - 1` masks, making
+    /// every possible [`Relation::lookup`] a lock-free eager-index hit;
+    /// wider relations only promote their lazily auto-built indexes, so
+    /// an unplanned `lookup` mask there still takes the (thread-safe)
+    /// `OnceLock` auto-build path on first probe. The evaluator itself
+    /// never does: a scan step without an eager index falls back to a
+    /// verified full scan.
+    pub fn complete_indexes(&mut self, max_full_arity: usize) {
+        if self.arity > 0 && self.arity <= max_full_arity {
+            for mask in 1..(1u64 << self.arity) {
+                self.ensure_index(mask);
+            }
+        } else {
+            let masks: Vec<Mask> =
+                self.lazy.get_mut().unwrap().keys().copied().collect();
+            for mask in masks {
+                self.ensure_index(mask);
+            }
+        }
+        self.lazy.get_mut().unwrap().clear();
+    }
+
+    /// A deep copy suitable for independent mutation: rows, dedup tables
+    /// and eager indexes are cloned; the lazy-index map starts empty (a
+    /// copy-on-write overlay rebuilds unplanned indexes on demand rather
+    /// than inheriting latches). Used when an overlay database first
+    /// writes to a predicate that lives in its frozen base.
+    pub fn clone_for_write(&self) -> Relation {
+        Relation {
+            arity: self.arity,
+            len: self.len,
+            rows: self.rows.clone(),
+            seen: self.seen.clone(),
+            seen_overflow: self.seen_overflow.clone(),
+            indexes: self.indexes.clone(),
+            lazy: RwLock::new(FxHashMap::default()),
+        }
+    }
+
     /// True if row `idx`'s `mask` columns equal `key` (in mask-bit order).
     fn row_matches(&self, idx: u32, mask: Mask, key: &[TermId]) -> bool {
         let row = self.row(idx);
@@ -552,11 +596,21 @@ impl Staging {
 }
 
 /// A database: the symbol table, the term dictionary and one
-/// [`Relation`] per predicate.
+/// [`Relation`] per predicate — optionally *overlaid* on a frozen,
+/// read-only base snapshot ([`crate::frozen::FrozenDb`]).
+///
+/// Overlay semantics: reads ([`Database::relation`]) consult the local
+/// relations first and fall through to the base; writes stay local, with
+/// a base relation copied in on first write (copy-on-write) so dedup
+/// keeps seeing the full fact set. This is what lets any number of
+/// concurrent queries evaluate against one shared snapshot — each owns a
+/// private overlay for its derivations.
 pub struct Database {
-    symbols: Arc<SymbolTable>,
-    dict: Arc<TermDict>,
-    relations: FxHashMap<Sym, Relation>,
+    pub(crate) symbols: Arc<SymbolTable>,
+    pub(crate) dict: Arc<TermDict>,
+    pub(crate) relations: FxHashMap<Sym, Relation>,
+    /// The frozen base snapshot reads fall through to, if any.
+    pub(crate) base: Option<Arc<crate::frozen::FrozenDb>>,
 }
 
 impl Database {
@@ -571,6 +625,18 @@ impl Database {
             symbols,
             dict: TermDict::new(),
             relations: FxHashMap::default(),
+            base: None,
+        }
+    }
+
+    /// Creates an empty overlay database on a frozen base (shared symbol
+    /// table and dictionary; see [`Database::overlay`]).
+    pub(crate) fn with_base(base: Arc<crate::frozen::FrozenDb>) -> Self {
+        Database {
+            symbols: base.symbols().clone(),
+            dict: base.dict().clone(),
+            relations: FxHashMap::default(),
+            base: Some(base),
         }
     }
 
@@ -593,7 +659,7 @@ impl Database {
 
     /// Adds an already-encoded fact (the evaluator's internal path).
     pub fn add_fact_ids(&mut self, pred: Sym, tuple: &[TermId]) -> bool {
-        self.relations.entry(pred).or_default().insert(tuple)
+        self.relation_mut(pred).insert(tuple)
     }
 
     /// Convenience: interns the predicate name and adds the fact.
@@ -614,7 +680,8 @@ impl Database {
     {
         let iter = rows.into_iter();
         let remaining = iter.size_hint().0;
-        let rel = self.relations.entry(pred).or_default();
+        let dict = self.dict.clone();
+        let rel = self.relation_mut(pred);
         let mut scratch: Vec<TermId> = Vec::new();
         let mut fresh = 0usize;
         let mut reserved = false;
@@ -625,7 +692,7 @@ impl Database {
                 reserved = true;
             }
             scratch.clear();
-            scratch.extend(row.iter().map(|c| self.dict.encode(c)));
+            scratch.extend(row.iter().map(|c| dict.encode(c)));
             if rel.insert(&scratch) {
                 fresh += 1;
             }
@@ -645,24 +712,66 @@ impl Database {
             arity > 0 && ids.len().is_multiple_of(arity),
             "load_encoded_rows: id buffer is not a whole number of {arity}-tuples"
         );
-        let rel = self.relations.entry(pred).or_default();
+        let rel = self.relation_mut(pred);
         rel.reserve(ids.len() / arity, arity);
         ids.chunks_exact(arity).filter(|row| rel.insert(row)).count()
     }
 
-    /// The relation for `pred`, if any facts exist.
+    /// The relation for `pred`, if any facts exist — checking the local
+    /// relations first, then the frozen base (overlay read-through).
     pub fn relation(&self, pred: Sym) -> Option<&Relation> {
-        self.relations.get(&pred)
+        self.relations
+            .get(&pred)
+            .or_else(|| self.base.as_ref().and_then(|b| b.relation(pred)))
     }
 
     /// Mutable access, creating the relation if absent.
+    ///
+    /// On an overlay, a predicate that only exists in the frozen base is
+    /// first copied into the local map (copy-on-write) so inserts dedup
+    /// against — and scans keep seeing — the base facts. Translated query
+    /// programs never hit the copy: their head predicates are namespaced
+    /// per query and never collide with base predicates.
     pub fn relation_mut(&mut self, pred: Sym) -> &mut Relation {
-        self.relations.entry(pred).or_default()
+        match self.relations.entry(pred) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let rel = self
+                    .base
+                    .as_ref()
+                    .and_then(|b| b.relation(pred))
+                    .map(Relation::clone_for_write)
+                    .unwrap_or_default();
+                e.insert(rel)
+            }
+        }
     }
 
-    /// Iterates over `(predicate, relation)` pairs.
+    /// Ensures the `(pred, mask)` hash index exists, without forcing a
+    /// copy-on-write: a predicate served by the frozen base is
+    /// index-complete already (or deliberately scan-only above
+    /// [`crate::frozen::FULL_INDEX_MAX_ARITY`] columns), so the planner's
+    /// index pre-pass is a no-op there.
+    pub fn ensure_index(&mut self, pred: Sym, mask: Mask) {
+        if let Some(rel) = self.relations.get_mut(&pred) {
+            rel.ensure_index(mask);
+            return;
+        }
+        if self.base.as_ref().is_some_and(|b| b.relation(pred).is_some()) {
+            return;
+        }
+        self.relations.entry(pred).or_default().ensure_index(mask);
+    }
+
+    /// Iterates over `(predicate, relation)` pairs — local relations
+    /// first, then base relations not shadowed by a local copy.
     pub fn relations(&self) -> impl Iterator<Item = (Sym, &Relation)> + '_ {
-        self.relations.iter().map(|(&p, r)| (p, r))
+        self.relations.iter().map(|(&p, r)| (p, r)).chain(
+            self.base
+                .iter()
+                .flat_map(|b| b.relations())
+                .filter(|(p, _)| !self.relations.contains_key(p)),
+        )
     }
 
     /// Decodes an encoded tuple back to boundary constants.
@@ -670,9 +779,9 @@ impl Database {
         tuple.iter().map(|&id| self.dict.decode(id)).collect()
     }
 
-    /// Total number of facts.
+    /// Total number of facts (overlay + non-shadowed base).
     pub fn fact_count(&self) -> usize {
-        self.relations.values().map(Relation::len).sum()
+        self.relations().map(|(_, r)| r.len()).sum()
     }
 }
 

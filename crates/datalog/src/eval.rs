@@ -55,13 +55,15 @@
 //! the configurable Skolem-depth bound (the substitute for Vadalog's
 //! warded-chase termination strategy) is an O(1) check.
 
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::database::{
     row_hash, ColumnBatch, Database, Index, Mask, Relation, Staging,
 };
+use crate::frozen::FrozenDb;
 use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::pool::Pool;
 use crate::rule::{AggFunc, AtomArg, BodyItem, PostOp, Program, Rule, VarId};
 use crate::stratify::{stratify, StratifyError};
 use crate::symbols::{Sym, SymbolTable};
@@ -165,153 +167,6 @@ impl From<StratifyError> for EvalError {
     }
 }
 
-// ------------------------------------------------------------ worker pool
-
-/// A raw pointer to the current pass's job closure. Only ever dereferenced
-/// between `Pool::run` publishing it and `Pool::run` observing all jobs
-/// complete, during which the closure is alive on the caller's stack.
-struct TaskRef(*const (dyn Fn(usize) + Sync));
-
-// SAFETY: the referent is `Sync` (shared-access safe) and `Pool::run`
-// bounds its lifetime as described above.
-unsafe impl Send for TaskRef {}
-
-#[derive(Default)]
-struct PoolState {
-    /// The published job closure of the active pass, if any.
-    task: Option<TaskRef>,
-    /// Number of jobs in the active pass.
-    njobs: usize,
-    /// Next unclaimed job index.
-    next: usize,
-    /// Jobs not yet completed.
-    pending: usize,
-    shutdown: bool,
-}
-
-/// A pool of persistent scoped worker threads. Workers park on a condvar
-/// between passes; each pass publishes a job-count and a closure, every
-/// thread (the caller included) claims job indices from a shared counter,
-/// and `run` returns once all jobs completed. One pool lives for the
-/// duration of one `evaluate` call — rounds reuse the threads instead of
-/// respawning them.
-struct Pool {
-    threads: usize,
-    state: Mutex<PoolState>,
-    work: Condvar,
-    done: Condvar,
-}
-
-/// Decrements `pending` when dropped, so a panicking job cannot leave
-/// `Pool::run` waiting forever (the panic itself propagates through
-/// `std::thread::scope`).
-struct PendingGuard<'a>(&'a Pool);
-
-impl Drop for PendingGuard<'_> {
-    fn drop(&mut self) {
-        let mut g = self.0.state.lock().unwrap();
-        g.pending -= 1;
-        if g.pending == 0 {
-            self.0.done.notify_all();
-        }
-    }
-}
-
-impl Pool {
-    fn new(threads: usize) -> Pool {
-        Pool {
-            threads,
-            state: Mutex::new(PoolState::default()),
-            work: Condvar::new(),
-            done: Condvar::new(),
-        }
-    }
-
-    /// Runs `f(0..njobs)` across the pool (and the calling thread),
-    /// returning when every job has completed.
-    fn run(&self, njobs: usize, f: &(dyn Fn(usize) + Sync)) {
-        if njobs == 0 {
-            return;
-        }
-        // SAFETY: erase the closure's stack lifetime to store it in the
-        // shared cell. `run` does not return until `pending == 0`, i.e.
-        // until no worker can still hold (or claim a job against) the
-        // pointer, and clears the cell before returning.
-        let erased: *const (dyn Fn(usize) + Sync + 'static) = unsafe {
-            std::mem::transmute::<
-                *const (dyn Fn(usize) + Sync + '_),
-                *const (dyn Fn(usize) + Sync + 'static),
-            >(f as *const _)
-        };
-        {
-            let mut g = self.state.lock().unwrap();
-            g.task = Some(TaskRef(erased));
-            g.njobs = njobs;
-            g.next = 0;
-            g.pending = njobs;
-            self.work.notify_all();
-        }
-        // The caller claims jobs like any worker.
-        loop {
-            let j = {
-                let mut g = self.state.lock().unwrap();
-                if g.next < g.njobs {
-                    g.next += 1;
-                    Some(g.next - 1)
-                } else {
-                    None
-                }
-            };
-            match j {
-                Some(j) => {
-                    let _guard = PendingGuard(self);
-                    f(j);
-                }
-                None => break,
-            }
-        }
-        let mut g = self.state.lock().unwrap();
-        while g.pending > 0 {
-            g = self.done.wait(g).unwrap();
-        }
-        g.task = None;
-        g.njobs = 0;
-        g.next = 0;
-    }
-
-    /// The worker thread body.
-    fn worker(&self) {
-        loop {
-            let (task, j) = {
-                let mut g = self.state.lock().unwrap();
-                loop {
-                    if g.shutdown {
-                        return;
-                    }
-                    if g.next < g.njobs {
-                        break;
-                    }
-                    g = self.work.wait(g).unwrap();
-                }
-                let j = g.next;
-                g.next += 1;
-                (g.task.as_ref().expect("jobs imply a task").0, j)
-            };
-            let _guard = PendingGuard(self);
-            // SAFETY: `j` was claimed while the task was published, so
-            // `Pool::run` cannot return (and the closure cannot die)
-            // until our guard decrements `pending`.
-            unsafe { (*task)(j) };
-        }
-    }
-
-    fn shutdown(&self) {
-        let mut g = self.state.lock().unwrap();
-        g.shutdown = true;
-        self.work.notify_all();
-    }
-}
-
 /// Evaluates `program` against `db` to fixpoint, mutating `db` in place.
 ///
 /// With an effective thread count above one ([`EvalOptions::threads`] /
@@ -334,10 +189,32 @@ pub fn evaluate(
             scope: s,
             spawned: std::cell::Cell::new(false),
         };
-        let result = evaluate_inner(program, db, options, Some(&handle));
-        pool.shutdown();
-        result
+        // Shutdown-on-drop: a panic inside `evaluate_inner` (e.g. in a
+        // job claimed by this thread) must still unpark the workers, or
+        // the scope's implicit join deadlocks instead of propagating.
+        let _guard = crate::pool::ShutdownGuard(&pool);
+        evaluate_inner(program, db, options, Some(&handle))
     })
+}
+
+/// Evaluates `program` against a frozen snapshot, collecting all
+/// derivations into a fresh overlay database (shared symbol table and
+/// dictionary, reads falling through to `base`) — the `&self`-style
+/// evaluation entry for read-only query serving.
+///
+/// Any number of threads may call this concurrently on the same `base`:
+/// the snapshot is never written, each call owns its overlay exclusively,
+/// and the shared symbol table / term dictionary are internally
+/// synchronised. Returns the overlay (from which output predicates are
+/// read) alongside the run's statistics.
+pub fn evaluate_frozen(
+    program: &Program,
+    base: &Arc<FrozenDb>,
+    options: &EvalOptions,
+) -> Result<(Database, EvalStats), EvalError> {
+    let mut db = Database::overlay(base.clone());
+    let stats = evaluate(program, &mut db, options)?;
+    Ok((db, stats))
 }
 
 /// Lazily spawns the worker threads on the first genuinely parallel pass,
@@ -469,12 +346,12 @@ fn evaluate_inner(
         // merge, so rounds never rebuild them.
         for &ri in stratum_rules {
             for need in &plans[ri].index_needs {
-                db.relation_mut(need.0).ensure_index(need.1);
+                db.ensure_index(need.0, need.1);
             }
         }
         for plan in delta_plans.values() {
             for need in &plan.index_needs {
-                db.relation_mut(need.0).ensure_index(need.1);
+                db.ensure_index(need.0, need.1);
             }
         }
 

@@ -22,50 +22,84 @@ use crate::value::{Const, OrdF64, TermDict, TermId};
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CmpOp {
+    /// `=` — equality (RDF term equality with numeric coercion).
     Eq,
+    /// `!=` — inequality.
     Neq,
+    /// `<` — less than.
     Lt,
+    /// `<=` — less than or equal.
     Le,
+    /// `>` — greater than.
     Gt,
+    /// `>=` — greater than or equal.
     Ge,
 }
 
 /// Arithmetic operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ArithOp {
+    /// `+` — addition.
     Add,
+    /// `-` — subtraction.
     Sub,
+    /// `*` — multiplication.
     Mul,
+    /// `/` — division (an expression error on division by zero).
     Div,
 }
 
 /// A body expression.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
+    /// A variable reference.
     Var(VarId),
+    /// A literal constant.
     Const(Const),
     /// Skolem-term constructor: the tuple-ID generator of §5.1.
     Skolem(Sym, Vec<Expr>),
+    /// A comparison between two subexpressions.
     Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// An arithmetic combination of two subexpressions.
     Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Boolean conjunction (`&&`).
     And(Box<Expr>, Box<Expr>),
+    /// Boolean disjunction (`||`).
     Or(Box<Expr>, Box<Expr>),
+    /// Boolean negation (`!`).
     Not(Box<Expr>),
+    /// SPARQL `isIRI`/`isURI`.
     IsIri(Box<Expr>),
+    /// SPARQL `isBlank` (true for blank nodes and labelled nulls).
     IsBlank(Box<Expr>),
+    /// SPARQL `isLiteral`.
     IsLiteral(Box<Expr>),
+    /// SPARQL `isNumeric`.
     IsNumeric(Box<Expr>),
+    /// SPARQL `STR`: the lexical form of a term.
     Str(Box<Expr>),
+    /// SPARQL `LANG`: a literal's language tag (`""` when absent).
     Lang(Box<Expr>),
+    /// SPARQL `DATATYPE`: a literal's datatype IRI.
     Datatype(Box<Expr>),
+    /// SPARQL `UCASE`.
     Ucase(Box<Expr>),
+    /// SPARQL `LCASE`.
     Lcase(Box<Expr>),
+    /// SPARQL `STRLEN` (in characters).
     Strlen(Box<Expr>),
+    /// SPARQL `CONTAINS`.
     Contains(Box<Expr>, Box<Expr>),
+    /// SPARQL `STRSTARTS`.
     StrStarts(Box<Expr>, Box<Expr>),
+    /// SPARQL `STRENDS`.
     StrEnds(Box<Expr>, Box<Expr>),
+    /// SPARQL `REGEX(text, pattern, flags?)`, evaluated by the in-tree
+    /// backtracking matcher ([`crate::regex`]).
     Regex(Box<Expr>, Box<Expr>, Option<Box<Expr>>),
+    /// SPARQL `sameTerm`: identity without numeric coercion.
     SameTerm(Box<Expr>, Box<Expr>),
+    /// SPARQL `LANGMATCHES` (the `*` and prefix-range forms).
     LangMatches(Box<Expr>, Box<Expr>),
 }
 

@@ -1,0 +1,268 @@
+//! Frozen database snapshots: the read-side half of the engine's
+//! mutate/query lifecycle split.
+//!
+//! A [`FrozenDb`] is produced by [`Database::freeze`] after loading and
+//! materialisation. Freezing *index-completes* every relation — all
+//! non-trivial bound-position masks up to [`FULL_INDEX_MAX_ARITY`] columns
+//! are built eagerly (and any lazily auto-built index is promoted) — and
+//! then never mutates again, so every accessor takes `&self` and the
+//! snapshot can be shared across threads behind one `Arc`. For relations
+//! within the full-indexing arity bound — which covers every predicate
+//! the SPARQL data translation emits — the lazy `OnceLock` auto-index
+//! path of [`Relation::lookup`] is dead (every mask a probe could ask
+//! for already sits in the eager map) and reads are lock-free; a wider
+//! relation probed on an unplanned mask still auto-builds its index
+//! through the lazy path, which stays thread-safe on a shared snapshot.
+//!
+//! Queries evaluate against a snapshot through an *overlay*
+//! ([`Database::overlay`]): a fresh, initially empty database sharing the
+//! snapshot's symbol table and term dictionary whose reads fall through
+//! to the frozen base. Each concurrent query owns its overlay exclusively
+//! (`&mut`), derives its answer predicates there, and drops it afterwards
+//! — the base is never written. This is the same frozen-snapshot argument
+//! that makes the PR 2 worker pool sound, reused one level up: *within* a
+//! pass workers share an immutable database; *across* queries threads
+//! share an immutable [`FrozenDb`].
+
+use std::sync::Arc;
+
+use crate::database::{Database, Relation};
+use crate::fxhash::FxHashMap;
+use crate::symbols::{Sym, SymbolTable};
+use crate::value::TermDict;
+
+/// Widest relation that gets the *complete* per-mask index treatment at
+/// freeze time (`2^arity - 1` hash indexes). The SPARQL data translation
+/// tops out at `triple/4` (15 masks); relations wider than this keep
+/// only the indexes that already exist plus promoted lazy ones —
+/// evaluator scans on unindexed masks fall back to verified full scans,
+/// and an external [`Relation::lookup`] on an unplanned mask auto-builds
+/// through the thread-safe lazy path.
+pub const FULL_INDEX_MAX_ARITY: usize = 4;
+
+/// An immutable, index-complete database snapshot, shared across threads
+/// behind an `Arc`.
+///
+/// Produced by [`Database::freeze`]; queried either directly (all
+/// accessors take `&self`) or through per-query overlays created with
+/// [`Database::overlay`]. The symbol table and term dictionary remain the
+/// live, shared, thread-safe ones — query translation and evaluation keep
+/// interning new symbols and Skolem IDs into them concurrently.
+pub struct FrozenDb {
+    symbols: Arc<SymbolTable>,
+    dict: Arc<TermDict>,
+    relations: FxHashMap<Sym, Relation>,
+    facts: usize,
+}
+
+impl FrozenDb {
+    pub(crate) fn new(
+        symbols: Arc<SymbolTable>,
+        dict: Arc<TermDict>,
+        relations: FxHashMap<Sym, Relation>,
+    ) -> Self {
+        let facts = relations.values().map(Relation::len).sum();
+        FrozenDb { symbols, dict, relations, facts }
+    }
+
+    /// The shared symbol table.
+    pub fn symbols(&self) -> &Arc<SymbolTable> {
+        &self.symbols
+    }
+
+    /// The shared term dictionary.
+    pub fn dict(&self) -> &Arc<TermDict> {
+        &self.dict
+    }
+
+    /// The frozen relation for `pred`, if any facts exist.
+    pub fn relation(&self, pred: Sym) -> Option<&Relation> {
+        self.relations.get(&pred)
+    }
+
+    /// Iterates over `(predicate, relation)` pairs of the snapshot.
+    pub fn relations(&self) -> impl Iterator<Item = (Sym, &Relation)> + '_ {
+        self.relations.iter().map(|(&p, r)| (p, r))
+    }
+
+    /// Total number of facts in the snapshot.
+    pub fn fact_count(&self) -> usize {
+        self.facts
+    }
+}
+
+impl std::fmt::Debug for FrozenDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrozenDb")
+            .field("relations", &self.relations.len())
+            .field("facts", &self.facts)
+            .finish()
+    }
+}
+
+impl Database {
+    /// Consumes the database into an immutable, index-complete
+    /// [`FrozenDb`] snapshot, shareable across threads behind the
+    /// returned `Arc`.
+    ///
+    /// Every relation of width at most [`FULL_INDEX_MAX_ARITY`] gets all
+    /// `2^arity - 1` per-mask hash indexes built eagerly (lazily
+    /// auto-built ones are promoted rather than rebuilt), so concurrent
+    /// query evaluation over those — every predicate the SPARQL
+    /// translation emits — never takes the lazy `OnceLock` build path
+    /// and reads lock-free. Freezing is the moment to pay that cost
+    /// once: the snapshot is immutable, so no insert ever has to keep
+    /// the extra indexes current. (A wider relation probed via
+    /// [`Relation::lookup`] on an unplanned mask still auto-builds
+    /// lazily; that path is thread-safe on the shared snapshot.)
+    ///
+    /// Any frozen base this database was overlaid on is flattened into
+    /// the snapshot (local copy-on-write relations shadow their base
+    /// versions).
+    pub fn freeze(mut self) -> Arc<FrozenDb> {
+        // Flatten an overlay: pull in base relations not shadowed locally.
+        if let Some(base) = self.base.take() {
+            for (pred, rel) in base.relations() {
+                self.relations
+                    .entry(pred)
+                    .or_insert_with(|| rel.clone_for_write());
+            }
+        }
+        for rel in self.relations.values_mut() {
+            rel.complete_indexes(FULL_INDEX_MAX_ARITY);
+        }
+        Arc::new(FrozenDb::new(self.symbols, self.dict, self.relations))
+    }
+
+    /// Creates a fresh overlay database on a frozen base: empty local
+    /// state, shared symbol table and term dictionary, reads falling
+    /// through to `base`.
+    ///
+    /// Writes stay local; a write to a predicate that exists in the base
+    /// first copies the base relation in (copy-on-write), so dedup and
+    /// semi-naive deltas see the full fact set. Query programs generated
+    /// by the SPARQL translation never trigger the copy — their head
+    /// predicates are namespaced per query.
+    pub fn overlay(base: Arc<FrozenDb>) -> Database {
+        Database::with_base(base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{evaluate, evaluate_frozen, EvalOptions};
+    use crate::parser::parse_program;
+    use crate::value::Const;
+
+    fn edges_db() -> Database {
+        let mut db = Database::new();
+        let e = db.symbols().intern("edge");
+        let rows: Vec<Vec<Const>> = (0..50)
+            .map(|i| vec![Const::Int(i), Const::Int((i + 1) % 50)])
+            .collect();
+        db.load_rows(e, &rows);
+        db
+    }
+
+    #[test]
+    fn freeze_preserves_facts_and_completes_indexes() {
+        let db = edges_db();
+        let frozen = db.freeze();
+        assert_eq!(frozen.fact_count(), 50);
+        let e = frozen.symbols().get("edge").unwrap();
+        let rel = frozen.relation(e).unwrap();
+        // All three non-trivial masks of a binary relation are eager.
+        for mask in 1u64..4 {
+            assert!(
+                matches!(rel.lookup(mask, &crate::database::project(rel.row(0), mask)),
+                    crate::database::Matches::Borrowed(_)),
+                "mask {mask:#b} must be pre-built"
+            );
+        }
+    }
+
+    #[test]
+    fn overlay_reads_base_and_writes_locally() {
+        let frozen = edges_db().freeze();
+        let e = frozen.symbols().get("edge").unwrap();
+        let mut overlay = Database::overlay(frozen.clone());
+        assert_eq!(overlay.relation(e).unwrap().len(), 50, "base visible");
+        let p = overlay.symbols().intern("local");
+        overlay.add_fact_ids(p, &[overlay.dict().encode(&Const::Int(1))]);
+        assert_eq!(overlay.fact_count(), 51);
+        assert!(frozen.relation(p).is_none(), "base untouched");
+    }
+
+    #[test]
+    fn overlay_copy_on_write_shadows_base() {
+        let frozen = edges_db().freeze();
+        let e = frozen.symbols().get("edge").unwrap();
+        let mut overlay = Database::overlay(frozen.clone());
+        let dup = [
+            overlay.dict().encode(&Const::Int(0)),
+            overlay.dict().encode(&Const::Int(1)),
+        ];
+        // Re-inserting a base fact must dedup against the copied rows.
+        assert!(!overlay.add_fact_ids(e, &dup), "already present in base");
+        let fresh = [
+            overlay.dict().encode(&Const::Int(999)),
+            overlay.dict().encode(&Const::Int(0)),
+        ];
+        assert!(overlay.add_fact_ids(e, &fresh));
+        assert_eq!(overlay.relation(e).unwrap().len(), 51);
+        assert_eq!(frozen.relation(e).unwrap().len(), 50, "base untouched");
+    }
+
+    #[test]
+    fn evaluate_frozen_matches_mutable_evaluation() {
+        let prog_src = "tc(X, Y) :- edge(X, Y).\n\
+                        tc(X, Z) :- edge(X, Y), tc(Y, Z).\n\
+                        @output(\"tc\").\n";
+        // Mutable reference run.
+        let mut plain = edges_db();
+        let prog = parse_program(prog_src, plain.symbols()).unwrap();
+        evaluate(&prog, &mut plain, &EvalOptions::default()).unwrap();
+        let tc = plain.symbols().get("tc").unwrap();
+        let expected = plain.relation(tc).unwrap().len();
+
+        // Frozen run: same program over an overlay.
+        let frozen = edges_db().freeze();
+        let prog2 = parse_program(prog_src, frozen.symbols()).unwrap();
+        let (overlay, _) =
+            evaluate_frozen(&prog2, &frozen, &EvalOptions::default()).unwrap();
+        let tc2 = frozen.symbols().get("tc").unwrap();
+        assert_eq!(overlay.relation(tc2).unwrap().len(), expected);
+        assert!(frozen.relation(tc2).is_none(), "derivations stay in overlay");
+    }
+
+    #[test]
+    fn concurrent_overlays_share_one_snapshot() {
+        let frozen = edges_db().freeze();
+        let counts: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|k| {
+                    let frozen = frozen.clone();
+                    s.spawn(move || {
+                        let src = format!(
+                            "hop{k}(X, Z) :- edge(X, Y), edge(Y, Z).\n\
+                             @output(\"hop{k}\").\n"
+                        );
+                        let prog =
+                            parse_program(&src, frozen.symbols()).unwrap();
+                        let (db, _) = evaluate_frozen(
+                            &prog,
+                            &frozen,
+                            &EvalOptions { threads: Some(1), ..Default::default() },
+                        )
+                        .unwrap();
+                        let p = frozen.symbols().get(&format!("hop{k}")).unwrap();
+                        db.relation(p).map_or(0, Relation::len)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(counts.iter().all(|&c| c == 50), "{counts:?}");
+    }
+}

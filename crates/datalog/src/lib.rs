@@ -47,11 +47,15 @@
 //! assert_eq!(stats.derived, 3 + 6); // 3 facts + 6 closure tuples
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod database;
 pub mod eval;
 pub mod expr;
+pub mod frozen;
 pub mod fxhash;
 pub mod parser;
+pub mod pool;
 pub mod regex;
 pub mod rule;
 pub mod stratify;
@@ -60,7 +64,12 @@ pub mod value;
 pub mod wardedness;
 
 pub use database::{row_hash, ColumnBatch, Database, Matches, Relation, Staging};
-pub use eval::{collect_output, evaluate, order_cmp, EvalError, EvalOptions, EvalStats};
+pub use eval::{
+    collect_output, evaluate, evaluate_frozen, order_cmp, EvalError, EvalOptions,
+    EvalStats,
+};
+pub use frozen::{FrozenDb, FULL_INDEX_MAX_ARITY};
+pub use pool::run_scoped;
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use rule::{
     AggFunc, AggSpec, Atom, AtomArg, BodyItem, PostOp, Program, Rule, RuleBuilder, VarId,

@@ -30,7 +30,9 @@ use crate::value::{Const, OrdF64};
 /// A parse error with byte offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
+    /// Byte offset of the error in the source text.
     pub offset: usize,
+    /// Human-readable description.
     pub message: String,
 }
 

@@ -1,0 +1,271 @@
+//! A dependency-free scoped worker pool shared by the evaluator's
+//! intra-query parallelism (PR 2) and the façade's inter-query batch
+//! fan-out.
+//!
+//! The pool is a set of persistent threads parked on a condvar. Each
+//! *pass* publishes a job count and a closure; every thread (the caller
+//! included) claims job indices from a shared counter until the pass
+//! drains. One pool instance lives for the duration of one logical
+//! parallel section — rounds of a fixpoint, or one query batch — so
+//! repeated passes reuse the threads instead of respawning them.
+//!
+//! Two entry styles exist:
+//!
+//! * [`run_scoped`] — the one-shot convenience used for embarrassingly
+//!   parallel job lists (a query batch): spawns a scoped pool, runs the
+//!   jobs, tears the pool down.
+//! * `Pool` directly (crate-internal) — the evaluator keeps one pool
+//!   across many passes and drives it through `Pool::run`.
+
+use std::sync::{Condvar, Mutex};
+
+/// A raw pointer to the current pass's job closure. Only ever dereferenced
+/// between `Pool::run` publishing it and `Pool::run` observing all jobs
+/// complete, during which the closure is alive on the caller's stack.
+struct TaskRef(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the referent is `Sync` (shared-access safe) and `Pool::run`
+// bounds its lifetime as described above.
+unsafe impl Send for TaskRef {}
+
+#[derive(Default)]
+struct PoolState {
+    /// The published job closure of the active pass, if any.
+    task: Option<TaskRef>,
+    /// Number of jobs in the active pass.
+    njobs: usize,
+    /// Next unclaimed job index.
+    next: usize,
+    /// Jobs not yet completed.
+    pending: usize,
+    shutdown: bool,
+}
+
+/// A pool of persistent scoped worker threads. Workers park on a condvar
+/// between passes; each pass publishes a job-count and a closure, every
+/// thread (the caller included) claims job indices from a shared counter,
+/// and `run` returns once all jobs completed.
+pub(crate) struct Pool {
+    pub(crate) threads: usize,
+    state: Mutex<PoolState>,
+    work: Condvar,
+    done: Condvar,
+}
+
+/// Decrements `pending` when dropped, so a panicking job cannot leave
+/// `Pool::run` waiting forever (the panic itself propagates through
+/// `std::thread::scope`).
+struct PendingGuard<'a>(&'a Pool);
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        let mut g = self.0.state.lock().unwrap();
+        g.pending -= 1;
+        if g.pending == 0 {
+            self.0.done.notify_all();
+        }
+    }
+}
+
+/// Calls [`Pool::shutdown`] when dropped — including during a panic
+/// unwind. Without this, a panic in a job claimed by the *calling*
+/// thread would skip the shutdown call, leave the workers parked on the
+/// condvar forever, and deadlock `std::thread::scope`'s implicit join
+/// instead of propagating the panic.
+pub(crate) struct ShutdownGuard<'a>(pub(crate) &'a Pool);
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+impl Pool {
+    pub(crate) fn new(threads: usize) -> Pool {
+        Pool {
+            threads,
+            state: Mutex::new(PoolState::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Runs `f(0..njobs)` across the pool (and the calling thread),
+    /// returning when every job has completed.
+    pub(crate) fn run(&self, njobs: usize, f: &(dyn Fn(usize) + Sync)) {
+        if njobs == 0 {
+            return;
+        }
+        // SAFETY: erase the closure's stack lifetime to store it in the
+        // shared cell. `run` does not return until `pending == 0`, i.e.
+        // until no worker can still hold (or claim a job against) the
+        // pointer, and clears the cell before returning.
+        let erased: *const (dyn Fn(usize) + Sync + 'static) = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f as *const _)
+        };
+        {
+            let mut g = self.state.lock().unwrap();
+            g.task = Some(TaskRef(erased));
+            g.njobs = njobs;
+            g.next = 0;
+            g.pending = njobs;
+            self.work.notify_all();
+        }
+        // The caller claims jobs like any worker.
+        loop {
+            let j = {
+                let mut g = self.state.lock().unwrap();
+                if g.next < g.njobs {
+                    g.next += 1;
+                    Some(g.next - 1)
+                } else {
+                    None
+                }
+            };
+            match j {
+                Some(j) => {
+                    let _guard = PendingGuard(self);
+                    f(j);
+                }
+                None => break,
+            }
+        }
+        let mut g = self.state.lock().unwrap();
+        while g.pending > 0 {
+            g = self.done.wait(g).unwrap();
+        }
+        g.task = None;
+        g.njobs = 0;
+        g.next = 0;
+    }
+
+    /// The worker thread body.
+    pub(crate) fn worker(&self) {
+        loop {
+            let (task, j) = {
+                let mut g = self.state.lock().unwrap();
+                loop {
+                    if g.shutdown {
+                        return;
+                    }
+                    if g.next < g.njobs {
+                        break;
+                    }
+                    g = self.work.wait(g).unwrap();
+                }
+                let j = g.next;
+                g.next += 1;
+                (g.task.as_ref().expect("jobs imply a task").0, j)
+            };
+            let _guard = PendingGuard(self);
+            // SAFETY: `j` was claimed while the task was published, so
+            // `Pool::run` cannot return (and the closure cannot die)
+            // until our guard decrements `pending`.
+            unsafe { (*task)(j) };
+        }
+    }
+
+    pub(crate) fn shutdown(&self) {
+        let mut g = self.state.lock().unwrap();
+        g.shutdown = true;
+        self.work.notify_all();
+    }
+}
+
+/// Runs `f(0)..f(njobs - 1)` across up to `threads` scoped worker threads
+/// (the calling thread included) and returns once every job completed.
+///
+/// With `threads <= 1` or `njobs <= 1` the jobs simply run inline on the
+/// calling thread, in order — the deterministic fallback. Job *claiming*
+/// order under parallelism is nondeterministic; callers that need ordered
+/// results should write into a per-job slot, as
+/// `FrozenDatabase::execute_batch` does.
+///
+/// Panics in a job propagate to the caller (via `std::thread::scope`)
+/// after the remaining jobs drain or panic themselves.
+pub fn run_scoped(threads: usize, njobs: usize, f: &(dyn Fn(usize) + Sync)) {
+    if threads <= 1 || njobs <= 1 {
+        for j in 0..njobs {
+            f(j);
+        }
+        return;
+    }
+    let pool = Pool::new(threads.min(njobs));
+    std::thread::scope(|s| {
+        for _ in 1..pool.threads {
+            s.spawn(|| pool.worker());
+        }
+        // Shutdown-on-drop: a panicking job on the calling thread must
+        // still unpark the workers, or the scope's join deadlocks.
+        let _guard = ShutdownGuard(&pool);
+        pool.run(njobs, f);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_scoped_runs_every_job_once() {
+        for threads in [1, 2, 4, 8] {
+            let hits: Vec<AtomicUsize> =
+                (0..100).map(|_| AtomicUsize::new(0)).collect();
+            run_scoped(threads, hits.len(), &|j| {
+                hits[j].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads={threads}: every job exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn run_scoped_zero_and_single_job() {
+        run_scoped(4, 0, &|_| panic!("no jobs to run"));
+        let hit = AtomicUsize::new(0);
+        run_scoped(4, 1, &|j| {
+            assert_eq!(j, 0);
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn panicking_job_propagates_instead_of_deadlocking() {
+        // A panic in a job claimed by the calling thread must unwind out
+        // of run_scoped (shutting the workers down on the way), not hang
+        // the scope's join forever.
+        let result = std::panic::catch_unwind(|| {
+            run_scoped(4, 8, &|j| {
+                if j == 0 {
+                    panic!("job 0 fails");
+                }
+            });
+        });
+        assert!(result.is_err(), "the job's panic reaches the caller");
+    }
+
+    #[test]
+    fn pool_reuse_across_passes() {
+        let pool = Pool::new(4);
+        std::thread::scope(|s| {
+            for _ in 1..pool.threads {
+                s.spawn(|| pool.worker());
+            }
+            let count = AtomicUsize::new(0);
+            for pass in 1..=5usize {
+                pool.run(pass * 3, &|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            assert_eq!(count.load(Ordering::Relaxed), 3 + 6 + 9 + 12 + 15);
+            pool.shutdown();
+        });
+    }
+}

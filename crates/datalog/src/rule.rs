@@ -13,18 +13,23 @@ pub type VarId = u32;
 /// One argument position of an atom: a variable or a constant.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AtomArg {
+    /// A variable position.
     Var(VarId),
+    /// A constant position.
     Const(Const),
 }
 
 /// A predicate applied to arguments.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Atom {
+    /// The predicate symbol.
     pub pred: Sym,
+    /// The argument positions, constants or variables.
     pub args: Vec<AtomArg>,
 }
 
 impl Atom {
+    /// Creates an atom `pred(args...)`.
     pub fn new(pred: Sym, args: Vec<AtomArg>) -> Self {
         Atom { pred, args }
     }
@@ -61,10 +66,15 @@ pub enum BodyItem {
 /// Aggregate functions (Vadalog-style post-fixpoint aggregation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggFunc {
+    /// Row count (`COUNT`).
     Count,
+    /// Numeric sum (`SUM`); integral when every input is integral.
     Sum,
+    /// Minimum under the engine's total term order (`MIN`).
     Min,
+    /// Maximum under the engine's total term order (`MAX`).
     Max,
+    /// Numeric mean (`AVG`).
     Avg,
 }
 
@@ -73,16 +83,22 @@ pub enum AggFunc {
 /// within each group (`input = None` counts rows).
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggSpec {
+    /// The aggregate function.
     pub func: AggFunc,
+    /// Collapse duplicate inputs before aggregating (`DISTINCT`).
     pub distinct: bool,
+    /// The aggregated expression; `None` counts rows.
     pub input: Option<Expr>,
+    /// The head variable receiving the aggregate result.
     pub result_var: VarId,
 }
 
 /// A Datalog± rule.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Rule {
+    /// The head atom being derived.
     pub head: Atom,
+    /// The body items, evaluated left to right.
     pub body: Vec<BodyItem>,
     /// Aggregation spec, if this is an aggregate rule.
     pub aggregate: Option<AggSpec>,
@@ -214,6 +230,7 @@ pub enum PostOp {
 /// A complete Datalog± program: rules, base facts, output directives.
 #[derive(Debug, Default, Clone)]
 pub struct Program {
+    /// The rules, in source order.
     pub rules: Vec<Rule>,
     /// Ground facts (EDB) bundled with the program.
     pub facts: Vec<(Sym, Vec<Const>)>,
@@ -224,6 +241,7 @@ pub struct Program {
 }
 
 impl Program {
+    /// Creates an empty program.
     pub fn new() -> Self {
         Program::default()
     }
@@ -277,6 +295,7 @@ impl Default for RuleBuilder {
 }
 
 impl RuleBuilder {
+    /// Creates an empty builder.
     pub fn new() -> Self {
         RuleBuilder {
             vars: FxHashMap::default(),

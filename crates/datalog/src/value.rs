@@ -67,7 +67,9 @@ impl Ord for OrdF64 {
 /// equal the derivation-tree count).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SkolemTerm {
+    /// The uninterpreted function symbol (`"f1a"` in the paper).
     pub functor: Sym,
+    /// The argument values, possibly Skolem terms themselves.
     pub args: Vec<Const>,
 }
 

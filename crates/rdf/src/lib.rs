@@ -35,6 +35,8 @@
 //! assert_eq!(hits.len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod dataset;
 pub mod graph;
 pub mod nquads;

@@ -13,8 +13,11 @@ use crate::term::Term;
 /// any term.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Triple {
+    /// The subject term.
     pub subject: Term,
+    /// The predicate term.
     pub predicate: Term,
+    /// The object term.
     pub object: Term,
 }
 
@@ -35,7 +38,9 @@ impl fmt::Display for Triple {
 /// graph).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Quad {
+    /// The triple.
     pub triple: Triple,
+    /// The containing graph's name; `None` = default graph.
     pub graph: Option<Term>,
 }
 

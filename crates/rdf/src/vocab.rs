@@ -2,19 +2,33 @@
 
 /// XML Schema datatypes.
 pub mod xsd {
+    /// The namespace prefix.
     pub const NS: &str = "http://www.w3.org/2001/XMLSchema#";
+    /// `xsd:string`.
     pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    /// `xsd:integer`.
     pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    /// `xsd:decimal`.
     pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    /// `xsd:double`.
     pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    /// `xsd:float`.
     pub const FLOAT: &str = "http://www.w3.org/2001/XMLSchema#float";
+    /// `xsd:boolean`.
     pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    /// `xsd:date`.
     pub const DATE: &str = "http://www.w3.org/2001/XMLSchema#date";
+    /// `xsd:dateTime`.
     pub const DATE_TIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+    /// `xsd:long`.
     pub const LONG: &str = "http://www.w3.org/2001/XMLSchema#long";
+    /// `xsd:int`.
     pub const INT: &str = "http://www.w3.org/2001/XMLSchema#int";
+    /// `xsd:short`.
     pub const SHORT: &str = "http://www.w3.org/2001/XMLSchema#short";
+    /// `xsd:byte`.
     pub const BYTE: &str = "http://www.w3.org/2001/XMLSchema#byte";
+    /// `xsd:nonNegativeInteger`.
     pub const NON_NEGATIVE_INTEGER: &str =
         "http://www.w3.org/2001/XMLSchema#nonNegativeInteger";
 
@@ -34,30 +48,45 @@ pub mod xsd {
 
 /// The RDF core vocabulary.
 pub mod rdf {
+    /// The namespace prefix.
     pub const NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    /// `rdf:type`.
     pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    /// `rdf:langString`.
     pub const LANG_STRING: &str =
         "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+    /// `rdf:first`.
     pub const FIRST: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#first";
+    /// `rdf:rest`.
     pub const REST: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#rest";
+    /// `rdf:nil`.
     pub const NIL: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#nil";
 }
 
 /// The RDF Schema vocabulary (used by the ontology benchmark).
 pub mod rdfs {
+    /// The namespace prefix.
     pub const NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+    /// `rdfs:subClassOf`.
     pub const SUB_CLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    /// `rdfs:subPropertyOf`.
     pub const SUB_PROPERTY_OF: &str =
         "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+    /// `rdfs:domain`.
     pub const DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+    /// `rdfs:range`.
     pub const RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+    /// `rdfs:label`.
     pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
 }
 
 /// OWL vocabulary items needed for the OWL 2 QL subset.
 pub mod owl {
+    /// The namespace prefix.
     pub const NS: &str = "http://www.w3.org/2002/07/owl#";
+    /// `owl:inverseOf`.
     pub const INVERSE_OF: &str = "http://www.w3.org/2002/07/owl#inverseOf";
+    /// `owl:someValuesFrom`.
     pub const SOME_VALUES_FROM: &str = "http://www.w3.org/2002/07/owl#someValuesFrom";
 }
 

@@ -33,7 +33,9 @@ impl fmt::Display for Var {
 /// A term-or-variable position in a triple pattern.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum TermPattern {
+    /// A variable position.
     Var(Var),
+    /// A concrete RDF term.
     Term(Term),
 }
 
@@ -64,12 +66,16 @@ impl fmt::Display for TermPattern {
 /// A triple pattern: a triple whose components may be variables.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TriplePattern {
+    /// The subject position.
     pub subject: TermPattern,
+    /// The predicate position.
     pub predicate: TermPattern,
+    /// The object position.
     pub object: TermPattern,
 }
 
 impl TriplePattern {
+    /// Creates a triple pattern.
     pub fn new(subject: TermPattern, predicate: TermPattern, object: TermPattern) -> Self {
         TriplePattern { subject, predicate, object }
     }
@@ -97,7 +103,9 @@ impl fmt::Display for TriplePattern {
 /// The graph selector of a `GRAPH` pattern.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum GraphSpec {
+    /// A concrete graph IRI.
     Iri(Arc<str>),
+    /// A graph variable, ranging over the named graphs.
     Var(Var),
 }
 
@@ -115,8 +123,11 @@ pub enum GraphPattern {
     Triple(TriplePattern),
     /// A property-path pattern `S path O`.
     Path {
+        /// The subject position.
         subject: TermPattern,
+        /// The path expression.
         path: PropertyPath,
+        /// The object position.
         object: TermPattern,
     },
     /// `P1 . P2`
@@ -213,9 +224,13 @@ pub enum SelectItem {
     /// An aggregate, e.g. `(COUNT(?x) AS ?c)`. `arg = None` means
     /// `COUNT(*)`.
     Aggregate {
+        /// The projected variable (`AS ?c`).
         var: Var,
+        /// The aggregate function.
         func: AggFunc,
+        /// `DISTINCT` inside the aggregate call.
         distinct: bool,
+        /// The aggregated expression; `None` = `COUNT(*)`.
         arg: Option<Expr>,
     },
 }
@@ -225,7 +240,9 @@ pub enum SelectItem {
 pub enum QueryForm {
     /// `SELECT [DISTINCT] items` (empty `items` = `SELECT *`).
     Select {
+        /// `DISTINCT` modifier (set semantics).
         distinct: bool,
+        /// The projection; empty means `SELECT *`.
         items: Vec<SelectItem>,
     },
     /// `ASK`.
@@ -235,26 +252,38 @@ pub enum QueryForm {
 /// A `FROM` or `FROM NAMED` clause.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DatasetClause {
+    /// `FROM <iri>` — contributes to the default graph.
     Default(Arc<str>),
+    /// `FROM NAMED <iri>`.
     Named(Arc<str>),
 }
 
 /// One `ORDER BY` condition.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OrderCondition {
+    /// The ordering expression (a bare variable in the common case).
     pub expr: Expr,
+    /// `DESC(...)` was used.
     pub descending: bool,
 }
 
 /// A parsed SPARQL query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
+    /// `SELECT`/`ASK` plus projection.
     pub form: QueryForm,
+    /// `FROM` / `FROM NAMED` clauses (recorded; resolution is up to the
+    /// caller's dataset).
     pub dataset: Vec<DatasetClause>,
+    /// The `WHERE` clause pattern.
     pub pattern: GraphPattern,
+    /// `GROUP BY` variables.
     pub group_by: Vec<Var>,
+    /// `ORDER BY` conditions, outermost first.
     pub order_by: Vec<OrderCondition>,
+    /// `LIMIT`, if present.
     pub limit: Option<usize>,
+    /// `OFFSET`, if present.
     pub offset: Option<usize>,
 }
 

@@ -65,20 +65,30 @@ pub enum Expr {
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CmpOp {
+    /// `=`
     Eq,
+    /// `!=`
     Neq,
+    /// `<`
     Lt,
+    /// `<=`
     Le,
+    /// `>`
     Gt,
+    /// `>=`
     Ge,
 }
 
 /// Arithmetic operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ArithOp {
+    /// `+`
     Add,
+    /// `-`
     Sub,
+    /// `*`
     Mul,
+    /// `/`
     Div,
 }
 
@@ -86,10 +96,15 @@ pub enum ArithOp {
 /// GROUP BY ✓ with COUNT and friends).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggFunc {
+    /// `COUNT`
     Count,
+    /// `SUM`
     Sum,
+    /// `MIN`
     Min,
+    /// `MAX`
     Max,
+    /// `AVG`
     Avg,
 }
 

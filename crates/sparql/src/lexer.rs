@@ -9,7 +9,12 @@ pub enum Token {
     /// An IRI in angle brackets, without the brackets.
     Iri(Arc<str>),
     /// A prefixed name `prefix:local` (either part may be empty).
-    PName { prefix: String, local: String },
+    PName {
+        /// The namespace prefix (before the `:`).
+        prefix: String,
+        /// The local part (after the `:`).
+        local: String,
+    },
     /// A variable `?name` or `$name`, without the sigil.
     Var(Arc<str>),
     /// A blank node `_:label`.
@@ -34,31 +39,57 @@ pub enum Token {
 /// Punctuation and operator tokens.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Punct {
+    /// `{`
     LBrace,
+    /// `}`
     RBrace,
+    /// `(`
     LParen,
+    /// `)`
     RParen,
+    /// `[`
     LBracket,
+    /// `]`
     RBracket,
+    /// `.`
     Dot,
+    /// `;`
     Semicolon,
+    /// `,`
     Comma,
+    /// `*`
     Star,
+    /// `/`
     Slash,
+    /// `|`
     Pipe,
+    /// `^`
     Caret,
+    /// `^^` (datatype marker)
     CaretCaret,
+    /// `!`
     Bang,
+    /// `?` (the path operator; variables consume their own sigil)
     Question,
+    /// `+`
     Plus,
+    /// `-`
     Minus,
+    /// `=`
     Eq,
+    /// `!=`
     Neq,
+    /// `<`
     Lt,
+    /// `<=`
     Le,
+    /// `>`
     Gt,
+    /// `>=`
     Ge,
+    /// `&&`
     AndAnd,
+    /// `||`
     OrOr,
 }
 
@@ -83,7 +114,9 @@ impl fmt::Display for Token {
 /// A lexing error with a byte offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LexError {
+    /// Byte offset of the error in the query string.
     pub offset: usize,
+    /// Human-readable description.
     pub message: String,
 }
 

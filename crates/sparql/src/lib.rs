@@ -37,6 +37,8 @@
 //! assert!(q.is_select());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ast;
 pub mod display;
 pub mod expr;

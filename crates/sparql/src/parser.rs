@@ -22,7 +22,9 @@ use crate::path::PropertyPath;
 /// feature the engine deliberately does not implement.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
+    /// Human-readable description.
     pub message: String,
+    /// True when the query uses a deliberately unimplemented feature.
     pub unsupported: bool,
 }
 

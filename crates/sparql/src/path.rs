@@ -28,7 +28,9 @@ pub enum PropertyPath {
     /// `!(p1 | ... | ^q1 | ...)` (Def. A.20): `forward` are the negated
     /// forward links, `backward` the negated inverse links.
     NegatedSet {
+        /// The negated forward links (`!(p)`).
         forward: Vec<Arc<str>>,
+        /// The negated inverse links (`!(^p)`).
         backward: Vec<Arc<str>>,
     },
     /// `p{n}` — exactly `n` repetitions (gMark).

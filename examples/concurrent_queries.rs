@@ -1,0 +1,81 @@
+//! Concurrent query serving over a frozen snapshot: load once, freeze,
+//! then answer a flood of read-only queries from many threads — the
+//! query-log-shaped workload the mutable single-session engine cannot
+//! serve.
+//!
+//! ```sh
+//! cargo run --example concurrent_queries
+//! ```
+
+use std::time::Instant;
+
+use sparqlog::SparqLog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Mutate phase: load a synthetic social graph and materialise.
+    let mut turtle = String::from("@prefix ex: <http://ex.org/> .\n");
+    for i in 0..200 {
+        turtle.push_str(&format!("ex:p{i} ex:knows ex:p{} .\n", (i + 1) % 200));
+        if i % 7 == 0 {
+            turtle.push_str(&format!("ex:p{i} ex:knows ex:p{} .\n", (i * 3 + 2) % 200));
+        }
+        if i % 10 == 0 {
+            turtle.push_str(&format!("ex:p{i} ex:name \"person {i}\" .\n"));
+        }
+    }
+    let mut engine = SparqLog::new();
+    engine.load_turtle(&turtle)?;
+    println!("loaded + materialised: {} facts", engine.database().fact_count());
+
+    // Query phase: freeze. From here on everything is `&self`.
+    let frozen = engine.freeze();
+
+    // A "query log": a few shapes, many repetitions — the repetitions hit
+    // the translation cache and skip the SPARQL→Datalog pipeline.
+    let shapes = [
+        "PREFIX ex: <http://ex.org/>
+         SELECT ?b WHERE { ?a ex:knows ?b . ?a ex:name ?n }",
+        "PREFIX ex: <http://ex.org/>
+         SELECT ?z WHERE { ex:p0 ex:knows+ ?z }",
+        "PREFIX ex: <http://ex.org/> ASK { ex:p7 ex:knows ex:p8 }",
+        "PREFIX ex: <http://ex.org/>
+         SELECT DISTINCT ?n WHERE { ?a ex:name ?n }",
+    ];
+    let log: Vec<&str> = (0..40).map(|i| shapes[i % shapes.len()]).collect();
+
+    // Serve the whole log as one batch across the worker pool; results
+    // come back in input order.
+    let t0 = Instant::now();
+    let results = frozen.execute_batch(&log);
+    let batch_time = t0.elapsed();
+    let answered = results.iter().filter(|r| r.is_ok()).count();
+    println!(
+        "batch: {answered}/{} queries in {batch_time:?} \
+         ({} distinct translations cached)",
+        log.len(),
+        frozen.cached_translations(),
+    );
+
+    // Or serve ad hoc from plain threads — `&frozen` is all they need.
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..4)
+            .map(|k| {
+                let frozen = &frozen;
+                s.spawn(move || {
+                    let mine = shapes[k % shapes.len()];
+                    frozen.execute(mine).map(|r| r.len())
+                })
+            })
+            .collect();
+        for (k, w) in workers.into_iter().enumerate() {
+            println!("thread {k}: {} solutions", w.join().unwrap()?);
+        }
+        Ok::<(), sparqlog::SparqLogError>(())
+    })?;
+
+    // Sanity: the batch answers equal fresh sequential answers.
+    let check = frozen.execute(shapes[1])?;
+    assert_eq!(results[1].as_ref().unwrap(), &check);
+    println!("sequential re-check: identical results");
+    Ok(())
+}
