@@ -32,7 +32,10 @@ fn main() {
 
     for (name, reorder) in [("delta_reorder_on", true), ("delta_reorder_off", false)] {
         let src = chain_src(3_000);
-        let opts = EvalOptions { semi_naive_reorder: reorder, ..Default::default() };
+        let opts = EvalOptions {
+            semi_naive_reorder: reorder,
+            ..Default::default()
+        };
         b.bench(&format!("join_chain/{name}"), || {
             let mut db = Database::new();
             let prog = parse_program(&src, db.symbols()).unwrap();
@@ -53,7 +56,10 @@ fn main() {
         src.push_str(
             "tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- edge(X, Y), tc(Y, Z).\n@output(\"tc\").\n",
         );
-        let opts = EvalOptions { semi_naive_reorder: reorder, ..Default::default() };
+        let opts = EvalOptions {
+            semi_naive_reorder: reorder,
+            ..Default::default()
+        };
         b.bench(&format!("closure/{name}"), || {
             let mut db = Database::new();
             let prog = parse_program(&src, db.symbols()).unwrap();

@@ -10,7 +10,10 @@ use sparqlog_rdf::Dataset;
 use sparqlog_refengine::StardogSim;
 
 fn main() {
-    let (graph, onto) = build(Sp2bConfig { target_triples: 2_000, seed: 3 });
+    let (graph, onto) = build(Sp2bConfig {
+        target_triples: 2_000,
+        seed: 3,
+    });
     let dataset = Dataset::from_default_graph(graph);
     let qs = queries();
     let mut b = Bench::new("ontology");

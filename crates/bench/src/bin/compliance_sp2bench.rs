@@ -1,5 +1,8 @@
 //! Regenerates the SP²Bench compliance results of §6.2.
 use sparqlog_bench::harness::timeout_from_env;
 fn main() {
-    println!("{}", sparqlog_bench::tables::compliance_sp2bench(timeout_from_env()));
+    println!(
+        "{}",
+        sparqlog_bench::tables::compliance_sp2bench(timeout_from_env())
+    );
 }

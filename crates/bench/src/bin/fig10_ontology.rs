@@ -1,5 +1,8 @@
 //! Regenerates Figure 10 (ontology benchmark, SparqLog vs. StardogSim).
 use sparqlog_bench::harness::{scale_from_env, timeout_from_env};
 fn main() {
-    println!("{}", sparqlog_bench::tables::fig10(timeout_from_env(), scale_from_env()));
+    println!(
+        "{}",
+        sparqlog_bench::tables::fig10(timeout_from_env(), scale_from_env())
+    );
 }

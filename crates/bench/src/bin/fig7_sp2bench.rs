@@ -1,5 +1,8 @@
 //! Regenerates Figure 7 / Table 11 (SP²Bench performance).
 use sparqlog_bench::harness::{scale_from_env, timeout_from_env};
 fn main() {
-    println!("{}", sparqlog_bench::tables::fig7(timeout_from_env(), scale_from_env()));
+    println!(
+        "{}",
+        sparqlog_bench::tables::fig7(timeout_from_env(), scale_from_env())
+    );
 }

@@ -4,6 +4,10 @@ use sparqlog_benchdata::gmark::Scenario;
 fn main() {
     println!(
         "{}",
-        sparqlog_bench::tables::gmark_report(Scenario::Social, timeout_from_env(), scale_from_env())
+        sparqlog_bench::tables::gmark_report(
+            Scenario::Social,
+            timeout_from_env(),
+            scale_from_env()
+        )
     );
 }

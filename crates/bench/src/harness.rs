@@ -92,12 +92,18 @@ pub fn run(
 ) -> Measurement {
     match engine {
         Engine::SparqLog => run_sparqlog(dataset, ontology, query, timeout),
-        Engine::Fuseki => {
-            run_ref(query, timeout, |ds| FusekiSim::new(ds).with_timeout(timeout), dataset)
-        }
-        Engine::Virtuoso => {
-            run_ref(query, timeout, |ds| VirtuosoSim::new(ds).with_timeout(timeout), dataset)
-        }
+        Engine::Fuseki => run_ref(
+            query,
+            timeout,
+            |ds| FusekiSim::new(ds).with_timeout(timeout),
+            dataset,
+        ),
+        Engine::Virtuoso => run_ref(
+            query,
+            timeout,
+            |ds| VirtuosoSim::new(ds).with_timeout(timeout),
+            dataset,
+        ),
         Engine::Stardog => {
             let onto_owned;
             let onto = match ontology {
@@ -112,7 +118,11 @@ pub fn run(
             let load = start.elapsed();
             let start = Instant::now();
             let status = classify_ref(engine.execute(query));
-            Measurement { load, exec: start.elapsed(), status }
+            Measurement {
+                load,
+                exec: start.elapsed(),
+                status,
+            }
         }
     }
 }
@@ -123,22 +133,31 @@ fn run_sparqlog(
     query: &str,
     timeout: Duration,
 ) -> Measurement {
-    let options = EvalOptions { timeout: Some(timeout), ..Default::default() };
+    let options = EvalOptions {
+        timeout: Some(timeout),
+        ..Default::default()
+    };
     let start = Instant::now();
     let mut engine = SparqLog::with_options(options);
-    let load_result = engine
-        .load_dataset(dataset)
-        .and_then(|_| match ontology {
-            Some(o) => engine.add_ontology(o).map(|_| ()),
-            None => Ok(()),
-        });
+    let load_result = engine.load_dataset(dataset).and_then(|_| match ontology {
+        Some(o) => engine.add_ontology(o).map(|_| ()),
+        None => Ok(()),
+    });
     let load = start.elapsed();
     if let Err(e) = load_result {
-        return Measurement { load, exec: Duration::ZERO, status: classify_sl(Err(e)) };
+        return Measurement {
+            load,
+            exec: Duration::ZERO,
+            status: classify_sl(Err(e)),
+        };
     }
     let start = Instant::now();
     let status = classify_sl(engine.execute(query));
-    Measurement { load, exec: start.elapsed(), status }
+    Measurement {
+        load,
+        exec: start.elapsed(),
+        status,
+    }
 }
 
 fn run_ref<E>(
@@ -155,7 +174,11 @@ where
     let load = start.elapsed();
     let start = Instant::now();
     let status = classify_ref(engine.exec(query));
-    Measurement { load, exec: start.elapsed(), status }
+    Measurement {
+        load,
+        exec: start.elapsed(),
+        status,
+    }
 }
 
 trait RefExec {

@@ -69,7 +69,12 @@ impl Bench {
             fmt_ns(min_ns),
             fmt_ns(mean_ns)
         );
-        self.results.push(BenchResult { name: name.to_string(), iters, min_ns, mean_ns });
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            iters,
+            min_ns,
+            mean_ns,
+        });
     }
 
     /// Prints the summary table and (optionally) appends the JSON record.

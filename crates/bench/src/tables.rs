@@ -10,7 +10,7 @@ use sparqlog_benchdata::gmark::{self, Scenario};
 use sparqlog_benchdata::{analysis, feasible, ontology, sp2bench};
 use sparqlog_rdf::{Dataset, Term};
 
-use crate::harness::{run, results_equal, secs, Engine, Measurement, Status};
+use crate::harness::{results_equal, run, secs, Engine, Measurement, Status};
 
 /// Table 1: the SPARQL feature matrix.
 pub fn table1() -> String {
@@ -21,9 +21,8 @@ pub fn table1() -> String {
 /// workloads, published values for the rest.
 pub fn table2() -> String {
     let mut rows = Vec::new();
-    let collect = |qs: Vec<(String, String)>| -> Vec<String> {
-        qs.into_iter().map(|(_, q)| q).collect()
-    };
+    let collect =
+        |qs: Vec<(String, String)>| -> Vec<String> { qs.into_iter().map(|(_, q)| q).collect() };
     rows.push(analysis::analyze(
         "SP2Bench*",
         &sp2bench::queries()
@@ -90,9 +89,7 @@ pub fn table3(timeout: Duration) -> String {
                         Verdict::Correct => {}
                         Verdict::IncompleteButCorrect => row.incomplete_correct += 1,
                         Verdict::CompleteButIncorrect => row.complete_incorrect += 1,
-                        Verdict::IncompleteAndIncorrect => {
-                            row.incomplete_incorrect += 1
-                        }
+                        Verdict::IncompleteAndIncorrect => row.incomplete_incorrect += 1,
                     }
                 }
             }
@@ -118,10 +115,7 @@ pub fn table3(timeout: Duration) -> String {
             let _ = write!(
                 out,
                 " {:>6} {:>6} {:>6} {:>6} ",
-                r.incomplete_correct,
-                r.complete_incorrect,
-                r.incomplete_incorrect,
-                r.error
+                r.incomplete_correct, r.complete_incorrect, r.incomplete_incorrect, r.error
             );
             totals[ei].incomplete_correct += r.incomplete_correct;
             totals[ei].complete_incorrect += r.complete_incorrect;
@@ -149,7 +143,11 @@ fn result_rows(result: &sparqlog::QueryResult) -> Vec<Vec<Term>> {
         sparqlog::QueryResult::Solutions(s) => s
             .rows
             .iter()
-            .map(|row| row.iter().map(|c| c.clone().unwrap_or(Term::bnode("unbound"))).collect())
+            .map(|row| {
+                row.iter()
+                    .map(|c| c.clone().unwrap_or(Term::bnode("unbound")))
+                    .collect()
+            })
             .collect(),
     }
 }
@@ -195,7 +193,10 @@ pub fn compliance_feasible(timeout: Duration) -> String {
     let mut out = String::from("FEASIBLE(S) compliance (§6.2)\n\n");
     let _ = writeln!(out, "queries:                        {}", queries.len());
     let _ = writeln!(out, "SparqLog = Fuseki (agree):      {agree}");
-    let _ = writeln!(out, "SparqLog unsupported:           {sparqlog_unsupported}");
+    let _ = writeln!(
+        out,
+        "SparqLog unsupported:           {sparqlog_unsupported}"
+    );
     let _ = writeln!(out, "SparqLog/Fuseki disagreements:  {}", disagree.len());
     if !disagree.is_empty() {
         let _ = writeln!(out, "  ids: {}", disagree.join(", "));
@@ -269,9 +270,17 @@ pub fn gmark_report(scenario: Scenario, timeout: Duration, scale: f64) -> String
         out,
         "{:>3}  {:>10} {:>10} {:>9}   {:>10} {:>10} {:>9} {:>6}   {:>10} {:>10} {:>9} {:>6}",
         "q",
-        "SL load", "SL exec", "SL status",
-        "FU load", "FU exec", "FU status", "=SL?",
-        "VI load", "VI exec", "VI status", "=SL?"
+        "SL load",
+        "SL exec",
+        "SL status",
+        "FU load",
+        "FU exec",
+        "FU status",
+        "=SL?",
+        "VI load",
+        "VI exec",
+        "VI status",
+        "=SL?"
     );
 
     for (id, q) in &queries {
@@ -360,9 +369,10 @@ pub fn gmark_report(scenario: Scenario, timeout: Duration, scale: f64) -> String
 /// Figure 7 / Table 11: SP²Bench execution times for the three engines.
 pub fn fig7(timeout: Duration, scale: f64) -> String {
     let triples = (25_000.0 * scale) as usize;
-    let dataset = Dataset::from_default_graph(sp2bench::generate(
-        sp2bench::Sp2bConfig { target_triples: triples, seed: 0x5eed_5b2b },
-    ));
+    let dataset = Dataset::from_default_graph(sp2bench::generate(sp2bench::Sp2bConfig {
+        target_triples: triples,
+        seed: 0x5eed_5b2b,
+    }));
     let queries = sp2bench::queries();
     let mut out = format!(
         "SP2Bench performance (Figure 7 / Table 11) — {} triples, timeout {:?}\n\n",
@@ -373,9 +383,15 @@ pub fn fig7(timeout: Duration, scale: f64) -> String {
         out,
         "{:>4} {:>10} {:>10} {:>10}   {:>10} {:>10} {:>6}   {:>10} {:>10} {:>6}",
         "q",
-        "SL load", "SL exec", "SL total",
-        "FU total", "FU status", "=SL?",
-        "VI total", "VI status", "=SL?"
+        "SL load",
+        "SL exec",
+        "SL total",
+        "FU total",
+        "FU status",
+        "=SL?",
+        "VI total",
+        "VI status",
+        "=SL?"
     );
     for (id, q) in &queries {
         eprintln!("[fig7] {id}");
@@ -428,8 +444,7 @@ pub fn fig10(timeout: Duration, scale: f64) -> String {
     let _ = writeln!(
         out,
         "{:>4} {:>10} {:>10} {:>10}   {:>10} {:>10} {:>10} {:>8} {:>6}",
-        "q", "SL load", "SL exec", "SL total", "SD load", "SD exec", "SD total",
-        "SD stat", "=SL?"
+        "q", "SL load", "SL exec", "SL total", "SD load", "SD exec", "SD total", "SD stat", "=SL?"
     );
     for (id, q) in &queries {
         eprintln!("[fig10] {id}");

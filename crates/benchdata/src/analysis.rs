@@ -206,11 +206,20 @@ pub fn published_rows() -> Vec<FeatureCoverage> {
         row("TrainBench", [0.0, 41.7, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
         row("BSBM", [25.0, 37.5, 0.0, 54.2, 8.3, 0.0, 0.0, 0.0, 0.0]),
         row("WatDiv", [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
-        row("SNB-BI", [0.0, 66.7, 0.0, 45.8, 20.8, 0.0, 16.7, 0.0, 100.0]),
-        row("SNB-INT", [0.0, 47.4, 0.0, 31.6, 15.8, 0.0, 5.3, 10.5, 42.1]),
+        row(
+            "SNB-BI",
+            [0.0, 66.7, 0.0, 45.8, 20.8, 0.0, 16.7, 0.0, 100.0],
+        ),
+        row(
+            "SNB-INT",
+            [0.0, 47.4, 0.0, 31.6, 15.8, 0.0, 5.3, 10.5, 42.1],
+        ),
         row("Fishmark", [0.0, 0.0, 0.0, 9.1, 0.0, 0.0, 0.0, 0.0, 0.0]),
         row("DBPSB", [100.0, 44.0, 4.0, 32.0, 36.0, 0.0, 0.0, 0.0, 0.0]),
-        row("BioBench", [39.3, 32.1, 14.3, 10.7, 17.9, 0.0, 0.0, 0.0, 10.7]),
+        row(
+            "BioBench",
+            [39.3, 32.1, 14.3, 10.7, 17.9, 0.0, 0.0, 0.0, 10.7],
+        ),
     ]
 }
 
@@ -219,8 +228,7 @@ pub fn render(rows: &[FeatureCoverage]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<14} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7}\n",
-        "Benchmark", "DIST", "FILT", "REG", "OPT", "UN", "GRA", "PSeq", "PAlt",
-        "PRec", "GRO"
+        "Benchmark", "DIST", "FILT", "REG", "OPT", "UN", "GRA", "PSeq", "PAlt", "PRec", "GRO"
     ));
     out.push_str(&"-".repeat(96));
     out.push('\n');
@@ -250,12 +258,10 @@ mod tests {
     #[test]
     fn analyzes_feature_mix() {
         let queries = vec![
-            "SELECT DISTINCT ?x WHERE { ?x ?p ?o FILTER REGEX(STR(?o), \"a\") }"
-                .to_string(),
+            "SELECT DISTINCT ?x WHERE { ?x ?p ?o FILTER REGEX(STR(?o), \"a\") }".to_string(),
             "SELECT ?x WHERE { { ?x ?p ?o } UNION { ?o ?p ?x } }".to_string(),
             "SELECT ?x WHERE { ?x <http://p>+ ?o OPTIONAL { ?o ?q ?z } }".to_string(),
-            "SELECT ?x (COUNT(?o) AS ?n) WHERE { GRAPH ?g { ?x ?p ?o } } GROUP BY ?x"
-                .to_string(),
+            "SELECT ?x (COUNT(?o) AS ?n) WHERE { GRAPH ?g { ?x ?p ?o } } GROUP BY ?x".to_string(),
         ];
         let c = analyze("probe", &queries);
         assert_eq!(c.distinct, 25.0);
@@ -281,8 +287,10 @@ mod tests {
 
     #[test]
     fn our_benchmarks_measured() {
-        let sp2b: Vec<String> =
-            crate::sp2bench::queries().into_iter().map(|(_, q)| q).collect();
+        let sp2b: Vec<String> = crate::sp2bench::queries()
+            .into_iter()
+            .map(|(_, q)| q)
+            .collect();
         let c = analyze("SP2Bench", &sp2b);
         // The paper's SP²Bench row: DIST 35.3, FILT 58.8, OPT 17.6, UN 17.6.
         assert!((20.0..=50.0).contains(&c.distinct), "DIST {}", c.distinct);

@@ -203,12 +203,9 @@ pub fn queries() -> Vec<PathQuery> {
     let g = graph();
     let link = |n: &str| PropertyPath::link(prop(n));
     let inv = |p: PropertyPath| PropertyPath::Inverse(Box::new(p));
-    let alt = |a: PropertyPath, b: PropertyPath| {
-        PropertyPath::Alternative(Box::new(a), Box::new(b))
-    };
-    let seq = |a: PropertyPath, b: PropertyPath| {
-        PropertyPath::Sequence(Box::new(a), Box::new(b))
-    };
+    let alt =
+        |a: PropertyPath, b: PropertyPath| PropertyPath::Alternative(Box::new(a), Box::new(b));
+    let seq = |a: PropertyPath, b: PropertyPath| PropertyPath::Sequence(Box::new(a), Box::new(b));
     let plus = |p: PropertyPath| PropertyPath::OneOrMore(Box::new(p));
     let star = |p: PropertyPath| PropertyPath::ZeroOrMore(Box::new(p));
     let opt = |p: PropertyPath| PropertyPath::ZeroOrOne(Box::new(p));
@@ -233,17 +230,19 @@ pub fn queries() -> Vec<PathQuery> {
         Shape::VarGhost,
         Shape::GhostGhost,
     ];
-    let cycle_shapes = [Shape::ConstConst("carl", "carl"),
+    let cycle_shapes = [
+        Shape::ConstConst("carl", "carl"),
         Shape::ConstConst("bob", "bob"),
         Shape::ConstConst("alice", "alice"),
-        Shape::ConstConst("dave", "dave")];
+        Shape::ConstConst("dave", "dave"),
+    ];
 
     let mut out = Vec::new();
     let emit = |category: Category,
-                    paths: Vec<PropertyPath>,
-                    shapes: &[Shape],
-                    extra: &[(PropertyPath, Shape)],
-                    out: &mut Vec<PathQuery>| {
+                paths: Vec<PropertyPath>,
+                shapes: &[Shape],
+                extra: &[(PropertyPath, Shape)],
+                out: &mut Vec<PathQuery>| {
         let target = category.target_count();
         let mut generated = 0usize;
         'outer: for path in &paths {
@@ -263,8 +262,7 @@ pub fn queries() -> Vec<PathQuery> {
             generated += 1;
         }
         assert_eq!(
-            generated,
-            target,
+            generated, target,
             "{category:?}: generated {generated}, want {target}"
         );
     };
@@ -394,8 +392,14 @@ fn build_query(
 ) -> PathQuery {
     let s = shape.subject();
     let o = shape.object();
-    let s_str = s.as_ref().map(|t| t.to_string()).unwrap_or_else(|| "?x".into());
-    let o_str = o.as_ref().map(|t| t.to_string()).unwrap_or_else(|| "?y".into());
+    let s_str = s
+        .as_ref()
+        .map(|t| t.to_string())
+        .unwrap_or_else(|| "?x".into());
+    let o_str = o
+        .as_ref()
+        .map(|t| t.to_string())
+        .unwrap_or_else(|| "?y".into());
     let query = format!("SELECT * WHERE {{ {s_str} {path} {o_str} }}");
 
     let mut vars = Vec::new();
@@ -423,9 +427,7 @@ fn build_query(
     }
     let expected: Vec<Vec<Term>> = pairs
         .into_iter()
-        .filter(|(x, y)| {
-            s.as_ref().is_none_or(|t| t == x) && o.as_ref().is_none_or(|t| t == y)
-        })
+        .filter(|(x, y)| s.as_ref().is_none_or(|t| t == x) && o.as_ref().is_none_or(|t| t == y))
         .map(|(x, y)| {
             let mut row = Vec::new();
             if s.is_none() {
@@ -584,7 +586,10 @@ fn zero_pairs(g: &Graph) -> Vec<(Term, Term)> {
 
 fn dedup(pairs: Vec<(Term, Term)>) -> Vec<(Term, Term)> {
     let mut seen = std::collections::HashSet::new();
-    pairs.into_iter().filter(|p| seen.insert(p.clone())).collect()
+    pairs
+        .into_iter()
+        .filter(|p| seen.insert(p.clone()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -627,10 +632,7 @@ mod tests {
     fn classification() {
         let a = vec![vec![person("x")], vec![person("y")]];
         assert_eq!(classify(&a, &a), Verdict::Correct);
-        assert_eq!(
-            classify(&a, &a[..1]),
-            Verdict::IncompleteButCorrect
-        );
+        assert_eq!(classify(&a, &a[..1]), Verdict::IncompleteButCorrect);
         let mut extra = a.clone();
         extra.push(vec![person("z")]);
         assert_eq!(classify(&a, &extra), Verdict::CompleteButIncorrect);
@@ -640,10 +642,7 @@ mod tests {
         );
         // Multiset-sensitivity: duplicates matter.
         let dup = vec![vec![person("x")], vec![person("x")]];
-        assert_eq!(
-            classify(&dup, &dup[..1]),
-            Verdict::IncompleteButCorrect
-        );
+        assert_eq!(classify(&dup, &dup[..1]), Verdict::IncompleteButCorrect);
     }
 
     #[test]
@@ -653,8 +652,7 @@ mod tests {
         let ghost = qs
             .iter()
             .find(|q| {
-                q.category == Category::ZeroOrOne && q.query.contains("ghost")
-                    && q.vars == ["y"]
+                q.category == Category::ZeroOrOne && q.query.contains("ghost") && q.vars == ["y"]
             })
             .expect("ghost zero-or-one query exists");
         assert_eq!(ghost.expected.len(), 1, "{}", ghost.query);

@@ -33,7 +33,11 @@ pub struct FeasibleConfig {
 
 impl Default for FeasibleConfig {
     fn default() -> Self {
-        FeasibleConfig { people: 300, papers: 400, seed: 0xfea51b1e }
+        FeasibleConfig {
+            people: 300,
+            papers: 400,
+            seed: 0xfea51b1e,
+        }
     }
 }
 
@@ -68,7 +72,11 @@ pub fn dataset(config: FeasibleConfig) -> Dataset {
     let mut people = Vec::new();
     for i in 0..config.people {
         let p = iri(format!("{SWDF}person/p{i}"));
-        g.insert(Triple::new(p.clone(), a.clone(), iri(format!("{FOAF}Person"))));
+        g.insert(Triple::new(
+            p.clone(),
+            a.clone(),
+            iri(format!("{FOAF}Person")),
+        ));
         g.insert(Triple::new(
             p.clone(),
             iri(format!("{FOAF}name")),
@@ -146,46 +154,58 @@ pub fn queries() -> Vec<(String, String)> {
     // 1–18: Virtuoso-error triggers (complex ORDER BY / deep OPTIONAL).
     for i in 0..12 {
         let topic = i % 37;
-        push(&mut out, format!(
-            r#"SELECT DISTINCT ?p ?n WHERE {{
+        push(
+            &mut out,
+            format!(
+                r#"SELECT DISTINCT ?p ?n WHERE {{
                  ?paper dc:creator ?p . ?p foaf:name ?n .
                  ?paper dc:title "A Study of Topic {topic}"
                  OPTIONAL {{ ?p foaf:homepage ?h }}
                }} ORDER BY (!BOUND(?h)) ?n"#,
-        ));
+            ),
+        );
     }
     for i in 0..6 {
         let city = i % 12;
-        push(&mut out, format!(
-            r#"SELECT DISTINCT ?n ?h ?c ?t WHERE {{
+        push(
+            &mut out,
+            format!(
+                r#"SELECT DISTINCT ?n ?h ?c ?t WHERE {{
                  ?p foaf:name ?n
                  OPTIONAL {{ ?p foaf:homepage ?h
                    OPTIONAL {{ ?p foaf:based_near ?c
                      OPTIONAL {{ ?paper dc:creator ?p . ?paper dc:title ?t }} }} }}
                  FILTER (BOUND(?n) || ?c = <http://data.semanticweb.org/place/city{city}>)
                }}"#,
-        ));
+            ),
+        );
     }
 
     // 19–32: wrong-multiset triggers (DISTINCT over OPTIONAL; UNION dups).
     for i in 0..4 {
         let k = i % 15;
-        push(&mut out, format!(
-            r#"SELECT DISTINCT ?n WHERE {{
+        push(
+            &mut out,
+            format!(
+                r#"SELECT DISTINCT ?n WHERE {{
                  ?paper dc:creator ?p . ?p foaf:name ?n
                  OPTIONAL {{ ?paper swc:hasTopic <http://data.semanticweb.org/topic/t{k}> }}
                }}"#,
-        ));
+            ),
+        );
     }
     for i in 0..10 {
         let c = ["iswc2008", "eswc2009", "www2010"][i % 3];
-        push(&mut out, format!(
-            r#"SELECT ?p WHERE {{
+        push(
+            &mut out,
+            format!(
+                r#"SELECT ?p WHERE {{
                  {{ ?paper dc:creator ?p . ?paper swc:relatedToEvent <http://data.semanticweb.org/conference/{c}> }}
                  UNION
                  {{ ?paper dc:creator ?p . ?paper swc:relatedToEvent <http://data.semanticweb.org/conference/{c}> }}
                }}"#,
-        ));
+            ),
+        );
     }
 
     // 33–52: DISTINCT + mixed features (the bulk of FEASIBLE's SELECTs).
@@ -247,12 +267,17 @@ pub fn queries() -> Vec<(String, String)> {
     }
 
     // 72–77: ASK + GRAPH + plain patterns.
-    push(&mut out, r#"ASK { ?p foaf:name "Researcher 0" }"#.to_string());
-    push(&mut out, r#"ASK { ?paper swc:hasTopic <http://data.semanticweb.org/topic/t1> }"#.to_string());
     push(
         &mut out,
-        r#"SELECT ?g ?conf WHERE { GRAPH ?g { ?conf rdf:type swc:ConferenceEvent } }"#
-            .to_string(),
+        r#"ASK { ?p foaf:name "Researcher 0" }"#.to_string(),
+    );
+    push(
+        &mut out,
+        r#"ASK { ?paper swc:hasTopic <http://data.semanticweb.org/topic/t1> }"#.to_string(),
+    );
+    push(
+        &mut out,
+        r#"SELECT ?g ?conf WHERE { GRAPH ?g { ?conf rdf:type swc:ConferenceEvent } }"#.to_string(),
     );
     push(
         &mut out,
@@ -293,7 +318,9 @@ mod tests {
     #[test]
     fn dataset_has_named_graph() {
         let ds = dataset(FeasibleConfig::default());
-        assert!(ds.named_graph("http://data.semanticweb.org/metadata").is_some());
+        assert!(ds
+            .named_graph("http://data.semanticweb.org/metadata")
+            .is_some());
         assert!(ds.default_graph().len() > 1000);
     }
 

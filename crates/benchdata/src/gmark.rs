@@ -41,9 +41,17 @@ impl GmarkConfig {
     pub fn default_for(scenario: Scenario) -> Self {
         match scenario {
             // ~8 triples per person.
-            Scenario::Social => GmarkConfig { scenario, nodes: 900, seed: 0x50c1a1 },
+            Scenario::Social => GmarkConfig {
+                scenario,
+                nodes: 900,
+                seed: 0x50c1a1,
+            },
             // ~4 triples per node.
-            Scenario::Test => GmarkConfig { scenario, nodes: 1100, seed: 0x7e57 },
+            Scenario::Test => GmarkConfig {
+                scenario,
+                nodes: 1100,
+                seed: 0x7e57,
+            },
         }
     }
 }
@@ -87,7 +95,10 @@ fn generate_social(config: GmarkConfig) -> Graph {
         g.insert(Triple::new(
             me.clone(),
             p("knows"),
-            n("person", (base + (i - base + 1) % community).min(persons - 1)),
+            n(
+                "person",
+                (base + (i - base + 1) % community).min(persons - 1),
+            ),
         ));
         g.insert(Triple::new(
             me.clone(),
@@ -129,7 +140,11 @@ fn generate_social(config: GmarkConfig) -> Graph {
         ));
         if i > 0 && rng.gen_ratio(2, 3) {
             // Reply trees.
-            g.insert(Triple::new(post.clone(), p("replyOf"), n("post", rng.gen_range(0..i))));
+            g.insert(Triple::new(
+                post.clone(),
+                p("replyOf"),
+                n("post", rng.gen_range(0..i)),
+            ));
         }
         if rng.gen_ratio(1, 2) {
             let person = n("person", rng.gen_range(0..persons));
@@ -168,7 +183,11 @@ fn generate_test(config: GmarkConfig) -> Graph {
             n("node", (base + (i - base + 1) % block).min(nodes - 1)),
         ));
         if i > base {
-            g.insert(Triple::new(me.clone(), p("b"), n("node", base + (i - base) / 2)));
+            g.insert(Triple::new(
+                me.clone(),
+                p("b"),
+                n("node", base + (i - base) / 2),
+            ));
         }
         g.insert(Triple::new(
             me.clone(),
@@ -176,7 +195,11 @@ fn generate_test(config: GmarkConfig) -> Graph {
             n("node", (base + rng.gen_range(0..block)).min(nodes - 1)),
         ));
         if rng.gen_ratio(1, 8) {
-            g.insert(Triple::new(me.clone(), p("d"), n("node", rng.gen_range(0..nodes))));
+            g.insert(Triple::new(
+                me.clone(),
+                p("d"),
+                n("node", rng.gen_range(0..nodes)),
+            ));
         }
     }
     g
@@ -212,8 +235,8 @@ pub fn queries(scenario: Scenario) -> Vec<(String, String)> {
         let p1 = pick(&mut rng);
         let mut p2 = pick(&mut rng);
         if p2 == p1 {
-            p2 = preds[(preds.iter().position(|x| *x == p1).unwrap() + 1) % preds.len()]
-                .to_string();
+            p2 =
+                preds[(preds.iter().position(|x| *x == p1).unwrap() + 1) % preds.len()].to_string();
         }
         let p3 = pick(&mut rng);
         let c1 = rng.gen_range(0..60);
@@ -300,14 +323,21 @@ mod tests {
             .iter()
             .filter(|(_, q)| q.contains("?x") && (q.contains("+ ?y") || q.contains("* ?m")))
             .count();
-        assert!(two_var >= 15, "need two-variable recursive queries, got {two_var}");
+        assert!(
+            two_var >= 15,
+            "need two-variable recursive queries, got {two_var}"
+        );
     }
 
     #[test]
     fn knows_relation_has_cycles() {
         // Community rings guarantee knows-cycles — the case Virtuoso's
         // one-or-more quirk gets wrong.
-        let g = generate(GmarkConfig { scenario: Scenario::Social, nodes: 300, seed: 1 });
+        let g = generate(GmarkConfig {
+            scenario: Scenario::Social,
+            nodes: 300,
+            seed: 1,
+        });
         // Follow the ring from person 0: must return to person 0.
         let knows = p("knows");
         let mut current = n("person", 0);

@@ -44,9 +44,17 @@ pub fn build(config: Sp2bConfig) -> (Graph, Ontology) {
         }
         // Deterministic forest with shortcuts: i cites i/2, and every
         // third article also cites i-1.
-        g.insert(Triple::new(art.clone(), cites.clone(), articles[i / 2].clone()));
+        g.insert(Triple::new(
+            art.clone(),
+            cites.clone(),
+            articles[i / 2].clone(),
+        ));
         if i % 3 == 0 {
-            g.insert(Triple::new(art.clone(), cites.clone(), articles[i - 1].clone()));
+            g.insert(Triple::new(
+                art.clone(),
+                cites.clone(),
+                articles[i - 1].clone(),
+            ));
         }
     }
 
@@ -59,8 +67,14 @@ pub fn build(config: Sp2bConfig) -> (Graph, Ontology) {
             format!("{}Inproceedings", ns::BENCH),
             voc::PUBLICATION.into(),
         ))
-        .with(Axiom::SubClassOf(voc::PUBLICATION.into(), voc::DOCUMENT.into()))
-        .with(Axiom::SubPropertyOf(voc::CITES.into(), voc::REFERENCES.into()))
+        .with(Axiom::SubClassOf(
+            voc::PUBLICATION.into(),
+            voc::DOCUMENT.into(),
+        ))
+        .with(Axiom::SubPropertyOf(
+            voc::CITES.into(),
+            voc::REFERENCES.into(),
+        ))
         .with(Axiom::SubPropertyOf(
             format!("{}creator", crate::sp2bench::ns::DC),
             voc::CONTRIBUTOR.into(),
@@ -84,30 +98,48 @@ pub fn queries() -> Vec<(&'static str, String)> {
         // oq1: inferred class membership.
         ("oq1", q("SELECT ?d WHERE { ?d rdf:type bench:Document }")),
         // oq2: inferred property + join.
-        ("oq2", q(r#"SELECT ?pub ?name WHERE {
+        (
+            "oq2",
+            q(r#"SELECT ?pub ?name WHERE {
             ?pub dc:contributor ?p . ?p foaf:name ?name
-            FILTER (?name = "Paul Erdoes") }"#)),
+            FILTER (?name = "Paul Erdoes") }"#),
+        ),
         // oq3: bounded-start recursive path over inferred `references`.
-        ("oq3", q(r#"SELECT ?cited WHERE {
-            <http://localhost/articles/Article5> bench:references+ ?cited }"#)),
+        (
+            "oq3",
+            q(r#"SELECT ?cited WHERE {
+            <http://localhost/articles/Article5> bench:references+ ?cited }"#),
+        ),
         // oq4: two-variable recursive path over inferred triples
         // (paper: SparqLog ≈ 5× faster than Stardog).
-        ("oq4", q(r#"SELECT ?a ?cited WHERE {
+        (
+            "oq4",
+            q(r#"SELECT ?a ?cited WHERE {
             ?a bench:references+ ?cited .
-            ?cited dcterms:issued ?yr FILTER (?yr < 1950) }"#)),
+            ?cited dcterms:issued ?yr FILTER (?yr < 1950) }"#),
+        ),
         // oq5: two-variable closure joined with class inference
         // (paper: Stardog times out).
-        ("oq5", q(r#"SELECT ?a ?b WHERE {
+        (
+            "oq5",
+            q(r#"SELECT ?a ?b WHERE {
             ?a (bench:references/bench:references*) ?b .
             ?a rdf:type bench:Publication .
-            ?b rdf:type bench:Publication }"#)),
+            ?b rdf:type bench:Publication }"#),
+        ),
         // oq6: zero-or-more with inferred subclass filter.
-        ("oq6", q(r#"SELECT ?doc WHERE {
+        (
+            "oq6",
+            q(r#"SELECT ?doc WHERE {
             <http://localhost/articles/Article9> bench:references* ?doc .
-            ?doc rdf:type bench:Document }"#)),
+            ?doc rdf:type bench:Document }"#),
+        ),
         // oq7: aggregation over inferred property.
-        ("oq7", q(r#"SELECT ?p (COUNT(?pub) AS ?works) WHERE {
-            ?pub dc:contributor ?p } GROUP BY ?p"#)),
+        (
+            "oq7",
+            q(r#"SELECT ?p (COUNT(?pub) AS ?works) WHERE {
+            ?pub dc:contributor ?p } GROUP BY ?p"#),
+        ),
     ]
 }
 
@@ -117,7 +149,10 @@ mod tests {
 
     #[test]
     fn build_produces_citations_and_axioms() {
-        let (g, onto) = build(Sp2bConfig { target_triples: 2_000, seed: 7 });
+        let (g, onto) = build(Sp2bConfig {
+            target_triples: 2_000,
+            seed: 7,
+        });
         assert_eq!(onto.len(), 5);
         let cites = Term::iri(voc::CITES);
         let n = g.triples_matching(None, Some(&cites), None).count();

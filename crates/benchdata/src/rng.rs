@@ -103,6 +103,9 @@ mod tests {
     fn ratio_is_roughly_calibrated() {
         let mut rng = StdRng::seed_from_u64(1);
         let hits = (0..10_000).filter(|_| rng.gen_ratio(1, 4)).count();
-        assert!((2_000..3_000).contains(&hits), "1/4 ratio gave {hits}/10000");
+        assert!(
+            (2_000..3_000).contains(&hits),
+            "1/4 ratio gave {hits}/10000"
+        );
     }
 }

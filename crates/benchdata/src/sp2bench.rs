@@ -42,7 +42,10 @@ impl Default for Sp2bConfig {
         // The paper's compliance runs use a 50k-triple instance (D.2.1);
         // the default here is laptop-scale for fast test suites. Benches
         // pass an explicit size.
-        Sp2bConfig { target_triples: 5_000, seed: 0x5eed_5b2b }
+        Sp2bConfig {
+            target_triples: 5_000,
+            seed: 0x5eed_5b2b,
+        }
     }
 }
 
@@ -66,12 +69,10 @@ pub fn generate(config: Sp2bConfig) -> Graph {
     let n_inproc = n_articles / 3;
 
     let first_names = [
-        "Paul", "Ana", "Wei", "Noor", "Ivan", "Mika", "Lena", "Omar", "Rita",
-        "Juan",
+        "Paul", "Ana", "Wei", "Noor", "Ivan", "Mika", "Lena", "Omar", "Rita", "Juan",
     ];
     let last_names = [
-        "Erdoes", "Schmidt", "Garcia", "Chen", "Okafor", "Sato", "Novak",
-        "Iqbal", "Haddad", "Lund",
+        "Erdoes", "Schmidt", "Garcia", "Chen", "Okafor", "Sato", "Novak", "Iqbal", "Haddad", "Lund",
     ];
 
     // Persons. Person 0 is always "Paul Erdoes" (q8/q10 target).
@@ -103,7 +104,11 @@ pub fn generate(config: Sp2bConfig) -> Graph {
             dc("title"),
             Term::literal(format!("Journal {} ({})", 1 + i / 60, year)),
         ));
-        g.insert(Triple::new(j.clone(), dcterms("issued"), Term::integer(year)));
+        g.insert(Triple::new(
+            j.clone(),
+            dcterms("issued"),
+            Term::integer(year),
+        ));
         journals.push(j);
     }
 
@@ -117,7 +122,11 @@ pub fn generate(config: Sp2bConfig) -> Graph {
             dc("title"),
             Term::literal(format!("On the Complexity of Problem {i}")),
         ));
-        g.insert(Triple::new(art.clone(), dcterms("issued"), Term::integer(year)));
+        g.insert(Triple::new(
+            art.clone(),
+            dcterms("issued"),
+            Term::integer(year),
+        ));
         g.insert(Triple::new(
             art.clone(),
             swrc("pages"),
@@ -203,33 +212,50 @@ pub fn queries() -> Vec<(&'static str, String)> {
     let q = |body: &str| format!("{PROLOGUE}\n{body}");
     vec![
         // q1: the year of "Journal 1 (1940)".
-        ("q1", q(r#"SELECT ?yr WHERE {
+        (
+            "q1",
+            q(r#"SELECT ?yr WHERE {
             ?journal rdf:type bench:Journal .
             ?journal dc:title "Journal 1 (1940)" .
-            ?journal dcterms:issued ?yr }"#)),
+            ?journal dcterms:issued ?yr }"#),
+        ),
         // q2: wide article rows with OPTIONAL abstract, ordered.
-        ("q2", q(r#"SELECT ?inproc ?author ?title ?issued WHERE {
+        (
+            "q2",
+            q(r#"SELECT ?inproc ?author ?title ?issued WHERE {
             ?inproc rdf:type bench:Inproceedings .
             ?inproc dc:creator ?author .
             ?inproc dc:title ?title .
             ?inproc dcterms:issued ?issued .
             OPTIONAL { ?inproc foaf:homepage ?hp }
-            } ORDER BY ?issued"#)),
+            } ORDER BY ?issued"#),
+        ),
         // q3a/b/c: articles having a given property.
-        ("q3a", q(r#"SELECT ?article WHERE {
+        (
+            "q3a",
+            q(r#"SELECT ?article WHERE {
             ?article rdf:type bench:Article .
             ?article ?property ?value
-            FILTER (?property = swrc:pages) }"#)),
-        ("q3b", q(r#"SELECT ?article WHERE {
+            FILTER (?property = swrc:pages) }"#),
+        ),
+        (
+            "q3b",
+            q(r#"SELECT ?article WHERE {
             ?article rdf:type bench:Article .
             ?article ?property ?value
-            FILTER (?property = swrc:month) }"#)),
-        ("q3c", q(r#"SELECT ?article WHERE {
+            FILTER (?property = swrc:month) }"#),
+        ),
+        (
+            "q3c",
+            q(r#"SELECT ?article WHERE {
             ?article rdf:type bench:Article .
             ?article ?property ?value
-            FILTER (?property = swrc:isbn) }"#)),
+            FILTER (?property = swrc:isbn) }"#),
+        ),
         // q4: pairs of articles in the same journal (heavy join).
-        ("q4", q(r#"SELECT DISTINCT ?name1 ?name2 WHERE {
+        (
+            "q4",
+            q(r#"SELECT DISTINCT ?name1 ?name2 WHERE {
             ?article1 rdf:type bench:Article .
             ?article2 rdf:type bench:Article .
             ?article1 dc:creator ?author1 .
@@ -238,22 +264,31 @@ pub fn queries() -> Vec<(&'static str, String)> {
             ?author2 foaf:name ?name2 .
             ?article1 swrc:journal ?journal .
             ?article2 swrc:journal ?journal
-            FILTER (?name1 < ?name2) }"#)),
+            FILTER (?name1 < ?name2) }"#),
+        ),
         // q6: publications without an abstract (negation via !BOUND).
-        ("q6", q(r#"SELECT ?article ?title WHERE {
+        (
+            "q6",
+            q(r#"SELECT ?article ?title WHERE {
             ?article rdf:type bench:Article .
             ?article dc:title ?title .
             OPTIONAL { ?article bench:abstract ?abs }
-            FILTER (!BOUND(?abs)) }"#)),
+            FILTER (!BOUND(?abs)) }"#),
+        ),
         // q7: recent articles never referenced (seeAlso) — double optional.
-        ("q7", q(r#"SELECT DISTINCT ?title WHERE {
+        (
+            "q7",
+            q(r#"SELECT DISTINCT ?title WHERE {
             ?article rdf:type bench:Article .
             ?article dc:title ?title .
             ?article dcterms:issued ?yr
             OPTIONAL { ?article rdfs:seeAlso ?ref }
-            FILTER (?yr > 2000 && !BOUND(?ref)) }"#)),
+            FILTER (?yr > 2000 && !BOUND(?ref)) }"#),
+        ),
         // q8: Erdős co-authors via UNION.
-        ("q8", q(r#"SELECT DISTINCT ?name WHERE {
+        (
+            "q8",
+            q(r#"SELECT DISTINCT ?name WHERE {
             { ?article dc:creator ?erdoes .
               ?erdoes foaf:name "Paul Erdoes" .
               ?article dc:creator ?author .
@@ -264,44 +299,66 @@ pub fn queries() -> Vec<(&'static str, String)> {
               ?article dc:creator ?author2 .
               ?article2 dc:creator ?author2 .
               ?article2 dc:creator ?author .
-              ?author foaf:name ?name } }"#)),
+              ?author foaf:name ?name } }"#),
+        ),
         // q9: predicates around persons, UNION DISTINCT.
-        ("q9", q(r#"SELECT DISTINCT ?predicate WHERE {
+        (
+            "q9",
+            q(r#"SELECT DISTINCT ?predicate WHERE {
             { ?person rdf:type foaf:Person .
               ?subject ?predicate ?person }
             UNION
             { ?person rdf:type foaf:Person .
-              ?person ?predicate ?object } }"#)),
+              ?person ?predicate ?object } }"#),
+        ),
         // q10: all edges into Paul Erdoes.
-        ("q10", q(r#"SELECT ?subject ?predicate WHERE {
-            ?subject ?predicate person:Person0 }"#)),
+        (
+            "q10",
+            q(r#"SELECT ?subject ?predicate WHERE {
+            ?subject ?predicate person:Person0 }"#),
+        ),
         // q11: seeAlso with ORDER BY / LIMIT / OFFSET.
-        ("q11", q(r#"SELECT ?ee WHERE {
+        (
+            "q11",
+            q(r#"SELECT ?ee WHERE {
             ?publication rdfs:seeAlso ?ee
-            } ORDER BY ?ee LIMIT 10 OFFSET 5"#)),
+            } ORDER BY ?ee LIMIT 10 OFFSET 5"#),
+        ),
         // q13/q14: the two Q5 variants — author names of article
         // creators, joined implicitly (q13) and via FILTER equality (q14).
-        ("q13", q(r#"SELECT DISTINCT ?person ?name WHERE {
+        (
+            "q13",
+            q(r#"SELECT DISTINCT ?person ?name WHERE {
             ?article rdf:type bench:Article .
             ?article dc:creator ?person .
             ?inproc rdf:type bench:Inproceedings .
             ?inproc dc:creator ?person2 .
             ?person foaf:name ?name .
             ?person2 foaf:name ?name2
-            FILTER (?name = ?name2) }"#)),
-        ("q14", q(r#"SELECT DISTINCT ?person ?name WHERE {
+            FILTER (?name = ?name2) }"#),
+        ),
+        (
+            "q14",
+            q(r#"SELECT DISTINCT ?person ?name WHERE {
             ?article rdf:type bench:Article .
             ?article dc:creator ?person .
             ?inproc rdf:type bench:Inproceedings .
             ?inproc dc:creator ?person .
-            ?person foaf:name ?name }"#)),
+            ?person foaf:name ?name }"#),
+        ),
         // q15–q17: the ASK forms (SP²Bench q12a/b/c).
-        ("q15", q(r#"ASK {
+        (
+            "q15",
+            q(r#"ASK {
             ?article rdf:type bench:Article .
-            ?article dcterms:issued 1940 }"#)),
-        ("q16", q(r#"ASK {
+            ?article dcterms:issued 1940 }"#),
+        ),
+        (
+            "q16",
+            q(r#"ASK {
             ?erdoes foaf:name "Paul Erdoes" .
-            ?article dc:creator ?erdoes }"#)),
+            ?article dc:creator ?erdoes }"#),
+        ),
         ("q17", q(r#"ASK { person:JohnQPublic foaf:name ?name }"#)),
     ]
 }
@@ -322,13 +379,15 @@ mod tests {
 
     #[test]
     fn scale_is_respected() {
-        let g = generate(Sp2bConfig { target_triples: 5_000, seed: 1 });
-        assert!(
-            (3_000..8_000).contains(&g.len()),
-            "got {} triples",
-            g.len()
-        );
-        let g2 = generate(Sp2bConfig { target_triples: 20_000, seed: 1 });
+        let g = generate(Sp2bConfig {
+            target_triples: 5_000,
+            seed: 1,
+        });
+        assert!((3_000..8_000).contains(&g.len()), "got {} triples", g.len());
+        let g2 = generate(Sp2bConfig {
+            target_triples: 20_000,
+            seed: 1,
+        });
         assert!(g2.len() > 2 * g.len());
     }
 
@@ -337,8 +396,7 @@ mod tests {
         let qs = queries();
         assert_eq!(qs.len(), 17);
         for (id, q) in qs {
-            sparqlog_sparql::parse_query(&q)
-                .unwrap_or_else(|e| panic!("{id}: {e}"));
+            sparqlog_sparql::parse_query(&q).unwrap_or_else(|e| panic!("{id}: {e}"));
         }
     }
 

@@ -13,9 +13,7 @@
 
 use std::sync::Arc;
 
-use sparqlog_datalog::{
-    AtomArg, Const, Database, Program, RuleBuilder, Sym, SymbolTable,
-};
+use sparqlog_datalog::{AtomArg, Const, Database, Program, RuleBuilder, Sym, SymbolTable};
 use sparqlog_rdf::vocab::xsd;
 use sparqlog_rdf::{Dataset, Graph, LiteralKind, Term};
 
@@ -60,9 +58,7 @@ pub fn term_to_const(term: &Term, symbols: &SymbolTable) -> Const {
             LiteralKind::Typed(dt) if dt.as_ref() == xsd::STRING => {
                 Const::Str(symbols.intern(l.lexical()))
             }
-            LiteralKind::Typed(dt) => {
-                Const::Typed(symbols.intern(l.lexical()), symbols.intern(dt))
-            }
+            LiteralKind::Typed(dt) => Const::Typed(symbols.intern(l.lexical()), symbols.intern(dt)),
         },
     }
 }
@@ -118,12 +114,7 @@ pub fn load_dataset(ds: &Dataset, db: &mut Database) {
     }
 }
 
-fn load_graph_facts(
-    graph: &Graph,
-    graph_const: &Const,
-    db: &mut Database,
-    symbols: &SymbolTable,
-) {
+fn load_graph_facts(graph: &Graph, graph_const: &Const, db: &mut Database, symbols: &SymbolTable) {
     for term in graph.terms() {
         let c = term_to_const(term, symbols);
         let pred = match term {
@@ -289,10 +280,15 @@ mod tests {
         // 7 distinct terms (3 iris + 3 literals + 1 bnode).
         assert_eq!(db.relation(s.get("term").unwrap()).unwrap().len(), 7);
         // comp: one (X,X,X) per term + two null rules per term + (null,null,null).
-        assert_eq!(db.relation(s.get("comp").unwrap()).unwrap().len(), 7 * 3 + 1);
+        assert_eq!(
+            db.relation(s.get("comp").unwrap()).unwrap().len(),
+            7 * 3 + 1
+        );
         // subjectOrObject: subjects {glucas, b1} + objects {George, Lucas, Steven}.
         assert_eq!(
-            db.relation(s.get("subjectOrObject").unwrap()).unwrap().len(),
+            db.relation(s.get("subjectOrObject").unwrap())
+                .unwrap()
+                .len(),
             5
         );
     }

@@ -1,6 +1,14 @@
 //! The SparqLog façade: load RDF data (T_D), translate queries (T_Q),
 //! evaluate on the Datalog± engine, extract solutions (T_S).
 //!
+//! Since the [`Store`](crate::Store) redesign this type is the
+//! *single-threaded, query-only* face of the system — load, then
+//! execute with `&mut self`. It remains fully supported (the paper's
+//! compliance and benchmark harnesses drive it), but applications
+//! wanting concurrent reads, writes after the initial load, or SPARQL
+//! 1.1 Update should use [`Store`](crate::Store) — or migrate an
+//! existing engine with [`SparqLog::into_store`].
+//!
 //! ```
 //! use sparqlog::SparqLog;
 //!
@@ -46,6 +54,13 @@ pub enum SparqLogError {
     Eval(EvalError),
     /// Data loading failed.
     Data(String),
+    /// A SPARQL *Update* string was passed to a read-only entry point —
+    /// a [`Snapshot`](crate::Snapshot) or the legacy
+    /// [`FrozenDatabase::execute`](crate::FrozenDatabase::execute).
+    /// Carries the update keyword that was recognised; route the request
+    /// through [`Store::update`](crate::Store::update) or a
+    /// [`Store::writer`](crate::Store::writer) session instead.
+    ReadOnly(&'static str),
 }
 
 impl SparqLogError {
@@ -73,6 +88,11 @@ impl std::fmt::Display for SparqLogError {
             SparqLogError::Translation(e) => write!(f, "translation error: {e}"),
             SparqLogError::Eval(e) => write!(f, "evaluation error: {e}"),
             SparqLogError::Data(e) => write!(f, "data error: {e}"),
+            SparqLogError::ReadOnly(kw) => write!(
+                f,
+                "read-only entry point: {kw} is a SPARQL Update operation; \
+                 use Store::update or a Store::writer session"
+            ),
         }
     }
 }
@@ -194,15 +214,14 @@ impl SparqLog {
     /// assert!(stats.derived > 0); // term/1, comp/3, ... materialised
     /// ```
     pub fn load_turtle(&mut self, src: &str) -> Result<EvalStats, SparqLogError> {
-        let g = sparqlog_rdf::turtle::parse(src)
-            .map_err(|e| SparqLogError::Data(e.to_string()))?;
+        let g = sparqlog_rdf::turtle::parse(src).map_err(|e| SparqLogError::Data(e.to_string()))?;
         self.load_graph(&g)
     }
 
     /// Parses and loads an N-Triples document into the default graph.
     pub fn load_ntriples(&mut self, src: &str) -> Result<EvalStats, SparqLogError> {
-        let g = sparqlog_rdf::ntriples::parse(src)
-            .map_err(|e| SparqLogError::Data(e.to_string()))?;
+        let g =
+            sparqlog_rdf::ntriples::parse(src).map_err(|e| SparqLogError::Data(e.to_string()))?;
         self.load_graph(&g)
     }
 
@@ -290,5 +309,20 @@ impl SparqLog {
     /// ```
     pub fn freeze(self) -> FrozenDatabase {
         FrozenDatabase::new(self.db.freeze(), self.options)
+    }
+
+    /// Migrates the engine into a [`Store`](crate::Store): the loaded
+    /// data, evaluation options and ontology rules all carry over, and
+    /// the result supports the full read/write lifecycle
+    /// (snapshots, write sessions, SPARQL Update). Unlike
+    /// [`SparqLog::freeze`] this is not one-way.
+    pub fn into_store(self) -> crate::Store {
+        crate::Store::from_parts(self.db, self.options, self.ontology)
+    }
+}
+
+impl From<SparqLog> for crate::Store {
+    fn from(engine: SparqLog) -> Self {
+        engine.into_store()
     }
 }

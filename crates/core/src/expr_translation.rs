@@ -56,11 +56,7 @@ pub fn sexpr_to_dexpr(
             };
             DExpr::Arith(op, t!(a), t!(b))
         }
-        SExpr::Neg(a) => DExpr::Arith(
-            DArith::Sub,
-            Box::new(DExpr::Const(Const::Int(0))),
-            t!(a),
-        ),
+        SExpr::Neg(a) => DExpr::Arith(DArith::Sub, Box::new(DExpr::Const(Const::Int(0))), t!(a)),
         SExpr::Bound(v) => match resolve(v.name()) {
             Some(id) => DExpr::Cmp(
                 DCmp::Neq,

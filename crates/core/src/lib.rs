@@ -22,6 +22,15 @@
 //! axioms compiled to (possibly existential) rules over `triple/4` and
 //! materialised at load time.
 //!
+//! Two entry points share this pipeline:
+//!
+//! * [`Store`] — the unified read/write API: cheap `Arc`-shared
+//!   [`Snapshot`]s, staged [`Writer`] sessions, SPARQL 1.1 Update, and
+//!   incremental snapshot refresh (see [`store`]);
+//! * [`SparqLog`] — the original single-threaded engine façade, kept as
+//!   a thin wrapper for load-then-query workloads and the paper's
+//!   harnesses ([`SparqLog::into_store`] migrates).
+//!
 //! # Quick start
 //!
 //! ```
@@ -58,10 +67,13 @@ pub mod ontology;
 pub mod query_translation;
 pub mod serving;
 pub mod solution;
+pub mod store;
 
 pub use data_translation::{const_to_term, term_to_const};
 pub use engine::{SparqLog, SparqLogError};
 pub use ontology::{Axiom, Ontology};
 pub use query_translation::{translate_query, TranslatedQuery, TranslationError};
 pub use serving::FrozenDatabase;
-pub use solution::{QueryResult, SolutionSeq};
+pub use solution::{QueryResult, Solution, SolutionSeq};
+pub use sparqlog_rdf::Term;
+pub use store::{CommitStats, Snapshot, Store, Writer};

@@ -59,20 +59,18 @@ impl Ontology {
     pub fn from_graph(g: &Graph) -> Self {
         let mut axioms = Vec::new();
         for (s, p, o) in g.iter() {
-            let (Some(s), Some(p)) = (s.as_iri(), p.as_iri()) else { continue };
+            let (Some(s), Some(p)) = (s.as_iri(), p.as_iri()) else {
+                continue;
+            };
             let Some(o) = o.as_iri() else { continue };
             match p {
-                rdfs::SUB_CLASS_OF => {
-                    axioms.push(Axiom::SubClassOf(s.to_string(), o.to_string()))
-                }
+                rdfs::SUB_CLASS_OF => axioms.push(Axiom::SubClassOf(s.to_string(), o.to_string())),
                 rdfs::SUB_PROPERTY_OF => {
                     axioms.push(Axiom::SubPropertyOf(s.to_string(), o.to_string()))
                 }
                 rdfs::DOMAIN => axioms.push(Axiom::Domain(s.to_string(), o.to_string())),
                 rdfs::RANGE => axioms.push(Axiom::Range(s.to_string(), o.to_string())),
-                owl::INVERSE_OF => {
-                    axioms.push(Axiom::InverseOf(s.to_string(), o.to_string()))
-                }
+                owl::INVERSE_OF => axioms.push(Axiom::InverseOf(s.to_string(), o.to_string())),
                 _ => {}
             }
         }
@@ -89,11 +87,8 @@ impl Ontology {
     pub fn to_program(&self, symbols: &SymbolTable) -> Program {
         let mut program = Program::new();
         let triple = symbols.intern(preds::TRIPLE);
-        let rdf_type = AtomArg::Const(sparqlog_datalog::Const::Iri(
-            symbols.intern(rdf::TYPE),
-        ));
-        let iri =
-            |s: &str| AtomArg::Const(sparqlog_datalog::Const::Iri(symbols.intern(s)));
+        let rdf_type = AtomArg::Const(sparqlog_datalog::Const::Iri(symbols.intern(rdf::TYPE)));
+        let iri = |s: &str| AtomArg::Const(sparqlog_datalog::Const::Iri(symbols.intern(s)));
 
         for axiom in &self.axioms {
             match axiom {
@@ -144,17 +139,18 @@ impl Ontology {
                         program.rules.push(b.build());
                     }
                 }
-                Axiom::SomeValuesFrom { class, property, filler } => {
+                Axiom::SomeValuesFrom {
+                    class,
+                    property,
+                    filler,
+                } => {
                     // The existential axiom class ⊑ ∃property.filler:
                     //   ∃Z gen(X, Z, D) :- triple(X, type, class, D).
                     //   triple(X, property, Z, D) :- gen(X, Z, D).
                     //   triple(Z, type, filler, D) :- gen(X, Z, D).
                     // The auxiliary predicate shares one labelled null Z
                     // between the two derived triples.
-                    let gen = symbols.intern(&format!(
-                        "_ex_gen_{}",
-                        symbols.intern(property).0
-                    ));
+                    let gen = symbols.intern(&format!("_ex_gen_{}", symbols.intern(property).0));
                     {
                         let mut b = RuleBuilder::new();
                         let (hx, hz, hd) = (b.v("X"), b.v("Z"), b.v("D"));

@@ -1,6 +1,14 @@
 //! Concurrent query serving: frozen engine snapshots and the parallel
 //! query-batch API.
 //!
+//! Since the [`Store`](crate::Store) redesign, [`FrozenDatabase`] is
+//! the *serving layer* under [`Store::snapshot`](crate::Store::snapshot)
+//! rather than a one-way terminal state: a [`Snapshot`](crate::Snapshot)
+//! derefs to this type, and the store's commit path thaws the underlying
+//! [`FrozenDb`] back into a mutable database and re-freezes it
+//! incrementally. [`SparqLog::freeze`](crate::SparqLog::freeze) remains
+//! as the direct (one-way) route for freeze-once workloads.
+//!
 //! The paper's experiments run one query at a time, but the workloads its
 //! reproduction targets — see the query-log studies cited in PAPERS.md —
 //! are floods of small, read-only queries over a materialised store.
@@ -52,10 +60,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use sparqlog_datalog::{
-    evaluate_frozen, fxhash::FxHashMap, run_scoped, EvalOptions, FrozenDb,
-    SymbolTable,
+    evaluate_frozen, fxhash::FxHashMap, run_scoped, EvalOptions, FrozenDb, SymbolTable,
 };
-use sparqlog_sparql::{parse_query, Query};
+use sparqlog_sparql::{parse_query, update_keyword, Query};
 
 use crate::engine::SparqLogError;
 use crate::query_translation::{translate_query, TranslatedQuery};
@@ -110,6 +117,14 @@ impl FrozenDatabase {
             cache: RwLock::new(FxHashMap::default()),
             counter: AtomicUsize::new(0),
         }
+    }
+
+    /// Dismantles the serving wrapper back into its snapshot and
+    /// options — the [`Store`](crate::Store) commit path reclaims the
+    /// snapshot through this (and thaws it in place when no other
+    /// handle is alive).
+    pub(crate) fn into_base(self) -> (Arc<FrozenDb>, EvalOptions) {
+        (self.base, self.options)
     }
 
     /// The shared symbol table.
@@ -193,10 +208,7 @@ impl FrozenDatabase {
     /// assert_eq!(results[0].as_ref().unwrap().len(), 1);
     /// assert!(results[1].is_err()); // the batch keeps going
     /// ```
-    pub fn execute_batch(
-        &self,
-        queries: &[&str],
-    ) -> Vec<Result<QueryResult, SparqLogError>> {
+    pub fn execute_batch(&self, queries: &[&str]) -> Vec<Result<QueryResult, SparqLogError>> {
         self.batch(queries.len(), |i| self.translation(queries[i]))
     }
 
@@ -221,12 +233,14 @@ impl FrozenDatabase {
         // Under fan-out each query runs the deterministic single-threaded
         // evaluator: the pool's workers are already saturated by whole
         // queries, and nesting a second pool per query would oversubscribe.
-        let per_query = EvalOptions { threads: Some(1), ..self.options.clone() };
+        let per_query = EvalOptions {
+            threads: Some(1),
+            ..self.options.clone()
+        };
         let slots: Vec<Mutex<Option<Result<QueryResult, SparqLogError>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         run_scoped(threads, n, &|i| {
-            let result = translation_of(i)
-                .and_then(|cached| self.run(&cached, &per_query));
+            let result = translation_of(i).and_then(|cached| self.run(&cached, &per_query));
             *slots[i].lock().unwrap() = Some(result);
         });
         slots
@@ -246,7 +260,17 @@ impl FrozenDatabase {
         if let Some(hit) = self.cache.read().unwrap().get(text) {
             return Ok(hit.clone());
         }
-        let entry = self.translate_entry(parse_query(text)?)?;
+        let query = match parse_query(text) {
+            Ok(q) => q,
+            // An update string would otherwise surface as a baffling
+            // "expected SELECT or ASK" parse error — recognise it and
+            // say what is actually wrong with *this entry point*.
+            Err(e) => match update_keyword(text) {
+                Some(kw) => return Err(SparqLogError::ReadOnly(kw)),
+                None => return Err(e.into()),
+            },
+        };
+        let entry = self.translate_entry(query)?;
         let mut cache = self.cache.write().unwrap();
         if cache.len() >= MAX_CACHED_TRANSLATIONS && !cache.contains_key(text) {
             return Ok(entry);
@@ -257,8 +281,7 @@ impl FrozenDatabase {
     /// Translates a parsed query under a fresh predicate namespace.
     fn translate_entry(&self, query: Query) -> Result<Arc<CachedQuery>, SparqLogError> {
         let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
-        let translated =
-            translate_query(&query, self.base.symbols(), &format!("f{n}_"))?;
+        let translated = translate_query(&query, self.base.symbols(), &format!("f{n}_"))?;
         Ok(Arc::new(CachedQuery { query, translated }))
     }
 
@@ -269,8 +292,7 @@ impl FrozenDatabase {
         cached: &CachedQuery,
         options: &EvalOptions,
     ) -> Result<QueryResult, SparqLogError> {
-        let (db, _stats) =
-            evaluate_frozen(&cached.translated.program, &self.base, options)?;
+        let (db, _stats) = evaluate_frozen(&cached.translated.program, &self.base, options)?;
         Ok(extract_result(&cached.translated, &cached.query, &db))
     }
 }
@@ -346,6 +368,23 @@ mod tests {
         assert_eq!(results[0].as_ref().unwrap().len(), 1);
         assert!(results[1].is_err());
         assert_eq!(results[2].as_ref().unwrap().len(), 1, "ASK true");
+    }
+
+    #[test]
+    fn update_strings_get_read_only_error_not_parse_noise() {
+        let frozen = frozen();
+        let err = frozen
+            .execute("PREFIX ex: <http://ex.org/> INSERT DATA { ex:a ex:p ex:b }")
+            .unwrap_err();
+        assert_eq!(err, SparqLogError::ReadOnly("INSERT"));
+        assert!(err.to_string().contains("read-only"), "{err}");
+        let err = frozen.execute("CLEAR ALL").unwrap_err();
+        assert_eq!(err, SparqLogError::ReadOnly("CLEAR"));
+        // Genuinely malformed input still reports a parse error.
+        assert!(matches!(
+            frozen.execute("garbage ***").unwrap_err(),
+            SparqLogError::Parse(_)
+        ));
     }
 
     #[test]

@@ -24,6 +24,60 @@ pub struct SolutionSeq {
     pub rows: Vec<Vec<Option<Term>>>,
 }
 
+/// One solution mapping of a [`SolutionSeq`], addressable by variable
+/// name — so callers stop counting columns:
+///
+/// ```
+/// use sparqlog::SparqLog;
+///
+/// let mut engine = SparqLog::new();
+/// engine
+///     .load_turtle("@prefix ex: <http://ex.org/> . ex:a ex:p ex:b .")
+///     .unwrap();
+/// let result = engine
+///     .execute("PREFIX ex: <http://ex.org/> SELECT ?o WHERE { ex:a ex:p ?o }")
+///     .unwrap();
+/// let solutions = result.solutions().unwrap();
+/// let first = solutions.solution(0).unwrap();
+/// assert_eq!(first.get("o").unwrap().to_string(), "<http://ex.org/b>");
+/// assert!(first.get("?o").is_some(), "sigil accepted");
+/// assert!(first.get("nope").is_none());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Solution<'a> {
+    vars: &'a [String],
+    row: &'a [Option<Term>],
+}
+
+impl<'a> Solution<'a> {
+    /// The binding of variable `name` (with or without the `?` sigil):
+    /// `None` when the variable is not projected or unbound in this
+    /// solution.
+    pub fn get(&self, name: &str) -> Option<&'a Term> {
+        let name = name.strip_prefix('?').unwrap_or(name);
+        let i = self.vars.iter().position(|v| v == name)?;
+        self.row[i].as_ref()
+    }
+
+    /// The projected variable names, in column order.
+    pub fn vars(&self) -> &'a [String] {
+        self.vars
+    }
+
+    /// The bindings in column order (`None` = unbound).
+    pub fn values(&self) -> &'a [Option<Term>] {
+        self.row
+    }
+
+    /// Iterates over `(variable, binding)` pairs in column order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'a str, Option<&'a Term>)> + 'a {
+        self.vars
+            .iter()
+            .zip(self.row)
+            .map(|(v, t)| (v.as_str(), t.as_ref()))
+    }
+}
+
 impl SolutionSeq {
     /// Number of solutions.
     pub fn len(&self) -> usize {
@@ -33,6 +87,22 @@ impl SolutionSeq {
     /// True if there are no solutions.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
+    }
+
+    /// The `i`-th solution as a by-name view.
+    pub fn solution(&self, i: usize) -> Option<Solution<'_>> {
+        self.rows.get(i).map(|row| Solution {
+            vars: &self.vars,
+            row,
+        })
+    }
+
+    /// Iterates over the solutions as by-name views.
+    pub fn iter(&self) -> impl Iterator<Item = Solution<'_>> + '_ {
+        self.rows.iter().map(|row| Solution {
+            vars: &self.vars,
+            row,
+        })
     }
 
     /// Canonical multiset view: each row rendered to strings and the rows
@@ -79,6 +149,34 @@ impl SolutionSeq {
     }
 }
 
+impl std::fmt::Display for SolutionSeq {
+    /// Renders the sequence as a tab-separated table: a `?var` header
+    /// line followed by one line per solution (`UNBOUND` for unbound
+    /// cells). This is what examples and CLIs print instead of
+    /// hand-formatting rows.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, var) in self.vars.iter().enumerate() {
+            if i > 0 {
+                f.write_str("\t")?;
+            }
+            write!(f, "?{var}")?;
+        }
+        for row in &self.rows {
+            f.write_str("\n")?;
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    f.write_str("\t")?;
+                }
+                match cell {
+                    Some(t) => write!(f, "{t}")?,
+                    None => f.write_str("UNBOUND")?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The result of executing a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryResult {
@@ -111,12 +209,19 @@ impl QueryResult {
     }
 }
 
+impl std::fmt::Display for QueryResult {
+    /// `true`/`false` for ASK results, the [`SolutionSeq`] table for
+    /// SELECT results.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryResult::Solutions(s) => s.fmt(f),
+            QueryResult::Boolean(b) => write!(f, "{b}"),
+        }
+    }
+}
+
 /// Extracts the query result from an evaluated database.
-pub fn extract_result(
-    tq: &TranslatedQuery,
-    query: &Query,
-    db: &Database,
-) -> QueryResult {
+pub fn extract_result(tq: &TranslatedQuery, query: &Query, db: &Database) -> QueryResult {
     let symbols = db.symbols();
     let tuples = collect_output(&tq.program, db, tq.root_pred);
 
@@ -150,10 +255,8 @@ pub fn extract_result(
                 })
                 .collect();
             rows.sort_by(|a, b| {
-                let env_a: Vec<Option<Const>> =
-                    a.iter().map(|c| Some(c.clone())).collect();
-                let env_b: Vec<Option<Const>> =
-                    b.iter().map(|c| Some(c.clone())).collect();
+                let env_a: Vec<Option<Const>> = a.iter().map(|c| Some(c.clone())).collect();
+                let env_b: Vec<Option<Const>> = b.iter().map(|c| Some(c.clone())).collect();
                 for (expr, desc) in &compiled {
                     let va = expr.eval(&env_a, symbols).unwrap_or(Const::Null);
                     let vb = expr.eval(&env_b, symbols).unwrap_or(Const::Null);
@@ -190,28 +293,22 @@ mod tests {
     use super::*;
 
     fn seq(rows: Vec<Vec<Option<Term>>>) -> SolutionSeq {
-        SolutionSeq { vars: vec!["x".into()], rows }
+        SolutionSeq {
+            vars: vec!["x".into()],
+            rows,
+        }
     }
 
     #[test]
     fn multiset_equality_ignores_order() {
-        let a = seq(vec![
-            vec![Some(Term::iri("a"))],
-            vec![Some(Term::iri("b"))],
-        ]);
-        let b = seq(vec![
-            vec![Some(Term::iri("b"))],
-            vec![Some(Term::iri("a"))],
-        ]);
+        let a = seq(vec![vec![Some(Term::iri("a"))], vec![Some(Term::iri("b"))]]);
+        let b = seq(vec![vec![Some(Term::iri("b"))], vec![Some(Term::iri("a"))]]);
         assert!(a.multiset_eq(&b));
     }
 
     #[test]
     fn multiset_equality_counts_duplicates() {
-        let a = seq(vec![
-            vec![Some(Term::iri("a"))],
-            vec![Some(Term::iri("a"))],
-        ]);
+        let a = seq(vec![vec![Some(Term::iri("a"))], vec![Some(Term::iri("a"))]]);
         let b = seq(vec![vec![Some(Term::iri("a"))]]);
         assert!(!a.multiset_eq(&b));
         assert!(b.multiset_subset_of(&a));
@@ -223,6 +320,41 @@ mod tests {
         let a = seq(vec![vec![Some(Term::bnode("x1"))]]);
         let b = seq(vec![vec![Some(Term::bnode("y9"))]]);
         assert!(a.multiset_eq(&b));
+    }
+
+    #[test]
+    fn solution_views_access_by_name() {
+        let s = SolutionSeq {
+            vars: vec!["x".into(), "y".into()],
+            rows: vec![
+                vec![Some(Term::iri("a")), None],
+                vec![Some(Term::iri("b")), Some(Term::integer(2))],
+            ],
+        };
+        let first = s.solution(0).unwrap();
+        assert_eq!(first.get("x"), Some(&Term::iri("a")));
+        assert_eq!(first.get("?x"), Some(&Term::iri("a")));
+        assert_eq!(first.get("y"), None, "unbound");
+        assert_eq!(first.get("z"), None, "not projected");
+        assert_eq!(first.vars(), &["x".to_string(), "y".to_string()]);
+        let names: Vec<&str> = first.iter().map(|(v, _)| v).collect();
+        assert_eq!(names, ["x", "y"]);
+        assert_eq!(s.iter().count(), 2);
+        assert!(s.solution(5).is_none());
+    }
+
+    #[test]
+    fn display_renders_table_and_booleans() {
+        let s = SolutionSeq {
+            vars: vec!["x".into(), "y".into()],
+            rows: vec![vec![Some(Term::iri("a")), None]],
+        };
+        assert_eq!(s.to_string(), "?x\t?y\n<a>\tUNBOUND");
+        assert_eq!(
+            QueryResult::Solutions(s).to_string(),
+            "?x\t?y\n<a>\tUNBOUND"
+        );
+        assert_eq!(QueryResult::Boolean(true).to_string(), "true");
     }
 
     #[test]

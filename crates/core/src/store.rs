@@ -1,0 +1,1328 @@
+//! The unified [`Store`] API: one durable handle serving cheap read
+//! snapshots and explicit write sessions, with SPARQL 1.1 Update on top.
+//!
+//! This subsumes the `SparqLog` / `FrozenDatabase` split of the earlier
+//! PRs (both remain as thin compatibility wrappers). The lifecycle it
+//! models is the one real query logs exhibit — read-mostly traffic with
+//! occasional writes:
+//!
+//! * [`Store::snapshot`] hands out a [`Snapshot`]: an `Arc`-shared,
+//!   index-complete read view. Snapshots are cheap (one atomic
+//!   refcount), immutable, `Send + Sync`, and keep serving their
+//!   version of the data even while later commits land — readers are
+//!   never blocked and never see partial writes.
+//! * [`Store::writer`] opens a [`Writer`]: a session that stages
+//!   triple-level additions and removals (and `CLEAR`s) and applies
+//!   them atomically on [`Writer::commit`]. The commit *thaws* the
+//!   current frozen snapshot back into a mutable database
+//!   ([`sparqlog_datalog::FrozenDb::thaw`]), applies the delta, brings
+//!   the T_D auxiliary predicates up to date, and re-freezes —
+//!   **incrementally**: per-mask hash indexes of untouched predicates
+//!   are carried through thaw and maintained in place, so a small delta
+//!   never pays the `2^arity - 1` index rebuild of a from-scratch
+//!   freeze.
+//! * [`Store::update`] executes SPARQL 1.1 Update requests
+//!   (`INSERT DATA`, `DELETE DATA`, `DELETE/INSERT ... WHERE`,
+//!   `CLEAR`) end-to-end: `WHERE` clauses run through the ordinary
+//!   query pipeline against the current snapshot, and the resulting
+//!   bindings instantiate the delete/insert templates into a write
+//!   session.
+//!
+//! ```
+//! use sparqlog::Store;
+//!
+//! let store = Store::new();
+//! store
+//!     .update(
+//!         r#"PREFIX ex: <http://ex.org/>
+//!            INSERT DATA { ex:spain ex:borders ex:france .
+//!                          ex:france ex:borders ex:belgium }"#,
+//!     )
+//!     .unwrap();
+//! let q = "PREFIX ex: <http://ex.org/> SELECT ?b WHERE { ex:spain ex:borders+ ?b }";
+//! assert_eq!(store.execute(q).unwrap().len(), 2);
+//!
+//! // Snapshots are stable read views: this one will not see the delete.
+//! let before = store.snapshot();
+//! store
+//!     .update(
+//!         "PREFIX ex: <http://ex.org/> DELETE DATA { ex:france ex:borders ex:belgium }",
+//!     )
+//!     .unwrap();
+//! assert_eq!(before.execute(q).unwrap().len(), 2);
+//! assert_eq!(store.execute(q).unwrap().len(), 1);
+//! ```
+//!
+//! # Consistency model
+//!
+//! Commits serialise on an internal commit lock; each produces a new
+//! immutable snapshot installed atomically, so queries observe either
+//! the pre- or the post-commit state, never a mixture ("repeatable
+//! read" for any query or batch pinned to one snapshot). A SPARQL
+//! Update *request* holds the commit lock end to end — concurrent
+//! read-modify-write requests cannot interleave between a `WHERE`
+//! evaluation and its commit — though a request is not atomic under
+//! failure: operations commit one by one, and an error leaves the
+//! earlier operations applied.
+//!
+//! Readers holding a [`Snapshot`] are never blocked by a commit. A
+//! commit that finds live snapshots works on a copy while the store
+//! keeps serving the pre-commit version (new [`Store::snapshot`] /
+//! [`Store::execute`] calls proceed immediately); with no snapshot
+//! alive it takes the zero-copy path instead — relations are moved, and
+//! readers arriving mid-commit wait for it. Failure (e.g. an evaluation
+//! timeout) is graceful on the copy path — the pre-commit snapshot
+//! stays installed — but poisons the store on the zero-copy path
+//! (subsequent access panics rather than serving half-updated derived
+//! predicates).
+//!
+//! # Ontologies and deletion
+//!
+//! Ontology axioms ([`Store::add_ontology`]) are materialised at commit
+//! time like the engine always did. Additions re-derive incrementally
+//! (materialisation is monotone). Deletions re-derive the auxiliary
+//! predicates exactly, but *entailed* triples are not retracted when
+//! their premises disappear (no truth maintenance) — the usual
+//! materialised-store caveat; rebuild the store for a full re-derivation.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use sparqlog_datalog::{
+    evaluate, Const, Database, EvalOptions, FrozenDb, Program, Relation, Rule, Sym, SymbolTable,
+    TermId,
+};
+use sparqlog_rdf::{Dataset, Graph, Term};
+use sparqlog_sparql::{
+    parse_update, ClearTarget, GroundQuad, QuadPattern, TermPattern, Update, UpdateOperation,
+};
+
+use crate::data_translation::{base_program, default_graph_const, preds, term_to_const};
+use crate::engine::SparqLogError;
+use crate::ontology::Ontology;
+use crate::query_translation::update_where_query;
+use crate::serving::FrozenDatabase;
+use crate::solution::QueryResult;
+
+const POISONED: &str = "store poisoned: a previous commit failed mid-materialisation";
+
+/// Counters reported by a committed write session.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CommitStats {
+    /// Triples actually added (staged duplicates of existing triples do
+    /// not count).
+    pub added: usize,
+    /// Triples actually removed (staged removals of absent triples do
+    /// not count).
+    pub removed: usize,
+}
+
+impl CommitStats {
+    fn absorb(&mut self, other: CommitStats) {
+        self.added += other.added;
+        self.removed += other.removed;
+    }
+}
+
+struct StoreState {
+    /// The serving snapshot. `None` only while a zero-copy commit holds
+    /// the state lock (readers block, never observe it) — or permanently
+    /// after such a commit failed ([`POISONED`]).
+    frozen: Option<Arc<FrozenDatabase>>,
+    /// Accumulated ontology rules, re-materialised on every commit.
+    ontology: Program,
+    /// Evaluation options for commits and for snapshots created after
+    /// the next commit.
+    options: EvalOptions,
+}
+
+/// A durable RDF store: one handle for loading, updating and querying.
+///
+/// All methods take `&self` — the store is `Send + Sync` and meant to be
+/// shared (directly or behind an `Arc`) between writer and reader
+/// threads. See the [module docs](self) for the lifecycle and
+/// consistency model.
+pub struct Store {
+    state: RwLock<StoreState>,
+    /// Serialises commits — and whole SPARQL Update requests, so a
+    /// request's `WHERE` evaluation and its commit form one critical
+    /// section (no lost updates between concurrent read-modify-write
+    /// requests). Held around [`Store::apply_locked`]; never acquired
+    /// by read paths.
+    commit_lock: Mutex<()>,
+    /// Uniquifies blank-node labels minted by `INSERT` templates and
+    /// `INSERT DATA` blocks across update executions.
+    bnode_epoch: AtomicUsize,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Store {
+    /// Creates an empty store with default evaluation options.
+    pub fn new() -> Self {
+        Self::with_options(EvalOptions::default())
+    }
+
+    /// Creates an empty store with explicit evaluation options (timeout,
+    /// thread count, ...).
+    pub fn with_options(options: EvalOptions) -> Self {
+        Self::from_parts(Database::new(), options, Program::new())
+    }
+
+    pub(crate) fn from_parts(db: Database, options: EvalOptions, ontology: Program) -> Self {
+        let frozen = Arc::new(FrozenDatabase::new(db.freeze(), options.clone()));
+        Store {
+            state: RwLock::new(StoreState {
+                frozen: Some(frozen),
+                ontology,
+                options,
+            }),
+            commit_lock: Mutex::new(()),
+            bnode_epoch: AtomicUsize::new(0),
+        }
+    }
+
+    fn current(&self) -> Arc<FrozenDatabase> {
+        self.state
+            .read()
+            .unwrap()
+            .frozen
+            .as_ref()
+            .expect(POISONED)
+            .clone()
+    }
+
+    /// The current read view: an `Arc`-shared, index-complete snapshot.
+    ///
+    /// Snapshots are immutable and version-stable — later commits do not
+    /// affect them — and deref to [`FrozenDatabase`], so the whole
+    /// concurrent query API (`execute`, `execute_batch`, the translation
+    /// cache) is available on them.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            inner: self.current(),
+        }
+    }
+
+    /// Opens a write session staging triple-level changes; nothing is
+    /// visible to readers until [`Writer::commit`].
+    pub fn writer(&self) -> Writer<'_> {
+        Writer {
+            store: self,
+            adds: Vec::new(),
+            removes: Vec::new(),
+            clears: Vec::new(),
+        }
+    }
+
+    /// Parses and executes a query against the current snapshot
+    /// (convenience for [`Store::snapshot`] + `execute`; takes a fresh
+    /// snapshot per call, so prefer holding a [`Snapshot`] when issuing
+    /// many queries against one version).
+    pub fn execute(&self, query: &str) -> Result<QueryResult, SparqLogError> {
+        self.current().execute(query)
+    }
+
+    /// Executes a batch of queries against the current snapshot, fanned
+    /// over the worker pool (see [`FrozenDatabase::execute_batch`]).
+    pub fn execute_batch(&self, queries: &[&str]) -> Vec<Result<QueryResult, SparqLogError>> {
+        self.current().execute_batch(queries)
+    }
+
+    /// Parses and executes a SPARQL 1.1 Update request. Operations apply
+    /// in order, each seeing the effects of the previous one; the
+    /// returned stats aggregate over all of them.
+    pub fn update(&self, text: &str) -> Result<CommitStats, SparqLogError> {
+        let update = parse_update(text)?;
+        self.apply_update(&update)
+    }
+
+    /// Executes an already-parsed update request (see [`Store::update`]).
+    ///
+    /// The whole request runs under the store's commit lock: concurrent
+    /// update requests serialise end to end, so a read-modify-write
+    /// request (`DELETE/INSERT ... WHERE`) never computes its bindings
+    /// from a state another writer is about to replace.
+    pub fn apply_update(&self, update: &Update) -> Result<CommitStats, SparqLogError> {
+        let _serial = self.commit_lock.lock().unwrap();
+        let mut total = CommitStats::default();
+        for op in &update.operations {
+            let stats = match op {
+                UpdateOperation::InsertData(quads) => {
+                    // SPARQL 1.1 Update §3.1.1: blank nodes in INSERT
+                    // DATA denote *fresh* nodes per request execution —
+                    // relabel with a per-execution epoch so re-running
+                    // the request mints new nodes instead of silently
+                    // merging with equally-labelled existing ones.
+                    // (Labels stay shared *within* one request. The '!'
+                    // separator cannot occur in any parsed blank-node
+                    // label, so a freshened label can never collide
+                    // with a loaded one.)
+                    let epoch = self.bnode_epoch.fetch_add(1, Ordering::Relaxed);
+                    let freshen = |t: &Term| match t {
+                        Term::BlankNode(label) => Term::bnode(format!("{label}!u{epoch}")),
+                        other => other.clone(),
+                    };
+                    let adds: Vec<GroundQuad> = quads
+                        .iter()
+                        .map(|q| GroundQuad {
+                            subject: freshen(&q.subject),
+                            predicate: q.predicate.clone(),
+                            object: freshen(&q.object),
+                            graph: q.graph.clone(),
+                        })
+                        .collect();
+                    self.apply_locked(&adds, &[], &[])?
+                }
+                UpdateOperation::DeleteData(quads) => self.apply_locked(&[], quads, &[])?,
+                UpdateOperation::Clear(target) => {
+                    self.apply_locked(&[], &[], std::slice::from_ref(target))?
+                }
+                UpdateOperation::DeleteInsert {
+                    delete,
+                    insert,
+                    pattern,
+                } => self.delete_insert_where(delete, insert, pattern.clone())?,
+            };
+            total.absorb(stats);
+        }
+        Ok(total)
+    }
+
+    /// The pattern-driven update family: run the `WHERE` clause through
+    /// the ordinary query pipeline on the current snapshot, then feed
+    /// every solution into the delete/insert templates. Deletes apply
+    /// before inserts, both computed against the pre-operation state
+    /// (SPARQL 1.1 Update §3.1.3). Caller holds the commit lock.
+    fn delete_insert_where(
+        &self,
+        delete: &[QuadPattern],
+        insert: &[QuadPattern],
+        pattern: sparqlog_sparql::GraphPattern,
+    ) -> Result<CommitStats, SparqLogError> {
+        let query = update_where_query(pattern);
+        let result = self.snapshot().execute_query(&query)?;
+        let Some(solutions) = result.solutions() else {
+            return Ok(CommitStats::default());
+        };
+        let epoch = self.bnode_epoch.fetch_add(1, Ordering::Relaxed);
+        let mut adds = Vec::new();
+        let mut removes = Vec::new();
+        for (row, sol) in solutions.iter().enumerate() {
+            for template in delete {
+                // Parser guarantees no bnodes in delete templates, so
+                // `fresh = None` never drops a quad for that reason.
+                if let Some(q) = instantiate(template, &sol, None) {
+                    removes.push(q);
+                }
+            }
+            for template in insert {
+                // '!' cannot occur in a parsed blank-node label, so the
+                // minted label is collision-free (see InsertData above).
+                let fresh = Some(format!("!u{epoch}r{row}"));
+                if let Some(q) = instantiate(template, &sol, fresh.as_deref()) {
+                    adds.push(q);
+                }
+            }
+        }
+        self.apply_locked(&adds, &removes, &[])
+    }
+
+    /// Stages and commits a Turtle document into the default graph.
+    pub fn load_turtle(&self, src: &str) -> Result<CommitStats, SparqLogError> {
+        let mut w = self.writer();
+        w.add_turtle(src)?;
+        w.commit()
+    }
+
+    /// Stages and commits an N-Triples document into the default graph.
+    pub fn load_ntriples(&self, src: &str) -> Result<CommitStats, SparqLogError> {
+        let mut w = self.writer();
+        w.add_ntriples(src)?;
+        w.commit()
+    }
+
+    /// Stages and commits a graph into the default graph.
+    pub fn load_graph(&self, g: &Graph) -> Result<CommitStats, SparqLogError> {
+        let mut w = self.writer();
+        w.add_graph(g);
+        w.commit()
+    }
+
+    /// Stages and commits a dataset (default and named graphs).
+    pub fn load_dataset(&self, ds: &Dataset) -> Result<CommitStats, SparqLogError> {
+        let mut w = self.writer();
+        w.add_dataset(ds);
+        w.commit()
+    }
+
+    /// Adds ontology axioms and re-materialises; queries against
+    /// snapshots taken afterwards see the entailed triples.
+    pub fn add_ontology(&self, onto: &Ontology) -> Result<CommitStats, SparqLogError> {
+        let _serial = self.commit_lock.lock().unwrap();
+        {
+            let mut state = self.state.write().unwrap();
+            let symbols = state.frozen.as_ref().expect(POISONED).symbols().clone();
+            let prog = onto.to_program(&symbols);
+            state.ontology.rules.extend(prog.rules);
+        }
+        self.apply_locked(&[], &[], &[])
+    }
+
+    /// Total number of facts (triples plus auxiliary and derived
+    /// predicates) in the current snapshot.
+    pub fn fact_count(&self) -> usize {
+        self.current().database().fact_count()
+    }
+
+    /// The store's symbol table (shared across all snapshots).
+    pub fn symbols(&self) -> Arc<SymbolTable> {
+        self.current().symbols().clone()
+    }
+
+    /// The evaluation options commits run with.
+    pub fn options(&self) -> EvalOptions {
+        self.state.read().unwrap().options.clone()
+    }
+
+    /// Sets the worker-thread count for subsequent commits and
+    /// snapshots (the current snapshot is re-wrapped, which drops its
+    /// translation cache). See
+    /// [`SparqLog::set_threads`](crate::SparqLog::set_threads).
+    pub fn set_threads(&self, threads: Option<usize>) {
+        let mut state = self.state.write().unwrap();
+        state.options.threads = threads;
+        let base = state.frozen.as_ref().expect(POISONED).database().clone();
+        state.frozen = Some(Arc::new(FrozenDatabase::new(base, state.options.clone())));
+    }
+
+    /// [`Store::apply_locked`] behind the commit lock — the entry point
+    /// for write sessions and bulk loads.
+    fn apply(
+        &self,
+        adds: &[GroundQuad],
+        removes: &[GroundQuad],
+        clears: &[ClearTarget],
+    ) -> Result<CommitStats, SparqLogError> {
+        let _serial = self.commit_lock.lock().unwrap();
+        self.apply_locked(adds, removes, clears)
+    }
+
+    /// Applies a staged delta: thaw the current snapshot, mutate,
+    /// re-materialise the auxiliary predicates, re-freeze incrementally.
+    /// Caller holds the commit lock (which serialises writers); the
+    /// state lock is only held across the heavy phase on the zero-copy
+    /// path (see below).
+    fn apply_locked(
+        &self,
+        adds: &[GroundQuad],
+        removes: &[GroundQuad],
+        clears: &[ClearTarget],
+    ) -> Result<CommitStats, SparqLogError> {
+        let mut state = self.state.write().unwrap();
+        let options = state.options.clone();
+        let ontology_rules: Vec<Rule> = state.ontology.rules.clone();
+        let current = state.frozen.take().expect(POISONED);
+
+        // Reclaim the snapshot. When no snapshot handle is alive the
+        // wrapper and then the FrozenDb unwrap uniquely and the
+        // relations are *moved* into the mutable database, indexes and
+        // all — zero copy, but the state lock stays held for the whole
+        // commit (readers arriving mid-commit block; none existed at
+        // commit start). When live snapshots force the copy path, the
+        // old snapshot is put straight back and the state lock released:
+        // readers keep being served the pre-commit version while the
+        // commit works on the copy, and a failed commit leaves the store
+        // untouched instead of poisoned.
+        let (base, held_state) = match Arc::try_unwrap(current) {
+            Ok(fd) => (fd.into_base().0, Some(state)),
+            Err(shared) => {
+                let base = shared.database().clone();
+                state.frozen = Some(shared);
+                drop(state);
+                (base, None)
+            }
+        };
+        let mut db = FrozenDb::thaw(base);
+        let symbols = db.symbols().clone();
+        let dict = db.dict().clone();
+
+        let triple_p = symbols.intern(preds::TRIPLE);
+        let iri_p = symbols.intern(preds::IRI);
+        let literal_p = symbols.intern(preds::LITERAL);
+        let bnode_p = symbols.intern(preds::BNODE);
+        let named_p = symbols.intern(preds::NAMED);
+        let term_p = symbols.intern(preds::TERM);
+        let comp_p = symbols.intern(preds::COMP);
+        let soo_p = symbols.intern(preds::SUBJECT_OR_OBJECT);
+        let null_p = symbols.intern(preds::NULL);
+
+        let default_graph = dict.encode(&default_graph_const(&symbols));
+        let graph_const = |g: &Option<Arc<str>>| match g {
+            None => default_graph_const(&symbols),
+            Some(name) => Const::Iri(symbols.intern(name)),
+        };
+        let encode_quad = |q: &GroundQuad| -> [TermId; 4] {
+            [
+                dict.encode(&term_to_const(&q.subject, &symbols)),
+                dict.encode(&term_to_const(&q.predicate, &symbols)),
+                dict.encode(&term_to_const(&q.object, &symbols)),
+                dict.encode(&graph_const(&q.graph)),
+            ]
+        };
+
+        let mut stats = CommitStats::default();
+
+        // ------------------------------------------------ removals
+        // `has_removals` means a staged removal actually hits a stored
+        // triple: a DELETE DATA of absent quads or a CLEAR of an empty
+        // graph is routed to the (much cheaper) pure-addition path
+        // instead of paying the full retain + exact re-derivation.
+        let mut has_removals = false;
+        if (!removes.is_empty() || !clears.is_empty()) && db.relation(triple_p).is_some() {
+            let remove_rows: HashSet<[TermId; 4]> = removes.iter().map(encode_quad).collect();
+            let mut clear_default = false;
+            let mut clear_named = false;
+            let mut clear_graphs: HashSet<TermId> = HashSet::new();
+            for c in clears {
+                match c {
+                    ClearTarget::Default => clear_default = true,
+                    ClearTarget::Named => clear_named = true,
+                    ClearTarget::All => {
+                        clear_default = true;
+                        clear_named = true;
+                    }
+                    ClearTarget::Graph(g) => {
+                        clear_graphs.insert(dict.encode(&Const::Iri(symbols.intern(g))));
+                    }
+                }
+            }
+            let rel = db.relation(triple_p).expect("checked above");
+            // Probe the graph-column index (mask 0b1000, eager on a
+            // thawed snapshot) for clear targets; exact rows via the
+            // dedup table.
+            let default_rows = || rel.lookup(0b1000, &[default_graph]).len();
+            let clears_hit = (clear_default && default_rows() > 0)
+                || (clear_named && default_rows() < rel.len())
+                || clear_graphs
+                    .iter()
+                    .any(|g| !rel.lookup(0b1000, &[*g]).is_empty());
+            has_removals = clears_hit || remove_rows.iter().any(|r| rel.contains(r));
+            if has_removals {
+                stats.removed = db.relation_mut(triple_p).retain(|row| {
+                    let g = row[3];
+                    let cleared = (clear_default && g == default_graph)
+                        || (clear_named && g != default_graph)
+                        || clear_graphs.contains(&g);
+                    let row4: [TermId; 4] = row.try_into().expect("triple/4 rows are quads");
+                    !(cleared || remove_rows.contains(&row4))
+                });
+            }
+        }
+
+        // ------------------------------------------------ additions
+        // Track freshly appearing terms for the fast auxiliary path.
+        let mut fresh_terms: Vec<(TermId, Sym)> = Vec::new();
+        let mut fresh_triples: Vec<[TermId; 4]> = Vec::new();
+        for q in adds {
+            let row = encode_quad(q);
+            if !db.relation_mut(triple_p).insert(&row) {
+                continue;
+            }
+            stats.added += 1;
+            fresh_triples.push(row);
+            for (term, id) in [
+                (&q.subject, row[0]),
+                (&q.predicate, row[1]),
+                (&q.object, row[2]),
+            ] {
+                let class = match term {
+                    Term::Iri(_) => iri_p,
+                    Term::BlankNode(_) => bnode_p,
+                    Term::Literal(_) => literal_p,
+                };
+                if db.relation_mut(class).insert(&[id]) {
+                    fresh_terms.push((id, class));
+                }
+            }
+            if q.graph.is_some() {
+                db.relation_mut(named_p).insert(&[row[3]]);
+            }
+        }
+
+        // After removals, the load-time term-class and named-graph facts
+        // are refiltered: a term keeps its class fact only while it
+        // still occurs in a surviving triple. The new relation is the
+        // *intersection* of the old class relation with the occurring
+        // terms — membership in the old relation is the classifier, so
+        // a term that never had a class fact (a Skolem labelled null,
+        // or any term appearing only in ontology-entailed triples) can
+        // never gain one here, keeping the incremental result aligned
+        // with what loading the same asserted data derives. Relations
+        // whose content comes out unchanged keep their built indexes.
+        if has_removals {
+            let mut new_iri = Relation::new();
+            let mut new_literal = Relation::new();
+            let mut new_bnode = Relation::new();
+            let mut new_named = Relation::new();
+            if let Some(rel) = db.relation(triple_p) {
+                let old_iri = db.relation(iri_p);
+                let old_bnode = db.relation(bnode_p);
+                let old_literal = db.relation(literal_p);
+                let in_class =
+                    |r: Option<&Relation>, id: TermId| r.is_some_and(|r| r.contains(&[id]));
+                for row in rel.iter() {
+                    for &id in &row[..3] {
+                        if in_class(old_iri, id) {
+                            new_iri.insert(&[id]);
+                        } else if in_class(old_bnode, id) {
+                            new_bnode.insert(&[id]);
+                        } else if in_class(old_literal, id) {
+                            new_literal.insert(&[id]);
+                        }
+                    }
+                    if row[3] != default_graph {
+                        new_named.insert(&[row[3]]);
+                    }
+                }
+            }
+            for (pred, fresh) in [
+                (iri_p, new_iri),
+                (literal_p, new_literal),
+                (bnode_p, new_bnode),
+                (named_p, new_named),
+            ] {
+                adopt(&mut db, pred, fresh);
+            }
+        }
+
+        // ------------------------------------ auxiliary predicates
+        let mut program = base_program(&symbols);
+        let has_ontology = !ontology_rules.is_empty();
+        program.rules.extend(ontology_rules);
+        let evaluated = if has_removals {
+            // Exact re-derivation: take the derived relations out,
+            // re-run the rules from the surviving facts, and swap the
+            // old relation back in wherever the content is unchanged so
+            // its indexes survive. `triple` itself is never recomputed —
+            // it holds the asserted facts (see the module docs for the
+            // ontology-entailment caveat).
+            let mut derived: Vec<Sym> = program
+                .rules
+                .iter()
+                .map(|r| r.head.pred)
+                .chain(program.facts.iter().map(|(p, _)| *p))
+                .filter(|&p| p != triple_p)
+                .collect();
+            derived.sort_unstable();
+            derived.dedup();
+            let olds: Vec<(Sym, Relation)> = derived
+                .iter()
+                .filter_map(|&p| db.take_relation(p).map(|r| (p, r)))
+                .collect();
+            let result = evaluate(&program, &mut db, &options);
+            for (pred, old) in olds {
+                if db.relation(pred).is_some_and(|new| old.content_eq(new)) {
+                    db.set_relation(pred, old);
+                }
+            }
+            result
+        } else if !has_ontology {
+            // Pure additions, no ontology: the auxiliary rules are
+            // non-recursive over their sources, so their consequences
+            // are computed directly from the delta — O(|delta|), no
+            // fixpoint pass over the full store.
+            let null_id = dict.encode(&Const::Null);
+            db.relation_mut(null_p).insert(&[null_id]);
+            db.relation_mut(comp_p).insert(&[null_id, null_id, null_id]);
+            for &(id, _class) in &fresh_terms {
+                if db.relation_mut(term_p).insert(&[id]) {
+                    let comp = db.relation_mut(comp_p);
+                    comp.insert(&[id, id, id]);
+                    comp.insert(&[id, null_id, id]);
+                    comp.insert(&[null_id, id, id]);
+                }
+            }
+            for row in &fresh_triples {
+                let soo = db.relation_mut(soo_p);
+                soo.insert(&[row[0], row[3]]);
+                soo.insert(&[row[2], row[3]]);
+            }
+            Ok(Default::default())
+        } else {
+            // Pure additions with ontology rules: materialisation is
+            // monotone, so re-running it only adds the new consequences
+            // (existing rows dedup away, indexes stay maintained).
+            evaluate(&program, &mut db, &options)
+        };
+        if let Err(e) = evaluated {
+            // Derived predicates may be half-updated: drop the mutated
+            // copy. On the copy path the pre-commit snapshot is still
+            // installed and the store keeps serving it; on the zero-copy
+            // path there is nothing to fall back to — the store is
+            // poisoned (`frozen` stays `None`).
+            return Err(e.into());
+        }
+
+        // ------------------------------------------------ re-freeze
+        // For untouched relations every per-mask index is still present
+        // and current, so the completion pass inside `freeze` finds
+        // nothing to build.
+        let new_frozen = Some(Arc::new(FrozenDatabase::new(db.freeze(), options)));
+        match held_state {
+            Some(mut state) => state.frozen = new_frozen,
+            None => self.state.write().unwrap().frozen = new_frozen,
+        }
+        Ok(stats)
+    }
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("facts", &self.fact_count())
+            .finish()
+    }
+}
+
+/// Replaces `pred`'s relation with `fresh` — unless the old relation has
+/// identical content, in which case it is kept so its already-built
+/// indexes are reused by the re-freeze.
+fn adopt(db: &mut Database, pred: Sym, fresh: Relation) {
+    match db.take_relation(pred) {
+        Some(old) if old.content_eq(&fresh) => db.set_relation(pred, old),
+        _ if fresh.is_empty() => {}
+        _ => db.set_relation(pred, fresh),
+    }
+}
+
+/// Instantiates a quad template under one solution. `fresh` is the
+/// blank-node freshening suffix for INSERT templates (`None` in DELETE
+/// templates, where the parser already rejected blank nodes). Returns
+/// `None` — dropping the quad, per SPARQL 1.1 Update §3.1.3 — when a
+/// template variable is unbound or the instantiation is not a valid RDF
+/// triple.
+fn instantiate(
+    template: &QuadPattern,
+    sol: &crate::solution::Solution<'_>,
+    fresh: Option<&str>,
+) -> Option<GroundQuad> {
+    let resolve = |tp: &TermPattern| -> Option<Term> {
+        match tp {
+            TermPattern::Term(Term::BlankNode(label)) => {
+                fresh.map(|suffix| Term::bnode(format!("{label}{suffix}")))
+            }
+            TermPattern::Term(t) => Some(t.clone()),
+            TermPattern::Var(v) => sol.get(v.name()).cloned(),
+        }
+    };
+    let subject = resolve(&template.subject)?;
+    let predicate = resolve(&template.predicate)?;
+    let object = resolve(&template.object)?;
+    if subject.is_literal() || !predicate.is_iri() {
+        return None;
+    }
+    Some(GroundQuad {
+        subject,
+        predicate,
+        object,
+        graph: template.graph.clone(),
+    })
+}
+
+/// An immutable, version-stable read view of a [`Store`].
+///
+/// Cloning is one atomic refcount. Derefs to [`FrozenDatabase`], so the
+/// whole concurrent query API is available: [`FrozenDatabase::execute`],
+/// [`FrozenDatabase::execute_batch`], the translation cache. Passing a
+/// SPARQL *Update* string to `execute` returns
+/// [`SparqLogError::ReadOnly`] — route writes through the owning store.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    inner: Arc<FrozenDatabase>,
+}
+
+impl Snapshot {
+    /// The underlying serving wrapper (also reachable via deref).
+    pub fn frozen(&self) -> &FrozenDatabase {
+        &self.inner
+    }
+
+    /// The underlying frozen Datalog snapshot.
+    pub fn database(&self) -> &Arc<FrozenDb> {
+        self.inner.database()
+    }
+
+    /// Total number of facts in this snapshot.
+    pub fn fact_count(&self) -> usize {
+        self.inner.database().fact_count()
+    }
+}
+
+impl std::ops::Deref for Snapshot {
+    type Target = FrozenDatabase;
+
+    fn deref(&self) -> &FrozenDatabase {
+        &self.inner
+    }
+}
+
+/// A write session on a [`Store`]: stages triple additions, removals
+/// and graph clears, applied atomically by [`Writer::commit`].
+///
+/// Staged changes are invisible to every reader (and to queries issued
+/// through the same store) until the commit installs the new snapshot.
+/// Dropping the writer without committing discards the staged changes.
+#[derive(Debug)]
+pub struct Writer<'a> {
+    store: &'a Store,
+    adds: Vec<GroundQuad>,
+    removes: Vec<GroundQuad>,
+    clears: Vec<ClearTarget>,
+}
+
+impl Writer<'_> {
+    /// Stages a triple addition into the default graph.
+    pub fn insert(&mut self, subject: Term, predicate: Term, object: Term) {
+        self.insert_quad(GroundQuad {
+            subject,
+            predicate,
+            object,
+            graph: None,
+        });
+    }
+
+    /// Stages a triple addition into the named graph `graph`.
+    pub fn insert_in(&mut self, graph: &str, subject: Term, predicate: Term, object: Term) {
+        self.insert_quad(GroundQuad {
+            subject,
+            predicate,
+            object,
+            graph: Some(Arc::from(graph)),
+        });
+    }
+
+    /// Stages a quad addition.
+    pub fn insert_quad(&mut self, quad: GroundQuad) {
+        self.adds.push(quad);
+    }
+
+    /// Stages a triple removal from the default graph.
+    pub fn remove(&mut self, subject: Term, predicate: Term, object: Term) {
+        self.remove_quad(GroundQuad {
+            subject,
+            predicate,
+            object,
+            graph: None,
+        });
+    }
+
+    /// Stages a triple removal from the named graph `graph`.
+    pub fn remove_in(&mut self, graph: &str, subject: Term, predicate: Term, object: Term) {
+        self.remove_quad(GroundQuad {
+            subject,
+            predicate,
+            object,
+            graph: Some(Arc::from(graph)),
+        });
+    }
+
+    /// Stages a quad removal.
+    pub fn remove_quad(&mut self, quad: GroundQuad) {
+        self.removes.push(quad);
+    }
+
+    /// Stages a graph clear.
+    pub fn clear(&mut self, target: ClearTarget) {
+        self.clears.push(target);
+    }
+
+    /// Stages every triple of a graph into the default graph.
+    pub fn add_graph(&mut self, g: &Graph) {
+        for (s, p, o) in g.iter() {
+            self.insert(s.clone(), p.clone(), o.clone());
+        }
+    }
+
+    /// Stages a whole dataset (default and named graphs).
+    pub fn add_dataset(&mut self, ds: &Dataset) {
+        self.add_graph(ds.default_graph());
+        for (name, graph) in ds.named_graphs() {
+            for (s, p, o) in graph.iter() {
+                self.insert_in(name, s.clone(), p.clone(), o.clone());
+            }
+        }
+    }
+
+    /// Parses a Turtle document and stages its triples into the default
+    /// graph.
+    pub fn add_turtle(&mut self, src: &str) -> Result<(), SparqLogError> {
+        let g = sparqlog_rdf::turtle::parse(src).map_err(|e| SparqLogError::Data(e.to_string()))?;
+        self.add_graph(&g);
+        Ok(())
+    }
+
+    /// Parses an N-Triples document and stages its triples into the
+    /// default graph.
+    pub fn add_ntriples(&mut self, src: &str) -> Result<(), SparqLogError> {
+        let g =
+            sparqlog_rdf::ntriples::parse(src).map_err(|e| SparqLogError::Data(e.to_string()))?;
+        self.add_graph(&g);
+        Ok(())
+    }
+
+    /// Number of staged additions and removals (clears count as one
+    /// removal each until committed).
+    pub fn staged(&self) -> usize {
+        self.adds.len() + self.removes.len() + self.clears.len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.staged() == 0
+    }
+
+    /// Applies the staged changes atomically and installs the new
+    /// snapshot. Removals apply before additions (so a quad staged for
+    /// both ends up present). Returns the number of triples actually
+    /// added and removed.
+    pub fn commit(self) -> Result<CommitStats, SparqLogError> {
+        self.store.apply(&self.adds, &self.removes, &self.clears)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparqlog_sparql::parse_query;
+
+    const EX: &str = "http://ex.org/";
+
+    fn iri(l: &str) -> Term {
+        Term::iri(format!("{EX}{l}"))
+    }
+
+    fn borders_store() -> Store {
+        let store = Store::new();
+        store
+            .load_turtle(
+                r#"@prefix ex: <http://ex.org/> .
+                   ex:spain ex:borders ex:france .
+                   ex:france ex:borders ex:belgium .
+                   ex:belgium ex:borders ex:germany ."#,
+            )
+            .unwrap();
+        store
+    }
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn store_and_snapshot_are_send_sync() {
+        assert_send_sync::<Store>();
+        assert_send_sync::<Snapshot>();
+    }
+
+    #[test]
+    fn writer_inserts_and_removes_triples() {
+        let store = borders_store();
+        let q = "PREFIX ex: <http://ex.org/> SELECT ?b WHERE { ex:spain ex:borders+ ?b }";
+        assert_eq!(store.execute(q).unwrap().len(), 3);
+
+        let mut w = store.writer();
+        w.insert(iri("germany"), iri("borders"), iri("austria"));
+        w.remove(iri("belgium"), iri("borders"), iri("germany"));
+        assert_eq!(w.staged(), 2);
+        let stats = w.commit().unwrap();
+        assert_eq!(
+            stats,
+            CommitStats {
+                added: 1,
+                removed: 1
+            }
+        );
+        assert_eq!(store.execute(q).unwrap().len(), 2, "france, belgium");
+
+        // Duplicate adds and absent removes are no-ops.
+        let mut w = store.writer();
+        w.insert(iri("germany"), iri("borders"), iri("austria"));
+        w.remove(iri("belgium"), iri("borders"), iri("germany"));
+        assert_eq!(
+            w.commit().unwrap(),
+            CommitStats {
+                added: 0,
+                removed: 0
+            }
+        );
+    }
+
+    #[test]
+    fn snapshots_are_version_stable() {
+        let store = borders_store();
+        let q = "PREFIX ex: <http://ex.org/> SELECT ?b WHERE { ?a ex:borders ?b }";
+        let before = store.snapshot();
+        assert_eq!(before.execute(q).unwrap().len(), 3);
+        store.update("CLEAR DEFAULT").unwrap();
+        assert_eq!(before.execute(q).unwrap().len(), 3, "old version intact");
+        assert_eq!(store.snapshot().execute(q).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn insert_data_and_delete_data_roundtrip() {
+        let store = Store::new();
+        let stats = store
+            .update(
+                r#"PREFIX ex: <http://ex.org/>
+                   INSERT DATA { ex:a ex:p ex:b . ex:a ex:p "lit"@en .
+                                 GRAPH <http://g> { ex:a ex:p ex:c } }"#,
+            )
+            .unwrap();
+        assert_eq!(
+            stats,
+            CommitStats {
+                added: 3,
+                removed: 0
+            }
+        );
+        assert_eq!(
+            store
+                .execute("PREFIX ex: <http://ex.org/> SELECT ?o WHERE { ex:a ex:p ?o }")
+                .unwrap()
+                .len(),
+            2,
+            "default graph only"
+        );
+        assert_eq!(
+            store
+                .execute(
+                    "PREFIX ex: <http://ex.org/>
+                     SELECT ?o WHERE { GRAPH <http://g> { ex:a ex:p ?o } }"
+                )
+                .unwrap()
+                .len(),
+            1
+        );
+        let stats = store
+            .update(r#"PREFIX ex: <http://ex.org/> DELETE DATA { ex:a ex:p "lit"@en }"#)
+            .unwrap();
+        assert_eq!(
+            stats,
+            CommitStats {
+                added: 0,
+                removed: 1
+            }
+        );
+        assert_eq!(
+            store
+                .execute("PREFIX ex: <http://ex.org/> SELECT ?o WHERE { ex:a ex:p ?o }")
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn delete_insert_where_rewrites_bindings() {
+        let store = borders_store();
+        // Reverse every border relation.
+        let stats = store
+            .update(
+                r#"PREFIX ex: <http://ex.org/>
+                   DELETE { ?x ex:borders ?y }
+                   INSERT { ?y ex:borders ?x }
+                   WHERE { ?x ex:borders ?y }"#,
+            )
+            .unwrap();
+        assert_eq!(
+            stats,
+            CommitStats {
+                added: 3,
+                removed: 3
+            }
+        );
+        let r = store
+            .execute("PREFIX ex: <http://ex.org/> SELECT ?b WHERE { ex:germany ex:borders+ ?b }")
+            .unwrap();
+        assert_eq!(r.len(), 3, "chain now runs germany -> spain");
+    }
+
+    #[test]
+    fn delete_where_shorthand_and_unbound_templates() {
+        let store = borders_store();
+        store
+            .update("PREFIX ex: <http://ex.org/> DELETE WHERE { ex:spain ex:borders ?y }")
+            .unwrap();
+        assert_eq!(
+            store
+                .execute("PREFIX ex: <http://ex.org/> SELECT ?b WHERE { ex:spain ex:borders ?b }")
+                .unwrap()
+                .len(),
+            0
+        );
+        // A template var the WHERE clause never binds drops those quads.
+        let stats = store
+            .update(
+                r#"PREFIX ex: <http://ex.org/>
+                   INSERT { ?x ex:tagged ?missing }
+                   WHERE { ?x ex:borders ?y }"#,
+            )
+            .unwrap();
+        assert_eq!(
+            stats,
+            CommitStats {
+                added: 0,
+                removed: 0
+            }
+        );
+    }
+
+    #[test]
+    fn insert_templates_mint_fresh_bnodes_per_solution() {
+        let store = borders_store();
+        store
+            .update(
+                r#"PREFIX ex: <http://ex.org/>
+                   INSERT { ?x ex:note _:n } WHERE { ?x ex:borders ?y }"#,
+            )
+            .unwrap();
+        let r = store
+            .execute("PREFIX ex: <http://ex.org/> SELECT DISTINCT ?n WHERE { ?x ex:note ?n }")
+            .unwrap();
+        assert_eq!(r.len(), 3, "one fresh bnode per solution");
+    }
+
+    #[test]
+    fn ontology_delete_does_not_leak_entailed_terms_into_class_facts() {
+        // An ontology-entailed triple mentions ex:Person, which never
+        // occurs in asserted data. A commit with an (unrelated) removal
+        // refilters the class facts from all surviving triples —
+        // including entailed ones — and must not invent iri(Person):
+        // the class relations only ever shrink toward the asserted set.
+        let store = Store::new();
+        store
+            .load_turtle(
+                r#"@prefix ex: <http://ex.org/> .
+                   @prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+                   ex:alice rdf:type ex:Student .
+                   ex:x ex:junk ex:y ."#,
+            )
+            .unwrap();
+        store
+            .add_ontology(&crate::Ontology::new().with(crate::Axiom::SubClassOf(
+                "http://ex.org/Student".into(),
+                "http://ex.org/Person".into(),
+            )))
+            .unwrap();
+        // Entailment is materialised...
+        assert_eq!(
+            store
+                .execute(
+                    "PREFIX ex: <http://ex.org/>
+                     ASK { ex:alice a ex:Person }"
+                )
+                .unwrap(),
+            QueryResult::Boolean(true)
+        );
+        let iri_count = |store: &Store| {
+            let snap = store.snapshot();
+            let p = snap.symbols().get("iri").unwrap();
+            snap.database().relation(p).unwrap().len()
+        };
+        let before = iri_count(&store);
+        store
+            .update("PREFIX ex: <http://ex.org/> DELETE DATA { ex:x ex:junk ex:y }")
+            .unwrap();
+        // ... but the delete must not add iri(Person) (or anything else).
+        assert!(iri_count(&store) < before, "ex:x/junk/y class facts gone");
+        let person = store.symbols().get("http://ex.org/Person").unwrap();
+        let snap = store.snapshot();
+        let iri_p = snap.symbols().get("iri").unwrap();
+        let rel = snap.database().relation(iri_p).unwrap();
+        let person_id = snap
+            .database()
+            .dict()
+            .encode(&sparqlog_datalog::Const::Iri(person));
+        assert!(
+            !rel.contains(&[person_id]),
+            "entailed-only term must not gain a class fact"
+        );
+    }
+
+    #[test]
+    fn freshened_bnode_labels_cannot_collide_with_parsed_labels() {
+        // A pre-loaded bnode whose label happens to match the old
+        // suffixing scheme must not merge with a freshened insert.
+        let store = Store::new();
+        store
+            .load_turtle("@prefix ex: <http://ex.org/> . _:b!u0 ex:p ex:o .")
+            .unwrap_err(); // '!' is not even lexable in a label ...
+        store
+            .load_turtle("@prefix ex: <http://ex.org/> . _:b_u0 ex:p ex:o .")
+            .unwrap(); // ... but the old '_'-separated form is.
+        store
+            .update("PREFIX ex: <http://ex.org/> INSERT DATA { _:b ex:q ex:o2 }")
+            .unwrap();
+        let joined = store
+            .execute("PREFIX ex: <http://ex.org/> SELECT ?s WHERE { ?s ex:p ex:o . ?s ex:q ex:o2 }")
+            .unwrap();
+        assert!(joined.is_empty(), "fresh bnode must not merge with _:b_u0");
+    }
+
+    #[test]
+    fn insert_data_bnodes_are_fresh_per_request() {
+        let store = Store::new();
+        let req = r#"PREFIX ex: <http://ex.org/> INSERT DATA { _:b ex:p ex:o . _:b ex:q ex:o }"#;
+        let first = store.update(req).unwrap();
+        assert_eq!(first.added, 2);
+        // Re-running the identical request mints fresh blank nodes
+        // (SPARQL 1.1 Update §3.1.1) instead of deduplicating.
+        let second = store.update(req).unwrap();
+        assert_eq!(second.added, 2, "fresh bnodes, not duplicates");
+        let subjects = store
+            .execute("PREFIX ex: <http://ex.org/> SELECT DISTINCT ?s WHERE { ?s ex:p ex:o }")
+            .unwrap();
+        assert_eq!(subjects.len(), 2);
+        // Within one request the label still denotes one node.
+        let joined = store
+            .execute("PREFIX ex: <http://ex.org/> SELECT ?s WHERE { ?s ex:p ex:o . ?s ex:q ex:o }")
+            .unwrap();
+        assert_eq!(joined.len(), 2);
+    }
+
+    #[test]
+    fn removals_that_hit_nothing_take_the_cheap_path() {
+        let store = borders_store();
+        let before = store.snapshot().database().content_signature();
+        // Absent quad + empty graph: logically a no-op commit.
+        let mut w = store.writer();
+        w.remove(iri("spain"), iri("borders"), iri("narnia"));
+        w.clear(ClearTarget::Graph(Arc::from("http://empty")));
+        let stats = w.commit().unwrap();
+        assert_eq!(
+            stats,
+            CommitStats {
+                added: 0,
+                removed: 0
+            }
+        );
+        assert_eq!(
+            store.snapshot().database().content_signature(),
+            before,
+            "no-op commit leaves the snapshot content-identical"
+        );
+    }
+
+    #[test]
+    fn clear_targets() {
+        let store = Store::new();
+        store
+            .update(
+                r#"PREFIX ex: <http://ex.org/>
+                   INSERT DATA { ex:a ex:p 1 .
+                                 GRAPH <http://g1> { ex:a ex:p 2 }
+                                 GRAPH <http://g2> { ex:a ex:p 3 } }"#,
+            )
+            .unwrap();
+        let count = |store: &Store| {
+            let default = store.execute("SELECT ?o WHERE { ?s ?p ?o }").unwrap().len();
+            let named = store
+                .execute("SELECT ?o WHERE { GRAPH ?g { ?s ?p ?o } }")
+                .unwrap()
+                .len();
+            (default, named)
+        };
+        assert_eq!(count(&store), (1, 2));
+        store.update("CLEAR GRAPH <http://g1>").unwrap();
+        assert_eq!(count(&store), (1, 1));
+        store.update("CLEAR DEFAULT").unwrap();
+        assert_eq!(count(&store), (0, 1));
+        store.update("CLEAR ALL").unwrap();
+        assert_eq!(count(&store), (0, 0));
+    }
+
+    #[test]
+    fn sequential_operations_see_prior_effects() {
+        let store = Store::new();
+        store
+            .update(
+                r#"PREFIX ex: <http://ex.org/>
+                   INSERT DATA { ex:a ex:p ex:b } ;
+                   INSERT { ?y ex:q ?x } WHERE { ?x ex:p ?y } ;
+                   DELETE DATA { ex:a ex:p ex:b }"#,
+            )
+            .unwrap();
+        assert_eq!(
+            store
+                .execute("PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ex:b ex:q ?x }")
+                .unwrap()
+                .len(),
+            1,
+            "second op saw the first op's insert"
+        );
+        assert_eq!(
+            store
+                .execute("PREFIX ex: <http://ex.org/> SELECT ?y WHERE { ex:a ex:p ?y }")
+                .unwrap()
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_updates_with_read_only_error() {
+        let store = borders_store();
+        let err = store
+            .snapshot()
+            .execute("PREFIX ex: <http://ex.org/> INSERT DATA { ex:x ex:p ex:y }")
+            .unwrap_err();
+        assert_eq!(err, SparqLogError::ReadOnly("INSERT"));
+        // The store-level execute is read-only too.
+        assert_eq!(
+            store.execute("CLEAR ALL").unwrap_err(),
+            SparqLogError::ReadOnly("CLEAR")
+        );
+        // ... but Store::update handles the same text.
+        store
+            .update("PREFIX ex: <http://ex.org/> INSERT DATA { ex:x ex:p ex:y }")
+            .unwrap();
+    }
+
+    #[test]
+    fn engine_migrates_into_store() {
+        let mut engine = crate::SparqLog::new();
+        engine
+            .load_turtle("@prefix ex: <http://ex.org/> . ex:a ex:p ex:b .")
+            .unwrap();
+        let store: Store = engine.into();
+        store
+            .update("PREFIX ex: <http://ex.org/> INSERT DATA { ex:b ex:p ex:c }")
+            .unwrap();
+        assert_eq!(
+            store
+                .execute("PREFIX ex: <http://ex.org/> SELECT ?z WHERE { ex:a ex:p+ ?z }")
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn parsed_query_and_batch_apis_work_on_snapshots() {
+        let store = borders_store();
+        let snapshot = store.snapshot();
+        let q = parse_query("PREFIX ex: <http://ex.org/> SELECT ?b WHERE { ?a ex:borders ?b }")
+            .unwrap();
+        assert_eq!(snapshot.execute_query(&q).unwrap().len(), 3);
+        let results = store.execute_batch(&[
+            "PREFIX ex: <http://ex.org/> ASK { ex:spain ex:borders ex:france }",
+            "not a query",
+        ]);
+        assert_eq!(results[0].as_ref().unwrap().len(), 1);
+        assert!(results[1].is_err());
+    }
+}

@@ -142,10 +142,7 @@ fn hammer_one_frozen_database_from_eight_threads() {
                         let pair = [qs[i].as_str(), qs[(i + 1) % qs.len()].as_str()];
                         let batch = frozen.execute_batch(&pair);
                         assert_eq!(batch[0].as_ref().unwrap(), &expected[i]);
-                        assert_eq!(
-                            batch[1].as_ref().unwrap(),
-                            &expected[(i + 1) % qs.len()]
-                        );
+                        assert_eq!(batch[1].as_ref().unwrap(), &expected[(i + 1) % qs.len()]);
                     }
                 }
             });

@@ -112,9 +112,7 @@ fn join_multiplicities_multiply() {
            ex:x ex:p ex:a , ex:b ; ex:q ex:c , ex:d ."#,
     );
     let r = e
-        .execute(
-            "PREFIX ex: <http://e/> SELECT ?x WHERE { ?x ex:p ?y . ?x ex:q ?z }",
-        )
+        .execute("PREFIX ex: <http://e/> SELECT ?x WHERE { ?x ex:p ?y . ?x ex:q ?z }")
         .unwrap();
     assert_eq!(r.len(), 4);
 }
@@ -189,9 +187,7 @@ fn minus_removes_compatible_with_shared_var() {
 #[test]
 fn minus_with_disjoint_domains_keeps_everything() {
     // SPARQL §8.3.3: MINUS with no shared variables removes nothing.
-    let mut e = engine(
-        r#"@prefix ex: <http://e/> . ex:a ex:p ex:x . ex:c ex:q ex:y ."#,
-    );
+    let mut e = engine(r#"@prefix ex: <http://e/> . ex:a ex:p ex:x . ex:c ex:q ex:y ."#);
     let r = e
         .execute(
             "PREFIX ex: <http://e/>
@@ -244,10 +240,7 @@ fn zero_or_one_path_includes_zero_length() {
              SELECT ?B WHERE { ex:austria ex:borders? ?B }",
         )
         .unwrap();
-    assert_eq!(
-        rows(&r),
-        vec![vec!["<http://ex.org/austria>".to_string()]]
-    );
+    assert_eq!(rows(&r), vec![vec!["<http://ex.org/austria>".to_string()]]);
 }
 
 #[test]
@@ -319,7 +312,10 @@ fn inverse_and_sequence_paths() {
     let mut got: Vec<String> = rows(&r).into_iter().map(|r| r[0].clone()).collect();
     got.sort();
     // spain → france → {belgium, germany}; bag semantics, one route each.
-    assert_eq!(got, vec!["<http://ex.org/belgium>", "<http://ex.org/germany>"]);
+    assert_eq!(
+        got,
+        vec!["<http://ex.org/belgium>", "<http://ex.org/germany>"]
+    );
 }
 
 #[test]
@@ -333,9 +329,7 @@ fn alternative_path_is_multiset_union() {
 
 #[test]
 fn negated_property_set() {
-    let mut e = engine(
-        r#"@prefix ex: <http://e/> . ex:a ex:p ex:b . ex:a ex:q ex:c ."#,
-    );
+    let mut e = engine(r#"@prefix ex: <http://e/> . ex:a ex:p ex:b . ex:a ex:q ex:c ."#);
     let r = e
         .execute("PREFIX ex: <http://e/> SELECT ?y WHERE { ex:a !(ex:p) ?y }")
         .unwrap();
@@ -355,13 +349,10 @@ fn path_range_quantifiers() {
            ex:n0 ex:p ex:n1 . ex:n1 ex:p ex:n2 .
            ex:n2 ex:p ex:n3 . ex:n3 ex:p ex:n4 ."#,
     );
-    let q = |path: &str| {
-        format!("PREFIX ex: <http://e/> SELECT ?y WHERE {{ ex:n0 {path} ?y }}")
-    };
+    let q = |path: &str| format!("PREFIX ex: <http://e/> SELECT ?y WHERE {{ ex:n0 {path} ?y }}");
     let mut run = |path: &str| -> Vec<String> {
         let r = e.execute(&q(path)).unwrap();
-        let mut got: Vec<String> =
-            rows(&r).into_iter().map(|r| r[0].clone()).collect();
+        let mut got: Vec<String> = rows(&r).into_iter().map(|r| r[0].clone()).collect();
         got.sort();
         got
     };
@@ -382,16 +373,18 @@ fn named_graphs_and_graph_pattern() {
         Term::iri("http://e/p"),
         Term::iri("http://e/default"),
     ));
-    ds.named_graph_mut("http://g1").insert(sparqlog_rdf::Triple::new(
-        Term::iri("http://e/a"),
-        Term::iri("http://e/p"),
-        Term::iri("http://e/in-g1"),
-    ));
-    ds.named_graph_mut("http://g2").insert(sparqlog_rdf::Triple::new(
-        Term::iri("http://e/b"),
-        Term::iri("http://e/p"),
-        Term::iri("http://e/in-g2"),
-    ));
+    ds.named_graph_mut("http://g1")
+        .insert(sparqlog_rdf::Triple::new(
+            Term::iri("http://e/a"),
+            Term::iri("http://e/p"),
+            Term::iri("http://e/in-g1"),
+        ));
+    ds.named_graph_mut("http://g2")
+        .insert(sparqlog_rdf::Triple::new(
+            Term::iri("http://e/b"),
+            Term::iri("http://e/p"),
+            Term::iri("http://e/in-g2"),
+        ));
     e.load_dataset(&ds).unwrap();
 
     // Plain pattern sees only the default graph.
@@ -472,10 +465,12 @@ fn group_by_count() {
         .unwrap();
     let got = rows(&r);
     assert_eq!(got.len(), 2);
-    assert!(got.iter().any(|r| r[0] == "<http://e/p1>"
-        && r[1].contains('2')));
-    assert!(got.iter().any(|r| r[0] == "<http://e/p2>"
-        && r[1].contains('1')));
+    assert!(got
+        .iter()
+        .any(|r| r[0] == "<http://e/p1>" && r[1].contains('2')));
+    assert!(got
+        .iter()
+        .any(|r| r[0] == "<http://e/p2>" && r[1].contains('1')));
 }
 
 #[test]
@@ -612,9 +607,7 @@ fn repeated_queries_are_isolated() {
 
 #[test]
 fn triple_pattern_with_repeated_variable() {
-    let mut e = engine(
-        r#"@prefix ex: <http://e/> . ex:a ex:p ex:a . ex:a ex:p ex:b ."#,
-    );
+    let mut e = engine(r#"@prefix ex: <http://e/> . ex:a ex:p ex:a . ex:a ex:p ex:b ."#);
     let r = e
         .execute("PREFIX ex: <http://e/> SELECT ?x WHERE { ?x ex:p ?x }")
         .unwrap();
@@ -676,9 +669,7 @@ fn lang_tags_and_langmatches() {
     assert_eq!(r.len(), 1);
     // Language-tagged and plain literals are distinct terms.
     let r = e
-        .execute(
-            r#"PREFIX ex: <http://e/> SELECT ?x WHERE { ?x ex:label "chat" }"#,
-        )
+        .execute(r#"PREFIX ex: <http://e/> SELECT ?x WHERE { ?x ex:label "chat" }"#)
         .unwrap();
     assert_eq!(r.len(), 0);
 }

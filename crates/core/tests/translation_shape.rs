@@ -18,9 +18,9 @@ fn skolem_rules(p: &sparqlog_datalog::Program) -> usize {
     p.rules
         .iter()
         .filter(|r| {
-            r.body.iter().any(|i| {
-                matches!(i, BodyItem::Assign(_, Expr::Skolem(_, args)) if !args.is_empty())
-            })
+            r.body.iter().any(
+                |i| matches!(i, BodyItem::Assign(_, Expr::Skolem(_, args)) if !args.is_empty()),
+            )
         })
         .count()
 }
@@ -35,27 +35,21 @@ fn triple_pattern_is_one_rule_plus_projection() {
 
 #[test]
 fn optional_generates_three_rules() {
-    let (p, _) = translate(
-        "SELECT * WHERE { ?s <http://p> ?o OPTIONAL { ?o <http://q> ?z } }",
-    );
+    let (p, _) = translate("SELECT * WHERE { ?s <http://p> ?o OPTIONAL { ?o <http://q> ?z } }");
     // Def. A.7: ans_opt + 2 ans rules; + 2 leaf rules + SELECT = 6.
     assert_eq!(p.rules.len(), 6);
 }
 
 #[test]
 fn union_generates_two_rules() {
-    let (p, _) = translate(
-        "SELECT * WHERE { { ?s <http://p> ?o } UNION { ?s <http://q> ?o } }",
-    );
+    let (p, _) = translate("SELECT * WHERE { { ?s <http://p> ?o } UNION { ?s <http://q> ?o } }");
     // Def. A.6: 2 union rules + 2 leaves + SELECT = 5.
     assert_eq!(p.rules.len(), 5);
 }
 
 #[test]
 fn minus_generates_join_equal_and_final_rules() {
-    let (p, symbols) = translate(
-        "SELECT * WHERE { ?s <http://p> ?o MINUS { ?s <http://q> ?z } }",
-    );
+    let (p, symbols) = translate("SELECT * WHERE { ?s <http://p> ?o MINUS { ?s <http://q> ?z } }");
     // Def. A.10: ans_join + 1 ans_equal (one shared var) + final + 2
     // leaves + SELECT = 6.
     assert_eq!(p.rules.len(), 6);
@@ -92,10 +86,12 @@ fn bag_semantics_uses_skolem_ids() {
 
 #[test]
 fn distinct_forces_nil_ids_everywhere() {
-    let (p, _) = translate(
-        "SELECT DISTINCT ?s WHERE { ?s <http://p> ?o . ?o <http://q> ?z }",
+    let (p, _) = translate("SELECT DISTINCT ?s WHERE { ?s <http://p> ?o . ?o <http://q> ?z }");
+    assert_eq!(
+        skolem_rules(&p),
+        0,
+        "set semantics: no argument-carrying IDs"
     );
-    assert_eq!(skolem_rules(&p), 0, "set semantics: no argument-carrying IDs");
 }
 
 #[test]
@@ -113,8 +109,7 @@ fn ask_uses_set_semantics_and_negation() {
 fn simple_order_by_becomes_post_directive() {
     let symbols = SymbolTable::new();
     let query =
-        parse_query("SELECT ?o WHERE { ?s <http://p> ?o } ORDER BY ?o LIMIT 3 OFFSET 1")
-            .unwrap();
+        parse_query("SELECT ?o WHERE { ?s <http://p> ?o } ORDER BY ?o LIMIT 3 OFFSET 1").unwrap();
     let tq = translate_query(&query, &symbols, "t_").unwrap();
     assert!(tq.modifiers_in_post);
     let ops: Vec<&PostOp> = tq.program.post.iter().map(|(_, op)| op).collect();
@@ -127,10 +122,8 @@ fn simple_order_by_becomes_post_directive() {
 #[test]
 fn complex_order_by_defers_to_solution_layer() {
     let symbols = SymbolTable::new();
-    let query = parse_query(
-        "SELECT ?o WHERE { ?s <http://p> ?o } ORDER BY (!BOUND(?o)) LIMIT 3",
-    )
-    .unwrap();
+    let query =
+        parse_query("SELECT ?o WHERE { ?s <http://p> ?o } ORDER BY (!BOUND(?o)) LIMIT 3").unwrap();
     let tq = translate_query(&query, &symbols, "t_").unwrap();
     assert!(!tq.modifiers_in_post);
     assert!(tq.program.post.is_empty());
@@ -154,18 +147,14 @@ fn join_reordering_avoids_cross_products() {
             .body
             .iter()
             .filter_map(|i| match i {
-                BodyItem::Pos(a)
-                    if symbols.resolve(a.pred).contains("ans") =>
-                {
-                    Some(a)
-                }
+                BodyItem::Pos(a) if symbols.resolve(a.pred).contains("ans") => Some(a),
                 _ => None,
             })
             .collect();
         if ans_atoms.len() == 2 {
-            let has_comp = rule.body.iter().any(|i| {
-                matches!(i, BodyItem::Pos(a) if symbols.resolve(a.pred).as_ref() == "comp")
-            });
+            let has_comp = rule.body.iter().any(
+                |i| matches!(i, BodyItem::Pos(a) if symbols.resolve(a.pred).as_ref() == "comp"),
+            );
             assert!(
                 has_comp,
                 "join rule without comp atoms would be a cross product: {}",

@@ -262,7 +262,10 @@ impl Relation {
     /// target — a freshly derived predicate — has no indexes to
     /// maintain, so its loop is just the dedup probe plus appends).
     pub fn merge_staged(&mut self, out: &Staging, delta_batch: &mut ColumnBatch) -> usize {
-        debug_assert!(out.arity > 0, "nullary merges are special-cased by the caller");
+        debug_assert!(
+            out.arity > 0,
+            "nullary merges are special-cased by the caller"
+        );
         if self.len == 0 && self.rows.is_empty() {
             self.arity = out.arity;
         } else {
@@ -273,8 +276,7 @@ impl Relation {
             );
         }
         self.reserve(out.count, out.arity);
-        let plain =
-            self.indexes.is_empty() && self.lazy.get_mut().unwrap().is_empty();
+        let plain = self.indexes.is_empty() && self.lazy.get_mut().unwrap().is_empty();
         let mut fresh = 0usize;
         for (tuple, &hash) in out.ids.chunks_exact(out.arity).zip(&out.hashes) {
             if plain {
@@ -318,7 +320,9 @@ impl Relation {
         if tuple.len() != self.arity {
             return false;
         }
-        let Some(&first) = self.seen.get(&hash) else { return false };
+        let Some(&first) = self.seen.get(&hash) else {
+            return false;
+        };
         if row_at(&self.rows, self.arity, first) == tuple {
             return true;
         }
@@ -346,9 +350,7 @@ impl Relation {
             return;
         }
         if let Some(cell) = self.lazy.get_mut().unwrap().remove(&mask) {
-            if let Some(ready) =
-                Arc::try_unwrap(cell).ok().and_then(OnceLock::into_inner)
-            {
+            if let Some(ready) = Arc::try_unwrap(cell).ok().and_then(OnceLock::into_inner) {
                 self.indexes.insert(mask, ready);
                 return;
             }
@@ -361,6 +363,24 @@ impl Relation {
     #[inline]
     pub(crate) fn hash_index(&self, mask: Mask) -> Option<&Index> {
         self.indexes.get(&mask)
+    }
+
+    /// The bound-position masks with an eager index built, sorted
+    /// ascending (diagnostics and the snapshot content signature).
+    pub fn index_masks(&self) -> Vec<Mask> {
+        let mut masks: Vec<Mask> = self.indexes.keys().copied().collect();
+        masks.sort_unstable();
+        masks
+    }
+
+    /// Total number of row references held by the eager index for
+    /// `mask`, if built. A complete, current index references every row
+    /// exactly once, so this equals [`Relation::len`] — the snapshot
+    /// content signature uses that as its index-integrity check.
+    pub fn indexed_rows(&self, mask: Mask) -> Option<usize> {
+        self.indexes
+            .get(&mask)
+            .map(|ix| ix.values().map(Vec::len).sum())
     }
 
     /// Drops the eager index for `mask`. The evaluator sheds indexes that
@@ -408,14 +428,8 @@ impl Relation {
             let lazy = self.lazy.read().unwrap();
             lazy.get(&mask).cloned()
         };
-        let cell = cell.unwrap_or_else(|| {
-            self.lazy
-                .write()
-                .unwrap()
-                .entry(mask)
-                .or_default()
-                .clone()
-        });
+        let cell =
+            cell.unwrap_or_else(|| self.lazy.write().unwrap().entry(mask).or_default().clone());
         // Build outside the map lock: one winner per mask, losers wait on
         // the latch. Subsequent probes reuse the memoised index.
         let index = cell.get_or_init(|| self.build_index(mask));
@@ -434,12 +448,7 @@ impl Relation {
     /// Fast path: buckets almost always verify in full (a non-trivial
     /// filter implies a 64-bit hash collision), so return the bucket
     /// borrowed when every row matches.
-    fn verify_bucket<'a>(
-        &'a self,
-        bucket: &'a [u32],
-        mask: Mask,
-        key: &[TermId],
-    ) -> Matches<'a> {
+    fn verify_bucket<'a>(&'a self, bucket: &'a [u32], mask: Mask, key: &[TermId]) -> Matches<'a> {
         if bucket.iter().all(|&i| self.row_matches(i, mask, key)) {
             return Matches::Borrowed(bucket);
         }
@@ -467,13 +476,71 @@ impl Relation {
                 self.ensure_index(mask);
             }
         } else {
-            let masks: Vec<Mask> =
-                self.lazy.get_mut().unwrap().keys().copied().collect();
+            let masks: Vec<Mask> = self.lazy.get_mut().unwrap().keys().copied().collect();
             for mask in masks {
                 self.ensure_index(mask);
             }
         }
         self.lazy.get_mut().unwrap().clear();
+    }
+
+    /// Removes every tuple for which `keep` returns `false`, preserving
+    /// the insertion order of the retained tuples. Returns the number of
+    /// tuples removed.
+    ///
+    /// The dedup tables are rebuilt over the survivors, and so is every
+    /// *already-built* eager index — exactly the masks the relation had,
+    /// no more (the incremental re-freeze path relies on this: a
+    /// predicate touched by removals pays an index rebuild for the masks
+    /// it actually serves, while untouched predicates keep their indexes
+    /// as-is and [`Relation::complete_indexes`] later finds nothing to
+    /// do). Lazily auto-built indexes are dropped; the next unplanned
+    /// probe rebuilds them on demand.
+    pub fn retain(&mut self, mut keep: impl FnMut(&[TermId]) -> bool) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        if self.arity == 0 {
+            // A nullary relation holds at most the empty tuple.
+            if !keep(&[]) {
+                let removed = self.len;
+                self.len = 0;
+                self.seen.clear();
+                self.seen_overflow.clear();
+                return removed;
+            }
+            return 0;
+        }
+        let masks: Vec<Mask> = self.indexes.keys().copied().collect();
+        let old_rows = std::mem::take(&mut self.rows);
+        let old_len = self.len;
+        self.len = 0;
+        self.rows.reserve(old_rows.len());
+        self.seen.clear();
+        self.seen_overflow.clear();
+        self.indexes.clear();
+        self.lazy.get_mut().unwrap().clear();
+        for tuple in old_rows.chunks_exact(self.arity) {
+            if keep(tuple) {
+                self.insert_hashed(tuple, row_hash(tuple));
+            }
+        }
+        for mask in masks {
+            self.indexes.insert(mask, self.build_index(mask));
+        }
+        old_len - self.len
+    }
+
+    /// True when `self` and `other` hold exactly the same tuple set.
+    /// Both relations are deduplicated sets, so equal lengths plus
+    /// containment one way is full equality. Indexes are irrelevant —
+    /// this compares *content* (the incremental re-freeze uses it to
+    /// decide whether a recomputed relation can be swapped for the old
+    /// one, keeping the old one's already-built indexes).
+    pub fn content_eq(&self, other: &Relation) -> bool {
+        self.len == other.len
+            && (self.len == 0 || self.arity == other.arity)
+            && other.iter().all(|t| self.contains(t))
     }
 
     /// A deep copy suitable for independent mutation: rows, dedup tables
@@ -536,7 +603,10 @@ pub struct ColumnBatch {
 impl ColumnBatch {
     /// Creates an empty batch of the given width.
     pub fn new(arity: usize) -> Self {
-        ColumnBatch { len: 0, cols: vec![Vec::new(); arity].into_boxed_slice() }
+        ColumnBatch {
+            len: 0,
+            cols: vec![Vec::new(); arity].into_boxed_slice(),
+        }
     }
 
     /// Number of rows.
@@ -702,19 +772,16 @@ impl Database {
 
     /// Bulk loading of already-encoded rows (`nrows * arity` ids,
     /// row-major). Returns the number of fresh tuples.
-    pub fn load_encoded_rows(
-        &mut self,
-        pred: Sym,
-        arity: usize,
-        ids: &[TermId],
-    ) -> usize {
+    pub fn load_encoded_rows(&mut self, pred: Sym, arity: usize, ids: &[TermId]) -> usize {
         assert!(
             arity > 0 && ids.len().is_multiple_of(arity),
             "load_encoded_rows: id buffer is not a whole number of {arity}-tuples"
         );
         let rel = self.relation_mut(pred);
         rel.reserve(ids.len() / arity, arity);
-        ids.chunks_exact(arity).filter(|row| rel.insert(row)).count()
+        ids.chunks_exact(arity)
+            .filter(|row| rel.insert(row))
+            .count()
     }
 
     /// The relation for `pred`, if any facts exist — checking the local
@@ -757,10 +824,31 @@ impl Database {
             rel.ensure_index(mask);
             return;
         }
-        if self.base.as_ref().is_some_and(|b| b.relation(pred).is_some()) {
+        if self
+            .base
+            .as_ref()
+            .is_some_and(|b| b.relation(pred).is_some())
+        {
             return;
         }
         self.relations.entry(pred).or_default().ensure_index(mask);
+    }
+
+    /// Removes and returns `pred`'s *local* relation (a frozen base, if
+    /// any, is not consulted — the snapshot-refresh path that uses this
+    /// operates on thawed databases, which have no base). The next write
+    /// to `pred` starts from an empty relation.
+    pub fn take_relation(&mut self, pred: Sym) -> Option<Relation> {
+        self.relations.remove(&pred)
+    }
+
+    /// Installs `rel` as `pred`'s relation, replacing any local one.
+    /// Together with [`Database::take_relation`] this lets the
+    /// incremental re-freeze swap a recomputed relation back for the old
+    /// one when their contents turn out equal, keeping the old
+    /// already-built indexes.
+    pub fn set_relation(&mut self, pred: Sym, rel: Relation) {
+        self.relations.insert(pred, rel);
     }
 
     /// Iterates over `(predicate, relation)` pairs — local relations
@@ -880,6 +968,62 @@ mod tests {
         let mut r = Relation::new();
         r.insert(&ids(&dict, &[1, 2]));
         r.insert(&ids(&dict, &[1]));
+    }
+
+    #[test]
+    fn retain_preserves_order_and_rebuilds_existing_indexes() {
+        let dict = TermDict::new();
+        let mut r = Relation::new();
+        for i in 0..20i64 {
+            r.insert(&ids(&dict, &[i % 4, i]));
+        }
+        r.ensure_index(0b01);
+        r.ensure_index(0b10);
+        let drop_key = ids(&dict, &[3]);
+        let removed = r.retain(|row| row[0] != drop_key[0]);
+        assert_eq!(removed, 5);
+        assert_eq!(r.len(), 15);
+        // Insertion order of survivors is intact.
+        let first: Vec<TermId> = r.row(0).to_vec();
+        assert_eq!(first, ids(&dict, &[0, 0]));
+        // Exactly the pre-existing masks are rebuilt, and they are current.
+        assert_eq!(r.index_masks(), vec![0b01, 0b10]);
+        assert_eq!(r.lookup(0b01, &ids(&dict, &[3])).len(), 0);
+        assert_eq!(r.lookup(0b01, &ids(&dict, &[2])).len(), 5);
+        assert_eq!(r.indexed_rows(0b10), Some(15));
+        // Dedup tables are rebuilt: survivors stay deduped, removed rows
+        // can be re-inserted.
+        assert!(!r.insert(&ids(&dict, &[0, 0])));
+        assert!(r.insert(&ids(&dict, &[3, 3])));
+    }
+
+    #[test]
+    fn retain_everything_is_a_noop() {
+        let dict = TermDict::new();
+        let mut r = Relation::new();
+        for i in 0..5i64 {
+            r.insert(&ids(&dict, &[i, i]));
+        }
+        assert_eq!(r.retain(|_| true), 0);
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn content_eq_ignores_order_and_indexes() {
+        let dict = TermDict::new();
+        let mut a = Relation::new();
+        let mut b = Relation::new();
+        for i in 0..10i64 {
+            a.insert(&ids(&dict, &[i, i + 1]));
+        }
+        for i in (0..10i64).rev() {
+            b.insert(&ids(&dict, &[i, i + 1]));
+        }
+        a.ensure_index(0b01);
+        assert!(a.content_eq(&b));
+        assert!(b.content_eq(&a));
+        b.insert(&ids(&dict, &[99, 99]));
+        assert!(!a.content_eq(&b));
     }
 
     #[test]

@@ -58,9 +58,7 @@
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::database::{
-    row_hash, ColumnBatch, Database, Index, Mask, Relation, Staging,
-};
+use crate::database::{row_hash, ColumnBatch, Database, Index, Mask, Relation, Staging};
 use crate::frozen::FrozenDb;
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::pool::Pool;
@@ -112,11 +110,11 @@ impl EvalOptions {
     pub fn resolved_threads(&self) -> usize {
         self.threads
             .or_else(|| {
-                std::env::var("SPARQLOG_THREADS").ok().and_then(|v| v.parse().ok())
+                std::env::var("SPARQLOG_THREADS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
             })
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, |n| n.get())
-            })
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
             .max(1)
     }
 }
@@ -324,19 +322,11 @@ fn evaluate_inner(
         // body occurrence of a this-stratum predicate.
         let mut delta_plans: FxHashMap<(usize, usize), RulePlan> = FxHashMap::default();
         for &ri in stratum_rules {
-            for item_idx in program.rules[ri]
-                .positive_occurrences_of(&stratum_preds)
-            {
+            for item_idx in program.rules[ri].positive_occurrences_of(&stratum_preds) {
                 let delta_first = options.semi_naive_reorder.then_some(item_idx);
                 delta_plans.insert(
                     (ri, item_idx),
-                    compile_rule(
-                        ri,
-                        &program.rules[ri],
-                        &symbols,
-                        &dict,
-                        delta_first,
-                    )?,
+                    compile_rule(ri, &program.rules[ri], &symbols, &dict, delta_first)?,
                 );
             }
         }
@@ -386,7 +376,15 @@ fn evaluate_inner(
                 }
             }
             let outs = run_pass(&jobs, db, &ctx, pool, &mut spare);
-            merge_pass(db, &jobs, outs, &mut delta, &mut stats.derived, &ctx, &mut spare)?;
+            merge_pass(
+                db,
+                &jobs,
+                outs,
+                &mut delta,
+                &mut stats.derived,
+                &ctx,
+                &mut spare,
+            )?;
         }
 
         // Shed indexes on this stratum's *written* relations that only
@@ -436,7 +434,9 @@ fn evaluate_inner(
                         BodyItem::Pos(a) if stratum_preds.contains(&a.pred) => a.pred,
                         _ => continue,
                     };
-                    let Some(batch) = delta.get(&atom_pred) else { continue };
+                    let Some(batch) = delta.get(&atom_pred) else {
+                        continue;
+                    };
                     if batch.is_empty() {
                         continue;
                     }
@@ -446,9 +446,7 @@ fn evaluate_inner(
                     // resolution, pool dispatch); long-tail rounds with
                     // shrinking deltas stay one job each.
                     let parts = match pool {
-                        Some(p) => p
-                            .threads()
-                            .min((batch.len() / MIN_PARTITION_ROWS).max(1)),
+                        Some(p) => p.threads().min((batch.len() / MIN_PARTITION_ROWS).max(1)),
                         None => 1,
                     };
                     let len = batch.len();
@@ -474,7 +472,15 @@ fn evaluate_inner(
             if trace >= 1 {
                 eprintln!("[eval] round {rounds}: {} jobs", jobs.len());
             }
-            merge_pass(db, &jobs, outs, &mut next, &mut stats.derived, &ctx, &mut spare)?;
+            merge_pass(
+                db,
+                &jobs,
+                outs,
+                &mut next,
+                &mut stats.derived,
+                &ctx,
+                &mut spare,
+            )?;
             drop(jobs);
             delta = next;
         }
@@ -533,9 +539,7 @@ fn run_pass(
         };
         let mut guard = slots[j].lock().unwrap();
         if let Ok(out) = guard.as_mut() {
-            if let Err(e) =
-                eval_rule(job.plan, job.rule, db, job.delta, ctx, dedup_against, out)
-            {
+            if let Err(e) = eval_rule(job.plan, job.rule, db, job.delta, ctx, dedup_against, out) {
                 *guard = Err(e);
             }
         }
@@ -548,10 +552,7 @@ fn run_pass(
             }
         }
     }
-    slots
-        .into_iter()
-        .map(|m| m.into_inner().unwrap())
-        .collect()
+    slots.into_iter().map(|m| m.into_inner().unwrap()).collect()
 }
 
 /// Merges a pass's staged outputs into the database in deterministic job
@@ -570,7 +571,11 @@ fn merge_pass(
     for (job, out) in jobs.iter().zip(outs) {
         let mut out = out?;
         if ctx.trace >= 1 {
-            eprintln!("[eval]   merge {}: {} tuples", job.rule.display(ctx.symbols), out.count);
+            eprintln!(
+                "[eval]   merge {}: {} tuples",
+                job.rule.display(ctx.symbols),
+                out.count
+            );
         }
         let pred = job.rule.head.pred;
         if out.count == 0 {
@@ -578,7 +583,10 @@ fn merge_pass(
         } else if out.arity == 0 {
             if db.add_fact_ids(pred, &[]) {
                 *derived += 1;
-                delta.entry(pred).or_insert_with(|| ColumnBatch::new(0)).push_row(&[]);
+                delta
+                    .entry(pred)
+                    .or_insert_with(|| ColumnBatch::new(0))
+                    .push_row(&[]);
             }
         } else {
             // Resolve the relation and the delta batch once per job —
@@ -598,11 +606,7 @@ fn merge_pass(
 /// Applies a predicate's `@post` directives and returns the final tuples,
 /// decoded back to boundary constants (the T_S decode boundary: encoded
 /// ids never escape the engine).
-pub fn collect_output(
-    program: &Program,
-    db: &Database,
-    pred: Sym,
-) -> Vec<Vec<Const>> {
+pub fn collect_output(program: &Program, db: &Database, pred: Sym) -> Vec<Vec<Const>> {
     let symbols = db.symbols();
     let mut tuples: Vec<Vec<Const>> = db
         .relation(pred)
@@ -673,7 +677,11 @@ pub fn order_cmp(a: &Const, b: &Const, symbols: &SymbolTable) -> std::cmp::Order
 enum Step {
     /// Scan/lookup a positive atom. `mask` = positions bound at this point
     /// (constants or already-bound variables).
-    Scan { item_idx: usize, pred: Sym, mask: Mask },
+    Scan {
+        item_idx: usize,
+        pred: Sym,
+        mask: Mask,
+    },
     /// Check absence of a fully-bound negated atom.
     NegCheck { item_idx: usize, pred: Sym },
     /// Evaluate a filter condition.
@@ -772,7 +780,11 @@ fn compile_rule(
                     index_needs.push((a.pred, mask));
                 }
                 enc_atoms[item_idx] = Some(encode_atom(a, dict));
-                steps.push(Step::Scan { item_idx, pred: a.pred, mask });
+                steps.push(Step::Scan {
+                    item_idx,
+                    pred: a.pred,
+                    mask,
+                });
             }
             BodyItem::Neg(a) => {
                 for arg in &a.args {
@@ -787,7 +799,10 @@ fn compile_rule(
                     }
                 }
                 enc_atoms[item_idx] = Some(encode_atom(a, dict));
-                steps.push(Step::NegCheck { item_idx, pred: a.pred });
+                steps.push(Step::NegCheck {
+                    item_idx,
+                    pred: a.pred,
+                });
             }
             BodyItem::Cond(e) => {
                 let mut vars = Vec::new();
@@ -854,8 +869,7 @@ fn delta_order(rule: &Rule, delta_item: usize) -> Vec<usize> {
             bound[v as usize] = true;
         }
     }
-    let mut remaining: Vec<usize> =
-        (0..rule.body.len()).filter(|&i| i != delta_item).collect();
+    let mut remaining: Vec<usize> = (0..rule.body.len()).filter(|&i| i != delta_item).collect();
 
     while !remaining.is_empty() {
         // Eagerly place ready non-atom items (keeping original order).
@@ -892,9 +906,7 @@ fn delta_order(rule: &Rule, delta_item: usize) -> Vec<usize> {
                     let bound_vars = a
                         .args
                         .iter()
-                        .filter(
-                            |arg| matches!(arg, AtomArg::Var(v) if bound[*v as usize]),
-                        )
+                        .filter(|arg| matches!(arg, AtomArg::Var(v) if bound[*v as usize]))
                         .count();
                     let consts = a
                         .args
@@ -967,9 +979,7 @@ fn resolve_scans<'d>(plan: &RulePlan, db: &'d Database) -> Vec<ResolvedScan<'d>>
                 let rel = db.relation(*pred);
                 ResolvedScan {
                     rel,
-                    index: rel.and_then(|r| {
-                        (*mask != 0).then(|| r.hash_index(*mask)).flatten()
-                    }),
+                    index: rel.and_then(|r| (*mask != 0).then(|| r.hash_index(*mask)).flatten()),
                 }
             }
             _ => ResolvedScan::default(),
@@ -997,15 +1007,22 @@ fn eval_rule(
         // The workhorse shape of recursive rules — delta scan followed by
         // exactly one indexed probe (`tc(X,Z) :- Δtc(Y,Z), edge(X,Y)`) —
         // runs as a fused, non-recursive loop.
-        if let Some(r) = eval_delta_probe(plan, rule, &resolved, d, ctx, dedup_against, out)
-        {
+        if let Some(r) = eval_delta_probe(plan, rule, &resolved, d, ctx, dedup_against, out) {
             return r;
         }
     }
     let mut env: Vec<Option<TermId>> = vec![None; plan.nvars];
     let mut ticks = 0u64;
     let r = join(
-        plan, &resolved, rule, db, delta, ctx, 0, &mut env, &mut ticks,
+        plan,
+        &resolved,
+        rule,
+        db,
+        delta,
+        ctx,
+        0,
+        &mut env,
+        &mut ticks,
         &mut |env: &[Option<TermId>], ctx: &Ctx<'_>| {
             instantiate_head(plan, rule, env, ctx, dedup_against, out);
             Ok(())
@@ -1032,8 +1049,9 @@ fn eval_delta_probe(
     dedup_against: Option<&Relation>,
     out: &mut Staging,
 ) -> Option<Result<(), EvalError>> {
-    let [Step::Scan { item_idx: i0, .. }, Step::Scan { item_idx: i1, mask, .. }] =
-        &plan.steps[..]
+    let [Step::Scan { item_idx: i0, .. }, Step::Scan {
+        item_idx: i1, mask, ..
+    }] = &plan.steps[..]
     else {
         return None;
     };
@@ -1041,8 +1059,12 @@ fn eval_delta_probe(
     if i0 != di || i1 == di || mask == 0 {
         return None;
     }
-    let atom0 = plan.enc_atoms[i0].as_ref().expect("scan step on positive item");
-    let atom1 = plan.enc_atoms[i1].as_ref().expect("scan step on positive item");
+    let atom0 = plan.enc_atoms[i0]
+        .as_ref()
+        .expect("scan step on positive item");
+    let atom1 = plan.enc_atoms[i1]
+        .as_ref()
+        .expect("scan step on positive item");
     let (rel, index) = (resolved[1].rel?, resolved[1].index?);
     let mut env: Vec<Option<TermId>> = vec![None; plan.nvars];
     let mut ticks = 0u64;
@@ -1053,7 +1075,9 @@ fn eval_delta_probe(
                 return Some(Err(e));
             }
         }
-        let Some(undo0) = bind_atom_cols(atom0, batch, r, &mut env) else { continue };
+        let Some(undo0) = bind_atom_cols(atom0, batch, r, &mut env) else {
+            continue;
+        };
         let mut key = [TermId::NULL; MAX_COLS];
         let mut klen = 0usize;
         let mut ok = true;
@@ -1110,7 +1134,15 @@ fn eval_rule_envs(
     let mut env: Vec<Option<TermId>> = vec![None; plan.nvars];
     let mut ticks = 0u64;
     join(
-        plan, &resolved, rule, db, None, ctx, 0, &mut env, &mut ticks,
+        plan,
+        &resolved,
+        rule,
+        db,
+        None,
+        ctx,
+        0,
+        &mut env,
+        &mut ticks,
         &mut |env: &[Option<TermId>], _: &Ctx<'_>| {
             out.push(env.to_vec());
             Ok(())
@@ -1157,8 +1189,16 @@ where
                     for r in lo..hi {
                         if let Some(undo_mask) = bind_atom_cols(atom, batch, r, env) {
                             join(
-                                plan, resolved, rule, db, delta, ctx, step_idx + 1,
-                                env, ticks, emit,
+                                plan,
+                                resolved,
+                                rule,
+                                db,
+                                delta,
+                                ctx,
+                                step_idx + 1,
+                                env,
+                                ticks,
+                                emit,
                             )?;
                             unbind_atom(atom, undo_mask, env);
                         }
@@ -1180,9 +1220,8 @@ where
                         if mask & (1 << i) != 0 {
                             key[klen] = match arg {
                                 EArg::Id(id) => *id,
-                                EArg::Var(v) => env[*v as usize].ok_or_else(|| {
-                                    EvalError::Unsafe("unbound key var".into())
-                                })?,
+                                EArg::Var(v) => env[*v as usize]
+                                    .ok_or_else(|| EvalError::Unsafe("unbound key var".into()))?,
                             };
                             klen += 1;
                         }
@@ -1192,8 +1231,16 @@ where
                             let t = rel.row(i);
                             if let Some(undo_mask) = bind_atom(atom, t, env) {
                                 join(
-                                    plan, resolved, rule, db, delta, ctx,
-                                    step_idx + 1, env, ticks, emit,
+                                    plan,
+                                    resolved,
+                                    rule,
+                                    db,
+                                    delta,
+                                    ctx,
+                                    step_idx + 1,
+                                    env,
+                                    ticks,
+                                    emit,
                                 )?;
                                 unbind_atom(atom, undo_mask, env);
                             }
@@ -1210,8 +1257,16 @@ where
                         let t = rel.row(i);
                         if let Some(undo_mask) = bind_atom(atom, t, env) {
                             join(
-                                plan, resolved, rule, db, delta, ctx, step_idx + 1,
-                                env, ticks, emit,
+                                plan,
+                                resolved,
+                                rule,
+                                db,
+                                delta,
+                                ctx,
+                                step_idx + 1,
+                                env,
+                                ticks,
+                                emit,
                             )?;
                             unbind_atom(atom, undo_mask, env);
                         }
@@ -1237,7 +1292,15 @@ where
                 .is_some_and(|r| r.contains(&tuple[..atom.args.len()]));
             if !present {
                 join(
-                    plan, resolved, rule, db, delta, ctx, step_idx + 1, env, ticks,
+                    plan,
+                    resolved,
+                    rule,
+                    db,
+                    delta,
+                    ctx,
+                    step_idx + 1,
+                    env,
+                    ticks,
                     emit,
                 )?;
             }
@@ -1250,7 +1313,15 @@ where
             };
             if expr.eval_bool_ids(env, ctx.dict, ctx.symbols) {
                 join(
-                    plan, resolved, rule, db, delta, ctx, step_idx + 1, env, ticks,
+                    plan,
+                    resolved,
+                    rule,
+                    db,
+                    delta,
+                    ctx,
+                    step_idx + 1,
+                    env,
+                    ticks,
                     emit,
                 )?;
             }
@@ -1283,8 +1354,16 @@ where
                 if ok {
                     env[*var as usize] = Some(v);
                     join(
-                        plan, resolved, rule, db, delta, ctx, step_idx + 1, env,
-                        ticks, emit,
+                        plan,
+                        resolved,
+                        rule,
+                        db,
+                        delta,
+                        ctx,
+                        step_idx + 1,
+                        env,
+                        ticks,
+                        emit,
                     )?;
                 }
                 env[*var as usize] = prev;
@@ -1467,9 +1546,7 @@ fn aggregate(
             match arg {
                 AtomArg::Const(c) => key.push(dict.encode(c)),
                 AtomArg::Var(v) if *v == spec.result_var => {}
-                AtomArg::Var(v) => {
-                    key.push(env[*v as usize].unwrap_or(TermId::NULL))
-                }
+                AtomArg::Var(v) => key.push(env[*v as usize].unwrap_or(TermId::NULL)),
             }
         }
         let input = match &spec.input {
@@ -1530,9 +1607,7 @@ fn aggregate(
                     best = Some(match best {
                         None => v,
                         Some(b) => {
-                            if order_cmp(&v, &b, symbols)
-                                == std::cmp::Ordering::Greater
-                            {
+                            if order_cmp(&v, &b, symbols) == std::cmp::Ordering::Greater {
                                 v
                             } else {
                                 b
@@ -1543,8 +1618,7 @@ fn aggregate(
                 best.unwrap_or(Const::Null)
             }
             AggFunc::Avg => {
-                let nums: Vec<f64> =
-                    vals.iter().filter_map(|v| v.as_f64(symbols)).collect();
+                let nums: Vec<f64> = vals.iter().filter_map(|v| v.as_f64(symbols)).collect();
                 if nums.is_empty() {
                     Const::Int(0)
                 } else {
@@ -1563,9 +1637,7 @@ fn aggregate(
                     let _ = key_iter.next();
                 }
                 AtomArg::Var(v) if *v == spec.result_var => tuple.push(result_id),
-                AtomArg::Var(_) => {
-                    tuple.push(key_iter.next().unwrap_or(TermId::NULL))
-                }
+                AtomArg::Var(_) => tuple.push(key_iter.next().unwrap_or(TermId::NULL)),
             }
         }
         out.push(tuple);

@@ -167,7 +167,12 @@ impl Expr {
         symbols: &SymbolTable,
     ) -> Option<Const> {
         self.eval_with(
-            &|v| env.get(v as usize).copied().flatten().map(|id| dict.decode(id)),
+            &|v| {
+                env.get(v as usize)
+                    .copied()
+                    .flatten()
+                    .map(|id| dict.decode(id))
+            },
             symbols,
         )
     }
@@ -193,7 +198,9 @@ impl Expr {
                 }
                 Some(dict.skolem(*f, &ids))
             }
-            other => other.eval_decoded(env, dict, symbols).map(|c| dict.encode(&c)),
+            other => other
+                .eval_decoded(env, dict, symbols)
+                .map(|c| dict.encode(&c)),
         }
     }
 
@@ -313,7 +320,10 @@ impl Expr {
                 let v = e.eval_with(lookup, symbols)?;
                 match v {
                     Const::LangStr(_, lang) => Some(Const::Str(lang)),
-                    Const::Str(_) | Const::Typed(_, _) | Const::Int(_) | Const::Float(_)
+                    Const::Str(_)
+                    | Const::Typed(_, _)
+                    | Const::Int(_)
+                    | Const::Float(_)
                     | Const::Bool(_) => Some(Const::Str(symbols.intern(""))),
                     _ => None,
                 }
@@ -323,9 +333,7 @@ impl Expr {
                 let dt = match v {
                     Const::Typed(_, dt) => return Some(Const::Iri(dt)),
                     Const::Str(_) => "http://www.w3.org/2001/XMLSchema#string",
-                    Const::LangStr(_, _) => {
-                        "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString"
-                    }
+                    Const::LangStr(_, _) => "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString",
                     Const::Int(_) => "http://www.w3.org/2001/XMLSchema#integer",
                     Const::Float(_) => "http://www.w3.org/2001/XMLSchema#double",
                     Const::Bool(_) => "http://www.w3.org/2001/XMLSchema#boolean",
@@ -341,9 +349,7 @@ impl Expr {
                 Some(Const::Int(s.chars().count() as i64))
             }
             Expr::Contains(a, b) => binary_string(a, b, lookup, symbols, |x, y| x.contains(y)),
-            Expr::StrStarts(a, b) => {
-                binary_string(a, b, lookup, symbols, |x, y| x.starts_with(y))
-            }
+            Expr::StrStarts(a, b) => binary_string(a, b, lookup, symbols, |x, y| x.starts_with(y)),
             Expr::StrEnds(a, b) => binary_string(a, b, lookup, symbols, |x, y| x.ends_with(y)),
             Expr::Regex(text, pattern, flags) => {
                 let t = text.eval_with(lookup, symbols)?;
@@ -402,8 +408,7 @@ impl Expr {
             Expr::Var(v) => name(v),
             Expr::Const(c) => c.display(symbols),
             Expr::Skolem(f, args) => {
-                let a: Vec<String> =
-                    args.iter().map(|e| e.display(var_names, symbols)).collect();
+                let a: Vec<String> = args.iter().map(|e| e.display(var_names, symbols)).collect();
                 format!("[{}|{}]", symbols.resolve(*f), a.join(","))
             }
             Expr::Cmp(op, a, b) => {
@@ -498,9 +503,7 @@ pub fn value_cmp(a: &Const, b: &Const, symbols: &SymbolTable) -> Option<Ordering
     }
     match (a, b) {
         (Const::Bool(x), Const::Bool(y)) => Some(x.cmp(y)),
-        (Const::Iri(x), Const::Iri(y)) => {
-            Some(symbols.resolve(*x).cmp(&symbols.resolve(*y)))
-        }
+        (Const::Iri(x), Const::Iri(y)) => Some(symbols.resolve(*x).cmp(&symbols.resolve(*y))),
         _ => {
             let (sa, _) = string_value(a, symbols)?;
             let (sb, _) = string_value(b, symbols)?;
@@ -629,7 +632,11 @@ mod tests {
         let t = table();
         let a = Const::Str(t.intern("apple"));
         let b = Const::Str(t.intern("banana"));
-        let e = Expr::Cmp(CmpOp::Lt, Box::new(Expr::Const(a)), Box::new(Expr::Const(b)));
+        let e = Expr::Cmp(
+            CmpOp::Lt,
+            Box::new(Expr::Const(a)),
+            Box::new(Expr::Const(b)),
+        );
         assert_eq!(ev(&e, &[], &t), Some(Const::Bool(true)));
     }
 
@@ -688,10 +695,22 @@ mod tests {
         for (e, v, want) in [
             (Expr::IsIri(Box::new(Expr::Const(iri.clone()))), &iri, true),
             (Expr::IsBlank(Box::new(Expr::Const(bn.clone()))), &bn, true),
-            (Expr::IsLiteral(Box::new(Expr::Const(lit.clone()))), &lit, true),
+            (
+                Expr::IsLiteral(Box::new(Expr::Const(lit.clone()))),
+                &lit,
+                true,
+            ),
             (Expr::IsIri(Box::new(Expr::Const(lit.clone()))), &lit, false),
-            (Expr::IsNumeric(Box::new(Expr::Const(Const::Int(1)))), &lit, true),
-            (Expr::IsNumeric(Box::new(Expr::Const(lit.clone()))), &lit, false),
+            (
+                Expr::IsNumeric(Box::new(Expr::Const(Const::Int(1)))),
+                &lit,
+                true,
+            ),
+            (
+                Expr::IsNumeric(Box::new(Expr::Const(lit.clone()))),
+                &lit,
+                false,
+            ),
         ] {
             assert_eq!(ev(&e, &[], &t), Some(Const::Bool(want)), "{e:?} on {v:?}");
         }
@@ -715,7 +734,11 @@ mod tests {
         );
         let needle = Expr::Const(Const::Str(t.intern("ell")));
         assert_eq!(
-            ev(&Expr::Contains(Box::new(s.clone()), Box::new(needle)), &[], &t),
+            ev(
+                &Expr::Contains(Box::new(s.clone()), Box::new(needle)),
+                &[],
+                &t
+            ),
             Some(Const::Bool(true))
         );
         let h = Expr::Const(Const::Str(t.intern("He")));
@@ -756,13 +779,19 @@ mod tests {
         );
         assert_eq!(
             ev(&Expr::Datatype(Box::new(Expr::Const(ls))), &[], &t),
-            Some(Const::Iri(
-                t.intern("http://www.w3.org/1999/02/22-rdf-syntax-ns#langString")
-            ))
+            Some(Const::Iri(t.intern(
+                "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString"
+            )))
         );
         assert_eq!(
-            ev(&Expr::Datatype(Box::new(Expr::Const(Const::Int(1)))), &[], &t),
-            Some(Const::Iri(t.intern("http://www.w3.org/2001/XMLSchema#integer")))
+            ev(
+                &Expr::Datatype(Box::new(Expr::Const(Const::Int(1)))),
+                &[],
+                &t
+            ),
+            Some(Const::Iri(
+                t.intern("http://www.w3.org/2001/XMLSchema#integer")
+            ))
         );
     }
 
@@ -851,7 +880,11 @@ mod tests {
     #[test]
     fn collect_vars() {
         let e = Expr::And(
-            Box::new(Expr::Cmp(CmpOp::Eq, Box::new(Expr::Var(1)), Box::new(Expr::Var(0)))),
+            Box::new(Expr::Cmp(
+                CmpOp::Eq,
+                Box::new(Expr::Var(1)),
+                Box::new(Expr::Var(0)),
+            )),
             Box::new(Expr::Not(Box::new(Expr::Var(1)))),
         );
         let mut vs = Vec::new();

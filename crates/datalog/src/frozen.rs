@@ -62,7 +62,12 @@ impl FrozenDb {
         relations: FxHashMap<Sym, Relation>,
     ) -> Self {
         let facts = relations.values().map(Relation::len).sum();
-        FrozenDb { symbols, dict, relations, facts }
+        FrozenDb {
+            symbols,
+            dict,
+            relations,
+            facts,
+        }
     }
 
     /// The shared symbol table.
@@ -88,6 +93,75 @@ impl FrozenDb {
     /// Total number of facts in the snapshot.
     pub fn fact_count(&self) -> usize {
         self.facts
+    }
+
+    /// Melts a snapshot back into a mutable [`Database`] — the write
+    /// half of the snapshot-refresh cycle (`freeze → thaw → mutate →
+    /// freeze`).
+    ///
+    /// Every relation keeps its rows, dedup tables **and already-built
+    /// eager indexes**: inserts maintain indexes incrementally, so a
+    /// thawed database absorbs a delta and re-freezes without rebuilding
+    /// the `2^arity - 1` per-mask indexes of untouched predicates
+    /// ([`Database::freeze`]'s completion pass finds them all present
+    /// and does nothing).
+    ///
+    /// When `this` is the last handle to the snapshot the relations are
+    /// *moved* (no copy at all); while read snapshots are still live the
+    /// relations are deep-copied ([`Relation::clone_for_write`]) and the
+    /// readers keep serving the old snapshot untouched.
+    pub fn thaw(this: Arc<FrozenDb>) -> Database {
+        match Arc::try_unwrap(this) {
+            Ok(owned) => Database {
+                symbols: owned.symbols,
+                dict: owned.dict,
+                relations: owned.relations,
+                base: None,
+            },
+            Err(shared) => Database {
+                symbols: shared.symbols.clone(),
+                dict: shared.dict.clone(),
+                relations: shared
+                    .relations
+                    .iter()
+                    .map(|(&p, r)| (p, r.clone_for_write()))
+                    .collect(),
+                base: None,
+            },
+        }
+    }
+
+    /// A canonical, order- and dictionary-independent rendering of the
+    /// snapshot: one line per fact (decoded through the symbol table, so
+    /// two snapshots with different interning histories compare equal)
+    /// plus one line per eager index recording its mask and an integrity
+    /// count (a complete index references every row exactly once).
+    ///
+    /// Two snapshots with equal signatures hold the same facts with the
+    /// same index completeness — the differential re-freeze suite
+    /// compares an incrementally committed snapshot against a
+    /// from-scratch freeze of the same data this way.
+    pub fn content_signature(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for (pred, rel) in self.relations() {
+            let name = self.symbols.resolve(pred);
+            for row in rel.iter() {
+                let rendered: Vec<String> = row
+                    .iter()
+                    .map(|&id| self.dict.decode(id).display(&self.symbols))
+                    .collect();
+                lines.push(format!("{name}({})", rendered.join(",")));
+            }
+            for mask in rel.index_masks() {
+                lines.push(format!(
+                    "@index {name} mask={mask:#b} rows={}/{}",
+                    rel.indexed_rows(mask).unwrap_or(0),
+                    rel.len()
+                ));
+            }
+        }
+        lines.sort_unstable();
+        lines
     }
 }
 
@@ -175,8 +249,10 @@ mod tests {
         // All three non-trivial masks of a binary relation are eager.
         for mask in 1u64..4 {
             assert!(
-                matches!(rel.lookup(mask, &crate::database::project(rel.row(0), mask)),
-                    crate::database::Matches::Borrowed(_)),
+                matches!(
+                    rel.lookup(mask, &crate::database::project(rel.row(0), mask)),
+                    crate::database::Matches::Borrowed(_)
+                ),
                 "mask {mask:#b} must be pre-built"
             );
         }
@@ -229,11 +305,69 @@ mod tests {
         // Frozen run: same program over an overlay.
         let frozen = edges_db().freeze();
         let prog2 = parse_program(prog_src, frozen.symbols()).unwrap();
-        let (overlay, _) =
-            evaluate_frozen(&prog2, &frozen, &EvalOptions::default()).unwrap();
+        let (overlay, _) = evaluate_frozen(&prog2, &frozen, &EvalOptions::default()).unwrap();
         let tc2 = frozen.symbols().get("tc").unwrap();
         assert_eq!(overlay.relation(tc2).unwrap().len(), expected);
-        assert!(frozen.relation(tc2).is_none(), "derivations stay in overlay");
+        assert!(
+            frozen.relation(tc2).is_none(),
+            "derivations stay in overlay"
+        );
+    }
+
+    #[test]
+    fn thaw_unique_keeps_indexes_and_absorbs_delta() {
+        let frozen = edges_db().freeze();
+        let sig_before = frozen.content_signature();
+        let db = FrozenDb::thaw(frozen); // unique: relations are moved
+        let e = db.symbols().get("edge").unwrap();
+        // Indexes survived the thaw: all three masks still eager.
+        assert_eq!(db.relation(e).unwrap().index_masks(), vec![1, 2, 3]);
+        // Re-freezing without changes reproduces the same snapshot.
+        let refrozen = db.freeze();
+        assert_eq!(refrozen.content_signature(), sig_before);
+        // ... and a delta keeps the indexes current through re-freeze.
+        let mut db = FrozenDb::thaw(refrozen);
+        let row = [
+            db.dict().encode(&Const::Int(100)),
+            db.dict().encode(&Const::Int(0)),
+        ];
+        assert!(db.add_fact_ids(e, &row));
+        let again = db.freeze();
+        let rel = again.relation(e).unwrap();
+        assert_eq!(rel.len(), 51);
+        for mask in 1u64..4 {
+            assert_eq!(rel.indexed_rows(mask), Some(51), "mask {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn thaw_shared_leaves_live_readers_untouched() {
+        let frozen = edges_db().freeze();
+        let reader = frozen.clone();
+        let mut db = FrozenDb::thaw(frozen); // shared: relations are copied
+        let e = db.symbols().get("edge").unwrap();
+        let row = [
+            db.dict().encode(&Const::Int(7)),
+            db.dict().encode(&Const::Int(7)),
+        ];
+        db.add_fact_ids(e, &row);
+        assert_eq!(db.relation(e).unwrap().len(), 51);
+        assert_eq!(reader.relation(e).unwrap().len(), 50, "reader unchanged");
+    }
+
+    #[test]
+    fn content_signature_detects_fact_and_index_differences() {
+        let a = edges_db().freeze();
+        let b = edges_db().freeze();
+        assert_eq!(a.content_signature(), b.content_signature());
+        let mut db = edges_db();
+        let e = db.symbols().get("edge").unwrap();
+        let row = [
+            db.dict().encode(&Const::Int(999)),
+            db.dict().encode(&Const::Int(0)),
+        ];
+        db.add_fact_ids(e, &row);
+        assert_ne!(a.content_signature(), db.freeze().content_signature());
     }
 
     #[test]
@@ -248,12 +382,14 @@ mod tests {
                             "hop{k}(X, Z) :- edge(X, Y), edge(Y, Z).\n\
                              @output(\"hop{k}\").\n"
                         );
-                        let prog =
-                            parse_program(&src, frozen.symbols()).unwrap();
+                        let prog = parse_program(&src, frozen.symbols()).unwrap();
                         let (db, _) = evaluate_frozen(
                             &prog,
                             &frozen,
-                            &EvalOptions { threads: Some(1), ..Default::default() },
+                            &EvalOptions {
+                                threads: Some(1),
+                                ..Default::default()
+                            },
                         )
                         .unwrap();
                         let p = frozen.symbols().get(&format!("hop{k}")).unwrap();

@@ -18,8 +18,7 @@ pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher
 /// resizes become re-hash-free relocations. Keys **must** already be
 /// well-mixed in their low bits (see `database::row_hash`'s finalizer) —
 /// this is not a general-purpose integer map.
-pub type PrehashedMap<V> =
-    std::collections::HashMap<u64, V, BuildHasherDefault<PrehashedHasher>>;
+pub type PrehashedMap<V> = std::collections::HashMap<u64, V, BuildHasherDefault<PrehashedHasher>>;
 
 /// The pass-through hasher behind [`PrehashedMap`].
 #[derive(Default, Clone)]

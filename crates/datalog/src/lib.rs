@@ -65,12 +65,11 @@ pub mod wardedness;
 
 pub use database::{row_hash, ColumnBatch, Database, Matches, Relation, Staging};
 pub use eval::{
-    collect_output, evaluate, evaluate_frozen, order_cmp, EvalError, EvalOptions,
-    EvalStats,
+    collect_output, evaluate, evaluate_frozen, order_cmp, EvalError, EvalOptions, EvalStats,
 };
+pub use expr::{ArithOp, CmpOp, Expr};
 pub use frozen::{FrozenDb, FULL_INDEX_MAX_ARITY};
 pub use pool::run_scoped;
-pub use expr::{ArithOp, CmpOp, Expr};
 pub use rule::{
     AggFunc, AggSpec, Atom, AtomArg, BodyItem, PostOp, Program, Rule, RuleBuilder, VarId,
 };

@@ -21,9 +21,9 @@
 use std::sync::Arc;
 
 use crate::expr::{ArithOp, CmpOp, Expr};
-use crate::rule::{AggFunc, AggSpec, Atom, AtomArg, PostOp, Program, RuleBuilder};
 #[cfg(test)]
 use crate::rule::BodyItem;
+use crate::rule::{AggFunc, AggSpec, Atom, AtomArg, PostOp, Program, RuleBuilder};
 use crate::symbols::SymbolTable;
 use crate::value::{Const, OrdF64};
 
@@ -38,7 +38,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "datalog parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "datalog parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -55,7 +59,11 @@ pub fn parse_facts(
     input: &str,
     symbols: &Arc<SymbolTable>,
 ) -> Result<Vec<(crate::symbols::Sym, Vec<Const>)>, ParseError> {
-    let mut p = P { input, pos: 0, symbols: symbols.clone() };
+    let mut p = P {
+        input,
+        pos: 0,
+        symbols: symbols.clone(),
+    };
     let mut out = Vec::new();
     loop {
         p.ws();
@@ -87,7 +95,11 @@ pub fn parse_facts(
 
 /// Parses a textual Datalog± program.
 pub fn parse_program(input: &str, symbols: &Arc<SymbolTable>) -> Result<Program, ParseError> {
-    let mut p = P { input, pos: 0, symbols: symbols.clone() };
+    let mut p = P {
+        input,
+        pos: 0,
+        symbols: symbols.clone(),
+    };
     let mut program = Program::new();
     loop {
         p.ws();
@@ -110,7 +122,10 @@ struct P<'a> {
 
 impl<'a> P<'a> {
     fn err<T>(&self, m: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { offset: self.pos, message: m.into() })
+        Err(ParseError {
+            offset: self.pos,
+            message: m.into(),
+        })
     }
 
     fn at_end(&self) -> bool {
@@ -220,11 +235,10 @@ impl<'a> P<'a> {
                 let pred = self.string()?;
                 self.expect(',')?;
                 let spec = self.string()?;
-                let op = parse_post_op(&spec)
-                    .ok_or_else(|| ParseError {
-                        offset: self.pos,
-                        message: format!("bad @post spec {spec:?}"),
-                    })?;
+                let op = parse_post_op(&spec).ok_or_else(|| ParseError {
+                    offset: self.pos,
+                    message: format!("bad @post spec {spec:?}"),
+                })?;
                 program.post.push((self.symbols.intern(&pred), op));
                 self.expect(')')?;
             }
@@ -303,12 +317,10 @@ impl<'a> P<'a> {
             Some('<') => {
                 self.bump();
                 let rest = &self.input[self.pos..];
-                let end = rest
-                    .find('>')
-                    .ok_or_else(|| ParseError {
-                        offset: self.pos,
-                        message: "unterminated IRI".into(),
-                    })?;
+                let end = rest.find('>').ok_or_else(|| ParseError {
+                    offset: self.pos,
+                    message: "unterminated IRI".into(),
+                })?;
                 let iri = &rest[..end];
                 let c = Const::Iri(self.symbols.intern(iri));
                 self.pos += end + 1;
@@ -565,8 +577,7 @@ mod tests {
     fn fact_reader_loads_into_database() {
         let mut db = crate::Database::new();
         let facts = parse_facts("q(1). q(2). q(1).", db.symbols()).unwrap();
-        let mut by_pred: crate::fxhash::FxHashMap<_, Vec<Vec<Const>>> =
-            Default::default();
+        let mut by_pred: crate::fxhash::FxHashMap<_, Vec<Vec<Const>>> = Default::default();
         for (p, row) in facts {
             by_pred.entry(p).or_default().push(row);
         }
@@ -693,11 +704,7 @@ mod tests {
     #[test]
     fn comments() {
         let t = SymbolTable::new();
-        let prog = parse_program(
-            "% line comment\n// another\np(\"a\"). % trailing\n",
-            &t,
-        )
-        .unwrap();
+        let prog = parse_program("% line comment\n// another\np(\"a\"). % trailing\n", &t).unwrap();
         assert_eq!(prog.facts.len(), 1);
     }
 

@@ -213,8 +213,7 @@ mod tests {
     #[test]
     fn run_scoped_runs_every_job_once() {
         for threads in [1, 2, 4, 8] {
-            let hits: Vec<AtomicUsize> =
-                (0..100).map(|_| AtomicUsize::new(0)).collect();
+            let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
             run_scoped(threads, hits.len(), &|j| {
                 hits[j].fetch_add(1, Ordering::Relaxed);
             });

@@ -36,12 +36,19 @@ enum Node {
     Empty,
     Char(char),
     Dot,
-    Class { ranges: Vec<(char, char)>, negated: bool },
+    Class {
+        ranges: Vec<(char, char)>,
+        negated: bool,
+    },
     Start,
     End,
     Seq(Vec<Node>),
     Alt(Vec<Node>),
-    Repeat { node: Box<Node>, min: u32, max: Option<u32> },
+    Repeat {
+        node: Box<Node>,
+        min: u32,
+        max: Option<u32>,
+    },
 }
 
 impl Regex {
@@ -49,7 +56,10 @@ impl Regex {
     /// (case-insensitive); other flags are ignored, matching the paper's
     /// "partial support" stance.
     pub fn new(pattern: &str, flags: &str) -> Result<Self, RegexError> {
-        let mut p = RegexParser { chars: pattern.chars().collect(), pos: 0 };
+        let mut p = RegexParser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+        };
         let root = p.parse_alt()?;
         if p.pos != p.chars.len() {
             return Err(RegexError(format!(
@@ -57,7 +67,10 @@ impl Regex {
                 p.pos
             )));
         }
-        Ok(Regex { root, case_insensitive: flags.contains('i') })
+        Ok(Regex {
+            root,
+            case_insensitive: flags.contains('i'),
+        })
     }
 
     /// True if the pattern matches anywhere in `text`.
@@ -115,9 +128,7 @@ impl Regex {
             Node::Start => pos == 0 && k(pos),
             Node::End => pos == chars.len() && k(pos),
             Node::Seq(nodes) => self.match_seq(nodes, chars, pos, k),
-            Node::Alt(branches) => branches
-                .iter()
-                .any(|b| self.match_node(b, chars, pos, k)),
+            Node::Alt(branches) => branches.iter().any(|b| self.match_node(b, chars, pos, k)),
             Node::Repeat { node, min, max } => {
                 self.match_repeat(node, *min, *max, chars, pos, 0, k)
             }
@@ -133,9 +144,9 @@ impl Regex {
     ) -> bool {
         match nodes.split_first() {
             None => k(pos),
-            Some((first, rest)) => self.match_node(first, chars, pos, &|p| {
-                self.match_seq(rest, chars, p, k)
-            }),
+            Some((first, rest)) => {
+                self.match_node(first, chars, pos, &|p| self.match_seq(rest, chars, p, k))
+            }
         }
     }
 
@@ -214,15 +225,27 @@ impl RegexParser {
         match self.peek() {
             Some('*') => {
                 self.bump();
-                Ok(Node::Repeat { node: Box::new(atom), min: 0, max: None })
+                Ok(Node::Repeat {
+                    node: Box::new(atom),
+                    min: 0,
+                    max: None,
+                })
             }
             Some('+') => {
                 self.bump();
-                Ok(Node::Repeat { node: Box::new(atom), min: 1, max: None })
+                Ok(Node::Repeat {
+                    node: Box::new(atom),
+                    min: 1,
+                    max: None,
+                })
             }
             Some('?') => {
                 self.bump();
-                Ok(Node::Repeat { node: Box::new(atom), min: 0, max: Some(1) })
+                Ok(Node::Repeat {
+                    node: Box::new(atom),
+                    min: 0,
+                    max: Some(1),
+                })
             }
             Some('{') => {
                 self.bump();
@@ -245,7 +268,11 @@ impl RegexParser {
                         return Err(RegexError("quantifier max below min".into()));
                     }
                 }
-                Ok(Node::Repeat { node: Box::new(atom), min, max })
+                Ok(Node::Repeat {
+                    node: Box::new(atom),
+                    min,
+                    max,
+                })
             }
             _ => Ok(atom),
         }
@@ -305,8 +332,14 @@ impl RegexParser {
     fn parse_escape(&mut self) -> Result<Node, RegexError> {
         match self.bump() {
             None => Err(RegexError("dangling backslash".into())),
-            Some('d') => Ok(Node::Class { ranges: vec![('0', '9')], negated: false }),
-            Some('D') => Ok(Node::Class { ranges: vec![('0', '9')], negated: true }),
+            Some('d') => Ok(Node::Class {
+                ranges: vec![('0', '9')],
+                negated: false,
+            }),
+            Some('D') => Ok(Node::Class {
+                ranges: vec![('0', '9')],
+                negated: true,
+            }),
             Some('w') => Ok(Node::Class {
                 ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
                 negated: false,
@@ -363,9 +396,7 @@ impl RegexParser {
                 },
                 Some(c) => c,
             };
-            if self.peek() == Some('-')
-                && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']')
-            {
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']') {
                 self.bump(); // '-'
                 let hi = self
                     .bump()

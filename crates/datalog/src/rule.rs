@@ -262,7 +262,11 @@ impl Program {
         let mut out = String::new();
         for (pred, args) in &self.facts {
             let rendered: Vec<String> = args.iter().map(|c| c.display(symbols)).collect();
-            out.push_str(&format!("{}({}).\n", symbols.resolve(*pred), rendered.join(", ")));
+            out.push_str(&format!(
+                "{}({}).\n",
+                symbols.resolve(*pred),
+                rendered.join(", ")
+            ));
         }
         for r in &self.rules {
             out.push_str(&r.display(symbols));

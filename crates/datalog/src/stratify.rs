@@ -65,29 +65,21 @@ impl Stratification {
     /// snapshot plus a sequential merge is equivalent to any serial
     /// order. Returns `false` if the invariant is violated (which would
     /// be a stratifier bug).
-    pub fn pass_is_independent(
-        &self,
-        stratum: &[usize],
-        program: &crate::rule::Program,
-    ) -> bool {
+    pub fn pass_is_independent(&self, stratum: &[usize], program: &crate::rule::Program) -> bool {
         let writes = self.stratum_writes(stratum);
         stratum.iter().all(|&ri| {
-            program.rules[ri].body.iter().all(|item| {
-                !matches!(item, crate::rule::BodyItem::Neg(a) if writes.contains(&a.pred))
-            }) && (program.rules[ri].aggregate.is_none()
+            program.rules[ri].body.iter().all(
+                |item| !matches!(item, crate::rule::BodyItem::Neg(a) if writes.contains(&a.pred)),
+            ) && (program.rules[ri].aggregate.is_none()
                 || self.rule_reads[ri].iter().all(|p| !writes.contains(p)))
         })
     }
 }
 
 /// Computes a stratification, or reports cyclic negation/aggregation.
-pub fn stratify(
-    program: &Program,
-    symbols: &SymbolTable,
-) -> Result<Stratification, StratifyError> {
+pub fn stratify(program: &Program, symbols: &SymbolTable) -> Result<Stratification, StratifyError> {
     let idb: Vec<Sym> = program.idb_predicates();
-    let mut stratum: FxHashMap<Sym, usize> =
-        idb.iter().map(|&p| (p, 0usize)).collect();
+    let mut stratum: FxHashMap<Sym, usize> = idb.iter().map(|&p| (p, 0usize)).collect();
     let limit = idb.len() + 1;
 
     let mut changed = true;
@@ -136,7 +128,12 @@ pub fn stratify(
     }
     let rule_reads = program.rules.iter().map(|r| r.read_preds()).collect();
     let rule_writes = program.rules.iter().map(|r| r.write_pred()).collect();
-    Ok(Stratification { strata, pred_stratum: stratum, rule_reads, rule_writes })
+    Ok(Stratification {
+        strata,
+        pred_stratum: stratum,
+        rule_reads,
+        rule_writes,
+    })
 }
 
 #[cfg(test)]
@@ -146,12 +143,7 @@ mod tests {
     use crate::symbols::SymbolTable;
 
     /// Builds `head(X) :- pos..., not neg...` over unary predicates.
-    fn rule(
-        symbols: &SymbolTable,
-        head: &str,
-        pos: &[&str],
-        neg: &[&str],
-    ) -> crate::rule::Rule {
+    fn rule(symbols: &SymbolTable, head: &str, pos: &[&str], neg: &[&str]) -> crate::rule::Rule {
         let mut b = RuleBuilder::new();
         let hx = b.v("X");
         b.head(symbols.intern(head), vec![hx]);
@@ -257,7 +249,10 @@ mod tests {
         prog.rules.push(rule(&t, "tc", &["edge", "tc"], &[]));
         prog.rules.push(rule(&t, "q", &["tc"], &["tc"]));
         let s = stratify(&prog, &t).unwrap();
-        assert_eq!(s.rule_writes, vec![t.intern("tc"), t.intern("tc"), t.intern("q")]);
+        assert_eq!(
+            s.rule_writes,
+            vec![t.intern("tc"), t.intern("tc"), t.intern("q")]
+        );
         assert_eq!(s.rule_reads[1], vec![t.intern("edge"), t.intern("tc")]);
         assert_eq!(s.stratum_writes(&s.strata[0]), vec![t.intern("tc")]);
         // Every stratum the stratifier produces must satisfy the parallel

@@ -77,12 +77,7 @@ impl SkolemTerm {
     /// Maximum nesting depth of Skolem terms inside this term (a bare
     /// functor has depth 1). Used by the chase termination bound.
     pub fn depth(&self) -> usize {
-        1 + self
-            .args
-            .iter()
-            .map(Const::skolem_depth)
-            .max()
-            .unwrap_or(0)
+        1 + self.args.iter().map(Const::skolem_depth).max().unwrap_or(0)
     }
 }
 
@@ -189,8 +184,7 @@ impl Const {
             Const::Bool(b) => b.to_string(),
             Const::Null => "null".to_string(),
             Const::Skolem(t) => {
-                let args: Vec<String> =
-                    t.args.iter().map(|a| a.display(symbols)).collect();
+                let args: Vec<String> = t.args.iter().map(|a| a.display(symbols)).collect();
                 format!("[{}|{}]", symbols.resolve(t.functor), args.join(","))
             }
         }
@@ -424,9 +418,7 @@ impl TermDict {
     /// materialises a [`SkolemTerm`].
     pub fn skolem(&self, functor: Sym, args: &[TermId]) -> TermId {
         let shard = Self::skolem_shard(functor, args);
-        if let Some(per_functor) =
-            self.shards[shard].read().unwrap().skolem_ids.get(&functor)
-        {
+        if let Some(per_functor) = self.shards[shard].read().unwrap().skolem_ids.get(&functor) {
             if let Some(&id) = per_functor.get(args) {
                 return TermId::new(TAG_SKOLEM, shard_payload(shard, id));
             }
@@ -445,7 +437,11 @@ impl TermDict {
         }
         let id = w.skolems.len() as u32;
         let boxed: Box<[TermId]> = args.into();
-        w.skolems.push(SkolemNode { functor, args: boxed.clone(), depth });
+        w.skolems.push(SkolemNode {
+            functor,
+            args: boxed.clone(),
+            depth,
+        });
         w.skolem_ids.entry(functor).or_default().insert(boxed, id);
         TermId::new(TAG_SKOLEM, shard_payload(shard, id))
     }
@@ -480,8 +476,7 @@ impl TermDict {
                     let node = &inner.skolems[local];
                     (node.functor, node.args.clone())
                 };
-                let args: Vec<Const> =
-                    args.iter().map(|&a| self.decode(a)).collect();
+                let args: Vec<Const> = args.iter().map(|&a| self.decode(a)).collect();
                 Const::skolem(functor, args)
             }
             _ => TermDict::decode_inline(id),
@@ -616,7 +611,10 @@ mod tests {
             Const::Bnode(t.intern("b0")),
             Const::Str(t.intern("hello")),
             Const::LangStr(t.intern("chat"), t.intern("fr")),
-            Const::Typed(t.intern("5"), t.intern("http://www.w3.org/2001/XMLSchema#integer")),
+            Const::Typed(
+                t.intern("5"),
+                t.intern("http://www.w3.org/2001/XMLSchema#integer"),
+            ),
             Const::skolem(f, vec![]),
             Const::skolem(f, vec![Const::Int(1), Const::Null]),
             nested,

@@ -73,7 +73,10 @@ fn negation_over_recursive_layer() {
     "#);
     let mut out = output_strings(&db, &prog, "unreachable");
     out.sort();
-    assert_eq!(out, vec![vec!["\"d\"".to_string()], vec!["\"e\"".to_string()]]);
+    assert_eq!(
+        out,
+        vec![vec!["\"d\"".to_string()], vec!["\"e\"".to_string()]]
+    );
 }
 
 #[test]
@@ -142,7 +145,10 @@ fn cyclic_existentials_terminate_via_depth_bound() {
         db.symbols(),
     )
     .unwrap();
-    let opts = EvalOptions { max_skolem_depth: 4, ..Default::default() };
+    let opts = EvalOptions {
+        max_skolem_depth: 4,
+        ..Default::default()
+    };
     evaluate(&prog, &mut db, &opts).unwrap();
     let sym = db.symbols().get("person").unwrap();
     let n = collect_output(&prog, &db, sym).len();
@@ -207,7 +213,11 @@ fn post_orderby_desc() {
     let out = output_strings(&db, &prog, "v");
     assert_eq!(
         out,
-        vec![vec!["3".to_string()], vec!["2".to_string()], vec!["1".to_string()]]
+        vec![
+            vec!["3".to_string()],
+            vec!["2".to_string()],
+            vec!["1".to_string()]
+        ]
     );
 }
 
@@ -355,7 +365,10 @@ fn self_join_with_repeated_variable() {
     "#);
     let mut out = output_strings(&db, &prog, "loop");
     out.sort();
-    assert_eq!(out, vec![vec!["\"a\"".to_string()], vec!["\"b\"".to_string()]]);
+    assert_eq!(
+        out,
+        vec![vec!["\"a\"".to_string()], vec!["\"b\"".to_string()]]
+    );
 }
 
 #[test]
@@ -366,7 +379,10 @@ fn constants_in_head() {
         @output("p").
     "#);
     let out = output_strings(&db, &prog, "p");
-    assert_eq!(out, vec![vec!["\"const\"".to_string(), "\"x\"".to_string()]]);
+    assert_eq!(
+        out,
+        vec![vec!["\"const\"".to_string(), "\"x\"".to_string()]]
+    );
 }
 
 // ------------------------------------------------- parallel evaluation
@@ -376,7 +392,10 @@ fn constants_in_head() {
 fn run_with_threads(src: &str, threads: usize, pred: &str) -> Vec<Vec<String>> {
     let mut db = Database::new();
     let prog = parse_program(src, db.symbols()).unwrap();
-    let opts = EvalOptions { threads: Some(threads), ..Default::default() };
+    let opts = EvalOptions {
+        threads: Some(threads),
+        ..Default::default()
+    };
     evaluate(&prog, &mut db, &opts).unwrap();
     let mut out = output_strings(&db, &prog, pred);
     out.sort();

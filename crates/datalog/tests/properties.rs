@@ -3,8 +3,8 @@
 //! case generation — the workspace builds offline, without proptest).
 
 use sparqlog_datalog::{
-    collect_output, evaluate, parser::parse_program, Const, Database, EvalOptions,
-    OrdF64, SymbolTable, TermDict,
+    collect_output, evaluate, parser::parse_program, Const, Database, EvalOptions, OrdF64,
+    SymbolTable, TermDict,
 };
 
 /// Deterministic SplitMix64 case generator.
@@ -29,8 +29,7 @@ const CASES: u64 = 64;
 
 /// Brute-force transitive closure by repeated squaring over a set.
 fn tc_oracle(edges: &[(u8, u8)]) -> std::collections::BTreeSet<(u8, u8)> {
-    let mut closure: std::collections::BTreeSet<(u8, u8)> =
-        edges.iter().copied().collect();
+    let mut closure: std::collections::BTreeSet<(u8, u8)> = edges.iter().copied().collect();
     loop {
         let mut added = false;
         let snapshot: Vec<(u8, u8)> = closure.iter().copied().collect();
@@ -80,8 +79,14 @@ fn transitive_closure_matches_oracle() {
             collect_output(&prog, &db, db.symbols().get("tc").unwrap())
                 .into_iter()
                 .map(|t| {
-                    let x = match t[0] { Const::Int(i) => i as u8, _ => panic!() };
-                    let y = match t[1] { Const::Int(i) => i as u8, _ => panic!() };
+                    let x = match t[0] {
+                        Const::Int(i) => i as u8,
+                        _ => panic!(),
+                    };
+                    let y = match t[1] {
+                        Const::Int(i) => i as u8,
+                        _ => panic!(),
+                    };
                     (x, y)
                 })
                 .collect();
@@ -110,7 +115,10 @@ fn negation_matches_set_difference() {
         let got: std::collections::BTreeSet<u8> =
             collect_output(&prog, &db, db.symbols().get("diff").unwrap())
                 .into_iter()
-                .map(|t| match t[0] { Const::Int(i) => i as u8, _ => panic!() })
+                .map(|t| match t[0] {
+                    Const::Int(i) => i as u8,
+                    _ => panic!(),
+                })
                 .collect();
         let want: std::collections::BTreeSet<u8> = a.difference(&b).copied().collect();
         assert_eq!(got, want, "case {case}: a={a:?} b={b:?}");
@@ -163,9 +171,7 @@ fn fixpoint_is_idempotent() {
         for (x, y) in &edges {
             src.push_str(&format!("edge({x}, {y}).\n"));
         }
-        src.push_str(
-            "p(X, Y) :- edge(X, Y).\np(X, Z) :- edge(X, Y), p(Y, Z).\n@output(\"p\").\n",
-        );
+        src.push_str("p(X, Y) :- edge(X, Y).\np(X, Z) :- edge(X, Y), p(Y, Z).\n@output(\"p\").\n");
         let mut db = Database::new();
         let prog = parse_program(&src, db.symbols()).unwrap();
         evaluate(&prog, &mut db, &EvalOptions::default()).unwrap();
@@ -223,7 +229,11 @@ fn dict_roundtrip_random_consts() {
         let c = random_const(&mut rng, &symbols, 3);
         let id = dict.encode(&c);
         assert_eq!(dict.decode(id), c, "case {case}: {c:?}");
-        assert_eq!(dict.encode(&c), id, "case {case}: unstable encoding of {c:?}");
+        assert_eq!(
+            dict.encode(&c),
+            id,
+            "case {case}: unstable encoding of {c:?}"
+        );
         // Id equality == structural equality against a sample of
         // previously seen terms.
         for (d, did) in pool.iter().take(40) {

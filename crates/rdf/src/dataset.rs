@@ -26,7 +26,10 @@ impl Dataset {
 
     /// Creates a dataset whose default graph is `g`.
     pub fn from_default_graph(g: Graph) -> Self {
-        Dataset { default: g, named: BTreeMap::new() }
+        Dataset {
+            default: g,
+            named: BTreeMap::new(),
+        }
     }
 
     /// The default graph.
@@ -63,9 +66,7 @@ impl Dataset {
     pub fn insert(&mut self, quad: Quad) -> bool {
         match quad.graph {
             None => self.default.insert(quad.triple),
-            Some(Term::Iri(name)) => {
-                self.named.entry(name).or_default().insert(quad.triple)
-            }
+            Some(Term::Iri(name)) => self.named.entry(name).or_default().insert(quad.triple),
             Some(other) => panic!("graph names must be IRIs, got {other}"),
         }
     }

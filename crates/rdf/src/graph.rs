@@ -90,9 +90,9 @@ impl Graph {
 
     /// Iterates over all triples (decoded, in insertion order).
     pub fn iter(&self) -> impl Iterator<Item = (&Term, &Term, &Term)> + '_ {
-        self.triples.iter().map(move |&[s, p, o]| {
-            (self.term(s), self.term(p), self.term(o))
-        })
+        self.triples
+            .iter()
+            .map(move |&[s, p, o]| (self.term(s), self.term(p), self.term(o)))
     }
 
     /// Iterates over all distinct terms occurring anywhere in the graph.
@@ -304,7 +304,8 @@ mod tests {
     fn match_unknown_term_is_empty() {
         let g = sample();
         assert_eq!(
-            g.triples_matching(Some(&Term::iri("ex:mars")), None, None).count(),
+            g.triples_matching(Some(&Term::iri("ex:mars")), None, None)
+                .count(),
             0
         );
     }

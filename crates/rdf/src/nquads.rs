@@ -54,11 +54,7 @@ fn parse_line(line: &str) -> Result<Quad, String> {
         }
         4 => {
             let mut it = terms.into_iter();
-            let t = Triple::new(
-                it.next().unwrap(),
-                it.next().unwrap(),
-                it.next().unwrap(),
-            );
+            let t = Triple::new(it.next().unwrap(), it.next().unwrap(), it.next().unwrap());
             let g = it.next().unwrap();
             if !g.is_iri() {
                 return Err("graph name must be an IRI".into());
@@ -147,8 +143,8 @@ fn unescape(s: &str) -> Result<String, String> {
                 if code.len() != 4 {
                     return Err("truncated \\u escape".into());
                 }
-                let n = u32::from_str_radix(&code, 16)
-                    .map_err(|_| "invalid \\u escape".to_string())?;
+                let n =
+                    u32::from_str_radix(&code, 16).map_err(|_| "invalid \\u escape".to_string())?;
                 out.push(char::from_u32(n).ok_or("invalid code point")?);
             }
             other => return Err(format!("unknown escape {other:?}")),

@@ -21,7 +21,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "N-Triples parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "N-Triples parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -123,7 +127,9 @@ impl<'a> Scanner<'a> {
                 let (lexical, consumed) = unescape_string(&self.rest[1..])?;
                 self.rest = &self.rest[1 + consumed..];
                 if let Some(r) = self.rest.strip_prefix("^^<") {
-                    let end = r.find('>').ok_or_else(|| "unterminated datatype IRI".to_string())?;
+                    let end = r
+                        .find('>')
+                        .ok_or_else(|| "unterminated datatype IRI".to_string())?;
                     let dt = &r[..end];
                     self.rest = &r[end + 1..];
                     Ok(Term::typed_literal(lexical, dt))
@@ -172,9 +178,7 @@ fn unescape_string(s: &str) -> Result<(String, usize), String> {
                         }
                         let n = u32::from_str_radix(&code, 16)
                             .map_err(|_| "invalid \\u escape".to_string())?;
-                        out.push(
-                            char::from_u32(n).ok_or("invalid unicode code point")?,
-                        );
+                        out.push(char::from_u32(n).ok_or("invalid unicode code point")?);
                     }
                     other => return Err(format!("unknown escape \\{other}")),
                 }

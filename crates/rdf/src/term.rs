@@ -35,7 +35,10 @@ pub struct Literal {
 impl Literal {
     /// Creates a plain (simple) literal.
     pub fn plain(lexical: impl Into<Arc<str>>) -> Self {
-        Literal { lexical: lexical.into(), kind: LiteralKind::Plain }
+        Literal {
+            lexical: lexical.into(),
+            kind: LiteralKind::Plain,
+        }
     }
 
     /// Creates a language-tagged literal. The tag is lower-cased.
@@ -48,7 +51,10 @@ impl Literal {
 
     /// Creates a datatyped literal.
     pub fn typed(lexical: impl Into<Arc<str>>, datatype: impl Into<Arc<str>>) -> Self {
-        Literal { lexical: lexical.into(), kind: LiteralKind::Typed(datatype.into()) }
+        Literal {
+            lexical: lexical.into(),
+            kind: LiteralKind::Typed(datatype.into()),
+        }
     }
 
     /// The lexical form of the literal.
@@ -99,13 +105,11 @@ impl Literal {
     /// Attempts to interpret this literal as a boolean.
     pub fn as_bool(&self) -> Option<bool> {
         match &self.kind {
-            LiteralKind::Typed(dt) if dt.as_ref() == xsd::BOOLEAN => {
-                match self.lexical.as_ref() {
-                    "true" | "1" => Some(true),
-                    "false" | "0" => Some(false),
-                    _ => None,
-                }
-            }
+            LiteralKind::Typed(dt) if dt.as_ref() == xsd::BOOLEAN => match self.lexical.as_ref() {
+                "true" | "1" => Some(true),
+                "false" | "0" => Some(false),
+                _ => None,
+            },
             _ => None,
         }
     }
@@ -228,15 +232,13 @@ impl Ord for Term {
         match (self, other) {
             (Term::BlankNode(a), Term::BlankNode(b)) => a.cmp(b),
             (Term::Iri(a), Term::Iri(b)) => a.cmp(b),
-            (Term::Literal(a), Term::Literal(b)) => {
-                match (a.as_f64(), b.as_f64()) {
-                    (Some(x), Some(y)) => x
-                        .partial_cmp(&y)
-                        .unwrap_or(Ordering::Equal)
-                        .then_with(|| a.cmp(b)),
-                    _ => a.cmp(b),
-                }
-            }
+            (Term::Literal(a), Term::Literal(b)) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x
+                    .partial_cmp(&y)
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| a.cmp(b)),
+                _ => a.cmp(b),
+            },
             (a, b) => rank(a).cmp(&rank(b)),
         }
     }
@@ -322,7 +324,10 @@ mod tests {
         assert!(Term::bnode("b1").is_bnode());
         assert!(Term::literal("x").is_literal());
         assert_eq!(Term::integer(42).as_literal().unwrap().as_i64(), Some(42));
-        assert_eq!(Term::boolean(true).as_literal().unwrap().as_bool(), Some(true));
+        assert_eq!(
+            Term::boolean(true).as_literal().unwrap().as_bool(),
+            Some(true)
+        );
     }
 
     #[test]
@@ -338,7 +343,10 @@ mod tests {
     fn numeric_literals_order_by_value() {
         let two = Term::integer(2);
         let ten = Term::integer(10);
-        assert!(two < ten, "2 < 10 numerically even though \"10\" < \"2\" lexically");
+        assert!(
+            two < ten,
+            "2 < 10 numerically even though \"10\" < \"2\" lexically"
+        );
     }
 
     #[test]
@@ -351,7 +359,10 @@ mod tests {
             Term::integer(5).to_string(),
             format!("\"5\"^^<{}>", xsd::INTEGER)
         );
-        assert_eq!(Term::literal("a\"b\\c\nd").to_string(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(
+            Term::literal("a\"b\\c\nd").to_string(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@ pub struct Triple {
 impl Triple {
     /// Creates a triple.
     pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
-        Triple { subject, predicate, object }
+        Triple {
+            subject,
+            predicate,
+            object,
+        }
     }
 }
 
@@ -47,12 +51,18 @@ pub struct Quad {
 impl Quad {
     /// Creates a quad in the default graph.
     pub fn in_default(triple: Triple) -> Self {
-        Quad { triple, graph: None }
+        Quad {
+            triple,
+            graph: None,
+        }
     }
 
     /// Creates a quad in the named graph `g`.
     pub fn in_graph(triple: Triple, g: Term) -> Self {
-        Quad { triple, graph: Some(g) }
+        Quad {
+            triple,
+            graph: Some(g),
+        }
     }
 }
 

@@ -30,7 +30,11 @@ pub struct TurtleError {
 
 impl std::fmt::Display for TurtleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Turtle parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "Turtle parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -63,7 +67,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, TurtleError> {
-        Err(TurtleError { offset: self.pos, message: message.into() })
+        Err(TurtleError {
+            offset: self.pos,
+            message: message.into(),
+        })
     }
 
     fn rest(&self) -> &'a str {
@@ -204,11 +211,8 @@ impl<'a> Parser<'a> {
             };
             loop {
                 let object = self.parse_term(false)?;
-                self.graph.insert(Triple::new(
-                    subject.clone(),
-                    predicate.clone(),
-                    object,
-                ));
+                self.graph
+                    .insert(Triple::new(subject.clone(), predicate.clone(), object));
                 if !self.eat(',') {
                     break;
                 }
@@ -234,9 +238,8 @@ impl<'a> Parser<'a> {
             Some('_') => {
                 if self.rest().starts_with("_:") {
                     self.pos += 2;
-                    let label = self.take_while(|c| {
-                        c.is_ascii_alphanumeric() || c == '_' || c == '-'
-                    });
+                    let label =
+                        self.take_while(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
                     if label.is_empty() {
                         return self.err("empty blank node label");
                     }
@@ -273,9 +276,8 @@ impl<'a> Parser<'a> {
         if !self.eat(':') {
             return self.err(format!("expected ':' after prefix {prefix:?}"));
         }
-        let local = self.take_while(|c| {
-            c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | '%')
-        });
+        let local =
+            self.take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | '%'));
         // Turtle allows '.' inside local names but a trailing '.' terminates
         // the statement; give it back.
         let local = if let Some(stripped) = local.strip_suffix('.') {

@@ -29,8 +29,7 @@ pub mod xsd {
     /// `xsd:byte`.
     pub const BYTE: &str = "http://www.w3.org/2001/XMLSchema#byte";
     /// `xsd:nonNegativeInteger`.
-    pub const NON_NEGATIVE_INTEGER: &str =
-        "http://www.w3.org/2001/XMLSchema#nonNegativeInteger";
+    pub const NON_NEGATIVE_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#nonNegativeInteger";
 
     /// True for XSD datatypes whose value space is integer.
     pub fn is_integer(dt: &str) -> bool {
@@ -53,8 +52,7 @@ pub mod rdf {
     /// `rdf:type`.
     pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
     /// `rdf:langString`.
-    pub const LANG_STRING: &str =
-        "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+    pub const LANG_STRING: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
     /// `rdf:first`.
     pub const FIRST: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#first";
     /// `rdf:rest`.
@@ -70,8 +68,7 @@ pub mod rdfs {
     /// `rdfs:subClassOf`.
     pub const SUB_CLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
     /// `rdfs:subPropertyOf`.
-    pub const SUB_PROPERTY_OF: &str =
-        "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+    pub const SUB_PROPERTY_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
     /// `rdfs:domain`.
     pub const DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
     /// `rdfs:range`.

@@ -75,9 +75,7 @@ fn indexed_matching_equals_scan() {
         let mut want: Vec<Triple> = g
             .iter()
             .filter(|(a, b, c)| {
-                s.is_none_or(|t| t == *a)
-                    && p.is_none_or(|t| t == *b)
-                    && o.is_none_or(|t| t == *c)
+                s.is_none_or(|t| t == *a) && p.is_none_or(|t| t == *b) && o.is_none_or(|t| t == *c)
             })
             .map(|(a, b, c)| Triple::new(a.clone(), b.clone(), c.clone()))
             .collect();
@@ -100,7 +98,10 @@ fn set_semantics() {
         }
         let n = g.len();
         for t in &triples {
-            assert!(!g.insert(t.clone()), "case {case}: reinsert must be a no-op");
+            assert!(
+                !g.insert(t.clone()),
+                "case {case}: reinsert must be a no-op"
+            );
             assert!(g.contains(t), "case {case}");
         }
         assert_eq!(g.len(), n, "case {case}");
@@ -131,8 +132,11 @@ fn subject_or_object_complete() {
     let mut rng = Rng(0x500b);
     for case in 0..CASES {
         let g: Graph = random_triples(&mut rng, 30).into_iter().collect();
-        let got: std::collections::BTreeSet<String> =
-            g.subjects_or_objects().iter().map(|t| t.to_string()).collect();
+        let got: std::collections::BTreeSet<String> = g
+            .subjects_or_objects()
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
         let want: std::collections::BTreeSet<String> = g
             .iter()
             .flat_map(|(s, _, o)| [s.to_string(), o.to_string()])

@@ -8,8 +8,8 @@ use std::time::{Duration, Instant};
 use sparqlog::solution::{QueryResult, SolutionSeq};
 use sparqlog_rdf::{Dataset, Graph, Term};
 use sparqlog_sparql::{
-    AggFunc, Expr, GraphPattern, GraphSpec, Query, QueryForm, SelectItem,
-    TermPattern, TriplePattern, Var,
+    AggFunc, Expr, GraphPattern, GraphSpec, Query, QueryForm, SelectItem, TermPattern,
+    TriplePattern, Var,
 };
 
 use crate::binding::{Binding, Multiset};
@@ -88,9 +88,7 @@ impl<'a> Evaluator<'a> {
         }
         if let Some(limit) = self.quirks.error_on_deep_optional {
             if optional_depth(&q.pattern) >= limit {
-                return Err(EngineError::NotSupported(
-                    "deeply nested OPTIONAL".into(),
-                ));
+                return Err(EngineError::NotSupported("deeply nested OPTIONAL".into()));
             }
         }
 
@@ -117,8 +115,8 @@ impl<'a> Evaluator<'a> {
                     self.order_rows(&mut rows, q, &vars);
                 }
 
-                let skip_distinct = self.quirks.distinct_ignored_with_optional
-                    && contains_optional(&q.pattern);
+                let skip_distinct =
+                    self.quirks.distinct_ignored_with_optional && contains_optional(&q.pattern);
                 if *distinct && !skip_distinct {
                     let mut seen = HashSet::new();
                     rows.retain(|r| {
@@ -185,8 +183,7 @@ impl<'a> Evaluator<'a> {
         // Group solutions by the GROUP BY key (deterministic order).
         let mut groups: BTreeMap<Vec<Option<Term>>, Vec<&Binding>> = BTreeMap::new();
         for b in sols {
-            let key: Vec<Option<Term>> =
-                q.group_by.iter().map(|v| b.get(v).cloned()).collect();
+            let key: Vec<Option<Term>> = q.group_by.iter().map(|v| b.get(v).cloned()).collect();
             groups.entry(key).or_default().push(b);
         }
         let mut rows = Vec::with_capacity(groups.len());
@@ -195,18 +192,19 @@ impl<'a> Evaluator<'a> {
             for item in items {
                 match item {
                     SelectItem::Var(v) => {
-                        let i = q
-                            .group_by
-                            .iter()
-                            .position(|w| w == v)
-                            .ok_or_else(|| {
-                                EngineError::Malformed(format!(
-                                    "projected variable {v} not in GROUP BY"
-                                ))
-                            })?;
+                        let i = q.group_by.iter().position(|w| w == v).ok_or_else(|| {
+                            EngineError::Malformed(format!(
+                                "projected variable {v} not in GROUP BY"
+                            ))
+                        })?;
                         row.push(key[i].clone());
                     }
-                    SelectItem::Aggregate { func, distinct, arg, .. } => {
+                    SelectItem::Aggregate {
+                        func,
+                        distinct,
+                        arg,
+                        ..
+                    } => {
                         row.push(aggregate(*func, *distinct, arg.as_ref(), &members));
                     }
                 }
@@ -217,16 +215,16 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Evaluates a graph pattern over the active graph (Table 4).
-    pub fn eval_pattern(
-        &self,
-        p: &GraphPattern,
-        graph: &Graph,
-    ) -> Result<Multiset, EngineError> {
+    pub fn eval_pattern(&self, p: &GraphPattern, graph: &Graph) -> Result<Multiset, EngineError> {
         self.check_time()?;
         match p {
             GraphPattern::Empty => Ok(vec![Binding::empty()]),
             GraphPattern::Triple(t) => self.eval_triple(t, graph),
-            GraphPattern::Path { subject, path, object } => {
+            GraphPattern::Path {
+                subject,
+                path,
+                object,
+            } => {
                 let start = match subject {
                     TermPattern::Term(t) => Some(t),
                     TermPattern::Var(_) => None,
@@ -275,9 +273,9 @@ impl<'a> Evaluator<'a> {
                 Ok(left
                     .into_iter()
                     .filter(|l| {
-                        !right.iter().any(|r| {
-                            l.compatible(r) && l.shares_domain_with(r)
-                        })
+                        !right
+                            .iter()
+                            .any(|r| l.compatible(r) && l.shares_domain_with(r))
                     })
                     .collect())
             }
@@ -307,11 +305,7 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn eval_triple(
-        &self,
-        t: &TriplePattern,
-        graph: &Graph,
-    ) -> Result<Multiset, EngineError> {
+    fn eval_triple(&self, t: &TriplePattern, graph: &Graph) -> Result<Multiset, EngineError> {
         let s = match &t.subject {
             TermPattern::Term(t) => Some(t),
             TermPattern::Var(_) => None,
@@ -328,11 +322,7 @@ impl<'a> Evaluator<'a> {
         for (ts, tp, to) in graph.triples_matching(s, p, o) {
             let mut b = Binding::empty();
             let mut ok = true;
-            for (pat, val) in [
-                (&t.subject, ts),
-                (&t.predicate, tp),
-                (&t.object, to),
-            ] {
+            for (pat, val) in [(&t.subject, ts), (&t.predicate, tp), (&t.object, to)] {
                 if let TermPattern::Var(v) = pat {
                     match b.get(v) {
                         Some(existing) if existing != val => {
@@ -364,7 +354,10 @@ impl<'a> Evaluator<'a> {
                 let mut index: std::collections::HashMap<&Term, Vec<&Binding>> =
                     std::collections::HashMap::new();
                 for r in right {
-                    index.entry(r.get(&v).expect("complete var")).or_default().push(r);
+                    index
+                        .entry(r.get(&v).expect("complete var"))
+                        .or_default()
+                        .push(r);
                 }
                 for (i, l) in left.iter().enumerate() {
                     if i % 1024 == 0 {
@@ -464,8 +457,7 @@ fn aggregate(
                 best = Some(match best {
                     None => v,
                     Some(b) => {
-                        if order_cmp(&Some(v.clone()), &Some(b.clone()))
-                            == std::cmp::Ordering::Less
+                        if order_cmp(&Some(v.clone()), &Some(b.clone())) == std::cmp::Ordering::Less
                         {
                             v
                         } else {
@@ -509,12 +501,7 @@ fn aggregate(
 }
 
 /// Binds a path pair onto the subject/object term patterns.
-fn bind_pair(
-    subject: &TermPattern,
-    object: &TermPattern,
-    x: Term,
-    y: Term,
-) -> Option<Binding> {
+fn bind_pair(subject: &TermPattern, object: &TermPattern, x: Term, y: Term) -> Option<Binding> {
     let mut b = Binding::empty();
     match subject {
         TermPattern::Term(t) => {
@@ -578,9 +565,7 @@ fn contains_optional(p: &GraphPattern) -> bool {
 
 fn optional_depth(p: &GraphPattern) -> usize {
     match p {
-        GraphPattern::Optional(a, b) => {
-            1 + optional_depth(a).max(optional_depth(b))
-        }
+        GraphPattern::Optional(a, b) => 1 + optional_depth(a).max(optional_depth(b)),
         GraphPattern::Join(a, b) | GraphPattern::Union(a, b) | GraphPattern::Minus(a, b) => {
             optional_depth(a).max(optional_depth(b))
         }

@@ -55,15 +55,15 @@ pub fn eval_expr(e: &Expr, b: &Binding) -> Option<Term> {
             let yv = eval_expr(y, b)?;
             arith(*op, &xv, &yv)
         }
-        Expr::Neg(x) => {
-            arith(ArithOp::Sub, &Term::integer(0), &eval_expr(x, b)?)
-        }
+        Expr::Neg(x) => arith(ArithOp::Sub, &Term::integer(0), &eval_expr(x, b)?),
         Expr::Bound(v) => Some(Term::boolean(b.get(v).is_some())),
         Expr::IsIri(x) => Some(Term::boolean(eval_expr(x, b)?.is_iri())),
         Expr::IsBlank(x) => Some(Term::boolean(eval_expr(x, b)?.is_bnode())),
         Expr::IsLiteral(x) => Some(Term::boolean(eval_expr(x, b)?.is_literal())),
         Expr::IsNumeric(x) => Some(Term::boolean(
-            eval_expr(x, b)?.as_literal().is_some_and(Literal::is_numeric),
+            eval_expr(x, b)?
+                .as_literal()
+                .is_some_and(Literal::is_numeric),
         )),
         Expr::Str(x) => Some(Term::literal(eval_expr(x, b)?.str_value())),
         Expr::Lang(x) => {
@@ -86,9 +86,7 @@ pub fn eval_expr(e: &Expr, b: &Binding) -> Option<Term> {
         Expr::Contains(x, y) => binary_string(x, y, b, |a, c| a.contains(c)),
         Expr::StrStarts(x, y) => binary_string(x, y, b, |a, c| a.starts_with(c)),
         Expr::StrEnds(x, y) => binary_string(x, y, b, |a, c| a.ends_with(c)),
-        Expr::SameTerm(x, y) => {
-            Some(Term::boolean(eval_expr(x, b)? == eval_expr(y, b)?))
-        }
+        Expr::SameTerm(x, y) => Some(Term::boolean(eval_expr(x, b)? == eval_expr(y, b)?)),
         Expr::LangMatches(x, y) => {
             let l = eval_expr(x, b)?;
             let r = eval_expr(y, b)?;
@@ -145,7 +143,10 @@ pub fn term_eq(a: &Term, b: &Term) -> bool {
     if a == b {
         return true;
     }
-    match (a.as_literal().and_then(Literal::as_f64), b.as_literal().and_then(Literal::as_f64)) {
+    match (
+        a.as_literal().and_then(Literal::as_f64),
+        b.as_literal().and_then(Literal::as_f64),
+    ) {
         (Some(x), Some(y)) => x == y,
         _ => false,
     }
@@ -162,12 +163,10 @@ pub fn term_cmp(a: &Term, b: &Term) -> Option<std::cmp::Ordering> {
     }
     match (a, b) {
         (Term::Iri(x), Term::Iri(y)) => Some(x.cmp(y)),
-        (Term::Literal(x), Term::Literal(y)) => {
-            match (x.as_bool(), y.as_bool()) {
-                (Some(p), Some(q)) => Some(p.cmp(&q)),
-                _ => Some(x.lexical().cmp(y.lexical())),
-            }
-        }
+        (Term::Literal(x), Term::Literal(y)) => match (x.as_bool(), y.as_bool()) {
+            (Some(p), Some(q)) => Some(p.cmp(&q)),
+            _ => Some(x.lexical().cmp(y.lexical())),
+        },
         _ => None,
     }
 }
@@ -220,12 +219,7 @@ fn map_string(t: &Term, f: impl Fn(&str) -> String) -> Option<Term> {
     })
 }
 
-fn binary_string(
-    x: &Expr,
-    y: &Expr,
-    b: &Binding,
-    f: impl Fn(&str, &str) -> bool,
-) -> Option<Term> {
+fn binary_string(x: &Expr, y: &Expr, b: &Binding, f: impl Fn(&str, &str) -> bool) -> Option<Term> {
     let xv = eval_expr(x, b)?;
     let yv = eval_expr(y, b)?;
     Some(Term::boolean(f(
@@ -323,7 +317,10 @@ mod tests {
     fn datatype_builtin() {
         use sparqlog_rdf::vocab::rdf;
         let e = Expr::Datatype(Box::new(Expr::Const(Term::integer(5))));
-        assert_eq!(eval_expr(&e, &Binding::empty()), Some(Term::iri(xsd::INTEGER)));
+        assert_eq!(
+            eval_expr(&e, &Binding::empty()),
+            Some(Term::iri(xsd::INTEGER))
+        );
         let e = Expr::Datatype(Box::new(Expr::Const(Term::lang_literal("x", "en"))));
         assert_eq!(
             eval_expr(&e, &Binding::empty()),

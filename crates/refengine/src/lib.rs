@@ -56,7 +56,10 @@ pub struct FusekiSim {
 impl FusekiSim {
     /// Creates an engine over a dataset.
     pub fn new(dataset: Dataset) -> Self {
-        FusekiSim { dataset, timeout: None }
+        FusekiSim {
+            dataset,
+            timeout: None,
+        }
     }
 
     /// Sets the per-query wall-clock budget.
@@ -81,7 +84,10 @@ pub struct VirtuosoSim {
 impl VirtuosoSim {
     /// Creates an engine over a dataset.
     pub fn new(dataset: Dataset) -> Self {
-        VirtuosoSim { dataset, timeout: None }
+        VirtuosoSim {
+            dataset,
+            timeout: None,
+        }
     }
 
     /// Sets the per-query wall-clock budget.
@@ -111,7 +117,10 @@ impl StardogSim {
     pub fn new(dataset: Dataset, ontology: &Ontology) -> Self {
         let mut dataset = dataset;
         materialize_rdfs(&mut dataset, ontology);
-        StardogSim { dataset, timeout: None }
+        StardogSim {
+            dataset,
+            timeout: None,
+        }
     }
 
     /// Sets the per-query wall-clock budget.
@@ -144,11 +153,9 @@ pub fn materialize_rdfs(dataset: &mut Dataset, ontology: &Ontology) {
         for axiom in &ontology.axioms {
             match axiom {
                 Axiom::SubClassOf(c1, c2) => {
-                    for (s, _, _) in g.triples_matching(
-                        None,
-                        Some(&type_iri),
-                        Some(&Term::iri(c1.clone())),
-                    ) {
+                    for (s, _, _) in
+                        g.triples_matching(None, Some(&type_iri), Some(&Term::iri(c1.clone())))
+                    {
                         new.push(Triple::new(
                             s.clone(),
                             type_iri.clone(),
@@ -157,16 +164,12 @@ pub fn materialize_rdfs(dataset: &mut Dataset, ontology: &Ontology) {
                     }
                 }
                 Axiom::SubPropertyOf(p1, p2) => {
-                    for (s, _, o) in
-                        g.triples_matching(None, Some(&Term::iri(p1.clone())), None)
-                    {
+                    for (s, _, o) in g.triples_matching(None, Some(&Term::iri(p1.clone())), None) {
                         new.push(Triple::new(s.clone(), Term::iri(p2.clone()), o.clone()));
                     }
                 }
                 Axiom::Domain(p, c) => {
-                    for (s, _, _) in
-                        g.triples_matching(None, Some(&Term::iri(p.clone())), None)
-                    {
+                    for (s, _, _) in g.triples_matching(None, Some(&Term::iri(p.clone())), None) {
                         new.push(Triple::new(
                             s.clone(),
                             type_iri.clone(),
@@ -175,9 +178,7 @@ pub fn materialize_rdfs(dataset: &mut Dataset, ontology: &Ontology) {
                     }
                 }
                 Axiom::Range(p, c) => {
-                    for (_, _, o) in
-                        g.triples_matching(None, Some(&Term::iri(p.clone())), None)
-                    {
+                    for (_, _, o) in g.triples_matching(None, Some(&Term::iri(p.clone())), None) {
                         new.push(Triple::new(
                             o.clone(),
                             type_iri.clone(),
@@ -190,11 +191,7 @@ pub fn materialize_rdfs(dataset: &mut Dataset, ontology: &Ontology) {
                         for (s, _, o) in
                             g.triples_matching(None, Some(&Term::iri(from.clone())), None)
                         {
-                            new.push(Triple::new(
-                                o.clone(),
-                                Term::iri(to.clone()),
-                                s.clone(),
-                            ));
+                            new.push(Triple::new(o.clone(), Term::iri(to.clone()), s.clone()));
                         }
                     }
                 }

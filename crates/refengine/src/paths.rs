@@ -122,18 +122,11 @@ impl<'a> PathEvaluator<'a> {
             // in the SparqLog translation.
             PropertyPath::Exactly(inner, n) => {
                 if *n == 0 {
-                    return Ok(constrain(
-                        dedupe(self.zero_pairs(start, end)),
-                        start,
-                        end,
-                    ));
+                    return Ok(constrain(dedupe(self.zero_pairs(start, end)), start, end));
                 }
                 let mut path = (**inner).clone();
                 for _ in 1..*n {
-                    path = PropertyPath::Sequence(
-                        Box::new((**inner).clone()),
-                        Box::new(path),
-                    );
+                    path = PropertyPath::Sequence(Box::new((**inner).clone()), Box::new(path));
                 }
                 Ok(dedupe(self.eval(&path, start, end)?))
             }
@@ -154,11 +147,7 @@ impl<'a> PathEvaluator<'a> {
                     out.extend(self.zero_pairs(start, end));
                 }
                 for k in (*n).max(1)..=*m {
-                    out.extend(self.eval(
-                        &PropertyPath::Exactly(inner.clone(), k),
-                        start,
-                        end,
-                    )?);
+                    out.extend(self.eval(&PropertyPath::Exactly(inner.clone(), k), start, end)?);
                 }
                 Ok(constrain(dedupe(out), start, end))
             }
@@ -171,10 +160,7 @@ impl<'a> PathEvaluator<'a> {
         end: Option<&Term>,
         what: &str,
     ) -> Result<(), PathError> {
-        if self.quirks.error_on_two_var_recursive_path
-            && start.is_none()
-            && end.is_none()
-        {
+        if self.quirks.error_on_two_var_recursive_path && start.is_none() && end.is_none() {
             return Err(PathError::NotSupported(format!(
                 "{what} property path with two variables: transitive start not given"
             )));
@@ -245,8 +231,7 @@ impl<'a> PathEvaluator<'a> {
                 Some(adj) => Ok(adj.get(node).cloned().unwrap_or_default()),
                 None => {
                     let pairs = self.eval(inner, Some(node), None)?;
-                    let mut targets: Vec<Term> =
-                        pairs.into_iter().map(|(_, y)| y).collect();
+                    let mut targets: Vec<Term> = pairs.into_iter().map(|(_, y)| y).collect();
                     let mut seen = HashSet::new();
                     targets.retain(|t| seen.insert(t.clone()));
                     Ok(targets)
@@ -261,8 +246,7 @@ impl<'a> PathEvaluator<'a> {
                 Some(adj) => adj.keys().cloned().collect(),
                 None => {
                     let pairs = self.eval(inner, None, None)?;
-                    let mut srcs: Vec<Term> =
-                        pairs.into_iter().map(|(x, _)| x).collect();
+                    let mut srcs: Vec<Term> = pairs.into_iter().map(|(x, _)| x).collect();
                     let mut seen = HashSet::new();
                     srcs.retain(|t| seen.insert(t.clone()));
                     srcs
@@ -324,15 +308,16 @@ impl<'a> PathEvaluator<'a> {
 
 fn dedupe(pairs: Pairs) -> Pairs {
     let mut seen: HashSet<(Term, Term)> = HashSet::new();
-    pairs.into_iter().filter(|p| seen.insert(p.clone())).collect()
+    pairs
+        .into_iter()
+        .filter(|p| seen.insert(p.clone()))
+        .collect()
 }
 
 fn constrain(pairs: Pairs, start: Option<&Term>, end: Option<&Term>) -> Pairs {
     pairs
         .into_iter()
-        .filter(|(x, y)| {
-            start.is_none_or(|s| s == x) && end.is_none_or(|o| o == y)
-        })
+        .filter(|(x, y)| start.is_none_or(|s| s == x) && end.is_none_or(|o| o == y))
         .collect()
 }
 
@@ -364,7 +349,11 @@ mod tests {
     }
 
     fn ev<'a>(g: &'a Graph, q: &'a Quirks) -> PathEvaluator<'a> {
-        PathEvaluator { graph: g, quirks: q, deadline: None }
+        PathEvaluator {
+            graph: g,
+            quirks: q,
+            deadline: None,
+        }
     }
 
     fn link() -> PropertyPath {
@@ -376,7 +365,11 @@ mod tests {
         let g = countries();
         let q = Quirks::fuseki();
         let pairs = ev(&g, &q)
-            .eval(&PropertyPath::OneOrMore(Box::new(link())), Some(&t("spain")), None)
+            .eval(
+                &PropertyPath::OneOrMore(Box::new(link())),
+                Some(&t("spain")),
+                None,
+            )
             .unwrap();
         assert_eq!(pairs.len(), 4);
     }
@@ -386,8 +379,13 @@ mod tests {
         let g = countries();
         let path = PropertyPath::ZeroOrMore(Box::new(link()));
         let fuseki = Quirks::fuseki();
-        let star = Quirks { no_closure_memo: false, ..Default::default() };
-        let mut a = ev(&g, &fuseki).eval(&path, Some(&t("spain")), None).unwrap();
+        let star = Quirks {
+            no_closure_memo: false,
+            ..Default::default()
+        };
+        let mut a = ev(&g, &fuseki)
+            .eval(&path, Some(&t("spain")), None)
+            .unwrap();
         let mut b = ev(&g, &star).eval(&path, Some(&t("spain")), None).unwrap();
         a.sort();
         b.sort();
@@ -419,7 +417,10 @@ mod tests {
 
         let vq = Quirks::virtuoso();
         let wrong = ev(&g, &vq).eval(&path, Some(&t("a")), None).unwrap();
-        assert!(!wrong.iter().any(|(x, y)| x == y), "quirk drops identity pairs");
+        assert!(
+            !wrong.iter().any(|(x, y)| x == y),
+            "quirk drops identity pairs"
+        );
         assert!(wrong.len() < correct.len(), "incomplete result");
     }
 
@@ -429,7 +430,11 @@ mod tests {
         let q = Quirks::fuseki();
         // atlantis is not in the graph: zero-length pair still exists.
         let pairs = ev(&g, &q)
-            .eval(&PropertyPath::ZeroOrOne(Box::new(link())), Some(&t("atlantis")), None)
+            .eval(
+                &PropertyPath::ZeroOrOne(Box::new(link())),
+                Some(&t("atlantis")),
+                None,
+            )
             .unwrap();
         assert_eq!(pairs, vec![(t("atlantis"), t("atlantis"))]);
     }
@@ -444,7 +449,10 @@ mod tests {
             Box::new(PropertyPath::link("http://e/q")),
         );
         let fq = Quirks::fuseki();
-        assert_eq!(ev(&g, &fq).eval(&path, Some(&t("a")), None).unwrap().len(), 2);
+        assert_eq!(
+            ev(&g, &fq).eval(&path, Some(&t("a")), None).unwrap().len(),
+            2
+        );
         let vq = Quirks::virtuoso();
         assert_eq!(
             ev(&g, &vq).eval(&path, Some(&t("a")), None).unwrap().len(),
@@ -469,11 +477,19 @@ mod tests {
         let q = Quirks::fuseki();
         let e = ev(&g, &q);
         let p2 = e
-            .eval(&PropertyPath::Exactly(Box::new(link()), 2), Some(&t("spain")), None)
+            .eval(
+                &PropertyPath::Exactly(Box::new(link()), 2),
+                Some(&t("spain")),
+                None,
+            )
             .unwrap();
         assert_eq!(p2.len(), 2); // belgium, germany (deduped)
         let p0 = e
-            .eval(&PropertyPath::Exactly(Box::new(link()), 0), Some(&t("spain")), None)
+            .eval(
+                &PropertyPath::Exactly(Box::new(link()), 0),
+                Some(&t("spain")),
+                None,
+            )
             .unwrap();
         assert_eq!(p0, vec![(t("spain"), t("spain"))]);
         let between = e

@@ -49,7 +49,10 @@ impl Quirks {
     /// search without memoisation (slow on hard path queries, never
     /// wrong).
     pub fn fuseki() -> Self {
-        Quirks { no_closure_memo: true, ..Default::default() }
+        Quirks {
+            no_closure_memo: true,
+            ..Default::default()
+        }
     }
 
     /// OpenLink Virtuoso 7.2.5: fast but deviant.
@@ -69,7 +72,10 @@ impl Quirks {
     /// Stardog 7.7.1: standard-compliant, materialising reasoner, but no
     /// work sharing on two-variable recursive paths.
     pub fn stardog() -> Self {
-        Quirks { no_closure_memo: true, ..Default::default() }
+        Quirks {
+            no_closure_memo: true,
+            ..Default::default()
+        }
     }
 }
 

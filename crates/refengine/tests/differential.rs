@@ -5,8 +5,8 @@
 //! Fuseki and SparqLog returned a result, the results were equal").
 
 use sparqlog::{QueryResult, SparqLog};
-use sparqlog_refengine::FusekiSim;
 use sparqlog_rdf::{Dataset, Graph, Term, Triple};
+use sparqlog_refengine::FusekiSim;
 
 const DATA: &str = r#"
 @prefix ex: <http://e/> .
@@ -27,8 +27,12 @@ fn compare(query: &str) {
     sl.load_dataset(&dataset()).unwrap();
     let fu = FusekiSim::new(dataset());
 
-    let a = sl.execute(query).unwrap_or_else(|e| panic!("SparqLog {query}: {e}"));
-    let b = fu.execute(query).unwrap_or_else(|e| panic!("FusekiSim {query}: {e}"));
+    let a = sl
+        .execute(query)
+        .unwrap_or_else(|e| panic!("SparqLog {query}: {e}"));
+    let b = fu
+        .execute(query)
+        .unwrap_or_else(|e| panic!("FusekiSim {query}: {e}"));
     match (&a, &b) {
         (QueryResult::Boolean(x), QueryResult::Boolean(y)) => {
             assert_eq!(x, y, "{query}")
@@ -218,7 +222,10 @@ fn parallel_evaluation_matches_sequential_on_random_battery() {
     use sparqlog_datalog::EvalOptions;
 
     let engine_with_threads = |ds: &Dataset, threads: usize| {
-        let opts = EvalOptions { threads: Some(threads), ..Default::default() };
+        let opts = EvalOptions {
+            threads: Some(threads),
+            ..Default::default()
+        };
         let mut sl = SparqLog::with_options(opts);
         sl.load_dataset(ds).unwrap();
         sl
@@ -262,7 +269,10 @@ fn virtuoso_quirks_visible() {
     let err = vi
         .execute("PREFIX ex: <http://e/> SELECT ?x ?y WHERE { ?x ex:p+ ?y }")
         .unwrap_err();
-    assert!(matches!(err, sparqlog_refengine::EngineError::NotSupported(_)));
+    assert!(matches!(
+        err,
+        sparqlog_refengine::EngineError::NotSupported(_)
+    ));
     // Cycle a→b→c→a: Virtuoso misses (a, a).
     let fu = FusekiSim::new(dataset());
     let q = "PREFIX ex: <http://e/> SELECT ?y WHERE { ex:a ex:p+ ?y }";

@@ -77,7 +77,11 @@ pub struct TriplePattern {
 impl TriplePattern {
     /// Creates a triple pattern.
     pub fn new(subject: TermPattern, predicate: TermPattern, object: TermPattern) -> Self {
-        TriplePattern { subject, predicate, object }
+        TriplePattern {
+            subject,
+            predicate,
+            object,
+        }
     }
 
     /// The distinct variables of the pattern in S, P, O order.
@@ -176,7 +180,9 @@ impl GraphPattern {
                     push(v, out);
                 }
             }
-            GraphPattern::Path { subject, object, .. } => {
+            GraphPattern::Path {
+                subject, object, ..
+            } => {
                 if let TermPattern::Var(v) = subject {
                     push(v.clone(), out);
                 }
@@ -184,9 +190,7 @@ impl GraphPattern {
                     push(v.clone(), out);
                 }
             }
-            GraphPattern::Join(a, b)
-            | GraphPattern::Union(a, b)
-            | GraphPattern::Optional(a, b) => {
+            GraphPattern::Join(a, b) | GraphPattern::Union(a, b) | GraphPattern::Optional(a, b) => {
                 a.collect_vars(out);
                 b.collect_vars(out);
             }
@@ -415,7 +419,10 @@ mod tests {
             TermPattern::Var(v("o")),
         ));
         let q = Query {
-            form: QueryForm::Select { distinct: false, items: vec![] },
+            form: QueryForm::Select {
+                distinct: false,
+                items: vec![],
+            },
             dataset: vec![],
             pattern: pattern.clone(),
             group_by: vec![],

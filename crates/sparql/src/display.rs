@@ -6,9 +6,7 @@
 
 use std::fmt;
 
-use crate::ast::{
-    DatasetClause, GraphPattern, GraphSpec, Query, QueryForm, SelectItem,
-};
+use crate::ast::{DatasetClause, GraphPattern, GraphSpec, Query, QueryForm, SelectItem};
 use crate::expr::{ArithOp, CmpOp, Expr};
 
 impl fmt::Display for Query {
@@ -26,7 +24,12 @@ impl fmt::Display for Query {
                     for item in items {
                         match item {
                             SelectItem::Var(v) => write!(f, "{v} ")?,
-                            SelectItem::Aggregate { var, func, distinct, arg } => {
+                            SelectItem::Aggregate {
+                                var,
+                                func,
+                                distinct,
+                                arg,
+                            } => {
                                 write!(f, "({func}(")?;
                                 if *distinct {
                                     write!(f, "DISTINCT ")?;
@@ -80,7 +83,11 @@ impl fmt::Display for GraphPattern {
         match self {
             GraphPattern::Empty => Ok(()),
             GraphPattern::Triple(t) => write!(f, "{t} ."),
-            GraphPattern::Path { subject, path, object } => {
+            GraphPattern::Path {
+                subject,
+                path,
+                object,
+            } => {
                 write!(f, "{subject} {path} {object} .")
             }
             GraphPattern::Join(a, b) => write!(f, "{{ {a} }} {{ {b} }}"),

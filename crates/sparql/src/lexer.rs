@@ -128,7 +128,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
 
     macro_rules! err {
         ($msg:expr) => {
-            return Err(LexError { offset: pos, message: $msg.to_string() })
+            return Err(LexError {
+                offset: pos,
+                message: $msg.to_string(),
+            })
         };
     }
 
@@ -220,10 +223,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                                         None => err!("truncated \\u escape"),
                                     }
                                 }
-                                match u32::from_str_radix(&code, 16)
-                                    .ok()
-                                    .and_then(char::from_u32)
-                                {
+                                match u32::from_str_radix(&code, 16).ok().and_then(char::from_u32) {
                                     Some(ch) => out.push(ch),
                                     None => err!("invalid \\u escape"),
                                 }
@@ -413,9 +413,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     let local_rest = &rest[len + 1..];
                     let local_len = local_rest
                         .char_indices()
-                        .find(|(_, c)| {
-                            !(c.is_alphanumeric() || matches!(c, '_' | '-' | '%'))
-                        })
+                        .find(|(_, c)| !(c.is_alphanumeric() || matches!(c, '_' | '-' | '%')))
                         .map(|(i, _)| i)
                         .unwrap_or(local_rest.len());
                     tokens.push(Token::PName {
@@ -473,13 +471,25 @@ mod tests {
         let toks = lex("ex:spain foaf:name :x");
         assert_eq!(
             toks[0],
-            Token::PName { prefix: "ex".into(), local: "spain".into() }
+            Token::PName {
+                prefix: "ex".into(),
+                local: "spain".into()
+            }
         );
         assert_eq!(
             toks[1],
-            Token::PName { prefix: "foaf".into(), local: "name".into() }
+            Token::PName {
+                prefix: "foaf".into(),
+                local: "name".into()
+            }
         );
-        assert_eq!(toks[2], Token::PName { prefix: "".into(), local: "x".into() });
+        assert_eq!(
+            toks[2],
+            Token::PName {
+                prefix: "".into(),
+                local: "x".into()
+            }
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! * solution modifiers: `ORDER BY` (with complex arguments), `DISTINCT`,
 //!   `LIMIT`, `OFFSET`, `GROUP BY` with the aggregates `COUNT`, `SUM`,
 //!   `MIN`, `MAX`, `AVG`;
-//! * `FROM` / `FROM NAMED` dataset clauses (parsed and recorded).
+//! * `FROM` / `FROM NAMED` dataset clauses (parsed and recorded);
+//! * SPARQL 1.1 *Update* requests ([`parse_update`]): `INSERT DATA`,
+//!   `DELETE DATA`, `DELETE/INSERT ... WHERE` (with the `DELETE WHERE`
+//!   shorthand) and `CLEAR`, with `GRAPH` blocks in data and templates.
 //!
 //! Unsupported (mirroring the ✗ rows of Table 1): `CONSTRUCT`, `DESCRIBE`,
 //! `FILTER (NOT) EXISTS`, `BIND`, `VALUES`, `HAVING`, sub-`SELECT`,
@@ -45,11 +48,13 @@ pub mod expr;
 pub mod lexer;
 pub mod parser;
 pub mod path;
+pub mod update;
 
 pub use ast::{
-    DatasetClause, GraphPattern, GraphSpec, OrderCondition, Query, QueryForm,
-    SelectItem, TermPattern, TriplePattern, Var,
+    DatasetClause, GraphPattern, GraphSpec, OrderCondition, Query, QueryForm, SelectItem,
+    TermPattern, TriplePattern, Var,
 };
 pub use expr::{AggFunc, Expr};
-pub use parser::{parse_query, ParseError};
+pub use parser::{parse_query, parse_update, update_keyword, ParseError};
 pub use path::PropertyPath;
+pub use update::{ClearTarget, GroundQuad, QuadPattern, Update, UpdateOperation};

@@ -17,6 +17,7 @@ use crate::ast::*;
 use crate::expr::{AggFunc, ArithOp, CmpOp, Expr};
 use crate::lexer::{tokenize, Punct, Token};
 use crate::path::PropertyPath;
+use crate::update::{ClearTarget, GroundQuad, QuadPattern, Update, UpdateOperation};
 
 /// A parse error. `unsupported` is true when the query uses a SPARQL
 /// feature the engine deliberately does not implement.
@@ -30,7 +31,10 @@ pub struct ParseError {
 
 impl ParseError {
     fn new(message: impl Into<String>) -> Self {
-        ParseError { message: message.into(), unsupported: false }
+        ParseError {
+            message: message.into(),
+            unsupported: false,
+        }
     }
 
     /// Constructs the "feature not supported" variant.
@@ -52,17 +56,52 @@ impl std::error::Error for ParseError {}
 
 /// Parses a SPARQL query string into a [`Query`].
 pub fn parse_query(input: &str) -> Result<Query, ParseError> {
-    let tokens = tokenize(input)
-        .map_err(|e| ParseError::new(format!("lex error at byte {}: {}", e.offset, e.message)))?;
-    let mut p = Parser {
-        tokens,
-        pos: 0,
-        prefixes: HashMap::new(),
-        anon: 0,
-    };
+    let mut p = Parser::new(input)?;
     let q = p.parse_query()?;
     p.expect_eof()?;
     Ok(q)
+}
+
+/// Parses a SPARQL 1.1 Update request string into an [`Update`].
+///
+/// Supported operations: `INSERT DATA`, `DELETE DATA`,
+/// `DELETE/INSERT ... WHERE` (including the `DELETE WHERE` shorthand)
+/// and `CLEAR`. The graph-management operations (`LOAD`, `CREATE`,
+/// `DROP`, `COPY`, `MOVE`, `ADD`) and `WITH`/`USING` report the
+/// dedicated "unsupported" error.
+pub fn parse_update(input: &str) -> Result<Update, ParseError> {
+    let mut p = Parser::new(input)?;
+    let u = p.parse_update()?;
+    p.expect_eof()?;
+    Ok(u)
+}
+
+/// If `input` starts (after its `PREFIX`/`BASE` prologue) with a SPARQL
+/// *Update* keyword, returns that keyword in canonical upper case.
+///
+/// Read-only entry points use this to turn the confusing parse failure
+/// an update string would produce into a clear "read-only" error,
+/// without attempting a full update parse.
+pub fn update_keyword(input: &str) -> Option<&'static str> {
+    const UPDATE_KEYWORDS: &[&str] = &[
+        "INSERT", "DELETE", "CLEAR", "LOAD", "DROP", "CREATE", "COPY", "MOVE", "ADD", "WITH",
+    ];
+    let tokens = tokenize(input).ok()?;
+    let mut i = 0usize;
+    loop {
+        match tokens.get(i)? {
+            // PREFIX pname: <iri>  /  BASE <iri>
+            Token::Word(w) if w.eq_ignore_ascii_case("PREFIX") => i += 3,
+            Token::Word(w) if w.eq_ignore_ascii_case("BASE") => i += 2,
+            Token::Word(w) => {
+                return UPDATE_KEYWORDS
+                    .iter()
+                    .find(|k| w.eq_ignore_ascii_case(k))
+                    .copied();
+            }
+            _ => return None,
+        }
+    }
 }
 
 struct Parser {
@@ -73,6 +112,18 @@ struct Parser {
 }
 
 impl Parser {
+    fn new(input: &str) -> Result<Parser, ParseError> {
+        let tokens = tokenize(input).map_err(|e| {
+            ParseError::new(format!("lex error at byte {}: {}", e.offset, e.message))
+        })?;
+        Ok(Parser {
+            tokens,
+            pos: 0,
+            prefixes: HashMap::new(),
+            anon: 0,
+        })
+    }
+
     fn peek(&self) -> &Token {
         &self.tokens[self.pos.min(self.tokens.len() - 1)]
     }
@@ -90,7 +141,11 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError::new(format!("{} (at {})", msg.into(), self.peek())))
+        Err(ParseError::new(format!(
+            "{} (at {})",
+            msg.into(),
+            self.peek()
+        )))
     }
 
     fn eat_punct(&mut self, p: Punct) -> bool {
@@ -142,14 +197,12 @@ impl Parser {
 
     // ---------------------------------------------------------- prologue
 
-    fn parse_query(&mut self) -> Result<Query, ParseError> {
+    fn parse_prologue(&mut self) -> Result<(), ParseError> {
         loop {
             if self.eat_keyword("PREFIX") {
                 let (prefix, _local) = match self.bump() {
                     Token::PName { prefix, local } => (prefix, local),
-                    other => {
-                        return self.err(format!("expected prefix name, got {other}"))
-                    }
+                    other => return self.err(format!("expected prefix name, got {other}")),
                 };
                 let iri = match self.bump() {
                     Token::Iri(i) => i,
@@ -162,9 +215,13 @@ impl Parser {
                     other => return self.err(format!("expected IRI, got {other}")),
                 }
             } else {
-                break;
+                return Ok(());
             }
         }
+    }
+
+    fn parse_query(&mut self) -> Result<Query, ParseError> {
+        self.parse_prologue()?;
 
         let form = if self.eat_keyword("SELECT") {
             let distinct = self.eat_keyword("DISTINCT");
@@ -222,12 +279,18 @@ impl Parser {
                         self.expect_punct(Punct::LParen)?;
                         let e = self.parse_expr()?;
                         self.expect_punct(Punct::RParen)?;
-                        order_by.push(OrderCondition { expr: e, descending: false });
+                        order_by.push(OrderCondition {
+                            expr: e,
+                            descending: false,
+                        });
                     } else if self.eat_keyword("DESC") {
                         self.expect_punct(Punct::LParen)?;
                         let e = self.parse_expr()?;
                         self.expect_punct(Punct::RParen)?;
-                        order_by.push(OrderCondition { expr: e, descending: true });
+                        order_by.push(OrderCondition {
+                            expr: e,
+                            descending: true,
+                        });
                     } else if matches!(self.peek(), Token::Var(_)) {
                         if let Token::Var(v) = self.bump() {
                             order_by.push(OrderCondition {
@@ -241,7 +304,10 @@ impl Parser {
                         // Complex ORDER BY argument, e.g. ORDER BY (!BOUND(?n))
                         // or ORDER BY STR(?x) — FEASIBLE uses these (App. D.4).
                         let e = self.parse_unary()?;
-                        order_by.push(OrderCondition { expr: e, descending: false });
+                        order_by.push(OrderCondition {
+                            expr: e,
+                            descending: false,
+                        });
                     } else {
                         break;
                     }
@@ -264,7 +330,15 @@ impl Parser {
             }
         }
 
-        Ok(Query { form, dataset, pattern, group_by, order_by, limit, offset })
+        Ok(Query {
+            form,
+            dataset,
+            pattern,
+            group_by,
+            order_by,
+            limit,
+            offset,
+        })
     }
 
     fn parse_select_items(&mut self) -> Result<Vec<SelectItem>, ParseError> {
@@ -328,7 +402,247 @@ impl Parser {
             Token::Var(v) => Var::new(v),
             other => return self.err(format!("expected variable after AS, got {other}")),
         };
-        Ok(SelectItem::Aggregate { var, func, distinct, arg })
+        Ok(SelectItem::Aggregate {
+            var,
+            func,
+            distinct,
+            arg,
+        })
+    }
+
+    // ------------------------------------------------------------- updates
+
+    fn parse_update(&mut self) -> Result<Update, ParseError> {
+        let mut operations = Vec::new();
+        loop {
+            // Each operation may carry its own PREFIX/BASE prologue.
+            self.parse_prologue()?;
+            if matches!(self.peek(), Token::Eof) {
+                break;
+            }
+            operations.push(self.parse_update_operation()?);
+            if !self.eat_punct(Punct::Semicolon) {
+                break;
+            }
+        }
+        if operations.is_empty() {
+            return self.err("expected an update operation");
+        }
+        Ok(Update { operations })
+    }
+
+    fn parse_update_operation(&mut self) -> Result<UpdateOperation, ParseError> {
+        for unsupported in ["LOAD", "CREATE", "DROP", "COPY", "MOVE", "ADD"] {
+            if self.at_keyword(unsupported) {
+                return Err(ParseError::unsupported(&format!(
+                    "{unsupported} (graph management)"
+                )));
+            }
+        }
+        if self.at_keyword("WITH") || self.at_keyword("USING") {
+            return Err(ParseError::unsupported("WITH/USING graph selection"));
+        }
+        if self.eat_keyword("CLEAR") {
+            self.eat_keyword("SILENT");
+            let target = if self.eat_keyword("DEFAULT") {
+                ClearTarget::Default
+            } else if self.eat_keyword("NAMED") {
+                ClearTarget::Named
+            } else if self.eat_keyword("ALL") {
+                ClearTarget::All
+            } else if self.eat_keyword("GRAPH") {
+                ClearTarget::Graph(self.parse_iri()?)
+            } else {
+                return self.err("expected DEFAULT, NAMED, ALL or GRAPH after CLEAR");
+            };
+            return Ok(UpdateOperation::Clear(target));
+        }
+        if self.eat_keyword("INSERT") {
+            if self.eat_keyword("DATA") {
+                let quads = self.parse_quad_block()?;
+                let ground = self.ground_quads(quads, false)?;
+                return Ok(UpdateOperation::InsertData(ground));
+            }
+            let insert = self.parse_quad_block()?;
+            self.expect_keyword("WHERE")?;
+            let pattern = self.parse_group_graph_pattern()?;
+            return Ok(UpdateOperation::DeleteInsert {
+                delete: Vec::new(),
+                insert,
+                pattern,
+            });
+        }
+        if self.eat_keyword("DELETE") {
+            if self.eat_keyword("DATA") {
+                let quads = self.parse_quad_block()?;
+                let ground = self.ground_quads(quads, true)?;
+                return Ok(UpdateOperation::DeleteData(ground));
+            }
+            if self.eat_keyword("WHERE") {
+                // DELETE WHERE shorthand: the quad block is both the
+                // delete template and the WHERE pattern.
+                let delete = self.parse_quad_block()?;
+                self.no_bnodes_in_delete(&delete)?;
+                let pattern = quads_as_pattern(&delete);
+                return Ok(UpdateOperation::DeleteInsert {
+                    delete,
+                    insert: Vec::new(),
+                    pattern,
+                });
+            }
+            let delete = self.parse_quad_block()?;
+            self.no_bnodes_in_delete(&delete)?;
+            let insert = if self.eat_keyword("INSERT") {
+                self.parse_quad_block()?
+            } else {
+                Vec::new()
+            };
+            if self.at_keyword("USING") {
+                return Err(ParseError::unsupported("WITH/USING graph selection"));
+            }
+            self.expect_keyword("WHERE")?;
+            let pattern = self.parse_group_graph_pattern()?;
+            return Ok(UpdateOperation::DeleteInsert {
+                delete,
+                insert,
+                pattern,
+            });
+        }
+        self.err("expected INSERT, DELETE or CLEAR")
+    }
+
+    /// Parses a `{ Quads }` block: triples (with `;`/`,` abbreviations)
+    /// optionally wrapped in `GRAPH <iri> { ... }` sub-blocks.
+    fn parse_quad_block(&mut self) -> Result<Vec<QuadPattern>, ParseError> {
+        self.expect_punct(Punct::LBrace)?;
+        let mut out = Vec::new();
+        loop {
+            if self.eat_punct(Punct::RBrace) {
+                break;
+            }
+            if self.eat_punct(Punct::Dot) {
+                continue;
+            }
+            if self.at_keyword("GRAPH") {
+                self.bump();
+                let graph = match self.peek() {
+                    Token::Var(_) => {
+                        return Err(ParseError::unsupported(
+                            "variable GRAPH targets in update templates",
+                        ))
+                    }
+                    _ => self.parse_iri()?,
+                };
+                self.expect_punct(Punct::LBrace)?;
+                loop {
+                    if self.eat_punct(Punct::RBrace) {
+                        break;
+                    }
+                    if self.eat_punct(Punct::Dot) {
+                        continue;
+                    }
+                    self.parse_quad_triples(Some(graph.clone()), &mut out)?;
+                }
+            } else {
+                self.parse_quad_triples(None, &mut out)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// One `TriplesSameSubject` worth of quad templates (plain verbs
+    /// only — property paths have no place in update templates).
+    fn parse_quad_triples(
+        &mut self,
+        graph: Option<Arc<str>>,
+        out: &mut Vec<QuadPattern>,
+    ) -> Result<(), ParseError> {
+        let subject = self.parse_term_pattern()?;
+        loop {
+            let predicate = match self.peek().clone() {
+                Token::Var(v) => {
+                    self.bump();
+                    TermPattern::Var(Var::new(v))
+                }
+                Token::Word(w) if w == "a" => {
+                    self.bump();
+                    TermPattern::Term(Term::iri(rdf::TYPE))
+                }
+                _ => TermPattern::Term(Term::iri(self.parse_iri()?)),
+            };
+            loop {
+                let object = self.parse_term_pattern()?;
+                out.push(QuadPattern {
+                    subject: subject.clone(),
+                    predicate: predicate.clone(),
+                    object,
+                    graph: graph.clone(),
+                });
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            if !self.eat_punct(Punct::Semicolon) {
+                break;
+            }
+            if matches!(
+                self.peek(),
+                Token::Punct(Punct::Dot) | Token::Punct(Punct::RBrace)
+            ) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Converts templates to ground quads, rejecting variables (and, for
+    /// `DELETE DATA`, blank nodes — per SPARQL 1.1 Update §3.1.2).
+    fn ground_quads(
+        &self,
+        quads: Vec<QuadPattern>,
+        deleting: bool,
+    ) -> Result<Vec<GroundQuad>, ParseError> {
+        let mut out = Vec::with_capacity(quads.len());
+        for q in quads {
+            let ground = |tp: TermPattern| -> Result<Term, ParseError> {
+                match tp {
+                    TermPattern::Term(t) => {
+                        if deleting && t.is_bnode() {
+                            return Err(ParseError::new(
+                                "blank nodes are not allowed in DELETE DATA",
+                            ));
+                        }
+                        Ok(t)
+                    }
+                    TermPattern::Var(v) => Err(ParseError::new(format!(
+                        "variable {v} is not allowed in ground data blocks"
+                    ))),
+                }
+            };
+            out.push(GroundQuad {
+                subject: ground(q.subject)?,
+                predicate: ground(q.predicate)?,
+                object: ground(q.object)?,
+                graph: q.graph,
+            });
+        }
+        Ok(out)
+    }
+
+    /// SPARQL 1.1 Update §3.1.3.2: blank nodes are not allowed in
+    /// DELETE templates.
+    fn no_bnodes_in_delete(&self, quads: &[QuadPattern]) -> Result<(), ParseError> {
+        let has_bnode = quads.iter().any(|q| {
+            [&q.subject, &q.predicate, &q.object]
+                .into_iter()
+                .any(|tp| matches!(tp, TermPattern::Term(t) if t.is_bnode()))
+        });
+        if has_bnode {
+            return Err(ParseError::new(
+                "blank nodes are not allowed in DELETE templates",
+            ));
+        }
+        Ok(())
     }
 
     // -------------------------------------------------------- graph pattern
@@ -373,10 +687,8 @@ impl Parser {
                         _ => GraphSpec::Iri(self.parse_iri()?),
                     };
                     let inner = self.parse_group_graph_pattern()?;
-                    current = GraphPattern::join(
-                        current,
-                        GraphPattern::Graph(spec, Box::new(inner)),
-                    );
+                    current =
+                        GraphPattern::join(current, GraphPattern::Graph(spec, Box::new(inner)));
                 }
                 Token::Word(w) if w.eq_ignore_ascii_case("BIND") => {
                     return Err(ParseError::unsupported("BIND"));
@@ -390,8 +702,7 @@ impl Parser {
                 Token::Punct(Punct::LBrace) => {
                     // Group or union. A nested `{ SELECT ... }` would be a
                     // sub-query — unsupported, detect it for a clear error.
-                    if matches!(self.peek2(), Token::Word(w) if w.eq_ignore_ascii_case("SELECT"))
-                    {
+                    if matches!(self.peek2(), Token::Word(w) if w.eq_ignore_ascii_case("SELECT")) {
                         return Err(ParseError::unsupported("sub-SELECT"));
                     }
                     let mut g = self.parse_group_graph_pattern()?;
@@ -638,9 +949,7 @@ impl Parser {
                 self.bump();
                 Ok(PropertyPath::Link(Arc::from(rdf::TYPE)))
             }
-            Token::Iri(_) | Token::PName { .. } => {
-                Ok(PropertyPath::Link(self.parse_iri()?))
-            }
+            Token::Iri(_) | Token::PName { .. } => Ok(PropertyPath::Link(self.parse_iri()?)),
             other => self.err(format!("expected property path, got {other}")),
         }
     }
@@ -649,8 +958,8 @@ impl Parser {
         let mut forward = Vec::new();
         let mut backward = Vec::new();
         let one = |p: &mut Parser,
-                       forward: &mut Vec<Arc<str>>,
-                       backward: &mut Vec<Arc<str>>|
+                   forward: &mut Vec<Arc<str>>,
+                   backward: &mut Vec<Arc<str>>|
          -> Result<(), ParseError> {
             if p.eat_punct(Punct::Caret) {
                 backward.push(p.parse_iri()?);
@@ -694,9 +1003,24 @@ impl Parser {
 
     fn at_builtin_keyword(&self) -> bool {
         const BUILTINS: &[&str] = &[
-            "BOUND", "REGEX", "ISIRI", "ISURI", "ISBLANK", "ISLITERAL",
-            "ISNUMERIC", "STR", "LANG", "DATATYPE", "UCASE", "LCASE", "STRLEN",
-            "CONTAINS", "STRSTARTS", "STRENDS", "SAMETERM", "LANGMATCHES",
+            "BOUND",
+            "REGEX",
+            "ISIRI",
+            "ISURI",
+            "ISBLANK",
+            "ISLITERAL",
+            "ISNUMERIC",
+            "STR",
+            "LANG",
+            "DATATYPE",
+            "UCASE",
+            "LCASE",
+            "STRLEN",
+            "CONTAINS",
+            "STRSTARTS",
+            "STRENDS",
+            "SAMETERM",
+            "LANGMATCHES",
         ];
         matches!(self.peek(), Token::Word(w)
             if BUILTINS.iter().any(|b| w.eq_ignore_ascii_case(b)))
@@ -813,9 +1137,7 @@ impl Parser {
                 Ok(Expr::Const(Term::typed_literal(d, xsd::DOUBLE)))
             }
             Token::String(_) => Ok(Expr::Const(self.parse_literal()?)),
-            Token::Iri(_) | Token::PName { .. } => {
-                Ok(Expr::Const(Term::iri(self.parse_iri()?)))
-            }
+            Token::Iri(_) | Token::PName { .. } => Ok(Expr::Const(Term::iri(self.parse_iri()?))),
             Token::Word(w) if w.eq_ignore_ascii_case("true") => {
                 self.bump();
                 Ok(Expr::Const(Term::boolean(true)))
@@ -845,9 +1167,7 @@ impl Parser {
             "BOUND" => {
                 let v = match self.bump() {
                     Token::Var(v) => Var::new(v),
-                    other => {
-                        return self.err(format!("BOUND expects a variable, got {other}"))
-                    }
+                    other => return self.err(format!("BOUND expects a variable, got {other}")),
                 };
                 Expr::Bound(v)
             }
@@ -914,6 +1234,25 @@ enum Verb {
     Path(PropertyPath),
 }
 
+/// Reads a quad-template list back as a graph pattern (the `DELETE
+/// WHERE` shorthand, where the template doubles as the `WHERE` clause).
+fn quads_as_pattern(quads: &[QuadPattern]) -> GraphPattern {
+    let mut pattern = GraphPattern::Empty;
+    for q in quads {
+        let triple = GraphPattern::Triple(TriplePattern::new(
+            q.subject.clone(),
+            q.predicate.clone(),
+            q.object.clone(),
+        ));
+        let wrapped = match &q.graph {
+            None => triple,
+            Some(g) => GraphPattern::Graph(GraphSpec::Iri(g.clone()), Box::new(triple)),
+        };
+        pattern = GraphPattern::join(pattern, wrapped);
+    }
+    pattern
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -964,19 +1303,14 @@ mod tests {
 
     #[test]
     fn plain_link_paths_become_triple_patterns() {
-        let q = parse_query(
-            "PREFIX ex: <http://e/> SELECT * WHERE { ?x ex:p ?y . ?y a ex:C }",
-        )
-        .unwrap();
+        let q = parse_query("PREFIX ex: <http://e/> SELECT * WHERE { ?x ex:p ?y . ?y a ex:C }")
+            .unwrap();
         match &q.pattern {
             GraphPattern::Join(a, b) => {
                 assert!(matches!(a.as_ref(), GraphPattern::Triple(_)));
                 match b.as_ref() {
                     GraphPattern::Triple(t) => {
-                        assert_eq!(
-                            t.predicate,
-                            TermPattern::Term(Term::iri(rdf::TYPE))
-                        );
+                        assert_eq!(t.predicate, TermPattern::Term(Term::iri(rdf::TYPE)));
                     }
                     other => panic!("expected triple, got {other:?}"),
                 }
@@ -987,10 +1321,8 @@ mod tests {
 
     #[test]
     fn semicolon_and_comma_abbreviations() {
-        let q = parse_query(
-            "PREFIX e: <http://e/> SELECT * WHERE { ?x e:p ?a , ?b ; e:q ?c . }",
-        )
-        .unwrap();
+        let q = parse_query("PREFIX e: <http://e/> SELECT * WHERE { ?x e:p ?a , ?b ; e:q ?c . }")
+            .unwrap();
         // Three triple patterns joined.
         let mut count = 0;
         fn count_triples(p: &GraphPattern, n: &mut usize) {
@@ -1022,10 +1354,9 @@ mod tests {
 
     #[test]
     fn graph_patterns() {
-        let q = parse_query(
-            "SELECT * WHERE { GRAPH ?g { ?s ?p ?o } GRAPH <http://g> { ?a ?b ?c } }",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT * WHERE { GRAPH ?g { ?s ?p ?o } GRAPH <http://g> { ?a ?b ?c } }")
+                .unwrap();
         if let GraphPattern::Join(a, b) = &q.pattern {
             assert!(matches!(
                 a.as_ref(),
@@ -1042,10 +1373,8 @@ mod tests {
 
     #[test]
     fn complex_paths() {
-        let q = parse_query(
-            "PREFIX e: <http://e/> SELECT * WHERE { ?x (e:a/e:b)|^e:c ?y }",
-        )
-        .unwrap();
+        let q =
+            parse_query("PREFIX e: <http://e/> SELECT * WHERE { ?x (e:a/e:b)|^e:c ?y }").unwrap();
         match &q.pattern {
             GraphPattern::Path { path, .. } => {
                 assert!(matches!(path, PropertyPath::Alternative(_, _)));
@@ -1056,10 +1385,7 @@ mod tests {
 
     #[test]
     fn negated_property_sets() {
-        let q = parse_query(
-            "PREFIX e: <http://e/> SELECT * WHERE { ?x !(e:a|^e:b) ?y }",
-        )
-        .unwrap();
+        let q = parse_query("PREFIX e: <http://e/> SELECT * WHERE { ?x !(e:a|^e:b) ?y }").unwrap();
         match &q.pattern {
             GraphPattern::Path { path, .. } => match path {
                 PropertyPath::NegatedSet { forward, backward } => {
@@ -1105,10 +1431,7 @@ mod tests {
 
     #[test]
     fn aggregates_and_group_by() {
-        let q = parse_query(
-            "SELECT ?x (COUNT(?y) AS ?c) WHERE { ?x ?p ?y } GROUP BY ?x",
-        )
-        .unwrap();
+        let q = parse_query("SELECT ?x (COUNT(?y) AS ?c) WHERE { ?x ?p ?y } GROUP BY ?x").unwrap();
         assert!(q.has_aggregates());
         assert_eq!(q.group_by, vec![Var::new("x")]);
         assert_eq!(q.projection(), vec![Var::new("x"), Var::new("c")]);
@@ -1131,10 +1454,7 @@ mod tests {
     #[test]
     fn order_by_complex_argument() {
         // FEASIBLE-style ORDER BY (!BOUND(?n)) — Appendix D.4.
-        let q = parse_query(
-            "SELECT ?x WHERE { ?x ?p ?n } ORDER BY (!BOUND(?n)) ?x",
-        )
-        .unwrap();
+        let q = parse_query("SELECT ?x WHERE { ?x ?p ?n } ORDER BY (!BOUND(?n)) ?x").unwrap();
         assert_eq!(q.order_by.len(), 2);
         assert!(matches!(q.order_by[0].expr, Expr::Not(_)));
     }
@@ -1150,11 +1470,20 @@ mod tests {
         for (text, feature) in [
             ("CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }", "CONSTRUCT"),
             ("DESCRIBE <http://x>", "DESCRIBE"),
-            ("SELECT * WHERE { ?s ?p ?o FILTER NOT EXISTS { ?s ?p ?o } }", "NOT EXISTS"),
-            ("SELECT * WHERE { ?s ?p ?o FILTER EXISTS { ?s ?p ?o } }", "EXISTS"),
+            (
+                "SELECT * WHERE { ?s ?p ?o FILTER NOT EXISTS { ?s ?p ?o } }",
+                "NOT EXISTS",
+            ),
+            (
+                "SELECT * WHERE { ?s ?p ?o FILTER EXISTS { ?s ?p ?o } }",
+                "EXISTS",
+            ),
             ("SELECT * WHERE { BIND(1 AS ?x) }", "BIND"),
             ("SELECT * WHERE { VALUES ?x { 1 } }", "VALUES"),
-            ("SELECT * WHERE { { SELECT ?x WHERE { ?x ?p ?o } } }", "sub-SELECT"),
+            (
+                "SELECT * WHERE { { SELECT ?x WHERE { ?x ?p ?o } } }",
+                "sub-SELECT",
+            ),
             ("SELECT * WHERE { ?s ?p ?o } HAVING (?o > 1)", "HAVING"),
         ] {
             let err = parse_query(text).unwrap_err();
@@ -1171,11 +1500,137 @@ mod tests {
     }
 
     #[test]
-    fn from_named_clauses() {
-        let q = parse_query(
-            "SELECT * FROM <http://d> FROM NAMED <http://n> WHERE { ?s ?p ?o }",
+    fn parse_insert_and_delete_data() {
+        let u = parse_update(
+            r#"PREFIX ex: <http://e/>
+               INSERT DATA { ex:a ex:p ex:b ; ex:q "v"@en , 4 .
+                             GRAPH <http://g> { ex:a ex:p ex:c } } ;
+               DELETE DATA { ex:a ex:p ex:b }"#,
         )
         .unwrap();
+        assert_eq!(u.operations.len(), 2);
+        match &u.operations[0] {
+            UpdateOperation::InsertData(quads) => {
+                assert_eq!(quads.len(), 4);
+                assert_eq!(quads[0].subject, Term::iri("http://e/a"));
+                assert_eq!(quads[2].object, Term::integer(4));
+                assert!(quads[0..3].iter().all(|q| q.graph.is_none()));
+                assert_eq!(quads[3].graph.as_deref(), Some("http://g"));
+            }
+            other => panic!("expected INSERT DATA, got {other:?}"),
+        }
+        assert!(matches!(&u.operations[1], UpdateOperation::DeleteData(q) if q.len() == 1));
+    }
+
+    #[test]
+    fn parse_delete_insert_where() {
+        let u = parse_update(
+            r#"PREFIX ex: <http://e/>
+               DELETE { ?x ex:old ?y } INSERT { ?x ex:new ?y }
+               WHERE { ?x ex:old ?y . FILTER (?y > 1) }"#,
+        )
+        .unwrap();
+        match &u.operations[0] {
+            UpdateOperation::DeleteInsert {
+                delete,
+                insert,
+                pattern,
+            } => {
+                assert_eq!(delete.len(), 1);
+                assert_eq!(insert.len(), 1);
+                assert!(matches!(pattern, GraphPattern::Filter(_, _)));
+                assert_eq!(delete[0].vars(), vec![Var::new("x"), Var::new("y")]);
+            }
+            other => panic!("expected DELETE/INSERT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_insert_where_and_delete_where_shorthand() {
+        let u = parse_update("PREFIX ex: <http://e/> INSERT { ?x a ex:C } WHERE { ?x ex:p ?y }")
+            .unwrap();
+        match &u.operations[0] {
+            UpdateOperation::DeleteInsert { delete, insert, .. } => {
+                assert!(delete.is_empty());
+                assert_eq!(insert.len(), 1);
+            }
+            other => panic!("expected INSERT..WHERE, got {other:?}"),
+        }
+        let u = parse_update(
+            "PREFIX ex: <http://e/> DELETE WHERE { ?x ex:p ?y . GRAPH <http://g> { ?x ex:q ?z } }",
+        )
+        .unwrap();
+        match &u.operations[0] {
+            UpdateOperation::DeleteInsert {
+                delete,
+                insert,
+                pattern,
+            } => {
+                assert_eq!(delete.len(), 2);
+                assert!(insert.is_empty());
+                // Template doubles as the WHERE pattern, GRAPH preserved.
+                assert!(matches!(pattern, GraphPattern::Join(_, _)));
+            }
+            other => panic!("expected DELETE WHERE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_clear_targets() {
+        let u =
+            parse_update("CLEAR DEFAULT ; CLEAR NAMED ; CLEAR ALL ; CLEAR SILENT GRAPH <http://g>")
+                .unwrap();
+        assert_eq!(
+            u.operations,
+            vec![
+                UpdateOperation::Clear(ClearTarget::Default),
+                UpdateOperation::Clear(ClearTarget::Named),
+                UpdateOperation::Clear(ClearTarget::All),
+                UpdateOperation::Clear(ClearTarget::Graph(Arc::from("http://g"))),
+            ]
+        );
+    }
+
+    #[test]
+    fn update_errors() {
+        // Variables in ground data blocks are plain errors.
+        let err = parse_update("INSERT DATA { ?x <http://p> 1 }").unwrap_err();
+        assert!(!err.unsupported);
+        // Blank nodes are rejected where SPARQL 1.1 Update forbids them.
+        assert!(parse_update("DELETE DATA { _:b <http://p> 1 }").is_err());
+        assert!(parse_update("DELETE { _:b <http://p> ?y } WHERE { ?x <http://p> ?y }").is_err());
+        // Graph-management operations are flagged unsupported.
+        for text in [
+            "LOAD <http://remote/data.ttl>",
+            "DROP GRAPH <http://g>",
+            "CREATE GRAPH <http://g>",
+            "WITH <http://g> DELETE { ?s ?p ?o } WHERE { ?s ?p ?o }",
+        ] {
+            let err = parse_update(text).unwrap_err();
+            assert!(err.unsupported, "{text}: {err:?}");
+        }
+        // Queries are not updates.
+        assert!(parse_update("SELECT * WHERE { ?s ?p ?o }").is_err());
+    }
+
+    #[test]
+    fn update_keyword_detection() {
+        assert_eq!(
+            update_keyword("PREFIX ex: <http://e/> INSERT DATA { ex:a ex:p 1 }"),
+            Some("INSERT")
+        );
+        assert_eq!(update_keyword("BASE <http://b/> CLEAR ALL"), Some("CLEAR"));
+        assert_eq!(update_keyword("delete where { ?s ?p ?o }"), Some("DELETE"));
+        assert_eq!(update_keyword("SELECT * WHERE { ?s ?p ?o }"), None);
+        assert_eq!(update_keyword("ASK { ?s ?p ?o }"), None);
+        assert_eq!(update_keyword("{ not sparql"), None);
+        assert_eq!(update_keyword(""), None);
+    }
+
+    #[test]
+    fn from_named_clauses() {
+        let q = parse_query("SELECT * FROM <http://d> FROM NAMED <http://n> WHERE { ?s ?p ?o }")
+            .unwrap();
         assert_eq!(q.dataset.len(), 2);
         assert!(matches!(&q.dataset[0], DatasetClause::Default(_)));
         assert!(matches!(&q.dataset[1], DatasetClause::Named(_)));
@@ -1184,10 +1639,7 @@ mod tests {
     #[test]
     fn filter_applies_to_whole_group() {
         // FILTER written before the triple still scopes over the group.
-        let q = parse_query(
-            "SELECT * WHERE { FILTER (?y > 3) ?x <http://p> ?y }",
-        )
-        .unwrap();
+        let q = parse_query("SELECT * WHERE { FILTER (?y > 3) ?x <http://p> ?y }").unwrap();
         assert!(matches!(q.pattern, GraphPattern::Filter(_, _)));
     }
 

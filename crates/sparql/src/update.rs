@@ -1,0 +1,150 @@
+//! The SPARQL 1.1 Update AST: update requests and their operations.
+//!
+//! The supported operation set covers the write half of the paper's
+//! workload model (read-mostly query logs with interleaved writes):
+//! `INSERT DATA`, `DELETE DATA`, the pattern-driven
+//! `DELETE/INSERT ... WHERE` family (including the `DELETE WHERE`
+//! shorthand) and `CLEAR`. Operations outside this set (`LOAD`, `COPY`,
+//! `MOVE`, `ADD`, `CREATE`, `DROP`, `WITH`/`USING`) parse to the
+//! dedicated "unsupported" error so callers can distinguish them from
+//! syntax errors, mirroring how the query parser treats Table 1's ✗
+//! rows.
+
+use std::fmt;
+use std::sync::Arc;
+
+use sparqlog_rdf::Term;
+
+use crate::ast::{GraphPattern, TermPattern, Var};
+
+/// A ground quad of an `INSERT DATA` / `DELETE DATA` block: three
+/// concrete RDF terms plus the target graph (`None` = default graph).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundQuad {
+    /// The subject term (an IRI or blank node).
+    pub subject: Term,
+    /// The predicate term (an IRI).
+    pub predicate: Term,
+    /// The object term.
+    pub object: Term,
+    /// The named graph holding the triple; `None` = default graph.
+    pub graph: Option<Arc<str>>,
+}
+
+impl fmt::Display for GroundQuad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.graph {
+            None => write!(f, "{} {} {}", self.subject, self.predicate, self.object),
+            Some(g) => write!(
+                f,
+                "GRAPH <{g}> {{ {} {} {} }}",
+                self.subject, self.predicate, self.object
+            ),
+        }
+    }
+}
+
+/// A quad *template* of a `DELETE`/`INSERT` clause: triple-pattern
+/// positions that may hold variables (bound by the `WHERE` clause at
+/// execution time) plus the target graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuadPattern {
+    /// The subject position.
+    pub subject: TermPattern,
+    /// The predicate position.
+    pub predicate: TermPattern,
+    /// The object position.
+    pub object: TermPattern,
+    /// The named graph holding the triple; `None` = default graph.
+    pub graph: Option<Arc<str>>,
+}
+
+impl QuadPattern {
+    /// The distinct variables of the template in S, P, O order.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        for tp in [&self.subject, &self.predicate, &self.object] {
+            if let TermPattern::Var(v) = tp {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The target of a `CLEAR` operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClearTarget {
+    /// `CLEAR DEFAULT` — the default graph.
+    Default,
+    /// `CLEAR NAMED` — every named graph.
+    Named,
+    /// `CLEAR ALL` — the default graph and every named graph.
+    All,
+    /// `CLEAR GRAPH <iri>` — one named graph.
+    Graph(Arc<str>),
+}
+
+/// One operation of an update request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOperation {
+    /// `INSERT DATA { quads }` — ground triples added as given.
+    InsertData(Vec<GroundQuad>),
+    /// `DELETE DATA { quads }` — ground triples removed as given.
+    DeleteData(Vec<GroundQuad>),
+    /// `DELETE { t } INSERT { t } WHERE { p }` (either template clause
+    /// may be absent, but not both). Also produced by the `DELETE WHERE`
+    /// shorthand, with the pattern doubling as the delete template.
+    DeleteInsert {
+        /// The quads removed per `WHERE` solution (applied first).
+        delete: Vec<QuadPattern>,
+        /// The quads added per `WHERE` solution (applied second).
+        insert: Vec<QuadPattern>,
+        /// The `WHERE` clause whose solutions instantiate the templates.
+        pattern: GraphPattern,
+    },
+    /// `CLEAR [SILENT] target` — drop all triples of the target graphs.
+    Clear(ClearTarget),
+}
+
+/// A parsed SPARQL 1.1 Update request: one or more operations, applied
+/// in order (each operation sees the effects of the previous ones).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    /// The operations, in request order.
+    pub operations: Vec<UpdateOperation>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_quad_display() {
+        let q = GroundQuad {
+            subject: Term::iri("http://e/s"),
+            predicate: Term::iri("http://e/p"),
+            object: Term::integer(4),
+            graph: None,
+        };
+        assert!(q.to_string().starts_with("<http://e/s> <http://e/p>"));
+        let g = GroundQuad {
+            graph: Some(Arc::from("http://g")),
+            ..q
+        };
+        assert!(g.to_string().starts_with("GRAPH <http://g> {"));
+    }
+
+    #[test]
+    fn quad_pattern_vars_dedupe() {
+        let qp = QuadPattern {
+            subject: TermPattern::Var(Var::new("x")),
+            predicate: TermPattern::Term(Term::iri("http://e/p")),
+            object: TermPattern::Var(Var::new("x")),
+            graph: None,
+        };
+        assert_eq!(qp.vars(), vec![Var::new("x")]);
+    }
+}

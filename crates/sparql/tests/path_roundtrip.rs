@@ -74,8 +74,7 @@ fn display_reparses_to_same_path() {
     for case in 0..128u64 {
         let path = random_path(&mut rng, 4);
         let query = format!("SELECT * WHERE {{ ?s {path} ?o }}");
-        let parsed = parse_query(&query)
-            .unwrap_or_else(|e| panic!("case {case}: {query}: {e}"));
+        let parsed = parse_query(&query).unwrap_or_else(|e| panic!("case {case}: {query}: {e}"));
         match parsed.pattern {
             GraphPattern::Path { path: got, .. } => {
                 assert_eq!(got, path, "case {case}: {query}")
@@ -83,10 +82,7 @@ fn display_reparses_to_same_path() {
             // A bare link prints as `<iri>` and parses to a plain triple
             // pattern — also correct.
             GraphPattern::Triple(t) => {
-                assert!(
-                    matches!(path, PropertyPath::Link(_)),
-                    "case {case}: {t:?}"
-                );
+                assert!(matches!(path, PropertyPath::Link(_)), "case {case}: {t:?}");
             }
             other => panic!("case {case}: unexpected pattern {other:?}"),
         }

@@ -7,8 +7,8 @@
 //! ```
 
 use sparqlog::{QueryResult, SparqLog};
-use sparqlog_refengine::{FusekiSim, VirtuosoSim};
 use sparqlog_rdf::Dataset;
+use sparqlog_refengine::{FusekiSim, VirtuosoSim};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = sparqlog_rdf::turtle::parse(
@@ -21,9 +21,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = Dataset::from_default_graph(graph);
 
     let queries = [
-        ("one-or-more over a cycle", "PREFIX ex: <http://ex.org/> SELECT ?y WHERE { ex:a ex:p+ ?y }"),
-        ("two-variable closure", "PREFIX ex: <http://ex.org/> SELECT ?x ?y WHERE { ?x ex:p+ ?y }"),
-        ("alternative duplicates", "PREFIX ex: <http://ex.org/> SELECT ?y WHERE { ex:a (ex:p|ex:q) ?y . ex:a ex:q ?y }"),
+        (
+            "one-or-more over a cycle",
+            "PREFIX ex: <http://ex.org/> SELECT ?y WHERE { ex:a ex:p+ ?y }",
+        ),
+        (
+            "two-variable closure",
+            "PREFIX ex: <http://ex.org/> SELECT ?x ?y WHERE { ?x ex:p+ ?y }",
+        ),
+        (
+            "alternative duplicates",
+            "PREFIX ex: <http://ex.org/> SELECT ?y WHERE { ex:a (ex:p|ex:q) ?y . ex:a ex:q ?y }",
+        ),
     ];
 
     let mut sl = SparqLog::new();

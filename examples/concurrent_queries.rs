@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let mut engine = SparqLog::new();
     engine.load_turtle(&turtle)?;
-    println!("loaded + materialised: {} facts", engine.database().fact_count());
+    println!(
+        "loaded + materialised: {} facts",
+        engine.database().fact_count()
+    );
 
     // Query phase: freeze. From here on everything is `&self`.
     let frozen = engine.freeze();

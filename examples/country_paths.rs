@@ -27,8 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
            SELECT ?B WHERE { ?A ex:borders+ ?B . FILTER (?A = ex:spain) }"#,
     )?;
     println!("Reachable from Spain via borders+ ({}):", result.len());
-    for row in &result.solutions().unwrap().rows {
-        println!("  {}", row[0].as_ref().unwrap());
+    for solution in result.solutions().unwrap().iter() {
+        println!("  {}", solution.get("B").unwrap());
     }
     assert_eq!(result.len(), 4);
 

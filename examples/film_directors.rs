@@ -35,11 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = engine.execute(query_text)?;
     let s = result.solutions().expect("SELECT query");
     println!("--- solutions ---");
-    for row in &s.rows {
-        let n = row[0].as_ref().map(|t| t.to_string()).unwrap_or_default();
-        let l = row[1].as_ref().map(|t| t.to_string()).unwrap_or("UNBOUND".into());
-        println!("?N = {n:<12} ?L = {l}");
-    }
+    println!("{s}");
     assert_eq!(s.len(), 2);
     Ok(())
 }

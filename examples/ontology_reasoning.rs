@@ -21,9 +21,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let onto = Ontology::new()
-        .with(Axiom::SubClassOf("http://ex.org/Article".into(), "http://ex.org/Publication".into()))
-        .with(Axiom::SubClassOf("http://ex.org/Publication".into(), "http://ex.org/Document".into()))
-        .with(Axiom::SubPropertyOf("http://ex.org/cites".into(), "http://ex.org/references".into()))
+        .with(Axiom::SubClassOf(
+            "http://ex.org/Article".into(),
+            "http://ex.org/Publication".into(),
+        ))
+        .with(Axiom::SubClassOf(
+            "http://ex.org/Publication".into(),
+            "http://ex.org/Document".into(),
+        ))
+        .with(Axiom::SubPropertyOf(
+            "http://ex.org/cites".into(),
+            "http://ex.org/references".into(),
+        ))
         // Every person has a parent who is a person — genuine object
         // invention via Warded Datalog± existentials.
         .with(Axiom::SomeValuesFrom {
@@ -33,22 +42,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         });
     engine.add_ontology(&onto)?;
 
-    let docs = engine.execute(
-        "PREFIX ex: <http://ex.org/> SELECT ?d WHERE { ?d a ex:Document }",
-    )?;
+    let docs =
+        engine.execute("PREFIX ex: <http://ex.org/> SELECT ?d WHERE { ?d a ex:Document }")?;
     println!("Documents (via subClassOf chain): {}", docs.len());
     assert_eq!(docs.len(), 2);
 
-    let refs = engine.execute(
-        "PREFIX ex: <http://ex.org/> SELECT ?x ?y WHERE { ?x ex:references ?y }",
-    )?;
+    let refs =
+        engine.execute("PREFIX ex: <http://ex.org/> SELECT ?x ?y WHERE { ?x ex:references ?y }")?;
     println!("references (via subPropertyOf): {}", refs.len());
     assert_eq!(refs.len(), 1);
 
-    let parents = engine.execute(
-        "PREFIX ex: <http://ex.org/> SELECT ?p WHERE { ex:alice ex:hasParent ?p }",
-    )?;
-    let parent = parents.solutions().unwrap().rows[0][0].clone().unwrap();
+    let parents = engine
+        .execute("PREFIX ex: <http://ex.org/> SELECT ?p WHERE { ex:alice ex:hasParent ?p }")?;
+    let parent = parents
+        .solutions()
+        .unwrap()
+        .solution(0)
+        .unwrap()
+        .get("p")
+        .unwrap()
+        .clone();
     println!("alice's invented parent (labelled null): {parent}");
     assert!(parent.is_bnode());
     Ok(())

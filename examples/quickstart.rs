@@ -33,18 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "#,
     )?;
 
-    match result {
-        QueryResult::Solutions(s) => {
-            println!("{} solution(s) for {:?}:", s.len(), s.vars);
-            for row in &s.rows {
-                let rendered: Vec<String> = row
-                    .iter()
-                    .map(|c| c.as_ref().map(|t| t.to_string()).unwrap_or("UNBOUND".into()))
-                    .collect();
-                println!("  {}", rendered.join("  "));
-            }
-        }
-        QueryResult::Boolean(b) => println!("ASK → {b}"),
+    if let QueryResult::Solutions(s) = &result {
+        println!("{} solution(s):", s.len());
     }
+    // `QueryResult` renders as a tab-separated table (header + rows).
+    println!("{result}");
     Ok(())
 }

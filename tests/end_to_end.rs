@@ -5,8 +5,8 @@
 
 use sparqlog::{QueryResult, SparqLog};
 use sparqlog_benchdata::{beseppi, feasible, gmark, sp2bench};
-use sparqlog_refengine::{EngineError, FusekiSim, VirtuosoSim};
 use sparqlog_rdf::Dataset;
+use sparqlog_refengine::{EngineError, FusekiSim, VirtuosoSim};
 
 /// SparqLog answers every BeSEPPI query with exactly the ground-truth
 /// multiset — the paper's headline compliance claim (Table 3, SparqLog
@@ -31,7 +31,11 @@ fn beseppi_sparqlog_fully_compliant() {
             failures.push(format!("{}: {}", q.id, q.query));
         }
     }
-    assert!(failures.is_empty(), "non-compliant queries:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "non-compliant queries:\n{}",
+        failures.join("\n")
+    );
 }
 
 /// FusekiSim is equally compliant (paper: "Fuseki and SparqLog produce
@@ -94,7 +98,11 @@ fn beseppi_virtuoso_errs_in_the_right_places() {
             "{clean:?} should be handled correctly by Virtuoso"
         );
     }
-    for dirty in [Category::OneOrMore, Category::ZeroOrMore, Category::ZeroOrOne] {
+    for dirty in [
+        Category::OneOrMore,
+        Category::ZeroOrMore,
+        Category::ZeroOrOne,
+    ] {
         assert!(
             wrong_or_error_by_cat.get(&dirty).copied().unwrap_or(0) > 0,
             "{dirty:?} should show Virtuoso failures"
@@ -108,15 +116,20 @@ fn beseppi_virtuoso_errs_in_the_right_places() {
 /// size.
 #[test]
 fn sp2bench_cross_engine_agreement() {
-    let dataset = Dataset::from_default_graph(sp2bench::generate(
-        sp2bench::Sp2bConfig { target_triples: 1_500, seed: 42 },
-    ));
+    let dataset = Dataset::from_default_graph(sp2bench::generate(sp2bench::Sp2bConfig {
+        target_triples: 1_500,
+        seed: 42,
+    }));
     let fu = FusekiSim::new(dataset.clone());
     for (id, q) in sp2bench::queries() {
         let mut sl = SparqLog::new();
         sl.load_dataset(&dataset).unwrap();
-        let a = sl.execute(&q).unwrap_or_else(|e| panic!("{id}: SparqLog {e}"));
-        let b = fu.execute(&q).unwrap_or_else(|e| panic!("{id}: Fuseki {e}"));
+        let a = sl
+            .execute(&q)
+            .unwrap_or_else(|e| panic!("{id}: SparqLog {e}"));
+        let b = fu
+            .execute(&q)
+            .unwrap_or_else(|e| panic!("{id}: Fuseki {e}"));
         match (&a, &b) {
             (QueryResult::Boolean(x), QueryResult::Boolean(y)) => {
                 assert_eq!(x, y, "{id}")
@@ -148,8 +161,12 @@ fn feasible_cross_engine_agreement() {
     for (id, q) in feasible::queries() {
         let mut sl = SparqLog::new();
         sl.load_dataset(&dataset).unwrap();
-        let a = sl.execute(&q).unwrap_or_else(|e| panic!("{id}: SparqLog {e}"));
-        let b = fu.execute(&q).unwrap_or_else(|e| panic!("{id}: Fuseki {e}"));
+        let a = sl
+            .execute(&q)
+            .unwrap_or_else(|e| panic!("{id}: SparqLog {e}"));
+        let b = fu
+            .execute(&q)
+            .unwrap_or_else(|e| panic!("{id}: Fuseki {e}"));
         match (&a, &b) {
             (QueryResult::Boolean(x), QueryResult::Boolean(y)) => {
                 assert_eq!(x, y, "{id}")
@@ -185,12 +202,15 @@ fn gmark_agreement_and_virtuoso_refusals() {
         for (id, q) in gmark::queries(scenario) {
             let mut sl = SparqLog::new();
             sl.load_dataset(&dataset).unwrap();
-            let a = sl.execute(&q).unwrap_or_else(|e| panic!("{scenario:?} {id}: {e}"));
-            let b = fu.execute(&q).unwrap_or_else(|e| panic!("{scenario:?} {id}: {e}"));
+            let a = sl
+                .execute(&q)
+                .unwrap_or_else(|e| panic!("{scenario:?} {id}: {e}"));
+            let b = fu
+                .execute(&q)
+                .unwrap_or_else(|e| panic!("{scenario:?} {id}: {e}"));
             assert!(
                 match (&a, &b) {
-                    (QueryResult::Solutions(x), QueryResult::Solutions(y)) =>
-                        x.multiset_eq(y),
+                    (QueryResult::Solutions(x), QueryResult::Solutions(y)) => x.multiset_eq(y),
                     (QueryResult::Boolean(x), QueryResult::Boolean(y)) => x == y,
                     _ => false,
                 },
@@ -201,9 +221,7 @@ fn gmark_agreement_and_virtuoso_refusals() {
                 Err(_) => virtuoso_failures += 1,
                 Ok(r) => {
                     let eq = match (&a, &r) {
-                        (QueryResult::Solutions(x), QueryResult::Solutions(y)) => {
-                            x.multiset_eq(y)
-                        }
+                        (QueryResult::Solutions(x), QueryResult::Solutions(y)) => x.multiset_eq(y),
                         (QueryResult::Boolean(x), QueryResult::Boolean(y)) => x == y,
                         _ => false,
                     };
@@ -241,8 +259,16 @@ fn all_benchmark_queries_translate_to_warded_programs() {
 
     let symbols = SymbolTable::new();
     let mut all: Vec<String> = Vec::new();
-    all.extend(sparqlog_benchdata::sp2bench::queries().into_iter().map(|(_, q)| q));
-    all.extend(sparqlog_benchdata::feasible::queries().into_iter().map(|(_, q)| q));
+    all.extend(
+        sparqlog_benchdata::sp2bench::queries()
+            .into_iter()
+            .map(|(_, q)| q),
+    );
+    all.extend(
+        sparqlog_benchdata::feasible::queries()
+            .into_iter()
+            .map(|(_, q)| q),
+    );
     all.extend(
         sparqlog_benchdata::gmark::queries(sparqlog_benchdata::gmark::Scenario::Social)
             .into_iter()
@@ -253,8 +279,16 @@ fn all_benchmark_queries_translate_to_warded_programs() {
             .into_iter()
             .map(|(_, q)| q),
     );
-    all.extend(sparqlog_benchdata::beseppi::queries().into_iter().map(|q| q.query));
-    all.extend(sparqlog_benchdata::ontology::queries().into_iter().map(|(_, q)| q));
+    all.extend(
+        sparqlog_benchdata::beseppi::queries()
+            .into_iter()
+            .map(|q| q.query),
+    );
+    all.extend(
+        sparqlog_benchdata::ontology::queries()
+            .into_iter()
+            .map(|(_, q)| q),
+    );
 
     let mut checked = 0;
     for (i, q) in all.iter().enumerate() {
@@ -269,5 +303,8 @@ fn all_benchmark_queries_translate_to_warded_programs() {
         );
         checked += 1;
     }
-    assert!(checked > 400, "expected the full workload set, got {checked}");
+    assert!(
+        checked > 400,
+        "expected the full workload set, got {checked}"
+    );
 }
