@@ -10,7 +10,7 @@
 
 use std::time::{Duration, Instant};
 
-use sparqlog::{Ontology, QueryResult, SparqLog, SparqLogError};
+use sparqlog::{Ontology, QueryResults, SparqLog, SparqLogError};
 use sparqlog_datalog::EvalOptions;
 use sparqlog_rdf::Dataset;
 use sparqlog_refengine::{EngineError, FusekiSim, StardogSim, VirtuosoSim};
@@ -18,7 +18,7 @@ use sparqlog_refengine::{EngineError, FusekiSim, StardogSim, VirtuosoSim};
 /// How a query run ended, in the vocabulary of the paper's tables.
 #[derive(Debug, Clone)]
 pub enum Status {
-    Ok(QueryResult),
+    Ok(QueryResults),
     Timeout,
     NotSupported(String),
     Error(String),
@@ -29,7 +29,7 @@ impl Status {
         matches!(self, Status::Ok(_))
     }
 
-    pub fn result(&self) -> Option<&QueryResult> {
+    pub fn result(&self) -> Option<&QueryResults> {
         match self {
             Status::Ok(r) => Some(r),
             _ => None,
@@ -182,22 +182,22 @@ where
 }
 
 trait RefExec {
-    fn exec(&self, query: &str) -> Result<QueryResult, EngineError>;
+    fn exec(&self, query: &str) -> Result<QueryResults, EngineError>;
 }
 
 impl RefExec for FusekiSim {
-    fn exec(&self, query: &str) -> Result<QueryResult, EngineError> {
+    fn exec(&self, query: &str) -> Result<QueryResults, EngineError> {
         self.execute(query)
     }
 }
 
 impl RefExec for VirtuosoSim {
-    fn exec(&self, query: &str) -> Result<QueryResult, EngineError> {
+    fn exec(&self, query: &str) -> Result<QueryResults, EngineError> {
         self.execute(query)
     }
 }
 
-fn classify_sl(r: Result<QueryResult, SparqLogError>) -> Status {
+fn classify_sl(r: Result<QueryResults, SparqLogError>) -> Status {
     match r {
         Ok(r) => Status::Ok(r),
         Err(e) if e.is_timeout() => Status::Timeout,
@@ -206,7 +206,7 @@ fn classify_sl(r: Result<QueryResult, SparqLogError>) -> Status {
     }
 }
 
-fn classify_ref(r: Result<QueryResult, EngineError>) -> Status {
+fn classify_ref(r: Result<QueryResults, EngineError>) -> Status {
     match r {
         Ok(r) => Status::Ok(r),
         Err(EngineError::Timeout) => Status::Timeout,
@@ -216,13 +216,20 @@ fn classify_ref(r: Result<QueryResult, EngineError>) -> Status {
 }
 
 /// Multiset equality of two results (the paper's comparison, D.2.2).
-pub fn results_equal(a: &QueryResult, b: &QueryResult) -> bool {
+/// Graphs compare as triple sets with blank-node labels erased — the
+/// same label-insensitivity the solution comparison applies.
+pub fn results_equal(a: &QueryResults, b: &QueryResults) -> bool {
     match (a, b) {
-        (QueryResult::Boolean(x), QueryResult::Boolean(y)) => x == y,
-        (QueryResult::Solutions(x), QueryResult::Solutions(y)) => x.multiset_eq(y),
+        (QueryResults::Boolean(x), QueryResults::Boolean(y)) => x == y,
+        (QueryResults::Solutions(x), QueryResults::Solutions(y)) => x.multiset_eq(y),
+        (QueryResults::Graph(x), QueryResults::Graph(y)) => {
+            canonical_triples(x) == canonical_triples(y)
+        }
         _ => false,
     }
 }
+
+pub use sparqlog::canonical_triples;
 
 /// The per-query timeout: `SPARQLOG_TIMEOUT_MS` env var, default 5000 ms
 /// (a scaled version of the paper's 900 s budget).

@@ -137,10 +137,10 @@ pub fn table3(timeout: Duration) -> String {
     out
 }
 
-fn result_rows(result: &sparqlog::QueryResult) -> Vec<Vec<Term>> {
+fn result_rows(result: &sparqlog::QueryResults) -> Vec<Vec<Term>> {
     match result {
-        sparqlog::QueryResult::Boolean(_) => Vec::new(),
-        sparqlog::QueryResult::Solutions(s) => s
+        sparqlog::QueryResults::Boolean(_) => Vec::new(),
+        sparqlog::QueryResults::Solutions(s) => s
             .rows
             .iter()
             .map(|row| {
@@ -148,6 +148,12 @@ fn result_rows(result: &sparqlog::QueryResult) -> Vec<Vec<Term>> {
                     .map(|c| c.clone().unwrap_or(Term::bnode("unbound")))
                     .collect()
             })
+            .collect(),
+        // Graph results render each triple as one row (the compliance
+        // tables only compare SELECT/ASK, but stay total here).
+        sparqlog::QueryResults::Graph(g) => g
+            .iter()
+            .map(|(s, p, o)| vec![s.clone(), p.clone(), o.clone()])
             .collect(),
     }
 }

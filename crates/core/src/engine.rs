@@ -41,7 +41,7 @@ use crate::data_translation::{base_program, load_dataset};
 use crate::ontology::Ontology;
 use crate::query_translation::{translate_query, TranslatedQuery, TranslationError};
 use crate::serving::FrozenDatabase;
-use crate::solution::{extract_result, QueryResult};
+use crate::solution::{extract_results, QueryResults};
 
 /// Errors surfaced by [`SparqLog`].
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +61,11 @@ pub enum SparqLogError {
     /// through [`Store::update`](crate::Store::update) or a
     /// [`Store::writer`](crate::Store::writer) session instead.
     ReadOnly(&'static str),
+    /// A [`PreparedQuery`](crate::PreparedQuery) was executed against a
+    /// store other than the one that prepared it. Translated programs
+    /// are tied to their store's symbol table; re-prepare on the target
+    /// store.
+    ForeignPrepared,
 }
 
 impl SparqLogError {
@@ -72,6 +77,28 @@ impl SparqLogError {
             SparqLogError::Parse(e) => e.unsupported,
             SparqLogError::Translation(e) => e.unsupported,
             _ => false,
+        }
+    }
+
+    /// The name of the unsupported SPARQL feature, when
+    /// [`Self::is_unsupported`] — carried structurally (from
+    /// `ParseError::feature` / `TranslationError::feature`) so callers
+    /// can branch on the feature instead of string-matching messages:
+    ///
+    /// ```
+    /// use sparqlog::SparqLog;
+    ///
+    /// let mut engine = SparqLog::new();
+    /// let err = engine
+    ///     .execute("SELECT * WHERE { BIND(1 AS ?x) }")
+    ///     .unwrap_err();
+    /// assert_eq!(err.unsupported_feature(), Some("BIND"));
+    /// ```
+    pub fn unsupported_feature(&self) -> Option<&str> {
+        match self {
+            SparqLogError::Parse(e) => e.feature.as_deref(),
+            SparqLogError::Translation(e) => e.feature.as_deref(),
+            _ => None,
         }
     }
 
@@ -92,6 +119,11 @@ impl std::fmt::Display for SparqLogError {
                 f,
                 "read-only entry point: {kw} is a SPARQL Update operation; \
                  use Store::update or a Store::writer session"
+            ),
+            SparqLogError::ForeignPrepared => write!(
+                f,
+                "prepared query belongs to a different store; re-prepare it \
+                 on the store it is executed against"
             ),
         }
     }
@@ -265,16 +297,16 @@ impl SparqLog {
     ///     .unwrap();
     /// assert_eq!(result.len(), 2); // ex:b, ex:c
     /// ```
-    pub fn execute(&mut self, query_str: &str) -> Result<QueryResult, SparqLogError> {
+    pub fn execute(&mut self, query_str: &str) -> Result<QueryResults, SparqLogError> {
         let query = parse_query(query_str)?;
         self.execute_query(&query)
     }
 
     /// Executes an already-parsed query.
-    pub fn execute_query(&mut self, query: &Query) -> Result<QueryResult, SparqLogError> {
+    pub fn execute_query(&mut self, query: &Query) -> Result<QueryResults, SparqLogError> {
         let tq = self.translate(query)?;
         evaluate(&tq.program, &mut self.db, &self.options)?;
-        Ok(extract_result(&tq, query, &self.db))
+        Ok(extract_results(&tq, query, &self.db))
     }
 
     /// Ends the mutate phase: consumes the engine into a read-only

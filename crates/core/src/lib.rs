@@ -65,6 +65,7 @@ pub mod expr_translation;
 pub mod features;
 pub mod ontology;
 pub mod query_translation;
+pub mod results_io;
 pub mod serving;
 pub mod solution;
 pub mod store;
@@ -73,7 +74,10 @@ pub use data_translation::{const_to_term, term_to_const};
 pub use engine::{SparqLog, SparqLogError};
 pub use ontology::{Axiom, Ontology};
 pub use query_translation::{translate_query, TranslatedQuery, TranslationError};
-pub use serving::FrozenDatabase;
-pub use solution::{QueryResult, Solution, SolutionSeq};
-pub use sparqlog_rdf::Term;
+pub use results_io::SerializeError;
+pub use serving::{FrozenDatabase, PreparedQuery};
+#[allow(deprecated)]
+pub use solution::QueryResult;
+pub use solution::{canonical_triples, QueryResults, Solution, SolutionSeq};
+pub use sparqlog_rdf::{Graph, Term};
 pub use store::{CommitStats, Snapshot, Store, Writer};

@@ -1,0 +1,383 @@
+//! W3C wire-format serialization of [`QueryResults`].
+//!
+//! Three standard formats cover the solution-producing query forms
+//! (`SELECT`, `ASK`):
+//!
+//! * **SPARQL 1.1 Query Results JSON** ([`to_json`]) — the
+//!   `application/sparql-results+json` format:
+//!   `{"head":{"vars":[...]},"results":{"bindings":[...]}}` for
+//!   solutions, `{"head":{},"boolean":...}` for ASK;
+//! * **SPARQL 1.1 Query Results CSV** ([`to_csv`]) — plain values
+//!   (IRIs bare, literals as their lexical form), RFC 4180 quoting,
+//!   CRLF line endings;
+//! * **SPARQL 1.1 Query Results TSV** ([`to_tsv`]) — terms in SPARQL
+//!   concrete syntax (`<iri>`, `"lit"@en`, `_:b`), tab-separated.
+//!
+//! The graph-producing forms (`CONSTRUCT`, `DESCRIBE`) serialize through
+//! the `sparqlog-rdf` writers instead: [`graph_to_ntriples`] and
+//! [`graph_to_turtle`]. Asking a solution format for a graph result (or
+//! vice versa) is a [`SerializeError`], not a silent coercion.
+//!
+//! All serializers are hand-rolled (the workspace builds offline with
+//! zero external dependencies) and covered by golden-fixture tests in
+//! `crates/core/tests/results_io.rs`.
+
+use sparqlog_rdf::{Graph, LiteralKind, Term};
+
+use crate::solution::{QueryResults, SolutionSeq};
+
+/// The requested wire format cannot represent this result form (e.g.
+/// Results-JSON for a CONSTRUCT graph).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerializeError {
+    /// The requested format ("Results-JSON", "CSV", ...).
+    pub format: &'static str,
+    /// The result form actually held ("graph", "solutions", "boolean").
+    pub form: &'static str,
+}
+
+impl std::fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cannot represent a {} result; use a matching serializer",
+            self.format, self.form
+        )
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+fn form_name(r: &QueryResults) -> &'static str {
+    match r {
+        QueryResults::Solutions(_) => "solutions",
+        QueryResults::Boolean(_) => "boolean",
+        QueryResults::Graph(_) => "graph",
+    }
+}
+
+// --------------------------------------------------------------- JSON
+
+/// Serializes a SELECT/ASK result in the SPARQL 1.1 Query Results JSON
+/// format (`application/sparql-results+json`).
+pub fn to_json(results: &QueryResults) -> Result<String, SerializeError> {
+    match results {
+        QueryResults::Boolean(b) => Ok(format!("{{\"head\":{{}},\"boolean\":{b}}}")),
+        QueryResults::Solutions(s) => Ok(solutions_to_json(s)),
+        QueryResults::Graph(_) => Err(SerializeError {
+            format: "Results-JSON",
+            form: form_name(results),
+        }),
+    }
+}
+
+fn solutions_to_json(s: &SolutionSeq) -> String {
+    let mut out = String::from("{\"head\":{\"vars\":[");
+    for (i, v) in s.vars.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_string(v, &mut out);
+    }
+    out.push_str("]},\"results\":{\"bindings\":[");
+    for (i, sol) in s.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        let mut first = true;
+        // Unbound variables are simply absent from the binding object.
+        for (var, term) in sol.iter() {
+            let Some(term) = term else { continue };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            json_string(var, &mut out);
+            out.push(':');
+            json_term(term, &mut out);
+        }
+        out.push('}');
+    }
+    out.push_str("]}}");
+    out
+}
+
+fn json_term(t: &Term, out: &mut String) {
+    match t {
+        Term::Iri(iri) => {
+            out.push_str("{\"type\":\"uri\",\"value\":");
+            json_string(iri, out);
+            out.push('}');
+        }
+        Term::BlankNode(label) => {
+            out.push_str("{\"type\":\"bnode\",\"value\":");
+            json_string(label, out);
+            out.push('}');
+        }
+        Term::Literal(l) => {
+            out.push_str("{\"type\":\"literal\",\"value\":");
+            json_string(l.lexical(), out);
+            match l.kind() {
+                LiteralKind::Plain => {}
+                LiteralKind::Lang(tag) => {
+                    out.push_str(",\"xml:lang\":");
+                    json_string(tag, out);
+                }
+                LiteralKind::Typed(dt) => {
+                    out.push_str(",\"datatype\":");
+                    json_string(dt, out);
+                }
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes, backslashes and control
+/// characters escaped).
+fn json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- CSV
+
+/// Serializes a SELECT/ASK result in the SPARQL 1.1 Query Results CSV
+/// format (`text/csv`): plain values, RFC 4180 quoting, CRLF line
+/// endings. (The W3C format only defines SELECT output; ASK results are
+/// rendered as a single `true`/`false` line, matching common practice.)
+pub fn to_csv(results: &QueryResults) -> Result<String, SerializeError> {
+    match results {
+        QueryResults::Boolean(b) => Ok(format!("{b}\r\n")),
+        QueryResults::Solutions(s) => {
+            let mut out = String::new();
+            out.push_str(&s.vars.join(","));
+            out.push_str("\r\n");
+            for sol in s.iter() {
+                for (i, (_, term)) in sol.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    match term {
+                        // Blank nodes keep their `_:label` form (W3C
+                        // CSV results §3); IRIs and literals are bare.
+                        // The prefix goes through the quoting with the
+                        // label, so a label needing quotes yields one
+                        // well-formed field.
+                        Some(Term::BlankNode(label)) => {
+                            csv_field(&format!("_:{label}"), &mut out);
+                        }
+                        Some(t) => csv_field(t.str_value(), &mut out),
+                        // Unbound ⇒ empty field.
+                        None => {}
+                    }
+                }
+                out.push_str("\r\n");
+            }
+            Ok(out)
+        }
+        QueryResults::Graph(_) => Err(SerializeError {
+            format: "CSV",
+            form: form_name(results),
+        }),
+    }
+}
+
+/// Appends a CSV field, quoting per RFC 4180 only when needed.
+fn csv_field(value: &str, out: &mut String) {
+    if value.contains(['"', ',', '\n', '\r']) {
+        out.push('"');
+        for c in value.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(value);
+    }
+}
+
+// ---------------------------------------------------------------- TSV
+
+/// Serializes a SELECT/ASK result in the SPARQL 1.1 Query Results TSV
+/// format (`text/tab-separated-values`): a `?var` header and terms in
+/// SPARQL concrete syntax, with tabs/newlines inside literals escaped.
+/// (ASK results render as a single `true`/`false` line; see [`to_csv`].)
+pub fn to_tsv(results: &QueryResults) -> Result<String, SerializeError> {
+    match results {
+        QueryResults::Boolean(b) => Ok(format!("{b}\n")),
+        QueryResults::Solutions(s) => {
+            let mut out = String::new();
+            for (i, v) in s.vars.iter().enumerate() {
+                if i > 0 {
+                    out.push('\t');
+                }
+                out.push('?');
+                out.push_str(v);
+            }
+            out.push('\n');
+            for sol in s.iter() {
+                for (i, (_, term)) in sol.iter().enumerate() {
+                    if i > 0 {
+                        out.push('\t');
+                    }
+                    if let Some(t) = term {
+                        // `Term`'s Display is N-Triples syntax — valid
+                        // TSV terms, with \t and \n escaped in literals.
+                        out.push_str(&t.to_string());
+                    }
+                }
+                out.push('\n');
+            }
+            Ok(out)
+        }
+        QueryResults::Graph(_) => Err(SerializeError {
+            format: "TSV",
+            form: form_name(results),
+        }),
+    }
+}
+
+// -------------------------------------------------------------- graphs
+
+/// Serializes a CONSTRUCT/DESCRIBE result graph as N-Triples.
+pub fn graph_to_ntriples(g: &Graph) -> String {
+    sparqlog_rdf::ntriples::serialize(g)
+}
+
+/// Serializes a CONSTRUCT/DESCRIBE result graph as Turtle (triples
+/// grouped by subject, `rdf:type` compacted to `a`).
+pub fn graph_to_turtle(g: &Graph) -> String {
+    sparqlog_rdf::turtle::serialize(g)
+}
+
+impl QueryResults {
+    /// [`to_json`] as a method.
+    pub fn to_json(&self) -> Result<String, SerializeError> {
+        to_json(self)
+    }
+
+    /// [`to_csv`] as a method.
+    pub fn to_csv(&self) -> Result<String, SerializeError> {
+        to_csv(self)
+    }
+
+    /// [`to_tsv`] as a method.
+    pub fn to_tsv(&self) -> Result<String, SerializeError> {
+        to_tsv(self)
+    }
+
+    /// The result graph as N-Triples, for CONSTRUCT/DESCRIBE results.
+    pub fn to_ntriples(&self) -> Result<String, SerializeError> {
+        match self {
+            QueryResults::Graph(g) => Ok(graph_to_ntriples(g)),
+            other => Err(SerializeError {
+                format: "N-Triples",
+                form: form_name(other),
+            }),
+        }
+    }
+
+    /// The result graph as Turtle, for CONSTRUCT/DESCRIBE results.
+    pub fn to_turtle(&self) -> Result<String, SerializeError> {
+        match self {
+            QueryResults::Graph(g) => Ok(graph_to_turtle(g)),
+            other => Err(SerializeError {
+                format: "Turtle",
+                form: form_name(other),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq() -> QueryResults {
+        QueryResults::Solutions(SolutionSeq {
+            vars: vec!["x".into(), "y".into()],
+            rows: vec![
+                vec![Some(Term::iri("http://e/a")), None],
+                vec![
+                    Some(Term::bnode("b1")),
+                    Some(Term::lang_literal("chat", "fr")),
+                ],
+            ],
+        })
+    }
+
+    #[test]
+    fn json_shapes() {
+        assert_eq!(
+            to_json(&QueryResults::Boolean(true)).unwrap(),
+            r#"{"head":{},"boolean":true}"#
+        );
+        let json = seq().to_json().unwrap();
+        assert!(json.starts_with(r#"{"head":{"vars":["x","y"]},"results":{"bindings":["#));
+        assert!(json.contains(r#""x":{"type":"uri","value":"http://e/a"}"#));
+        assert!(json.contains(r#""y":{"type":"literal","value":"chat","xml:lang":"fr"}"#));
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        let mut out = String::new();
+        json_string("a\"b\\c\nd\u{1}", &mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let mut out = String::new();
+        csv_field("plain", &mut out);
+        out.push(';');
+        csv_field("a,b \"quoted\"\nc", &mut out);
+        assert_eq!(out, "plain;\"a,b \"\"quoted\"\"\nc\"");
+    }
+
+    #[test]
+    fn csv_quotes_whole_bnode_field() {
+        // A label needing quotes must produce ONE well-formed RFC 4180
+        // field — the `_:` prefix belongs inside the quoted region.
+        let r = QueryResults::Solutions(SolutionSeq {
+            vars: vec!["x".into()],
+            rows: vec![vec![Some(Term::bnode("a,b"))]],
+        });
+        assert_eq!(r.to_csv().unwrap(), "x\r\n\"_:a,b\"\r\n");
+    }
+
+    #[test]
+    fn graph_formats_reject_solution_results() {
+        assert!(seq().to_ntriples().is_err());
+        assert!(seq().to_turtle().is_err());
+        let g = QueryResults::Graph(Box::new(Graph::new()));
+        assert!(g.to_json().is_err());
+        assert!(g.to_csv().is_err());
+        assert!(g.to_tsv().is_err());
+        let err = g.to_json().unwrap_err();
+        assert_eq!(err.form, "graph");
+        assert!(err.to_string().contains("Results-JSON"));
+    }
+
+    #[test]
+    fn literal_escape_reuse() {
+        // TSV terms reuse the N-Triples literal escaping.
+        assert_eq!(sparqlog_rdf::term::escape_literal("a\tb"), "a\\tb");
+    }
+}

@@ -66,10 +66,10 @@ use sparqlog_sparql::{parse_query, update_keyword, Query};
 
 use crate::engine::SparqLogError;
 use crate::query_translation::{translate_query, TranslatedQuery};
-use crate::solution::{extract_result, QueryResult};
+use crate::solution::{extract_results, QueryResults};
 
-/// A parsed-and-translated query, shared between the cache and any
-/// executions in flight.
+/// A parsed-and-translated query, shared between the cache, prepared
+/// handles and any executions in flight.
 struct CachedQuery {
     query: Query,
     translated: TranslatedQuery,
@@ -81,6 +81,86 @@ struct CachedQuery {
 /// of inserted (first-come retention — the recurring shapes of a real
 /// query log are seen early and stay cached).
 pub const MAX_CACHED_TRANSLATIONS: usize = 4096;
+
+/// The text-keyed translation cache plus the namespace counter.
+///
+/// Owned behind an `Arc` so it outlives any single [`FrozenDatabase`]:
+/// translations are data-independent (they reference interned symbols,
+/// never facts), so the [`Store`](crate::Store) commit path threads one
+/// cache through every snapshot it installs — hot query shapes stay warm
+/// across commits instead of re-translating after every write.
+pub(crate) struct TranslationCache {
+    /// Query text → parsed + translated program. Bounded by
+    /// [`MAX_CACHED_TRANSLATIONS`] (first-come retention).
+    map: RwLock<FxHashMap<String, Arc<CachedQuery>>>,
+    /// Distinct-translation counter: namespaces each translated
+    /// program's predicates (`f1_ans0`, `f2_ans0`, ...) so programs of
+    /// different queries can never collide in an overlay — shared across
+    /// snapshots for the same reason the map is.
+    counter: AtomicUsize,
+}
+
+impl TranslationCache {
+    fn new() -> Self {
+        TranslationCache {
+            map: RwLock::new(FxHashMap::default()),
+            counter: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// A query parsed and translated once, reusable across executions,
+/// snapshots and commits of the store that prepared it.
+///
+/// Produced by [`Store::prepare`](crate::Store::prepare),
+/// `Snapshot::prepare` or [`FrozenDatabase::prepare`]. The handle is
+/// `Send + Sync` and cheap to clone (one `Arc` bump); because
+/// translations are data-independent, a handle prepared before a commit
+/// keeps working on every later snapshot of the same store. Executing it
+/// against a *different* store returns
+/// [`SparqLogError::ForeignPrepared`] — the translated program is tied
+/// to its store's symbol table.
+///
+/// ```
+/// use sparqlog::Store;
+///
+/// let store = Store::new();
+/// store
+///     .update("PREFIX ex: <http://ex.org/> INSERT DATA { ex:a ex:p ex:b }")
+///     .unwrap();
+/// let q = store
+///     .prepare("PREFIX ex: <http://ex.org/> SELECT ?o WHERE { ex:a ex:p ?o }")
+///     .unwrap();
+/// assert_eq!(store.snapshot().execute_prepared(&q).unwrap().len(), 1);
+/// // ... the handle survives commits:
+/// store
+///     .update("PREFIX ex: <http://ex.org/> INSERT DATA { ex:a ex:p ex:c }")
+///     .unwrap();
+/// assert_eq!(store.snapshot().execute_prepared(&q).unwrap().len(), 2);
+/// ```
+#[derive(Clone)]
+pub struct PreparedQuery {
+    inner: Arc<CachedQuery>,
+    /// Identity of the preparing store's symbol table, checked at
+    /// execution so a handle cannot silently mis-resolve against an
+    /// unrelated store.
+    symbols: Arc<SymbolTable>,
+}
+
+impl PreparedQuery {
+    /// The parsed query this handle executes.
+    pub fn query(&self) -> &Query {
+        &self.inner.query
+    }
+}
+
+impl std::fmt::Debug for PreparedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedQuery")
+            .field("query", &self.inner.query.to_string())
+            .finish()
+    }
+}
 
 /// A frozen, read-only engine snapshot serving concurrent queries.
 ///
@@ -99,32 +179,42 @@ pub const MAX_CACHED_TRANSLATIONS: usize = 4096;
 pub struct FrozenDatabase {
     base: Arc<FrozenDb>,
     options: EvalOptions,
-    /// Query text → parsed + translated program, so repeated query
-    /// shapes skip parsing and the SPARQL→Datalog pipeline. Bounded by
-    /// [`MAX_CACHED_TRANSLATIONS`] (first-come retention).
-    cache: RwLock<FxHashMap<String, Arc<CachedQuery>>>,
-    /// Distinct-translation counter: namespaces each cached program's
-    /// predicates (`f1_ans0`, `f2_ans0`, ...) so programs of different
-    /// queries can never collide in an overlay.
-    counter: AtomicUsize,
+    /// The translation cache — shared with every other snapshot of the
+    /// owning [`Store`](crate::Store), so it survives commits.
+    cache: Arc<TranslationCache>,
 }
 
 impl FrozenDatabase {
     pub(crate) fn new(base: Arc<FrozenDb>, options: EvalOptions) -> Self {
+        Self::with_cache(base, options, Arc::new(TranslationCache::new()))
+    }
+
+    /// Wraps a snapshot around an existing translation cache — the
+    /// [`Store`](crate::Store) commit path uses this to carry the cache
+    /// (and its predicate-namespace counter) across commits.
+    pub(crate) fn with_cache(
+        base: Arc<FrozenDb>,
+        options: EvalOptions,
+        cache: Arc<TranslationCache>,
+    ) -> Self {
         FrozenDatabase {
             base,
             options,
-            cache: RwLock::new(FxHashMap::default()),
-            counter: AtomicUsize::new(0),
+            cache,
         }
     }
 
-    /// Dismantles the serving wrapper back into its snapshot and
-    /// options — the [`Store`](crate::Store) commit path reclaims the
-    /// snapshot through this (and thaws it in place when no other
-    /// handle is alive).
-    pub(crate) fn into_base(self) -> (Arc<FrozenDb>, EvalOptions) {
-        (self.base, self.options)
+    /// The shared translation cache (for re-wrapping by the store).
+    pub(crate) fn cache_handle(&self) -> Arc<TranslationCache> {
+        self.cache.clone()
+    }
+
+    /// Dismantles the serving wrapper back into its snapshot, options
+    /// and translation cache — the [`Store`](crate::Store) commit path
+    /// reclaims the snapshot through this (and thaws it in place when no
+    /// other handle is alive).
+    pub(crate) fn into_base(self) -> (Arc<FrozenDb>, EvalOptions, Arc<TranslationCache>) {
+        (self.base, self.options, self.cache)
     }
 
     /// The shared symbol table.
@@ -144,9 +234,69 @@ impl FrozenDatabase {
     }
 
     /// Number of distinct query texts currently memoised in the
-    /// translation cache.
+    /// translation cache (shared with every snapshot of the owning
+    /// store, so commits do not reset it).
     pub fn cached_translations(&self) -> usize {
-        self.cache.read().unwrap().len()
+        self.cache.map.read().unwrap().len()
+    }
+
+    /// Total number of parse+translate passes ever performed through
+    /// this handle's (store-shared) translation cache. Cache hits and
+    /// prepared-query executions do not increment it — the counter is
+    /// how tests prove a hot query shape stayed warm across a commit.
+    pub fn translations_performed(&self) -> usize {
+        self.cache.counter.load(Ordering::Relaxed)
+    }
+
+    /// Parses and translates a query once, returning a reusable
+    /// [`PreparedQuery`] handle. Goes through the translation cache, so
+    /// preparing an already-hot text is free; the returned handle skips
+    /// even the cache's text hash on execution.
+    pub fn prepare(&self, text: &str) -> Result<PreparedQuery, SparqLogError> {
+        Ok(self.wrap_prepared(self.translation(text)?))
+    }
+
+    /// [`Self::prepare`] for an already-parsed query (no text cache —
+    /// the translation is performed fresh and owned by the handle).
+    pub fn prepare_query(&self, query: Query) -> Result<PreparedQuery, SparqLogError> {
+        Ok(self.wrap_prepared(self.translate_entry(query)?))
+    }
+
+    fn wrap_prepared(&self, inner: Arc<CachedQuery>) -> PreparedQuery {
+        PreparedQuery {
+            inner,
+            symbols: self.base.symbols().clone(),
+        }
+    }
+
+    /// Guards against executing a handle prepared by a different store:
+    /// its program's interned symbols would mis-resolve here.
+    fn check_prepared(&self, p: &PreparedQuery) -> Result<(), SparqLogError> {
+        if Arc::ptr_eq(&p.symbols, self.base.symbols()) {
+            Ok(())
+        } else {
+            Err(SparqLogError::ForeignPrepared)
+        }
+    }
+
+    /// Executes a [`PreparedQuery`]: no parsing, no translation, no
+    /// cache probe — straight to evaluation against this snapshot.
+    pub fn execute_prepared(&self, p: &PreparedQuery) -> Result<QueryResults, SparqLogError> {
+        self.check_prepared(p)?;
+        self.run(&p.inner, &self.options)
+    }
+
+    /// [`Self::execute_batch`] over prepared handles: fans evaluation
+    /// out over the worker pool with zero per-query translation work,
+    /// returning results in input order.
+    pub fn execute_prepared_batch(
+        &self,
+        queries: &[PreparedQuery],
+    ) -> Vec<Result<QueryResults, SparqLogError>> {
+        self.batch(queries.len(), |i| {
+            self.check_prepared(&queries[i])?;
+            Ok(queries[i].inner.clone())
+        })
     }
 
     /// Parses, translates (or recalls), evaluates and extracts one query.
@@ -169,7 +319,7 @@ impl FrozenDatabase {
     /// assert_eq!(frozen.execute(q).unwrap().len(), 1); // cached translation
     /// assert_eq!(frozen.cached_translations(), 1);
     /// ```
-    pub fn execute(&self, query_str: &str) -> Result<QueryResult, SparqLogError> {
+    pub fn execute(&self, query_str: &str) -> Result<QueryResults, SparqLogError> {
         let cached = self.translation(query_str)?;
         self.run(&cached, &self.options)
     }
@@ -177,7 +327,7 @@ impl FrozenDatabase {
     /// Executes an already-parsed query (translated fresh each call — the
     /// translation cache is keyed by query text; use [`Self::execute`]
     /// for text-level memoisation).
-    pub fn execute_query(&self, query: &Query) -> Result<QueryResult, SparqLogError> {
+    pub fn execute_query(&self, query: &Query) -> Result<QueryResults, SparqLogError> {
         let cached = self.translate_entry(query.clone())?;
         self.run(&cached, &self.options)
     }
@@ -208,7 +358,7 @@ impl FrozenDatabase {
     /// assert_eq!(results[0].as_ref().unwrap().len(), 1);
     /// assert!(results[1].is_err()); // the batch keeps going
     /// ```
-    pub fn execute_batch(&self, queries: &[&str]) -> Vec<Result<QueryResult, SparqLogError>> {
+    pub fn execute_batch(&self, queries: &[&str]) -> Vec<Result<QueryResults, SparqLogError>> {
         self.batch(queries.len(), |i| self.translation(queries[i]))
     }
 
@@ -217,7 +367,7 @@ impl FrozenDatabase {
     pub fn execute_query_batch(
         &self,
         queries: &[Query],
-    ) -> Vec<Result<QueryResult, SparqLogError>> {
+    ) -> Vec<Result<QueryResults, SparqLogError>> {
         self.batch(queries.len(), |i| self.translate_entry(queries[i].clone()))
     }
 
@@ -228,7 +378,7 @@ impl FrozenDatabase {
         &self,
         n: usize,
         translation_of: impl Fn(usize) -> Result<Arc<CachedQuery>, SparqLogError> + Sync,
-    ) -> Vec<Result<QueryResult, SparqLogError>> {
+    ) -> Vec<Result<QueryResults, SparqLogError>> {
         let threads = self.options.resolved_threads().min(n.max(1));
         // Under fan-out each query runs the deterministic single-threaded
         // evaluator: the pool's workers are already saturated by whole
@@ -237,7 +387,7 @@ impl FrozenDatabase {
             threads: Some(1),
             ..self.options.clone()
         };
-        let slots: Vec<Mutex<Option<Result<QueryResult, SparqLogError>>>> =
+        let slots: Vec<Mutex<Option<Result<QueryResults, SparqLogError>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         run_scoped(threads, n, &|i| {
             let result = translation_of(i).and_then(|cached| self.run(&cached, &per_query));
@@ -257,7 +407,7 @@ impl FrozenDatabase {
     /// memoised, further texts translate per execution without
     /// inserting, bounding the cache's memory.
     fn translation(&self, text: &str) -> Result<Arc<CachedQuery>, SparqLogError> {
-        if let Some(hit) = self.cache.read().unwrap().get(text) {
+        if let Some(hit) = self.cache.map.read().unwrap().get(text) {
             return Ok(hit.clone());
         }
         let query = match parse_query(text) {
@@ -271,7 +421,7 @@ impl FrozenDatabase {
             },
         };
         let entry = self.translate_entry(query)?;
-        let mut cache = self.cache.write().unwrap();
+        let mut cache = self.cache.map.write().unwrap();
         if cache.len() >= MAX_CACHED_TRANSLATIONS && !cache.contains_key(text) {
             return Ok(entry);
         }
@@ -280,20 +430,20 @@ impl FrozenDatabase {
 
     /// Translates a parsed query under a fresh predicate namespace.
     fn translate_entry(&self, query: Query) -> Result<Arc<CachedQuery>, SparqLogError> {
-        let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let n = self.cache.counter.fetch_add(1, Ordering::Relaxed) + 1;
         let translated = translate_query(&query, self.base.symbols(), &format!("f{n}_"))?;
         Ok(Arc::new(CachedQuery { query, translated }))
     }
 
     /// Evaluates a translated query against the snapshot in a private
-    /// overlay and extracts the solution sequence.
+    /// overlay and extracts the typed result.
     fn run(
         &self,
         cached: &CachedQuery,
         options: &EvalOptions,
-    ) -> Result<QueryResult, SparqLogError> {
+    ) -> Result<QueryResults, SparqLogError> {
         let (db, _stats) = evaluate_frozen(&cached.translated.program, &self.base, options)?;
-        Ok(extract_result(&cached.translated, &cached.query, &db))
+        Ok(extract_results(&cached.translated, &cached.query, &db))
     }
 }
 

@@ -5,12 +5,21 @@
 //! constants back to RDF terms (`null` ⇒ unbound), and applies any
 //! solution modifiers the translator did not compile into `@post`
 //! directives (complex `ORDER BY` arguments).
+//!
+//! On top of the solution sequence this module realises the two
+//! graph-producing query forms: `CONSTRUCT` instantiates its triple
+//! templates once per solution (minting fresh blank nodes per solution,
+//! SPARQL 1.1 §16.2.1), and `DESCRIBE` computes the concise bounded
+//! description of each named/bound resource directly over the `triple/4`
+//! relation. Both return [`QueryResults::Graph`].
+
+use std::collections::HashSet;
 
 use sparqlog_datalog::{collect_output, order_cmp, Const, Database};
-use sparqlog_rdf::Term;
-use sparqlog_sparql::Query;
+use sparqlog_rdf::{Graph, Term, Triple};
+use sparqlog_sparql::{DescribeTarget, Query, QueryForm, TermPattern, TriplePattern, Var};
 
-use crate::data_translation::const_to_term;
+use crate::data_translation::{const_to_term, default_graph_const, preds, term_to_const};
 use crate::expr_translation::sexpr_to_dexpr;
 use crate::query_translation::TranslatedQuery;
 
@@ -177,57 +186,125 @@ impl std::fmt::Display for SolutionSeq {
     }
 }
 
-/// The result of executing a query.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum QueryResult {
+/// The result of executing a query, typed by query form: `SELECT`
+/// produces [`QueryResults::Solutions`], `ASK` a
+/// [`QueryResults::Boolean`], and `CONSTRUCT`/`DESCRIBE` a
+/// [`QueryResults::Graph`].
+///
+/// Wire-format serialization lives in [`crate::results_io`]: solutions
+/// and booleans serialize to the W3C SPARQL 1.1 Query Results JSON, CSV
+/// and TSV formats ([`QueryResults::to_json`] & co.), graphs to
+/// N-Triples and Turtle ([`QueryResults::to_ntriples`],
+/// [`QueryResults::to_turtle`]).
+#[derive(Debug, Clone)]
+pub enum QueryResults {
     /// SELECT: a sequence of solution mappings.
     Solutions(SolutionSeq),
     /// ASK: a boolean.
     Boolean(bool),
+    /// CONSTRUCT / DESCRIBE: an RDF graph (boxed — a [`Graph`] carries
+    /// its indexes inline, and results move through batch slots).
+    Graph(Box<Graph>),
 }
 
-impl QueryResult {
+/// Deprecated alias of [`QueryResults`] — the pre-PR 5 name, from before
+/// CONSTRUCT/DESCRIBE added the `Graph` variant. Existing two-armed
+/// `match`es keep compiling through the alias (modulo the new variant);
+/// migrate by renaming.
+#[deprecated(note = "renamed to `QueryResults`; CONSTRUCT/DESCRIBE added a `Graph` variant")]
+pub type QueryResult = QueryResults;
+
+impl QueryResults {
     /// The solutions, if this is a SELECT result.
     pub fn solutions(&self) -> Option<&SolutionSeq> {
         match self {
-            QueryResult::Solutions(s) => Some(s),
-            QueryResult::Boolean(_) => None,
+            QueryResults::Solutions(s) => Some(s),
+            _ => None,
         }
     }
 
-    /// Number of solutions (0/1 for ASK false/true).
+    /// The boolean, if this is an ASK result.
+    pub fn boolean(&self) -> Option<bool> {
+        match self {
+            QueryResults::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The graph, if this is a CONSTRUCT/DESCRIBE result.
+    pub fn graph(&self) -> Option<&Graph> {
+        match self {
+            QueryResults::Graph(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Number of solutions (0/1 for ASK false/true, triple count for
+    /// graphs).
     pub fn len(&self) -> usize {
         match self {
-            QueryResult::Solutions(s) => s.len(),
-            QueryResult::Boolean(b) => usize::from(*b),
+            QueryResults::Solutions(s) => s.len(),
+            QueryResults::Boolean(b) => usize::from(*b),
+            QueryResults::Graph(g) => g.len(),
         }
     }
 
-    /// True when there are no solutions / ASK is false.
+    /// True when there are no solutions / ASK is false / the graph is
+    /// empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 }
 
-impl std::fmt::Display for QueryResult {
-    /// `true`/`false` for ASK results, the [`SolutionSeq`] table for
-    /// SELECT results.
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            QueryResult::Solutions(s) => s.fmt(f),
-            QueryResult::Boolean(b) => write!(f, "{b}"),
+/// Solutions and booleans compare structurally; graphs compare as triple
+/// *sets* (insertion order ignored, blank-node labels significant — use
+/// [`canonical_triples`] for label-insensitive cross-engine comparison).
+impl PartialEq for QueryResults {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (QueryResults::Solutions(a), QueryResults::Solutions(b)) => a == b,
+            (QueryResults::Boolean(a), QueryResults::Boolean(b)) => a == b,
+            (QueryResults::Graph(a), QueryResults::Graph(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .all(|(s, p, o)| b.contains(&Triple::new(s.clone(), p.clone(), o.clone())))
+            }
+            _ => false,
         }
     }
 }
 
-/// Extracts the query result from an evaluated database.
-pub fn extract_result(tq: &TranslatedQuery, query: &Query, db: &Database) -> QueryResult {
+impl std::fmt::Display for QueryResults {
+    /// `true`/`false` for ASK results, the [`SolutionSeq`] table for
+    /// SELECT results, N-Triples lines for graphs.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryResults::Solutions(s) => s.fmt(f),
+            QueryResults::Boolean(b) => write!(f, "{b}"),
+            QueryResults::Graph(g) => {
+                for (i, (s, p, o)) in g.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("\n")?;
+                    }
+                    write!(f, "{s} {p} {o} .")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Extracts the query result from an evaluated database, dispatching on
+/// the query form (T_S for the solution sequence; template
+/// instantiation / concise-bounded-description on top for the
+/// graph-producing forms).
+pub fn extract_results(tq: &TranslatedQuery, query: &Query, db: &Database) -> QueryResults {
     let symbols = db.symbols();
     let tuples = collect_output(&tq.program, db, tq.root_pred);
 
     if tq.is_ask {
         let yes = tuples.iter().any(|t| t.first() == Some(&Const::Bool(true)));
-        return QueryResult::Boolean(yes);
+        return QueryResults::Boolean(yes);
     }
 
     // Layout: [Id, columns..., D] — strip Id and D.
@@ -282,10 +359,153 @@ pub fn extract_result(tq: &TranslatedQuery, query: &Query, db: &Database) -> Que
         .map(|row| row.iter().map(|c| const_to_term(c, symbols)).collect())
         .collect();
 
-    QueryResult::Solutions(SolutionSeq {
+    let seq = SolutionSeq {
         vars: tq.columns.iter().map(|v| v.name().to_string()).collect(),
         rows: out_rows,
-    })
+    };
+
+    match &query.form {
+        QueryForm::Construct { template } => {
+            QueryResults::Graph(Box::new(construct_graph(template, &seq)))
+        }
+        QueryForm::Describe { targets } => {
+            // `Query::projection` is the describe-variable list (target
+            // variables, or every in-scope variable for `DESCRIBE *`) —
+            // pass it explicitly: `seq` may carry extra hidden columns
+            // for ORDER BY keys, which must not be described.
+            QueryResults::Graph(Box::new(describe_graph(
+                targets,
+                &query.projection(),
+                &seq,
+                db,
+            )))
+        }
+        _ => QueryResults::Solutions(seq),
+    }
+}
+
+/// A graph as a sorted list of triple strings with blank-node labels
+/// erased — the graph analogue of [`SolutionSeq::canonical`], for
+/// comparing CONSTRUCT/DESCRIBE output across engines that mint their
+/// own fresh labels (the compliance harness and the differential suite
+/// both compare through this).
+pub fn canonical_triples(g: &Graph) -> Vec<[String; 3]> {
+    let render = |t: &Term| {
+        if t.is_bnode() {
+            "_:".to_string()
+        } else {
+            t.to_string()
+        }
+    };
+    let mut rows: Vec<[String; 3]> = g
+        .iter()
+        .map(|(s, p, o)| [render(s), render(p), render(o)])
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// Instantiates a `CONSTRUCT` template over a solution sequence
+/// (SPARQL 1.1 §16.2): each solution stamps out one copy of every triple
+/// template. Template blank nodes are freshened per solution — the same
+/// label within one solution denotes one node, across solutions distinct
+/// ones; `'!'` cannot occur in a parsed blank-node label, so minted
+/// labels never collide with dataset ones. Instantiations with an
+/// unbound variable, a literal subject or a non-IRI predicate are
+/// dropped, and the result is a graph, so duplicates collapse.
+pub fn construct_graph(template: &[TriplePattern], solutions: &SolutionSeq) -> Graph {
+    let mut g = Graph::new();
+    for (row, sol) in solutions.iter().enumerate() {
+        for t in template {
+            let resolve = |tp: &TermPattern| -> Option<Term> {
+                match tp {
+                    TermPattern::Term(Term::BlankNode(label)) => {
+                        Some(Term::bnode(format!("{label}!c{row}")))
+                    }
+                    TermPattern::Term(term) => Some(term.clone()),
+                    TermPattern::Var(v) => sol.get(v.name()).cloned(),
+                }
+            };
+            let (Some(s), Some(p), Some(o)) = (
+                resolve(&t.subject),
+                resolve(&t.predicate),
+                resolve(&t.object),
+            ) else {
+                continue;
+            };
+            if s.is_literal() || !p.is_iri() {
+                continue;
+            }
+            g.insert(Triple::new(s, p, o));
+        }
+    }
+    g
+}
+
+/// The concise bounded description backing `DESCRIBE`: for every
+/// resource (explicit IRI targets plus the non-literal bindings of the
+/// target variables across the solutions), all default-graph triples
+/// with that resource as subject, closed transitively over blank-node
+/// objects.
+fn describe_graph(
+    targets: &[DescribeTarget],
+    describe_vars: &[Var],
+    solutions: &SolutionSeq,
+    db: &Database,
+) -> Graph {
+    let symbols = db.symbols();
+    let mut queue: Vec<Term> = Vec::new();
+    let mut seen: HashSet<Term> = HashSet::new();
+    for t in targets {
+        if let DescribeTarget::Iri(iri) = t {
+            let term = Term::iri(iri.clone());
+            if seen.insert(term.clone()) {
+                queue.push(term);
+            }
+        }
+    }
+    // Only the describe variables' bindings are resources to describe —
+    // the sequence may carry further (hidden ORDER BY) columns.
+    for sol in solutions.iter() {
+        for var in describe_vars {
+            if let Some(v) = sol.get(var.name()) {
+                if !v.is_literal() && seen.insert(v.clone()) {
+                    queue.push(v.clone());
+                }
+            }
+        }
+    }
+
+    let mut g = Graph::new();
+    let Some(triple_p) = symbols.get(preds::TRIPLE) else {
+        return g;
+    };
+    let Some(rel) = db.relation(triple_p) else {
+        return g;
+    };
+    let dict = db.dict();
+    let default_g = dict.encode(&default_graph_const(symbols));
+    while let Some(r) = queue.pop() {
+        let sid = dict.encode(&term_to_const(&r, symbols));
+        let matches = rel.lookup(0b0001, &[sid]);
+        for &idx in matches.iter() {
+            let row = rel.row(idx);
+            if row[3] != default_g {
+                continue;
+            }
+            let (Some(p), Some(o)) = (
+                const_to_term(&dict.decode(row[1]), symbols),
+                const_to_term(&dict.decode(row[2]), symbols),
+            ) else {
+                continue;
+            };
+            if o.is_bnode() && seen.insert(o.clone()) {
+                queue.push(o.clone());
+            }
+            g.insert(Triple::new(r.clone(), p, o));
+        }
+    }
+    g
 }
 
 #[cfg(test)]
@@ -351,10 +571,10 @@ mod tests {
         };
         assert_eq!(s.to_string(), "?x\t?y\n<a>\tUNBOUND");
         assert_eq!(
-            QueryResult::Solutions(s).to_string(),
+            QueryResults::Solutions(s).to_string(),
             "?x\t?y\n<a>\tUNBOUND"
         );
-        assert_eq!(QueryResult::Boolean(true).to_string(), "true");
+        assert_eq!(QueryResults::Boolean(true).to_string(), "true");
     }
 
     #[test]

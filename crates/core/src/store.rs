@@ -102,8 +102,8 @@ use crate::data_translation::{base_program, default_graph_const, preds, term_to_
 use crate::engine::SparqLogError;
 use crate::ontology::Ontology;
 use crate::query_translation::update_where_query;
-use crate::serving::FrozenDatabase;
-use crate::solution::QueryResult;
+use crate::serving::{FrozenDatabase, PreparedQuery};
+use crate::solution::QueryResults;
 
 const POISONED: &str = "store poisoned: a previous commit failed mid-materialisation";
 
@@ -224,14 +224,24 @@ impl Store {
     /// (convenience for [`Store::snapshot`] + `execute`; takes a fresh
     /// snapshot per call, so prefer holding a [`Snapshot`] when issuing
     /// many queries against one version).
-    pub fn execute(&self, query: &str) -> Result<QueryResult, SparqLogError> {
+    pub fn execute(&self, query: &str) -> Result<QueryResults, SparqLogError> {
         self.current().execute(query)
     }
 
     /// Executes a batch of queries against the current snapshot, fanned
     /// over the worker pool (see [`FrozenDatabase::execute_batch`]).
-    pub fn execute_batch(&self, queries: &[&str]) -> Vec<Result<QueryResult, SparqLogError>> {
+    pub fn execute_batch(&self, queries: &[&str]) -> Vec<Result<QueryResults, SparqLogError>> {
         self.current().execute_batch(queries)
+    }
+
+    /// Parses and translates a query once, returning a reusable
+    /// [`PreparedQuery`] handle. Translations are data-independent, so
+    /// the handle stays valid across commits — execute it against any
+    /// later [`Snapshot`] (or through
+    /// [`FrozenDatabase::execute_prepared`] /
+    /// [`FrozenDatabase::execute_prepared_batch`] on a snapshot).
+    pub fn prepare(&self, query: &str) -> Result<PreparedQuery, SparqLogError> {
+        self.current().prepare(query)
     }
 
     /// Parses and executes a SPARQL 1.1 Update request. Operations apply
@@ -391,14 +401,19 @@ impl Store {
     }
 
     /// Sets the worker-thread count for subsequent commits and
-    /// snapshots (the current snapshot is re-wrapped, which drops its
-    /// translation cache). See
+    /// snapshots (the current snapshot is re-wrapped; the translation
+    /// cache is store-lifetime and carries over). See
     /// [`SparqLog::set_threads`](crate::SparqLog::set_threads).
     pub fn set_threads(&self, threads: Option<usize>) {
         let mut state = self.state.write().unwrap();
         state.options.threads = threads;
-        let base = state.frozen.as_ref().expect(POISONED).database().clone();
-        state.frozen = Some(Arc::new(FrozenDatabase::new(base, state.options.clone())));
+        let current = state.frozen.as_ref().expect(POISONED);
+        let (base, cache) = (current.database().clone(), current.cache_handle());
+        state.frozen = Some(Arc::new(FrozenDatabase::with_cache(
+            base,
+            state.options.clone(),
+            cache,
+        )));
     }
 
     /// [`Store::apply_locked`] behind the commit lock — the entry point
@@ -439,13 +454,17 @@ impl Store {
         // readers keep being served the pre-commit version while the
         // commit works on the copy, and a failed commit leaves the store
         // untouched instead of poisoned.
-        let (base, held_state) = match Arc::try_unwrap(current) {
-            Ok(fd) => (fd.into_base().0, Some(state)),
+        let (base, cache, held_state) = match Arc::try_unwrap(current) {
+            Ok(fd) => {
+                let (base, _options, cache) = fd.into_base();
+                (base, cache, Some(state))
+            }
             Err(shared) => {
                 let base = shared.database().clone();
+                let cache = shared.cache_handle();
                 state.frozen = Some(shared);
                 drop(state);
-                (base, None)
+                (base, cache, None)
             }
         };
         let mut db = FrozenDb::thaw(base);
@@ -672,8 +691,14 @@ impl Store {
         // ------------------------------------------------ re-freeze
         // For untouched relations every per-mask index is still present
         // and current, so the completion pass inside `freeze` finds
-        // nothing to build.
-        let new_frozen = Some(Arc::new(FrozenDatabase::new(db.freeze(), options)));
+        // nothing to build. The translation cache is threaded through:
+        // translations are data-independent, so hot query shapes stay
+        // warm across the commit.
+        let new_frozen = Some(Arc::new(FrozenDatabase::with_cache(
+            db.freeze(),
+            options,
+            cache,
+        )));
         match held_state {
             Some(mut state) => state.frozen = new_frozen,
             None => self.state.write().unwrap().frozen = new_frozen,
@@ -1126,7 +1151,7 @@ mod tests {
                      ASK { ex:alice a ex:Person }"
                 )
                 .unwrap(),
-            QueryResult::Boolean(true)
+            QueryResults::Boolean(true)
         );
         let iri_count = |store: &Store| {
             let snap = store.snapshot();

@@ -13,7 +13,7 @@
 //!   cache misses and batches) never produces a result that differs
 //!   from the sequential reference.
 
-use sparqlog::{QueryResult, SparqLog};
+use sparqlog::{QueryResults, SparqLog};
 
 /// A dataset with enough shape to exercise joins, recursion, OPTIONAL
 /// and filters: a chain with shortcuts, typed people, and labels.
@@ -66,7 +66,7 @@ fn queries() -> Vec<String> {
 }
 
 /// The sequential reference: the mutable engine, pinned single-threaded.
-fn sequential_results(qs: &[String]) -> Vec<QueryResult> {
+fn sequential_results(qs: &[String]) -> Vec<QueryResults> {
     let mut engine = SparqLog::new();
     engine.set_threads(Some(1));
     engine.load_turtle(&turtle()).unwrap();

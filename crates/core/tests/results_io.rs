@@ -1,0 +1,128 @@
+//! Golden-fixture tests for the W3C wire-format serializers: exact
+//! expected output for Results-JSON, CSV and TSV — covering blank
+//! nodes, typed and language-tagged literals and unbound variables —
+//! plus the N-Triples/Turtle graph writers on CONSTRUCT output.
+
+use sparqlog::Store;
+
+/// A fixture whose solution sequence exercises every term shape. The
+/// OPTIONAL leaves ?extra unbound for two of the three solutions.
+fn fixture() -> Store {
+    let store = Store::new();
+    store
+        .load_turtle(
+            r#"@prefix ex: <http://ex.org/> .
+               @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+               ex:a ex:p "plain" .
+               ex:a ex:q "5"^^xsd:integer .
+               _:node ex:p "chat"@fr .
+               _:node ex:p "esc,\"quote\"" ."#,
+        )
+        .unwrap();
+    store
+}
+
+const QUERY: &str = r#"PREFIX ex: <http://ex.org/>
+    SELECT ?s ?o ?extra WHERE {
+      ?s ex:p ?o OPTIONAL { ?s ex:q ?extra }
+    } ORDER BY ?o"#;
+
+#[test]
+fn results_json_golden() {
+    let json = fixture().execute(QUERY).unwrap().to_json().unwrap();
+    // ORDER BY ?o: "chat"@fr < "esc..." < "plain" under the term order.
+    let expected = concat!(
+        r#"{"head":{"vars":["s","o","extra"]},"results":{"bindings":["#,
+        r#"{"s":{"type":"bnode","value":"node"},"o":{"type":"literal","value":"chat","xml:lang":"fr"}},"#,
+        r#"{"s":{"type":"bnode","value":"node"},"o":{"type":"literal","value":"esc,\"quote\""}},"#,
+        r#"{"s":{"type":"uri","value":"http://ex.org/a"},"o":{"type":"literal","value":"plain"},"#,
+        r#""extra":{"type":"literal","value":"5","datatype":"http://www.w3.org/2001/XMLSchema#integer"}}"#,
+        r#"]}}"#,
+    );
+    assert_eq!(json, expected);
+}
+
+#[test]
+fn results_csv_golden() {
+    let csv = fixture().execute(QUERY).unwrap().to_csv().unwrap();
+    let expected = "s,o,extra\r\n\
+                    _:node,chat,\r\n\
+                    _:node,\"esc,\"\"quote\"\"\",\r\n\
+                    http://ex.org/a,plain,5\r\n";
+    assert_eq!(csv, expected);
+}
+
+#[test]
+fn results_tsv_golden() {
+    let tsv = fixture().execute(QUERY).unwrap().to_tsv().unwrap();
+    let expected = "?s\t?o\t?extra\n\
+                    _:node\t\"chat\"@fr\t\n\
+                    _:node\t\"esc,\\\"quote\\\"\"\t\n\
+                    <http://ex.org/a>\t\"plain\"\t\"5\"^^<http://www.w3.org/2001/XMLSchema#integer>\n";
+    assert_eq!(tsv, expected);
+}
+
+#[test]
+fn ask_serializations() {
+    let store = fixture();
+    let t = store
+        .execute(r#"PREFIX ex: <http://ex.org/> ASK { ex:a ex:p "plain" }"#)
+        .unwrap();
+    assert_eq!(t.to_json().unwrap(), r#"{"head":{},"boolean":true}"#);
+    assert_eq!(t.to_csv().unwrap(), "true\r\n");
+    assert_eq!(t.to_tsv().unwrap(), "true\n");
+    let f = store
+        .execute(r#"PREFIX ex: <http://ex.org/> ASK { ex:a ex:p "absent" }"#)
+        .unwrap();
+    assert_eq!(f.to_json().unwrap(), r#"{"head":{},"boolean":false}"#);
+}
+
+#[test]
+fn construct_graph_writers_golden() {
+    let store = Store::new();
+    store
+        .load_turtle(
+            r#"@prefix ex: <http://ex.org/> .
+               @prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+               ex:a rdf:type ex:C . ex:a ex:p "v"@en ."#,
+        )
+        .unwrap();
+    let result = store.execute("CONSTRUCT WHERE { ?s ?p ?o }").unwrap();
+
+    let nt = result.to_ntriples().unwrap();
+    let mut lines: Vec<&str> = nt.lines().collect();
+    lines.sort();
+    assert_eq!(
+        lines,
+        vec![
+            "<http://ex.org/a> <http://ex.org/p> \"v\"@en .",
+            "<http://ex.org/a> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex.org/C> .",
+        ]
+    );
+
+    // Turtle groups by subject and compacts rdf:type to `a`; it must
+    // re-parse to the same graph.
+    let ttl = result.to_turtle().unwrap();
+    assert_eq!(ttl.matches(" .\n").count(), 1, "one subject group: {ttl}");
+    assert!(ttl.contains(" a "), "{ttl}");
+    let reparsed = sparqlog_rdf::turtle::parse(&ttl).unwrap();
+    assert_eq!(reparsed.len(), 2);
+
+    // N-Triples output round-trips through the N-Triples parser too.
+    let reparsed = sparqlog_rdf::ntriples::parse(&nt).unwrap();
+    assert_eq!(reparsed.len(), 2);
+}
+
+#[test]
+fn empty_solution_sequences_serialize_headers_only() {
+    let store = fixture();
+    let r = store
+        .execute("PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x ex:nope ?y }")
+        .unwrap();
+    assert_eq!(
+        r.to_json().unwrap(),
+        r#"{"head":{"vars":["x"]},"results":{"bindings":[]}}"#
+    );
+    assert_eq!(r.to_csv().unwrap(), "x\r\n");
+    assert_eq!(r.to_tsv().unwrap(), "?x\n");
+}

@@ -1,7 +1,7 @@
 //! End-to-end semantics tests of the SparqLog pipeline against the
 //! paper's running examples and the SPARQL 1.1 semantics of Tables 4/5.
 
-use sparqlog::{QueryResult, SparqLog};
+use sparqlog::{QueryResults, SparqLog};
 use sparqlog_rdf::Term;
 
 /// The film-directors graph of §3.1.
@@ -28,7 +28,7 @@ fn engine(turtle: &str) -> SparqLog {
     e
 }
 
-fn rows(r: &QueryResult) -> Vec<Vec<String>> {
+fn rows(r: &QueryResults) -> Vec<Vec<String>> {
     r.solutions().expect("SELECT result").canonical(false)
 }
 
@@ -220,12 +220,12 @@ fn ask_queries() {
     assert_eq!(
         e.execute("PREFIX ex: <http://ex.org/> ASK { ex:spain ex:borders ex:france }")
             .unwrap(),
-        QueryResult::Boolean(true)
+        QueryResults::Boolean(true)
     );
     assert_eq!(
         e.execute("PREFIX ex: <http://ex.org/> ASK { ex:spain ex:borders ex:austria }")
             .unwrap(),
-        QueryResult::Boolean(false)
+        QueryResults::Boolean(false)
     );
 }
 
@@ -621,7 +621,7 @@ fn empty_group_pattern() {
     let s = r.solutions().unwrap();
     assert_eq!(s.len(), 1, "empty pattern yields the empty mapping");
     assert_eq!(s.rows[0][0], None);
-    assert_eq!(e.execute("ASK { }").unwrap(), QueryResult::Boolean(true));
+    assert_eq!(e.execute("ASK { }").unwrap(), QueryResults::Boolean(true));
 }
 
 #[test]
@@ -689,7 +689,7 @@ fn facade_thread_plumbing_reaches_the_engine() {
     };
     let seq = run(Some(1));
     let par = run(Some(4));
-    let (QueryResult::Solutions(a), QueryResult::Solutions(b)) = (&seq, &par) else {
+    let (QueryResults::Solutions(a), QueryResults::Solutions(b)) = (&seq, &par) else {
         panic!("expected solutions");
     };
     assert_eq!(a.len(), 9, "3-cycle closure is all 9 pairs");

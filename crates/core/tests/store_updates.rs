@@ -13,7 +13,7 @@
 //!   of the same facts — the thaw/re-freeze path neither loses rows nor
 //!   leaves an index stale or missing.
 
-use sparqlog::{QueryResult, SparqLog, Store};
+use sparqlog::{QueryResults, SparqLog, Store};
 use sparqlog_datalog::EvalOptions;
 use sparqlog_rdf::{Dataset, Term, Triple};
 
@@ -123,7 +123,7 @@ fn update_then_query_matches_fresh_reload_across_widths() {
             let a = store.execute(probe).expect("store probe");
             let b = fresh.execute(probe).expect("fresh probe");
             match (&a, &b) {
-                (QueryResult::Solutions(sa), QueryResult::Solutions(sb)) => {
+                (QueryResults::Solutions(sa), QueryResults::Solutions(sb)) => {
                     assert!(
                         sa.multiset_eq(sb),
                         "threads={threads} probe={probe}\nstore:\n{sa}\nfresh:\n{sb}"
@@ -203,6 +203,6 @@ fn commit_under_live_snapshots_is_equivalent_to_unique_commit() {
         pins[0]
             .execute("PREFIX ex: <http://ex.org/> ASK { ex:belgium ex:borders ex:germany }")
             .unwrap(),
-        QueryResult::Boolean(true)
+        QueryResults::Boolean(true)
     );
 }

@@ -389,9 +389,79 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// Serializes a graph as Turtle, grouping triples by subject (predicate
+/// lists with `;`, object lists with `,`). Terms are written in
+/// N-Triples syntax — full IRIs, no prefix compaction — which every
+/// Turtle parser (including [`parse`]) accepts; `rdf:type` predicates
+/// compact to `a`.
+pub fn serialize(g: &Graph) -> String {
+    use std::fmt::Write as _;
+
+    // Group by subject, then by predicate, preserving first-appearance
+    // order of both.
+    let mut subjects: Vec<&Term> = Vec::new();
+    let mut by_subject: HashMap<&Term, Vec<(&Term, Vec<&Term>)>> = HashMap::new();
+    for (s, p, o) in g.iter() {
+        let preds = match by_subject.get_mut(s) {
+            Some(preds) => preds,
+            None => {
+                subjects.push(s);
+                by_subject.entry(s).or_default()
+            }
+        };
+        match preds.iter_mut().find(|(q, _)| *q == p) {
+            Some((_, objects)) => objects.push(o),
+            None => preds.push((p, vec![o])),
+        }
+    }
+
+    let mut out = String::new();
+    for s in subjects {
+        let preds = &by_subject[s];
+        let _ = write!(out, "{s}");
+        for (i, (p, objects)) in preds.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" ;\n   ");
+            }
+            if p.as_iri() == Some(rdf::TYPE) {
+                out.push_str(" a");
+            } else {
+                let _ = write!(out, " {p}");
+            }
+            for (j, o) in objects.iter().enumerate() {
+                let _ = write!(out, "{} {o}", if j > 0 { " ," } else { "" });
+            }
+        }
+        out.push_str(" .\n");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serialize_groups_and_roundtrips() {
+        let doc = r#"@prefix ex: <http://ex.org/> .
+            @prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+            ex:a ex:p ex:b , ex:c ; ex:q "v"@en , 5 .
+            ex:a rdf:type ex:C .
+            _:b ex:p "x\ny" ."#;
+        let g = parse(doc).unwrap();
+        let text = serialize(&g);
+        // Subject grouping: ex:a's four triples share one statement.
+        assert_eq!(text.matches(" .\n").count(), 2, "{text}");
+        assert!(text.contains(" a "), "rdf:type compacts to 'a': {text}");
+        let g2 = parse(&text).unwrap();
+        assert_eq!(g.len(), g2.len());
+        for (s, p, o) in g.iter() {
+            assert!(
+                g2.contains(&Triple::new(s.clone(), p.clone(), o.clone())),
+                "{s} {p} {o} lost in round-trip"
+            );
+        }
+    }
 
     #[test]
     fn parse_paper_countries_graph() {

@@ -5,11 +5,12 @@
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
-use sparqlog::solution::{QueryResult, SolutionSeq};
+use sparqlog::solution::{QueryResults, SolutionSeq};
+use sparqlog_rdf::Triple;
 use sparqlog_rdf::{Dataset, Graph, Term};
 use sparqlog_sparql::{
-    AggFunc, Expr, GraphPattern, GraphSpec, Query, QueryForm, SelectItem, TermPattern,
-    TriplePattern, Var,
+    AggFunc, DescribeTarget, Expr, GraphPattern, GraphSpec, Query, QueryForm, SelectItem,
+    TermPattern, TriplePattern, Var,
 };
 
 use crate::binding::{Binding, Multiset};
@@ -77,7 +78,7 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Evaluates a full query.
-    pub fn run(&self, q: &Query) -> Result<QueryResult, EngineError> {
+    pub fn run(&self, q: &Query) -> Result<QueryResults, EngineError> {
         // Quirk-driven refusals.
         if self.quirks.error_on_order_by_expression
             && q.order_by.iter().any(|c| !matches!(c.expr, Expr::Var(_)))
@@ -95,7 +96,7 @@ impl<'a> Evaluator<'a> {
         let sols = self.eval_pattern(&q.pattern, self.dataset.default_graph())?;
 
         match &q.form {
-            QueryForm::Ask => Ok(QueryResult::Boolean(!sols.is_empty())),
+            QueryForm::Ask => Ok(QueryResults::Boolean(!sols.is_empty())),
             QueryForm::Select { distinct, items } => {
                 let vars = q.projection();
                 let mut rows: Vec<Vec<Option<Term>>> = if q.has_aggregates() {
@@ -133,10 +134,87 @@ impl<'a> Evaluator<'a> {
                 if let Some(lim) = q.limit {
                     rows.truncate(lim);
                 }
-                Ok(QueryResult::Solutions(SolutionSeq {
+                Ok(QueryResults::Solutions(SolutionSeq {
                     vars: vars.iter().map(|v| v.name().to_string()).collect(),
                     rows,
                 }))
+            }
+            QueryForm::Construct { template } => {
+                let mut sols = sols;
+                if !q.order_by.is_empty() {
+                    self.order_bindings(&mut sols, q);
+                }
+                let mut bindings: Vec<&Binding> = sols.iter().collect();
+                if let Some(off) = q.offset {
+                    bindings.drain(..off.min(bindings.len()));
+                }
+                if let Some(lim) = q.limit {
+                    bindings.truncate(lim);
+                }
+                // Independent re-implementation of template instantiation
+                // (SPARQL 1.1 §16.2) — the differential suite compares
+                // this against sparqlog's Datalog-backed CONSTRUCT.
+                let mut g = Graph::new();
+                for (row, b) in bindings.iter().enumerate() {
+                    for t in template {
+                        let resolve = |tp: &TermPattern| -> Option<Term> {
+                            match tp {
+                                TermPattern::Term(Term::BlankNode(label)) => {
+                                    Some(Term::bnode(format!("{label}!r{row}")))
+                                }
+                                TermPattern::Term(term) => Some(term.clone()),
+                                TermPattern::Var(v) => b.get(v).cloned(),
+                            }
+                        };
+                        let (Some(s), Some(p), Some(o)) = (
+                            resolve(&t.subject),
+                            resolve(&t.predicate),
+                            resolve(&t.object),
+                        ) else {
+                            continue;
+                        };
+                        if s.is_literal() || !p.is_iri() {
+                            continue;
+                        }
+                        g.insert(Triple::new(s, p, o));
+                    }
+                }
+                Ok(QueryResults::Graph(Box::new(g)))
+            }
+            QueryForm::Describe { targets } => {
+                let mut queue: Vec<Term> = Vec::new();
+                let mut seen: HashSet<Term> = HashSet::new();
+                for t in targets {
+                    if let DescribeTarget::Iri(iri) = t {
+                        let term = Term::iri(iri.clone());
+                        if seen.insert(term.clone()) {
+                            queue.push(term);
+                        }
+                    }
+                }
+                let vars = q.projection();
+                for b in sols.iter() {
+                    for v in &vars {
+                        if let Some(t) = b.get(v) {
+                            if !t.is_literal() && seen.insert(t.clone()) {
+                                queue.push(t.clone());
+                            }
+                        }
+                    }
+                }
+                // Concise bounded description over the default graph.
+                let dg = self.dataset.default_graph();
+                let mut g = Graph::new();
+                while let Some(r) = queue.pop() {
+                    self.check_time()?;
+                    for (_, p, o) in dg.triples_matching(Some(&r), None, None) {
+                        if o.is_bnode() && seen.insert(o.clone()) {
+                            queue.push(o.clone());
+                        }
+                        g.insert(Triple::new(r.clone(), p.clone(), o.clone()));
+                    }
+                }
+                Ok(QueryResults::Graph(Box::new(g)))
             }
         }
     }

@@ -33,7 +33,7 @@ pub use binding::{Binding, Multiset};
 pub use eval::{EngineError, Evaluator};
 pub use quirks::Quirks;
 
-use sparqlog::{Ontology, QueryResult};
+use sparqlog::{Ontology, QueryResults};
 use sparqlog_rdf::Dataset;
 use std::time::Duration;
 
@@ -69,7 +69,7 @@ impl FusekiSim {
     }
 
     /// Evaluates a SPARQL query string.
-    pub fn execute(&self, query: &str) -> Result<QueryResult, EngineError> {
+    pub fn execute(&self, query: &str) -> Result<QueryResults, EngineError> {
         let q = parse(query)?;
         Evaluator::new(&self.dataset, Quirks::fuseki(), self.timeout).run(&q)
     }
@@ -98,7 +98,7 @@ impl VirtuosoSim {
 
     /// Evaluates a SPARQL query string — with Virtuoso's documented
     /// non-standard behaviours.
-    pub fn execute(&self, query: &str) -> Result<QueryResult, EngineError> {
+    pub fn execute(&self, query: &str) -> Result<QueryResults, EngineError> {
         let q = parse(query)?;
         Evaluator::new(&self.dataset, Quirks::virtuoso(), self.timeout).run(&q)
     }
@@ -130,7 +130,7 @@ impl StardogSim {
     }
 
     /// Evaluates a SPARQL query string over the materialised dataset.
-    pub fn execute(&self, query: &str) -> Result<QueryResult, EngineError> {
+    pub fn execute(&self, query: &str) -> Result<QueryResults, EngineError> {
         let q = parse(query)?;
         Evaluator::new(&self.dataset, Quirks::stardog(), self.timeout).run(&q)
     }

@@ -4,7 +4,7 @@
 //! empirical evaluation + formal analysis; §6.2: "each time when both
 //! Fuseki and SparqLog returned a result, the results were equal").
 
-use sparqlog::{QueryResult, SparqLog};
+use sparqlog::{QueryResults, SparqLog};
 use sparqlog_rdf::{Dataset, Graph, Term, Triple};
 use sparqlog_refengine::FusekiSim;
 
@@ -34,10 +34,10 @@ fn compare(query: &str) {
         .execute(query)
         .unwrap_or_else(|e| panic!("FusekiSim {query}: {e}"));
     match (&a, &b) {
-        (QueryResult::Boolean(x), QueryResult::Boolean(y)) => {
+        (QueryResults::Boolean(x), QueryResults::Boolean(y)) => {
             assert_eq!(x, y, "{query}")
         }
-        (QueryResult::Solutions(x), QueryResult::Solutions(y)) => {
+        (QueryResults::Solutions(x), QueryResults::Solutions(y)) => {
             assert!(
                 x.multiset_eq(y),
                 "{query}\nSparqLog: {:?}\nFusekiSim: {:?}",
@@ -106,7 +106,7 @@ fn ordered_results_agree_in_order() {
     let q = "PREFIX ex: <http://e/> SELECT ?n WHERE { ?s ex:name ?n } ORDER BY ?n";
     let a = sl.execute(q).unwrap();
     let b = fu.execute(q).unwrap();
-    let (QueryResult::Solutions(x), QueryResult::Solutions(y)) = (&a, &b) else {
+    let (QueryResults::Solutions(x), QueryResults::Solutions(y)) = (&a, &b) else {
         panic!("expected solutions");
     };
     assert_eq!(x.rows, y.rows, "ordered sequences must be identical");
@@ -194,10 +194,10 @@ fn datalog_and_direct_routes_agree() {
         let a = sl.execute(&query).unwrap();
         let b = fu.execute(&query).unwrap();
         match (&a, &b) {
-            (QueryResult::Boolean(x), QueryResult::Boolean(y)) => {
+            (QueryResults::Boolean(x), QueryResults::Boolean(y)) => {
                 assert_eq!(x, y, "case {case}: {query}")
             }
-            (QueryResult::Solutions(x), QueryResult::Solutions(y)) => {
+            (QueryResults::Solutions(x), QueryResults::Solutions(y)) => {
                 assert!(
                     x.multiset_eq(y),
                     "case {case}: query {}\nSparqLog: {:?}\nFusekiSim: {:?}",
@@ -243,10 +243,10 @@ fn parallel_evaluation_matches_sequential_on_random_battery() {
             let mut parallel = engine_with_threads(&ds, threads);
             let got = parallel.execute(&query).unwrap();
             match (&reference, &got) {
-                (QueryResult::Boolean(x), QueryResult::Boolean(y)) => {
+                (QueryResults::Boolean(x), QueryResults::Boolean(y)) => {
                     assert_eq!(x, y, "case {case} threads {threads}: {query}")
                 }
-                (QueryResult::Solutions(x), QueryResult::Solutions(y)) => {
+                (QueryResults::Solutions(x), QueryResults::Solutions(y)) => {
                     assert!(
                         x.multiset_eq(y),
                         "case {case} threads {threads}: query {}\nseq: {:?}\npar: {:?}",

@@ -239,6 +239,16 @@ pub enum SelectItem {
     },
 }
 
+/// One resource named by a `DESCRIBE` clause.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DescribeTarget {
+    /// A variable whose bindings (across the `WHERE` solutions) are
+    /// described.
+    Var(Var),
+    /// An explicitly named IRI, described unconditionally.
+    Iri(Arc<str>),
+}
+
 /// The query form.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryForm {
@@ -251,6 +261,20 @@ pub enum QueryForm {
     },
     /// `ASK`.
     Ask,
+    /// `CONSTRUCT { template } WHERE { ... }` — instantiate the triple
+    /// templates once per solution of the `WHERE` pattern and return the
+    /// resulting RDF graph.
+    Construct {
+        /// The triple templates of the `CONSTRUCT` clause.
+        template: Vec<TriplePattern>,
+    },
+    /// `DESCRIBE targets [WHERE { ... }]` — return the concise bounded
+    /// description of each named/bound resource. An empty target list is
+    /// `DESCRIBE *` (describe every variable in scope of the pattern).
+    Describe {
+        /// The described resources; empty means `DESCRIBE *`.
+        targets: Vec<DescribeTarget>,
+    },
 }
 
 /// A `FROM` or `FROM NAMED` clause.
@@ -302,13 +326,27 @@ impl Query {
         matches!(self.form, QueryForm::Ask)
     }
 
+    /// True for `CONSTRUCT` queries.
+    pub fn is_construct(&self) -> bool {
+        matches!(self.form, QueryForm::Construct { .. })
+    }
+
+    /// True for `DESCRIBE` queries.
+    pub fn is_describe(&self) -> bool {
+        matches!(self.form, QueryForm::Describe { .. })
+    }
+
     /// True if the query's `SELECT` clause has the `DISTINCT` keyword.
     pub fn is_distinct(&self) -> bool {
         matches!(self.form, QueryForm::Select { distinct: true, .. })
     }
 
     /// The projected variables of the query. For `SELECT *` this is the
-    /// in-scope variable list of the pattern; for `ASK` it is empty.
+    /// in-scope variable list of the pattern; for `ASK` it is empty. A
+    /// `CONSTRUCT` projects the variables its template mentions, a
+    /// `DESCRIBE` the variables among its targets (all in-scope pattern
+    /// variables for `DESCRIBE *`) — in both cases the variables whose
+    /// bindings the result graph is built from.
     pub fn projection(&self) -> Vec<Var> {
         match &self.form {
             QueryForm::Ask => Vec::new(),
@@ -325,6 +363,32 @@ impl Query {
                         .collect()
                 }
             }
+            QueryForm::Construct { template } => {
+                let mut out = Vec::new();
+                for t in template {
+                    for v in t.vars() {
+                        if !out.contains(&v) {
+                            out.push(v);
+                        }
+                    }
+                }
+                out
+            }
+            QueryForm::Describe { targets } => {
+                if targets.is_empty() {
+                    self.pattern.vars()
+                } else {
+                    let mut out = Vec::new();
+                    for t in targets {
+                        if let DescribeTarget::Var(v) = t {
+                            if !out.contains(v) {
+                                out.push(v.clone());
+                            }
+                        }
+                    }
+                    out
+                }
+            }
         }
     }
 
@@ -334,7 +398,7 @@ impl Query {
             QueryForm::Select { items, .. } => items
                 .iter()
                 .any(|it| matches!(it, SelectItem::Aggregate { .. })),
-            QueryForm::Ask => false,
+            QueryForm::Ask | QueryForm::Construct { .. } | QueryForm::Describe { .. } => false,
         }
     }
 }

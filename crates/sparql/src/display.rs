@@ -6,13 +6,34 @@
 
 use std::fmt;
 
-use crate::ast::{DatasetClause, GraphPattern, GraphSpec, Query, QueryForm, SelectItem};
+use crate::ast::{
+    DatasetClause, DescribeTarget, GraphPattern, GraphSpec, Query, QueryForm, SelectItem,
+};
 use crate::expr::{ArithOp, CmpOp, Expr};
 
 impl fmt::Display for Query {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.form {
             QueryForm::Ask => write!(f, "ASK ")?,
+            QueryForm::Construct { template } => {
+                write!(f, "CONSTRUCT {{ ")?;
+                for t in template {
+                    write!(f, "{t} . ")?;
+                }
+                write!(f, "}} ")?;
+            }
+            QueryForm::Describe { targets } => {
+                write!(f, "DESCRIBE ")?;
+                if targets.is_empty() {
+                    write!(f, "* ")?;
+                }
+                for t in targets {
+                    match t {
+                        DescribeTarget::Var(v) => write!(f, "{v} ")?,
+                        DescribeTarget::Iri(iri) => write!(f, "<{iri}> ")?,
+                    }
+                }
+            }
             QueryForm::Select { distinct, items } => {
                 write!(f, "SELECT ")?;
                 if *distinct {
@@ -176,6 +197,9 @@ mod tests {
             "SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x ?p ?y . } GROUP BY ?x",
             r#"SELECT ?x WHERE { ?x <http://p> ?n . FILTER (REGEX(STR(?n), "^a", "i")) }"#,
             "SELECT ?x WHERE { ?x <http://p> ?n . } ORDER BY ASC(?n) DESC(?x) LIMIT 5 OFFSET 2",
+            "CONSTRUCT { ?x <http://p> ?y . ?y <http://q> _:b . } WHERE { ?x <http://r> ?y . }",
+            "DESCRIBE <http://a> ?x WHERE { ?x <http://p> ?y . }",
+            "DESCRIBE * WHERE { ?s <http://p> ?o . }",
         ] {
             let first = parse_query(q).unwrap_or_else(|e| panic!("{q}: {e}"));
             let printed = first.to_string();

@@ -3,7 +3,9 @@
 //! The supported feature set is exactly the paper's Table 1 plus the
 //! additions of Appendix D.4:
 //!
-//! * query forms `SELECT` (with `DISTINCT`) and `ASK`;
+//! * all four query forms: `SELECT` (with `DISTINCT`), `ASK`,
+//!   `CONSTRUCT` (including the `CONSTRUCT WHERE` shorthand) and
+//!   `DESCRIBE` (with `*`, variable and IRI targets);
 //! * graph patterns: triple patterns, joins (`.`), `OPTIONAL`, `UNION`,
 //!   `MINUS`, `FILTER`, `GRAPH`, and property-path patterns with all eight
 //!   SPARQL 1.1 path operators plus the gMark range forms `p{n}`, `p{n,}`
@@ -21,11 +23,12 @@
 //!   `DELETE DATA`, `DELETE/INSERT ... WHERE` (with the `DELETE WHERE`
 //!   shorthand) and `CLEAR`, with `GRAPH` blocks in data and templates.
 //!
-//! Unsupported (mirroring the ✗ rows of Table 1): `CONSTRUCT`, `DESCRIBE`,
+//! Unsupported (mirroring the remaining ✗ rows of Table 1):
 //! `FILTER (NOT) EXISTS`, `BIND`, `VALUES`, `HAVING`, sub-`SELECT`,
 //! federation. The parser reports these with a dedicated
-//! "unsupported" marker so compliance harnesses can distinguish "not
-//! supported" from "malformed".
+//! "unsupported" marker (and the feature's name in
+//! [`ParseError::feature`](parser::ParseError)) so compliance harnesses
+//! can distinguish "not supported" from "malformed".
 //!
 //! # Example
 //!
@@ -51,8 +54,8 @@ pub mod path;
 pub mod update;
 
 pub use ast::{
-    DatasetClause, GraphPattern, GraphSpec, OrderCondition, Query, QueryForm, SelectItem,
-    TermPattern, TriplePattern, Var,
+    DatasetClause, DescribeTarget, GraphPattern, GraphSpec, OrderCondition, Query, QueryForm,
+    SelectItem, TermPattern, TriplePattern, Var,
 };
 pub use expr::{AggFunc, Expr};
 pub use parser::{parse_query, parse_update, update_keyword, ParseError};

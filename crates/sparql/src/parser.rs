@@ -20,13 +20,17 @@ use crate::path::PropertyPath;
 use crate::update::{ClearTarget, GroundQuad, QuadPattern, Update, UpdateOperation};
 
 /// A parse error. `unsupported` is true when the query uses a SPARQL
-/// feature the engine deliberately does not implement.
+/// feature the engine deliberately does not implement; `feature` then
+/// carries the feature's name so callers can branch on it instead of
+/// string-matching the message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Human-readable description.
     pub message: String,
     /// True when the query uses a deliberately unimplemented feature.
     pub unsupported: bool,
+    /// The unsupported feature's name, when `unsupported` is set.
+    pub feature: Option<String>,
 }
 
 impl ParseError {
@@ -34,6 +38,7 @@ impl ParseError {
         ParseError {
             message: message.into(),
             unsupported: false,
+            feature: None,
         }
     }
 
@@ -42,6 +47,7 @@ impl ParseError {
         ParseError {
             message: format!("unsupported SPARQL feature: {feature}"),
             unsupported: true,
+            feature: Some(feature.to_string()),
         }
     }
 }
@@ -223,7 +229,10 @@ impl Parser {
     fn parse_query(&mut self) -> Result<Query, ParseError> {
         self.parse_prologue()?;
 
-        let form = if self.eat_keyword("SELECT") {
+        // `CONSTRUCT WHERE { triples }` shorthand: the triples block after
+        // WHERE doubles as both template and pattern.
+        let mut construct_shorthand = false;
+        let mut form = if self.eat_keyword("SELECT") {
             let distinct = self.eat_keyword("DISTINCT");
             if self.at_keyword("REDUCED") {
                 // REDUCED permits (but does not require) dropping
@@ -234,12 +243,22 @@ impl Parser {
             QueryForm::Select { distinct, items }
         } else if self.eat_keyword("ASK") {
             QueryForm::Ask
-        } else if self.at_keyword("CONSTRUCT") {
-            return Err(ParseError::unsupported("CONSTRUCT"));
-        } else if self.at_keyword("DESCRIBE") {
-            return Err(ParseError::unsupported("DESCRIBE"));
+        } else if self.eat_keyword("CONSTRUCT") {
+            if matches!(self.peek(), Token::Punct(Punct::LBrace)) {
+                let template = self.parse_triple_template()?;
+                QueryForm::Construct { template }
+            } else {
+                construct_shorthand = true;
+                QueryForm::Construct {
+                    template: Vec::new(),
+                }
+            }
+        } else if self.eat_keyword("DESCRIBE") {
+            QueryForm::Describe {
+                targets: self.parse_describe_targets()?,
+            }
         } else {
-            return self.err("expected SELECT or ASK");
+            return self.err("expected SELECT, ASK, CONSTRUCT or DESCRIBE");
         };
 
         let mut dataset = Vec::new();
@@ -251,8 +270,25 @@ impl Parser {
             }
         }
 
-        self.eat_keyword("WHERE");
-        let pattern = self.parse_group_graph_pattern()?;
+        let pattern = if construct_shorthand {
+            // CONSTRUCT WHERE { TriplesTemplate }: plain triples only.
+            self.expect_keyword("WHERE")?;
+            let template = self.parse_triple_template()?;
+            let pattern = template.iter().cloned().fold(GraphPattern::Empty, |p, t| {
+                GraphPattern::join(p, GraphPattern::Triple(t))
+            });
+            form = QueryForm::Construct { template };
+            pattern
+        } else if matches!(form, QueryForm::Describe { .. })
+            && !self.at_keyword("WHERE")
+            && !matches!(self.peek(), Token::Punct(Punct::LBrace))
+        {
+            // DESCRIBE's WHERE clause is optional.
+            GraphPattern::Empty
+        } else {
+            self.eat_keyword("WHERE");
+            self.parse_group_graph_pattern()?
+        };
 
         // Solution modifiers.
         let mut group_by = Vec::new();
@@ -408,6 +444,58 @@ impl Parser {
             distinct,
             arg,
         })
+    }
+
+    /// Parses a `{ TriplesTemplate }` block: plain triples (with `;`/`,`
+    /// abbreviations), variables and blank nodes allowed, but no property
+    /// paths, `GRAPH` blocks or other graph-pattern operators — the shape
+    /// of a `CONSTRUCT` template.
+    fn parse_triple_template(&mut self) -> Result<Vec<TriplePattern>, ParseError> {
+        self.expect_punct(Punct::LBrace)?;
+        let mut quads: Vec<QuadPattern> = Vec::new();
+        loop {
+            if self.eat_punct(Punct::RBrace) {
+                break;
+            }
+            if self.eat_punct(Punct::Dot) {
+                continue;
+            }
+            if self.at_keyword("GRAPH") {
+                return Err(ParseError::unsupported(
+                    "GRAPH blocks in CONSTRUCT templates",
+                ));
+            }
+            self.parse_quad_triples(None, &mut quads)?;
+        }
+        Ok(quads
+            .into_iter()
+            .map(|q| TriplePattern::new(q.subject, q.predicate, q.object))
+            .collect())
+    }
+
+    /// Parses the target list of a `DESCRIBE` clause: `*` (returned as an
+    /// empty list) or one or more variables / IRIs.
+    fn parse_describe_targets(&mut self) -> Result<Vec<DescribeTarget>, ParseError> {
+        if self.eat_punct(Punct::Star) {
+            return Ok(Vec::new());
+        }
+        let mut targets = Vec::new();
+        loop {
+            match self.peek().clone() {
+                Token::Var(v) => {
+                    self.bump();
+                    targets.push(DescribeTarget::Var(Var::new(v)));
+                }
+                Token::Iri(_) | Token::PName { .. } => {
+                    targets.push(DescribeTarget::Iri(self.parse_iri()?));
+                }
+                _ => break,
+            }
+        }
+        if targets.is_empty() {
+            return self.err("DESCRIBE requires '*' or at least one variable or IRI");
+        }
+        Ok(targets)
     }
 
     // ------------------------------------------------------------- updates
@@ -1466,10 +1554,81 @@ mod tests {
     }
 
     #[test]
+    fn parse_construct_queries() {
+        let q = parse_query(
+            r#"PREFIX ex: <http://e/>
+               CONSTRUCT { ?x ex:knows ?y . _:b ex:seen ?x }
+               WHERE { ?x ex:p ?y } LIMIT 3"#,
+        )
+        .unwrap();
+        assert!(q.is_construct());
+        assert_eq!(q.limit, Some(3));
+        match &q.form {
+            QueryForm::Construct { template } => {
+                assert_eq!(template.len(), 2);
+                assert!(matches!(
+                    template[1].subject,
+                    TermPattern::Term(Term::BlankNode(_))
+                ));
+            }
+            other => panic!("expected CONSTRUCT, got {other:?}"),
+        }
+        assert_eq!(q.projection(), vec![Var::new("x"), Var::new("y")]);
+
+        // Shorthand: the triples block is both template and pattern.
+        let q = parse_query("CONSTRUCT WHERE { ?s <http://p> ?o . ?o <http://q> ?z }").unwrap();
+        match &q.form {
+            QueryForm::Construct { template } => assert_eq!(template.len(), 2),
+            other => panic!("expected CONSTRUCT, got {other:?}"),
+        }
+        assert!(matches!(q.pattern, GraphPattern::Join(_, _)));
+
+        // GRAPH blocks have no place in a template.
+        let err = parse_query("CONSTRUCT { GRAPH <http://g> { ?s ?p ?o } } WHERE { ?s ?p ?o }")
+            .unwrap_err();
+        assert!(err.unsupported);
+    }
+
+    #[test]
+    fn parse_describe_queries() {
+        let q =
+            parse_query("PREFIX ex: <http://e/> DESCRIBE ex:a ?x WHERE { ?x ex:p ?y }").unwrap();
+        assert!(q.is_describe());
+        match &q.form {
+            QueryForm::Describe { targets } => {
+                assert_eq!(
+                    targets,
+                    &[
+                        DescribeTarget::Iri(Arc::from("http://e/a")),
+                        DescribeTarget::Var(Var::new("x")),
+                    ]
+                );
+            }
+            other => panic!("expected DESCRIBE, got {other:?}"),
+        }
+        assert_eq!(q.projection(), vec![Var::new("x")]);
+
+        // The WHERE clause is optional.
+        let q = parse_query("DESCRIBE <http://e/a>").unwrap();
+        assert_eq!(q.pattern, GraphPattern::Empty);
+
+        // DESCRIBE * projects every in-scope pattern variable.
+        let q = parse_query("DESCRIBE * WHERE { ?s ?p ?o }").unwrap();
+        match &q.form {
+            QueryForm::Describe { targets } => assert!(targets.is_empty()),
+            other => panic!("expected DESCRIBE, got {other:?}"),
+        }
+        assert_eq!(
+            q.projection(),
+            vec![Var::new("s"), Var::new("p"), Var::new("o")]
+        );
+
+        assert!(parse_query("DESCRIBE").is_err());
+    }
+
+    #[test]
     fn unsupported_features_are_flagged() {
         for (text, feature) in [
-            ("CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }", "CONSTRUCT"),
-            ("DESCRIBE <http://x>", "DESCRIBE"),
             (
                 "SELECT * WHERE { ?s ?p ?o FILTER NOT EXISTS { ?s ?p ?o } }",
                 "NOT EXISTS",
@@ -1488,6 +1647,12 @@ mod tests {
         ] {
             let err = parse_query(text).unwrap_err();
             assert!(err.unsupported, "{feature}: {err:?}");
+            // The feature name is carried structurally, not only in the
+            // message.
+            assert!(
+                err.feature.as_deref().is_some_and(|f| f.contains(feature)),
+                "{feature}: {err:?}"
+            );
         }
     }
 
@@ -1495,6 +1660,7 @@ mod tests {
     fn syntax_errors_are_not_unsupported() {
         let err = parse_query("SELECT ?x WHERE { ?x ?p }").unwrap_err();
         assert!(!err.unsupported);
+        assert_eq!(err.feature, None);
         assert!(parse_query("SELECT").is_err());
         assert!(parse_query("SELECT ?x WHERE { ?x nope:p ?y }").is_err());
     }

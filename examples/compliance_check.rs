@@ -6,7 +6,7 @@
 //! cargo run --example compliance_check
 //! ```
 
-use sparqlog::{QueryResult, SparqLog};
+use sparqlog::{QueryResults, SparqLog};
 use sparqlog_rdf::Dataset;
 use sparqlog_refengine::{FusekiSim, VirtuosoSim};
 
@@ -66,10 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn eq(a: &QueryResult, b: &QueryResult) -> bool {
+fn eq(a: &QueryResults, b: &QueryResults) -> bool {
     match (a, b) {
-        (QueryResult::Solutions(x), QueryResult::Solutions(y)) => x.multiset_eq(y),
-        (QueryResult::Boolean(x), QueryResult::Boolean(y)) => x == y,
+        (QueryResults::Solutions(x), QueryResults::Solutions(y)) => x.multiset_eq(y),
+        (QueryResults::Boolean(x), QueryResults::Boolean(y)) => x == y,
         _ => false,
     }
 }

@@ -1,0 +1,67 @@
+//! The graph-producing query forms and the typed results API:
+//! `CONSTRUCT`, `DESCRIBE`, prepared queries, and the W3C wire formats
+//! (Results-JSON / CSV / TSV for solutions, N-Triples / Turtle for
+//! graphs).
+//!
+//! ```sh
+//! cargo run --example construct_describe
+//! ```
+
+use sparqlog::{QueryResults, Store};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let store = Store::new();
+    store.load_turtle(
+        r#"
+        @prefix ex: <http://ex.org/> .
+        ex:spain ex:borders ex:france .
+        ex:france ex:borders ex:belgium .
+        ex:belgium ex:borders ex:germany .
+        ex:spain ex:name "Spain" ; ex:capital _:m .
+        _:m ex:name "Madrid" ; ex:population 3300000 .
+        "#,
+    )?;
+
+    // CONSTRUCT instantiates its template once per WHERE solution and
+    // returns an RDF graph (QueryResults::Graph).
+    let reversed = store.execute(
+        "PREFIX ex: <http://ex.org/>
+         CONSTRUCT { ?b ex:borderedBy ?a } WHERE { ?a ex:borders ?b }",
+    )?;
+    println!("CONSTRUCT, as Turtle:\n{}", reversed.to_turtle()?);
+
+    // DESCRIBE returns the concise bounded description of a resource:
+    // its outgoing triples, closed over blank-node objects (_:m here).
+    let spain = store.execute("DESCRIBE <http://ex.org/spain>")?;
+    println!("DESCRIBE ex:spain, as N-Triples:\n{}", spain.to_ntriples()?);
+
+    // Prepared queries: parse + translate once, execute on any snapshot
+    // of this store — commits don't invalidate the handle.
+    let prepared = store.prepare(
+        "PREFIX ex: <http://ex.org/>
+         SELECT ?place ?name WHERE { ?place ex:name ?name }",
+    )?;
+    let before = store.snapshot().execute_prepared(&prepared)?;
+    store.update(
+        r#"PREFIX ex: <http://ex.org/>
+           INSERT DATA { ex:france ex:name "France" }"#,
+    )?;
+    let after = store.snapshot().execute_prepared(&prepared)?;
+    println!(
+        "prepared query: {} names before the commit, {} after",
+        before.len(),
+        after.len()
+    );
+
+    // Solutions serialize to the W3C result formats.
+    println!("\nResults-JSON:\n{}", after.to_json()?);
+    println!("\nCSV:\n{}", after.to_csv()?);
+    println!("TSV:\n{}", after.to_tsv()?);
+
+    // The typed enum makes the form explicit.
+    match store.execute("PREFIX ex: <http://ex.org/> ASK { ex:spain ex:borders ex:france }")? {
+        QueryResults::Boolean(b) => println!("ASK says: {b}"),
+        other => println!("unexpected result form: {other:?}"),
+    }
+    Ok(())
+}

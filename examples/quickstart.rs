@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use sparqlog::{QueryResult, SparqLog};
+use sparqlog::{QueryResults, SparqLog};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut engine = SparqLog::new();
@@ -33,10 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "#,
     )?;
 
-    if let QueryResult::Solutions(s) = &result {
+    if let QueryResults::Solutions(s) = &result {
         println!("{} solution(s):", s.len());
     }
-    // `QueryResult` renders as a tab-separated table (header + rows).
+    // `QueryResults` renders as a tab-separated table (header + rows).
     println!("{result}");
     Ok(())
 }

@@ -3,7 +3,7 @@
 //! extraction, cross-checked against the reference engines and the
 //! BeSEPPI ground truth.
 
-use sparqlog::{QueryResult, SparqLog};
+use sparqlog::{QueryResults, SparqLog};
 use sparqlog_benchdata::{beseppi, feasible, gmark, sp2bench};
 use sparqlog_rdf::Dataset;
 use sparqlog_refengine::{EngineError, FusekiSim, VirtuosoSim};
@@ -20,12 +20,13 @@ fn beseppi_sparqlog_fully_compliant() {
         engine.load_dataset(&dataset).unwrap();
         let result = engine.execute(&q.query).unwrap();
         let actual: Vec<Vec<sparqlog_rdf::Term>> = match &result {
-            QueryResult::Boolean(_) => Vec::new(),
-            QueryResult::Solutions(s) => s
+            QueryResults::Boolean(_) => Vec::new(),
+            QueryResults::Solutions(s) => s
                 .rows
                 .iter()
                 .map(|r| r.iter().map(|c| c.clone().unwrap()).collect())
                 .collect(),
+            QueryResults::Graph(_) => unreachable!("BeSEPPI queries are SELECT/ASK"),
         };
         if beseppi::classify(&q.expected, &actual) != beseppi::Verdict::Correct {
             failures.push(format!("{}: {}", q.id, q.query));
@@ -47,12 +48,13 @@ fn beseppi_fuseki_fully_compliant() {
     for q in beseppi::queries() {
         let result = engine.execute(&q.query).unwrap();
         let actual: Vec<Vec<sparqlog_rdf::Term>> = match &result {
-            QueryResult::Boolean(_) => Vec::new(),
-            QueryResult::Solutions(s) => s
+            QueryResults::Boolean(_) => Vec::new(),
+            QueryResults::Solutions(s) => s
                 .rows
                 .iter()
                 .map(|r| r.iter().map(|c| c.clone().unwrap()).collect())
                 .collect(),
+            QueryResults::Graph(_) => unreachable!("BeSEPPI queries are SELECT/ASK"),
         };
         assert_eq!(
             beseppi::classify(&q.expected, &actual),
@@ -78,12 +80,15 @@ fn beseppi_virtuoso_errs_in_the_right_places() {
             Err(_) => true,
             Ok(result) => {
                 let actual: Vec<Vec<sparqlog_rdf::Term>> = match &result {
-                    QueryResult::Boolean(_) => Vec::new(),
-                    QueryResult::Solutions(s) => s
+                    QueryResults::Boolean(_) => Vec::new(),
+                    QueryResults::Solutions(s) => s
                         .rows
                         .iter()
                         .map(|r| r.iter().map(|c| c.clone().unwrap()).collect())
                         .collect(),
+                    QueryResults::Graph(_) => {
+                        unreachable!("BeSEPPI queries are SELECT/ASK")
+                    }
                 };
                 beseppi::classify(&q.expected, &actual) != beseppi::Verdict::Correct
             }
@@ -131,10 +136,10 @@ fn sp2bench_cross_engine_agreement() {
             .execute(&q)
             .unwrap_or_else(|e| panic!("{id}: Fuseki {e}"));
         match (&a, &b) {
-            (QueryResult::Boolean(x), QueryResult::Boolean(y)) => {
+            (QueryResults::Boolean(x), QueryResults::Boolean(y)) => {
                 assert_eq!(x, y, "{id}")
             }
-            (QueryResult::Solutions(x), QueryResult::Solutions(y)) => {
+            (QueryResults::Solutions(x), QueryResults::Solutions(y)) => {
                 assert!(
                     x.multiset_eq(y),
                     "{id}: SparqLog {} rows vs Fuseki {} rows",
@@ -168,10 +173,10 @@ fn feasible_cross_engine_agreement() {
             .execute(&q)
             .unwrap_or_else(|e| panic!("{id}: Fuseki {e}"));
         match (&a, &b) {
-            (QueryResult::Boolean(x), QueryResult::Boolean(y)) => {
+            (QueryResults::Boolean(x), QueryResults::Boolean(y)) => {
                 assert_eq!(x, y, "{id}")
             }
-            (QueryResult::Solutions(x), QueryResult::Solutions(y)) => {
+            (QueryResults::Solutions(x), QueryResults::Solutions(y)) => {
                 assert!(
                     x.multiset_eq(y),
                     "{id}\n{q}\nSparqLog {} rows vs Fuseki {} rows",
@@ -210,8 +215,8 @@ fn gmark_agreement_and_virtuoso_refusals() {
                 .unwrap_or_else(|e| panic!("{scenario:?} {id}: {e}"));
             assert!(
                 match (&a, &b) {
-                    (QueryResult::Solutions(x), QueryResult::Solutions(y)) => x.multiset_eq(y),
-                    (QueryResult::Boolean(x), QueryResult::Boolean(y)) => x == y,
+                    (QueryResults::Solutions(x), QueryResults::Solutions(y)) => x.multiset_eq(y),
+                    (QueryResults::Boolean(x), QueryResults::Boolean(y)) => x == y,
                     _ => false,
                 },
                 "{scenario:?} {id}: engines disagree\n{q}"
@@ -221,8 +226,10 @@ fn gmark_agreement_and_virtuoso_refusals() {
                 Err(_) => virtuoso_failures += 1,
                 Ok(r) => {
                     let eq = match (&a, &r) {
-                        (QueryResult::Solutions(x), QueryResult::Solutions(y)) => x.multiset_eq(y),
-                        (QueryResult::Boolean(x), QueryResult::Boolean(y)) => x == y,
+                        (QueryResults::Solutions(x), QueryResults::Solutions(y)) => {
+                            x.multiset_eq(y)
+                        }
+                        (QueryResults::Boolean(x), QueryResults::Boolean(y)) => x == y,
                         _ => false,
                     };
                     if !eq {
