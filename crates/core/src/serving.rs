@@ -60,7 +60,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use sparqlog_datalog::{
-    evaluate_frozen, fxhash::FxHashMap, run_scoped, EvalOptions, FrozenDb, SymbolTable,
+    demand_prunes, demand_subprogram, evaluate_frozen, evaluate_frozen_with_plan,
+    fxhash::FxHashMap, magic_sets_rewrite_analyzed, plan_program, run_scoped, DbStats, EvalOptions,
+    FrozenDb, Mask, Program, ProgramPlan, StatsFingerprint, Sym, SymbolTable,
 };
 use sparqlog_sparql::{parse_query, update_keyword, Query};
 
@@ -68,11 +70,31 @@ use crate::engine::SparqLogError;
 use crate::query_translation::{translate_query, TranslatedQuery};
 use crate::solution::{extract_results, QueryResults};
 
+/// A cached physical plan: the program it was computed for (the
+/// magic-sets rewrite of the translation when it applied *and* its
+/// measured demand pruned — see [`FrozenDatabase::compute_plan`] — else
+/// `None` meaning the translation's own program), the plan itself, and
+/// the statistics fingerprint it is valid against.
+struct PlanEntry {
+    /// The magic-rewritten program, when the rewrite applied and won.
+    program: Option<Program>,
+    plan: ProgramPlan,
+    /// Row counts of the read relations at planning time — the entry is
+    /// discarded (and the query replanned) once these drift past the
+    /// threshold ([`StatsFingerprint::drifted`]).
+    fingerprint: StatsFingerprint,
+}
+
 /// A parsed-and-translated query, shared between the cache, prepared
 /// handles and any executions in flight.
 struct CachedQuery {
     query: Query,
     translated: TranslatedQuery,
+    /// The memoised physical plan ([`PlanEntry`]). Living on the cached
+    /// query rather than the snapshot, it survives commits exactly like
+    /// the translation does — re-executing a [`PreparedQuery`] performs
+    /// zero planning work until statistics drift.
+    plan: RwLock<Option<Arc<PlanEntry>>>,
 }
 
 /// Upper bound on memoised distinct query texts. A server fed queries
@@ -98,6 +120,10 @@ pub(crate) struct TranslationCache {
     /// different queries can never collide in an overlay — shared across
     /// snapshots for the same reason the map is.
     counter: AtomicUsize,
+    /// Executions served from a still-valid cached plan.
+    plan_hits: AtomicUsize,
+    /// Physical plans computed (first executions and drift replans).
+    plans_computed: AtomicUsize,
 }
 
 impl TranslationCache {
@@ -105,7 +131,27 @@ impl TranslationCache {
         TranslationCache {
             map: RwLock::new(FxHashMap::default()),
             counter: AtomicUsize::new(0),
+            plan_hits: AtomicUsize::new(0),
+            plans_computed: AtomicUsize::new(0),
         }
+    }
+
+    /// The distinct `(pred, mask)` hash indexes named by the plans of
+    /// currently cached queries — what the store's commit path asks the
+    /// re-frozen snapshot to build eagerly, so hot query shapes never
+    /// fall back to lazy index construction after a commit.
+    pub(crate) fn live_index_needs(&self) -> Vec<(Sym, Mask)> {
+        let mut out: Vec<(Sym, Mask)> = Vec::new();
+        for cached in self.map.read().unwrap().values() {
+            if let Some(entry) = cached.plan.read().unwrap().as_ref() {
+                for need in entry.plan.index_needs() {
+                    if !out.contains(&need) {
+                        out.push(need);
+                    }
+                }
+            }
+        }
+        out
     }
 }
 
@@ -432,18 +478,152 @@ impl FrozenDatabase {
     fn translate_entry(&self, query: Query) -> Result<Arc<CachedQuery>, SparqLogError> {
         let n = self.cache.counter.fetch_add(1, Ordering::Relaxed) + 1;
         let translated = translate_query(&query, self.base.symbols(), &format!("f{n}_"))?;
-        Ok(Arc::new(CachedQuery { query, translated }))
+        Ok(Arc::new(CachedQuery {
+            query,
+            translated,
+            plan: RwLock::new(None),
+        }))
     }
 
     /// Evaluates a translated query against the snapshot in a private
-    /// overlay and extracts the typed result.
+    /// overlay and extracts the typed result. With planning enabled the
+    /// query's cached physical plan is used (computed on the first
+    /// execution, revalidated against the snapshot's statistics); with it
+    /// disabled, or when the program does not stratify for planning,
+    /// evaluation falls back to the unplanned path.
     fn run(
         &self,
         cached: &CachedQuery,
         options: &EvalOptions,
     ) -> Result<QueryResults, SparqLogError> {
-        let (db, _stats) = evaluate_frozen(&cached.translated.program, &self.base, options)?;
+        let (db, _stats) = match self.plan_entry(cached, options) {
+            Some(entry) => {
+                let program = entry.program.as_ref().unwrap_or(&cached.translated.program);
+                evaluate_frozen_with_plan(program, &self.base, options, Some(&entry.plan))?
+            }
+            None => evaluate_frozen(&cached.translated.program, &self.base, options)?,
+        };
         Ok(extract_results(&cached.translated, &cached.query, &db))
+    }
+
+    /// The query's physical plan: a cache hit when an entry exists and
+    /// the snapshot's statistics have not drifted past its fingerprint;
+    /// otherwise the query is (re)planned — magic-sets rewrite first when
+    /// enabled and its measured demand prunes, then cost-based ordering
+    /// against the snapshot's statistics — and the entry replaced. `None`
+    /// when planning is disabled or fails (the unplanned evaluation path
+    /// handles both the rewrite and ordering itself).
+    fn plan_entry(&self, cached: &CachedQuery, options: &EvalOptions) -> Option<Arc<PlanEntry>> {
+        if !options.plan {
+            return None;
+        }
+        let stats = self.base.stats();
+        if let Some(entry) = cached.plan.read().unwrap().as_ref() {
+            if !entry.fingerprint.drifted(&stats) {
+                self.cache.plan_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(entry.clone());
+            }
+        }
+        let entry = self.compute_plan(cached, options, &stats)?;
+        *cached.plan.write().unwrap() = Some(entry.clone());
+        self.cache.plans_computed.fetch_add(1, Ordering::Relaxed);
+        Some(entry)
+    }
+
+    /// Plans `cached` from scratch against `stats` (the slow path of
+    /// [`Self::plan_entry`]). The magic-sets rewrite is kept only when
+    /// its measured demand prunes: the demand subprogram is evaluated
+    /// against the snapshot (one cheap fixpoint, linear in the demanded
+    /// subgraph, amortised over every execution the entry serves) — the
+    /// same measurement the unplanned evaluation path performs, so the
+    /// planned and unplanned paths always pick the same program. The
+    /// fingerprint covers the unrewritten program's reads; the rewrite
+    /// reads the same base relations (its demand predicates are derived),
+    /// so the one fingerprint invalidates either choice.
+    fn compute_plan(
+        &self,
+        cached: &CachedQuery,
+        options: &EvalOptions,
+        stats: &DbStats,
+    ) -> Option<Arc<PlanEntry>> {
+        let symbols = self.base.symbols();
+        let program = &cached.translated.program;
+        let rewritten = if options.magic_sets {
+            magic_sets_rewrite_analyzed(program, symbols).and_then(|rw| {
+                let keep = match demand_subprogram(&rw) {
+                    Some(sub) => {
+                        let sub_options = EvalOptions {
+                            magic_sets: false,
+                            plan: false,
+                            threads: Some(1),
+                            ..options.clone()
+                        };
+                        match evaluate_frozen(&sub, &self.base, &sub_options) {
+                            Ok((db, _)) => demand_prunes(&rw, &db),
+                            // Not measurable (e.g. timeout): keep the
+                            // rewrite, the conservative pre-demotion
+                            // behavior.
+                            Err(_) => true,
+                        }
+                    }
+                    None => true,
+                };
+                keep.then_some(rw.program)
+            })
+        } else {
+            None
+        };
+        let plan = plan_program(rewritten.as_ref().unwrap_or(program), symbols, stats).ok()?;
+        let fingerprint = stats.fingerprint(program);
+        Some(Arc::new(PlanEntry {
+            program: rewritten,
+            plan,
+            fingerprint,
+        }))
+    }
+
+    /// The snapshot's relation statistics (row counts and per-column
+    /// distinct estimates) — collected once per snapshot and carried
+    /// incrementally across the store's commits.
+    pub fn stats(&self) -> Arc<DbStats> {
+        self.base.stats()
+    }
+
+    /// Executions served from a still-valid cached physical plan, across
+    /// every snapshot sharing this store's caches. Together with
+    /// [`Self::plans_computed`] this is how tests prove a
+    /// [`PreparedQuery`] re-execution performs zero planning work.
+    pub fn plan_cache_hits(&self) -> usize {
+        self.cache.plan_hits.load(Ordering::Relaxed)
+    }
+
+    /// Physical plans computed through this store's caches: first
+    /// executions and statistics-drift replans.
+    pub fn plans_computed(&self) -> usize {
+        self.cache.plans_computed.load(Ordering::Relaxed)
+    }
+
+    /// Renders the physical plan a [`PreparedQuery`] executes with
+    /// against this snapshot: per rule the chosen atom order, the
+    /// `(pred, mask)` index each probe uses and its cardinality estimate.
+    /// Computes (and caches) the plan if the handle has not executed yet.
+    /// A magic-sets rewrite appears here (its `__magic` guards and demand
+    /// rules) exactly when its measured demand pruned — see
+    /// [`sparqlog_datalog::demand_prunes`].
+    /// Errors on a foreign handle; returns a diagnostic string when
+    /// planning is disabled or the program cannot be planned.
+    pub fn explain(&self, p: &PreparedQuery) -> Result<String, SparqLogError> {
+        self.check_prepared(p)?;
+        match self.plan_entry(&p.inner, &self.options) {
+            Some(entry) => {
+                let program = entry
+                    .program
+                    .as_ref()
+                    .unwrap_or(&p.inner.translated.program);
+                Ok(entry.plan.render(program, self.base.symbols()))
+            }
+            None => Ok("(no physical plan: planning disabled or program not plannable)".into()),
+        }
     }
 }
 
@@ -555,5 +735,136 @@ mod tests {
     #[test]
     fn empty_batch() {
         assert!(frozen().execute_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn prepared_reexecution_performs_zero_planning_work() {
+        let frozen = frozen();
+        let q = frozen
+            .prepare(
+                "PREFIX ex: <http://ex.org/>
+                 SELECT ?a ?c WHERE { ?a ex:borders ?b . ?b ex:borders ?c }",
+            )
+            .unwrap();
+        let first = frozen.execute_prepared(&q).unwrap();
+        assert_eq!(frozen.plans_computed(), 1, "first execution plans");
+        assert_eq!(frozen.plan_cache_hits(), 0);
+        for _ in 0..5 {
+            assert_eq!(frozen.execute_prepared(&q).unwrap(), first);
+        }
+        assert_eq!(frozen.plans_computed(), 1, "re-execution never replans");
+        assert_eq!(frozen.plan_cache_hits(), 5);
+    }
+
+    #[test]
+    fn explain_shows_probe_masks_and_estimates() {
+        let frozen = frozen();
+        let q = frozen
+            .prepare(
+                "PREFIX ex: <http://ex.org/>
+                 SELECT ?a ?c WHERE { ?a ex:borders ?b . ?b ex:borders ?c }",
+            )
+            .unwrap();
+        let text = frozen.explain(&q).unwrap();
+        assert!(text.contains("order:"), "{text}");
+        assert!(text.contains("mask="), "{text}");
+        assert!(text.contains("est="), "{text}");
+        // Explaining cached the plan; the execution below hits it.
+        let computed = frozen.plans_computed();
+        frozen.execute_prepared(&q).unwrap();
+        assert_eq!(frozen.plans_computed(), computed);
+    }
+
+    #[test]
+    fn planned_and_unplanned_results_agree() {
+        let mut engine = SparqLog::new();
+        engine.load_turtle(DATA).unwrap();
+        let frozen = engine.freeze();
+        let mut raw_engine = SparqLog::new();
+        raw_engine.load_turtle(DATA).unwrap();
+        let unplanned = {
+            let (base, mut options, cache) = raw_engine.freeze().into_base();
+            options.plan = false;
+            options.magic_sets = false;
+            FrozenDatabase::with_cache(base, options, cache)
+        };
+        for q in [
+            "PREFIX ex: <http://ex.org/> SELECT ?b WHERE { ex:spain ex:borders+ ?b }",
+            "PREFIX ex: <http://ex.org/>
+             SELECT ?a ?c WHERE { ?a ex:borders ?b . ?b ex:borders ?c }",
+            "PREFIX ex: <http://ex.org/> ASK { ex:spain ex:borders ?x }",
+        ] {
+            assert_eq!(
+                frozen.execute(q).unwrap(),
+                unplanned.execute(q).unwrap(),
+                "{q}"
+            );
+        }
+        assert_eq!(unplanned.plans_computed(), 0, "planning stayed off");
+    }
+
+    /// `n` chain triples `ex:n0 → ex:n1 → …` (or a closed ring of `n`
+    /// nodes) as Turtle.
+    fn path_turtle(n: usize, ring: bool) -> String {
+        let mut ttl = String::from("@prefix ex: <http://ex.org/> .\n");
+        for i in 0..n {
+            let succ = if ring { (i + 1) % n } else { i + 1 };
+            ttl.push_str(&format!("ex:n{i} ex:p ex:n{succ} .\n"));
+        }
+        ttl
+    }
+
+    #[test]
+    fn selective_demand_keeps_the_magic_rewrite() {
+        // A path bound near the end of a 30-edge chain demands a handful
+        // of nodes: planning measures that and keeps the rewrite.
+        let mut engine = SparqLog::new();
+        engine.load_turtle(&path_turtle(30, false)).unwrap();
+        let frozen = engine.freeze();
+        let q = frozen
+            .prepare("PREFIX ex: <http://ex.org/> SELECT ?z WHERE { ex:n25 ex:p+ ?z }")
+            .unwrap();
+        assert!(
+            frozen.explain(&q).unwrap().contains("__magic"),
+            "selective demand keeps the rewrite"
+        );
+        let r = frozen.execute_prepared(&q).unwrap();
+        assert_eq!(r.len(), 5, "n26..n30");
+        assert_eq!(frozen.execute_prepared(&q).unwrap(), r);
+    }
+
+    #[test]
+    fn non_pruning_demand_demotes_the_magic_rewrite() {
+        // On a strongly-connected ring every endpoint demands every
+        // node — the restriction prunes nothing and its guard joins are
+        // pure overhead, so planning measures the demand fixpoint once
+        // and picks the plain program instead; no execution ever pays
+        // for the rewrite.
+        let mut engine = SparqLog::new();
+        engine.load_turtle(&path_turtle(30, true)).unwrap();
+        let frozen = engine.freeze();
+        let q = frozen
+            .prepare("PREFIX ex: <http://ex.org/> SELECT ?z WHERE { ex:n0 ex:p+ ?z }")
+            .unwrap();
+        assert!(
+            !frozen.explain(&q).unwrap().contains("__magic"),
+            "non-pruning demand demotes to the plain plan"
+        );
+        let r = frozen.execute_prepared(&q).unwrap();
+        assert_eq!(r.len(), 30, "every node is reachable");
+        assert_eq!(frozen.execute_prepared(&q).unwrap(), r);
+        assert_eq!(
+            frozen.plans_computed(),
+            1,
+            "the demotion is part of the one plan"
+        );
+    }
+
+    #[test]
+    fn snapshot_stats_reflect_the_data() {
+        let frozen = frozen();
+        let stats = frozen.stats();
+        let triple = frozen.symbols().get("triple").expect("triple interned");
+        assert_eq!(stats.relation(triple).expect("triple has stats").rows, 3);
     }
 }

@@ -405,8 +405,19 @@ impl Store {
     /// cache is store-lifetime and carries over). See
     /// [`SparqLog::set_threads`](crate::SparqLog::set_threads).
     pub fn set_threads(&self, threads: Option<usize>) {
+        let mut options = self.options();
+        options.threads = threads;
+        self.set_options(options);
+    }
+
+    /// Replaces the evaluation options for subsequent commits, queries
+    /// and snapshots — thread count, the cost-based planner and
+    /// magic-sets toggles, timeouts and depth limits. The current
+    /// snapshot is re-wrapped around the new options; the translation
+    /// cache (and its cached plans) is store-lifetime and carries over.
+    pub fn set_options(&self, options: EvalOptions) {
         let mut state = self.state.write().unwrap();
-        state.options.threads = threads;
+        state.options = options;
         let current = state.frozen.as_ref().expect(POISONED);
         let (base, cache) = (current.database().clone(), current.cache_handle());
         state.frozen = Some(Arc::new(FrozenDatabase::with_cache(
@@ -467,6 +478,10 @@ impl Store {
                 (base, cache, None)
             }
         };
+        // Carry the outgoing snapshot's statistics (if any query
+        // collected them) across the commit: the re-frozen snapshot
+        // re-scans only the relations whose row counts changed.
+        let prev_stats = base.stats_if_ready();
         let mut db = FrozenDb::thaw(base);
         let symbols = db.symbols().clone();
         let dict = db.dict().clone();
@@ -689,15 +704,21 @@ impl Store {
         }
 
         // ------------------------------------------------ re-freeze
-        // For untouched relations every per-mask index is still present
-        // and current, so the completion pass inside `freeze` finds
-        // nothing to build. The translation cache is threaded through:
-        // translations are data-independent, so hot query shapes stay
-        // warm across the commit.
+        // Freezing is profile-guided: besides promoting the indexes the
+        // snapshot already carries (eager on untouched relations, lazily
+        // probed ones on the rest), the masks named by the plans of
+        // currently cached queries are built eagerly, so hot query
+        // shapes never fall back to lazy index construction after a
+        // commit. The translation cache is threaded through:
+        // translations (and their cached plans, until statistics drift)
+        // are data-independent, so hot query shapes stay warm.
+        let needs = cache.live_index_needs();
+        let snapshot = db.freeze_with_needs(&needs);
+        if let Some(prev) = &prev_stats {
+            snapshot.warm_stats_from(prev);
+        }
         let new_frozen = Some(Arc::new(FrozenDatabase::with_cache(
-            db.freeze(),
-            options,
-            cache,
+            snapshot, options, cache,
         )));
         match held_state {
             Some(mut state) => state.frozen = new_frozen,
@@ -1224,10 +1245,13 @@ mod tests {
         let store = borders_store();
         let before = store.snapshot().database().content_signature();
         // Absent quad + empty graph: logically a no-op commit.
-        let mut w = store.writer();
-        w.remove(iri("spain"), iri("borders"), iri("narnia"));
-        w.clear(ClearTarget::Graph(Arc::from("http://empty")));
-        let stats = w.commit().unwrap();
+        let no_op = |store: &Store| {
+            let mut w = store.writer();
+            w.remove(iri("spain"), iri("borders"), iri("narnia"));
+            w.clear(ClearTarget::Graph(Arc::from("http://empty")));
+            w.commit().unwrap()
+        };
+        let stats = no_op(&store);
         assert_eq!(
             stats,
             CommitStats {
@@ -1235,10 +1259,27 @@ mod tests {
                 removed: 0
             }
         );
+        // The facts are untouched; the only signature difference the
+        // commit may introduce is the promotion of the index its own
+        // removal probe demanded (profile-guided freezing).
+        let after_first = store.snapshot().database().content_signature();
+        let facts = |sig: &[String]| -> Vec<String> {
+            sig.iter()
+                .filter(|l| !l.starts_with("@index"))
+                .cloned()
+                .collect()
+        };
+        assert_eq!(
+            facts(&after_first),
+            facts(&before),
+            "no-op commit leaves the facts identical"
+        );
+        // Steady state: repeating the no-op changes nothing at all.
+        no_op(&store);
         assert_eq!(
             store.snapshot().database().content_signature(),
-            before,
-            "no-op commit leaves the snapshot content-identical"
+            after_first,
+            "repeated no-op commit leaves the snapshot content-identical"
         );
     }
 

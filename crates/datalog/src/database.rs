@@ -365,6 +365,27 @@ impl Relation {
         self.indexes.get(&mask)
     }
 
+    /// The shared, lazily auto-built index for `mask`, built on demand
+    /// behind the per-mask `OnceLock` — the evaluator's `&self` fallback
+    /// when a planned probe names a mask the snapshot did not build
+    /// eagerly (frozen bases build only the masks live plans name). The
+    /// returned cell is always initialised; the snapshot's next freeze
+    /// promotes it to an eager index. `None` when there is nothing to
+    /// probe.
+    pub(crate) fn shared_index(&self, mask: Mask) -> Option<Arc<OnceLock<Index>>> {
+        if mask == 0 || self.len == 0 {
+            return None;
+        }
+        let cell = {
+            let lazy = self.lazy.read().unwrap();
+            lazy.get(&mask).cloned()
+        };
+        let cell =
+            cell.unwrap_or_else(|| self.lazy.write().unwrap().entry(mask).or_default().clone());
+        cell.get_or_init(|| self.build_index(mask));
+        Some(cell)
+    }
+
     /// The bound-position masks with an eager index built, sorted
     /// ascending (diagnostics and the snapshot content signature).
     pub fn index_masks(&self) -> Vec<Mask> {
@@ -480,6 +501,21 @@ impl Relation {
             for mask in masks {
                 self.ensure_index(mask);
             }
+        }
+        self.lazy.get_mut().unwrap().clear();
+    }
+
+    /// Promotes every lazily auto-built index to an eager, incrementally
+    /// maintained one — without building any new masks. This is the
+    /// profile-guided freeze step: masks that real probes demanded on the
+    /// previous snapshot (planned probes falling back via the shared
+    /// lazy cell, or unplanned [`Relation::lookup`]s) become lock-free
+    /// eager indexes of the next one, while never-probed masks are never
+    /// built at all.
+    pub fn promote_lazy_indexes(&mut self) {
+        let masks: Vec<Mask> = self.lazy.get_mut().unwrap().keys().copied().collect();
+        for mask in masks {
+            self.ensure_index(mask);
         }
         self.lazy.get_mut().unwrap().clear();
     }

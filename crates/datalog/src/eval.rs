@@ -82,8 +82,24 @@ pub struct EvalOptions {
     pub max_skolem_depth: usize,
     /// Reorder rule bodies in semi-naive delta passes (delta atom first,
     /// then greedily by bound positions). On by default; the ablation
-    /// bench (`cargo bench --bench ablation`) measures its effect.
+    /// bench (`cargo bench --bench ablation`) measures its effect. Only
+    /// consulted for delta occurrences the physical plan (if any) does
+    /// not cover.
     pub semi_naive_reorder: bool,
+    /// Cost-based join planning ([`crate::plan`]): order rule bodies by
+    /// estimated probe cardinality from relation statistics instead of
+    /// rule-text order. On by default; `false` is the planner-off
+    /// baseline the differential tests compare against. The mutable
+    /// path plans inline only when the program reads at least
+    /// [`PLAN_MIN_ROWS`] rows — below that the statistics pass costs
+    /// more than any join order saves.
+    pub plan: bool,
+    /// Magic-sets demand transformation ([`crate::magic`]): restrict
+    /// recursive predicates whose consumers bind constants (bound-endpoint
+    /// property paths) to the demanded tuples. On by default; never
+    /// applies to programs without `@output` declarations
+    /// (materialisation).
+    pub magic_sets: bool,
     /// Worker threads for rule/delta evaluation. `None` (the default)
     /// defers to the `SPARQLOG_THREADS` env var, then to
     /// `std::thread::available_parallelism()`. `Some(1)` forces the
@@ -98,6 +114,8 @@ impl Default for EvalOptions {
             max_rounds: usize::MAX,
             max_skolem_depth: 64,
             semi_naive_reorder: true,
+            plan: true,
+            magic_sets: true,
             threads: None,
         }
     }
@@ -176,9 +194,66 @@ pub fn evaluate(
     db: &mut Database,
     options: &EvalOptions,
 ) -> Result<EvalStats, EvalError> {
+    evaluate_with_plan(program, db, options, None)
+}
+
+/// [`evaluate`] with an explicit physical plan. `Some(plan)` means the
+/// caller already planned (and, if enabled, magic-rewrote) the program —
+/// the serving layer's plan-cache hit path, which must perform zero
+/// planning work here. `None` plans inline when [`EvalOptions::plan`] is
+/// set and applies the magic-sets rewrite when [`EvalOptions::magic_sets`]
+/// is set.
+pub fn evaluate_with_plan(
+    program: &Program,
+    db: &mut Database,
+    options: &EvalOptions,
+    plan: Option<&crate::plan::ProgramPlan>,
+) -> Result<EvalStats, EvalError> {
+    // A supplied plan is always for the program as handed to us; the
+    // rewrite only runs when we are planning (or running unplanned)
+    // locally. Whether the rewrite pays off depends on the data, not the
+    // program — so the demand fixpoint (cheap, linear in the demanded
+    // subgraph) is evaluated first, into `db` itself (everything it
+    // derives, the chosen program re-derives and dedups), and the
+    // rewrite is kept only when the measured demand sets actually prune
+    // ([`crate::magic::demand_prunes`]). The decision is a pure function
+    // of program and data, so every evaluation path — mutable, frozen
+    // overlay, or the serving layer's plan cache, which runs the same
+    // measurement — picks the same program and derives in the same
+    // order.
+    let rewritten;
+    let program = if plan.is_none() && options.magic_sets {
+        match crate::magic::magic_sets_rewrite_analyzed(program, db.symbols()) {
+            Some(rw) => {
+                let keep = match crate::magic::demand_subprogram(&rw) {
+                    Some(sub) => {
+                        let sub_options = EvalOptions {
+                            magic_sets: false,
+                            plan: false,
+                            threads: Some(1),
+                            ..options.clone()
+                        };
+                        evaluate_with_plan(&sub, db, &sub_options, None)?;
+                        crate::magic::demand_prunes(&rw, db)
+                    }
+                    // Not measurable in isolation: keep the rewrite.
+                    None => true,
+                };
+                if keep {
+                    rewritten = rw.program;
+                    &rewritten
+                } else {
+                    program
+                }
+            }
+            None => program,
+        }
+    } else {
+        program
+    };
     let threads = options.resolved_threads();
     if threads <= 1 {
-        return evaluate_inner(program, db, options, None);
+        return evaluate_inner(program, db, options, None, plan);
     }
     let pool = Pool::new(threads);
     std::thread::scope(|s| {
@@ -191,7 +266,7 @@ pub fn evaluate(
         // job claimed by this thread) must still unpark the workers, or
         // the scope's implicit join deadlocks instead of propagating.
         let _guard = crate::pool::ShutdownGuard(&pool);
-        evaluate_inner(program, db, options, Some(&handle))
+        evaluate_inner(program, db, options, Some(&handle), plan)
     })
 }
 
@@ -210,8 +285,21 @@ pub fn evaluate_frozen(
     base: &Arc<FrozenDb>,
     options: &EvalOptions,
 ) -> Result<(Database, EvalStats), EvalError> {
+    evaluate_frozen_with_plan(program, base, options, None)
+}
+
+/// [`evaluate_frozen`] with an explicit physical plan — the serving
+/// layer's entry once its plan cache has a (possibly magic-rewritten)
+/// program and plan for the query. See [`evaluate_with_plan`] for the
+/// `plan` contract.
+pub fn evaluate_frozen_with_plan(
+    program: &Program,
+    base: &Arc<FrozenDb>,
+    options: &EvalOptions,
+    plan: Option<&crate::plan::ProgramPlan>,
+) -> Result<(Database, EvalStats), EvalError> {
     let mut db = Database::overlay(base.clone());
-    let stats = evaluate(program, &mut db, options)?;
+    let stats = evaluate_with_plan(program, &mut db, options, plan)?;
     Ok((db, stats))
 }
 
@@ -251,11 +339,51 @@ struct Job<'a> {
     delta: Option<(usize, &'a ColumnBatch, usize, usize)>,
 }
 
+/// Row-count floor for inline planning on the mutable path: below this
+/// many total rows read by the program, any join order is already fast
+/// and the per-call statistics pass would be pure overhead on hot point
+/// evaluations. The serving layer plans explicitly from its memoised
+/// snapshot statistics and is not subject to this heuristic.
+pub const PLAN_MIN_ROWS: usize = 4096;
+
+/// Inline planning pays off only when some rule actually joins (bodies
+/// with fewer than two positive atoms have no order freedom worth a
+/// statistics pass) and the program reads at least [`PLAN_MIN_ROWS`]
+/// rows of data for the order to matter.
+fn worth_planning(program: &Program, db: &Database) -> bool {
+    let joins = program.rules.iter().any(|r| {
+        r.body
+            .iter()
+            .filter(|i| matches!(i, BodyItem::Pos(_)))
+            .count()
+            >= 2
+    });
+    if !joins {
+        return false;
+    }
+    let mut preds: Vec<crate::symbols::Sym> = Vec::new();
+    for rule in &program.rules {
+        for item in &rule.body {
+            if let BodyItem::Pos(a) | BodyItem::Neg(a) = item {
+                if !preds.contains(&a.pred) {
+                    preds.push(a.pred);
+                }
+            }
+        }
+    }
+    let rows: usize = preds
+        .into_iter()
+        .map(|p| db.relation(p).map_or(0, |r| r.len()))
+        .sum();
+    rows >= PLAN_MIN_ROWS
+}
+
 fn evaluate_inner(
     program: &Program,
     db: &mut Database,
     options: &EvalOptions,
     pool: Option<&PoolHandle<'_, '_>>,
+    plan: Option<&crate::plan::ProgramPlan>,
 ) -> Result<EvalStats, EvalError> {
     let start = Instant::now();
     let symbols = db.symbols().clone();
@@ -273,12 +401,39 @@ fn evaluate_inner(
         }
     }
 
+    // The physical plan: the caller's (plan-cache hit), or computed here
+    // from current relation statistics. A plan whose rule count does not
+    // match the program (stale cache against a different translation) is
+    // ignored rather than trusted.
+    let computed_plan;
+    let plan = match plan {
+        Some(p) if p.rules.len() == program.rules.len() => Some(p),
+        Some(_) => None,
+        None if options.plan && worth_planning(program, db) => {
+            let stats = crate::stats::DbStats::collect_sampled(
+                db.relations(),
+                crate::stats::INLINE_SAMPLE_LIMIT,
+            );
+            computed_plan = crate::plan::plan_program(program, &symbols, &stats).ok();
+            computed_plan.as_ref()
+        }
+        None => None,
+    };
+
     let strat = stratify(program, &symbols)?;
     let plans: Vec<RulePlan> = program
         .rules
         .iter()
         .enumerate()
-        .map(|(i, r)| compile_rule(i, r, &symbols, &dict, None))
+        .map(|(i, r)| {
+            // Plan orders are advice: if one fails to compile (it cannot,
+            // unless stale), rule-text order is the safe authority.
+            match plan.map(|p| p.rules[i].order.as_slice()) {
+                Some(o) => compile_rule(i, r, &symbols, &dict, Some(o))
+                    .or_else(|_| compile_rule(i, r, &symbols, &dict, None)),
+                None => compile_rule(i, r, &symbols, &dict, None),
+            }
+        })
         .collect::<Result<_, _>>()?;
 
     // `SPARQLOG_TRACE=1` prints per-rule evaluation progress to stderr —
@@ -322,12 +477,26 @@ fn evaluate_inner(
         // body occurrence of a this-stratum predicate.
         let mut delta_plans: FxHashMap<(usize, usize), RulePlan> = FxHashMap::default();
         for &ri in stratum_rules {
-            for item_idx in program.rules[ri].positive_occurrences_of(&stratum_preds) {
-                let delta_first = options.semi_naive_reorder.then_some(item_idx);
-                delta_plans.insert(
-                    (ri, item_idx),
-                    compile_rule(ri, &program.rules[ri], &symbols, &dict, delta_first)?,
-                );
+            let rule = &program.rules[ri];
+            for item_idx in rule.positive_occurrences_of(&stratum_preds) {
+                // Order preference: the physical plan's delta variant,
+                // else the delta-first heuristic, else rule-text order
+                // (the delta restriction itself comes from the job, not
+                // the order).
+                let order: Option<Vec<usize>> = plan
+                    .and_then(|p| p.delta.get(&(ri, item_idx)))
+                    .map(|ro| ro.order.clone())
+                    .or_else(|| {
+                        options
+                            .semi_naive_reorder
+                            .then(|| delta_order(rule, item_idx))
+                    });
+                let compiled = match order {
+                    Some(o) => compile_rule(ri, rule, &symbols, &dict, Some(&o))
+                        .or_else(|_| compile_rule(ri, rule, &symbols, &dict, None)),
+                    None => compile_rule(ri, rule, &symbols, &dict, None),
+                }?;
+                delta_plans.insert((ri, item_idx), compiled);
             }
         }
 
@@ -733,18 +902,17 @@ fn encode_atom(atom: &crate::rule::Atom, dict: &TermDict) -> EncAtom {
     }
 }
 
-/// Compiles a rule into an evaluation plan. With `delta_first =
-/// Some(i)`, body item `i` (a positive atom) is moved to the front —
-/// the standard semi-naive ordering, so a delta pass costs
-/// O(|delta| x join) instead of O(|full prefix| x |delta|). Moving a
-/// positive atom earlier never breaks safety: it only binds variables
-/// sooner.
+/// Compiles a rule into an evaluation plan, consuming body items in
+/// `order` (a permutation of the body's indices — from the cost-based
+/// planner or [`delta_order`]) or rule-text order when `None`. Masks and
+/// safety are recomputed from the given order, never taken on faith from
+/// a plan: a stale order can cost performance but not correctness.
 fn compile_rule(
     rule_idx: usize,
     rule: &Rule,
     symbols: &SymbolTable,
     dict: &TermDict,
-    delta_first: Option<usize>,
+    order: Option<&[usize]>,
 ) -> Result<RulePlan, EvalError> {
     let nvars = rule.var_names.len();
     let mut bound = vec![false; nvars];
@@ -752,9 +920,20 @@ fn compile_rule(
     let mut index_needs = Vec::new();
     let mut enc_atoms: Vec<Option<EncAtom>> = vec![None; rule.body.len()];
 
-    let order: Vec<usize> = match delta_first {
-        None => (0..rule.body.len()).collect(),
-        Some(di) => delta_order(rule, di),
+    let is_permutation = |o: &[usize]| {
+        let mut seen = vec![false; rule.body.len()];
+        o.len() == rule.body.len()
+            && o.iter().all(|&i| {
+                let fresh = i < rule.body.len() && !seen[i];
+                if fresh {
+                    seen[i] = true;
+                }
+                fresh
+            })
+    };
+    let order: Vec<usize> = match order {
+        Some(o) if is_permutation(o) => o.to_vec(),
+        Some(_) | None => (0..rule.body.len()).collect(),
     };
     for item_idx in order {
         let item = &rule.body[item_idx];
@@ -962,27 +1141,57 @@ impl Ctx<'_> {
     }
 }
 
+/// A scan step's hash index: borrowed from the relation's eager map, or
+/// a shared lazily built one (kept alive by its `Arc` for the pass).
+enum ScanIndex<'d> {
+    Eager(&'d Index),
+    Lazy(Arc<std::sync::OnceLock<Index>>),
+}
+
 /// A scan step's relation and hash index, resolved once per rule pass so
 /// the probe loop never re-hashes the `(pred, mask)` pair per tuple.
-#[derive(Clone, Copy, Default)]
 struct ResolvedScan<'d> {
     rel: Option<&'d Relation>,
-    index: Option<&'d Index>,
+    index: Option<ScanIndex<'d>>,
+}
+
+impl ResolvedScan<'_> {
+    #[inline]
+    fn index(&self) -> Option<&Index> {
+        match &self.index {
+            Some(ScanIndex::Eager(ix)) => Some(ix),
+            Some(ScanIndex::Lazy(cell)) => cell.get(),
+            None => None,
+        }
+    }
 }
 
 /// Resolves every scan step of `plan` against the current snapshot.
+/// Eager indexes win (lock-free, incrementally maintained); a planned
+/// mask the snapshot did not build eagerly — a frozen base builds only
+/// the masks live plans name — falls back to the relation's shared
+/// lazily built index, initialised here, outside the probe loop.
 fn resolve_scans<'d>(plan: &RulePlan, db: &'d Database) -> Vec<ResolvedScan<'d>> {
     plan.steps
         .iter()
         .map(|step| match step {
             Step::Scan { pred, mask, .. } => {
                 let rel = db.relation(*pred);
-                ResolvedScan {
-                    rel,
-                    index: rel.and_then(|r| (*mask != 0).then(|| r.hash_index(*mask)).flatten()),
-                }
+                let index = rel.and_then(|r| {
+                    if *mask == 0 {
+                        return None;
+                    }
+                    match r.hash_index(*mask) {
+                        Some(ix) => Some(ScanIndex::Eager(ix)),
+                        None => r.shared_index(*mask).map(ScanIndex::Lazy),
+                    }
+                });
+                ResolvedScan { rel, index }
             }
-            _ => ResolvedScan::default(),
+            _ => ResolvedScan {
+                rel: None,
+                index: None,
+            },
         })
         .collect()
 }
@@ -1065,7 +1274,7 @@ fn eval_delta_probe(
     let atom1 = plan.enc_atoms[i1]
         .as_ref()
         .expect("scan step on positive item");
-    let (rel, index) = (resolved[1].rel?, resolved[1].index?);
+    let (rel, index) = (resolved[1].rel?, resolved[1].index()?);
     let mut env: Vec<Option<TermId>> = vec![None; plan.nvars];
     let mut ticks = 0u64;
     for r in lo..hi {
@@ -1206,9 +1415,9 @@ where
                     return Ok(());
                 }
             }
-            let rs = resolved[step_idx];
+            let rs = &resolved[step_idx];
             let Some(rel) = rs.rel else { return Ok(()) };
-            match rs.index {
+            match rs.index() {
                 Some(index) if *mask != 0 => {
                     // Hash probe on the bound positions; the key lives in
                     // a stack buffer — the hot loop does not allocate.

@@ -2,17 +2,22 @@
 //! mutate/query lifecycle split.
 //!
 //! A [`FrozenDb`] is produced by [`Database::freeze`] after loading and
-//! materialisation. Freezing *index-completes* every relation — all
-//! non-trivial bound-position masks up to [`FULL_INDEX_MAX_ARITY`] columns
-//! are built eagerly (and any lazily auto-built index is promoted) — and
-//! then never mutates again, so every accessor takes `&self` and the
-//! snapshot can be shared across threads behind one `Arc`. For relations
-//! within the full-indexing arity bound — which covers every predicate
-//! the SPARQL data translation emits — the lazy `OnceLock` auto-index
-//! path of [`Relation::lookup`] is dead (every mask a probe could ask
-//! for already sits in the eager map) and reads are lock-free; a wider
-//! relation probed on an unplanned mask still auto-builds its index
-//! through the lazy path, which stays thread-safe on a shared snapshot.
+//! materialisation. Freezing is *profile-guided*: instead of eagerly
+//! materialising all `2^arity - 1` per-mask indexes of every relation, it
+//! promotes the lazily auto-built indexes that probes on the previous
+//! snapshot actually demanded, plus the masks named by the caller's live
+//! physical plans ([`Database::freeze_with_needs`] — the serving layer
+//! passes the union of its plan cache's index needs). Everything else is
+//! built on demand through the thread-safe per-mask `OnceLock` path
+//! ([`Relation::lookup`] and the evaluator's shared-index fallback) and
+//! promoted to a lock-free eager index at the *next* freeze. The snapshot
+//! never mutates otherwise, so every accessor takes `&self` and it is
+//! shared across threads behind one `Arc`.
+//!
+//! A snapshot also memoises its relation statistics ([`FrozenDb::stats`])
+//! — the input of the cost-based planner ([`crate::plan`]) — collected
+//! once on first use and warmed incrementally across the thaw/re-freeze
+//! commit path ([`FrozenDb::warm_stats_from`]).
 //!
 //! Queries evaluate against a snapshot through an *overlay*
 //! ([`Database::overlay`]): a fresh, initially empty database sharing the
@@ -24,20 +29,21 @@
 //! pass workers share an immutable database; *across* queries threads
 //! share an immutable [`FrozenDb`].
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use crate::database::{Database, Relation};
+use crate::database::{Database, Mask, Relation};
 use crate::fxhash::FxHashMap;
+use crate::stats::DbStats;
 use crate::symbols::{Sym, SymbolTable};
 use crate::value::TermDict;
 
-/// Widest relation that gets the *complete* per-mask index treatment at
-/// freeze time (`2^arity - 1` hash indexes). The SPARQL data translation
-/// tops out at `triple/4` (15 masks); relations wider than this keep
-/// only the indexes that already exist plus promoted lazy ones —
-/// evaluator scans on unindexed masks fall back to verified full scans,
-/// and an external [`Relation::lookup`] on an unplanned mask auto-builds
-/// through the thread-safe lazy path.
+/// Widest relation for which [`Relation::complete_indexes`] builds the
+/// *complete* per-mask index set (`2^arity - 1` hash indexes) — the
+/// exhaustive-indexing bound freezing used before the planner existed.
+/// [`Database::freeze`] no longer builds them all: snapshots index
+/// profile-guided (promoted lazy masks plus the masks live plans name),
+/// and this constant remains for callers that want the old exhaustive
+/// treatment explicitly.
 pub const FULL_INDEX_MAX_ARITY: usize = 4;
 
 /// An immutable, index-complete database snapshot, shared across threads
@@ -53,6 +59,9 @@ pub struct FrozenDb {
     dict: Arc<TermDict>,
     relations: FxHashMap<Sym, Relation>,
     facts: usize,
+    /// Planner statistics, collected once per snapshot on first use (or
+    /// warmed from a predecessor at commit time).
+    stats: OnceLock<Arc<DbStats>>,
 }
 
 impl FrozenDb {
@@ -67,6 +76,7 @@ impl FrozenDb {
             dict,
             relations,
             facts,
+            stats: OnceLock::new(),
         }
     }
 
@@ -93,6 +103,34 @@ impl FrozenDb {
     /// Total number of facts in the snapshot.
     pub fn fact_count(&self) -> usize {
         self.facts
+    }
+
+    /// The snapshot's relation statistics (row counts, per-column
+    /// distinct estimates) — the cost-based planner's input. Collected
+    /// once on first use behind a `OnceLock` (cheap: one strided pass
+    /// per relation) and shared from then on; the store's commit path
+    /// pre-warms it incrementally via [`FrozenDb::warm_stats_from`].
+    pub fn stats(&self) -> Arc<DbStats> {
+        self.stats
+            .get_or_init(|| Arc::new(DbStats::collect(self.relations())))
+            .clone()
+    }
+
+    /// The memoised statistics, if already collected — commit paths use
+    /// this to carry statistics forward without forcing a collection on
+    /// snapshots nobody planned against.
+    pub fn stats_if_ready(&self) -> Option<Arc<DbStats>> {
+        self.stats.get().cloned()
+    }
+
+    /// Seeds this snapshot's statistics incrementally from a
+    /// predecessor's: relations whose row counts are unchanged reuse the
+    /// old entries, the rest are re-scanned ([`DbStats::refresh`]). A
+    /// no-op if statistics were already collected.
+    pub fn warm_stats_from(&self, prev: &DbStats) {
+        let _ = self
+            .stats
+            .set(Arc::new(DbStats::refresh(self.relations(), prev)));
     }
 
     /// Melts a snapshot back into a mutable [`Database`] — the write
@@ -175,25 +213,34 @@ impl std::fmt::Debug for FrozenDb {
 }
 
 impl Database {
-    /// Consumes the database into an immutable, index-complete
-    /// [`FrozenDb`] snapshot, shareable across threads behind the
-    /// returned `Arc`.
+    /// Consumes the database into an immutable [`FrozenDb`] snapshot,
+    /// shareable across threads behind the returned `Arc`.
     ///
-    /// Every relation of width at most [`FULL_INDEX_MAX_ARITY`] gets all
-    /// `2^arity - 1` per-mask hash indexes built eagerly (lazily
-    /// auto-built ones are promoted rather than rebuilt), so concurrent
-    /// query evaluation over those — every predicate the SPARQL
-    /// translation emits — never takes the lazy `OnceLock` build path
-    /// and reads lock-free. Freezing is the moment to pay that cost
-    /// once: the snapshot is immutable, so no insert ever has to keep
-    /// the extra indexes current. (A wider relation probed via
-    /// [`Relation::lookup`] on an unplanned mask still auto-builds
-    /// lazily; that path is thread-safe on the shared snapshot.)
+    /// Indexing is *profile-guided*: already-built eager indexes are
+    /// kept (inserts maintained them incrementally) and lazily
+    /// auto-built ones — masks that real probes demanded on this data —
+    /// are promoted to eager, lock-free indexes. Nothing else is built:
+    /// a probe on a fresh mask auto-builds its index on first use
+    /// through the thread-safe per-mask `OnceLock` path (the evaluator's
+    /// shared-index fallback, or [`Relation::lookup`]), and the *next*
+    /// freeze promotes it. Callers whose physical plans name the masks
+    /// they will probe use [`Database::freeze_with_needs`] to have them
+    /// eager from the start.
     ///
     /// Any frozen base this database was overlaid on is flattened into
     /// the snapshot (local copy-on-write relations shadow their base
     /// versions).
-    pub fn freeze(mut self) -> Arc<FrozenDb> {
+    pub fn freeze(self) -> Arc<FrozenDb> {
+        self.freeze_with_needs(&[])
+    }
+
+    /// [`Database::freeze`], additionally building the named `(predicate,
+    /// bound-position mask)` hash indexes eagerly — the serving layer
+    /// passes the union of its cached physical plans' index needs, so
+    /// every planned probe on the new snapshot is a lock-free eager-index
+    /// hit from the first query on. Masks that do not fit the relation's
+    /// arity (or name absent predicates) are ignored.
+    pub fn freeze_with_needs(mut self, needs: &[(Sym, Mask)]) -> Arc<FrozenDb> {
         // Flatten an overlay: pull in base relations not shadowed locally.
         if let Some(base) = self.base.take() {
             for (pred, rel) in base.relations() {
@@ -203,7 +250,14 @@ impl Database {
             }
         }
         for rel in self.relations.values_mut() {
-            rel.complete_indexes(FULL_INDEX_MAX_ARITY);
+            rel.promote_lazy_indexes();
+        }
+        for &(pred, mask) in needs {
+            if let Some(rel) = self.relations.get_mut(&pred) {
+                if mask != 0 && rel.arity() < 64 && mask < (1u64 << rel.arity()) {
+                    rel.ensure_index(mask);
+                }
+            }
         }
         Arc::new(FrozenDb::new(self.symbols, self.dict, self.relations))
     }
@@ -240,22 +294,36 @@ mod tests {
     }
 
     #[test]
-    fn freeze_preserves_facts_and_completes_indexes() {
-        let db = edges_db();
-        let frozen = db.freeze();
+    fn freeze_preserves_facts_and_builds_only_named_masks() {
+        let frozen = edges_db().freeze();
         assert_eq!(frozen.fact_count(), 50);
         let e = frozen.symbols().get("edge").unwrap();
         let rel = frozen.relation(e).unwrap();
-        // All three non-trivial masks of a binary relation are eager.
+        // Profile-guided freezing builds nothing up front...
+        assert!(rel.index_masks().is_empty(), "no eager masks were named");
+        // ...but every lookup still answers exactly, through the lazy
+        // auto-build path.
         for mask in 1u64..4 {
-            assert!(
-                matches!(
-                    rel.lookup(mask, &crate::database::project(rel.row(0), mask)),
-                    crate::database::Matches::Borrowed(_)
-                ),
-                "mask {mask:#b} must be pre-built"
-            );
+            let key = crate::database::project(rel.row(0), mask);
+            assert_eq!(rel.lookup(mask, &key).len(), 1, "mask {mask:#b}");
         }
+
+        // Naming a mask makes it eager from the start: a lock-free
+        // borrowed-bucket hit.
+        let frozen = edges_db().freeze_with_needs(&[(e, 0b01)]);
+        let rel = frozen.relation(e).unwrap();
+        assert_eq!(rel.index_masks(), vec![0b01]);
+        assert!(
+            matches!(
+                rel.lookup(0b01, &crate::database::project(rel.row(0), 0b01)),
+                crate::database::Matches::Borrowed(_)
+            ),
+            "named mask must be pre-built"
+        );
+        // Out-of-arity masks and unknown predicates are ignored.
+        let ghost = frozen.symbols().intern("ghost");
+        let frozen = edges_db().freeze_with_needs(&[(e, 0b1000), (ghost, 0b1)]);
+        assert!(frozen.relation(e).unwrap().index_masks().is_empty());
     }
 
     #[test]
@@ -316,11 +384,14 @@ mod tests {
 
     #[test]
     fn thaw_unique_keeps_indexes_and_absorbs_delta() {
-        let frozen = edges_db().freeze();
+        let e = {
+            let db = edges_db();
+            db.symbols().get("edge").unwrap()
+        };
+        let frozen = edges_db().freeze_with_needs(&[(e, 0b01), (e, 0b10), (e, 0b11)]);
         let sig_before = frozen.content_signature();
         let db = FrozenDb::thaw(frozen); // unique: relations are moved
-        let e = db.symbols().get("edge").unwrap();
-        // Indexes survived the thaw: all three masks still eager.
+                                         // Indexes survived the thaw: all three masks still eager.
         assert_eq!(db.relation(e).unwrap().index_masks(), vec![1, 2, 3]);
         // Re-freezing without changes reproduces the same snapshot.
         let refrozen = db.freeze();
@@ -338,6 +409,31 @@ mod tests {
         for mask in 1u64..4 {
             assert_eq!(rel.indexed_rows(mask), Some(51), "mask {mask:#b}");
         }
+    }
+
+    #[test]
+    fn lazily_built_masks_survive_thaw_and_refreeze() {
+        let frozen = edges_db().freeze();
+        let e = frozen.symbols().get("edge").unwrap();
+        let rel = frozen.relation(e).unwrap();
+        // A probe on the shared snapshot demands mask 0b10 lazily...
+        let key = crate::database::project(rel.row(3), 0b10);
+        assert_eq!(rel.lookup(0b10, &key).len(), 1);
+        assert!(rel.index_masks().is_empty(), "still lazy, not eager");
+
+        // ...and the thaw → re-freeze cycle promotes it to an eager
+        // index, visible in the snapshot's content signature.
+        let again = FrozenDb::thaw(frozen).freeze();
+        let rel = again.relation(e).unwrap();
+        assert_eq!(rel.index_masks(), vec![0b10], "probed mask promoted");
+        assert_eq!(rel.indexed_rows(0b10), Some(50), "complete and current");
+        let name = again.symbols().resolve(e);
+        assert!(
+            again
+                .content_signature()
+                .contains(&format!("@index {name} mask=0b10 rows=50/50")),
+            "signature records the promoted index"
+        );
     }
 
     #[test]

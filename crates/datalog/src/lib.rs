@@ -54,25 +54,35 @@ pub mod eval;
 pub mod expr;
 pub mod frozen;
 pub mod fxhash;
+pub mod magic;
 pub mod parser;
+pub mod plan;
 pub mod pool;
 pub mod regex;
 pub mod rule;
+pub mod stats;
 pub mod stratify;
 pub mod symbols;
 pub mod value;
 pub mod wardedness;
 
-pub use database::{row_hash, ColumnBatch, Database, Matches, Relation, Staging};
+pub use database::{row_hash, ColumnBatch, Database, Mask, Matches, Relation, Staging};
 pub use eval::{
-    collect_output, evaluate, evaluate_frozen, order_cmp, EvalError, EvalOptions, EvalStats,
+    collect_output, evaluate, evaluate_frozen, evaluate_frozen_with_plan, evaluate_with_plan,
+    order_cmp, EvalError, EvalOptions, EvalStats, PLAN_MIN_ROWS,
 };
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use frozen::{FrozenDb, FULL_INDEX_MAX_ARITY};
+pub use magic::{
+    demand_prunes, demand_subprogram, magic_sets_rewrite, magic_sets_rewrite_analyzed,
+    MagicRewrite, DEMAND_SELECTIVITY,
+};
+pub use plan::{plan_program, AtomPlan, ProgramPlan, RuleOrder};
 pub use pool::run_scoped;
 pub use rule::{
     AggFunc, AggSpec, Atom, AtomArg, BodyItem, PostOp, Program, Rule, RuleBuilder, VarId,
 };
+pub use stats::{DbStats, RelStats, StatsFingerprint};
 pub use stratify::{stratify, Stratification, StratifyError};
 pub use symbols::{Sym, SymbolTable};
 pub use value::{Const, OrdF64, SkolemTerm, TermDict, TermId};

@@ -1,0 +1,57 @@
+//! Explain: inspect the physical plan the cost-based planner (PR 6)
+//! chooses for a query, and the statistics it chose it from.
+//!
+//! ```sh
+//! cargo run --example explain_plan
+//! ```
+//!
+//! The planner sits between the SPARQL → Datalog translation and the
+//! evaluator: per-relation row counts and per-column distinct estimates
+//! drive a greedy join order, and each probe records the exact
+//! `(predicate, mask)` hash index it will use. `Snapshot::explain`
+//! renders that plan; `Snapshot::stats` exposes the statistics.
+
+use sparqlog::Store;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let store = Store::new();
+    // A skewed graph: many `borders` edges, few `capital` facts — the
+    // planner should start from the selective atom regardless of where
+    // it sits in the query text.
+    let mut turtle = String::from("@prefix ex: <http://ex.org/> .\n");
+    for i in 0..200 {
+        turtle.push_str(&format!("ex:c{i} ex:borders ex:c{} .\n", (i + 1) % 200));
+        turtle.push_str(&format!("ex:c{i} ex:borders ex:c{} .\n", (i + 7) % 200));
+    }
+    turtle.push_str("ex:c0 ex:capital ex:k0 .\n");
+    store.load_turtle(&turtle)?;
+
+    let query = "PREFIX ex: <http://ex.org/>
+                 SELECT ?n ?k WHERE { ?c ex:borders ?n . ?c ex:capital ?k }";
+    let prepared = store.prepare(query)?;
+    let snapshot = store.snapshot();
+
+    // The statistics the plan is based on.
+    let stats = snapshot.stats();
+    let triple = snapshot.symbols().get("triple").expect("triple relation");
+    let triple_stats = stats.relation(triple).expect("triple has statistics");
+    println!(
+        "triple relation: {} rows, per-column distinct estimates {:?}\n",
+        triple_stats.rows, triple_stats.distinct
+    );
+
+    // The chosen physical plan: atom order, probe masks, estimates.
+    println!("plan for:\n  {query}\n");
+    println!("{}", snapshot.explain(&prepared)?);
+
+    // Executing the prepared query reuses the cached plan — zero
+    // planning work per execution until statistics drift.
+    let before = snapshot.plans_computed();
+    let result = snapshot.execute_prepared(&prepared)?;
+    println!(
+        "{} solution(s), plans computed during execution: {}",
+        result.len(),
+        snapshot.plans_computed() - before
+    );
+    Ok(())
+}
