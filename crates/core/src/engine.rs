@@ -30,9 +30,10 @@
 //! ```
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use sparqlog_datalog::{
-    evaluate, Database, EvalError, EvalOptions, EvalStats, Program, SymbolTable,
+    evaluate, AbortReason, Database, EvalError, EvalOptions, EvalStats, Program, SymbolTable,
 };
 use sparqlog_rdf::{Dataset, Graph};
 use sparqlog_sparql::{parse_query, ParseError, Query};
@@ -52,6 +53,23 @@ pub enum SparqLogError {
     Translation(TranslationError),
     /// Datalog evaluation failed (timeout, unsafe rule, ...).
     Eval(EvalError),
+    /// The execution governor stopped the query: a
+    /// [`Budget`](crate::Budget) limit was crossed or the query's
+    /// [`CancelToken`](crate::CancelToken) fired. The query did not
+    /// complete; no partial results are returned, and the store is
+    /// unaffected.
+    Aborted {
+        /// Which limit tripped.
+        reason: AbortReason,
+        /// Wall-clock time spent in evaluation when the abort was
+        /// observed.
+        elapsed: Duration,
+        /// How far execution got: rows derived so far (merged rows plus
+        /// staged, not-yet-deduplicated candidates). Compare against the
+        /// budget's row cap to judge whether the query was close to
+        /// finishing or running away.
+        rows_derived: usize,
+    },
     /// Data loading failed.
     Data(String),
     /// A SPARQL *Update* string was passed to a read-only entry point —
@@ -102,9 +120,23 @@ impl SparqLogError {
         }
     }
 
-    /// True for evaluation time-outs.
+    /// True for evaluation time-outs — the legacy
+    /// [`EvalOptions::timeout`] path and governor deadline aborts alike.
     pub fn is_timeout(&self) -> bool {
-        matches!(self, SparqLogError::Eval(EvalError::Timeout))
+        matches!(
+            self,
+            SparqLogError::Eval(EvalError::Timeout)
+                | SparqLogError::Aborted {
+                    reason: AbortReason::Deadline,
+                    ..
+                }
+        )
+    }
+
+    /// True when the execution governor aborted the query
+    /// ([`SparqLogError::Aborted`]), for any reason.
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, SparqLogError::Aborted { .. })
     }
 }
 
@@ -114,6 +146,15 @@ impl std::fmt::Display for SparqLogError {
             SparqLogError::Parse(e) => write!(f, "parse error: {e}"),
             SparqLogError::Translation(e) => write!(f, "translation error: {e}"),
             SparqLogError::Eval(e) => write!(f, "evaluation error: {e}"),
+            SparqLogError::Aborted {
+                reason,
+                elapsed,
+                rows_derived,
+            } => write!(
+                f,
+                "query aborted ({reason}) after {elapsed:?} with {rows_derived} rows \
+                 derived; raise the budget limit or narrow the query"
+            ),
             SparqLogError::Data(e) => write!(f, "data error: {e}"),
             SparqLogError::ReadOnly(kw) => write!(
                 f,
@@ -129,7 +170,19 @@ impl std::fmt::Display for SparqLogError {
     }
 }
 
-impl std::error::Error for SparqLogError {}
+impl std::error::Error for SparqLogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparqLogError::Parse(e) => Some(e),
+            SparqLogError::Translation(e) => Some(e),
+            SparqLogError::Eval(e) => Some(e),
+            SparqLogError::Data(_)
+            | SparqLogError::Aborted { .. }
+            | SparqLogError::ReadOnly(_)
+            | SparqLogError::ForeignPrepared => None,
+        }
+    }
+}
 
 impl From<ParseError> for SparqLogError {
     fn from(e: ParseError) -> Self {
@@ -145,7 +198,22 @@ impl From<TranslationError> for SparqLogError {
 
 impl From<EvalError> for SparqLogError {
     fn from(e: EvalError) -> Self {
-        SparqLogError::Eval(e)
+        // Governor aborts are promoted to a top-level variant: they are a
+        // policy outcome (limit crossed, cancellation), not an evaluation
+        // defect, and callers dispatch on them (retry with a bigger
+        // budget, report 408/503, ...).
+        match e {
+            EvalError::Aborted {
+                reason,
+                elapsed,
+                rows_derived,
+            } => SparqLogError::Aborted {
+                reason,
+                elapsed,
+                rows_derived,
+            },
+            e => SparqLogError::Eval(e),
+        }
     }
 }
 

@@ -79,5 +79,6 @@ pub use serving::{FrozenDatabase, PreparedQuery};
 #[allow(deprecated)]
 pub use solution::QueryResult;
 pub use solution::{canonical_triples, QueryResults, Solution, SolutionSeq};
+pub use sparqlog_datalog::{AbortReason, Budget, CancelToken};
 pub use sparqlog_rdf::{Graph, Term};
 pub use store::{CommitStats, Snapshot, Store, Writer};

@@ -61,8 +61,9 @@ use std::sync::{Arc, Mutex, RwLock};
 
 use sparqlog_datalog::{
     demand_prunes, demand_subprogram, evaluate_frozen, evaluate_frozen_with_plan,
-    fxhash::FxHashMap, magic_sets_rewrite_analyzed, plan_program, run_scoped, DbStats, EvalOptions,
-    FrozenDb, Mask, Program, ProgramPlan, StatsFingerprint, Sym, SymbolTable,
+    fxhash::FxHashMap, magic_sets_rewrite_analyzed, plan_program, run_scoped_caught, Budget,
+    CancelToken, DbStats, EvalError, EvalOptions, FrozenDb, Mask, Program, ProgramPlan,
+    StatsFingerprint, Sym, SymbolTable,
 };
 use sparqlog_sparql::{parse_query, update_keyword, Query};
 
@@ -332,6 +333,17 @@ impl FrozenDatabase {
         self.run(&p.inner, &self.options)
     }
 
+    /// [`Self::execute_prepared`] under an explicit [`Budget`], which
+    /// replaces the snapshot's default budget for this execution only.
+    pub fn execute_prepared_with_budget(
+        &self,
+        p: &PreparedQuery,
+        budget: &Budget,
+    ) -> Result<QueryResults, SparqLogError> {
+        self.check_prepared(p)?;
+        self.run(&p.inner, &self.options_with(budget))
+    }
+
     /// [`Self::execute_batch`] over prepared handles: fans evaluation
     /// out over the worker pool with zero per-query translation work,
     /// returning results in input order.
@@ -339,7 +351,20 @@ impl FrozenDatabase {
         &self,
         queries: &[PreparedQuery],
     ) -> Vec<Result<QueryResults, SparqLogError>> {
-        self.batch(queries.len(), |i| {
+        self.batch(queries.len(), &self.options.budget, |i| {
+            self.check_prepared(&queries[i])?;
+            Ok(queries[i].inner.clone())
+        })
+    }
+
+    /// [`Self::execute_prepared_batch`] under an explicit [`Budget`]
+    /// (see [`Self::execute_batch_with_budget`] for the semantics).
+    pub fn execute_prepared_batch_with_budget(
+        &self,
+        queries: &[PreparedQuery],
+        budget: &Budget,
+    ) -> Vec<Result<QueryResults, SparqLogError>> {
+        self.batch(queries.len(), budget, |i| {
             self.check_prepared(&queries[i])?;
             Ok(queries[i].inner.clone())
         })
@@ -368,6 +393,34 @@ impl FrozenDatabase {
     pub fn execute(&self, query_str: &str) -> Result<QueryResults, SparqLogError> {
         let cached = self.translation(query_str)?;
         self.run(&cached, &self.options)
+    }
+
+    /// [`Self::execute`] under an explicit [`Budget`], which replaces the
+    /// snapshot's default budget for this execution only. A query that
+    /// crosses a limit (or whose [`CancelToken`] fires) returns
+    /// [`SparqLogError::Aborted`] within one evaluation batch of the
+    /// limit, leaving the snapshot untouched.
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use sparqlog::{Budget, SparqLog};
+    ///
+    /// let mut engine = SparqLog::new();
+    /// engine
+    ///     .load_turtle("@prefix ex: <http://ex.org/> . ex:a ex:p ex:b .")
+    ///     .unwrap();
+    /// let frozen = engine.freeze();
+    /// let q = "PREFIX ex: <http://ex.org/> SELECT ?o WHERE { ex:a ex:p ?o }";
+    /// let budget = Budget::new().with_timeout(Duration::from_secs(30));
+    /// assert_eq!(frozen.execute_with_budget(q, &budget).unwrap().len(), 1);
+    /// ```
+    pub fn execute_with_budget(
+        &self,
+        query_str: &str,
+        budget: &Budget,
+    ) -> Result<QueryResults, SparqLogError> {
+        let cached = self.translation(query_str)?;
+        self.run(&cached, &self.options_with(budget))
     }
 
     /// Executes an already-parsed query (translated fresh each call — the
@@ -405,7 +458,28 @@ impl FrozenDatabase {
     /// assert!(results[1].is_err()); // the batch keeps going
     /// ```
     pub fn execute_batch(&self, queries: &[&str]) -> Vec<Result<QueryResults, SparqLogError>> {
-        self.batch(queries.len(), |i| self.translation(queries[i]))
+        self.batch(queries.len(), &self.options.budget, |i| {
+            self.translation(queries[i])
+        })
+    }
+
+    /// [`Self::execute_batch`] under an explicit [`Budget`], which
+    /// replaces the snapshot's default budget for every query in the
+    /// batch. Each query gets the budget individually (the timeout clock
+    /// starts when *its* evaluation starts, row/dictionary caps are
+    /// per-query), except cancellation, which is batch-wide: the first
+    /// query to return [`SparqLogError::Aborted`] cancels its still-
+    /// running siblings, so a batch against an overloaded store drains in
+    /// roughly one query's worth of time instead of `n`. Ordinary
+    /// per-query failures (parse errors, unsupported features) do *not*
+    /// cancel siblings — they come back as `Err` entries in input order
+    /// exactly as in [`Self::execute_batch`].
+    pub fn execute_batch_with_budget(
+        &self,
+        queries: &[&str],
+        budget: &Budget,
+    ) -> Vec<Result<QueryResults, SparqLogError>> {
+        self.batch(queries.len(), budget, |i| self.translation(queries[i]))
     }
 
     /// [`Self::execute_batch`] over already-parsed queries (no text
@@ -414,34 +488,83 @@ impl FrozenDatabase {
         &self,
         queries: &[Query],
     ) -> Vec<Result<QueryResults, SparqLogError>> {
-        self.batch(queries.len(), |i| self.translate_entry(queries[i].clone()))
+        self.batch(queries.len(), &self.options.budget, |i| {
+            self.translate_entry(queries[i].clone())
+        })
+    }
+
+    /// This snapshot's options with `budget` substituted — the per-call
+    /// override used by every `*_with_budget` entry point.
+    fn options_with(&self, budget: &Budget) -> EvalOptions {
+        EvalOptions {
+            budget: budget.clone(),
+            ..self.options.clone()
+        }
     }
 
     /// Shared batch driver: resolves each query to a translation, fans
-    /// evaluation out over [`run_scoped`], and collects results in input
+    /// evaluation out over the scoped pool, and collects results in input
     /// order via per-job slots.
+    ///
+    /// Two robustness layers (PR 7):
+    ///
+    /// * **Sibling cancellation** — when the batch is governed, every
+    ///   query runs under a child of one group [`CancelToken`] (itself a
+    ///   child of the caller's token, so external cancellation still
+    ///   propagates); the first governor abort cancels the group.
+    /// * **Panic containment** — jobs run under
+    ///   [`run_scoped_caught`], so a panicking query (a bug, not a policy
+    ///   outcome) yields an `Err` in its own slot while every other
+    ///   query's result is returned intact.
     fn batch(
         &self,
         n: usize,
+        budget: &Budget,
         translation_of: impl Fn(usize) -> Result<Arc<CachedQuery>, SparqLogError> + Sync,
     ) -> Vec<Result<QueryResults, SparqLogError>> {
         let threads = self.options.resolved_threads().min(n.max(1));
+        let (group, effective) = if budget.is_unlimited() {
+            // Ungoverned batch: no abort can occur, so skip the token and
+            // keep the per-query evaluations on the ungoverned fast path.
+            (None, budget.clone())
+        } else {
+            let group = match budget.cancel_token() {
+                Some(t) => t.child(),
+                None => CancelToken::new(),
+            };
+            (Some(group.clone()), budget.clone().with_cancel(group))
+        };
         // Under fan-out each query runs the deterministic single-threaded
         // evaluator: the pool's workers are already saturated by whole
         // queries, and nesting a second pool per query would oversubscribe.
         let per_query = EvalOptions {
             threads: Some(1),
+            budget: effective,
             ..self.options.clone()
         };
         let slots: Vec<Mutex<Option<Result<QueryResults, SparqLogError>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
-        run_scoped(threads, n, &|i| {
+        let panics = run_scoped_caught(threads, n, &|i| {
             let result = translation_of(i).and_then(|cached| self.run(&cached, &per_query));
+            if let (Some(group), Err(SparqLogError::Aborted { .. })) = (&group, &result) {
+                group.cancel();
+            }
             *slots[i].lock().unwrap() = Some(result);
         });
+        for p in panics {
+            let mut slot = slots[p.job].lock().unwrap_or_else(|e| e.into_inner());
+            *slot = Some(Err(SparqLogError::Eval(EvalError::Internal(format!(
+                "query worker panicked: {}",
+                p.message
+            )))));
+        }
         slots
             .into_iter()
-            .map(|s| s.into_inner().unwrap().expect("run_scoped ran every job"))
+            .map(|s| {
+                s.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("every batch job ran or was caught")
+            })
             .collect()
     }
 
@@ -453,6 +576,7 @@ impl FrozenDatabase {
     /// memoised, further texts translate per execution without
     /// inserting, bounding the cache's memory.
     fn translation(&self, text: &str) -> Result<Arc<CachedQuery>, SparqLogError> {
+        panic_marker_hook(text);
         if let Some(hit) = self.cache.map.read().unwrap().get(text) {
             return Ok(hit.clone());
         }
@@ -623,6 +747,20 @@ impl FrozenDatabase {
                 Ok(entry.plan.render(program, self.base.symbols()))
             }
             None => Ok("(no physical plan: planning disabled or program not plannable)".into()),
+        }
+    }
+}
+
+/// Debug-build fault injection: when `SPARQLOG_PANIC_MARKER` is set, any
+/// query whose text contains the marker panics inside its batch job. The
+/// panic-containment regression tests use this to prove one poisoned
+/// query cannot take down its batch; release builds compile the hook out.
+fn panic_marker_hook(text: &str) {
+    if cfg!(debug_assertions) {
+        if let Ok(marker) = std::env::var("SPARQLOG_PANIC_MARKER") {
+            if !marker.is_empty() && text.contains(&marker) {
+                panic!("injected fault: query contains {marker:?}");
+            }
         }
     }
 }

@@ -90,8 +90,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use sparqlog_datalog::{
-    evaluate, Const, Database, EvalOptions, FrozenDb, Program, Relation, Rule, Sym, SymbolTable,
-    TermId,
+    evaluate, Budget, Const, Database, EvalOptions, FrozenDb, Program, Relation, Rule, Sym,
+    SymbolTable, TermId,
 };
 use sparqlog_rdf::{Dataset, Graph, Term};
 use sparqlog_sparql::{
@@ -228,10 +228,32 @@ impl Store {
         self.current().execute(query)
     }
 
+    /// [`Store::execute`] under an explicit [`Budget`], which replaces
+    /// the store's default budget for this execution only (see
+    /// [`FrozenDatabase::execute_with_budget`]).
+    pub fn execute_with_budget(
+        &self,
+        query: &str,
+        budget: &Budget,
+    ) -> Result<QueryResults, SparqLogError> {
+        self.current().execute_with_budget(query, budget)
+    }
+
     /// Executes a batch of queries against the current snapshot, fanned
     /// over the worker pool (see [`FrozenDatabase::execute_batch`]).
     pub fn execute_batch(&self, queries: &[&str]) -> Vec<Result<QueryResults, SparqLogError>> {
         self.current().execute_batch(queries)
+    }
+
+    /// [`Store::execute_batch`] under an explicit [`Budget`] — per-query
+    /// limits plus batch-wide first-abort cancellation (see
+    /// [`FrozenDatabase::execute_batch_with_budget`]).
+    pub fn execute_batch_with_budget(
+        &self,
+        queries: &[&str],
+        budget: &Budget,
+    ) -> Vec<Result<QueryResults, SparqLogError>> {
+        self.current().execute_batch_with_budget(queries, budget)
     }
 
     /// Parses and translates a query once, returning a reusable
@@ -407,6 +429,18 @@ impl Store {
     pub fn set_threads(&self, threads: Option<usize>) {
         let mut options = self.options();
         options.threads = threads;
+        self.set_options(options);
+    }
+
+    /// Sets the default [`Budget`] every subsequent query (and commit
+    /// materialisation) runs under — the store-wide guard-rail policy.
+    /// Per-call `*_with_budget` entry points override it; snapshots taken
+    /// before this call keep the budget they were taken with. The budget
+    /// is a *policy*: a relative timeout in it is re-armed per query, not
+    /// counted from this call.
+    pub fn set_default_budget(&self, budget: Budget) {
+        let mut options = self.options();
+        options.budget = budget;
         self.set_options(options);
     }
 

@@ -55,12 +55,14 @@
 //! the configurable Skolem-depth bound (the substitute for Vadalog's
 //! warded-chase termination strategy) is an O(1) check.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::database::{row_hash, ColumnBatch, Database, Index, Mask, Relation, Staging};
 use crate::frozen::FrozenDb;
 use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::govern::{AbortReason, Budget};
 use crate::pool::Pool;
 use crate::rule::{AggFunc, AtomArg, BodyItem, PostOp, Program, Rule, VarId};
 use crate::stratify::{stratify, StratifyError};
@@ -105,6 +107,15 @@ pub struct EvalOptions {
     /// `std::thread::available_parallelism()`. `Some(1)` forces the
     /// deterministic single-threaded path.
     pub threads: Option<usize>,
+    /// The execution governor ([`crate::govern`]): deadline, derived-row
+    /// cap, dictionary-growth cap and external cancellation, checked
+    /// cooperatively at batch granularity throughout the fixpoint (and
+    /// inherited by the magic-sets demand fixpoint). The unlimited
+    /// default costs one branch per check. A governed evaluation that
+    /// crosses a limit fails with [`EvalError::Aborted`]; the legacy
+    /// [`EvalOptions::timeout`] keeps its historical
+    /// [`EvalError::Timeout`].
+    pub budget: Budget,
 }
 
 impl Default for EvalOptions {
@@ -117,6 +128,7 @@ impl Default for EvalOptions {
             plan: true,
             magic_sets: true,
             threads: None,
+            budget: Budget::default(),
         }
     }
 }
@@ -162,6 +174,25 @@ pub enum EvalError {
     Unsafe(String),
     /// `max_rounds` exceeded.
     RoundLimit,
+    /// The execution governor stopped the evaluation: a [`Budget`]
+    /// limit was crossed or its
+    /// [`CancelToken`](crate::govern::CancelToken) fired. Carries how
+    /// far execution got when it stopped.
+    Aborted {
+        /// Which limit tripped.
+        reason: AbortReason,
+        /// Wall-clock time from evaluation start to the abort.
+        elapsed: Duration,
+        /// Rows derived when the abort was observed (merged rows, plus
+        /// staged not-yet-deduplicated candidates of the in-flight pass
+        /// while a row cap is armed).
+        rows_derived: usize,
+    },
+    /// An evaluation worker panicked; the panic was caught at the job
+    /// boundary (the pool and its sibling jobs survive) and carries the
+    /// rendered panic message. Indicates a bug in the engine, not in the
+    /// query.
+    Internal(String),
 }
 
 impl std::fmt::Display for EvalError {
@@ -171,6 +202,15 @@ impl std::fmt::Display for EvalError {
             EvalError::Stratification(s) => write!(f, "{s}"),
             EvalError::Unsafe(s) => write!(f, "unsafe rule: {s}"),
             EvalError::RoundLimit => write!(f, "round limit exceeded"),
+            EvalError::Aborted {
+                reason,
+                elapsed,
+                rows_derived,
+            } => write!(
+                f,
+                "evaluation aborted: {reason} after {elapsed:?} with {rows_derived} rows derived"
+            ),
+            EvalError::Internal(msg) => write!(f, "internal evaluation error: {msg}"),
         }
     }
 }
@@ -209,6 +249,21 @@ pub fn evaluate_with_plan(
     options: &EvalOptions,
     plan: Option<&crate::plan::ProgramPlan>,
 ) -> Result<EvalStats, EvalError> {
+    // Arm the governor's clock once, at the outermost entry: a relative
+    // timeout becomes an absolute deadline shared by everything this call
+    // runs — including the magic-sets demand fixpoint below, whose
+    // sub-options clone the (already-armed) budget and therefore cannot
+    // restart the clock.
+    let armed_options;
+    let options = if options.budget.needs_arming() {
+        armed_options = EvalOptions {
+            budget: options.budget.armed(),
+            ..options.clone()
+        };
+        &armed_options
+    } else {
+        options
+    };
     // A supplied plan is always for the program as handed to us; the
     // rewrite only runs when we are planning (or running unplanned)
     // locally. Whether the rewrite pays off depends on the data, not the
@@ -318,7 +373,7 @@ impl PoolHandle<'_, '_> {
         self.pool.threads
     }
 
-    fn run(&self, njobs: usize, f: &(dyn Fn(usize) + Sync)) {
+    fn run(&self, njobs: usize, f: &(dyn Fn(usize) + Sync)) -> Vec<crate::pool::JobPanic> {
         if !self.spawned.get() {
             self.spawned.set(true);
             let p = self.pool;
@@ -326,7 +381,7 @@ impl PoolHandle<'_, '_> {
                 self.scope.spawn(move || p.worker());
             }
         }
-        self.pool.run(njobs, f);
+        self.pool.run(njobs, f)
     }
 }
 
@@ -445,6 +500,7 @@ fn evaluate_inner(
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
 
+    let governed = !options.budget.is_unlimited();
     let ctx = Ctx {
         symbols: &symbols,
         dict: &dict,
@@ -452,7 +508,12 @@ fn evaluate_inner(
         timeout: options.timeout,
         max_skolem_depth: options.max_skolem_depth,
         trace,
+        budget: &options.budget,
+        governed,
+        dict_base: if governed { dict.interned_terms() } else { 0 },
+        derived: AtomicUsize::new(derived),
     };
+    ctx.check()?;
 
     let mut stats = EvalStats {
         derived,
@@ -590,7 +651,7 @@ fn evaluate_inner(
             if rounds > options.max_rounds {
                 return Err(EvalError::RoundLimit);
             }
-            ctx.check_time()?;
+            ctx.check()?;
 
             let mut jobs: Vec<Job<'_>> = Vec::new();
             for &ri in &plain_rules {
@@ -664,6 +725,7 @@ fn evaluate_inner(
             for t in tuples {
                 if db.add_fact_ids(rule.head.pred, &t) {
                     stats.derived += 1;
+                    ctx.note_derived()?;
                 }
             }
         }
@@ -713,15 +775,45 @@ fn run_pass(
             }
         }
     };
+    // A job that panics (an engine bug, not a query error) is caught at
+    // the job boundary — by the pool on the parallel path, by
+    // `catch_unwind` inline — and becomes that job's `Internal` error:
+    // sibling jobs complete, the workers survive for the next pass, and
+    // the overlay database unwinds normally with the evaluation's `Err`.
+    let poison = |slot: &Mutex<Result<Staging, EvalError>>, message: String| {
+        let mut guard = match slot.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *guard = Err(EvalError::Internal(format!(
+            "evaluation worker panicked: {message}"
+        )));
+    };
     match pool {
-        Some(p) if jobs.len() > 1 => p.run(jobs.len(), &run_job),
+        Some(p) if jobs.len() > 1 => {
+            for jp in p.run(jobs.len(), &run_job) {
+                poison(&slots[jp.job], jp.message);
+            }
+        }
         _ => {
-            for j in 0..jobs.len() {
-                run_job(j);
+            for (j, slot) in slots.iter().enumerate() {
+                if let Err(payload) =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(j)))
+                {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    poison(slot, message);
+                }
             }
         }
     }
-    slots.into_iter().map(|m| m.into_inner().unwrap()).collect()
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
+        .collect()
 }
 
 /// Merges a pass's staged outputs into the database in deterministic job
@@ -739,6 +831,9 @@ fn merge_pass(
 ) -> Result<(), EvalError> {
     for (job, out) in jobs.iter().zip(outs) {
         let mut out = out?;
+        // Merges are sequential and can dominate huge passes: keep the
+        // governor's batch granularity across them (per job, not per row).
+        ctx.check()?;
         if ctx.trace >= 1 {
             eprintln!(
                 "[eval]   merge {}: {} tuples",
@@ -769,6 +864,10 @@ fn merge_pass(
         out.clear();
         spare.push(out);
     }
+    // Resync the governor's row counter to the exact post-dedup total:
+    // while a row cap is armed the jobs of the pass inflated it with
+    // per-emission staged candidates.
+    ctx.derived.store(*derived, Ordering::Relaxed);
     Ok(())
 }
 
@@ -1128,16 +1227,89 @@ struct Ctx<'a> {
     max_skolem_depth: usize,
     /// `SPARQLOG_TRACE` level (0 = off), read once per evaluation.
     trace: u8,
+    /// The armed execution budget (see [`crate::govern`]).
+    budget: &'a Budget,
+    /// False when the budget is unlimited — every governed check then
+    /// reduces to this single branch.
+    governed: bool,
+    /// Spill/Skolem terms interned when the evaluation started, the
+    /// baseline for the dictionary-growth cap.
+    dict_base: usize,
+    /// Governed row counter: exact merged rows between passes; inflated
+    /// with per-emission staged candidates during a pass while a row cap
+    /// is armed (workers `fetch_add` concurrently, the sequential merge
+    /// resyncs). Relaxed ordering suffices — pass boundaries are real
+    /// synchronisation points and the cap check tolerates slack of one
+    /// in-flight emission per worker.
+    derived: AtomicUsize,
 }
 
 impl Ctx<'_> {
-    fn check_time(&self) -> Result<(), EvalError> {
+    /// The periodic cooperative check, called at batch granularity (every
+    /// ~4096 join ticks, each round, each merge): legacy timeout first,
+    /// then — only when a budget is armed — cancellation, deadline,
+    /// dictionary growth and the row cap.
+    fn check(&self) -> Result<(), EvalError> {
         if let Some(t) = self.timeout {
             if self.start.elapsed() > t {
                 return Err(EvalError::Timeout);
             }
         }
+        if !self.governed {
+            return Ok(());
+        }
+        if let Some(token) = self.budget.cancel_token() {
+            if token.is_cancelled() {
+                return Err(self.abort(AbortReason::Cancelled));
+            }
+        }
+        if let Some(deadline) = self.budget.deadline() {
+            if Instant::now() >= deadline {
+                return Err(self.abort(AbortReason::Deadline));
+            }
+        }
+        if let Some(max) = self.budget.max_dict_growth() {
+            if self.dict.interned_terms().saturating_sub(self.dict_base) > max {
+                return Err(self.abort(AbortReason::DictGrowth));
+            }
+        }
+        if let Some(cap) = self.budget.max_rows() {
+            if self.derived.load(Ordering::Relaxed) > cap {
+                return Err(self.abort(AbortReason::RowLimit));
+            }
+        }
         Ok(())
+    }
+
+    /// The derived-row cap, when armed. Jobs read this once per pass and
+    /// count emissions only while it is `Some`, so ungoverned evaluations
+    /// never touch the shared counter on the hot path.
+    fn row_cap(&self) -> Option<usize> {
+        if self.governed {
+            self.budget.max_rows()
+        } else {
+            None
+        }
+    }
+
+    /// Counts one accepted derivation against the row cap (the sequential
+    /// paths: aggregates, program facts). The parallel emission paths
+    /// inline the same logic against [`Ctx::row_cap`].
+    fn note_derived(&self) -> Result<(), EvalError> {
+        if let Some(cap) = self.row_cap() {
+            if self.derived.fetch_add(1, Ordering::Relaxed) + 1 > cap {
+                return Err(self.abort(AbortReason::RowLimit));
+            }
+        }
+        Ok(())
+    }
+
+    fn abort(&self, reason: AbortReason) -> EvalError {
+        EvalError::Aborted {
+            reason,
+            elapsed: self.start.elapsed(),
+            rows_derived: self.derived.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -1222,6 +1394,7 @@ fn eval_rule(
     }
     let mut env: Vec<Option<TermId>> = vec![None; plan.nvars];
     let mut ticks = 0u64;
+    let row_cap = ctx.row_cap();
     let r = join(
         plan,
         &resolved,
@@ -1233,7 +1406,17 @@ fn eval_rule(
         &mut env,
         &mut ticks,
         &mut |env: &[Option<TermId>], ctx: &Ctx<'_>| {
-            instantiate_head(plan, rule, env, ctx, dedup_against, out);
+            // Row accounting only while a cap is armed: the ungoverned
+            // emission path stays exactly as cheap as before the governor.
+            if let Some(cap) = row_cap {
+                let before = out.count;
+                instantiate_head(plan, rule, env, ctx, dedup_against, out);
+                if out.count > before && ctx.derived.fetch_add(1, Ordering::Relaxed) + 1 > cap {
+                    return Err(ctx.abort(AbortReason::RowLimit));
+                }
+            } else {
+                instantiate_head(plan, rule, env, ctx, dedup_against, out);
+            }
             Ok(())
         },
     );
@@ -1277,10 +1460,11 @@ fn eval_delta_probe(
     let (rel, index) = (resolved[1].rel?, resolved[1].index()?);
     let mut env: Vec<Option<TermId>> = vec![None; plan.nvars];
     let mut ticks = 0u64;
+    let row_cap = ctx.row_cap();
     for r in lo..hi {
         ticks += 1;
         if ticks & 0xFFF == 0 {
-            if let Err(e) = ctx.check_time() {
+            if let Err(e) = ctx.check() {
                 return Some(Err(e));
             }
         }
@@ -1316,13 +1500,24 @@ fn eval_delta_probe(
                 // timeout check every 4096 emissions.
                 ticks += 1;
                 if ticks & 0xFFF == 0 {
-                    if let Err(e) = ctx.check_time() {
+                    if let Err(e) = ctx.check() {
                         return Some(Err(e));
                     }
                 }
                 if let Some(undo1) = bind_atom(atom1, rel.row(i), &mut env) {
-                    instantiate_head(plan, rule, &env, ctx, dedup_against, out);
-                    unbind_atom(atom1, undo1, &mut env);
+                    if let Some(cap) = row_cap {
+                        let before = out.count;
+                        instantiate_head(plan, rule, &env, ctx, dedup_against, out);
+                        unbind_atom(atom1, undo1, &mut env);
+                        if out.count > before
+                            && ctx.derived.fetch_add(1, Ordering::Relaxed) + 1 > cap
+                        {
+                            return Some(Err(ctx.abort(AbortReason::RowLimit)));
+                        }
+                    } else {
+                        instantiate_head(plan, rule, &env, ctx, dedup_against, out);
+                        unbind_atom(atom1, undo1, &mut env);
+                    }
                 }
             }
         }
@@ -1381,7 +1576,7 @@ where
 {
     *ticks += 1;
     if *ticks & 0xFFF == 0 {
-        ctx.check_time()?;
+        ctx.check()?;
     }
     let Some(step) = plan.steps.get(step_idx) else {
         return emit(env, ctx);
@@ -1749,7 +1944,15 @@ fn aggregate(
     // so AVG and DISTINCT can be computed exactly).
     let mut inputs: FxHashMap<Vec<TermId>, Vec<Option<Const>>> = FxHashMap::default();
 
+    // Aggregate evaluation runs sequentially after the fixpoint and can
+    // dominate on huge group counts: keep the governor's batch-granular
+    // checks through both the grouping and the reduction loops.
+    let mut ticks = 0u64;
     for env in &matches {
+        ticks += 1;
+        if ticks & 0xFFF == 0 {
+            ctx.check()?;
+        }
         let mut key = Vec::new();
         for arg in &rule.head.args {
             match arg {
@@ -1767,6 +1970,10 @@ fn aggregate(
 
     let mut out = Vec::new();
     for (key, vals) in inputs {
+        ticks += 1;
+        if ticks & 0xFFF == 0 {
+            ctx.check()?;
+        }
         let mut vals: Vec<Const> = vals.into_iter().flatten().collect();
         if spec.distinct {
             let mut seen = FxHashSet::default();

@@ -54,6 +54,7 @@ pub mod eval;
 pub mod expr;
 pub mod frozen;
 pub mod fxhash;
+pub mod govern;
 pub mod magic;
 pub mod parser;
 pub mod plan;
@@ -73,12 +74,13 @@ pub use eval::{
 };
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use frozen::{FrozenDb, FULL_INDEX_MAX_ARITY};
+pub use govern::{AbortReason, Budget, CancelToken};
 pub use magic::{
     demand_prunes, demand_subprogram, magic_sets_rewrite, magic_sets_rewrite_analyzed,
     MagicRewrite, DEMAND_SELECTIVITY,
 };
 pub use plan::{plan_program, AtomPlan, ProgramPlan, RuleOrder};
-pub use pool::run_scoped;
+pub use pool::{run_scoped, run_scoped_caught, JobPanic};
 pub use rule::{
     AggFunc, AggSpec, Atom, AtomArg, BodyItem, PostOp, Program, Rule, RuleBuilder, VarId,
 };

@@ -9,14 +9,25 @@
 //! parallel section — rounds of a fixpoint, or one query batch — so
 //! repeated passes reuse the threads instead of respawning them.
 //!
+//! **Panic containment (PR 7).** A panic inside a job is caught at the
+//! job boundary and reported as a per-job [`JobPanic`] instead of
+//! unwinding through the pool: the worker thread survives and keeps
+//! claiming jobs, the pass drains normally, and the caller decides what a
+//! poisoned job means (the evaluator converts it to
+//! [`EvalError::Internal`](crate::EvalError::Internal); the batch façade
+//! fails that one query and keeps its siblings). This is what
+//! distinguishes "job panicked" from "scope cancelled": only pool
+//! *shutdown* tears threads down, never a job failure.
+//!
 //! Two entry styles exist:
 //!
-//! * [`run_scoped`] — the one-shot convenience used for embarrassingly
-//!   parallel job lists (a query batch): spawns a scoped pool, runs the
-//!   jobs, tears the pool down.
+//! * [`run_scoped`] / [`run_scoped_caught`] — the one-shot conveniences
+//!   used for embarrassingly parallel job lists (a query batch): spawn a
+//!   scoped pool, run the jobs, tear the pool down.
 //! * `Pool` directly (crate-internal) — the evaluator keeps one pool
 //!   across many passes and drives it through `Pool::run`.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::{Condvar, Mutex};
 
 /// A raw pointer to the current pass's job closure. Only ever dereferenced
@@ -28,6 +39,30 @@ struct TaskRef(*const (dyn Fn(usize) + Sync));
 // bounds its lifetime as described above.
 unsafe impl Send for TaskRef {}
 
+/// A job that panicked during a pass: its index and the panic payload
+/// rendered to a string. Returned by [`run_scoped_caught`] (and
+/// crate-internally by `Pool::run`) so callers can fail the one job
+/// without losing the rest of the pass.
+#[derive(Debug, Clone)]
+pub struct JobPanic {
+    /// The job index that was passed to the closure.
+    pub job: usize,
+    /// The panic payload (`&str`/`String` payloads verbatim; anything
+    /// else a placeholder).
+    pub message: String,
+}
+
+/// Renders a caught panic payload for [`JobPanic::message`].
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 #[derive(Default)]
 struct PoolState {
     /// The published job closure of the active pass, if any.
@@ -38,6 +73,8 @@ struct PoolState {
     next: usize,
     /// Jobs not yet completed.
     pending: usize,
+    /// Jobs of the active pass that panicked (drained by `Pool::run`).
+    panics: Vec<JobPanic>,
     shutdown: bool,
 }
 
@@ -52,9 +89,8 @@ pub(crate) struct Pool {
     done: Condvar,
 }
 
-/// Decrements `pending` when dropped, so a panicking job cannot leave
-/// `Pool::run` waiting forever (the panic itself propagates through
-/// `std::thread::scope`).
+/// Decrements `pending` when dropped, so no exit path from a job — normal
+/// completion or a caught panic — can leave `Pool::run` waiting forever.
 struct PendingGuard<'a>(&'a Pool);
 
 impl Drop for PendingGuard<'_> {
@@ -68,10 +104,10 @@ impl Drop for PendingGuard<'_> {
 }
 
 /// Calls [`Pool::shutdown`] when dropped — including during a panic
-/// unwind. Without this, a panic in a job claimed by the *calling*
-/// thread would skip the shutdown call, leave the workers parked on the
-/// condvar forever, and deadlock `std::thread::scope`'s implicit join
-/// instead of propagating the panic.
+/// unwind. Job panics are caught at the job boundary, but a panic in the
+/// *caller's* code between passes (e.g. the evaluator's sequential merge)
+/// must still unpark the workers, or `std::thread::scope`'s implicit join
+/// would deadlock instead of propagating.
 pub(crate) struct ShutdownGuard<'a>(pub(crate) &'a Pool);
 
 impl Drop for ShutdownGuard<'_> {
@@ -90,11 +126,27 @@ impl Pool {
         }
     }
 
+    /// Runs one claimed job, catching a panic as a per-job record. The
+    /// guard decrements `pending` on both exit paths.
+    fn run_job(&self, f: &(dyn Fn(usize) + Sync), j: usize) {
+        let _guard = PendingGuard(self);
+        if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(|| f(j))) {
+            let message = payload_message(payload);
+            self.state
+                .lock()
+                .unwrap()
+                .panics
+                .push(JobPanic { job: j, message });
+        }
+    }
+
     /// Runs `f(0..njobs)` across the pool (and the calling thread),
-    /// returning when every job has completed.
-    pub(crate) fn run(&self, njobs: usize, f: &(dyn Fn(usize) + Sync)) {
+    /// returning when every job has completed. Jobs that panicked are
+    /// returned as [`JobPanic`] records, in claim order; the pool itself
+    /// survives and can run further passes.
+    pub(crate) fn run(&self, njobs: usize, f: &(dyn Fn(usize) + Sync)) -> Vec<JobPanic> {
         if njobs == 0 {
-            return;
+            return Vec::new();
         }
         // SAFETY: erase the closure's stack lifetime to store it in the
         // shared cell. `run` does not return until `pending == 0`, i.e.
@@ -112,6 +164,7 @@ impl Pool {
             g.njobs = njobs;
             g.next = 0;
             g.pending = njobs;
+            g.panics.clear();
             self.work.notify_all();
         }
         // The caller claims jobs like any worker.
@@ -126,10 +179,7 @@ impl Pool {
                 }
             };
             match j {
-                Some(j) => {
-                    let _guard = PendingGuard(self);
-                    f(j);
-                }
+                Some(j) => self.run_job(f, j),
                 None => break,
             }
         }
@@ -140,6 +190,7 @@ impl Pool {
         g.task = None;
         g.njobs = 0;
         g.next = 0;
+        std::mem::take(&mut g.panics)
     }
 
     /// The worker thread body.
@@ -160,11 +211,10 @@ impl Pool {
                 g.next += 1;
                 (g.task.as_ref().expect("jobs imply a task").0, j)
             };
-            let _guard = PendingGuard(self);
             // SAFETY: `j` was claimed while the task was published, so
             // `Pool::run` cannot return (and the closure cannot die)
-            // until our guard decrements `pending`.
-            unsafe { (*task)(j) };
+            // until `run_job`'s guard decrements `pending`.
+            self.run_job(unsafe { &*task }, j);
         }
     }
 
@@ -176,33 +226,53 @@ impl Pool {
 }
 
 /// Runs `f(0)..f(njobs - 1)` across up to `threads` scoped worker threads
-/// (the calling thread included) and returns once every job completed.
+/// (the calling thread included), returning once every job completed.
+/// Jobs that panicked are reported as [`JobPanic`] records (in claim
+/// order) instead of unwinding: one poisoned job never takes down its
+/// siblings, and all worker threads rejoin normally.
 ///
 /// With `threads <= 1` or `njobs <= 1` the jobs simply run inline on the
-/// calling thread, in order — the deterministic fallback. Job *claiming*
-/// order under parallelism is nondeterministic; callers that need ordered
-/// results should write into a per-job slot, as
-/// `FrozenDatabase::execute_batch` does.
-///
-/// Panics in a job propagate to the caller (via `std::thread::scope`)
-/// after the remaining jobs drain or panic themselves.
-pub fn run_scoped(threads: usize, njobs: usize, f: &(dyn Fn(usize) + Sync)) {
+/// calling thread, in order — the deterministic fallback (panics are
+/// caught the same way). Job *claiming* order under parallelism is
+/// nondeterministic; callers that need ordered results should write into
+/// a per-job slot, as `FrozenDatabase::execute_batch` does.
+pub fn run_scoped_caught(
+    threads: usize,
+    njobs: usize,
+    f: &(dyn Fn(usize) + Sync),
+) -> Vec<JobPanic> {
     if threads <= 1 || njobs <= 1 {
+        let mut panics = Vec::new();
         for j in 0..njobs {
-            f(j);
+            if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(|| f(j))) {
+                panics.push(JobPanic {
+                    job: j,
+                    message: payload_message(payload),
+                });
+            }
         }
-        return;
+        return panics;
     }
     let pool = Pool::new(threads.min(njobs));
     std::thread::scope(|s| {
         for _ in 1..pool.threads {
             s.spawn(|| pool.worker());
         }
-        // Shutdown-on-drop: a panicking job on the calling thread must
-        // still unpark the workers, or the scope's join deadlocks.
+        // Shutdown-on-drop keeps the scope's implicit join safe even if
+        // something outside the job boundary unwinds.
         let _guard = ShutdownGuard(&pool);
-        pool.run(njobs, f);
-    });
+        pool.run(njobs, f)
+    })
+}
+
+/// [`run_scoped_caught`] for callers without per-job error channels: a
+/// panic in any job is re-raised on the calling thread (after the whole
+/// pass drained and the workers rejoined), preserving the historical
+/// fail-fast contract.
+pub fn run_scoped(threads: usize, njobs: usize, f: &(dyn Fn(usize) + Sync)) {
+    if let Some(p) = run_scoped_caught(threads, njobs, f).into_iter().next() {
+        panic!("pool job {} panicked: {}", p.job, p.message);
+    }
 }
 
 #[cfg(test)]
@@ -237,9 +307,9 @@ mod tests {
 
     #[test]
     fn panicking_job_propagates_instead_of_deadlocking() {
-        // A panic in a job claimed by the calling thread must unwind out
-        // of run_scoped (shutting the workers down on the way), not hang
-        // the scope's join forever.
+        // run_scoped keeps the historical fail-fast contract: the caught
+        // job panic is re-raised on the caller after the pass drains —
+        // never a deadlocked scope join.
         let result = std::panic::catch_unwind(|| {
             run_scoped(4, 8, &|j| {
                 if j == 0 {
@@ -251,6 +321,58 @@ mod tests {
     }
 
     #[test]
+    fn caught_panic_leaves_sibling_jobs_intact() {
+        for threads in [1, 2, 4] {
+            let hits: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(0)).collect();
+            let panics = run_scoped_caught(threads, hits.len(), &|j| {
+                if j == 3 || j == 11 {
+                    panic!("poisoned job {j}");
+                }
+                hits[j].fetch_add(1, Ordering::Relaxed);
+            });
+            let mut failed: Vec<usize> = panics.iter().map(|p| p.job).collect();
+            failed.sort_unstable();
+            assert_eq!(failed, vec![3, 11], "threads={threads}");
+            assert!(panics.iter().all(|p| p.message.contains("poisoned job")));
+            for (j, h) in hits.iter().enumerate() {
+                let expect = usize::from(j != 3 && j != 11);
+                assert_eq!(
+                    h.load(Ordering::Relaxed),
+                    expect,
+                    "threads={threads} job {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_survives_panicking_pass_and_runs_next_pass() {
+        // A pass with a panicking job must leave the pool healthy: the
+        // worker threads stay parked on the condvar and the next pass
+        // runs to completion. This is the "job panicked ≠ scope
+        // cancelled" distinction.
+        let pool = Pool::new(4);
+        std::thread::scope(|s| {
+            for _ in 1..pool.threads {
+                s.spawn(|| pool.worker());
+            }
+            let panics = pool.run(8, &|j| {
+                if j % 2 == 0 {
+                    panic!("even jobs fail");
+                }
+            });
+            assert_eq!(panics.len(), 4);
+            let count = AtomicUsize::new(0);
+            let panics = pool.run(12, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(panics.is_empty());
+            assert_eq!(count.load(Ordering::Relaxed), 12);
+            pool.shutdown();
+        });
+    }
+
+    #[test]
     fn pool_reuse_across_passes() {
         let pool = Pool::new(4);
         std::thread::scope(|s| {
@@ -259,9 +381,10 @@ mod tests {
             }
             let count = AtomicUsize::new(0);
             for pass in 1..=5usize {
-                pool.run(pass * 3, &|_| {
+                let panics = pool.run(pass * 3, &|_| {
                     count.fetch_add(1, Ordering::Relaxed);
                 });
+                assert!(panics.is_empty());
             }
             assert_eq!(count.load(Ordering::Relaxed), 3 + 6 + 9 + 12 + 15);
             pool.shutdown();

@@ -21,6 +21,7 @@
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::AtomicUsize;
 use std::sync::{Arc, RwLock};
 
 use crate::fxhash::{FxHashMap, FxHasher};
@@ -359,6 +360,12 @@ struct DictShard {
 #[derive(Debug, Default)]
 pub struct TermDict {
     shards: [RwLock<DictShard>; NSHARDS],
+    /// Terms interned into the spill/Skolem tables since creation, for
+    /// the execution governor's dictionary-growth budget
+    /// ([`crate::Budget::with_max_dict_growth`]). Bumped on the insert
+    /// paths only (already under a shard write lock), read with a single
+    /// relaxed load.
+    interned: AtomicUsize,
 }
 
 impl TermDict {
@@ -443,7 +450,16 @@ impl TermDict {
             depth,
         });
         w.skolem_ids.entry(functor).or_default().insert(boxed, id);
+        self.interned
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         TermId::new(TAG_SKOLEM, shard_payload(shard, id))
+    }
+
+    /// Number of terms interned into the spill/Skolem tables so far — the
+    /// dictionary's growth measure. Inline-encoded terms (small ints,
+    /// IRIs, plain strings, ...) never count: they allocate nothing here.
+    pub fn interned_terms(&self) -> usize {
+        self.interned.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Skolem nesting depth of an encoded term (0 for non-Skolem terms).
@@ -517,6 +533,8 @@ impl TermDict {
         let id = w.spill.len() as u32;
         w.spill.push(c.clone());
         w.spill_ids.insert(c.clone(), id);
+        self.interned
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         TermId::new(TAG_SPILL, shard_payload(shard, id))
     }
 }
