@@ -74,7 +74,7 @@ pub use data_translation::{const_to_term, term_to_const};
 pub use engine::{SparqLog, SparqLogError};
 pub use ontology::{Axiom, Ontology};
 pub use query_translation::{translate_query, TranslatedQuery, TranslationError};
-pub use results_io::SerializeError;
+pub use results_io::{SerializeError, WriteError};
 pub use serving::{FrozenDatabase, PreparedQuery};
 #[allow(deprecated)]
 pub use solution::QueryResult;

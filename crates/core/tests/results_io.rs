@@ -113,6 +113,86 @@ fn construct_graph_writers_golden() {
     assert_eq!(reparsed.len(), 2);
 }
 
+// ------------------------------------------- streaming differentials
+
+/// An `io::Write` that accepts at most ONE byte per `write` call — the
+/// pathological re-chunking. Any serializer that mishandles partial
+/// writes (assumes `write` consumes the whole slice, splits an escape
+/// sequence statefully, ...) produces different bytes through this.
+struct OneByteWriter(Vec<u8>);
+
+impl std::io::Write for OneByteWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        self.0.push(buf[0]);
+        Ok(1)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Every format, three paths — the PR 5 string serializer, the
+/// incremental writer into a `Vec`, and the incremental writer
+/// re-chunked at 1-byte granularity — must agree byte for byte over the
+/// golden fixtures.
+#[test]
+fn streaming_paths_are_byte_identical_to_string_serializers() {
+    use sparqlog::results_io::{write_csv, write_json, write_ntriples, write_tsv, write_turtle};
+
+    let solutions = fixture().execute(QUERY).unwrap();
+    let boolean = fixture()
+        .execute(r#"PREFIX ex: <http://ex.org/> ASK { ex:a ex:p "plain" }"#)
+        .unwrap();
+    let graph_store = Store::new();
+    graph_store
+        .load_turtle(
+            r#"@prefix ex: <http://ex.org/> .
+               @prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+               ex:a rdf:type ex:C . ex:a ex:p "v"@en . ex:b ex:p ex:a ."#,
+        )
+        .unwrap();
+    let graph = graph_store.execute("CONSTRUCT WHERE { ?s ?p ?o }").unwrap();
+
+    type WriteFn =
+        fn(&sparqlog::QueryResults, &mut dyn std::io::Write) -> Result<(), sparqlog::WriteError>;
+    let cases: Vec<(&str, &sparqlog::QueryResults, String, WriteFn)> = vec![
+        ("json", &solutions, solutions.to_json().unwrap(), write_json),
+        ("csv", &solutions, solutions.to_csv().unwrap(), write_csv),
+        ("tsv", &solutions, solutions.to_tsv().unwrap(), write_tsv),
+        ("json-ask", &boolean, boolean.to_json().unwrap(), write_json),
+        ("csv-ask", &boolean, boolean.to_csv().unwrap(), write_csv),
+        ("tsv-ask", &boolean, boolean.to_tsv().unwrap(), write_tsv),
+        (
+            "ntriples",
+            &graph,
+            graph.to_ntriples().unwrap(),
+            write_ntriples,
+        ),
+        ("turtle", &graph, graph.to_turtle().unwrap(), write_turtle),
+    ];
+
+    for (name, results, expected, write_fn) in cases {
+        let mut buffered = Vec::new();
+        write_fn(results, &mut buffered).unwrap();
+        assert_eq!(
+            String::from_utf8(buffered).unwrap(),
+            expected,
+            "streamed {name} diverges from the string serializer"
+        );
+
+        let mut one = OneByteWriter(Vec::new());
+        write_fn(results, &mut one).unwrap();
+        assert_eq!(
+            String::from_utf8(one.0).unwrap(),
+            expected,
+            "1-byte-granularity {name} diverges from the string serializer"
+        );
+    }
+}
+
 #[test]
 fn empty_solution_sequences_serialize_headers_only() {
     let store = fixture();

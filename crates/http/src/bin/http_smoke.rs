@@ -1,0 +1,152 @@
+//! CI boot-smoke client: issues one query per wire format plus one
+//! update against a SPARQL protocol endpoint and exits nonzero on any
+//! mismatch.
+//!
+//! ```sh
+//! # against a running server (the CI boot smoke):
+//! cargo run -p sparqlog-http --bin http_smoke -- 127.0.0.1:3030
+//! # self-contained (boots an in-process server):
+//! cargo run -p sparqlog-http --bin http_smoke
+//! ```
+//!
+//! The smoke is data-independent: it first POSTs an `INSERT DATA` with
+//! its own marker triples, then checks every format's response carries
+//! them — so it works against any store, fresh or populated.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use sparqlog_http::{client, ServerConfig, SparqlServer};
+
+struct Check {
+    label: &'static str,
+    accept: &'static str,
+    query: &'static str,
+    expect_type: &'static str,
+    expect_contains: &'static str,
+}
+
+const PREFIX: &str = "PREFIX ex: <http://ex.org/smoke/> ";
+
+const CHECKS: &[Check] = &[
+    Check {
+        label: "SELECT / Results-JSON",
+        accept: "application/sparql-results+json",
+        query: "SELECT ?o WHERE { ex:s ex:p ?o } ORDER BY ?o",
+        expect_type: "application/sparql-results+json",
+        expect_contains: "\"value\":\"smoke marker\"",
+    },
+    Check {
+        label: "SELECT / CSV",
+        accept: "text/csv",
+        query: "SELECT ?o WHERE { ex:s ex:p ?o } ORDER BY ?o",
+        expect_type: "text/csv",
+        expect_contains: "smoke marker",
+    },
+    Check {
+        label: "ASK / TSV",
+        accept: "text/tab-separated-values",
+        query: "ASK { ex:s ex:p \"smoke marker\" }",
+        expect_type: "text/tab-separated-values",
+        expect_contains: "true",
+    },
+    Check {
+        label: "CONSTRUCT / N-Triples",
+        accept: "application/n-triples",
+        query: "CONSTRUCT { ex:s ex:p ?o } WHERE { ex:s ex:p ?o }",
+        expect_type: "application/n-triples",
+        expect_contains: "<http://ex.org/smoke/s> <http://ex.org/smoke/p>",
+    },
+    Check {
+        label: "CONSTRUCT / Turtle",
+        accept: "text/turtle",
+        query: "CONSTRUCT { ex:s ex:p ?o } WHERE { ex:s ex:p ?o }",
+        expect_type: "text/turtle",
+        expect_contains: "smoke marker",
+    },
+];
+
+fn run(addr: SocketAddr) -> Result<(), String> {
+    // One update: marker triples every later check queries back.
+    let insert = format!("{PREFIX}INSERT DATA {{ ex:s ex:p \"smoke marker\" . ex:s ex:p ex:o }}");
+    let r = client::update(addr, &insert).map_err(|e| format!("update: {e}"))?;
+    if r.status != 204 {
+        return Err(format!(
+            "update: expected 204, got {} ({})",
+            r.status,
+            r.text().unwrap_or("<non-utf8>")
+        ));
+    }
+    eprintln!("ok: POST /update -> 204");
+
+    for c in CHECKS {
+        let q = format!("{PREFIX}{}", c.query);
+        let r = client::query(addr, &q, Some(c.accept)).map_err(|e| format!("{}: {e}", c.label))?;
+        let body = r.text().unwrap_or("<non-utf8>");
+        if r.status != 200 {
+            return Err(format!(
+                "{}: expected 200, got {} ({body})",
+                c.label, r.status
+            ));
+        }
+        let ctype = r.header("content-type").unwrap_or("");
+        if !ctype.starts_with(c.expect_type) {
+            return Err(format!(
+                "{}: expected content-type {}, got {ctype}",
+                c.label, c.expect_type
+            ));
+        }
+        if !body.contains(c.expect_contains) {
+            return Err(format!(
+                "{}: body missing {:?}: {body}",
+                c.label, c.expect_contains
+            ));
+        }
+        eprintln!("ok: {} -> 200 {}", c.label, c.expect_type);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1);
+    let result = match arg {
+        // Against an already-running server (the CI boot smoke).
+        Some(addr) => match addr.parse::<SocketAddr>() {
+            Ok(addr) => run(addr),
+            Err(e) => Err(format!("bad address {addr:?}: {e}")),
+        },
+        // Self-contained: boot an in-process server on a loopback port.
+        None => {
+            let bound = match SparqlServer::with_config(
+                Arc::new(sparqlog::Store::new()),
+                ServerConfig::default(),
+            )
+            .bind("127.0.0.1:0")
+            {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("FAIL: bind: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let addr = bound.local_addr().expect("local addr");
+            let handle = bound.handle().expect("handle");
+            let server = std::thread::spawn(move || bound.serve());
+            let result = run(addr);
+            handle.shutdown();
+            let _ = server.join();
+            result
+        }
+    };
+    match result {
+        Ok(()) => {
+            eprintln!("smoke: all checks passed");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("FAIL: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! A minimal blocking HTTP/1.1 client — just enough protocol to talk to
+//! [`SparqlServer`](crate::SparqlServer) from examples, smoke checks and
+//! scripts without any external dependency.
+//!
+//! One request per connection (`Connection: close`), chunked and
+//! `Content-Length` response bodies both decoded. This is a test/demo
+//! client, not a general-purpose one: no TLS, no redirects, no request
+//! streaming.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A fully-read HTTP response.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// Numeric status code (200, 400, ...).
+    pub status: u16,
+    /// Response headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Decoded body bytes (chunk framing already stripped).
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header value under `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, or an error if it is not.
+    pub fn text(&self) -> io::Result<&str> {
+        std::str::from_utf8(&self.body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn read_line(reader: &mut impl BufRead) -> io::Result<String> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    Ok(line.trim_end_matches(['\r', '\n']).to_string())
+}
+
+/// Issues one request on a fresh connection and reads the full response.
+///
+/// `body` is `(content_type, bytes)`; when present the request carries a
+/// `Content-Type` and `Content-Length`. Extra headers (e.g. `Accept`) go
+/// in `headers`.
+pub fn fetch(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: Option<(&str, &[u8])>,
+) -> io::Result<ClientResponse> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+
+    let mut req = format!("{method} {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    for (k, v) in headers {
+        req.push_str(&format!("{k}: {v}\r\n"));
+    }
+    if let Some((ctype, bytes)) = body {
+        req.push_str(&format!(
+            "Content-Type: {ctype}\r\nContent-Length: {}\r\n",
+            bytes.len()
+        ));
+    }
+    req.push_str("\r\n");
+    let mut writer = stream.try_clone()?;
+    writer.write_all(req.as_bytes())?;
+    if let Some((_, bytes)) = body {
+        writer.write_all(bytes)?;
+    }
+
+    let mut reader = BufReader::new(stream);
+    let status_line = read_line(&mut reader)?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("bad status line {status_line:?}")))?;
+    let mut resp_headers = Vec::new();
+    loop {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let (k, v) = line
+            .split_once(':')
+            .ok_or_else(|| bad(format!("bad header line {line:?}")))?;
+        resp_headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+    let find = |name: &str| {
+        resp_headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+
+    let mut body_bytes = Vec::new();
+    if find("transfer-encoding").map(|v| v.contains("chunked")) == Some(true) {
+        loop {
+            let size_line = read_line(&mut reader)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| bad(format!("bad chunk size {size_line:?}")))?;
+            if size == 0 {
+                read_line(&mut reader)?; // trailing CRLF
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+            if &crlf != b"\r\n" {
+                return Err(bad("missing chunk CRLF"));
+            }
+            body_bytes.extend_from_slice(&chunk);
+        }
+    } else if let Some(len) = find("content-length") {
+        let len: usize = len.parse().map_err(|_| bad("bad Content-Length"))?;
+        body_bytes = vec![0u8; len];
+        reader.read_exact(&mut body_bytes)?;
+    } else {
+        reader.read_to_end(&mut body_bytes)?;
+    }
+
+    Ok(ClientResponse {
+        status,
+        headers: resp_headers,
+        body: body_bytes,
+    })
+}
+
+/// `GET /query?query=…` with an optional `Accept` header.
+pub fn query(addr: SocketAddr, query: &str, accept: Option<&str>) -> io::Result<ClientResponse> {
+    let target = format!("/query?query={}", crate::percent_encode(query));
+    let mut headers: Vec<(&str, &str)> = Vec::new();
+    if let Some(a) = accept {
+        headers.push(("Accept", a));
+    }
+    fetch(addr, "GET", &target, &headers, None)
+}
+
+/// `POST /update` with a direct `application/sparql-update` body.
+pub fn update(addr: SocketAddr, update: &str) -> io::Result<ClientResponse> {
+    fetch(
+        addr,
+        "POST",
+        "/update",
+        &[],
+        Some(("application/sparql-update", update.as_bytes())),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServerConfig, SparqlServer};
+    use std::sync::Arc;
+
+    #[test]
+    fn client_round_trip() {
+        let store = sparqlog::Store::new();
+        let bound = SparqlServer::with_config(Arc::new(store), ServerConfig::default())
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let addr = bound.local_addr().unwrap();
+        let handle = bound.handle().unwrap();
+        let server = std::thread::spawn(move || bound.serve());
+
+        let r = update(
+            addr,
+            "PREFIX ex: <http://ex.org/> INSERT DATA { ex:a ex:p \"via client\" }",
+        )
+        .unwrap();
+        assert_eq!(r.status, 204);
+        let r = query(addr, "SELECT ?o WHERE { ?s ?p ?o }", Some("text/csv")).unwrap();
+        assert_eq!(r.status, 200);
+        assert!(r.text().unwrap().contains("via client"));
+        let r = query(addr, "this is not sparql", None).unwrap();
+        assert_eq!(r.status, 400);
+
+        handle.shutdown();
+        server.join().unwrap();
+    }
+}

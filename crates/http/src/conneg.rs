@@ -1,0 +1,209 @@
+//! Content negotiation over the PR 5 wire formats.
+//!
+//! The server speaks five formats: SPARQL Results JSON / CSV / TSV for
+//! the solution-producing forms (`SELECT`, `ASK`) and N-Triples /
+//! Turtle for the graph-producing forms (`CONSTRUCT`, `DESCRIBE`).
+//! [`negotiate`] picks one from an `Accept` header (q-values, `type/*`
+//! and `*/*` ranges, most-specific-match-wins) — or reports that
+//! nothing acceptable exists, which the server turns into `406`.
+
+/// One of the five response wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// SPARQL 1.1 Query Results JSON (`application/sparql-results+json`).
+    Json,
+    /// SPARQL 1.1 Query Results CSV (`text/csv`).
+    Csv,
+    /// SPARQL 1.1 Query Results TSV (`text/tab-separated-values`).
+    Tsv,
+    /// N-Triples (`application/n-triples`), for graph results.
+    NTriples,
+    /// Turtle (`text/turtle`), for graph results.
+    Turtle,
+}
+
+impl Format {
+    /// The `Content-Type` this format is served as.
+    pub fn content_type(self) -> &'static str {
+        match self {
+            Format::Json => "application/sparql-results+json",
+            Format::Csv => "text/csv; charset=utf-8",
+            Format::Tsv => "text/tab-separated-values; charset=utf-8",
+            Format::NTriples => "application/n-triples",
+            Format::Turtle => "text/turtle",
+        }
+    }
+
+    /// Media types this format answers to, most canonical first.
+    fn media_types(self) -> &'static [&'static str] {
+        match self {
+            Format::Json => &["application/sparql-results+json", "application/json"],
+            Format::Csv => &["text/csv"],
+            Format::Tsv => &["text/tab-separated-values"],
+            Format::NTriples => &["application/n-triples"],
+            Format::Turtle => &["text/turtle"],
+        }
+    }
+}
+
+/// Candidate formats for a result kind, in server preference order (the
+/// first is the default when no `Accept` header is sent).
+pub fn candidates(graph: bool) -> &'static [Format] {
+    if graph {
+        &[Format::NTriples, Format::Turtle]
+    } else {
+        &[Format::Json, Format::Csv, Format::Tsv]
+    }
+}
+
+/// One parsed media range: `type`, `subtype`, quality.
+struct MediaRange {
+    kind: String,
+    sub: String,
+    q: f32,
+}
+
+fn parse_accept(header: &str) -> Vec<MediaRange> {
+    let mut ranges = Vec::new();
+    for item in header.split(',') {
+        let mut parts = item.split(';');
+        let Some(range) = parts.next() else { continue };
+        let range = range.trim().to_ascii_lowercase();
+        let Some((kind, sub)) = range.split_once('/') else {
+            continue; // malformed range: ignore it, not the whole header
+        };
+        let mut q = 1.0f32;
+        for param in parts {
+            let Some((k, v)) = param.split_once('=') else {
+                continue;
+            };
+            if k.trim().eq_ignore_ascii_case("q") {
+                if let Ok(parsed) = v.trim().parse::<f32>() {
+                    q = parsed.clamp(0.0, 1.0);
+                }
+            }
+        }
+        ranges.push(MediaRange {
+            kind: kind.to_string(),
+            sub: sub.to_string(),
+            q,
+        });
+    }
+    ranges
+}
+
+/// Specificity of a match: exact beats `type/*` beats `*/*`.
+fn specificity(range: &MediaRange) -> u8 {
+    match (range.kind.as_str(), range.sub.as_str()) {
+        ("*", _) => 0,
+        (_, "*") => 1,
+        _ => 2,
+    }
+}
+
+/// Picks the response format for a result kind (`graph` = CONSTRUCT /
+/// DESCRIBE) from an optional `Accept` header. Returns `None` when the
+/// header rules out every format this result can be served as — the
+/// caller answers `406 Not Acceptable`.
+///
+/// Per RFC 9110 §12.5.1: each candidate takes the q-value of the *most
+/// specific* matching range; candidates with no match (or `q=0`) are
+/// excluded; the highest q wins, with ties broken by server preference
+/// order ([`candidates`]).
+pub fn negotiate(accept: Option<&str>, graph: bool) -> Option<Format> {
+    let candidates = candidates(graph);
+    let Some(header) = accept else {
+        return Some(candidates[0]);
+    };
+    if header.trim().is_empty() {
+        return Some(candidates[0]);
+    }
+    let ranges = parse_accept(header);
+    if ranges.is_empty() {
+        // Nothing parseable: treat like no header rather than failing
+        // every request from a sloppy client.
+        return Some(candidates[0]);
+    }
+    let mut best: Option<(f32, Format)> = None;
+    for &format in candidates {
+        // The most specific matching range decides this format's q.
+        let mut format_q: Option<(u8, f32)> = None;
+        for range in &ranges {
+            let matches = format.media_types().iter().any(|mt| {
+                let (k, s) = mt.split_once('/').unwrap();
+                (range.kind == "*" || range.kind == k) && (range.sub == "*" || range.sub == s)
+            });
+            if !matches {
+                continue;
+            }
+            let spec = specificity(range);
+            if format_q.map(|(s, _)| spec > s).unwrap_or(true) {
+                format_q = Some((spec, range.q));
+            }
+        }
+        if let Some((_, q)) = format_q {
+            if q > 0.0 && best.map(|(bq, _)| q > bq).unwrap_or(true) {
+                best = Some((q, format));
+            }
+        }
+    }
+    best.map(|(_, f)| f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_without_header() {
+        assert_eq!(negotiate(None, false), Some(Format::Json));
+        assert_eq!(negotiate(None, true), Some(Format::NTriples));
+        assert_eq!(negotiate(Some(""), false), Some(Format::Json));
+    }
+
+    #[test]
+    fn exact_and_alias_matches() {
+        assert_eq!(negotiate(Some("text/csv"), false), Some(Format::Csv));
+        assert_eq!(
+            negotiate(Some("application/json"), false),
+            Some(Format::Json)
+        );
+        assert_eq!(
+            negotiate(Some("text/tab-separated-values"), false),
+            Some(Format::Tsv)
+        );
+        assert_eq!(negotiate(Some("text/turtle"), true), Some(Format::Turtle));
+    }
+
+    #[test]
+    fn wildcards_and_qvalues() {
+        assert_eq!(negotiate(Some("*/*"), false), Some(Format::Json));
+        assert_eq!(negotiate(Some("*/*"), true), Some(Format::NTriples));
+        // text/* prefers the first text format in server order.
+        assert_eq!(negotiate(Some("text/*"), false), Some(Format::Csv));
+        // Explicit q ordering beats server order.
+        assert_eq!(
+            negotiate(
+                Some("text/csv;q=0.5, text/tab-separated-values;q=0.9"),
+                false
+            ),
+            Some(Format::Tsv)
+        );
+        // Specific match overrides a wildcard's q.
+        assert_eq!(
+            negotiate(Some("*/*;q=1.0, text/csv;q=0.1"), false),
+            Some(Format::Json)
+        );
+    }
+
+    #[test]
+    fn unacceptable_is_none() {
+        assert_eq!(negotiate(Some("text/html"), false), None);
+        assert_eq!(
+            negotiate(Some("application/sparql-results+json"), true),
+            None
+        );
+        assert_eq!(negotiate(Some("text/csv;q=0"), false), None);
+        assert_eq!(negotiate(Some("text/turtle"), false), None);
+    }
+}

@@ -1,0 +1,457 @@
+//! Minimal HTTP/1.1 plumbing over `std::io`: request parsing, response
+//! writing, and a chunked-transfer-encoding writer.
+//!
+//! This is deliberately a small, strict subset of RFC 9112 — enough for
+//! the SPARQL Protocol: request line + headers + `Content-Length` body,
+//! keep-alive, and chunked *responses*. Chunked request bodies are
+//! rejected with `411 Length Required` (every SPARQL client sends a
+//! `Content-Length`). Hard caps on line length, header count and body
+//! size keep a hostile peer from ballooning memory.
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum length of the request line or any single header line.
+pub const MAX_LINE: usize = 16 * 1024;
+/// Maximum number of headers per request.
+pub const MAX_HEADERS: usize = 128;
+/// Default maximum request body size (server-configurable).
+pub const DEFAULT_MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, uppercased (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the request target (before `?`), undecoded.
+    pub path: String,
+    /// Raw query string (after `?`), if any — still percent-encoded.
+    pub query_string: Option<String>,
+    /// Headers in arrival order; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of header `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `Content-Type` without parameters (`; charset=...` stripped),
+    /// lowercased.
+    pub fn content_type(&self) -> Option<String> {
+        self.header("content-type").map(|ct| {
+            ct.split(';')
+                .next()
+                .unwrap_or("")
+                .trim()
+                .to_ascii_lowercase()
+        })
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Clean EOF before the first byte of a request — keep-alive close.
+    Closed,
+    /// Syntactically invalid request ⇒ `400`.
+    Malformed(String),
+    /// Request line / header / body over the cap ⇒ `431` / `413`.
+    TooLarge(&'static str),
+    /// Chunked or otherwise unsupported request framing ⇒ `411`.
+    LengthRequired,
+    /// Socket error or timeout mid-request.
+    Io(io::Error),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line, rejecting lines over
+/// [`MAX_LINE`].
+fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, RequestError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(RequestError::Malformed("unexpected EOF in header".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(Some(String::from_utf8(line).map_err(|_| {
+                        RequestError::Malformed("non-UTF-8 header line".into())
+                    })?));
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(RequestError::TooLarge("header line"));
+                }
+            }
+            Err(e) => return Err(RequestError::Io(e)),
+        }
+    }
+}
+
+/// Reads and parses one request from `reader`. `Err(Closed)` means the
+/// peer closed the connection cleanly between requests.
+///
+/// `continue_sink`, when given, receives an interim
+/// `100 Continue` response before the body is read if the client sent
+/// `Expect: 100-continue` (curl does for large POSTs — without the
+/// interim response it stalls for a second before sending the body).
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body: usize,
+    continue_sink: Option<&mut dyn Write>,
+) -> Result<Request, RequestError> {
+    let request_line = match read_line(reader)? {
+        None => return Err(RequestError::Closed),
+        Some(l) if l.is_empty() => {
+            // Tolerate a stray CRLF between pipelined requests.
+            match read_line(reader)? {
+                None => return Err(RequestError::Closed),
+                Some(l) => l,
+            }
+        }
+        Some(l) => l,
+    };
+
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(RequestError::Malformed(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(RequestError::Malformed(format!(
+            "unsupported HTTP version {version:?}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?
+            .ok_or_else(|| RequestError::Malformed("unexpected EOF in headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(RequestError::TooLarge("header count"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Malformed(format!(
+                "malformed header line {line:?}"
+            )));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+
+    if let Some(te) = header("transfer-encoding") {
+        if !te.trim().is_empty() {
+            return Err(RequestError::LengthRequired);
+        }
+    }
+
+    let body = match header("content-length") {
+        Some(len) => {
+            let len: usize = len
+                .trim()
+                .parse()
+                .map_err(|_| RequestError::Malformed("invalid Content-Length".into()))?;
+            if len > max_body {
+                return Err(RequestError::TooLarge("body"));
+            }
+            if len > 0 {
+                let expects_continue = header("expect")
+                    .map(|e| e.eq_ignore_ascii_case("100-continue"))
+                    .unwrap_or(false);
+                if expects_continue {
+                    if let Some(sink) = continue_sink {
+                        sink.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+                        sink.flush()?;
+                    }
+                }
+            }
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body)?;
+            body
+        }
+        None => Vec::new(),
+    };
+
+    let keep_alive = match header("connection").map(|c| c.to_ascii_lowercase()) {
+        Some(c) if c.contains("close") => false,
+        Some(c) if c.contains("keep-alive") => true,
+        _ => version == "HTTP/1.1", // 1.1 defaults to persistent
+    };
+
+    let (path, query_string) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query_string,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+/// Standard reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        406 => "Not Acceptable",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Content Too Large",
+        415 => "Unsupported Media Type",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        _ => "",
+    }
+}
+
+/// Writes a complete non-streaming response with a `Content-Length`.
+/// `extra_headers` are raw `Name: value` lines (no CRLF).
+pub fn write_response(
+    out: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[&str],
+) -> io::Result<()> {
+    write!(out, "HTTP/1.1 {status} {}\r\n", reason(status))?;
+    if !body.is_empty() || status != 204 {
+        write!(out, "Content-Type: {content_type}\r\n")?;
+    }
+    write!(out, "Content-Length: {}\r\n", body.len())?;
+    for h in extra_headers {
+        write!(out, "{h}\r\n")?;
+    }
+    write!(
+        out,
+        "Connection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" }
+    )?;
+    out.write_all(body)?;
+    out.flush()
+}
+
+/// Writes the header block of a chunked streaming response; the body
+/// then goes through a [`ChunkedWriter`] over the same stream.
+pub fn write_chunked_head(
+    out: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        out,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        if keep_alive { "keep-alive" } else { "close" }
+    )
+}
+
+/// An [`io::Write`] adapter that frames its input as HTTP/1.1 chunked
+/// transfer encoding: bytes buffer up to the configured chunk size, then
+/// leave as one `{len:x}\r\n…\r\n` frame. [`ChunkedWriter::finish`]
+/// flushes the tail and writes the terminal `0\r\n\r\n` frame — dropping
+/// the writer without calling it leaves the stream visibly truncated,
+/// which is exactly what an aborted response should look like.
+pub struct ChunkedWriter<W: Write> {
+    inner: W,
+    buf: Vec<u8>,
+    chunk_size: usize,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Wraps `inner`, emitting frames of at most `chunk_size` bytes.
+    pub fn new(inner: W, chunk_size: usize) -> Self {
+        let chunk_size = chunk_size.max(1);
+        ChunkedWriter {
+            inner,
+            buf: Vec::with_capacity(chunk_size),
+            chunk_size,
+        }
+    }
+
+    fn emit_buf(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        write!(self.inner, "{:x}\r\n", self.buf.len())?;
+        self.inner.write_all(&self.buf)?;
+        self.inner.write_all(b"\r\n")?;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flushes any buffered bytes and writes the terminal `0\r\n\r\n`
+    /// frame, returning the underlying stream.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.emit_buf()?;
+        self.inner.write_all(b"0\r\n\r\n")?;
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+impl<W: Write> Write for ChunkedWriter<W> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        // Large writes stream through in chunk_size frames; small writes
+        // coalesce in the buffer. Memory held is O(chunk_size).
+        let mut rest = data;
+        while !rest.is_empty() {
+            let room = self.chunk_size - self.buf.len();
+            let take = room.min(rest.len());
+            self.buf.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.buf.len() == self.chunk_size {
+                self.emit_buf()?;
+            }
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.emit_buf()?;
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, RequestError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), DEFAULT_MAX_BODY, None)
+    }
+
+    #[test]
+    fn parses_get_with_query_string() {
+        let r = parse(
+            "GET /query?query=ASK%7B%7D&timeout=5 HTTP/1.1\r\nHost: x\r\nAccept: text/csv\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/query");
+        assert_eq!(r.query_string.as_deref(), Some("query=ASK%7B%7D&timeout=5"));
+        assert_eq!(r.header("accept"), Some("text/csv"));
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn parses_post_body_and_content_type_params() {
+        let r = parse(
+            "POST /update HTTP/1.1\r\nContent-Type: application/sparql-update; charset=UTF-8\r\nContent-Length: 12\r\nConnection: close\r\n\r\nCLEAR SILENT",
+        )
+        .unwrap();
+        assert_eq!(r.body, b"CLEAR SILENT");
+        assert_eq!(
+            r.content_type().as_deref(),
+            Some("application/sparql-update")
+        );
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let r = parse("GET /query HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        let r = parse("GET /query HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            parse("FLURB\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /q HTTP/3.0\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /q HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(parse(""), Err(RequestError::Closed)));
+        assert!(matches!(
+            parse("POST /q HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(RequestError::LengthRequired)
+        ));
+    }
+
+    #[test]
+    fn caps_body_size() {
+        let raw = "POST /q HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+        let r = read_request(&mut BufReader::new(raw.as_bytes()), 10, None);
+        assert!(matches!(r, Err(RequestError::TooLarge("body"))));
+    }
+
+    #[test]
+    fn chunked_writer_frames_and_terminates() {
+        let mut out = Vec::new();
+        let mut w = ChunkedWriter::new(&mut out, 4);
+        w.write_all(b"abcdefghij").unwrap(); // 2.5 chunks
+        w.write_all(b"k").unwrap();
+        let _ = w.finish().unwrap();
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "4\r\nabcd\r\n4\r\nefgh\r\n3\r\nijk\r\n0\r\n\r\n"
+        );
+    }
+
+    #[test]
+    fn chunked_writer_drop_truncates() {
+        let mut out = Vec::new();
+        {
+            let mut w = ChunkedWriter::new(&mut out, 4);
+            w.write_all(b"abcd").unwrap();
+            w.write_all(b"e").unwrap();
+            // dropped without finish(): buffered tail and terminal
+            // frame never appear
+        }
+        assert_eq!(String::from_utf8(out).unwrap(), "4\r\nabcd\r\n");
+    }
+}

@@ -1,0 +1,577 @@
+//! The SPARQL 1.1 Protocol server: routing, status mapping, budgets,
+//! and streaming responses.
+//!
+//! One [`SparqlServer`] wraps an `Arc<Store>`. [`SparqlServer::bind`]
+//! yields a [`BoundServer`] whose [`serve`](BoundServer::serve) runs
+//! `workers` accept loops over the PR 2 worker pool
+//! ([`sparqlog_datalog::run_scoped`]) — worker-per-connection with
+//! keep-alive. Per request:
+//!
+//! * one [`Snapshot`](sparqlog::Snapshot) is pinned, so the whole
+//!   response is a consistent store version even while writers commit;
+//! * a [`Budget`] carries the request deadline (server default, capped
+//!   `timeout=` ms override) and a connection-drop [`CancelToken`]
+//!   (see [`crate::watch`]) into the PR 7 governor;
+//! * the result streams out through a
+//!   [`ChunkedWriter`] — a huge CONSTRUCT
+//!   never materializes server-side.
+//!
+//! Updates (`POST /update`) run through [`Store::update`], which
+//! serializes write requests behind the commit lock while read traffic
+//! continues on its snapshots.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sparqlog::results_io::{
+    write_csv, write_json, write_ntriples, write_tsv, write_turtle, WriteError,
+};
+use sparqlog::{Budget, CancelToken, QueryResults, SparqLogError, Store};
+use sparqlog_sparql::{parse_query, QueryForm};
+
+use crate::conneg::{candidates, negotiate, Format};
+use crate::http::{
+    read_request, write_chunked_head, write_response, ChunkedWriter, Request, RequestError,
+};
+use crate::urlenc::{find_param, parse_form};
+use crate::watch;
+
+/// Tunables for a [`SparqlServer`]. `Default` is sensible for tests and
+/// local serving; production deployments mostly raise `workers` and set
+/// `default_timeout`.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Accept-loop/connection workers (each holds one connection at a
+    /// time; keep-alive included). Defaults to
+    /// `max(4, available_parallelism)`.
+    pub workers: usize,
+    /// Default per-request evaluation budget. A request may *lower* it
+    /// with a `timeout=` parameter (milliseconds) but never raise it.
+    /// `None` = unlimited unless the request asks for less.
+    pub default_timeout: Option<Duration>,
+    /// Idle read timeout on kept-alive connections; also bounds how
+    /// long a half-sent request can stall a worker.
+    pub keep_alive_timeout: Duration,
+    /// Chunk size for streamed response bodies (bytes buffered
+    /// server-side per connection — the O(chunk) in "bounded memory").
+    pub chunk_size: usize,
+    /// Maximum accepted request body size.
+    pub max_body: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(4),
+            default_timeout: None,
+            keep_alive_timeout: Duration::from_secs(10),
+            chunk_size: 16 * 1024,
+            max_body: crate::http::DEFAULT_MAX_BODY,
+        }
+    }
+}
+
+/// A SPARQL 1.1 Protocol endpoint over a shared [`Store`]. See the
+/// [module docs](self) for the request lifecycle.
+pub struct SparqlServer {
+    store: Arc<Store>,
+    config: ServerConfig,
+}
+
+impl SparqlServer {
+    /// Serves `store` with the default [`ServerConfig`].
+    pub fn new(store: Arc<Store>) -> Self {
+        SparqlServer {
+            store,
+            config: ServerConfig::default(),
+        }
+    }
+
+    /// Serves `store` with an explicit configuration.
+    pub fn with_config(store: Arc<Store>, config: ServerConfig) -> Self {
+        SparqlServer { store, config }
+    }
+
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral test port)
+    /// without accepting yet.
+    pub fn bind(self, addr: &str) -> io::Result<BoundServer> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(BoundServer {
+            listener,
+            store: self.store,
+            config: self.config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+}
+
+/// A bound, not-yet-serving endpoint: grab
+/// [`local_addr`](BoundServer::local_addr) and a
+/// [`handle`](BoundServer::handle), then call
+/// [`serve`](BoundServer::serve) (typically on its own thread).
+pub struct BoundServer {
+    listener: TcpListener,
+    store: Arc<Store>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Shuts a serving [`BoundServer`] down from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    workers: usize,
+}
+
+impl ServerHandle {
+    /// Requests shutdown and unblocks the accept loops. Idempotent.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Each accept loop needs one wake-up connection to notice the
+        // flag; connect a few extra in case some races a real client.
+        for _ in 0..self.workers + 2 {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+impl BoundServer {
+    /// The bound socket address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A cloneable shutdown handle.
+    pub fn handle(&self) -> io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.listener.local_addr()?,
+            shutdown: Arc::clone(&self.shutdown),
+            workers: self.config.workers.max(1),
+        })
+    }
+
+    /// Runs the accept loops until [`ServerHandle::shutdown`]; blocks
+    /// the calling thread (spawn it for background serving).
+    pub fn serve(self) {
+        let workers = self.config.workers.max(1);
+        let ctx = Ctx {
+            store: &self.store,
+            config: &self.config,
+            shutdown: &self.shutdown,
+        };
+        let listener = &self.listener;
+        sparqlog_datalog::run_scoped(workers, workers, &|_| {
+            accept_loop(listener, &ctx);
+        });
+    }
+}
+
+/// Shared per-server state threaded through the handlers.
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
+    store: &'a Store,
+    config: &'a ServerConfig,
+    shutdown: &'a AtomicBool,
+}
+
+fn accept_loop(listener: &TcpListener, ctx: &Ctx<'_>) {
+    loop {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    return; // wake-up connection from ServerHandle
+                }
+                // A panicking handler must not take its accept loop
+                // down with it (mirrors the batch pool's containment).
+                let _ = catch_unwind(AssertUnwindSafe(|| handle_connection(stream, ctx)));
+            }
+            Err(_) => {
+                // Transient accept errors (EMFILE, aborted handshake):
+                // back off briefly instead of spinning.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, ctx: &Ctx<'_>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(ctx.config.keep_alive_timeout));
+    // A dead peer must not pin a worker forever mid-write.
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    loop {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_request(&mut reader, ctx.config.max_body, Some(&mut stream)) {
+            Err(RequestError::Closed) | Err(RequestError::Io(_)) => return,
+            Err(RequestError::Malformed(msg)) => {
+                let _ = respond_text(&mut stream, 400, &msg, false);
+                return;
+            }
+            Err(RequestError::TooLarge("body")) => {
+                let _ = respond_text(&mut stream, 413, "request body too large", false);
+                return;
+            }
+            Err(RequestError::TooLarge(what)) => {
+                let _ = respond_text(&mut stream, 431, &format!("{what} too large"), false);
+                return;
+            }
+            Err(RequestError::LengthRequired) => {
+                let _ = respond_text(
+                    &mut stream,
+                    411,
+                    "chunked request bodies are not supported; send Content-Length",
+                    false,
+                );
+                return;
+            }
+            Ok(req) => {
+                let keep = req.keep_alive && !ctx.shutdown.load(Ordering::SeqCst);
+                match handle_request(&req, &mut stream, keep, ctx) {
+                    Ok(true) => continue,
+                    _ => return,
+                }
+            }
+        }
+    }
+}
+
+/// Writes a plain-text response; `Ok(keep)` mirrors the keep-alive flag.
+fn respond_text(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<bool> {
+    respond_text_extra(stream, status, body, keep_alive, &[])
+}
+
+fn respond_text_extra(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    extra: &[&str],
+) -> io::Result<bool> {
+    let mut text = body.to_string();
+    if !text.is_empty() && !text.ends_with('\n') {
+        text.push('\n');
+    }
+    write_response(
+        stream,
+        status,
+        "text/plain; charset=utf-8",
+        text.as_bytes(),
+        keep_alive,
+        extra,
+    )?;
+    Ok(keep_alive)
+}
+
+/// Dispatches one parsed request. `Ok(true)` keeps the connection.
+fn handle_request(
+    req: &Request,
+    stream: &mut TcpStream,
+    keep_alive: bool,
+    ctx: &Ctx<'_>,
+) -> io::Result<bool> {
+    match (req.path.as_str(), req.method.as_str()) {
+        ("/query", "GET") => {
+            let params = match parse_form(req.query_string.as_deref().unwrap_or("")) {
+                Ok(p) => p,
+                Err(e) => return respond_text(stream, 400, &e.to_string(), keep_alive),
+            };
+            let Some(query) = find_param(&params, "query").map(str::to_string) else {
+                return respond_text(stream, 400, "missing `query` parameter", keep_alive);
+            };
+            run_query(req, stream, keep_alive, ctx, &query, &params)
+        }
+        ("/query", "POST") => {
+            match req.content_type().as_deref() {
+                Some("application/sparql-query") => {
+                    let query = match std::str::from_utf8(&req.body) {
+                        Ok(q) => q.to_string(),
+                        Err(_) => {
+                            return respond_text(stream, 400, "query body is not UTF-8", keep_alive)
+                        }
+                    };
+                    // Protocol params may still ride the query string.
+                    let params = parse_form(req.query_string.as_deref().unwrap_or(""))
+                        .unwrap_or_default();
+                    run_query(req, stream, keep_alive, ctx, &query, &params)
+                }
+                Some("application/x-www-form-urlencoded") | None => {
+                    let body = match std::str::from_utf8(&req.body) {
+                        Ok(b) => b,
+                        Err(_) => {
+                            return respond_text(stream, 400, "form body is not UTF-8", keep_alive)
+                        }
+                    };
+                    let params = match parse_form(body) {
+                        Ok(p) => p,
+                        Err(e) => return respond_text(stream, 400, &e.to_string(), keep_alive),
+                    };
+                    let Some(query) = find_param(&params, "query").map(str::to_string) else {
+                        return respond_text(stream, 400, "missing `query` parameter", keep_alive);
+                    };
+                    run_query(req, stream, keep_alive, ctx, &query, &params)
+                }
+                Some(other) => respond_text(
+                    stream,
+                    415,
+                    &format!(
+                        "unsupported Content-Type {other:?}; use application/sparql-query or application/x-www-form-urlencoded"
+                    ),
+                    keep_alive,
+                ),
+            }
+        }
+        ("/query", _) => respond_text_extra(
+            stream,
+            405,
+            "method not allowed on /query",
+            keep_alive,
+            &["Allow: GET, POST"],
+        ),
+        ("/update", "POST") => {
+            match req.content_type().as_deref() {
+                Some("application/sparql-update") => {
+                    let update = match std::str::from_utf8(&req.body) {
+                        Ok(u) => u.to_string(),
+                        Err(_) => {
+                            return respond_text(stream, 400, "update body is not UTF-8", keep_alive)
+                        }
+                    };
+                    run_update(stream, keep_alive, ctx, &update)
+                }
+                Some("application/x-www-form-urlencoded") | None => {
+                    let body = match std::str::from_utf8(&req.body) {
+                        Ok(b) => b,
+                        Err(_) => {
+                            return respond_text(stream, 400, "form body is not UTF-8", keep_alive)
+                        }
+                    };
+                    let params = match parse_form(body) {
+                        Ok(p) => p,
+                        Err(e) => return respond_text(stream, 400, &e.to_string(), keep_alive),
+                    };
+                    let Some(update) = find_param(&params, "update").map(str::to_string) else {
+                        return respond_text(stream, 400, "missing `update` parameter", keep_alive);
+                    };
+                    run_update(stream, keep_alive, ctx, &update)
+                }
+                Some(other) => respond_text(
+                    stream,
+                    415,
+                    &format!(
+                        "unsupported Content-Type {other:?}; use application/sparql-update or application/x-www-form-urlencoded"
+                    ),
+                    keep_alive,
+                ),
+            }
+        }
+        ("/update", _) => respond_text_extra(
+            stream,
+            405,
+            "method not allowed on /update; updates go via POST",
+            keep_alive,
+            &["Allow: POST"],
+        ),
+        _ => respond_text(
+            stream,
+            404,
+            "not found; this endpoint serves /query and /update",
+            keep_alive,
+        ),
+    }
+}
+
+/// Builds the request budget: server default, optionally *lowered* by a
+/// `timeout=` (milliseconds) parameter, plus the connection-drop token.
+fn request_budget(
+    ctx: &Ctx<'_>,
+    params: &[(String, String)],
+    token: CancelToken,
+) -> Result<Budget, String> {
+    let mut timeout = ctx.config.default_timeout;
+    if let Some(raw) = find_param(params, "timeout") {
+        let ms: u64 = raw
+            .parse()
+            .map_err(|_| format!("invalid timeout parameter {raw:?} (want milliseconds)"))?;
+        let requested = Duration::from_millis(ms);
+        timeout = Some(match timeout {
+            Some(cap) => cap.min(requested),
+            None => requested,
+        });
+    }
+    let mut budget = Budget::new().with_cancel(token);
+    if let Some(t) = timeout {
+        budget = budget.with_timeout(t);
+    }
+    Ok(budget)
+}
+
+fn run_query(
+    req: &Request,
+    stream: &mut TcpStream,
+    keep_alive: bool,
+    ctx: &Ctx<'_>,
+    query: &str,
+    params: &[(String, String)],
+) -> io::Result<bool> {
+    if find_param(params, "default-graph-uri").is_some()
+        || find_param(params, "named-graph-uri").is_some()
+    {
+        return respond_text(
+            stream,
+            400,
+            "RDF Dataset parameters (default-graph-uri / named-graph-uri) are not supported",
+            keep_alive,
+        );
+    }
+
+    // Parse first: the query form decides which formats are negotiable,
+    // so 400 and 406 are both settled before any evaluation.
+    let parsed = match parse_query(query) {
+        Ok(q) => q,
+        Err(e) => return respond_text(stream, 400, &e.to_string(), keep_alive),
+    };
+    let graph_form = matches!(
+        parsed.form,
+        QueryForm::Construct { .. } | QueryForm::Describe { .. }
+    );
+    let Some(format) = negotiate(req.header("accept"), graph_form) else {
+        let acceptable: Vec<&str> = candidates(graph_form)
+            .iter()
+            .map(|f| f.content_type())
+            .collect();
+        return respond_text(
+            stream,
+            406,
+            &format!(
+                "no acceptable representation for this {} result; supported: {}",
+                if graph_form { "graph" } else { "solutions" },
+                acceptable.join(", ")
+            ),
+            keep_alive,
+        );
+    };
+
+    let token = CancelToken::new();
+    let budget = match request_budget(ctx, params, token.clone()) {
+        Ok(b) => b,
+        Err(msg) => return respond_text(stream, 400, &msg, keep_alive),
+    };
+
+    // Pin ONE snapshot for the request: evaluation and serialization
+    // both see a single store version regardless of concurrent commits.
+    let snapshot = ctx.store.snapshot();
+
+    // While the query runs, the connection watcher cancels the token if
+    // the client hangs up. The guard is dropped before any response
+    // bytes are written (see crate::watch on why that ordering is hard).
+    let guard = watch::watch(stream.try_clone()?, token);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        snapshot.execute_with_budget(query, &budget)
+    }));
+    drop(guard);
+
+    let results = match outcome {
+        Err(_) => {
+            return respond_text(
+                stream,
+                500,
+                "internal error: query evaluation panicked",
+                keep_alive,
+            )
+        }
+        Ok(Err(e)) => {
+            let status = match &e {
+                SparqLogError::Aborted { .. } => 408,
+                SparqLogError::Parse(_)
+                | SparqLogError::Translation(_)
+                | SparqLogError::ReadOnly(_) => 400,
+                _ => 500,
+            };
+            return respond_text(stream, status, &e.to_string(), keep_alive);
+        }
+        Ok(Ok(results)) => results,
+    };
+
+    stream_results(stream, keep_alive, ctx, &results, format)
+}
+
+/// Streams a successful result as a chunked 200. Returns `Ok(false)`
+/// (drop the connection) if the client vanished mid-stream — the
+/// missing terminal chunk tells it the body is truncated.
+fn stream_results(
+    stream: &mut TcpStream,
+    keep_alive: bool,
+    ctx: &Ctx<'_>,
+    results: &QueryResults,
+    format: Format,
+) -> io::Result<bool> {
+    write_chunked_head(stream, 200, format.content_type(), keep_alive)?;
+    let mut chunked = ChunkedWriter::new(&mut *stream, ctx.config.chunk_size);
+    let written = match format {
+        Format::Json => write_json(results, &mut chunked),
+        Format::Csv => write_csv(results, &mut chunked),
+        Format::Tsv => write_tsv(results, &mut chunked),
+        Format::NTriples => write_ntriples(results, &mut chunked),
+        Format::Turtle => write_turtle(results, &mut chunked),
+    };
+    match written {
+        Ok(()) => {
+            chunked.finish()?;
+            Ok(keep_alive)
+        }
+        // Form mismatch cannot happen (format was negotiated from the
+        // parsed form) and I/O failure means the peer is gone; either
+        // way the only safe move after a 200 head is truncation.
+        Err(WriteError::Serialize(_)) | Err(WriteError::Io(_)) => Ok(false),
+    }
+}
+
+fn run_update(
+    stream: &mut TcpStream,
+    keep_alive: bool,
+    ctx: &Ctx<'_>,
+    update: &str,
+) -> io::Result<bool> {
+    // Store::update parses, then applies the whole request under the
+    // commit lock — concurrent POST /update requests serialize there
+    // while queries keep reading their pinned snapshots.
+    let outcome = catch_unwind(AssertUnwindSafe(|| ctx.store.update(update)));
+    match outcome {
+        Err(_) => respond_text(stream, 500, "internal error: update panicked", keep_alive),
+        Ok(Err(e)) => {
+            let status = match &e {
+                SparqLogError::Aborted { .. } => 408,
+                SparqLogError::Parse(_) | SparqLogError::Translation(_) => 400,
+                _ => 500,
+            };
+            respond_text(stream, status, &e.to_string(), keep_alive)
+        }
+        Ok(Ok(_stats)) => {
+            write_response(stream, 204, "", &[], keep_alive, &[])?;
+            Ok(keep_alive)
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! `application/x-www-form-urlencoded` decoding for the SPARQL Protocol.
+//!
+//! Both the query string of `GET /query` and the body of a form-encoded
+//! `POST` carry `key=value` pairs where `+` encodes a space and `%XX`
+//! encodes a byte. Decoding happens **per component** (after splitting
+//! on `&` and `=`), so an encoded `%26` or `%3D` inside a SPARQL query
+//! survives as a literal `&`/`=` instead of splitting the parameter —
+//! the class of bug this module's tests pin down. Multi-byte UTF-8
+//! sequences arrive as one `%XX` escape per byte and are validated
+//! after decoding.
+
+/// A malformed percent-escape or invalid UTF-8 in a form-encoded
+/// component. The message is served verbatim in `400` response bodies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid form encoding: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Percent-decodes one component. When `plus_as_space` is set (form
+/// fields, query-string parameters) a bare `+` decodes to a space, per
+/// `application/x-www-form-urlencoded`.
+pub fn percent_decode(s: &str, plus_as_space: bool) -> Result<String, DecodeError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                if i + 2 >= bytes.len() {
+                    return Err(DecodeError(format!(
+                        "truncated percent-escape {:?}",
+                        &s[i..]
+                    )));
+                }
+                let (hi, lo) = (hex_val(bytes[i + 1]), hex_val(bytes[i + 2]));
+                match (hi, lo) {
+                    (Some(h), Some(l)) => out.push((h << 4) | l),
+                    _ => {
+                        // i+3 may fall inside a multi-byte character, so
+                        // render the offending bytes lossily instead of
+                        // slicing `s` (which would panic mid-char).
+                        return Err(DecodeError(format!(
+                            "invalid percent-escape \"%{}\"",
+                            String::from_utf8_lossy(&bytes[i + 1..i + 3])
+                        )));
+                    }
+                }
+                i += 3;
+            }
+            b'+' if plus_as_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|e| DecodeError(format!("decoded bytes are not UTF-8: {e}")))
+}
+
+/// Splits a query string or form body into decoded `(key, value)` pairs.
+///
+/// Splitting on `&` and the **first** `=` happens before any decoding,
+/// so escapes inside keys or values cannot change the structure. A
+/// component without `=` becomes a pair with an empty value. Empty
+/// components (from `a=1&&b=2` or a trailing `&`) are skipped.
+pub fn parse_form(s: &str) -> Result<Vec<(String, String)>, DecodeError> {
+    let mut pairs = Vec::new();
+    for component in s.split('&') {
+        if component.is_empty() {
+            continue;
+        }
+        let (raw_key, raw_value) = match component.split_once('=') {
+            Some((k, v)) => (k, v),
+            None => (component, ""),
+        };
+        pairs.push((
+            percent_decode(raw_key, true)?,
+            percent_decode(raw_value, true)?,
+        ));
+    }
+    Ok(pairs)
+}
+
+/// Percent-encodes one component for use in a query string or form
+/// body: unreserved characters (RFC 3986 §2.3) pass through, everything
+/// else — including `+`, so [`percent_decode`]'s plus-as-space cannot
+/// corrupt it — becomes `%XX` per UTF-8 byte.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// First value for `key` among decoded pairs, if present.
+pub fn find_param<'a>(pairs: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_and_percent_basics() {
+        assert_eq!(percent_decode("a+b", true).unwrap(), "a b");
+        assert_eq!(percent_decode("a+b", false).unwrap(), "a+b");
+        assert_eq!(percent_decode("a%20b", true).unwrap(), "a b");
+        assert_eq!(percent_decode("100%25", true).unwrap(), "100%");
+    }
+
+    #[test]
+    fn multibyte_utf8() {
+        // é = U+00E9 = 0xC3 0xA9; “ = U+201C = 0xE2 0x80 0x9C.
+        assert_eq!(percent_decode("caf%C3%A9", true).unwrap(), "café");
+        assert_eq!(percent_decode("%E2%80%9Cq%E2%80%9D", true).unwrap(), "“q”");
+    }
+
+    #[test]
+    fn invalid_escapes_are_errors() {
+        assert!(percent_decode("%ZZ", true).is_err());
+        assert!(percent_decode("%2", true).is_err());
+        assert!(percent_decode("%", true).is_err());
+        // 0xFF alone is not valid UTF-8.
+        let err = percent_decode("%FF", true).unwrap_err();
+        assert!(err.to_string().contains("UTF-8"), "{err}");
+    }
+
+    #[test]
+    fn invalid_escape_before_multibyte_char_does_not_panic() {
+        // The two bytes after `%` sit inside a 3-byte character; the
+        // error message must not slice the string mid-char.
+        assert!(percent_decode("%€x", true).is_err());
+        assert!(percent_decode("é%2", true).is_err());
+    }
+
+    #[test]
+    fn escaped_separators_do_not_split() {
+        // `%26` (&) and `%3D` (=) inside the query text must survive as
+        // literal characters — a real SPARQL query with a filter like
+        // `?x = "a&b"` round-trips through one `query=` parameter.
+        let pairs = parse_form("query=SELECT%20%3Fx%20WHERE%20%7B%20%3Fx%20%3Chttp%3A%2F%2Fe%2Fp%3E%20%22a%26b%3Dc%22%20%7D&other=1").unwrap();
+        assert_eq!(
+            find_param(&pairs, "query").unwrap(),
+            "SELECT ?x WHERE { ?x <http://e/p> \"a&b=c\" }"
+        );
+        assert_eq!(find_param(&pairs, "other"), Some("1"));
+    }
+
+    #[test]
+    fn plus_means_space_in_form_fields() {
+        let pairs = parse_form("query=SELECT+%3Fs+WHERE+%7B+%3Fs+%3Fp+%3Fo+%7D").unwrap();
+        assert_eq!(
+            find_param(&pairs, "query").unwrap(),
+            "SELECT ?s WHERE { ?s ?p ?o }"
+        );
+    }
+
+    #[test]
+    fn tricky_real_query_with_literal_plus_and_lang() {
+        // A literal "+" must be %2B-encoded; a lang-tagged literal and a
+        // multi-byte IRI pass through one component unharmed.
+        let raw = "update=INSERT+DATA+%7B+%3Chttp%3A%2F%2Fe%2F%C3%BC%3E+%3Chttp%3A%2F%2Fe%2Fp%3E+%221%2B2%22%40fr+%7D";
+        let pairs = parse_form(raw).unwrap();
+        assert_eq!(
+            find_param(&pairs, "update").unwrap(),
+            "INSERT DATA { <http://e/ü> <http://e/p> \"1+2\"@fr }"
+        );
+    }
+
+    #[test]
+    fn structure_is_fixed_before_decoding() {
+        // A value containing an *encoded* `&` never creates a phantom
+        // parameter, and empty components are skipped.
+        let pairs = parse_form("a=1%262&&b=&c").unwrap();
+        assert_eq!(
+            pairs,
+            vec![
+                ("a".into(), "1&2".into()),
+                ("b".into(), String::new()),
+                ("c".into(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for s in [
+            "SELECT ?x WHERE { ?x <http://e/p> \"a&b=c + 100%\"@fr }",
+            "café “naïve” — ü",
+            "+%&=?#",
+        ] {
+            assert_eq!(percent_decode(&percent_encode(s), true).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn first_equals_splits_key_from_value() {
+        let pairs = parse_form("query=ASK { ?s ?p \"x=y\" }".replace(' ', "+").as_str()).unwrap();
+        assert_eq!(
+            find_param(&pairs, "query").unwrap(),
+            "ASK { ?s ?p \"x=y\" }"
+        );
+    }
+}

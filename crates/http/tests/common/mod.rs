@@ -1,0 +1,216 @@
+//! Shared raw-TCP test client: boots a server over a fixture store and
+//! speaks literal HTTP/1.1 on a loopback socket, decoding chunked
+//! bodies chunk by chunk (recording frame sizes, so tests can assert
+//! bounded streaming).
+
+// Each test binary uses its own subset of these helpers.
+#![allow(dead_code)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sparqlog::Store;
+use sparqlog_http::{ServerConfig, ServerHandle, SparqlServer};
+
+/// A running server plus the handle to stop it. Dropping shuts it down.
+pub struct TestServer {
+    pub addr: SocketAddr,
+    handle: ServerHandle,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Boots `store` on an ephemeral loopback port with `config`.
+pub fn boot(store: Store, config: ServerConfig) -> TestServer {
+    let bound = SparqlServer::with_config(Arc::new(store), config)
+        .bind("127.0.0.1:0")
+        .expect("bind loopback");
+    let addr = bound.local_addr().expect("local addr");
+    let handle = bound.handle().expect("handle");
+    let thread = std::thread::spawn(move || bound.serve());
+    TestServer {
+        addr,
+        handle,
+        thread: Some(thread),
+    }
+}
+
+/// Fully-read response: status, headers (lowercased names), body, and —
+/// when the body arrived chunked — every chunk frame's size in order.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+    pub chunk_sizes: Vec<usize>,
+}
+
+impl Response {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn text(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("response body is UTF-8")
+    }
+}
+
+/// One client connection; issue several requests to exercise keep-alive.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { stream, reader }
+    }
+
+    /// Sends raw bytes (a hand-built request).
+    pub fn send_raw(&mut self, raw: &[u8]) {
+        self.stream.write_all(raw).expect("send");
+    }
+
+    /// Builds and sends a request; `body` implies a `Content-Length`.
+    pub fn send(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, &str)],
+        body: Option<&[u8]>,
+    ) {
+        let mut req = format!("{method} {target} HTTP/1.1\r\nHost: test\r\n");
+        for (k, v) in headers {
+            req.push_str(&format!("{k}: {v}\r\n"));
+        }
+        if let Some(b) = body {
+            req.push_str(&format!("Content-Length: {}\r\n", b.len()));
+        }
+        req.push_str("\r\n");
+        let mut bytes = req.into_bytes();
+        if let Some(b) = body {
+            bytes.extend_from_slice(b);
+        }
+        self.send_raw(&bytes);
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read line");
+        line.trim_end_matches(['\r', '\n']).to_string()
+    }
+
+    /// Reads one full response, decoding chunked framing incrementally.
+    pub fn read_response(&mut self) -> Response {
+        let status_line = self.read_line();
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"))
+            .parse()
+            .expect("numeric status");
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line();
+            if line.is_empty() {
+                break;
+            }
+            let (k, v) = line.split_once(':').expect("header line");
+            headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+        let header = |name: &str| {
+            headers
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.as_str())
+        };
+        let mut body = Vec::new();
+        let mut chunk_sizes = Vec::new();
+        if header("transfer-encoding").map(|v| v.contains("chunked")) == Some(true) {
+            // Chunk-at-a-time: this read loop IS the "incremental
+            // consumer" the streaming acceptance test relies on.
+            loop {
+                let size_line = self.read_line();
+                let size = usize::from_str_radix(size_line.trim(), 16)
+                    .unwrap_or_else(|_| panic!("bad chunk size {size_line:?}"));
+                if size == 0 {
+                    let blank = self.read_line();
+                    assert!(blank.is_empty(), "expected final CRLF, got {blank:?}");
+                    break;
+                }
+                let mut chunk = vec![0u8; size];
+                self.reader.read_exact(&mut chunk).expect("chunk body");
+                let mut crlf = [0u8; 2];
+                self.reader.read_exact(&mut crlf).expect("chunk CRLF");
+                assert_eq!(&crlf, b"\r\n");
+                chunk_sizes.push(size);
+                body.extend_from_slice(&chunk);
+            }
+        } else if let Some(len) = header("content-length") {
+            let len: usize = len.parse().expect("content length");
+            body = vec![0u8; len];
+            self.reader.read_exact(&mut body).expect("body");
+        } else {
+            self.reader.read_to_end(&mut body).expect("body to EOF");
+        }
+        Response {
+            status,
+            headers,
+            body,
+            chunk_sizes,
+        }
+    }
+
+    /// Send + read in one go.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, &str)],
+        body: Option<&[u8]>,
+    ) -> Response {
+        self.send(method, target, headers, body);
+        self.read_response()
+    }
+}
+
+/// One-shot request on a fresh connection.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: Option<&[u8]>,
+) -> Response {
+    let mut c = Client::connect(addr);
+    c.request(method, target, headers, body)
+}
+
+/// `GET /query?query=…` with an Accept header, on a fresh connection.
+pub fn get_query(addr: SocketAddr, query: &str, accept: Option<&str>) -> Response {
+    let target = format!("/query?query={}", sparqlog_http::percent_encode(query));
+    let mut headers: Vec<(&str, &str)> = Vec::new();
+    if let Some(a) = accept {
+        headers.push(("Accept", a));
+    }
+    request(addr, "GET", &target, &headers, None)
+}

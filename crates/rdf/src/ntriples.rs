@@ -4,8 +4,6 @@
 //! angle brackets, `.` terminated. It is the exchange format used by the
 //! benchmark generators in this workspace.
 
-use std::fmt::Write as _;
-
 use crate::graph::Graph;
 use crate::term::Term;
 use crate::triple::Triple;
@@ -189,14 +187,25 @@ fn unescape_string(s: &str) -> Result<(String, usize), String> {
     Err("unterminated string literal".into())
 }
 
-/// Serializes a graph as an N-Triples document (one triple per line, in the
-/// graph's insertion order).
-pub fn serialize(g: &Graph) -> String {
-    let mut out = String::new();
+/// Writes a graph as an N-Triples document (one triple per line, in the
+/// graph's insertion order) to an [`std::io::Write`] sink.
+///
+/// This is the streaming path: each triple is formatted straight into
+/// `out`, so the document never materializes in memory. [`serialize`]
+/// is a thin wrapper over this function.
+pub fn write(g: &Graph, out: &mut dyn std::io::Write) -> std::io::Result<()> {
     for (s, p, o) in g.iter() {
-        let _ = writeln!(out, "{s} {p} {o} .");
+        writeln!(out, "{s} {p} {o} .")?;
     }
-    out
+    Ok(())
+}
+
+/// Serializes a graph as an N-Triples document (one triple per line, in the
+/// graph's insertion order). Thin wrapper over [`write()`].
+pub fn serialize(g: &Graph) -> String {
+    let mut out = Vec::new();
+    write(g, &mut out).expect("writing to a Vec<u8> cannot fail");
+    String::from_utf8(out).expect("N-Triples output is UTF-8")
 }
 
 #[cfg(test)]

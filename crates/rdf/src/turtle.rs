@@ -389,14 +389,18 @@ impl<'a> Parser<'a> {
     }
 }
 
-/// Serializes a graph as Turtle, grouping triples by subject (predicate
-/// lists with `;`, object lists with `,`). Terms are written in
-/// N-Triples syntax — full IRIs, no prefix compaction — which every
-/// Turtle parser (including [`parse`]) accepts; `rdf:type` predicates
-/// compact to `a`.
-pub fn serialize(g: &Graph) -> String {
-    use std::fmt::Write as _;
-
+/// Writes a graph as Turtle to an [`std::io::Write`] sink, grouping
+/// triples by subject (predicate lists with `;`, object lists with `,`).
+/// Terms are written in N-Triples syntax — full IRIs, no prefix
+/// compaction — which every Turtle parser (including [`parse`]) accepts;
+/// `rdf:type` predicates compact to `a`.
+///
+/// This is the streaming path: the grouping index holds borrowed term
+/// references (O(distinct subjects + predicates) bookkeeping), and each
+/// statement is formatted straight into `out`, so the document itself
+/// never materializes in memory. [`serialize`] is a thin wrapper over
+/// this function.
+pub fn write(g: &Graph, out: &mut dyn std::io::Write) -> std::io::Result<()> {
     // Group by subject, then by predicate, preserving first-appearance
     // order of both.
     let mut subjects: Vec<&Term> = Vec::new();
@@ -415,26 +419,33 @@ pub fn serialize(g: &Graph) -> String {
         }
     }
 
-    let mut out = String::new();
     for s in subjects {
         let preds = &by_subject[s];
-        let _ = write!(out, "{s}");
+        write!(out, "{s}")?;
         for (i, (p, objects)) in preds.iter().enumerate() {
             if i > 0 {
-                out.push_str(" ;\n   ");
+                out.write_all(b" ;\n   ")?;
             }
             if p.as_iri() == Some(rdf::TYPE) {
-                out.push_str(" a");
+                out.write_all(b" a")?;
             } else {
-                let _ = write!(out, " {p}");
+                write!(out, " {p}")?;
             }
             for (j, o) in objects.iter().enumerate() {
-                let _ = write!(out, "{} {o}", if j > 0 { " ," } else { "" });
+                write!(out, "{} {o}", if j > 0 { " ," } else { "" })?;
             }
         }
-        out.push_str(" .\n");
+        out.write_all(b" .\n")?;
     }
-    out
+    Ok(())
+}
+
+/// Serializes a graph as Turtle (see [`write()`] for the layout rules).
+/// Thin wrapper over [`write()`].
+pub fn serialize(g: &Graph) -> String {
+    let mut out = Vec::new();
+    write(g, &mut out).expect("writing to a Vec<u8> cannot fail");
+    String::from_utf8(out).expect("Turtle output is UTF-8")
 }
 
 #[cfg(test)]
