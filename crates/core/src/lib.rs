@@ -69,6 +69,7 @@ pub mod results_io;
 pub mod serving;
 pub mod solution;
 pub mod store;
+pub mod subscribe;
 
 pub use data_translation::{const_to_term, term_to_const};
 pub use engine::{SparqLog, SparqLogError};
@@ -82,3 +83,6 @@ pub use solution::{canonical_triples, QueryResults, Solution, SolutionSeq};
 pub use sparqlog_datalog::{AbortReason, Budget, CancelToken};
 pub use sparqlog_rdf::{Graph, Term};
 pub use store::{CommitStats, Snapshot, Store, Writer};
+pub use subscribe::{
+    ResultDelta, SolutionRow, Subscription, SubscriptionEvent, DEFAULT_MAILBOX_CAPACITY,
+};

@@ -149,8 +149,11 @@ impl Ontology {
                     //   triple(X, property, Z, D) :- gen(X, Z, D).
                     //   triple(Z, type, filler, D) :- gen(X, Z, D).
                     // The auxiliary predicate shares one labelled null Z
-                    // between the two derived triples.
-                    let gen = symbols.intern(&format!("_ex_gen_{}", symbols.intern(property).0));
+                    // between the two derived triples. Named after the
+                    // property IRI so the same axiom yields the same
+                    // predicate in every store (content signatures stay
+                    // cross-store comparable).
+                    let gen = symbols.intern(&format!("_ex_gen_{property}"));
                     {
                         let mut b = RuleBuilder::new();
                         let (hx, hz, hd) = (b.v("X"), b.v("Z"), b.v("D"));

@@ -79,19 +79,29 @@
 //! # Ontologies and deletion
 //!
 //! Ontology axioms ([`Store::add_ontology`]) are materialised at commit
-//! time like the engine always did. Additions re-derive incrementally
-//! (materialisation is monotone). Deletions re-derive the auxiliary
-//! predicates exactly, but *entailed* triples are not retracted when
-//! their premises disappear (no truth maintenance) — the usual
-//! materialised-store caveat; rebuild the store for a full re-derivation.
+//! time like the engine always did; additions re-derive incrementally
+//! (materialisation is monotone). Deletions run through the DRed-style
+//! maintainer ([`sparqlog_datalog::retract`]): the auxiliary predicates
+//! *and* ontology entailments are retracted exactly when their last
+//! asserted support disappears, in time proportional to the affected
+//! fact set — after every commit the store is multiset-equal to loading
+//! the surviving asserted triples fresh and re-materialising. To tell
+//! assertions from entailments the store keeps an *asserted ledger*
+//! (the explicitly written quads) from the first ontology-bearing
+//! commit on: deletes apply to the ledger, and a triple that is both
+//! asserted and entailed stays visible until its last support is gone.
+//! One caveat remains: a store converted from a pre-materialised engine
+//! ([`crate::SparqLog::into_store`]) counts the rows already entailed
+//! at conversion time as asserted.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
+use sparqlog_datalog::fxhash::{FxHashMap, FxHashSet};
 use sparqlog_datalog::{
-    evaluate, Budget, Const, Database, EvalOptions, FrozenDb, Program, Relation, Rule, Sym,
-    SymbolTable, TermId,
+    evaluate, retract, stage_deletion, Budget, ColumnBatch, Const, Database, EvalOptions, FrozenDb,
+    MaintainError, Mask, Program, Relation, Rule, Sym, SymbolTable, TermId,
 };
 use sparqlog_rdf::{Dataset, Graph, Term};
 use sparqlog_sparql::{
@@ -104,6 +114,7 @@ use crate::ontology::Ontology;
 use crate::query_translation::update_where_query;
 use crate::serving::{FrozenDatabase, PreparedQuery};
 use crate::solution::QueryResults;
+use crate::subscribe::{prefilter, Registry, Subscription, DEFAULT_MAILBOX_CAPACITY};
 
 const POISONED: &str = "store poisoned: a previous commit failed mid-materialisation";
 
@@ -132,6 +143,12 @@ struct StoreState {
     frozen: Option<Arc<FrozenDatabase>>,
     /// Accumulated ontology rules, re-materialised on every commit.
     ontology: Program,
+    /// The asserted ledger: the explicitly written quads, tracked
+    /// separately from the (entailment-bearing) `triple` relation from
+    /// the first ontology-carrying commit on. `None` while no ontology
+    /// has ever been installed — `triple` *is* the asserted set then.
+    /// Only touched under the commit lock.
+    asserted: Option<Arc<Relation>>,
     /// Evaluation options for commits and for snapshots created after
     /// the next commit.
     options: EvalOptions,
@@ -154,6 +171,13 @@ pub struct Store {
     /// Uniquifies blank-node labels minted by `INSERT` templates and
     /// `INSERT DATA` blocks across update executions.
     bnode_epoch: AtomicUsize,
+    /// Standing-query subscriptions, notified after each commit (see
+    /// [`Store::subscribe`]). Shared with the [`Subscription`] handles
+    /// so dropping one deregisters it without a store reference.
+    subs: Arc<Registry>,
+    /// Monotone commit counter stamped onto subscription deltas.
+    /// Incremented per successful commit, under the commit lock.
+    commit_seq: AtomicU64,
 }
 
 impl Default for Store {
@@ -180,10 +204,13 @@ impl Store {
             state: RwLock::new(StoreState {
                 frozen: Some(frozen),
                 ontology,
+                asserted: None,
                 options,
             }),
             commit_lock: Mutex::new(()),
             bnode_epoch: AtomicUsize::new(0),
+            subs: Arc::new(Registry::default()),
+            commit_seq: AtomicU64::new(0),
         }
     }
 
@@ -264,6 +291,65 @@ impl Store {
     /// [`FrozenDatabase::execute_prepared_batch`] on a snapshot).
     pub fn prepare(&self, query: &str) -> Result<PreparedQuery, SparqLogError> {
         self.current().prepare(query)
+    }
+
+    /// Registers a standing `SELECT` query: after every commit that
+    /// changes its results, the returned [`Subscription`] receives a
+    /// [`ResultDelta`](crate::ResultDelta) — the exact multiset
+    /// difference against the previous results, stamped with the
+    /// commit's monotone sequence number. The subscription's baseline
+    /// ([`Subscription::initial`]) is the result set at registration
+    /// time, taken atomically with the registration (no commit can fall
+    /// between them). See [`crate::subscribe`] for the delivery
+    /// contract (bounded mailbox, lagging policy, drop cleanup).
+    pub fn subscribe(&self, query: &PreparedQuery) -> Result<Subscription, SparqLogError> {
+        self.subscribe_with_capacity(query, DEFAULT_MAILBOX_CAPACITY)
+    }
+
+    /// [`Store::subscribe`] with an explicit mailbox bound (clamped to
+    /// at least 1): the maximum number of undelivered deltas before the
+    /// oldest are dropped and surfaced as
+    /// [`SubscriptionEvent::Lagged`](crate::SubscriptionEvent::Lagged).
+    pub fn subscribe_with_capacity(
+        &self,
+        query: &PreparedQuery,
+        capacity: usize,
+    ) -> Result<Subscription, SparqLogError> {
+        if !query.query().is_select() {
+            return Err(SparqLogError::Translation(
+                crate::query_translation::TranslationError {
+                    message: "subscriptions require a SELECT query".into(),
+                    unsupported: false,
+                    feature: None,
+                },
+            ));
+        }
+        // Hold the commit lock across baseline + registration so no
+        // commit can land between them (a commit would then be neither
+        // in the baseline nor delivered as a delta).
+        let _serial = self.commit_lock.lock().unwrap();
+        let snapshot = self.current();
+        let result = snapshot.execute_prepared(query)?;
+        let baseline = result
+            .solutions()
+            .expect("SELECT queries yield solutions")
+            .clone();
+        let preds = prefilter(query, &snapshot);
+        let (id, mailbox) = self
+            .subs
+            .register(query.clone(), baseline.clone(), preds, capacity);
+        Ok(Subscription {
+            registry: self.subs.clone(),
+            mailbox,
+            id,
+            initial: baseline,
+        })
+    }
+
+    /// Number of live subscriptions (closed handles are pruned at the
+    /// next commit).
+    pub fn subscription_count(&self) -> usize {
+        self.subs.len()
     }
 
     /// Parses and executes a SPARQL 1.1 Update request. Operations apply
@@ -499,19 +585,27 @@ impl Store {
         // readers keep being served the pre-commit version while the
         // commit works on the copy, and a failed commit leaves the store
         // untouched instead of poisoned.
-        let (base, cache, held_state) = match Arc::try_unwrap(current) {
+        let (base, cache, asserted, held_state) = match Arc::try_unwrap(current) {
             Ok(fd) => {
                 let (base, _options, cache) = fd.into_base();
-                (base, cache, Some(state))
+                let asserted = state.asserted.take();
+                (base, cache, asserted, Some(state))
             }
             Err(shared) => {
                 let base = shared.database().clone();
                 let cache = shared.cache_handle();
+                let asserted = state.asserted.clone();
                 state.frozen = Some(shared);
                 drop(state);
-                (base, cache, None)
+                (base, cache, asserted, None)
             }
         };
+        // The asserted ledger follows the same two paths: moved out on
+        // the zero-copy path, cloned alongside the database on the copy
+        // path (a failed copy-path commit leaves the installed ledger
+        // untouched).
+        let mut asserted: Option<Relation> =
+            asserted.map(|a| Arc::try_unwrap(a).unwrap_or_else(|shared| shared.clone_for_write()));
         // Carry the outgoing snapshot's statistics (if any query
         // collected them) across the commit: the re-frozen snapshot
         // re-scans only the relations whose row counts changed.
@@ -546,12 +640,32 @@ impl Store {
 
         let mut stats = CommitStats::default();
 
+        let mut program = base_program(&symbols);
+        let has_ontology = !ontology_rules.is_empty();
+        program.rules.extend(ontology_rules);
+
+        // Start the asserted ledger at the first ontology-bearing
+        // commit: from here on `triple` also carries entailed rows, so
+        // the assertions need their own record for deletes to maintain
+        // against. (At this point `triple` still holds assertions only —
+        // except for a store converted from a pre-materialised engine,
+        // whose already-entailed rows become part of the baseline; see
+        // the module docs.)
+        if has_ontology && asserted.is_none() {
+            asserted = Some(match db.relation(triple_p) {
+                Some(rel) => rel.clone_for_write(),
+                None => Relation::new(),
+            });
+        }
+
         // ------------------------------------------------ removals
-        // `has_removals` means a staged removal actually hits a stored
-        // triple: a DELETE DATA of absent quads or a CLEAR of an empty
-        // graph is routed to the (much cheaper) pure-addition path
-        // instead of paying the full retain + exact re-derivation.
-        let mut has_removals = false;
+        // Collect the asserted rows a staged removal actually hits: a
+        // DELETE DATA of absent quads or a CLEAR of an empty graph
+        // leaves this empty and is routed to the (much cheaper)
+        // pure-addition path. Under an ontology the ledger — not the
+        // entailment-bearing `triple` relation — is the removal target,
+        // so deleting a merely-entailed triple is a no-op.
+        let mut removed_rows: Vec<[TermId; 4]> = Vec::new();
         if (!removes.is_empty() || !clears.is_empty()) && db.relation(triple_p).is_some() {
             let remove_rows: HashSet<[TermId; 4]> = removes.iter().map(encode_quad).collect();
             let mut clear_default = false;
@@ -570,36 +684,201 @@ impl Store {
                     }
                 }
             }
-            let rel = db.relation(triple_p).expect("checked above");
-            // Probe the graph-column index (mask 0b1000, eager on a
-            // thawed snapshot) for clear targets; exact rows via the
-            // dedup table.
-            let default_rows = || rel.lookup(0b1000, &[default_graph]).len();
+            let view: &Relation = match asserted.as_ref() {
+                Some(ledger) => ledger,
+                None => db.relation(triple_p).expect("checked above"),
+            };
+            // Probe the graph-column index for clear targets first: only
+            // a CLEAR that hits anything pays the scan below.
+            let default_rows = || view.lookup(0b1000, &[default_graph]).len();
             let clears_hit = (clear_default && default_rows() > 0)
-                || (clear_named && default_rows() < rel.len())
+                || (clear_named && default_rows() < view.len())
                 || clear_graphs
                     .iter()
-                    .any(|g| !rel.lookup(0b1000, &[*g]).is_empty());
-            has_removals = clears_hit || remove_rows.iter().any(|r| rel.contains(r));
-            if has_removals {
-                stats.removed = db.relation_mut(triple_p).retain(|row| {
-                    let g = row[3];
+                    .any(|g| !view.lookup(0b1000, &[*g]).is_empty());
+            if clears_hit {
+                for row in view.iter() {
+                    let row4: [TermId; 4] = row.try_into().expect("triple/4 rows are quads");
+                    let g = row4[3];
                     let cleared = (clear_default && g == default_graph)
                         || (clear_named && g != default_graph)
                         || clear_graphs.contains(&g);
-                    let row4: [TermId; 4] = row.try_into().expect("triple/4 rows are quads");
-                    !(cleared || remove_rows.contains(&row4))
-                });
+                    if cleared || remove_rows.contains(&row4) {
+                        removed_rows.push(row4);
+                    }
+                }
+            } else {
+                removed_rows.extend(remove_rows.iter().filter(|r| view.contains(*r)));
+            }
+        }
+        let has_removals = !removed_rows.is_empty();
+        stats.removed = removed_rows.len();
+
+        // Subscription prefilter bookkeeping: the predicate ids of every
+        // `triple` row this commit adds or (net) removes. Stays `exact`
+        // only on the paths that never run a full fixpoint — whenever
+        // `evaluate` is involved the entailed consequences are unknown
+        // and every subscriber is re-checked.
+        let mut changed_preds: FxHashSet<TermId> = FxHashSet::default();
+        let mut exact_delta = true;
+
+        // `true` once the DRed maintainer has brought every derived
+        // predicate (and the entailed triples) up to date for the
+        // removals; `false` routes to the full re-derivation fallback.
+        let mut maintained = false;
+        if has_removals {
+            let removed_set: FxHashSet<[TermId; 4]> = removed_rows.iter().copied().collect();
+            let removed_vecs: FxHashSet<Vec<TermId>> =
+                removed_rows.iter().map(|r| r.to_vec()).collect();
+            // Drop the assertions from the ledger first: the external-
+            // support probe below must see the *post*-deletion asserted
+            // set, so a deleted assertion no longer supports itself.
+            // Targeted removal — the ledger never pays a full rebuild.
+            if let Some(ledger) = asserted.as_mut() {
+                ledger.remove_rows(&removed_vecs);
+            }
+
+            // Stage the deletion seeds: the removed quads themselves,
+            // plus the load-time class and named-graph facts of terms
+            // whose last asserted occurrence just disappeared (class
+            // facts come from asserted data only, so survival is probed
+            // against the asserted view — O(occurrences), not O(store)).
+            let mut deleted: FxHashMap<Sym, ColumnBatch> = FxHashMap::default();
+            for row in &removed_rows {
+                stage_deletion(&mut deleted, triple_p, row);
+            }
+            let mut term_cands: FxHashSet<TermId> = FxHashSet::default();
+            let mut graph_cands: FxHashSet<TermId> = FxHashSet::default();
+            for row in &removed_rows {
+                term_cands.extend(row[..3].iter().copied());
+                if row[3] != default_graph {
+                    graph_cands.insert(row[3]);
+                }
+            }
+            {
+                // Post-removal asserted view: the retained ledger, or —
+                // without an ontology — the still-uncompacted `triple`
+                // relation minus the removed set.
+                let view: &Relation = match asserted.as_ref() {
+                    Some(ledger) => ledger,
+                    None => db.relation(triple_p).expect("seeds exist"),
+                };
+                let survives = |mask: Mask, key: &[TermId]| {
+                    view.lookup(mask, key).iter().any(|&i| {
+                        let row4: [TermId; 4] =
+                            view.row(i).try_into().expect("triple/4 rows are quads");
+                        !removed_set.contains(&row4)
+                    })
+                };
+                for &t in &term_cands {
+                    if [0b0001, 0b0010, 0b0100].iter().any(|&m| survives(m, &[t])) {
+                        continue;
+                    }
+                    for class in [iri_p, literal_p, bnode_p] {
+                        if db.relation(class).is_some_and(|r| r.contains(&[t])) {
+                            stage_deletion(&mut deleted, class, &[t]);
+                            break;
+                        }
+                    }
+                }
+                for &g in &graph_cands {
+                    if !survives(0b1000, &[g])
+                        && db.relation(named_p).is_some_and(|r| r.contains(&[g]))
+                    {
+                        stage_deletion(&mut deleted, named_p, &[g]);
+                    }
+                }
+            }
+
+            // Delete/re-derive. A triple row keeps external support
+            // while it remains in the asserted ledger (it may *also* be
+            // entailed); everything else lives and dies by the rules.
+            let empty = Relation::new();
+            let (track, ledger): (bool, &Relation) = match asserted.as_ref() {
+                Some(ledger) => (true, ledger),
+                None => (false, &empty),
+            };
+            let support =
+                |pred: Sym, row: &[TermId]| track && pred == triple_p && ledger.contains(row);
+            match retract(&program, &mut db, &deleted, &support) {
+                Ok(retraction) => {
+                    maintained = true;
+                    if let Some(rows) = retraction.removed.get(&triple_p) {
+                        changed_preds.extend(rows.iter().map(|r| r[1]));
+                    }
+                }
+                Err(MaintainError::Unsupported(_)) => {
+                    exact_delta = false;
+                    // The program has a shape the maintainer does not
+                    // handle: fall back to rebuilding `triple` from the
+                    // assertions and re-deriving everything below.
+                    match asserted.as_ref() {
+                        Some(ledger) => {
+                            adopt(&mut db, triple_p, ledger.clone_for_write());
+                        }
+                        None => {
+                            db.relation_mut(triple_p).remove_rows(&removed_vecs);
+                        }
+                    }
+                    // Refilter the load-time class and named-graph facts
+                    // against the surviving assertions (membership in
+                    // the old class relation is the classifier, so a
+                    // term without a class fact can never gain one).
+                    let mut new_iri = Relation::new();
+                    let mut new_literal = Relation::new();
+                    let mut new_bnode = Relation::new();
+                    let mut new_named = Relation::new();
+                    if let Some(rel) = db.relation(triple_p) {
+                        let old_iri = db.relation(iri_p);
+                        let old_bnode = db.relation(bnode_p);
+                        let old_literal = db.relation(literal_p);
+                        let in_class =
+                            |r: Option<&Relation>, id: TermId| r.is_some_and(|r| r.contains(&[id]));
+                        for row in rel.iter() {
+                            for &id in &row[..3] {
+                                if in_class(old_iri, id) {
+                                    new_iri.insert(&[id]);
+                                } else if in_class(old_bnode, id) {
+                                    new_bnode.insert(&[id]);
+                                } else if in_class(old_literal, id) {
+                                    new_literal.insert(&[id]);
+                                }
+                            }
+                            if row[3] != default_graph {
+                                new_named.insert(&[row[3]]);
+                            }
+                        }
+                    }
+                    for (pred, fresh) in [
+                        (iri_p, new_iri),
+                        (literal_p, new_literal),
+                        (bnode_p, new_bnode),
+                        (named_p, new_named),
+                    ] {
+                        adopt(&mut db, pred, fresh);
+                    }
+                }
             }
         }
 
         // ------------------------------------------------ additions
         // Track freshly appearing terms for the fast auxiliary path.
+        // Under an ontology, "fresh" means new to the *ledger*: a triple
+        // that was only entailed so far becomes asserted (and its terms
+        // gain class facts), even though it is already visible.
         let mut fresh_terms: Vec<(TermId, Sym)> = Vec::new();
         let mut fresh_triples: Vec<[TermId; 4]> = Vec::new();
         for q in adds {
             let row = encode_quad(q);
-            if !db.relation_mut(triple_p).insert(&row) {
+            let fresh = match asserted.as_mut() {
+                Some(ledger) => {
+                    let fresh = ledger.insert(&row);
+                    db.relation_mut(triple_p).insert(&row);
+                    fresh
+                }
+                None => db.relation_mut(triple_p).insert(&row),
+            };
+            if !fresh {
                 continue;
             }
             stats.added += 1;
@@ -623,63 +902,16 @@ impl Store {
             }
         }
 
-        // After removals, the load-time term-class and named-graph facts
-        // are refiltered: a term keeps its class fact only while it
-        // still occurs in a surviving triple. The new relation is the
-        // *intersection* of the old class relation with the occurring
-        // terms — membership in the old relation is the classifier, so
-        // a term that never had a class fact (a Skolem labelled null,
-        // or any term appearing only in ontology-entailed triples) can
-        // never gain one here, keeping the incremental result aligned
-        // with what loading the same asserted data derives. Relations
-        // whose content comes out unchanged keep their built indexes.
-        if has_removals {
-            let mut new_iri = Relation::new();
-            let mut new_literal = Relation::new();
-            let mut new_bnode = Relation::new();
-            let mut new_named = Relation::new();
-            if let Some(rel) = db.relation(triple_p) {
-                let old_iri = db.relation(iri_p);
-                let old_bnode = db.relation(bnode_p);
-                let old_literal = db.relation(literal_p);
-                let in_class =
-                    |r: Option<&Relation>, id: TermId| r.is_some_and(|r| r.contains(&[id]));
-                for row in rel.iter() {
-                    for &id in &row[..3] {
-                        if in_class(old_iri, id) {
-                            new_iri.insert(&[id]);
-                        } else if in_class(old_bnode, id) {
-                            new_bnode.insert(&[id]);
-                        } else if in_class(old_literal, id) {
-                            new_literal.insert(&[id]);
-                        }
-                    }
-                    if row[3] != default_graph {
-                        new_named.insert(&[row[3]]);
-                    }
-                }
-            }
-            for (pred, fresh) in [
-                (iri_p, new_iri),
-                (literal_p, new_literal),
-                (bnode_p, new_bnode),
-                (named_p, new_named),
-            ] {
-                adopt(&mut db, pred, fresh);
-            }
+        for row in &fresh_triples {
+            changed_preds.insert(row[1]);
         }
 
         // ------------------------------------ auxiliary predicates
-        let mut program = base_program(&symbols);
-        let has_ontology = !ontology_rules.is_empty();
-        program.rules.extend(ontology_rules);
-        let evaluated = if has_removals {
-            // Exact re-derivation: take the derived relations out,
-            // re-run the rules from the surviving facts, and swap the
-            // old relation back in wherever the content is unchanged so
-            // its indexes survive. `triple` itself is never recomputed —
-            // it holds the asserted facts (see the module docs for the
-            // ontology-entailment caveat).
+        let evaluated = if has_removals && !maintained {
+            // Fallback exact re-derivation: take the derived relations
+            // out, re-run the rules from the surviving facts, and swap
+            // the old relation back in wherever the content is unchanged
+            // so its indexes survive.
             let mut derived: Vec<Sym> = program
                 .rules
                 .iter()
@@ -701,10 +933,11 @@ impl Store {
             }
             result
         } else if !has_ontology {
-            // Pure additions, no ontology: the auxiliary rules are
-            // non-recursive over their sources, so their consequences
-            // are computed directly from the delta — O(|delta|), no
-            // fixpoint pass over the full store.
+            // Additions without ontology rules (removals, if any, are
+            // already maintained): the auxiliary rules are non-recursive
+            // over their sources, so their consequences are computed
+            // directly from the delta — O(|delta|), no fixpoint pass
+            // over the full store.
             let null_id = dict.encode(&Const::Null);
             db.relation_mut(null_p).insert(&[null_id]);
             db.relation_mut(comp_p).insert(&[null_id, null_id, null_id]);
@@ -722,10 +955,16 @@ impl Store {
                 soo.insert(&[row[2], row[3]]);
             }
             Ok(Default::default())
+        } else if maintained && adds.is_empty() {
+            // Maintained removals with nothing added: the DRed pass left
+            // the store exactly fresh-reload-equivalent — no fixpoint.
+            Ok(Default::default())
         } else {
-            // Pure additions with ontology rules: materialisation is
-            // monotone, so re-running it only adds the new consequences
-            // (existing rows dedup away, indexes stay maintained).
+            // Additions with ontology rules (or a fresh ontology
+            // install): materialisation is monotone, so re-running it
+            // only adds the new consequences (existing rows dedup away,
+            // indexes stay maintained).
+            exact_delta = false;
             evaluate(&program, &mut db, &options)
         };
         if let Err(e) = evaluated {
@@ -751,12 +990,36 @@ impl Store {
         if let Some(prev) = &prev_stats {
             snapshot.warm_stats_from(prev);
         }
-        let new_frozen = Some(Arc::new(FrozenDatabase::with_cache(
-            snapshot, options, cache,
-        )));
+        let new_frozen = Arc::new(FrozenDatabase::with_cache(snapshot, options, cache));
+        let notify_snapshot = new_frozen.clone();
+        let new_asserted = asserted.map(Arc::new);
         match held_state {
-            Some(mut state) => state.frozen = new_frozen,
-            None => self.state.write().unwrap().frozen = new_frozen,
+            Some(mut state) => {
+                state.frozen = Some(new_frozen);
+                state.asserted = new_asserted;
+            }
+            None => {
+                let mut state = self.state.write().unwrap();
+                state.frozen = Some(new_frozen);
+                state.asserted = new_asserted;
+            }
+        }
+
+        // ------------------------------------------- subscriptions
+        // The snapshot is installed; fan the commit out to standing
+        // queries (still under the commit lock, so deltas are stamped
+        // and delivered in commit order). A provably empty delta —
+        // exact bookkeeping, no triple or ledger change — skips the
+        // whole pass.
+        let commit_seq = self.commit_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let provably_empty =
+            exact_delta && changed_preds.is_empty() && stats.added == 0 && stats.removed == 0;
+        if !provably_empty {
+            self.subs.notify(
+                &notify_snapshot,
+                exact_delta.then_some(&changed_preds),
+                commit_seq,
+            );
         }
         Ok(stats)
     }
@@ -1231,6 +1494,177 @@ mod tests {
             !rel.contains(&[person_id]),
             "entailed-only term must not gain a class fact"
         );
+    }
+
+    #[test]
+    fn ontology_entailments_are_retracted_on_delete() {
+        // The PR 4 gap: deleting the premise of a materialised
+        // entailment must retract the entailed triple — the store stays
+        // equivalent to reloading the surviving assertions fresh.
+        let ask = "PREFIX ex: <http://ex.org/> ASK { ex:alice a ex:Person }";
+        let store = Store::new();
+        store
+            .load_turtle(
+                r#"@prefix ex: <http://ex.org/> .
+                   ex:alice a ex:Student .
+                   ex:bob a ex:Student ."#,
+            )
+            .unwrap();
+        store
+            .add_ontology(&crate::Ontology::new().with(crate::Axiom::SubClassOf(
+                "http://ex.org/Student".into(),
+                "http://ex.org/Person".into(),
+            )))
+            .unwrap();
+        assert_eq!(store.execute(ask).unwrap(), QueryResults::Boolean(true));
+
+        store
+            .update("PREFIX ex: <http://ex.org/> DELETE DATA { ex:alice a ex:Student }")
+            .unwrap();
+        assert_eq!(
+            store.execute(ask).unwrap(),
+            QueryResults::Boolean(false),
+            "entailment retracted with its premise"
+        );
+        // The unrelated entailment survives...
+        assert_eq!(
+            store
+                .execute("PREFIX ex: <http://ex.org/> ASK { ex:bob a ex:Person }")
+                .unwrap(),
+            QueryResults::Boolean(true)
+        );
+        // ... and matches a fresh reload of the surviving assertions.
+        let fresh = Store::new();
+        fresh
+            .load_turtle(
+                r#"@prefix ex: <http://ex.org/> .
+                   ex:bob a ex:Student ."#,
+            )
+            .unwrap();
+        fresh
+            .add_ontology(&crate::Ontology::new().with(crate::Axiom::SubClassOf(
+                "http://ex.org/Student".into(),
+                "http://ex.org/Person".into(),
+            )))
+            .unwrap();
+        assert_eq!(store.fact_count(), fresh.fact_count());
+
+        // Re-asserting brings the entailment back.
+        store
+            .update("PREFIX ex: <http://ex.org/> INSERT DATA { ex:alice a ex:Student }")
+            .unwrap();
+        assert_eq!(store.execute(ask).unwrap(), QueryResults::Boolean(true));
+    }
+
+    #[test]
+    fn deleting_a_merely_entailed_triple_is_a_noop() {
+        // Only assertions can be deleted: a DELETE DATA naming a triple
+        // that is entailed (but not asserted) removes nothing, and the
+        // entailment stays visible — fresh-reload semantics.
+        let store = Store::new();
+        store
+            .load_turtle(
+                r#"@prefix ex: <http://ex.org/> .
+                   ex:alice a ex:Student ."#,
+            )
+            .unwrap();
+        store
+            .add_ontology(&crate::Ontology::new().with(crate::Axiom::SubClassOf(
+                "http://ex.org/Student".into(),
+                "http://ex.org/Person".into(),
+            )))
+            .unwrap();
+        let stats = store
+            .update("PREFIX ex: <http://ex.org/> DELETE DATA { ex:alice a ex:Person }")
+            .unwrap();
+        assert_eq!(stats.removed, 0);
+        assert_eq!(
+            store
+                .execute("PREFIX ex: <http://ex.org/> ASK { ex:alice a ex:Person }")
+                .unwrap(),
+            QueryResults::Boolean(true)
+        );
+    }
+
+    #[test]
+    fn subscriptions_deliver_exact_deltas_in_commit_order() {
+        use crate::subscribe::SubscriptionEvent;
+
+        let store = borders_store();
+        let q = store
+            .prepare("PREFIX ex: <http://ex.org/> SELECT ?b WHERE { ?a ex:borders ?b }")
+            .unwrap();
+        let sub = store.subscribe(&q).unwrap();
+        assert_eq!(sub.initial().len(), 3);
+        assert_eq!(store.subscription_count(), 1);
+
+        // An addition arrives as one added row.
+        store
+            .update("PREFIX ex: <http://ex.org/> INSERT DATA { ex:germany ex:borders ex:austria }")
+            .unwrap();
+        let Some(SubscriptionEvent::Delta(d1)) = sub.try_recv() else {
+            panic!("expected a delta");
+        };
+        assert_eq!(d1.added.len(), 1);
+        assert_eq!(d1.removed.len(), 0);
+
+        // A commit on an unrelated predicate is prefiltered out.
+        store
+            .update("PREFIX ex: <http://ex.org/> INSERT DATA { ex:spain ex:capital ex:madrid }")
+            .unwrap();
+        assert_eq!(sub.try_recv(), None, "unrelated predicate, no delta");
+
+        // A removal arrives as one removed row, with a later seq.
+        store
+            .update("PREFIX ex: <http://ex.org/> DELETE DATA { ex:spain ex:borders ex:france }")
+            .unwrap();
+        let Some(SubscriptionEvent::Delta(d2)) = sub.try_recv() else {
+            panic!("expected a delta");
+        };
+        assert_eq!(d2.added.len(), 0);
+        assert_eq!(d2.removed.len(), 1);
+        assert!(d2.commit_seq > d1.commit_seq, "monotone commit numbers");
+        assert_eq!(sub.try_recv(), None);
+
+        // Dropping the handle deregisters it.
+        drop(sub);
+        store
+            .update("PREFIX ex: <http://ex.org/> INSERT DATA { ex:a ex:borders ex:b }")
+            .unwrap();
+        assert_eq!(store.subscription_count(), 0);
+    }
+
+    #[test]
+    fn lagging_subscribers_lose_oldest_deltas_and_learn_it() {
+        use crate::subscribe::SubscriptionEvent;
+
+        let store = borders_store();
+        let q = store
+            .prepare("PREFIX ex: <http://ex.org/> SELECT ?b WHERE { ?a ex:borders ?b }")
+            .unwrap();
+        let sub = store.subscribe_with_capacity(&q, 1).unwrap();
+        for i in 0..3 {
+            store
+                .update(&format!(
+                    "PREFIX ex: <http://ex.org/> INSERT DATA {{ ex:n{i} ex:borders ex:m{i} }}"
+                ))
+                .unwrap();
+        }
+        assert_eq!(sub.try_recv(), Some(SubscriptionEvent::Lagged(2)));
+        let Some(SubscriptionEvent::Delta(d)) = sub.try_recv() else {
+            panic!("newest delta survives");
+        };
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(sub.try_recv(), None);
+    }
+
+    #[test]
+    fn subscribe_rejects_non_select_queries() {
+        let store = borders_store();
+        let q = store
+            .prepare("PREFIX ex: <http://ex.org/> ASK { ex:spain ex:borders ex:france }")
+            .unwrap();
+        assert!(store.subscribe(&q).is_err());
     }
 
     #[test]

@@ -1,0 +1,339 @@
+//! Incremental-maintenance differential suite (PR 9).
+//!
+//! Property: after *every* commit of a random add/remove interleaving,
+//! the maintained store is multiset-equal (via
+//! `FrozenDb::content_signature`) to a from-scratch reload+freeze of
+//! the same asserted quads — with and without ontology materialisation,
+//! across evaluator widths 1/2/4, and under pinned live snapshots
+//! (which force the copy commit path). Plus the subscription contract:
+//! every delivered [`ResultDelta`](sparqlog::ResultDelta) equals the
+//! multiset difference of full re-executions around the commit.
+
+use sparqlog::{Axiom, Ontology, SparqLog, Store, SubscriptionEvent};
+use sparqlog_datalog::EvalOptions;
+use sparqlog_rdf::{Dataset, Term, Triple};
+
+const EX: &str = "http://ex.org/";
+const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// Deterministic xorshift64* — the suite must not depend on ambient
+/// randomness.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// One asserted quad of the test universe.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Quad {
+    s: Term,
+    p: Term,
+    o: Term,
+    g: Option<&'static str>,
+}
+
+/// A small closed universe of quads: plain edges, names, `rdf:type`
+/// facts (ontology fodder) and one named graph.
+fn universe() -> Vec<Quad> {
+    let iri = |l: &str| Term::iri(format!("{EX}{l}"));
+    let mut out = Vec::new();
+    for si in 0..4 {
+        for oi in 0..3 {
+            out.push(Quad {
+                s: iri(&format!("s{si}")),
+                p: iri("knows"),
+                o: iri(&format!("s{oi}")),
+                g: None,
+            });
+        }
+        out.push(Quad {
+            s: iri(&format!("s{si}")),
+            p: Term::iri(RDF_TYPE),
+            o: iri("Student"),
+            g: None,
+        });
+        out.push(Quad {
+            s: iri(&format!("s{si}")),
+            p: iri("name"),
+            o: Term::literal(format!("node {si}")),
+            g: None,
+        });
+        out.push(Quad {
+            s: iri(&format!("s{si}")),
+            p: iri("source"),
+            o: iri("census"),
+            g: Some("http://meta"),
+        });
+    }
+    out
+}
+
+/// Applies one random commit (1–4 staged operations, biased toward
+/// hitting present quads on removal) to `store`, mirroring it in the
+/// shadow `model`. A commit applies all removals before all additions
+/// (SPARQL DELETE/INSERT order), so the shadow model does the same.
+/// Returns the staged ops for error context.
+fn random_commit(rng: &mut Rng, store: &Store, model: &mut Vec<Quad>, pool: &[Quad]) -> String {
+    let mut w = store.writer();
+    let mut log = String::new();
+    let mut adds: Vec<Quad> = Vec::new();
+    let mut removes: Vec<Quad> = Vec::new();
+    for _ in 0..1 + rng.below(4) {
+        let add = rng.below(2) == 0 || model.is_empty();
+        if add {
+            let q = pool[rng.below(pool.len())].clone();
+            log.push_str(&format!("+{q:?} "));
+            match q.g {
+                None => w.insert(q.s.clone(), q.p.clone(), q.o.clone()),
+                Some(g) => w.insert_in(g, q.s.clone(), q.p.clone(), q.o.clone()),
+            }
+            adds.push(q);
+        } else {
+            // 3:1 bias toward removing a quad that is actually present.
+            let q = if rng.below(4) < 3 {
+                model[rng.below(model.len())].clone()
+            } else {
+                pool[rng.below(pool.len())].clone()
+            };
+            log.push_str(&format!("-{q:?} "));
+            match q.g {
+                None => w.remove(q.s.clone(), q.p.clone(), q.o.clone()),
+                Some(g) => w.remove_in(g, q.s.clone(), q.p.clone(), q.o.clone()),
+            }
+            removes.push(q);
+        }
+    }
+    w.commit().expect("commit applies");
+    model.retain(|m| !removes.contains(m));
+    for q in adds {
+        if !model.contains(&q) {
+            model.push(q);
+        }
+    }
+    log
+}
+
+fn dataset_of(model: &[Quad]) -> Dataset {
+    let mut ds = Dataset::new();
+    for q in model {
+        let t = Triple::new(q.s.clone(), q.p.clone(), q.o.clone());
+        match q.g {
+            None => ds.default_graph_mut().insert(t),
+            Some(g) => ds.named_graph_mut(g).insert(t),
+        };
+    }
+    ds
+}
+
+/// See `store_updates.rs`: identical fact lines; every eager index
+/// complete and current (index *sets* legitimately differ under
+/// profile-guided freezing).
+fn assert_signatures_equivalent(a: &[String], b: &[String], ctx: &str) {
+    fn facts(sig: &[String]) -> Vec<&String> {
+        sig.iter().filter(|l| !l.starts_with("@index")).collect()
+    }
+    assert_eq!(facts(a), facts(b), "{ctx}: facts diverge");
+    for line in a.iter().chain(b).filter(|l| l.starts_with("@index")) {
+        let counts = line.rsplit_once("rows=").expect("@index line shape").1;
+        let (indexed, len) = counts.split_once('/').expect("@index line shape");
+        assert_eq!(indexed, len, "{ctx}: stale or partial index: {line}");
+    }
+}
+
+fn ontology() -> Ontology {
+    Ontology::new()
+        .with(Axiom::SubClassOf(
+            format!("{EX}Student"),
+            format!("{EX}Person"),
+        ))
+        .with(Axiom::SomeValuesFrom {
+            class: format!("{EX}Student"),
+            property: format!("{EX}enrolledIn"),
+            filler: format!("{EX}Course"),
+        })
+}
+
+#[test]
+fn random_interleavings_match_fresh_reload_across_widths() {
+    let pool = universe();
+    for threads in [1usize, 2, 4] {
+        let mut rng = Rng::new(0x5EED_0000 + threads as u64);
+        let store = Store::with_options(EvalOptions {
+            threads: Some(threads),
+            ..Default::default()
+        });
+        let mut model: Vec<Quad> = Vec::new();
+        let mut history = Vec::new();
+        for step in 0..30 {
+            history.push(random_commit(&mut rng, &store, &mut model, &pool));
+            let mut fresh = SparqLog::new();
+            fresh.set_threads(Some(threads));
+            fresh.load_dataset(&dataset_of(&model)).expect("reload");
+            assert_signatures_equivalent(
+                &store.snapshot().database().content_signature(),
+                &fresh.freeze().database().content_signature(),
+                &format!("threads={threads} step={step} ops={}", history[step]),
+            );
+        }
+    }
+}
+
+#[test]
+fn random_interleavings_with_ontology_match_fresh_rebuild() {
+    // Same property with materialised entailments in play — including
+    // existential (labelled-null) consequences. The reference rebuild
+    // loads the surviving assertions fresh and re-materialises, so any
+    // leaked or lost entailment shows up as a signature diff.
+    let pool = universe();
+    for threads in [1usize, 2, 4] {
+        let mut rng = Rng::new(0xABCD_0000 + threads as u64);
+        let options = EvalOptions {
+            threads: Some(threads),
+            ..Default::default()
+        };
+        let store = Store::with_options(options.clone());
+        store.add_ontology(&ontology()).expect("ontology installs");
+        let mut model: Vec<Quad> = Vec::new();
+        for step in 0..20 {
+            let ops = random_commit(&mut rng, &store, &mut model, &pool);
+            let fresh = Store::with_options(options.clone());
+            fresh.load_dataset(&dataset_of(&model)).expect("reload");
+            fresh.add_ontology(&ontology()).expect("ontology installs");
+            assert_signatures_equivalent(
+                &store.snapshot().database().content_signature(),
+                &fresh.snapshot().database().content_signature(),
+                &format!("threads={threads} step={step} ops={ops}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn random_interleavings_under_pinned_snapshots() {
+    // Pinning a snapshot before every commit forces the copy commit
+    // path; the maintained result must be identical, and each pin keeps
+    // answering from its own version.
+    let pool = universe();
+    let store = Store::with_options(EvalOptions {
+        threads: Some(2),
+        ..Default::default()
+    });
+    store.add_ontology(&ontology()).expect("ontology installs");
+    let mut rng = Rng::new(0xF1F1_F1F1);
+    let mut model: Vec<Quad> = Vec::new();
+    let mut pins = Vec::new();
+    let mut pin_counts = Vec::new();
+    let count_q = "SELECT ?s ?p ?o WHERE { ?s ?p ?o }";
+    for step in 0..12 {
+        let pin = store.snapshot();
+        pin_counts.push(pin.execute(count_q).expect("pin query").len());
+        pins.push(pin);
+        let ops = random_commit(&mut rng, &store, &mut model, &pool);
+        let fresh = Store::with_options(EvalOptions {
+            threads: Some(2),
+            ..Default::default()
+        });
+        fresh.load_dataset(&dataset_of(&model)).expect("reload");
+        fresh.add_ontology(&ontology()).expect("ontology installs");
+        assert_signatures_equivalent(
+            &store.snapshot().database().content_signature(),
+            &fresh.snapshot().database().content_signature(),
+            &format!("pinned step={step} ops={ops}"),
+        );
+    }
+    for (pin, expected) in pins.iter().zip(pin_counts) {
+        assert_eq!(
+            pin.execute(count_q).expect("pin query").len(),
+            expected,
+            "pinned snapshots stay version-stable"
+        );
+    }
+}
+
+#[test]
+fn subscription_deltas_equal_rerun_diffs() {
+    // The acceptance property: for every commit, the delta a
+    // subscription delivers equals the multiset difference between full
+    // re-executions of its query on the pre- and post-commit snapshots.
+    let pool = universe();
+    let store = Store::new();
+    let queries = [
+        // Closed predicate set — exercised *with* the prefilter.
+        "PREFIX ex: <http://ex.org/> SELECT ?a ?b WHERE { ?a ex:knows ?b }",
+        // FILTER defeats the prefilter — always re-evaluated.
+        "PREFIX ex: <http://ex.org/>
+         SELECT ?a WHERE { ?a ex:knows ?b FILTER (?b != ex:s0) }",
+        // OPTIONAL + named graph join.
+        "PREFIX ex: <http://ex.org/>
+         SELECT ?s ?src WHERE { ?s ex:name ?n
+           OPTIONAL { GRAPH <http://meta> { ?s ex:source ?src } } }",
+    ];
+    let prepared: Vec<_> = queries
+        .iter()
+        .map(|q| store.prepare(q).expect("prepares"))
+        .collect();
+    let subs: Vec<_> = prepared
+        .iter()
+        .map(|p| store.subscribe(p).expect("subscribes"))
+        .collect();
+    // Accumulated client-side view per subscription, as canonical rows.
+    let mut acc: Vec<Vec<Vec<String>>> =
+        subs.iter().map(|s| s.initial().canonical(false)).collect();
+
+    let mut rng = Rng::new(0xD1FF_5EED);
+    let mut model: Vec<Quad> = Vec::new();
+    let mut last_seq = 0u64;
+    for step in 0..25 {
+        let ops = random_commit(&mut rng, &store, &mut model, &pool);
+        let snapshot = store.snapshot();
+        for (i, sub) in subs.iter().enumerate() {
+            // Drain this commit's event (at most one: deltas coalesce
+            // nothing, each commit delivers one delta or none).
+            while let Some(event) = sub.try_recv() {
+                let SubscriptionEvent::Delta(delta) = event else {
+                    panic!("mailbox is large enough to never lag here");
+                };
+                assert!(delta.commit_seq > last_seq || i > 0, "monotone seq");
+                last_seq = last_seq.max(delta.commit_seq);
+                for row in delta.removed.canonical(false) {
+                    let pos = acc[i]
+                        .iter()
+                        .position(|r| *r == row)
+                        .unwrap_or_else(|| panic!("removed row {row:?} not in view"));
+                    acc[i].swap_remove(pos);
+                }
+                acc[i].extend(delta.added.canonical(false));
+            }
+            // The accumulated view must now equal a full re-execution.
+            let mut rerun = snapshot
+                .execute_prepared(&prepared[i])
+                .expect("rerun")
+                .solutions()
+                .expect("SELECT")
+                .canonical(false);
+            let mut view = acc[i].clone();
+            rerun.sort();
+            view.sort();
+            assert_eq!(
+                view, rerun,
+                "step={step} query={i} ops={ops}: delta stream diverged from rerun diff"
+            );
+        }
+    }
+}

@@ -17,7 +17,7 @@ use std::hash::Hasher;
 use std::ops::Deref;
 use std::sync::{Arc, OnceLock, RwLock};
 
-use crate::fxhash::{FxHashMap, FxHasher, PrehashedMap};
+use crate::fxhash::{FxHashMap, FxHashSet, FxHasher, PrehashedMap};
 use crate::symbols::{Sym, SymbolTable};
 use crate::value::{Const, TermDict, TermId};
 
@@ -567,6 +567,133 @@ impl Relation {
         old_len - self.len
     }
 
+    /// Removes a batch of tuples in time proportional to the *batch*,
+    /// not the relation: each present tuple is swap-removed (the last
+    /// tuple moves into the vacated slot) and the dedup tables plus
+    /// every already-built eager index are patched in place —
+    /// O(batch × (eager masks + 2)) hash operations, against the full
+    /// O(len) rebuild of [`Relation::retain`]. Tuples not present are
+    /// ignored; the count of tuples actually removed is returned.
+    ///
+    /// Unlike `retain`, insertion order is **not** preserved (relations
+    /// are sets; only enumeration order changes). Lazily auto-built
+    /// indexes are dropped and rebuilt on next probe. Batches of half
+    /// the relation or more fall back to `retain` internally — one
+    /// rebuild beats that many patches.
+    pub fn remove_rows(&mut self, batch: &FxHashSet<Vec<TermId>>) -> usize {
+        if batch.is_empty() || self.len == 0 {
+            return 0;
+        }
+        if self.arity == 0 {
+            return self.retain(|t| !batch.contains(t));
+        }
+        if batch.len() >= self.len / 2 {
+            return self.retain(|t| !batch.contains(t));
+        }
+        // Lazily built indexes are probe-demanded and would be promoted
+        // to eager at the next freeze regardless; promoting them *now*
+        // lets the per-row patching below keep them current instead of
+        // throwing away an O(len) build.
+        self.promote_lazy_indexes();
+        let mut removed = 0usize;
+        for tuple in batch {
+            if self.remove_one(tuple) {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Removes a single tuple by swap-remove, patching dedup tables and
+    /// eager indexes. Returns `false` if the tuple is absent. The lazy
+    /// index map must already be cleared (callers batch that).
+    fn remove_one(&mut self, tuple: &[TermId]) -> bool {
+        if tuple.len() != self.arity {
+            return false;
+        }
+        let hash = row_hash(tuple);
+        let Some(idx) = self.locate(tuple, hash) else {
+            return false;
+        };
+        self.dedup_remove(hash, idx);
+        for (&mask, index) in self.indexes.iter_mut() {
+            bucket_remove(index, masked_hash(tuple, mask), idx);
+        }
+        let last = (self.len - 1) as u32;
+        if idx != last {
+            // Move the last tuple into the hole and repoint every
+            // reference to it.
+            let moved: Vec<TermId> = self.row(last).to_vec();
+            let moved_hash = row_hash(&moved);
+            self.dedup_repoint(moved_hash, last, idx);
+            for (&mask, index) in self.indexes.iter_mut() {
+                bucket_repoint(index, masked_hash(&moved, mask), last, idx);
+            }
+            let a = self.arity;
+            self.rows
+                .copy_within(last as usize * a..(last as usize + 1) * a, idx as usize * a);
+        }
+        self.rows.truncate((self.len - 1) * self.arity);
+        self.len -= 1;
+        true
+    }
+
+    /// The internal index of `tuple`, via the dedup tables.
+    fn locate(&self, tuple: &[TermId], hash: u64) -> Option<u32> {
+        let &first = self.seen.get(&hash)?;
+        if row_at(&self.rows, self.arity, first) == tuple {
+            return Some(first);
+        }
+        self.seen_overflow
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&i| row_at(&self.rows, self.arity, i) == tuple)
+    }
+
+    /// Drops row `idx` from the dedup tables under `hash`, promoting a
+    /// collision-chain entry into the primary slot when one exists.
+    fn dedup_remove(&mut self, hash: u64, idx: u32) {
+        match self.seen.entry(hash) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if *e.get() == idx {
+                    if let Some(chain) = self.seen_overflow.get_mut(&hash) {
+                        *e.get_mut() = chain.swap_remove(0);
+                        if chain.is_empty() {
+                            self.seen_overflow.remove(&hash);
+                        }
+                    } else {
+                        e.remove();
+                    }
+                } else if let Some(chain) = self.seen_overflow.get_mut(&hash) {
+                    if let Some(pos) = chain.iter().position(|&i| i == idx) {
+                        chain.swap_remove(pos);
+                        if chain.is_empty() {
+                            self.seen_overflow.remove(&hash);
+                        }
+                    }
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(_) => {}
+        }
+    }
+
+    /// Rewrites the dedup reference `old` → `new` under `hash` (the
+    /// swap-remove repoint for the moved last row).
+    fn dedup_repoint(&mut self, hash: u64, old: u32, new: u32) {
+        if let Some(first) = self.seen.get_mut(&hash) {
+            if *first == old {
+                *first = new;
+                return;
+            }
+        }
+        if let Some(chain) = self.seen_overflow.get_mut(&hash) {
+            if let Some(slot) = chain.iter_mut().find(|i| **i == old) {
+                *slot = new;
+            }
+        }
+    }
+
     /// True when `self` and `other` hold exactly the same tuple set.
     /// Both relations are deduplicated sets, so equal lengths plus
     /// containment one way is full equality. Indexes are irrelevant —
@@ -623,6 +750,29 @@ fn row_at(rows: &[TermId], arity: usize, idx: u32) -> &[TermId] {
 /// id into the bucket. No allocation beyond bucket growth.
 fn index_add(index: &mut Index, tuple: &[TermId], mask: Mask, idx: u32) {
     index.entry(masked_hash(tuple, mask)).or_default().push(idx);
+}
+
+/// Drops row id `idx` from the bucket under `key_hash`, removing the
+/// bucket when it empties.
+fn bucket_remove(index: &mut Index, key_hash: u64, idx: u32) {
+    if let Some(bucket) = index.get_mut(&key_hash) {
+        if let Some(pos) = bucket.iter().position(|&i| i == idx) {
+            bucket.swap_remove(pos);
+            if bucket.is_empty() {
+                index.remove(&key_hash);
+            }
+        }
+    }
+}
+
+/// Rewrites row id `old` → `new` in the bucket under `key_hash` (the
+/// swap-remove repoint for a moved row).
+fn bucket_repoint(index: &mut Index, key_hash: u64, old: u32, new: u32) {
+    if let Some(bucket) = index.get_mut(&key_hash) {
+        if let Some(slot) = bucket.iter_mut().find(|i| **i == old) {
+            *slot = new;
+        }
+    }
 }
 
 /// A columnar batch of fixed-arity encoded rows: one contiguous

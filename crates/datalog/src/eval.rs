@@ -154,6 +154,11 @@ impl EvalOptions {
 pub struct EvalStats {
     /// Total facts derived (after dedup).
     pub derived: usize,
+    /// Head-candidate rows staged by rule bodies before dedup, summed
+    /// across all passes. `staged - derived` is the work spent
+    /// re-deriving facts the database already held — the counter the
+    /// magic-sets demand-reuse path is judged by.
+    pub staged: usize,
     /// Semi-naive rounds across all strata.
     pub rounds: usize,
     /// Number of strata.
@@ -268,19 +273,22 @@ pub fn evaluate_with_plan(
     // rewrite only runs when we are planning (or running unplanned)
     // locally. Whether the rewrite pays off depends on the data, not the
     // program — so the demand fixpoint (cheap, linear in the demanded
-    // subgraph) is evaluated first, into `db` itself (everything it
-    // derives, the chosen program re-derives and dedups), and the
-    // rewrite is kept only when the measured demand sets actually prune
-    // ([`crate::magic::demand_prunes`]). The decision is a pure function
-    // of program and data, so every evaluation path — mutable, frozen
-    // overlay, or the serving layer's plan cache, which runs the same
-    // measurement — picks the same program and derives in the same
-    // order.
+    // subgraph) is evaluated first, into `db` itself, and the rewrite is
+    // kept only when the measured demand sets actually prune
+    // ([`crate::magic::demand_prunes`]). When it is kept, the demand
+    // rules and magic seeds are stripped from the program that runs
+    // ([`MagicRewrite::without_demand`](crate::magic::MagicRewrite::without_demand)):
+    // the measurement already saturated those relations in `db`, so the
+    // main evaluation reuses its derivations instead of re-staging every
+    // demand fact into the dedup probe. The keep/demote decision stays a
+    // pure function of program and data, so every evaluation path —
+    // mutable, frozen overlay, or the serving layer's plan cache, which
+    // runs the same measurement — materialises the same relations.
     let rewritten;
     let program = if plan.is_none() && options.magic_sets {
         match crate::magic::magic_sets_rewrite_analyzed(program, db.symbols()) {
             Some(rw) => {
-                let keep = match crate::magic::demand_subprogram(&rw) {
+                let measured = match crate::magic::demand_subprogram(&rw) {
                     Some(sub) => {
                         let sub_options = EvalOptions {
                             magic_sets: false,
@@ -289,16 +297,27 @@ pub fn evaluate_with_plan(
                             ..options.clone()
                         };
                         evaluate_with_plan(&sub, db, &sub_options, None)?;
-                        crate::magic::demand_prunes(&rw, db)
+                        Some(crate::magic::demand_prunes(&rw, db))
                     }
                     // Not measurable in isolation: keep the rewrite.
-                    None => true,
+                    None => None,
                 };
-                if keep {
-                    rewritten = rw.program;
-                    &rewritten
-                } else {
-                    program
+                match measured {
+                    // Measured and pruning: the demand fixpoint is
+                    // already saturated in `db`, so run only the guarded
+                    // remainder — re-deriving the demand sets would stage
+                    // (and dedup away) every one of their facts again.
+                    Some(true) => {
+                        rewritten = rw
+                            .without_demand()
+                            .expect("measured rewrite has a demand closure");
+                        &rewritten
+                    }
+                    Some(false) => program,
+                    None => {
+                        rewritten = rw.program;
+                        &rewritten
+                    }
                 }
             }
             None => program,
@@ -517,6 +536,7 @@ fn evaluate_inner(
 
     let mut stats = EvalStats {
         derived,
+        staged: 0,
         rounds: 0,
         strata: strat.strata.len(),
         elapsed: Duration::ZERO,
@@ -606,15 +626,7 @@ fn evaluate_inner(
                 }
             }
             let outs = run_pass(&jobs, db, &ctx, pool, &mut spare);
-            merge_pass(
-                db,
-                &jobs,
-                outs,
-                &mut delta,
-                &mut stats.derived,
-                &ctx,
-                &mut spare,
-            )?;
+            merge_pass(db, &jobs, outs, &mut delta, &mut stats, &ctx, &mut spare)?;
         }
 
         // Shed indexes on this stratum's *written* relations that only
@@ -702,15 +714,7 @@ fn evaluate_inner(
             if trace >= 1 {
                 eprintln!("[eval] round {rounds}: {} jobs", jobs.len());
             }
-            merge_pass(
-                db,
-                &jobs,
-                outs,
-                &mut next,
-                &mut stats.derived,
-                &ctx,
-                &mut spare,
-            )?;
+            merge_pass(db, &jobs, outs, &mut next, &mut stats, &ctx, &mut spare)?;
             drop(jobs);
             delta = next;
         }
@@ -722,6 +726,7 @@ fn evaluate_inner(
             let mut matches = Vec::new();
             eval_rule_envs(plan, rule, db, &ctx, &mut matches)?;
             let tuples = aggregate(rule, matches, &ctx)?;
+            stats.staged += tuples.len();
             for t in tuples {
                 if db.add_fact_ids(rule.head.pred, &t) {
                     stats.derived += 1;
@@ -825,12 +830,15 @@ fn merge_pass(
     jobs: &[Job<'_>],
     outs: Vec<Result<Staging, EvalError>>,
     delta: &mut FxHashMap<Sym, ColumnBatch>,
-    derived: &mut usize,
+    stats: &mut EvalStats,
     ctx: &Ctx<'_>,
     spare: &mut Vec<Staging>,
 ) -> Result<(), EvalError> {
+    let derived = &mut stats.derived;
+    let staged = &mut stats.staged;
     for (job, out) in jobs.iter().zip(outs) {
         let mut out = out?;
+        *staged += out.count;
         // Merges are sequential and can dominate huge passes: keep the
         // governor's batch granularity across them (per job, not per row).
         ctx.check()?;

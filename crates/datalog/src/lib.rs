@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod database;
+pub mod delta;
 pub mod eval;
 pub mod expr;
 pub mod frozen;
@@ -68,6 +69,7 @@ pub mod value;
 pub mod wardedness;
 
 pub use database::{row_hash, ColumnBatch, Database, Mask, Matches, Relation, Staging};
+pub use delta::{retract, stage_deletion, MaintainError, Retraction};
 pub use eval::{
     collect_output, evaluate, evaluate_frozen, evaluate_frozen_with_plan, evaluate_with_plan,
     order_cmp, EvalError, EvalOptions, EvalStats, PLAN_MIN_ROWS,

@@ -1,0 +1,76 @@
+//! Standing queries: subscribe to a prepared SELECT and receive exact
+//! result deltas as the store commits.
+//!
+//! ```sh
+//! cargo run --example standing_queries
+//! ```
+
+use sparqlog::{Store, SubscriptionEvent, Term};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let store = Store::new();
+    store.load_turtle(
+        r#"
+        @prefix ex: <http://ex.org/> .
+        ex:spain ex:borders ex:france .
+        ex:france ex:borders ex:belgium .
+        "#,
+    )?;
+
+    // A subscription is a prepared query plus a mailbox. The baseline
+    // result is captured atomically with registration, so no commit can
+    // fall between "what I saw" and "what I'll be told about".
+    let neighbours = store.prepare(
+        "PREFIX ex: <http://ex.org/>
+         SELECT ?a ?b WHERE { ?a ex:borders ?b }",
+    )?;
+    let sub = store.subscribe(&neighbours)?;
+    println!("baseline: {} border pairs\n", sub.initial().len());
+
+    let ex = |l: &str| Term::iri(format!("http://ex.org/{l}"));
+
+    // Commit 1: one new border. The subscriber gets exactly that row.
+    let mut w = store.writer();
+    w.insert(ex("belgium"), ex("borders"), ex("germany"));
+    w.commit()?;
+
+    // Commit 2: retract one, add one — a mixed delta.
+    let mut w = store.writer();
+    w.remove(ex("spain"), ex("borders"), ex("france"));
+    w.insert(ex("germany"), ex("borders"), ex("austria"));
+    w.commit()?;
+
+    // Commit 3: touches an unrelated predicate. The registry's predicate
+    // prefilter proves this subscription unaffected — no re-evaluation,
+    // no delivery, and the commit sequence number simply skips ahead.
+    let mut w = store.writer();
+    w.insert(ex("spain"), ex("population"), Term::literal("47M"));
+    w.commit()?;
+
+    // Drain the mailbox. Deltas arrive in commit order; commits that
+    // cannot change the result deliver nothing.
+    while let Some(event) = sub.try_recv() {
+        match event {
+            SubscriptionEvent::Delta(delta) => {
+                println!("commit #{}:", delta.commit_seq);
+                for row in delta.added.canonical(false) {
+                    println!("  + {}", row.join(" "));
+                }
+                for row in delta.removed.canonical(false) {
+                    println!("  - {}", row.join(" "));
+                }
+            }
+            SubscriptionEvent::Lagged(missed) => {
+                // A slow consumer loses the *oldest* deltas, never the
+                // newest, and is told how many — re-run the query to
+                // resynchronise.
+                println!("lagged: {missed} deltas dropped; resync with a fresh execute");
+            }
+        }
+    }
+
+    // Dropping the handle unregisters it; later commits do no work for it.
+    drop(sub);
+    println!("\nsubscriptions left: {}", store.subscription_count());
+    Ok(())
+}
