@@ -63,6 +63,7 @@ pub mod data_translation;
 pub mod engine;
 pub mod expr_translation;
 pub mod features;
+pub(crate) mod metrics;
 pub mod ontology;
 pub mod query_translation;
 pub mod results_io;
@@ -80,7 +81,8 @@ pub use serving::{FrozenDatabase, PreparedQuery};
 #[allow(deprecated)]
 pub use solution::QueryResult;
 pub use solution::{canonical_triples, QueryResults, Solution, SolutionSeq};
-pub use sparqlog_datalog::{AbortReason, Budget, CancelToken};
+pub use sparqlog_datalog::{AbortReason, Budget, CancelToken, QueryProfile};
+pub use sparqlog_obs::MetricsRegistry;
 pub use sparqlog_rdf::{Graph, Term};
 pub use store::{CommitStats, Snapshot, Store, Writer};
 pub use subscribe::{

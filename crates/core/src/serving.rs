@@ -56,18 +56,19 @@
 //! assert!(results[1].as_ref().unwrap().is_empty()); // ASK ⇒ false
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use sparqlog_datalog::{
     demand_prunes, demand_subprogram, evaluate_frozen, evaluate_frozen_with_plan,
     fxhash::FxHashMap, magic_sets_rewrite_analyzed, plan_program, run_scoped_caught, Budget,
-    CancelToken, DbStats, EvalError, EvalOptions, FrozenDb, Mask, Program, ProgramPlan,
-    StatsFingerprint, Sym, SymbolTable,
+    CancelToken, DbStats, EvalError, EvalOptions, EvalStats, FrozenDb, Mask, Program, ProgramPlan,
+    QueryProfile, StatsFingerprint, Sym, SymbolTable,
 };
+use sparqlog_obs::MetricsRegistry;
 use sparqlog_sparql::{parse_query, update_keyword, Query};
 
 use crate::engine::SparqLogError;
+use crate::metrics::CoreMetrics;
 use crate::query_translation::{translate_query, TranslatedQuery};
 use crate::solution::{extract_results, QueryResults};
 
@@ -105,35 +106,31 @@ struct CachedQuery {
 /// query log are seen early and stay cached).
 pub const MAX_CACHED_TRANSLATIONS: usize = 4096;
 
-/// The text-keyed translation cache plus the namespace counter.
+/// The text-keyed translation cache plus the store's metric handles.
 ///
 /// Owned behind an `Arc` so it outlives any single [`FrozenDatabase`]:
 /// translations are data-independent (they reference interned symbols,
 /// never facts), so the [`Store`](crate::Store) commit path threads one
 /// cache through every snapshot it installs — hot query shapes stay warm
-/// across commits instead of re-translating after every write.
+/// across commits instead of re-translating after every write. The
+/// metrics registry rides along for the same reason: counters must
+/// survive commits, and per-store ownership keeps tests isolated.
 pub(crate) struct TranslationCache {
     /// Query text → parsed + translated program. Bounded by
     /// [`MAX_CACHED_TRANSLATIONS`] (first-come retention).
     map: RwLock<FxHashMap<String, Arc<CachedQuery>>>,
-    /// Distinct-translation counter: namespaces each translated
+    /// The store's metric families. `metrics.translations` doubles as
+    /// the distinct-translation sequence that namespaces each translated
     /// program's predicates (`f1_ans0`, `f2_ans0`, ...) so programs of
-    /// different queries can never collide in an overlay — shared across
-    /// snapshots for the same reason the map is.
-    counter: AtomicUsize,
-    /// Executions served from a still-valid cached plan.
-    plan_hits: AtomicUsize,
-    /// Physical plans computed (first executions and drift replans).
-    plans_computed: AtomicUsize,
+    /// different queries can never collide in an overlay.
+    pub(crate) metrics: CoreMetrics,
 }
 
 impl TranslationCache {
     fn new() -> Self {
         TranslationCache {
             map: RwLock::new(FxHashMap::default()),
-            counter: AtomicUsize::new(0),
-            plan_hits: AtomicUsize::new(0),
-            plans_computed: AtomicUsize::new(0),
+            metrics: CoreMetrics::new(Arc::new(MetricsRegistry::new())),
         }
     }
 
@@ -291,8 +288,23 @@ impl FrozenDatabase {
     /// this handle's (store-shared) translation cache. Cache hits and
     /// prepared-query executions do not increment it — the counter is
     /// how tests prove a hot query shape stayed warm across a commit.
+    /// Also exported as `sparqlog_translations_total` on
+    /// [`Self::metrics`].
     pub fn translations_performed(&self) -> usize {
-        self.cache.counter.load(Ordering::Relaxed)
+        self.cache.metrics.translations.get() as usize
+    }
+
+    /// The metrics registry shared by every snapshot of the owning
+    /// store — the registry `GET /metrics` renders. Other layers (the
+    /// HTTP server) register their own families into it so one scrape
+    /// covers the whole stack.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.cache.metrics.registry
+    }
+
+    /// The cached per-family handles (crate-internal recording sites).
+    pub(crate) fn core_metrics(&self) -> &CoreMetrics {
+        &self.cache.metrics
     }
 
     /// Parses and translates a query once, returning a reusable
@@ -600,7 +612,9 @@ impl FrozenDatabase {
 
     /// Translates a parsed query under a fresh predicate namespace.
     fn translate_entry(&self, query: Query) -> Result<Arc<CachedQuery>, SparqLogError> {
-        let n = self.cache.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        // Never gated on `armed`: the returned value is the `f{n}_`
+        // namespace sequence, not just a statistic.
+        let n = self.cache.metrics.translations.inc() as usize;
         let translated = translate_query(&query, self.base.symbols(), &format!("f{n}_"))?;
         Ok(Arc::new(CachedQuery {
             query,
@@ -620,14 +634,118 @@ impl FrozenDatabase {
         cached: &CachedQuery,
         options: &EvalOptions,
     ) -> Result<QueryResults, SparqLogError> {
-        let (db, _stats) = match self.plan_entry(cached, options) {
+        self.run_collect(cached, options)
+            .map(|(results, _)| results)
+    }
+
+    /// [`Self::run`], also returning the evaluation statistics — and the
+    /// one place query-level metrics are recorded: completed queries,
+    /// duration, fixpoint work (rounds / rows / probes) and governor
+    /// aborts by reason. Recording is skipped while the registry is
+    /// disarmed (the overhead benchmark's A/B switch).
+    fn run_collect(
+        &self,
+        cached: &CachedQuery,
+        options: &EvalOptions,
+    ) -> Result<(QueryResults, EvalStats), SparqLogError> {
+        let evaluated = match self.plan_entry(cached, options) {
             Some(entry) => {
                 let program = entry.program.as_ref().unwrap_or(&cached.translated.program);
-                evaluate_frozen_with_plan(program, &self.base, options, Some(&entry.plan))?
+                evaluate_frozen_with_plan(program, &self.base, options, Some(&entry.plan))
             }
-            None => evaluate_frozen(&cached.translated.program, &self.base, options)?,
+            None => evaluate_frozen(&cached.translated.program, &self.base, options),
         };
-        Ok(extract_results(&cached.translated, &cached.query, &db))
+        let m = &self.cache.metrics;
+        match evaluated {
+            Ok((db, stats)) => {
+                if m.registry.armed() {
+                    m.queries.inc();
+                    m.query_duration_us
+                        .observe(stats.elapsed.as_micros() as u64);
+                    m.eval_rounds.add(stats.rounds as u64);
+                    m.eval_rows_derived.add(stats.derived as u64);
+                    m.eval_join_probes.add(stats.probes);
+                }
+                Ok((
+                    extract_results(&cached.translated, &cached.query, &db),
+                    stats,
+                ))
+            }
+            Err(e) => {
+                let e: SparqLogError = e.into();
+                if m.registry.armed() {
+                    if let SparqLogError::Aborted { reason, .. } = &e {
+                        m.aborts.with(&[CoreMetrics::abort_label(*reason)]).inc();
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// [`Self::run`] with [`EvalOptions::profile`] armed, unboxing the
+    /// profile the evaluator attaches.
+    fn run_profiled(
+        &self,
+        cached: &CachedQuery,
+        options: &EvalOptions,
+    ) -> Result<(QueryResults, QueryProfile), SparqLogError> {
+        let options = EvalOptions {
+            profile: true,
+            ..options.clone()
+        };
+        let (results, stats) = self.run_collect(cached, &options)?;
+        let profile = stats.profile.expect("profiling was armed");
+        Ok((results, *profile))
+    }
+
+    /// [`Self::execute`] with per-query profiling armed: alongside the
+    /// results, returns the `EXPLAIN ANALYZE`-style [`QueryProfile`] —
+    /// per-rule timings, per-round delta sizes, index builds (see
+    /// [`sparqlog_datalog::QueryProfile`]). Profiling adds per-job
+    /// timing overhead, so it is opt-in per call rather than an option
+    /// on the snapshot.
+    ///
+    /// ```
+    /// use sparqlog::SparqLog;
+    ///
+    /// let mut engine = SparqLog::new();
+    /// engine
+    ///     .load_turtle("@prefix ex: <http://ex.org/> . ex:a ex:p ex:b .")
+    ///     .unwrap();
+    /// let frozen = engine.freeze();
+    /// let q = "PREFIX ex: <http://ex.org/> SELECT ?o WHERE { ex:a ex:p ?o }";
+    /// let (results, profile) = frozen.execute_profiled(q).unwrap();
+    /// assert_eq!(results.len(), 1);
+    /// assert!(profile.render().contains("stratum 0"));
+    /// ```
+    pub fn execute_profiled(
+        &self,
+        query_str: &str,
+    ) -> Result<(QueryResults, QueryProfile), SparqLogError> {
+        let cached = self.translation(query_str)?;
+        self.run_profiled(&cached, &self.options)
+    }
+
+    /// [`Self::execute_profiled`] under an explicit [`Budget`] (the
+    /// HTTP layer's `profile=true` path: request budgets still apply).
+    pub fn execute_profiled_with_budget(
+        &self,
+        query_str: &str,
+        budget: &Budget,
+    ) -> Result<(QueryResults, QueryProfile), SparqLogError> {
+        let cached = self.translation(query_str)?;
+        self.run_profiled(&cached, &self.options_with(budget))
+    }
+
+    /// [`Self::execute_prepared`] with per-query profiling armed (see
+    /// [`Self::execute_profiled`]).
+    pub fn execute_prepared_profiled(
+        &self,
+        p: &PreparedQuery,
+    ) -> Result<(QueryResults, QueryProfile), SparqLogError> {
+        self.check_prepared(p)?;
+        self.run_profiled(&p.inner, &self.options)
     }
 
     /// The query's physical plan: a cache hit when an entry exists and
@@ -644,13 +762,13 @@ impl FrozenDatabase {
         let stats = self.base.stats();
         if let Some(entry) = cached.plan.read().unwrap().as_ref() {
             if !entry.fingerprint.drifted(&stats) {
-                self.cache.plan_hits.fetch_add(1, Ordering::Relaxed);
+                self.cache.metrics.plan_hits.inc();
                 return Some(entry.clone());
             }
         }
         let entry = self.compute_plan(cached, options, &stats)?;
         *cached.plan.write().unwrap() = Some(entry.clone());
-        self.cache.plans_computed.fetch_add(1, Ordering::Relaxed);
+        self.cache.metrics.plans_computed.inc();
         Some(entry)
     }
 
@@ -718,13 +836,13 @@ impl FrozenDatabase {
     /// [`Self::plans_computed`] this is how tests prove a
     /// [`PreparedQuery`] re-execution performs zero planning work.
     pub fn plan_cache_hits(&self) -> usize {
-        self.cache.plan_hits.load(Ordering::Relaxed)
+        self.cache.metrics.plan_hits.get() as usize
     }
 
     /// Physical plans computed through this store's caches: first
     /// executions and statistics-drift replans.
     pub fn plans_computed(&self) -> usize {
-        self.cache.plans_computed.load(Ordering::Relaxed)
+        self.cache.metrics.plans_computed.get() as usize
     }
 
     /// Renders the physical plan a [`PreparedQuery`] executes with

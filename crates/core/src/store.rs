@@ -97,6 +97,7 @@
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use sparqlog_datalog::fxhash::{FxHashMap, FxHashSet};
 use sparqlog_datalog::{
@@ -570,6 +571,7 @@ impl Store {
         removes: &[GroundQuad],
         clears: &[ClearTarget],
     ) -> Result<CommitStats, SparqLogError> {
+        let commit_start = Instant::now();
         let mut state = self.state.write().unwrap();
         let options = state.options.clone();
         let ontology_rules: Vec<Rule> = state.ontology.rules.clone();
@@ -1021,7 +1023,34 @@ impl Store {
                 commit_seq,
             );
         }
+
+        let m = notify_snapshot.core_metrics();
+        if m.registry.armed() {
+            m.commits.inc();
+            m.commit_duration_us
+                .observe(commit_start.elapsed().as_micros() as u64);
+            m.rows_added.add(stats.added as u64);
+            m.rows_removed.add(stats.removed as u64);
+            if has_removals {
+                if maintained {
+                    m.removals_maintained.inc();
+                } else {
+                    m.removals_fallback.inc();
+                }
+            }
+            m.snapshot_refreshes.inc();
+        }
         Ok(stats)
+    }
+
+    /// The store's metrics registry: one per store, shared by every
+    /// snapshot and surviving commits (it travels with the translation
+    /// cache). Covers evaluation, planning, store commit, and
+    /// subscription families; the HTTP layer registers its request
+    /// families into the same registry, and `GET /metrics` renders it
+    /// in the Prometheus text exposition format.
+    pub fn metrics(&self) -> Arc<sparqlog_obs::MetricsRegistry> {
+        self.current().metrics().clone()
     }
 }
 
@@ -1242,6 +1271,7 @@ impl Writer<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::subscribe::SubscriptionEvent;
     use sparqlog_sparql::parse_query;
 
     const EX: &str = "http://ex.org/";
@@ -1858,5 +1888,117 @@ mod tests {
         ]);
         assert_eq!(results[0].as_ref().unwrap().len(), 1);
         assert!(results[1].is_err());
+    }
+
+    #[test]
+    fn metrics_cover_queries_commits_aborts_and_subscriptions() {
+        let store = borders_store(); // one load commit, 3 triples
+        let reg = store.metrics();
+        assert_eq!(reg.counter_value("sparqlog_store_commits_total"), Some(1));
+        assert_eq!(
+            reg.counter_value("sparqlog_store_rows_added_total"),
+            Some(3)
+        );
+        assert_eq!(
+            reg.counter_value("sparqlog_store_snapshot_refreshes_total"),
+            Some(1)
+        );
+        assert_eq!(reg.counter_value("sparqlog_queries_total"), Some(0));
+
+        let q = "PREFIX ex: <http://ex.org/> SELECT ?b WHERE { ex:spain ex:borders+ ?b }";
+        store.execute(q).unwrap();
+        store.execute(q).unwrap();
+        assert_eq!(reg.counter_value("sparqlog_queries_total"), Some(2));
+        assert_eq!(reg.counter_value("sparqlog_translations_total"), Some(1));
+        assert!(
+            reg.counter_value("sparqlog_eval_join_probes_total")
+                .unwrap()
+                > 0
+        );
+
+        // A row-capped query aborts and lands in the labelled family.
+        let tight = Budget::new().with_max_rows(1);
+        let err = store.execute_with_budget(q, &tight).unwrap_err();
+        assert!(err.is_aborted());
+        assert_eq!(reg.counter_vec_sum("sparqlog_query_aborts_total"), Some(1));
+        assert_eq!(reg.counter_value("sparqlog_queries_total"), Some(2));
+
+        // Subscriptions: a changing commit delivers one notification.
+        let prepared = store
+            .prepare("PREFIX ex: <http://ex.org/> SELECT ?b WHERE { ex:spain ex:borders ?b }")
+            .unwrap();
+        let sub = store.subscribe(&prepared).unwrap();
+        store
+            .update("PREFIX ex: <http://ex.org/> INSERT DATA { ex:spain ex:borders ex:andorra }")
+            .unwrap();
+        assert!(matches!(
+            sub.recv_timeout(std::time::Duration::from_secs(5)),
+            Some(SubscriptionEvent::Delta(_))
+        ));
+        assert_eq!(
+            reg.counter_value("sparqlog_subscription_notifications_total"),
+            Some(1)
+        );
+
+        // Maintained removal path.
+        store
+            .update("PREFIX ex: <http://ex.org/> DELETE DATA { ex:spain ex:borders ex:andorra }")
+            .unwrap();
+        assert_eq!(
+            reg.counter_value("sparqlog_store_removals_maintained_total"),
+            Some(1)
+        );
+        assert_eq!(
+            reg.counter_value("sparqlog_store_rows_removed_total"),
+            Some(1)
+        );
+        assert_eq!(reg.counter_value("sparqlog_store_commits_total"), Some(3));
+
+        // The whole registry renders as valid exposition text.
+        let text = reg.render_to_string();
+        let samples = sparqlog_obs::MetricsRegistry::parse_exposition(&text).unwrap();
+        assert!(samples
+            .iter()
+            .any(|(n, _, v)| n == "sparqlog_store_commits_total" && *v == 3.0));
+        assert!(text.contains("sparqlog_query_aborts_total{reason=\"row_limit\"} 1"));
+        assert!(text.contains("sparqlog_query_duration_us_bucket"));
+
+        // Disarmed, the recording sites go quiet (the A/B overhead
+        // switch) — and re-arming restores them. (Standing-query
+        // re-evaluations counted as queries above, so count relative.)
+        let before = reg.counter_value("sparqlog_queries_total").unwrap();
+        reg.disarm();
+        store.execute(q).unwrap();
+        assert_eq!(reg.counter_value("sparqlog_queries_total"), Some(before));
+        reg.arm();
+        store.execute(q).unwrap();
+        assert_eq!(
+            reg.counter_value("sparqlog_queries_total"),
+            Some(before + 1)
+        );
+    }
+
+    #[test]
+    fn profiled_execution_reports_rules_and_rounds() {
+        let store = borders_store();
+        let q = "PREFIX ex: <http://ex.org/> SELECT ?b WHERE { ex:spain ex:borders+ ?b }";
+        let snapshot = store.snapshot();
+        let (results, profile) = snapshot.execute_profiled(q).unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(!profile.rules.is_empty());
+        assert!(!profile.strata.is_empty());
+        assert!(profile.rules.iter().any(|r| r.jobs > 0 && r.derived > 0));
+        let rendered = profile.render();
+        assert!(rendered.contains("stratum 0"), "{rendered}");
+        assert!(profile.to_json().contains("\"delta_rows\""));
+
+        // Prepared-handle variant agrees with the plain execution.
+        let prepared = store.prepare(q).unwrap();
+        let (r2, p2) = snapshot.execute_prepared_profiled(&prepared).unwrap();
+        assert_eq!(r2, results);
+        assert!(p2.elapsed > std::time::Duration::ZERO);
+
+        // The unprofiled paths still work and return identical results.
+        assert_eq!(snapshot.execute(q).unwrap(), results);
     }
 }

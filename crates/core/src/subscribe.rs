@@ -109,18 +109,23 @@ impl Mailbox {
         }
     }
 
-    pub(crate) fn push(&self, delta: ResultDelta) {
+    /// Enqueues a delta, dropping the oldest entries past capacity.
+    /// Returns how many were dropped (the caller's lag metric).
+    pub(crate) fn push(&self, delta: ResultDelta) -> u64 {
         let mut inner = self.inner.lock().unwrap();
         if inner.closed {
-            return;
+            return 0;
         }
+        let mut dropped = 0;
         while inner.queue.len() >= self.capacity {
             inner.queue.pop_front();
             inner.missed += 1;
+            dropped += 1;
         }
         inner.queue.push_back(delta);
         drop(inner);
         self.ready.notify_all();
+        dropped
     }
 
     fn take(inner: &mut MailboxInner) -> Option<SubscriptionEvent> {
@@ -213,6 +218,8 @@ impl Registry {
         changed_preds: Option<&FxHashSet<TermId>>,
         commit_seq: u64,
     ) {
+        let metrics = snapshot.core_metrics();
+        let armed = metrics.registry.armed();
         let mut entries = self.entries.lock().unwrap();
         entries.retain(|e| !e.mailbox.is_closed());
         for entry in entries.iter_mut() {
@@ -226,6 +233,9 @@ impl Registry {
                 // the delta chain silently: count it as a missed delta.
                 entry.mailbox.inner.lock().unwrap().missed += 1;
                 entry.mailbox.ready.notify_all();
+                if armed {
+                    metrics.sub_lagged.inc();
+                }
                 continue;
             };
             let Some(solutions) = result.solutions() else {
@@ -236,7 +246,7 @@ impl Registry {
                 continue;
             }
             entry.last = solutions.rows.clone();
-            entry.mailbox.push(ResultDelta {
+            let dropped = entry.mailbox.push(ResultDelta {
                 added: SolutionSeq {
                     vars: entry.vars.clone(),
                     rows: added,
@@ -247,6 +257,10 @@ impl Registry {
                 },
                 commit_seq,
             });
+            if armed {
+                metrics.sub_notifications.inc();
+                metrics.sub_lagged.add(dropped);
+            }
         }
     }
 }

@@ -344,18 +344,21 @@ impl Relation {
     }
 
     /// Builds the eager index for `mask` if missing (promoting a lazily
-    /// built one when available instead of rebuilding).
-    pub fn ensure_index(&mut self, mask: Mask) {
+    /// built one when available instead of rebuilding). Returns whether
+    /// an index was actually built or promoted — the profiler's
+    /// index-build count.
+    pub fn ensure_index(&mut self, mask: Mask) -> bool {
         if mask == 0 || self.indexes.contains_key(&mask) {
-            return;
+            return false;
         }
         if let Some(cell) = self.lazy.get_mut().unwrap().remove(&mask) {
             if let Some(ready) = Arc::try_unwrap(cell).ok().and_then(OnceLock::into_inner) {
                 self.indexes.insert(mask, ready);
-                return;
+                return true;
             }
         }
         self.indexes.insert(mask, self.build_index(mask));
+        true
     }
 
     /// The eager index for `mask`, if built — the evaluator resolves this
@@ -840,6 +843,13 @@ pub struct Staging {
     pub ids: Vec<TermId>,
     /// One precomputed [`row_hash`] per emitted row.
     pub hashes: Vec<u64>,
+    /// Join ticks the producing job spent filling this buffer — carried
+    /// here (one store per job) so the merge can sum the evaluation's
+    /// probe count without touching the hot loop.
+    pub ticks: u64,
+    /// Job wall time in nanoseconds, recorded only while the per-query
+    /// profiler is armed (0 otherwise).
+    pub nanos: u64,
 }
 
 impl Staging {
@@ -848,6 +858,8 @@ impl Staging {
         self.ids.clear();
         self.hashes.clear();
         self.count = 0;
+        self.ticks = 0;
+        self.nanos = 0;
     }
 }
 
@@ -1005,19 +1017,18 @@ impl Database {
     /// index-complete already (or deliberately scan-only above
     /// [`crate::frozen::FULL_INDEX_MAX_ARITY`] columns), so the planner's
     /// index pre-pass is a no-op there.
-    pub fn ensure_index(&mut self, pred: Sym, mask: Mask) {
+    pub fn ensure_index(&mut self, pred: Sym, mask: Mask) -> bool {
         if let Some(rel) = self.relations.get_mut(&pred) {
-            rel.ensure_index(mask);
-            return;
+            return rel.ensure_index(mask);
         }
         if self
             .base
             .as_ref()
             .is_some_and(|b| b.relation(pred).is_some())
         {
-            return;
+            return false;
         }
-        self.relations.entry(pred).or_default().ensure_index(mask);
+        self.relations.entry(pred).or_default().ensure_index(mask)
     }
 
     /// Removes and returns `pred`'s *local* relation (a frozen base, if

@@ -116,6 +116,12 @@ pub struct EvalOptions {
     /// [`EvalOptions::timeout`] keeps its historical
     /// [`EvalError::Timeout`].
     pub budget: Budget,
+    /// Per-query profiling ([`crate::profile`]): record per-rule
+    /// timings, per-round delta sizes and index builds into a
+    /// [`QueryProfile`](crate::profile::QueryProfile) returned on
+    /// [`EvalStats::profile`]. Off by default; the unprofiled path pays
+    /// nothing (every recording site is behind this flag).
+    pub profile: bool,
 }
 
 impl Default for EvalOptions {
@@ -129,6 +135,7 @@ impl Default for EvalOptions {
             magic_sets: true,
             threads: None,
             budget: Budget::default(),
+            profile: false,
         }
     }
 }
@@ -165,6 +172,16 @@ pub struct EvalStats {
     pub strata: usize,
     /// Wall-clock time.
     pub elapsed: Duration,
+    /// Join ticks across all rule jobs — every delta row scanned, index
+    /// bucket entry probed or join-step entered. The engine's "join
+    /// probes" figure: proportional to join work, counted by summing the
+    /// jobs' existing per-job tick counters (no hot-path cost).
+    pub probes: u64,
+    /// Wall time per stratum, in evaluation order (two `Instant` reads
+    /// per stratum — always on).
+    pub stratum_elapsed: Vec<Duration>,
+    /// The per-query profile, when [`EvalOptions::profile`] was armed.
+    pub profile: Option<Box<crate::profile::QueryProfile>>,
 }
 
 /// Evaluation failure.
@@ -294,6 +311,9 @@ pub fn evaluate_with_plan(
                             magic_sets: false,
                             plan: false,
                             threads: Some(1),
+                            // The caller sees only the main run's stats,
+                            // so a sub-profile would be dropped unseen.
+                            profile: false,
                             ..options.clone()
                         };
                         evaluate_with_plan(&sub, db, &sub_options, None)?;
@@ -409,6 +429,8 @@ impl PoolHandle<'_, '_> {
 struct Job<'a> {
     plan: &'a RulePlan,
     rule: &'a Rule,
+    /// Index of `rule` in the program — the profiler's attribution key.
+    rule_idx: usize,
     /// `(body item, batch, row range)` — the delta restriction, if any.
     delta: Option<(usize, &'a ColumnBatch, usize, usize)>,
 }
@@ -531,20 +553,28 @@ fn evaluate_inner(
         governed,
         dict_base: if governed { dict.interned_terms() } else { 0 },
         derived: AtomicUsize::new(derived),
+        profile: options.profile,
     };
     ctx.check()?;
 
     let mut stats = EvalStats {
         derived,
-        staged: 0,
-        rounds: 0,
         strata: strat.strata.len(),
-        elapsed: Duration::ZERO,
+        ..EvalStats::default()
     };
+    // The profiler, armed only on request — rule display texts are built
+    // here once, so the unprofiled path never renders a rule.
+    let mut pb = options
+        .profile
+        .then(|| crate::profile::ProfileBuilder::new(program, &symbols));
     // Recycled per-job staging buffers (see `run_pass`).
     let mut spare: Vec<Staging> = Vec::new();
 
-    for stratum_rules in &strat.strata {
+    for (stratum_idx, stratum_rules) in strat.strata.iter().enumerate() {
+        let stratum_start = Instant::now();
+        if let Some(pb) = pb.as_mut() {
+            pb.begin_stratum(stratum_idx);
+        }
         // Predicates defined in this stratum (their deltas drive the
         // semi-naive rounds) — the stratum's write set.
         let stratum_preds: FxHashSet<Sym> =
@@ -584,15 +614,19 @@ fn evaluate_inner(
         // Make sure every index the plans need exists — the hash-join
         // build sides. Built once here; maintained incrementally by every
         // merge, so rounds never rebuild them.
+        let mut indexes_built = 0usize;
         for &ri in stratum_rules {
             for need in &plans[ri].index_needs {
-                db.ensure_index(need.0, need.1);
+                indexes_built += db.ensure_index(need.0, need.1) as usize;
             }
         }
         for plan in delta_plans.values() {
             for need in &plan.index_needs {
-                db.ensure_index(need.0, need.1);
+                indexes_built += db.ensure_index(need.0, need.1) as usize;
             }
+        }
+        if let Some(pb) = pb.as_mut() {
+            pb.record_index_builds(indexes_built);
         }
 
         // Aggregate rules run once, after the non-aggregate fixpoint.
@@ -614,6 +648,7 @@ fn evaluate_inner(
                 .map(|&ri| Job {
                     plan: &plans[ri],
                     rule: &program.rules[ri],
+                    rule_idx: ri,
                     delta: None,
                 })
                 .collect();
@@ -625,8 +660,21 @@ fn evaluate_inner(
                     );
                 }
             }
+            let round_start = Instant::now();
+            let (staged0, derived0) = (stats.staged, stats.derived);
             let outs = run_pass(&jobs, db, &ctx, pool, &mut spare);
-            merge_pass(db, &jobs, outs, &mut delta, &mut stats, &ctx, &mut spare)?;
+            merge_pass(
+                db, &jobs, outs, &mut delta, &mut stats, &ctx, &mut spare, &mut pb,
+            )?;
+            if let Some(pb) = pb.as_mut() {
+                pb.record_round(crate::profile::RoundProfile {
+                    round: 0,
+                    delta_rows: 0,
+                    staged: stats.staged - staged0,
+                    derived: stats.derived - derived0,
+                    elapsed: round_start.elapsed(),
+                });
+            }
         }
 
         // Shed indexes on this stratum's *written* relations that only
@@ -698,6 +746,7 @@ fn evaluate_inner(
                             jobs.push(Job {
                                 plan,
                                 rule,
+                                rule_idx: ri,
                                 delta: Some((item_idx, batch, lo, hi)),
                             });
                         }
@@ -709,34 +758,69 @@ fn evaluate_inner(
                 // later strata) ends the fixpoint.
                 break;
             }
+            let round_start = Instant::now();
+            let (staged0, derived0) = (stats.staged, stats.derived);
+            let delta_rows: usize = if pb.is_some() {
+                delta.values().map(|b| b.len()).sum()
+            } else {
+                0
+            };
             let outs = run_pass(&jobs, db, &ctx, pool, &mut spare);
             let mut next: FxHashMap<Sym, ColumnBatch> = FxHashMap::default();
             if trace >= 1 {
                 eprintln!("[eval] round {rounds}: {} jobs", jobs.len());
             }
-            merge_pass(db, &jobs, outs, &mut next, &mut stats, &ctx, &mut spare)?;
+            merge_pass(
+                db, &jobs, outs, &mut next, &mut stats, &ctx, &mut spare, &mut pb,
+            )?;
+            if let Some(pb) = pb.as_mut() {
+                pb.record_round(crate::profile::RoundProfile {
+                    round: rounds,
+                    delta_rows,
+                    staged: stats.staged - staged0,
+                    derived: stats.derived - derived0,
+                    elapsed: round_start.elapsed(),
+                });
+            }
             drop(jobs);
             delta = next;
         }
 
         // --- aggregates ---
         for &ri in &agg_rules {
+            let agg_start = Instant::now();
             let rule = &program.rules[ri];
             let plan = &plans[ri];
             let mut matches = Vec::new();
             eval_rule_envs(plan, rule, db, &ctx, &mut matches)?;
             let tuples = aggregate(rule, matches, &ctx)?;
             stats.staged += tuples.len();
+            let (staged, mut derived_here) = (tuples.len(), 0usize);
             for t in tuples {
                 if db.add_fact_ids(rule.head.pred, &t) {
                     stats.derived += 1;
+                    derived_here += 1;
                     ctx.note_derived()?;
                 }
             }
+            if let Some(pb) = pb.as_mut() {
+                pb.record_job(
+                    ri,
+                    staged,
+                    derived_here,
+                    agg_start.elapsed().as_nanos() as u64,
+                );
+            }
+        }
+
+        stats.stratum_elapsed.push(stratum_start.elapsed());
+        if let Some(pb) = pb.as_mut() {
+            pb.end_stratum(*stats.stratum_elapsed.last().expect("just pushed"));
         }
     }
 
     stats.elapsed = start.elapsed();
+    stats.profile = pb.map(|b| Box::new(b.finish(stats.elapsed)));
     Ok(stats)
 }
 
@@ -775,8 +859,13 @@ fn run_pass(
         };
         let mut guard = slots[j].lock().unwrap();
         if let Ok(out) = guard.as_mut() {
+            // Job wall time is profiler-only: the two `Instant` reads per
+            // job stay off the unprofiled path.
+            let job_start = ctx.profile.then(Instant::now);
             if let Err(e) = eval_rule(job.plan, job.rule, db, job.delta, ctx, dedup_against, out) {
                 *guard = Err(e);
+            } else if let Some(t0) = job_start {
+                out.nanos = t0.elapsed().as_nanos() as u64;
             }
         }
     };
@@ -825,6 +914,7 @@ fn run_pass(
 /// order; fresh tuples are appended to `delta`'s columnar batches. The
 /// relation's dedup map is the only per-tuple hash probe (the staging
 /// buffers carry each row's hash precomputed).
+#[allow(clippy::too_many_arguments)]
 fn merge_pass(
     db: &mut Database,
     jobs: &[Job<'_>],
@@ -833,12 +923,14 @@ fn merge_pass(
     stats: &mut EvalStats,
     ctx: &Ctx<'_>,
     spare: &mut Vec<Staging>,
+    pb: &mut Option<crate::profile::ProfileBuilder>,
 ) -> Result<(), EvalError> {
     let derived = &mut stats.derived;
     let staged = &mut stats.staged;
     for (job, out) in jobs.iter().zip(outs) {
         let mut out = out?;
         *staged += out.count;
+        stats.probes += out.ticks;
         // Merges are sequential and can dominate huge passes: keep the
         // governor's batch granularity across them (per job, not per row).
         ctx.check()?;
@@ -850,11 +942,12 @@ fn merge_pass(
             );
         }
         let pred = job.rule.head.pred;
+        let mut fresh = 0usize;
         if out.count == 0 {
             // fall through to recycling
         } else if out.arity == 0 {
             if db.add_fact_ids(pred, &[]) {
-                *derived += 1;
+                fresh = 1;
                 delta
                     .entry(pred)
                     .or_insert_with(|| ColumnBatch::new(0))
@@ -867,7 +960,11 @@ fn merge_pass(
             let batch = delta
                 .entry(pred)
                 .or_insert_with(|| ColumnBatch::new(out.arity));
-            *derived += db.relation_mut(pred).merge_staged(&out, batch);
+            fresh = db.relation_mut(pred).merge_staged(&out, batch);
+        }
+        *derived += fresh;
+        if let Some(pb) = pb.as_mut() {
+            pb.record_job(job.rule_idx, out.count, fresh, out.nanos);
         }
         out.clear();
         spare.push(out);
@@ -1250,6 +1347,9 @@ struct Ctx<'a> {
     /// synchronisation points and the cap check tolerates slack of one
     /// in-flight emission per worker.
     derived: AtomicUsize,
+    /// True when the per-query profiler is armed
+    /// ([`EvalOptions::profile`]) — jobs then record their wall time.
+    profile: bool,
 }
 
 impl Ctx<'_> {
@@ -1392,45 +1492,60 @@ fn eval_rule(
 ) -> Result<(), EvalError> {
     out.arity = plan.enc_head.args.len();
     let resolved = resolve_scans(plan, db);
-    if let Some(d) = delta {
-        // The workhorse shape of recursive rules — delta scan followed by
-        // exactly one indexed probe (`tc(X,Z) :- Δtc(Y,Z), edge(X,Y)`) —
-        // runs as a fused, non-recursive loop.
-        if let Some(r) = eval_delta_probe(plan, rule, &resolved, d, ctx, dedup_against, out) {
-            return r;
-        }
-    }
-    let mut env: Vec<Option<TermId>> = vec![None; plan.nvars];
     let mut ticks = 0u64;
-    let row_cap = ctx.row_cap();
-    let r = join(
-        plan,
-        &resolved,
-        rule,
-        db,
-        delta,
-        ctx,
-        0,
-        &mut env,
-        &mut ticks,
-        &mut |env: &[Option<TermId>], ctx: &Ctx<'_>| {
-            // Row accounting only while a cap is armed: the ungoverned
-            // emission path stays exactly as cheap as before the governor.
-            if let Some(cap) = row_cap {
-                let before = out.count;
-                instantiate_head(plan, rule, env, ctx, dedup_against, out);
-                if out.count > before && ctx.derived.fetch_add(1, Ordering::Relaxed) + 1 > cap {
-                    return Err(ctx.abort(AbortReason::RowLimit));
-                }
-            } else {
-                instantiate_head(plan, rule, env, ctx, dedup_against, out);
+    let r = 'done: {
+        if let Some(d) = delta {
+            // The workhorse shape of recursive rules — delta scan followed
+            // by exactly one indexed probe (`tc(X,Z) :- Δtc(Y,Z),
+            // edge(X,Y)`) — runs as a fused, non-recursive loop.
+            if let Some(r) = eval_delta_probe(
+                plan,
+                rule,
+                &resolved,
+                d,
+                ctx,
+                dedup_against,
+                out,
+                &mut ticks,
+            ) {
+                break 'done r;
             }
-            Ok(())
-        },
-    );
+        }
+        let mut env: Vec<Option<TermId>> = vec![None; plan.nvars];
+        let row_cap = ctx.row_cap();
+        join(
+            plan,
+            &resolved,
+            rule,
+            db,
+            delta,
+            ctx,
+            0,
+            &mut env,
+            &mut ticks,
+            &mut |env: &[Option<TermId>], ctx: &Ctx<'_>| {
+                // Row accounting only while a cap is armed: the ungoverned
+                // emission path stays exactly as cheap as before the governor.
+                if let Some(cap) = row_cap {
+                    let before = out.count;
+                    instantiate_head(plan, rule, env, ctx, dedup_against, out);
+                    if out.count > before && ctx.derived.fetch_add(1, Ordering::Relaxed) + 1 > cap {
+                        return Err(ctx.abort(AbortReason::RowLimit));
+                    }
+                } else {
+                    instantiate_head(plan, rule, env, ctx, dedup_against, out);
+                }
+                Ok(())
+            },
+        )
+    };
     if ctx.trace >= 2 {
         eprintln!("[eval]   join ticks: {ticks}");
     }
+    // The local tick counter becomes the job's probe figure, summed into
+    // [`EvalStats::probes`] by the merge — one store per job, not per
+    // tick.
+    out.ticks += ticks;
     r
 }
 
@@ -1440,6 +1555,7 @@ fn eval_rule(
 /// general join) unless the plan is exactly `[Scan(delta),
 /// Scan(indexed)]`: any filter, negation, assignment, further atom or a
 /// missing index takes the general path.
+#[allow(clippy::too_many_arguments)]
 fn eval_delta_probe(
     plan: &RulePlan,
     rule: &Rule,
@@ -1448,6 +1564,7 @@ fn eval_delta_probe(
     ctx: &Ctx<'_>,
     dedup_against: Option<&Relation>,
     out: &mut Staging,
+    ticks: &mut u64,
 ) -> Option<Result<(), EvalError>> {
     let [Step::Scan { item_idx: i0, .. }, Step::Scan {
         item_idx: i1, mask, ..
@@ -1467,11 +1584,10 @@ fn eval_delta_probe(
         .expect("scan step on positive item");
     let (rel, index) = (resolved[1].rel?, resolved[1].index()?);
     let mut env: Vec<Option<TermId>> = vec![None; plan.nvars];
-    let mut ticks = 0u64;
     let row_cap = ctx.row_cap();
     for r in lo..hi {
-        ticks += 1;
-        if ticks & 0xFFF == 0 {
+        *ticks += 1;
+        if *ticks & 0xFFF == 0 {
             if let Err(e) = ctx.check() {
                 return Some(Err(e));
             }
@@ -1506,8 +1622,8 @@ fn eval_delta_probe(
                 // Tick per bucket element, matching the general join's
                 // per-call granularity: a huge bucket must still hit the
                 // timeout check every 4096 emissions.
-                ticks += 1;
-                if ticks & 0xFFF == 0 {
+                *ticks += 1;
+                if *ticks & 0xFFF == 0 {
                     if let Err(e) = ctx.check() {
                         return Some(Err(e));
                     }

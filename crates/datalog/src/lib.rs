@@ -60,6 +60,7 @@ pub mod magic;
 pub mod parser;
 pub mod plan;
 pub mod pool;
+pub mod profile;
 pub mod regex;
 pub mod rule;
 pub mod stats;
@@ -83,6 +84,7 @@ pub use magic::{
 };
 pub use plan::{plan_program, AtomPlan, ProgramPlan, RuleOrder};
 pub use pool::{run_scoped, run_scoped_caught, JobPanic};
+pub use profile::{QueryProfile, RoundProfile, RuleProfile, StratumProfile};
 pub use rule::{
     AggFunc, AggSpec, Atom, AtomArg, BodyItem, PostOp, Program, Rule, RuleBuilder, VarId,
 };

@@ -17,6 +17,7 @@ use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use sparqlog::MetricsRegistry;
 use sparqlog_http::{client, ServerConfig, SparqlServer};
 
 struct Check {
@@ -105,6 +106,37 @@ fn run(addr: SocketAddr) -> Result<(), String> {
         }
         eprintln!("ok: {} -> 200 {}", c.label, c.expect_type);
     }
+
+    // The observability scrape (PR 10): /metrics must be a valid
+    // Prometheus text exposition covering at least the request counts
+    // this smoke itself just generated.
+    let r = client::fetch(addr, "GET", "/metrics", &[], None)
+        .map_err(|e| format!("GET /metrics: {e}"))?;
+    if r.status != 200 {
+        return Err(format!(
+            "GET /metrics: expected 200, got {} ({})",
+            r.status,
+            r.text().unwrap_or("<non-utf8>")
+        ));
+    }
+    let body = r.text().map_err(|_| "GET /metrics: non-UTF-8 body")?;
+    let samples = MetricsRegistry::parse_exposition(body)
+        .map_err(|e| format!("GET /metrics: invalid exposition: {e}"))?;
+    for family in [
+        "sparqlog_queries_total",
+        "sparqlog_store_commits_total",
+        "sparqlog_http_requests_total",
+    ] {
+        if !samples.iter().any(|(n, _, v)| n == family && *v > 0.0) {
+            return Err(format!(
+                "GET /metrics: no positive {family} sample in exposition"
+            ));
+        }
+    }
+    eprintln!(
+        "ok: GET /metrics -> 200, {} samples, exposition parses",
+        samples.len()
+    );
     Ok(())
 }
 

@@ -99,21 +99,34 @@ pub fn fetch(
             .ok_or_else(|| bad(format!("bad header line {line:?}")))?;
         resp_headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
     }
-    let find = |name: &str| {
-        resp_headers
+    let find = |headers: &[(String, String)], name: &str| {
+        headers
             .iter()
             .find(|(k, _)| k == name)
-            .map(|(_, v)| v.as_str())
+            .map(|(_, v)| v.to_string())
     };
+    let chunked =
+        find(&resp_headers, "transfer-encoding").map(|v| v.contains("chunked")) == Some(true);
 
     let mut body_bytes = Vec::new();
-    if find("transfer-encoding").map(|v| v.contains("chunked")) == Some(true) {
+    if chunked {
         loop {
             let size_line = read_line(&mut reader)?;
             let size = usize::from_str_radix(size_line.trim(), 16)
                 .map_err(|_| bad(format!("bad chunk size {size_line:?}")))?;
             if size == 0 {
-                read_line(&mut reader)?; // trailing CRLF
+                // Trailer fields (if any) sit between the terminal `0`
+                // frame and the final blank line; surface them alongside
+                // the headers.
+                loop {
+                    let line = read_line(&mut reader)?;
+                    if line.is_empty() {
+                        break;
+                    }
+                    if let Some((k, v)) = line.split_once(':') {
+                        resp_headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+                    }
+                }
                 break;
             }
             let mut chunk = vec![0u8; size];
@@ -125,7 +138,7 @@ pub fn fetch(
             }
             body_bytes.extend_from_slice(&chunk);
         }
-    } else if let Some(len) = find("content-length") {
+    } else if let Some(len) = find(&resp_headers, "content-length") {
         let len: usize = len.parse().map_err(|_| bad("bad Content-Length"))?;
         body_bytes = vec![0u8; len];
         reader.read_exact(&mut body_bytes)?;

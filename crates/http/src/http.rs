@@ -276,16 +276,25 @@ pub fn write_response(
 
 /// Writes the header block of a chunked streaming response; the body
 /// then goes through a [`ChunkedWriter`] over the same stream.
+/// `extra_headers` are raw `Name: value` lines (no CRLF).
 pub fn write_chunked_head(
     out: &mut impl Write,
     status: u16,
     content_type: &str,
     keep_alive: bool,
+    extra_headers: &[&str],
 ) -> io::Result<()> {
     write!(
         out,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\n",
         reason(status),
+    )?;
+    for h in extra_headers {
+        write!(out, "{h}\r\n")?;
+    }
+    write!(
+        out,
+        "Connection: {}\r\n\r\n",
         if keep_alive { "keep-alive" } else { "close" }
     )
 }
@@ -326,9 +335,21 @@ impl<W: Write> ChunkedWriter<W> {
 
     /// Flushes any buffered bytes and writes the terminal `0\r\n\r\n`
     /// frame, returning the underlying stream.
-    pub fn finish(mut self) -> io::Result<W> {
+    pub fn finish(self) -> io::Result<W> {
+        self.finish_with_trailers(&[])
+    }
+
+    /// Like [`ChunkedWriter::finish`], but places `trailers` as HTTP
+    /// trailer fields between the terminal `0` frame and the final
+    /// CRLF (RFC 9112 §7.1.2). Callers should announce the field names
+    /// in a `Trailer:` response header so clients know to read them.
+    pub fn finish_with_trailers(mut self, trailers: &[(&str, &str)]) -> io::Result<W> {
         self.emit_buf()?;
-        self.inner.write_all(b"0\r\n\r\n")?;
+        self.inner.write_all(b"0\r\n")?;
+        for (name, value) in trailers {
+            write!(self.inner, "{name}: {value}\r\n")?;
+        }
+        self.inner.write_all(b"\r\n")?;
         self.inner.flush()?;
         Ok(self.inner)
     }
@@ -440,6 +461,29 @@ mod tests {
             String::from_utf8(out).unwrap(),
             "4\r\nabcd\r\n4\r\nefgh\r\n3\r\nijk\r\n0\r\n\r\n"
         );
+    }
+
+    #[test]
+    fn chunked_writer_emits_trailers() {
+        let mut out = Vec::new();
+        let mut w = ChunkedWriter::new(&mut out, 8);
+        w.write_all(b"body").unwrap();
+        let _ = w
+            .finish_with_trailers(&[("X-Query-Profile", "{\"elapsed_us\":3}")])
+            .unwrap();
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "4\r\nbody\r\n0\r\nX-Query-Profile: {\"elapsed_us\":3}\r\n\r\n"
+        );
+    }
+
+    #[test]
+    fn chunked_head_carries_extra_headers() {
+        let mut out = Vec::new();
+        write_chunked_head(&mut out, 200, "text/plain", true, &["X-Request-Id: abc"]).unwrap();
+        let head = String::from_utf8(out).unwrap();
+        assert!(head.contains("\r\nX-Request-Id: abc\r\n"));
+        assert!(head.ends_with("Connection: keep-alive\r\n\r\n"));
     }
 
     #[test]

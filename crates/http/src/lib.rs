@@ -19,7 +19,17 @@
 //!   deadline, an optional per-request `timeout=` ms override (only
 //!   ever *lowering* the default), and a connection-drop
 //!   [`CancelToken`](sparqlog::CancelToken) — an exceeded budget is a
-//!   `408` with the governor's abort reason in the body.
+//!   `408` whose `application/json` body carries the structured abort
+//!   detail (`reason`, `elapsed_ms`, `rows_derived`);
+//! * `GET /metrics` (PR 10): the store's
+//!   [`MetricsRegistry`](sparqlog::MetricsRegistry) — engine counters
+//!   and the HTTP layer's own request/latency/bytes families — in the
+//!   Prometheus text exposition format;
+//! * `profile=true` on `/query`: the evaluation runs profiled and the
+//!   [`QueryProfile`](sparqlog::QueryProfile) JSON rides behind the
+//!   streamed body as an `X-Query-Profile` chunked trailer field;
+//! * every response echoes the request's `X-Request-Id` header (or a
+//!   server-generated id when the client sent none).
 //!
 //! Status mapping: parse/translation errors are `400` (the parser's
 //! message is the body), budget aborts are `408`, evaluation defects

@@ -19,18 +19,28 @@
 //! Updates (`POST /update`) run through [`Store::update`], which
 //! serializes write requests behind the commit lock while read traffic
 //! continues on its snapshots.
+//!
+//! Observability (PR 10): `GET /metrics` renders the store's shared
+//! [`MetricsRegistry`]; every response carries an `X-Request-Id`; each
+//! written response is recorded (method/status counter, latency
+//! histogram, streamed bytes by format) *after* its bytes go out, so a
+//! metrics scrape never counts itself.
 
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sparqlog::results_io::{
     write_csv, write_json, write_ntriples, write_tsv, write_turtle, WriteError,
 };
-use sparqlog::{Budget, CancelToken, QueryResults, SparqLogError, Store};
+use sparqlog::{
+    AbortReason, Budget, CancelToken, MetricsRegistry, QueryProfile, QueryResults, SparqLogError,
+    Store,
+};
+use sparqlog_obs::{CounterVec, Histogram};
 use sparqlog_sparql::{parse_query, QueryForm};
 
 use crate::conneg::{candidates, negotiate, Format};
@@ -162,10 +172,12 @@ impl BoundServer {
     /// the calling thread (spawn it for background serving).
     pub fn serve(self) {
         let workers = self.config.workers.max(1);
+        let metrics = ServerMetrics::new(self.store.metrics());
         let ctx = Ctx {
             store: &self.store,
             config: &self.config,
             shutdown: &self.shutdown,
+            metrics: &metrics,
         };
         let listener = &self.listener;
         sparqlog_datalog::run_scoped(workers, workers, &|_| {
@@ -180,6 +192,152 @@ struct Ctx<'a> {
     store: &'a Store,
     config: &'a ServerConfig,
     shutdown: &'a AtomicBool,
+    metrics: &'a ServerMetrics,
+}
+
+/// The HTTP layer's families in the store's [`MetricsRegistry`] —
+/// registered once per [`BoundServer::serve`] and shared with the
+/// engine's own counters, so one `GET /metrics` scrape covers the
+/// whole stack.
+struct ServerMetrics {
+    registry: Arc<MetricsRegistry>,
+    requests: Arc<CounterVec>,
+    bytes_streamed: Arc<CounterVec>,
+    duration_us: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    fn new(registry: Arc<MetricsRegistry>) -> Self {
+        let requests = registry.counter_vec(
+            "sparqlog_http_requests_total",
+            "HTTP responses written, by request method and response status.",
+            &["method", "status"],
+        );
+        let bytes_streamed = registry.counter_vec(
+            "sparqlog_http_bytes_streamed_total",
+            "Chunked response-body bytes put on the wire, by result format.",
+            &["format"],
+        );
+        let duration_us = registry.histogram(
+            "sparqlog_http_request_duration_us",
+            "Wall time from parsed request to written response (microseconds).",
+            22,
+        );
+        ServerMetrics {
+            registry,
+            requests,
+            bytes_streamed,
+            duration_us,
+        }
+    }
+}
+
+/// Per-request bookkeeping: the request id echoed on every response and
+/// the method/start-time pair the response recorder needs. A request is
+/// recorded when its response is committed (status settled, head about
+/// to be written): by the time a client has read a response, it is
+/// counted — and `serve_metrics` renders the exposition *before*
+/// recording, so a scrape never counts itself.
+struct ReqScope<'a> {
+    rid: String,
+    method_label: String,
+    started: Instant,
+    metrics: &'a ServerMetrics,
+}
+
+impl<'a> ReqScope<'a> {
+    fn for_request(req: &Request, metrics: &'a ServerMetrics) -> Self {
+        let rid = req
+            .header("x-request-id")
+            .map(sanitize_request_id)
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(fresh_request_id);
+        ReqScope {
+            rid,
+            method_label: req.method.clone(),
+            started: Instant::now(),
+            metrics,
+        }
+    }
+
+    /// For responses to requests that never parsed (no method to label).
+    fn anonymous(metrics: &'a ServerMetrics) -> Self {
+        ReqScope {
+            rid: fresh_request_id(),
+            method_label: "-".to_string(),
+            started: Instant::now(),
+            metrics,
+        }
+    }
+
+    /// The `X-Request-Id` header line for this request.
+    fn rid_header(&self) -> String {
+        format!("X-Request-Id: {}", self.rid)
+    }
+
+    fn record(&self, status: u16) {
+        if !self.metrics.registry.armed() {
+            return;
+        }
+        self.metrics
+            .requests
+            .with(&[&self.method_label, &status.to_string()])
+            .inc();
+        self.metrics
+            .duration_us
+            .observe(self.started.elapsed().as_micros() as u64);
+    }
+
+    /// Bytes counters trail the body: they are added once the terminal
+    /// chunk is on the wire and the total is known.
+    fn record_bytes(&self, format_label: &str, bytes: u64) {
+        if self.metrics.registry.armed() {
+            self.metrics.bytes_streamed.with(&[format_label]).add(bytes);
+        }
+    }
+}
+
+/// Clients may supply their own correlation id; cap it and strip
+/// anything that is not printable ASCII so it echoes back as one clean
+/// header value.
+fn sanitize_request_id(raw: &str) -> String {
+    raw.chars()
+        .filter(|c| c.is_ascii_graphic())
+        .take(128)
+        .collect()
+}
+
+/// A fresh request id: wall-clock nanoseconds plus a process-wide
+/// sequence number — unique without needing an RNG.
+fn fresh_request_id() -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    format!(
+        "{nanos:x}-{:04x}",
+        SEQ.fetch_add(1, Ordering::Relaxed) & 0xffff
+    )
+}
+
+/// Counts the bytes a [`ChunkedWriter`] puts on the wire (frames
+/// included), feeding `sparqlog_http_bytes_streamed_total`.
+struct CountingWriter<W: Write> {
+    inner: W,
+    written: u64,
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
 }
 
 fn accept_loop(listener: &TcpListener, ctx: &Ctx<'_>) {
@@ -222,20 +380,31 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx<'_>) {
         match read_request(&mut reader, ctx.config.max_body, Some(&mut stream)) {
             Err(RequestError::Closed) | Err(RequestError::Io(_)) => return,
             Err(RequestError::Malformed(msg)) => {
-                let _ = respond_text(&mut stream, 400, &msg, false);
+                let scope = ReqScope::anonymous(ctx.metrics);
+                let _ = respond_text(&mut stream, &scope, 400, &msg, false);
                 return;
             }
             Err(RequestError::TooLarge("body")) => {
-                let _ = respond_text(&mut stream, 413, "request body too large", false);
+                let scope = ReqScope::anonymous(ctx.metrics);
+                let _ = respond_text(&mut stream, &scope, 413, "request body too large", false);
                 return;
             }
             Err(RequestError::TooLarge(what)) => {
-                let _ = respond_text(&mut stream, 431, &format!("{what} too large"), false);
+                let scope = ReqScope::anonymous(ctx.metrics);
+                let _ = respond_text(
+                    &mut stream,
+                    &scope,
+                    431,
+                    &format!("{what} too large"),
+                    false,
+                );
                 return;
             }
             Err(RequestError::LengthRequired) => {
+                let scope = ReqScope::anonymous(ctx.metrics);
                 let _ = respond_text(
                     &mut stream,
+                    &scope,
                     411,
                     "chunked request bodies are not supported; send Content-Length",
                     false,
@@ -256,15 +425,17 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx<'_>) {
 /// Writes a plain-text response; `Ok(keep)` mirrors the keep-alive flag.
 fn respond_text(
     stream: &mut TcpStream,
+    scope: &ReqScope<'_>,
     status: u16,
     body: &str,
     keep_alive: bool,
 ) -> io::Result<bool> {
-    respond_text_extra(stream, status, body, keep_alive, &[])
+    respond_text_extra(stream, scope, status, body, keep_alive, &[])
 }
 
 fn respond_text_extra(
     stream: &mut TcpStream,
+    scope: &ReqScope<'_>,
     status: u16,
     body: &str,
     keep_alive: bool,
@@ -274,14 +445,53 @@ fn respond_text_extra(
     if !text.is_empty() && !text.ends_with('\n') {
         text.push('\n');
     }
-    write_response(
+    respond_with_type(
         stream,
+        scope,
         status,
         "text/plain; charset=utf-8",
         text.as_bytes(),
         keep_alive,
         extra,
-    )?;
+    )
+}
+
+/// Writes an `application/json` response (the rich 408 abort bodies).
+fn respond_json(
+    stream: &mut TcpStream,
+    scope: &ReqScope<'_>,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<bool> {
+    respond_with_type(
+        stream,
+        scope,
+        status,
+        "application/json",
+        body.as_bytes(),
+        keep_alive,
+        &[],
+    )
+}
+
+/// The one non-streaming response chokepoint: stamps `X-Request-Id`,
+/// writes the response, then records it in the registry.
+fn respond_with_type(
+    stream: &mut TcpStream,
+    scope: &ReqScope<'_>,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra: &[&str],
+) -> io::Result<bool> {
+    let rid = scope.rid_header();
+    let mut headers: Vec<&str> = Vec::with_capacity(extra.len() + 1);
+    headers.push(&rid);
+    headers.extend_from_slice(extra);
+    scope.record(status);
+    write_response(stream, status, content_type, body, keep_alive, &headers)?;
     Ok(keep_alive)
 }
 
@@ -292,16 +502,18 @@ fn handle_request(
     keep_alive: bool,
     ctx: &Ctx<'_>,
 ) -> io::Result<bool> {
+    let scope = ReqScope::for_request(req, ctx.metrics);
+    let scope = &scope;
     match (req.path.as_str(), req.method.as_str()) {
         ("/query", "GET") => {
             let params = match parse_form(req.query_string.as_deref().unwrap_or("")) {
                 Ok(p) => p,
-                Err(e) => return respond_text(stream, 400, &e.to_string(), keep_alive),
+                Err(e) => return respond_text(stream, scope, 400, &e.to_string(), keep_alive),
             };
             let Some(query) = find_param(&params, "query").map(str::to_string) else {
-                return respond_text(stream, 400, "missing `query` parameter", keep_alive);
+                return respond_text(stream, scope, 400, "missing `query` parameter", keep_alive);
             };
-            run_query(req, stream, keep_alive, ctx, &query, &params)
+            run_query(req, stream, scope, keep_alive, ctx, &query, &params)
         }
         ("/query", "POST") => {
             match req.content_type().as_deref() {
@@ -309,32 +521,53 @@ fn handle_request(
                     let query = match std::str::from_utf8(&req.body) {
                         Ok(q) => q.to_string(),
                         Err(_) => {
-                            return respond_text(stream, 400, "query body is not UTF-8", keep_alive)
+                            return respond_text(
+                                stream,
+                                scope,
+                                400,
+                                "query body is not UTF-8",
+                                keep_alive,
+                            )
                         }
                     };
                     // Protocol params may still ride the query string.
                     let params = parse_form(req.query_string.as_deref().unwrap_or(""))
                         .unwrap_or_default();
-                    run_query(req, stream, keep_alive, ctx, &query, &params)
+                    run_query(req, stream, scope, keep_alive, ctx, &query, &params)
                 }
                 Some("application/x-www-form-urlencoded") | None => {
                     let body = match std::str::from_utf8(&req.body) {
                         Ok(b) => b,
                         Err(_) => {
-                            return respond_text(stream, 400, "form body is not UTF-8", keep_alive)
+                            return respond_text(
+                                stream,
+                                scope,
+                                400,
+                                "form body is not UTF-8",
+                                keep_alive,
+                            )
                         }
                     };
                     let params = match parse_form(body) {
                         Ok(p) => p,
-                        Err(e) => return respond_text(stream, 400, &e.to_string(), keep_alive),
+                        Err(e) => {
+                            return respond_text(stream, scope, 400, &e.to_string(), keep_alive)
+                        }
                     };
                     let Some(query) = find_param(&params, "query").map(str::to_string) else {
-                        return respond_text(stream, 400, "missing `query` parameter", keep_alive);
+                        return respond_text(
+                            stream,
+                            scope,
+                            400,
+                            "missing `query` parameter",
+                            keep_alive,
+                        );
                     };
-                    run_query(req, stream, keep_alive, ctx, &query, &params)
+                    run_query(req, stream, scope, keep_alive, ctx, &query, &params)
                 }
                 Some(other) => respond_text(
                     stream,
+                    scope,
                     415,
                     &format!(
                         "unsupported Content-Type {other:?}; use application/sparql-query or application/x-www-form-urlencoded"
@@ -345,6 +578,7 @@ fn handle_request(
         }
         ("/query", _) => respond_text_extra(
             stream,
+            scope,
             405,
             "method not allowed on /query",
             keep_alive,
@@ -356,29 +590,50 @@ fn handle_request(
                     let update = match std::str::from_utf8(&req.body) {
                         Ok(u) => u.to_string(),
                         Err(_) => {
-                            return respond_text(stream, 400, "update body is not UTF-8", keep_alive)
+                            return respond_text(
+                                stream,
+                                scope,
+                                400,
+                                "update body is not UTF-8",
+                                keep_alive,
+                            )
                         }
                     };
-                    run_update(stream, keep_alive, ctx, &update)
+                    run_update(stream, scope, keep_alive, ctx, &update)
                 }
                 Some("application/x-www-form-urlencoded") | None => {
                     let body = match std::str::from_utf8(&req.body) {
                         Ok(b) => b,
                         Err(_) => {
-                            return respond_text(stream, 400, "form body is not UTF-8", keep_alive)
+                            return respond_text(
+                                stream,
+                                scope,
+                                400,
+                                "form body is not UTF-8",
+                                keep_alive,
+                            )
                         }
                     };
                     let params = match parse_form(body) {
                         Ok(p) => p,
-                        Err(e) => return respond_text(stream, 400, &e.to_string(), keep_alive),
+                        Err(e) => {
+                            return respond_text(stream, scope, 400, &e.to_string(), keep_alive)
+                        }
                     };
                     let Some(update) = find_param(&params, "update").map(str::to_string) else {
-                        return respond_text(stream, 400, "missing `update` parameter", keep_alive);
+                        return respond_text(
+                            stream,
+                            scope,
+                            400,
+                            "missing `update` parameter",
+                            keep_alive,
+                        );
                     };
-                    run_update(stream, keep_alive, ctx, &update)
+                    run_update(stream, scope, keep_alive, ctx, &update)
                 }
                 Some(other) => respond_text(
                     stream,
+                    scope,
                     415,
                     &format!(
                         "unsupported Content-Type {other:?}; use application/sparql-update or application/x-www-form-urlencoded"
@@ -389,17 +644,58 @@ fn handle_request(
         }
         ("/update", _) => respond_text_extra(
             stream,
+            scope,
             405,
             "method not allowed on /update; updates go via POST",
             keep_alive,
             &["Allow: POST"],
         ),
+        ("/metrics", "GET") => serve_metrics(stream, scope, keep_alive, ctx),
+        ("/metrics", _) => respond_text_extra(
+            stream,
+            scope,
+            405,
+            "method not allowed on /metrics",
+            keep_alive,
+            &["Allow: GET"],
+        ),
         _ => respond_text(
             stream,
+            scope,
             404,
-            "not found; this endpoint serves /query and /update",
+            "not found; this endpoint serves /query, /update and /metrics",
             keep_alive,
         ),
+    }
+}
+
+/// `GET /metrics`: the store registry (engine + HTTP families) in the
+/// Prometheus text exposition format, streamed chunked like every other
+/// response body. The exposition is rendered *before* this request is
+/// recorded, so a scrape never counts itself.
+fn serve_metrics(
+    stream: &mut TcpStream,
+    scope: &ReqScope<'_>,
+    keep_alive: bool,
+    ctx: &Ctx<'_>,
+) -> io::Result<bool> {
+    let text = scope.metrics.registry.render_to_string();
+    let rid = scope.rid_header();
+    scope.record(200);
+    write_chunked_head(
+        stream,
+        200,
+        "text/plain; version=0.0.4; charset=utf-8",
+        keep_alive,
+        &[&rid],
+    )?;
+    let mut chunked = ChunkedWriter::new(&mut *stream, ctx.config.chunk_size);
+    let done = chunked
+        .write_all(text.as_bytes())
+        .and_then(|()| chunked.finish().map(|_| ()));
+    match done {
+        Ok(()) => Ok(keep_alive),
+        Err(_) => Ok(false),
     }
 }
 
@@ -428,9 +724,61 @@ fn request_budget(
     Ok(budget)
 }
 
+/// The stable machine-readable label for an abort reason (matches the
+/// `reason` label of `sparqlog_query_aborts_total`).
+fn abort_label(reason: AbortReason) -> &'static str {
+    match reason {
+        AbortReason::Deadline => "deadline",
+        AbortReason::Cancelled => "cancelled",
+        AbortReason::RowLimit => "row_limit",
+        AbortReason::DictGrowth => "dict_growth",
+    }
+}
+
+/// Renders a governor abort as the structured 408 JSON body.
+fn abort_body(e: &SparqLogError) -> Option<String> {
+    let SparqLogError::Aborted {
+        reason,
+        elapsed,
+        rows_derived,
+    } = e
+    else {
+        return None;
+    };
+    Some(format!(
+        "{{\"error\":\"query aborted\",\"reason\":\"{}\",\"detail\":\"{}\",\"elapsed_ms\":{},\"rows_derived\":{}}}",
+        abort_label(*reason),
+        reason,
+        elapsed.as_millis(),
+        rows_derived
+    ))
+}
+
+/// Writes the error response for a failed query/update: governor aborts
+/// become a structured `application/json` 408, everything else stays
+/// plain text with the engine's message.
+fn respond_error(
+    stream: &mut TcpStream,
+    scope: &ReqScope<'_>,
+    e: &SparqLogError,
+    keep_alive: bool,
+) -> io::Result<bool> {
+    let status = match e {
+        SparqLogError::Aborted { .. } => 408,
+        SparqLogError::Parse(_) | SparqLogError::Translation(_) | SparqLogError::ReadOnly(_) => 400,
+        _ => 500,
+    };
+    match abort_body(e) {
+        Some(json) => respond_json(stream, scope, status, &json, keep_alive),
+        None => respond_text(stream, scope, status, &e.to_string(), keep_alive),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_query(
     req: &Request,
     stream: &mut TcpStream,
+    scope: &ReqScope<'_>,
     keep_alive: bool,
     ctx: &Ctx<'_>,
     query: &str,
@@ -441,6 +789,7 @@ fn run_query(
     {
         return respond_text(
             stream,
+            scope,
             400,
             "RDF Dataset parameters (default-graph-uri / named-graph-uri) are not supported",
             keep_alive,
@@ -451,7 +800,7 @@ fn run_query(
     // so 400 and 406 are both settled before any evaluation.
     let parsed = match parse_query(query) {
         Ok(q) => q,
-        Err(e) => return respond_text(stream, 400, &e.to_string(), keep_alive),
+        Err(e) => return respond_text(stream, scope, 400, &e.to_string(), keep_alive),
     };
     let graph_form = matches!(
         parsed.form,
@@ -464,6 +813,7 @@ fn run_query(
             .collect();
         return respond_text(
             stream,
+            scope,
             406,
             &format!(
                 "no acceptable representation for this {} result; supported: {}",
@@ -477,8 +827,11 @@ fn run_query(
     let token = CancelToken::new();
     let budget = match request_budget(ctx, params, token.clone()) {
         Ok(b) => b,
-        Err(msg) => return respond_text(stream, 400, &msg, keep_alive),
+        Err(msg) => return respond_text(stream, scope, 400, &msg, keep_alive),
     };
+    let profiled = find_param(params, "profile")
+        .map(|v| v == "true" || v == "1")
+        .unwrap_or(false);
 
     // Pin ONE snapshot for the request: evaluation and serialization
     // both see a single store version regardless of concurrent commits.
@@ -489,47 +842,70 @@ fn run_query(
     // bytes are written (see crate::watch on why that ordering is hard).
     let guard = watch::watch(stream.try_clone()?, token);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        snapshot.execute_with_budget(query, &budget)
+        if profiled {
+            snapshot
+                .execute_profiled_with_budget(query, &budget)
+                .map(|(results, profile)| (results, Some(profile)))
+        } else {
+            snapshot
+                .execute_with_budget(query, &budget)
+                .map(|results| (results, None))
+        }
     }));
     drop(guard);
 
-    let results = match outcome {
+    let (results, profile) = match outcome {
         Err(_) => {
             return respond_text(
                 stream,
+                scope,
                 500,
                 "internal error: query evaluation panicked",
                 keep_alive,
             )
         }
-        Ok(Err(e)) => {
-            let status = match &e {
-                SparqLogError::Aborted { .. } => 408,
-                SparqLogError::Parse(_)
-                | SparqLogError::Translation(_)
-                | SparqLogError::ReadOnly(_) => 400,
-                _ => 500,
-            };
-            return respond_text(stream, status, &e.to_string(), keep_alive);
-        }
-        Ok(Ok(results)) => results,
+        Ok(Err(e)) => return respond_error(stream, scope, &e, keep_alive),
+        Ok(Ok(pair)) => pair,
     };
 
-    stream_results(stream, keep_alive, ctx, &results, format)
+    stream_results(
+        stream,
+        scope,
+        keep_alive,
+        ctx,
+        &results,
+        format,
+        profile.as_ref(),
+    )
 }
 
-/// Streams a successful result as a chunked 200. Returns `Ok(false)`
-/// (drop the connection) if the client vanished mid-stream — the
-/// missing terminal chunk tells it the body is truncated.
+/// Streams a successful result as a chunked 200, with the query profile
+/// (when requested) riding behind the body as an `X-Query-Profile`
+/// trailer field. Returns `Ok(false)` (drop the connection) if the
+/// client vanished mid-stream — the missing terminal chunk tells it the
+/// body is truncated.
+#[allow(clippy::too_many_arguments)]
 fn stream_results(
     stream: &mut TcpStream,
+    scope: &ReqScope<'_>,
     keep_alive: bool,
     ctx: &Ctx<'_>,
     results: &QueryResults,
     format: Format,
+    profile: Option<&QueryProfile>,
 ) -> io::Result<bool> {
-    write_chunked_head(stream, 200, format.content_type(), keep_alive)?;
-    let mut chunked = ChunkedWriter::new(&mut *stream, ctx.config.chunk_size);
+    let rid = scope.rid_header();
+    let mut head: Vec<&str> = vec![&rid];
+    if profile.is_some() {
+        head.push("Trailer: X-Query-Profile");
+    }
+    scope.record(200);
+    write_chunked_head(stream, 200, format.content_type(), keep_alive, &head)?;
+    let counting = CountingWriter {
+        inner: &mut *stream,
+        written: 0,
+    };
+    let mut chunked = ChunkedWriter::new(counting, ctx.config.chunk_size);
     let written = match format {
         Format::Json => write_json(results, &mut chunked),
         Format::Csv => write_csv(results, &mut chunked),
@@ -539,8 +915,17 @@ fn stream_results(
     };
     match written {
         Ok(()) => {
-            chunked.finish()?;
-            Ok(keep_alive)
+            let finished = match profile {
+                Some(p) => chunked.finish_with_trailers(&[("X-Query-Profile", &p.to_json())]),
+                None => chunked.finish(),
+            };
+            match finished {
+                Ok(counting) => {
+                    scope.record_bytes(format_label(format), counting.written);
+                    Ok(keep_alive)
+                }
+                Err(e) => Err(e),
+            }
         }
         // Form mismatch cannot happen (format was negotiated from the
         // parsed form) and I/O failure means the peer is gone; either
@@ -549,8 +934,20 @@ fn stream_results(
     }
 }
 
+/// The `format` label for `sparqlog_http_bytes_streamed_total`.
+fn format_label(format: Format) -> &'static str {
+    match format {
+        Format::Json => "json",
+        Format::Csv => "csv",
+        Format::Tsv => "tsv",
+        Format::NTriples => "ntriples",
+        Format::Turtle => "turtle",
+    }
+}
+
 fn run_update(
     stream: &mut TcpStream,
+    scope: &ReqScope<'_>,
     keep_alive: bool,
     ctx: &Ctx<'_>,
     update: &str,
@@ -560,17 +957,18 @@ fn run_update(
     // while queries keep reading their pinned snapshots.
     let outcome = catch_unwind(AssertUnwindSafe(|| ctx.store.update(update)));
     match outcome {
-        Err(_) => respond_text(stream, 500, "internal error: update panicked", keep_alive),
-        Ok(Err(e)) => {
-            let status = match &e {
-                SparqLogError::Aborted { .. } => 408,
-                SparqLogError::Parse(_) | SparqLogError::Translation(_) => 400,
-                _ => 500,
-            };
-            respond_text(stream, status, &e.to_string(), keep_alive)
-        }
+        Err(_) => respond_text(
+            stream,
+            scope,
+            500,
+            "internal error: update panicked",
+            keep_alive,
+        ),
+        Ok(Err(e)) => respond_error(stream, scope, &e, keep_alive),
         Ok(Ok(_stats)) => {
-            write_response(stream, 204, "", &[], keep_alive, &[])?;
+            let rid = scope.rid_header();
+            scope.record(204);
+            write_response(stream, 204, "", &[], keep_alive, &[&rid])?;
             Ok(keep_alive)
         }
     }

@@ -32,7 +32,13 @@ impl Drop for TestServer {
 
 /// Boots `store` on an ephemeral loopback port with `config`.
 pub fn boot(store: Store, config: ServerConfig) -> TestServer {
-    let bound = SparqlServer::with_config(Arc::new(store), config)
+    boot_shared(Arc::new(store), config)
+}
+
+/// [`boot`] for tests that keep their own `Arc<Store>` handle (e.g. to
+/// read the store's metrics registry next to the HTTP traffic).
+pub fn boot_shared(store: Arc<Store>, config: ServerConfig) -> TestServer {
+    let bound = SparqlServer::with_config(store, config)
         .bind("127.0.0.1:0")
         .expect("bind loopback");
     let addr = bound.local_addr().expect("local addr");
@@ -137,15 +143,18 @@ impl Client {
             let (k, v) = line.split_once(':').expect("header line");
             headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
         }
-        let header = |name: &str| {
+        let header = |headers: &[(String, String)], name: &str| {
             headers
                 .iter()
                 .find(|(k, _)| k == name)
-                .map(|(_, v)| v.as_str())
+                .map(|(_, v)| v.to_string())
         };
+        let chunked =
+            header(&headers, "transfer-encoding").map(|v| v.contains("chunked")) == Some(true);
+        let content_length = header(&headers, "content-length");
         let mut body = Vec::new();
         let mut chunk_sizes = Vec::new();
-        if header("transfer-encoding").map(|v| v.contains("chunked")) == Some(true) {
+        if chunked {
             // Chunk-at-a-time: this read loop IS the "incremental
             // consumer" the streaming acceptance test relies on.
             loop {
@@ -153,8 +162,16 @@ impl Client {
                 let size = usize::from_str_radix(size_line.trim(), 16)
                     .unwrap_or_else(|_| panic!("bad chunk size {size_line:?}"));
                 if size == 0 {
-                    let blank = self.read_line();
-                    assert!(blank.is_empty(), "expected final CRLF, got {blank:?}");
+                    // Trailer fields may sit between the terminal frame
+                    // and the final CRLF; fold them into the header list.
+                    loop {
+                        let line = self.read_line();
+                        if line.is_empty() {
+                            break;
+                        }
+                        let (k, v) = line.split_once(':').expect("trailer line");
+                        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+                    }
                     break;
                 }
                 let mut chunk = vec![0u8; size];
@@ -165,7 +182,7 @@ impl Client {
                 chunk_sizes.push(size);
                 body.extend_from_slice(&chunk);
             }
-        } else if let Some(len) = header("content-length") {
+        } else if let Some(len) = content_length {
             let len: usize = len.parse().expect("content length");
             body = vec![0u8; len];
             self.reader.read_exact(&mut body).expect("body");

@@ -440,6 +440,135 @@ fn malformed_request_line_is_400() {
     assert_eq!(r.status, 400);
 }
 
+// ------------------------------------------------- observability (PR 10)
+
+/// Satellite (b): every response path echoes a client-supplied
+/// `X-Request-Id` and generates one when the client sent none.
+#[test]
+fn request_id_echoed_and_generated() {
+    let server = fixture_server();
+    let ask_target = format!("/query?query={}", percent_encode("ASK { ?s ?p ?o }"));
+
+    // Echo, verbatim.
+    let r = request(
+        server.addr,
+        "GET",
+        &ask_target,
+        &[("X-Request-Id", "trace-42/alpha")],
+        None,
+    );
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("x-request-id"), Some("trace-42/alpha"));
+
+    // Generated on success, error, 404 and 204 paths; distinct per
+    // request.
+    let a = request(server.addr, "GET", &ask_target, &[], None);
+    let b = request(server.addr, "GET", "/nope", &[], None);
+    assert_eq!(b.status, 404);
+    let a_id = a.header("x-request-id").expect("generated id").to_string();
+    let b_id = b.header("x-request-id").expect("id on 404").to_string();
+    assert!(!a_id.is_empty() && a_id != b_id);
+    let r = request(
+        server.addr,
+        "POST",
+        "/update",
+        &[("Content-Type", "application/sparql-update")],
+        Some(b"PREFIX ex: <http://ex.org/> INSERT DATA { ex:x ex:y ex:z }"),
+    );
+    assert_eq!(r.status, 204);
+    assert!(r.header("x-request-id").is_some());
+}
+
+/// Satellite (a): a governor abort is a 408 whose JSON body carries the
+/// structured detail (reason, elapsed, rows derived), not just prose.
+#[test]
+fn abort_is_408_with_structured_json_body() {
+    let server = fixture_server();
+    let closure = format!("{PREFIX}SELECT ?a ?b WHERE {{ ?a ex:next+ ?b }}");
+    let target = format!("/query?query={}&timeout=1", percent_encode(&closure));
+    let r = request(server.addr, "GET", &target, &[], None);
+    assert_eq!(r.status, 408, "{}", r.text());
+    assert_eq!(r.header("content-type"), Some("application/json"));
+    let body = r.text();
+    assert!(
+        body.contains("\"reason\":\"deadline\""),
+        "structured reason missing: {body}"
+    );
+    assert!(body.contains("\"elapsed_ms\":"), "{body}");
+    assert!(body.contains("\"rows_derived\":"), "{body}");
+}
+
+/// Tentpole: `GET /metrics` serves valid Prometheus text exposition
+/// covering both the engine's and the HTTP layer's families — and the
+/// scrape does not count itself in the exposition it returns.
+#[test]
+fn metrics_endpoint_serves_valid_exposition() {
+    let server = fixture_server();
+    let r = get_query(server.addr, SELECT_NAMES, None);
+    assert_eq!(r.status, 200);
+
+    let r = request(server.addr, "GET", "/metrics", &[], None);
+    assert_eq!(r.status, 200);
+    assert!(
+        r.header("content-type").unwrap().starts_with("text/plain"),
+        "{:?}",
+        r.header("content-type")
+    );
+    let samples =
+        sparqlog::MetricsRegistry::parse_exposition(r.text()).expect("well-formed exposition");
+    let sample = |name: &str, labels: &str| {
+        samples
+            .iter()
+            .find(|(n, l, _)| n == name && l == labels)
+            .map(|(_, _, v)| *v)
+    };
+    // Engine-side: the query above was counted.
+    assert_eq!(sample("sparqlog_queries_total", ""), Some(1.0));
+    // HTTP-side: exactly that one 200 — this scrape is absent from its
+    // own exposition.
+    assert_eq!(
+        sample(
+            "sparqlog_http_requests_total",
+            "method=\"GET\",status=\"200\""
+        ),
+        Some(1.0)
+    );
+    assert!(samples
+        .iter()
+        .any(|(n, _, _)| n == "sparqlog_http_request_duration_us_bucket"));
+
+    // /metrics speaks GET only.
+    let r = request(server.addr, "POST", "/metrics", &[], None);
+    assert_eq!(r.status, 405);
+    assert_eq!(r.header("allow"), Some("GET"));
+}
+
+/// Tentpole: `profile=true` ships the per-query profile as an
+/// `X-Query-Profile` chunked trailer without disturbing the body.
+#[test]
+fn profile_param_ships_trailer_sidecar() {
+    let server = fixture_server();
+    let plain = get_query(server.addr, SELECT_NAMES, None);
+    assert_eq!(plain.status, 200);
+    assert!(plain.header("x-query-profile").is_none());
+
+    let target = format!("/query?query={}&profile=true", percent_encode(SELECT_NAMES));
+    let r = request(server.addr, "GET", &target, &[], None);
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert_eq!(r.header("trailer"), Some("X-Query-Profile"));
+    let profile = r.header("x-query-profile").expect("profile trailer");
+    for key in [
+        "\"elapsed_us\"",
+        "\"strata\"",
+        "\"rules\"",
+        "\"delta_rows\"",
+    ] {
+        assert!(profile.contains(key), "profile missing {key}: {profile}");
+    }
+    // The body is byte-identical to the unprofiled response.
+    assert_eq!(r.text(), plain.text());
+}
+
 // ----------------------------------------------------------- streaming
 
 /// The acceptance test: a CONSTRUCT returning ≥100k triples streams as

@@ -9,10 +9,11 @@
 mod common;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-use common::{boot, request, Client};
-use sparqlog::Store;
+use common::{boot, boot_shared, request, Client};
+use sparqlog::{MetricsRegistry, Store};
 use sparqlog_http::{percent_encode, ServerConfig};
 
 const PREFIX: &str = "PREFIX ex: <http://ex.org/> ";
@@ -178,4 +179,120 @@ fn storm_mixed_load_with_concurrent_writer() {
     assert_eq!(r.status, 200);
     let rows = r.text().lines().count() - 1;
     assert_eq!(rows, WRITER_COMMITS, "all commits visible: {}", r.text());
+}
+
+/// PR 10 satellite: under a concurrent storm, the registry is an exact
+/// ledger — request, abort and commit counters sum to precisely the
+/// work the clients performed, nothing dropped, nothing double-counted.
+/// The CI matrix reruns this under `SPARQLOG_THREADS=1` and the default
+/// pool width.
+#[test]
+fn metrics_ledger_matches_work_exactly() {
+    const LEDGER_CLIENTS: usize = 4;
+    const OK_PER_CLIENT: usize = 3;
+    const ABORTS_PER_CLIENT: usize = 1;
+    const UPDATES: usize = 3;
+
+    let store = Arc::new(storm_store());
+    let reg = store.metrics();
+    let server = boot_shared(
+        Arc::clone(&store),
+        ServerConfig {
+            workers: LEDGER_CLIENTS + 2,
+            keep_alive_timeout: Duration::from_secs(30),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.addr;
+
+    // Baselines: loading the fixture already committed once, and no
+    // query/abort/HTTP traffic has happened yet.
+    let base_commits = reg.counter_value("sparqlog_store_commits_total").unwrap();
+    let base_queries = reg.counter_value("sparqlog_queries_total").unwrap();
+    let base_rows_added = reg
+        .counter_value("sparqlog_store_rows_added_total")
+        .unwrap();
+    assert_eq!(reg.counter_vec_sum("sparqlog_query_aborts_total"), Some(0));
+
+    let ask = format!("{PREFIX}ASK {{ ex:e3 ex:kind ex:Widget }}");
+    let closure = format!("{PREFIX}SELECT ?a ?b WHERE {{ ?a ex:next+ ?b }}");
+
+    std::thread::scope(|scope| {
+        for _ in 0..LEDGER_CLIENTS {
+            let (ask, closure) = (&ask, &closure);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                for _ in 0..OK_PER_CLIENT {
+                    let target = format!("/query?query={}", percent_encode(ask));
+                    let r = client.request("GET", &target, &[], None);
+                    assert_eq!(r.status, 200, "{}", r.text());
+                }
+                for _ in 0..ABORTS_PER_CLIENT {
+                    let target = format!("/query?query={}&timeout=1", percent_encode(closure));
+                    let r = client.request("GET", &target, &[], None);
+                    assert_eq!(r.status, 408, "{}", r.text());
+                }
+            });
+        }
+        scope.spawn(|| {
+            for k in 0..UPDATES {
+                let update = format!("{PREFIX}INSERT DATA {{ ex:ledger ex:entry ex:l{k} }}");
+                let r = request(
+                    addr,
+                    "POST",
+                    "/update",
+                    &[("Content-Type", "application/sparql-update")],
+                    Some(update.as_bytes()),
+                );
+                assert_eq!(r.status, 204, "{}", r.text());
+            }
+            // One guaranteed 400 in the mix.
+            let r = request(addr, "GET", "/query?query=not+sparql", &[], None);
+            assert_eq!(r.status, 400);
+        });
+    });
+
+    // Exact ledger, read straight off the store's registry (registering
+    // again returns the same families the server records into).
+    let requests = reg.counter_vec("sparqlog_http_requests_total", "", &["method", "status"]);
+    let ok_queries = (LEDGER_CLIENTS * OK_PER_CLIENT) as u64;
+    let aborts = (LEDGER_CLIENTS * ABORTS_PER_CLIENT) as u64;
+    assert_eq!(requests.value(&["GET", "200"]), ok_queries);
+    assert_eq!(requests.value(&["GET", "408"]), aborts);
+    assert_eq!(requests.value(&["GET", "400"]), 1);
+    assert_eq!(requests.value(&["POST", "204"]), UPDATES as u64);
+    assert_eq!(requests.sum(), ok_queries + aborts + 1 + UPDATES as u64);
+
+    assert_eq!(
+        reg.counter_value("sparqlog_queries_total"),
+        Some(base_queries + ok_queries)
+    );
+    assert_eq!(
+        reg.counter_vec_sum("sparqlog_query_aborts_total"),
+        Some(aborts)
+    );
+    assert_eq!(
+        reg.counter_value("sparqlog_store_commits_total"),
+        Some(base_commits + UPDATES as u64)
+    );
+    // Each update inserted exactly one fresh triple.
+    assert_eq!(
+        reg.counter_value("sparqlog_store_rows_added_total"),
+        Some(base_rows_added + UPDATES as u64)
+    );
+
+    // And the ledger scrapes cleanly over HTTP: the exposition parses,
+    // carries the exact GET/200 count, and the scrape itself is not in
+    // the exposition it returned.
+    let r = request(addr, "GET", "/metrics", &[], None);
+    assert_eq!(r.status, 200);
+    let samples = MetricsRegistry::parse_exposition(r.text()).expect("valid exposition");
+    let got = samples
+        .iter()
+        .find(|(n, l, _)| {
+            n == "sparqlog_http_requests_total" && l == "method=\"GET\",status=\"200\""
+        })
+        .map(|(_, _, v)| *v);
+    assert_eq!(got, Some(ok_queries as f64));
+    assert_eq!(requests.value(&["GET", "200"]), ok_queries + 1);
 }
